@@ -1,0 +1,203 @@
+//! Affine-form extraction from expressions.
+//!
+//! A subscript like `2*i + j - 1` is represented as a linear combination
+//! of symbolic variables plus a constant. Dependence tests and the
+//! Pluto-like baseline's applicability gate both work on this form:
+//! a subscript that cannot be brought into affine form makes the
+//! dependence analysis report *unknown* (and puts the loop nest outside
+//! the polyhedral model, mirroring why Pluto transforms fewer nests in
+//! Sec. V-D of the paper).
+
+use std::collections::BTreeMap;
+
+use locus_srcir::ast::{BinOp, Expr, UnOp};
+
+/// A linear expression `sum(coeff_i * var_i) + constant`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineExpr {
+    /// Variable coefficients, keyed by variable name. Zero coefficients
+    /// are never stored.
+    pub coeffs: BTreeMap<String, i64>,
+    /// The constant term.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn zero() -> AffineExpr {
+        AffineExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(value: i64) -> AffineExpr {
+        AffineExpr {
+            coeffs: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(name: impl Into<String>) -> AffineExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.into(), 1);
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// The coefficient of `name` (0 when absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.coeffs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Adds another affine expression in place.
+    pub fn add(&mut self, other: &AffineExpr) {
+        self.constant += other.constant;
+        for (name, c) in &other.coeffs {
+            let entry = self.coeffs.entry(name.clone()).or_insert(0);
+            *entry += c;
+            if *entry == 0 {
+                self.coeffs.remove(name);
+            }
+        }
+    }
+
+    /// Subtracts another affine expression in place.
+    pub fn sub(&mut self, other: &AffineExpr) {
+        let mut negated = other.clone();
+        negated.scale(-1);
+        self.add(&negated);
+    }
+
+    /// Multiplies by an integer scalar in place.
+    pub fn scale(&mut self, factor: i64) {
+        if factor == 0 {
+            self.coeffs.clear();
+            self.constant = 0;
+            return;
+        }
+        self.constant *= factor;
+        for c in self.coeffs.values_mut() {
+            *c *= factor;
+        }
+    }
+
+    /// The set of variables with non-zero coefficients.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.coeffs.keys().map(String::as_str)
+    }
+}
+
+/// Tries to bring an expression into affine form.
+///
+/// Returns `None` for anything non-linear: products of variables,
+/// division, modulo, calls, array loads used as subscripts, etc.
+pub fn extract_affine(expr: &Expr) -> Option<AffineExpr> {
+    match expr {
+        Expr::IntLit(v) => Some(AffineExpr::constant(*v)),
+        Expr::Ident(name) => Some(AffineExpr::var(name.clone())),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => {
+            let mut inner = extract_affine(operand)?;
+            inner.scale(-1);
+            Some(inner)
+        }
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Add => {
+                let mut l = extract_affine(lhs)?;
+                let r = extract_affine(rhs)?;
+                l.add(&r);
+                Some(l)
+            }
+            BinOp::Sub => {
+                let mut l = extract_affine(lhs)?;
+                let r = extract_affine(rhs)?;
+                l.sub(&r);
+                Some(l)
+            }
+            BinOp::Mul => {
+                let l = extract_affine(lhs)?;
+                let r = extract_affine(rhs)?;
+                if l.is_constant() {
+                    let mut out = r;
+                    out.scale(l.constant);
+                    Some(out)
+                } else if r.is_constant() {
+                    let mut out = l;
+                    out.scale(r.constant);
+                    Some(out)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        Expr::Cast { expr, .. } => extract_affine(expr),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_expr;
+
+    fn affine(src: &str) -> Option<AffineExpr> {
+        extract_affine(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn extracts_linear_combination() {
+        let a = affine("2*i + j - 1").unwrap();
+        assert_eq!(a.coeff("i"), 2);
+        assert_eq!(a.coeff("j"), 1);
+        assert_eq!(a.constant, -1);
+    }
+
+    #[test]
+    fn constant_times_parenthesized_sum() {
+        let a = affine("4 * (i + 2)").unwrap();
+        assert_eq!(a.coeff("i"), 4);
+        assert_eq!(a.constant, 8);
+    }
+
+    #[test]
+    fn cancellation_removes_zero_coefficients() {
+        let a = affine("i - i + 3").unwrap();
+        assert!(a.is_constant());
+        assert_eq!(a.constant, 3);
+    }
+
+    #[test]
+    fn nonlinear_forms_are_rejected() {
+        assert!(affine("i * j").is_none());
+        assert!(affine("i / 2").is_none());
+        assert!(affine("(t + 1) % 2").is_none());
+        assert!(affine("f(i)").is_none());
+        assert!(affine("A[i]").is_none());
+    }
+
+    #[test]
+    fn negation_flips_signs() {
+        let a = affine("-(i - 2)").unwrap();
+        assert_eq!(a.coeff("i"), -1);
+        assert_eq!(a.constant, 2);
+    }
+
+    #[test]
+    fn vars_lists_nonzero_names() {
+        let a = affine("i + 0*j + k").unwrap();
+        // `0*j` never gets an entry because multiplication by a constant
+        // zero clears the term.
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, vec!["i", "k"]);
+    }
+}

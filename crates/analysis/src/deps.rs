@@ -1,0 +1,947 @@
+//! Data-dependence analysis for loop nests.
+//!
+//! Implements the classic subscript dependence tests (ZIV, strong SIV,
+//! and the GCD fallback) over affine subscripts, producing direction
+//! vectors relative to the enclosing canonical loop nest. The analysis is
+//! deliberately conservative: anything it cannot prove independent is a
+//! dependence, and any non-affine subscript makes the whole region's
+//! dependence information *unavailable* — which is exactly the
+//! `RoseLocus.IsDepAvailable()` query of the paper's Fig. 13 (and mirrors
+//! the applicability limit that makes Pluto skip non-affine nests in
+//! Sec. V-D).
+
+use std::collections::BTreeMap;
+
+use locus_srcir::ast::{Expr, Stmt, StmtKind};
+use locus_srcir::visit::{child, child_count};
+
+use crate::affine::{extract_affine, AffineExpr};
+use crate::loops::{canonicalize, perfect_nest_loops};
+
+/// Dependence direction for one loop level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `<` — carried forward by this loop.
+    Lt,
+    /// `=` — same iteration of this loop.
+    Eq,
+    /// `>` — would be carried backward (only appears pre-normalization).
+    Gt,
+    /// `*` — unknown.
+    Star,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            Direction::Lt => '<',
+            Direction::Eq => '=',
+            Direction::Gt => '>',
+            Direction::Star => '*',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Kind of a data dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write then read (true/flow dependence).
+    Flow,
+    /// Read then write (anti dependence).
+    Anti,
+    /// Write then write (output dependence).
+    Output,
+}
+
+/// One data dependence between two statement accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependence {
+    /// Index of the source statement (in region statement order).
+    pub src_stmt: usize,
+    /// Index of the destination statement.
+    pub dst_stmt: usize,
+    /// The variable or array involved.
+    pub array: String,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Direction per loop level, outermost first (normalized: never
+    /// lexicographically negative).
+    pub directions: Vec<Direction>,
+}
+
+impl Dependence {
+    /// `true` when the dependence is within a single iteration of every
+    /// loop (all `=` directions).
+    pub fn is_loop_independent(&self) -> bool {
+        self.directions.iter().all(|d| *d == Direction::Eq)
+    }
+
+    /// The outermost loop level (0-based) that carries this dependence,
+    /// if any. `Star` levels count as carriers.
+    pub fn carrier_level(&self) -> Option<usize> {
+        self.directions
+            .iter()
+            .position(|d| matches!(d, Direction::Lt | Direction::Gt | Direction::Star))
+    }
+}
+
+/// The result of analyzing a loop-nest region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceInfo {
+    /// `false` when some subscript was non-affine (or similar), so no
+    /// dependence facts are known. Mirrors `IsDepAvailable()`.
+    pub available: bool,
+    /// The loop variables of the perfect nest, outermost first.
+    pub loop_vars: Vec<String>,
+    /// All (normalized) dependences that could not be disproven.
+    pub deps: Vec<Dependence>,
+    /// Number of assignment statements seen in the region body.
+    pub stmt_count: usize,
+}
+
+impl DependenceInfo {
+    /// Checks whether permuting the loops by `perm` preserves all
+    /// dependences (`perm[new_level] = old_level`).
+    ///
+    /// A permutation is legal iff every direction vector remains
+    /// lexicographically non-negative after permutation.
+    pub fn interchange_legal(&self, perm: &[usize]) -> bool {
+        if !self.available {
+            return false;
+        }
+        self.deps.iter().all(|dep| {
+            let permuted: Vec<Direction> = perm
+                .iter()
+                .map(|&old| {
+                    dep.directions
+                        .get(old)
+                        .copied()
+                        .unwrap_or(Direction::Eq)
+                })
+                .collect();
+            lex_nonnegative(&permuted)
+        })
+    }
+
+    /// Checks whether the loops at levels `band` (0-based, outermost
+    /// first) are fully permutable, the legality condition for tiling the
+    /// band.
+    pub fn band_permutable(&self, band: &[usize]) -> bool {
+        if !self.available {
+            return false;
+        }
+        self.deps.iter().all(|dep| {
+            // If the dependence is carried by a loop outside (before) the
+            // band, the band loops may be reordered freely for it.
+            if let Some(level) = dep.carrier_level() {
+                if level < *band.iter().min().unwrap_or(&0)
+                    && dep.directions[level] == Direction::Lt
+                {
+                    return true;
+                }
+            }
+            band.iter().all(|&l| {
+                matches!(
+                    dep.directions.get(l).copied().unwrap_or(Direction::Eq),
+                    Direction::Eq | Direction::Lt
+                )
+            })
+        })
+    }
+
+    /// Checks whether distributing the (outermost) loop over its body
+    /// statements, in source order, is legal: no dependence may point from
+    /// a later statement back to an earlier one.
+    pub fn distribution_legal(&self) -> bool {
+        if !self.available {
+            return false;
+        }
+        self.deps
+            .iter()
+            .all(|dep| dep.src_stmt <= dep.dst_stmt)
+    }
+
+    /// `true` when no dependence is carried by any loop (every dependence
+    /// is loop independent) — the condition `#pragma ivdep` asserts.
+    pub fn vectorizable(&self) -> bool {
+        self.available && self.deps.iter().all(Dependence::is_loop_independent)
+    }
+}
+
+/// One array (or scalar) access with its affine subscripts.
+#[derive(Debug, Clone)]
+struct Access {
+    stmt: usize,
+    array: String,
+    /// `None` when the access is scalar or a subscript is non-affine.
+    subscripts: Option<Vec<AffineExpr>>,
+    is_write: bool,
+}
+
+/// Analyzes the loop-nest region rooted at `root`.
+///
+/// The loop context is the chain of perfectly nested canonical loops from
+/// the root; accesses anywhere in the region body are collected, and
+/// subscripts referencing variables declared *inside* the region are
+/// treated as non-affine (their values are not modeled).
+pub fn analyze_region(root: &Stmt) -> DependenceInfo {
+    let nest = perfect_nest_loops(root);
+    let loop_vars: Vec<String> = nest.iter().map(|l| l.var.clone()).collect();
+    let loop_steps: Vec<i64> = nest.iter().map(|l| l.step).collect();
+
+    let mut accesses = Vec::new();
+    let mut local_decls = Vec::new();
+    let mut stmt_counter = 0usize;
+    let mut available = true;
+    collect_accesses(
+        root,
+        &loop_vars,
+        &mut local_decls,
+        &mut stmt_counter,
+        &mut accesses,
+        &mut available,
+    );
+
+    if !available {
+        return DependenceInfo {
+            available: false,
+            loop_vars,
+            deps: Vec::new(),
+            stmt_count: stmt_counter,
+        };
+    }
+
+    let mut deps = Vec::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(i) {
+            if a.array != b.array || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if std::ptr::eq(a, b) {
+                continue;
+            }
+            if let Some(mut dep_list) = test_pair(a, b, &loop_vars, &loop_steps) {
+                deps.append(&mut dep_list);
+            }
+        }
+    }
+    deps.sort_by(|x, y| {
+        (x.src_stmt, x.dst_stmt, &x.array).cmp(&(y.src_stmt, y.dst_stmt, &y.array))
+    });
+    deps.dedup();
+
+    DependenceInfo {
+        available,
+        loop_vars,
+        deps,
+        stmt_count: stmt_counter,
+    }
+}
+
+fn collect_accesses(
+    stmt: &Stmt,
+    loop_vars: &[String],
+    local_decls: &mut Vec<String>,
+    stmt_counter: &mut usize,
+    out: &mut Vec<Access>,
+    available: &mut bool,
+) {
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            let idx = *stmt_counter;
+            *stmt_counter += 1;
+            collect_expr_accesses(e, idx, loop_vars, local_decls, out, available, false);
+        }
+        StmtKind::Decl { name, init, .. } => {
+            local_decls.push(name.clone());
+            if let Some(init) = init {
+                let idx = *stmt_counter;
+                *stmt_counter += 1;
+                collect_reads(init, idx, local_decls, out, available);
+            }
+        }
+        _ => {
+            // Register loop induction variables as locally bound *before*
+            // visiting the body so reads of them don't create dependences.
+            if let Some(f) = stmt.as_for() {
+                if let Some(canon) = canonicalize(stmt) {
+                    local_decls.push(canon.var);
+                } else if let Some(init) = &f.init {
+                    if let StmtKind::Decl { name, .. } = &init.kind {
+                        local_decls.push(name.clone());
+                    } else if let StmtKind::Expr(Expr::Assign { lhs, .. }) = &init.kind {
+                        if let Expr::Ident(name) = lhs.as_ref() {
+                            local_decls.push(name.clone());
+                        }
+                    }
+                }
+            }
+            for i in 0..child_count(stmt) {
+                if let Some(c) = child(stmt, i) {
+                    collect_accesses(c, loop_vars, local_decls, stmt_counter, out, available);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::only_used_in_recursion)] // kept for signature symmetry
+fn collect_expr_accesses(
+    e: &Expr,
+    stmt: usize,
+    loop_vars: &[String],
+    local_decls: &mut Vec<String>,
+    out: &mut Vec<Access>,
+    available: &mut bool,
+    _lhs: bool,
+) {
+    match e {
+        Expr::Assign { op, lhs, rhs } => {
+            // The written location.
+            record_access(lhs, stmt, local_decls, out, available, true);
+            // Compound assignment also reads the location.
+            if op.to_bin_op().is_some() {
+                record_access(lhs, stmt, local_decls, out, available, false);
+            }
+            // Subscripts of the lhs are reads.
+            if let Expr::Index { base, index } = lhs.as_ref() {
+                collect_reads(index, stmt, local_decls, out, available);
+                let mut cur = base.as_ref();
+                while let Expr::Index { base, index } = cur {
+                    collect_reads(index, stmt, local_decls, out, available);
+                    cur = base;
+                }
+            }
+            collect_expr_accesses(rhs, stmt, loop_vars, local_decls, out, available, false);
+        }
+        _ => collect_reads(e, stmt, local_decls, out, available),
+    }
+}
+
+fn collect_reads(
+    e: &Expr,
+    stmt: usize,
+    local_decls: &[String],
+    out: &mut Vec<Access>,
+    available: &mut bool,
+) {
+    collect_reads_rec(e, stmt, local_decls, out, available);
+}
+
+fn collect_reads_rec(
+    e: &Expr,
+    stmt: usize,
+    local_decls: &[String],
+    out: &mut Vec<Access>,
+    available: &mut bool,
+) {
+    match e {
+        Expr::Index { .. } => {
+            record_access(e, stmt, local_decls, out, available, false);
+            // Subscripts themselves may read arrays.
+            let mut cur = e;
+            while let Expr::Index { base, index } = cur {
+                collect_reads_rec(index, stmt, local_decls, out, available);
+                cur = base;
+            }
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            record_access(lhs, stmt, local_decls, out, available, true);
+            if op.to_bin_op().is_some() {
+                record_access(lhs, stmt, local_decls, out, available, false);
+            }
+            collect_reads_rec(rhs, stmt, local_decls, out, available);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_reads_rec(lhs, stmt, local_decls, out, available);
+            collect_reads_rec(rhs, stmt, local_decls, out, available);
+        }
+        Expr::Unary { operand, .. } => {
+            collect_reads_rec(operand, stmt, local_decls, out, available)
+        }
+        Expr::Cast { expr, .. } => collect_reads_rec(expr, stmt, local_decls, out, available),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_reads_rec(a, stmt, local_decls, out, available);
+            }
+        }
+        Expr::Ident(_) => record_access(e, stmt, local_decls, out, available, false),
+        Expr::IntLit(_) | Expr::FloatLit(_) | Expr::StrLit(_) => {}
+    }
+}
+
+fn record_access(
+    e: &Expr,
+    stmt: usize,
+    local_decls: &[String],
+    out: &mut Vec<Access>,
+    available: &mut bool,
+    is_write: bool,
+) {
+    if let Some((name, indices)) = e.as_array_access() {
+        let subscripts: Option<Vec<AffineExpr>> =
+            indices.iter().map(|i| extract_affine(i)).collect();
+        if subscripts.is_none() {
+            *available = false;
+        }
+        out.push(Access {
+            stmt,
+            array: name.to_string(),
+            subscripts,
+            is_write,
+        });
+        return;
+    }
+    match e {
+        Expr::Ident(name) => {
+            if local_decls.iter().any(|d| d == name) {
+                return;
+            }
+            // Scalar access to a region-external variable: if it is ever
+            // written, pairs with other accesses become all-`*`
+            // dependences.
+            out.push(Access {
+                stmt,
+                array: name.clone(),
+                subscripts: None,
+                is_write,
+            });
+        }
+        Expr::Unary { operand, .. }
+            // `*p = ...`: treated as an opaque write, poisons analysis.
+            if is_write => {
+                if let Expr::Ident(name) = operand.as_ref() {
+                    out.push(Access {
+                        stmt,
+                        array: name.clone(),
+                        subscripts: None,
+                        is_write: true,
+                    });
+                    *available = false;
+                }
+            }
+        _ => {}
+    }
+}
+
+/// Runs the subscript tests on one access pair. Returns `None` when
+/// independence is proven; otherwise the (normalized) dependences.
+fn test_pair(
+    a: &Access,
+    b: &Access,
+    loop_vars: &[String],
+    loop_steps: &[i64],
+) -> Option<Vec<Dependence>> {
+    let (sa, sb) = match (&a.subscripts, &b.subscripts) {
+        (Some(sa), Some(sb)) => (sa, sb),
+        // Scalar-vs-anything on the same name: unknown at all levels.
+        _ => {
+            let directions = vec![Direction::Star; loop_vars.len()];
+            return Some(normalize(a, b, directions, loop_vars.len()));
+        }
+    };
+    if sa.len() != sb.len() {
+        // Same array used with different dimensionality: be conservative.
+        let directions = vec![Direction::Star; loop_vars.len()];
+        return Some(normalize(a, b, directions, loop_vars.len()));
+    }
+
+    // Per-variable distance constraints: None = unconstrained.
+    let mut distances: BTreeMap<&str, Option<i64>> = BTreeMap::new();
+
+    for (da, db) in sa.iter().zip(sb) {
+        // Symbolic (non-loop-var) terms must cancel, otherwise unknown.
+        let mut symbolic_mismatch = false;
+        for v in da.vars().chain(db.vars()) {
+            if !loop_vars.iter().any(|lv| lv == v) && da.coeff(v) != db.coeff(v) {
+                symbolic_mismatch = true;
+            }
+        }
+        if symbolic_mismatch {
+            continue; // No information from this dimension.
+        }
+
+        let involved: Vec<&String> = loop_vars
+            .iter()
+            .filter(|v| da.coeff(v) != 0 || db.coeff(v) != 0)
+            .collect();
+
+        match involved.len() {
+            0 => {
+                // ZIV test.
+                if da.constant != db.constant {
+                    return None;
+                }
+            }
+            1 => {
+                let v = involved[0].as_str();
+                let ca = da.coeff(v);
+                let cb = db.coeff(v);
+                if ca == cb && ca != 0 {
+                    // Strong SIV: distance d with i_b = i_a + d.
+                    let diff = da.constant - db.constant;
+                    if diff % ca != 0 {
+                        return None;
+                    }
+                    let d = diff / ca;
+                    // Both iteration values lie on the lattice
+                    // {lo, lo+step, ...}: a value distance that the step
+                    // does not divide has no integer solution (this is
+                    // what makes unrolled loop bodies independent).
+                    let step = loop_vars
+                        .iter()
+                        .position(|lv| lv.as_str() == v)
+                        .and_then(|i| loop_steps.get(i).copied())
+                        .unwrap_or(1);
+                    if step > 1 && d % step != 0 {
+                        return None;
+                    }
+                    match distances.get(v) {
+                        Some(Some(prev)) if *prev != d => return None,
+                        _ => {
+                            distances.insert(
+                                loop_vars.iter().find(|lv| lv.as_str() == v).unwrap(),
+                                Some(d),
+                            );
+                        }
+                    }
+                } else {
+                    // Weak SIV — fall back to the GCD test.
+                    if !gcd_test(&[ca, cb], db.constant - da.constant) {
+                        return None;
+                    }
+                }
+            }
+            _ => {
+                // MIV: GCD test over all coefficients.
+                let coeffs: Vec<i64> = involved
+                    .iter()
+                    .flat_map(|v| [da.coeff(v), db.coeff(v)])
+                    .collect();
+                if !gcd_test(&coeffs, db.constant - da.constant) {
+                    return None;
+                }
+            }
+        }
+    }
+
+    let directions: Vec<Direction> = loop_vars
+        .iter()
+        .map(|v| match distances.get(v.as_str()) {
+            Some(Some(d)) => match d.cmp(&0) {
+                std::cmp::Ordering::Greater => Direction::Lt,
+                std::cmp::Ordering::Equal => Direction::Eq,
+                std::cmp::Ordering::Less => Direction::Gt,
+            },
+            _ => Direction::Star,
+        })
+        .collect();
+
+    Some(normalize(a, b, directions, loop_vars.len()))
+}
+
+/// GCD test: does `gcd(coeffs)` divide `delta`?
+/// Returns `true` when a dependence may exist.
+fn gcd_test(coeffs: &[i64], delta: i64) -> bool {
+    let g = coeffs
+        .iter()
+        .copied()
+        .filter(|c| *c != 0)
+        .fold(0i64, gcd);
+    if g == 0 {
+        return delta == 0;
+    }
+    delta % g == 0
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Normalizes a raw direction vector into lexicographically non-negative
+/// dependences, splitting leading `*` levels and flipping reversed
+/// vectors (which swap source and destination and therefore kind).
+fn normalize(a: &Access, b: &Access, directions: Vec<Direction>, levels: usize) -> Vec<Dependence> {
+    let mut out = Vec::new();
+    expand(&directions, 0, &mut Vec::new(), &mut |v: &[Direction]| {
+        // Determine lexicographic class of a vector without stars.
+        let mut class = std::cmp::Ordering::Equal;
+        for d in v {
+            match d {
+                Direction::Lt => {
+                    class = std::cmp::Ordering::Less;
+                    break;
+                }
+                Direction::Gt => {
+                    class = std::cmp::Ordering::Greater;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (src, dst, dirs): (&Access, &Access, Vec<Direction>) = match class {
+            std::cmp::Ordering::Less | std::cmp::Ordering::Equal => (a, b, v.to_vec()),
+            std::cmp::Ordering::Greater => {
+                // Flip the dependence: it actually runs dst -> src.
+                let flipped = v
+                    .iter()
+                    .map(|d| match d {
+                        Direction::Lt => Direction::Gt,
+                        Direction::Gt => Direction::Lt,
+                        other => *other,
+                    })
+                    .collect();
+                (b, a, flipped)
+            }
+        };
+        // Same-statement, same-iteration "dependence" of an access with
+        // itself is meaningless.
+        if class == std::cmp::Ordering::Equal && src.stmt == dst.stmt && src.is_write == dst.is_write
+        {
+            if !(src.is_write && dst.is_write) {
+                return;
+            }
+            // Output self-dep in the same iteration: skip.
+            return;
+        }
+        let kind = match (src.is_write, dst.is_write) {
+            (true, true) => DepKind::Output,
+            (true, false) => DepKind::Flow,
+            (false, true) => DepKind::Anti,
+            (false, false) => return,
+        };
+        out.push(Dependence {
+            src_stmt: src.stmt,
+            dst_stmt: dst.stmt,
+            array: src.array.clone(),
+            kind,
+            directions: dirs,
+        });
+    });
+    let _ = levels;
+    out.sort_by(|x, y| {
+        format!("{:?}", x).cmp(&format!("{:?}", y))
+    });
+    out.dedup();
+    out
+}
+
+/// Expands `*` entries that appear before the first definite `<`/`>` into
+/// the three concrete directions, so each emitted vector has a definite
+/// lexicographic class. Stars after the first definite entry are kept.
+fn expand(
+    dirs: &[Direction],
+    i: usize,
+    prefix: &mut Vec<Direction>,
+    emit: &mut impl FnMut(&[Direction]),
+) {
+    if i == dirs.len() {
+        emit(prefix);
+        return;
+    }
+    match dirs[i] {
+        Direction::Star => {
+            for d in [Direction::Lt, Direction::Eq, Direction::Gt] {
+                prefix.push(d);
+                if d == Direction::Eq {
+                    expand(dirs, i + 1, prefix, emit);
+                } else {
+                    // Class already decided; keep the rest as-is.
+                    prefix.extend_from_slice(&dirs[i + 1..]);
+                    emit(prefix);
+                    prefix.truncate(prefix.len() - (dirs.len() - i - 1));
+                }
+                prefix.pop();
+            }
+        }
+        d @ (Direction::Lt | Direction::Gt) => {
+            prefix.push(d);
+            prefix.extend_from_slice(&dirs[i + 1..]);
+            emit(prefix);
+            prefix.truncate(prefix.len() - (dirs.len() - i - 1));
+            prefix.pop();
+        }
+        Direction::Eq => {
+            prefix.push(Direction::Eq);
+            expand(dirs, i + 1, prefix, emit);
+            prefix.pop();
+        }
+    }
+}
+
+/// `true` when the vector cannot be lexicographically negative.
+fn lex_nonnegative(dirs: &[Direction]) -> bool {
+    for d in dirs {
+        match d {
+            Direction::Lt => return true,
+            Direction::Eq => continue,
+            Direction::Gt | Direction::Star => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn matmul() -> Stmt {
+        region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+    }
+
+    #[test]
+    fn matmul_is_fully_permutable() {
+        let info = analyze_region(&matmul());
+        assert!(info.available);
+        assert_eq!(info.loop_vars, vec!["i", "j", "k"]);
+        // All 6 permutations of a matmul nest are legal.
+        for perm in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            assert!(info.interchange_legal(&perm), "perm {perm:?}");
+        }
+        assert!(info.band_permutable(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn flow_dependence_blocks_interchange() {
+        // A[i][j] = A[i-1][j+1]: dependence (<, >) — interchange illegal.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.interchange_legal(&[0, 1]));
+        assert!(!info.interchange_legal(&[1, 0]));
+        assert!(!info.band_permutable(&[0, 1]));
+    }
+
+    #[test]
+    fn wavefront_is_permutable() {
+        // A[i][j] = A[i-1][j] + A[i][j-1]: directions (<,=) and (=,<).
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 1; j < n; j++)
+                    A[i][j] = A[i - 1][j] + A[i][j - 1];
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.interchange_legal(&[1, 0]));
+        assert!(info.band_permutable(&[0, 1]));
+    }
+
+    #[test]
+    fn independent_loop_is_vectorizable() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8], double B[8]) {
+            for (int i = 0; i < n; i++)
+                A[i] = B[i] * 2.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.vectorizable());
+        assert!(info.deps.is_empty());
+    }
+
+    #[test]
+    fn carried_recurrence_is_not_vectorizable() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8]) {
+            for (int i = 1; i < n; i++)
+                A[i] = A[i - 1] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(!info.vectorizable());
+        assert!(info
+            .deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.directions == vec![Direction::Lt]));
+    }
+
+    #[test]
+    fn ziv_disproves_dependence() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8][2]) {
+            for (int i = 0; i < n; i++)
+                A[i][0] = A[i][1] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.deps.is_empty());
+    }
+
+    #[test]
+    fn gcd_test_disproves_stride_mismatch() {
+        // A[2*i] = A[2*i+1]: 2i = 2i'+1 has no integer solution.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n; i++)
+                A[2 * i] = A[2 * i + 1] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.deps.is_empty());
+    }
+
+    #[test]
+    fn nonaffine_subscript_makes_deps_unavailable() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[64], int idx[64]) {
+            for (int i = 0; i < n; i++)
+                A[idx[i]] = 1.0;
+            }"#,
+        ));
+        assert!(!info.available);
+        assert!(!info.interchange_legal(&[0]));
+    }
+
+    #[test]
+    fn modulo_subscript_makes_deps_unavailable() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[2][8]) {
+            for (int t = 0; t < n; t++)
+                A[(t + 1) % 2][0] = A[t % 2][0];
+            }"#,
+        ));
+        assert!(!info.available);
+    }
+
+    #[test]
+    fn scalar_accumulation_creates_dependence() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double s, double A[8]) {
+            for (int i = 0; i < n; i++)
+                s = s + A[i];
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(!info.vectorizable());
+    }
+
+    #[test]
+    fn local_scalar_does_not_create_dependence() {
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8], double B[8]) {
+            for (int i = 0; i < n; i++) {
+                double t = A[i];
+                B[i] = t * 2.0;
+            }
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.vectorizable());
+    }
+
+    #[test]
+    fn distribution_legality_forward_dep() {
+        // S0 writes A[i], S1 reads A[i]: forward dep, distribution legal.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8], double B[8]) {
+            for (int i = 0; i < n; i++) {
+                A[i] = 1.0;
+                B[i] = A[i] * 2.0;
+            }
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.distribution_legal());
+    }
+
+    #[test]
+    fn distribution_illegal_with_backward_dep() {
+        // S1 writes A[i], S0 reads A[i-1] in a *later* iteration: the flow
+        // dependence runs from statement 1 back to statement 0, so the
+        // loops cannot be distributed in source order.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8], double B[8], double C[8]) {
+            for (int i = 1; i < n; i++) {
+                B[i] = A[i - 1];
+                A[i] = C[i] + 1.0;
+            }
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(!info.distribution_legal());
+    }
+
+    #[test]
+    fn distribution_legal_with_forward_anti_dep() {
+        // S0 reads A[i+1], S1 writes A[i]: anti dependence S0 -> S1 is
+        // forward, so distribution in source order preserves it.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8], double B[8], double C[8]) {
+            for (int i = 0; i < n - 1; i++) {
+                B[i] = A[i + 1];
+                A[i] = C[i] + 1.0;
+            }
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.distribution_legal());
+    }
+
+    #[test]
+    fn unrolled_bodies_are_step_aware() {
+        // `for (j = 1; j < n; j += 2) { A[j] = ..; A[j+1] = ..; }`
+        // writes distinct addresses: value distance 1 is not divisible by
+        // the step 2, so there is no dependence and the loop vectorizes.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int j = 1; j < n - 1; j += 2) {
+                A[j] = B[j] * 2.0;
+                A[j + 1] = B[j + 1] * 2.0;
+            }
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.vectorizable(), "{:?}", info.deps);
+        // With unit step the same subscripts do conflict across
+        // iterations (A[j+1] then A[j]).
+        let unit = analyze_region(&region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int j = 1; j < n - 1; j += 1) {
+                A[j] = B[j] * 2.0;
+                A[j + 1] = B[j + 1] * 2.0;
+            }
+            }"#,
+        ));
+        assert!(!unit.deps.is_empty());
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::Lt.to_string(), "<");
+        assert_eq!(Direction::Star.to_string(), "*");
+    }
+}

@@ -1,0 +1,27 @@
+//! Program analyses over the Locus source IR.
+//!
+//! This crate supplies the analyses the paper obtains from Rose/Pips and
+//! from the `BuiltIn` module collection (Sec. IV-A.4):
+//!
+//! * [`loops`] — canonical-loop recognition and the loop-nest queries
+//!   `IsPerfectLoopNest`, `LoopNestDepth`, `ListInnerLoops`,
+//!   `ListOuterLoops`;
+//! * [`affine`] — affine-form extraction from subscript expressions;
+//! * [`deps`] — data-dependence analysis (ZIV / strong-SIV / GCD tests,
+//!   direction vectors) with an explicit *unknown* outcome that models the
+//!   `IsDepAvailable` query of Fig. 13.
+//!
+//! Transformations in `locus-transform` consult these analyses for their
+//! legality checks; by design (Sec. II of the paper), the *system* never
+//! checks legality itself — each module decides, and a programmer can
+//! force a transformation when they know better.
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod deps;
+pub mod loops;
+
+pub use affine::AffineExpr;
+pub use deps::{DepKind, Dependence, DependenceInfo, Direction};
+pub use loops::{CanonLoop, LoopNestInfo};

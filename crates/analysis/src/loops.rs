@@ -1,0 +1,386 @@
+//! Canonical-loop recognition and loop-nest queries.
+//!
+//! These implement the paper's `BuiltIn` queries (`IsPerfectLoopNest`,
+//! `LoopNestDepth`, `ListInnerLoops`, `ListOuterLoops`) plus the
+//! canonical-form extraction every transformation relies on.
+
+use locus_srcir::ast::{AssignOp, BinOp, Expr, ForLoop, Stmt, StmtKind};
+use locus_srcir::index::HierIndex;
+use locus_srcir::visit::{child, child_count};
+
+/// A `for` loop in canonical form: `for (v = lo; v </<= hi; v += step)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonLoop {
+    /// Induction variable name.
+    pub var: String,
+    /// Lower bound (inclusive).
+    pub lower: Expr,
+    /// Upper bound expression as written.
+    pub upper: Expr,
+    /// `true` when the comparison is inclusive (`<=`), `false` for `<`.
+    pub inclusive: bool,
+    /// Constant step (always positive in canonical form).
+    pub step: i64,
+    /// Whether the induction variable is declared in the loop header.
+    pub declares_var: bool,
+}
+
+impl CanonLoop {
+    /// The exclusive upper bound: `upper` for `<`, `upper + 1` for `<=`.
+    pub fn exclusive_upper(&self) -> Expr {
+        if self.inclusive {
+            Expr::bin(BinOp::Add, self.upper.clone(), Expr::int(1))
+        } else {
+            self.upper.clone()
+        }
+    }
+
+    /// The constant trip count, when both bounds are integer literals.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        let lo = self.lower.as_const_int()?;
+        let hi = self.upper.as_const_int()? + i64::from(self.inclusive);
+        if hi <= lo {
+            return Some(0);
+        }
+        Some((hi - lo + self.step - 1) / self.step)
+    }
+}
+
+/// Tries to put a `for` loop into canonical form.
+///
+/// Recognized shapes: init `v = lo` or `int v = lo`; condition
+/// `v < hi` / `v <= hi`; step `v++`, `v += c`, or `v = v + c` with a
+/// positive constant `c`.
+pub fn canonicalize(stmt: &Stmt) -> Option<CanonLoop> {
+    let f = stmt.as_for()?;
+    canonicalize_for(f)
+}
+
+/// Same as [`canonicalize`] but starting from the [`ForLoop`] payload.
+pub fn canonicalize_for(f: &ForLoop) -> Option<CanonLoop> {
+    let (var, lower, declares_var) = match f.init.as_deref()?.kind.clone() {
+        StmtKind::Decl {
+            name,
+            init: Some(init),
+            dims,
+            ..
+        } if dims.is_empty() => (name, init, true),
+        StmtKind::Expr(Expr::Assign {
+            op: AssignOp::Assign,
+            lhs,
+            rhs,
+        }) => match *lhs {
+            Expr::Ident(name) => (name, *rhs, false),
+            _ => return None,
+        },
+        _ => return None,
+    };
+
+    let (upper, inclusive) = match f.cond.as_ref()? {
+        Expr::Binary { op, lhs, rhs } => {
+            if !matches!(lhs.as_ref(), Expr::Ident(n) if n == &var) {
+                return None;
+            }
+            match op {
+                BinOp::Lt => ((**rhs).clone(), false),
+                BinOp::Le => ((**rhs).clone(), true),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+
+    let step = match f.step.as_ref()? {
+        Expr::Assign { op, lhs, rhs } => {
+            if !matches!(lhs.as_ref(), Expr::Ident(n) if n == &var) {
+                return None;
+            }
+            match op {
+                AssignOp::AddAssign => rhs.as_const_int()?,
+                AssignOp::Assign => match rhs.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        lhs: l,
+                        rhs: r,
+                    } if matches!(l.as_ref(), Expr::Ident(n) if n == &var) => r.as_const_int()?,
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    if step <= 0 {
+        return None;
+    }
+
+    Some(CanonLoop {
+        var,
+        lower,
+        upper,
+        inclusive,
+        step,
+        declares_var,
+    })
+}
+
+/// Summary of the loop nest rooted at a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNestInfo {
+    /// Maximum loop nesting depth (0 for a statement with no loops).
+    pub depth: usize,
+    /// Whether the nest is perfect: each loop body contains exactly one
+    /// statement, which is the next loop, except the innermost body.
+    pub perfect: bool,
+    /// Hierarchical indices of the innermost loops (loops containing no
+    /// other loop).
+    pub inner_loops: Vec<HierIndex>,
+    /// Hierarchical indices of the outermost loops.
+    pub outer_loops: Vec<HierIndex>,
+}
+
+/// Returns `true` if the statement subtree contains a `for` loop.
+pub fn contains_loop(stmt: &Stmt) -> bool {
+    if stmt.is_for() {
+        return true;
+    }
+    (0..child_count(stmt)).any(|i| child(stmt, i).is_some_and(contains_loop))
+}
+
+/// Computes [`LoopNestInfo`] for the region rooted at `root`.
+///
+/// Indices are hierarchical indices relative to `root` (so the root loop
+/// itself is `"0"`).
+pub fn loop_nest_info(root: &Stmt) -> LoopNestInfo {
+    let mut inner_loops = Vec::new();
+    let mut outer_loops = Vec::new();
+    if root.is_for() {
+        outer_loops.push(HierIndex::root());
+    } else {
+        // For block regions, outer loops are the top-level loops inside.
+        for i in 0..child_count(root) {
+            if let Some(c) = child(root, i) {
+                if c.is_for() {
+                    outer_loops.push(HierIndex::new(vec![0, i]));
+                }
+            }
+        }
+    }
+    let depth = collect_info(root, &HierIndex::root(), &mut inner_loops);
+    let perfect = is_perfect_nest(root);
+    LoopNestInfo {
+        depth,
+        perfect,
+        inner_loops,
+        outer_loops,
+    }
+}
+
+/// Recursively computes nest depth and records innermost loops.
+fn collect_info(stmt: &Stmt, index: &HierIndex, inner: &mut Vec<HierIndex>) -> usize {
+    let mut max_child_depth = 0;
+    let mut has_inner_loop = false;
+    for i in 0..child_count(stmt) {
+        let Some(c) = child(stmt, i) else { continue };
+        let child_depth = collect_info(c, &index.push(i), inner);
+        max_child_depth = max_child_depth.max(child_depth);
+        if contains_loop(c) {
+            has_inner_loop = true;
+        }
+    }
+    if stmt.is_for() {
+        if !has_inner_loop {
+            inner.push(index.clone());
+        }
+        max_child_depth + 1
+    } else {
+        max_child_depth
+    }
+}
+
+/// The paper's `IsPerfectLoopNest` query.
+///
+/// A nest rooted at a loop is perfect when every loop body consists of
+/// exactly one statement all the way down, each being the next loop,
+/// until the innermost body (which may hold any number of non-loop
+/// statements).
+pub fn is_perfect_nest(root: &Stmt) -> bool {
+    let Some(f) = root.as_for() else {
+        return false;
+    };
+    let body = f.body.body_stmts();
+    let loops_in_body = body.iter().filter(|s| contains_loop(s)).count();
+    if loops_in_body == 0 {
+        return true;
+    }
+    if body.len() != 1 || !body[0].is_for() {
+        return false;
+    }
+    is_perfect_nest(&body[0])
+}
+
+/// Collects the chain of perfectly nested canonical loops starting at
+/// `root`, outermost first. Stops at the first imperfect level or
+/// non-canonical loop.
+pub fn perfect_nest_loops(root: &Stmt) -> Vec<CanonLoop> {
+    let mut out = Vec::new();
+    let mut cur = root;
+    while let Some(canon) = canonicalize(cur) {
+        out.push(canon);
+        let Some(f) = cur.as_for() else { break };
+        let body = f.body.body_stmts();
+        if body.len() == 1 && body[0].is_for() {
+            cur = &body[0];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Collects the hierarchical indices of every loop in the region, in
+/// pre-order.
+pub fn all_loops(root: &Stmt) -> Vec<HierIndex> {
+    let mut out = Vec::new();
+    fn rec(stmt: &Stmt, index: &HierIndex, out: &mut Vec<HierIndex>) {
+        if stmt.is_for() {
+            out.push(index.clone());
+        }
+        for i in 0..child_count(stmt) {
+            if let Some(c) = child(stmt, i) {
+                rec(c, &index.push(i), out);
+            }
+        }
+    }
+    rec(root, &HierIndex::root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn first_stmt(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn canonicalizes_common_forms() {
+        for step_src in ["i++", "i += 2", "i = i + 3"] {
+            let src = format!("void f(int n) {{ for (int i = 0; i < n; {step_src}) {{ n = n; }} }}");
+            let l = canonicalize(&first_stmt(&src)).unwrap();
+            assert_eq!(l.var, "i");
+            assert!(l.declares_var);
+        }
+    }
+
+    #[test]
+    fn inclusive_bound_is_recognized() {
+        let l = canonicalize(&first_stmt(
+            "void f(int n) { for (int i = 1; i <= n; i++) { n = n; } }",
+        ))
+        .unwrap();
+        assert!(l.inclusive);
+        // i <= n  has exclusive bound n + 1.
+        assert_eq!(
+            l.exclusive_upper(),
+            Expr::bin(BinOp::Add, Expr::ident("n"), Expr::int(1))
+        );
+    }
+
+    #[test]
+    fn rejects_non_canonical_loops() {
+        // Decreasing loop.
+        assert!(canonicalize(&first_stmt(
+            "void f(int n) { for (int i = n; i > 0; i -= 1) { n = n; } }"
+        ))
+        .is_none());
+        // Condition on a different variable.
+        assert!(canonicalize(&first_stmt(
+            "void f(int n, int m) { for (int i = 0; m < n; i++) { n = n; } }"
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn const_trip_count() {
+        let l = canonicalize(&first_stmt(
+            "void f() { for (int i = 0; i < 10; i += 3) { int x; } }",
+        ))
+        .unwrap();
+        assert_eq!(l.const_trip_count(), Some(4));
+        let l = canonicalize(&first_stmt(
+            "void f() { for (int i = 0; i <= 10; i++) { int x; } }",
+        ))
+        .unwrap();
+        assert_eq!(l.const_trip_count(), Some(11));
+    }
+
+    const MATMUL: &str = r#"
+    void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+        for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+                for (int k = 0; k < n; k++)
+                    C[i][j] = C[i][j] + A[i][k] * B[k][j];
+    }
+    "#;
+
+    #[test]
+    fn matmul_is_a_perfect_depth_three_nest() {
+        let root = first_stmt(MATMUL);
+        let info = loop_nest_info(&root);
+        assert_eq!(info.depth, 3);
+        assert!(info.perfect);
+        assert_eq!(info.inner_loops, vec!["0.0.0".parse().unwrap()]);
+        assert_eq!(info.outer_loops, vec![HierIndex::root()]);
+    }
+
+    #[test]
+    fn imperfect_nest_is_detected() {
+        let root = first_stmt(
+            "void f(int n, double A[8]) { for (int i = 0; i < n; i++) { A[0] = 0.0; for (int j = 0; j < n; j++) { A[j] = 1.0; } } }",
+        );
+        let info = loop_nest_info(&root);
+        assert_eq!(info.depth, 2);
+        assert!(!info.perfect);
+    }
+
+    #[test]
+    fn multiple_inner_loops_are_listed() {
+        let root = first_stmt(
+            "void f(int n, double A[8]) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { A[j] = 1.0; } for (int k = 0; k < n; k++) { A[k] = 2.0; } } }",
+        );
+        let info = loop_nest_info(&root);
+        assert_eq!(info.inner_loops.len(), 2);
+        assert_eq!(info.inner_loops[0], "0.0".parse().unwrap());
+        assert_eq!(info.inner_loops[1], "0.1".parse().unwrap());
+    }
+
+    #[test]
+    fn perfect_nest_loops_extracts_all_levels() {
+        let root = first_stmt(MATMUL);
+        let loops = perfect_nest_loops(&root);
+        assert_eq!(loops.len(), 3);
+        assert_eq!(loops[0].var, "i");
+        assert_eq!(loops[2].var, "k");
+    }
+
+    #[test]
+    fn all_loops_preorder() {
+        let root = first_stmt(MATMUL);
+        let loops = all_loops(&root);
+        assert_eq!(loops.len(), 3);
+        assert_eq!(loops[1], "0.0".parse().unwrap());
+    }
+
+    #[test]
+    fn innermost_body_with_many_statements_is_still_perfect() {
+        let root = first_stmt(
+            "void f(int n, double A[8]) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { A[j] = 1.0; A[j] = A[j] + 1.0; } } }",
+        );
+        assert!(is_perfect_nest(&root));
+    }
+}

@@ -1,0 +1,137 @@
+//! An MKL-like oracle DGEMM.
+//!
+//! Intel MKL ships kernels hand-tuned per microarchitecture. The
+//! simulated-machine equivalent is a DGEMM variant whose blocking is
+//! derived *analytically from the machine's cache geometry* (rather
+//! than searched): interchange to `i,k,j`, two-level tiling sized so the
+//! inner working set fits L1 and the outer fits L2, vectorization
+//! pragmas on the innermost loop, and `omp parallel for` outside.
+
+use locus_machine::MachineConfig;
+use locus_srcir::ast::Program;
+use locus_srcir::index::HierIndex;
+use locus_srcir::region::{extract_region, find_regions, replace_region};
+use locus_transform::interchange::interchange;
+use locus_transform::pragmas::{insert_ivdep, insert_omp_for, insert_vector_always};
+use locus_transform::tiling::tile;
+use locus_transform::LoopSel;
+
+/// Builds the MKL-like DGEMM variant for matrices of size `n` on the
+/// given machine configuration.
+///
+/// # Panics
+///
+/// Panics if the oracle transformations fail on the canonical DGEMM
+/// source (they cannot: the kernel shape is fixed).
+pub fn mkl_like_dgemm(n: usize, config: &MachineConfig) -> Program {
+    let mut program = locus_corpus_dgemm(n);
+    let regions = find_regions(&program);
+    let region = &regions[0];
+    let mut stmt = extract_region(&program, region).expect("region exists").stmt;
+
+    // Blocking analysis: the inner tile of C (bi x bj doubles) plus a
+    // row of A and a column strip of B must fit L1; choose the largest
+    // power of two that does, clamped to the problem.
+    let l1 = config.cache.levels.first().map_or(4096, |l| l.capacity);
+    let mut b1: i64 = 4;
+    while 3 * (b1 * 2) * (b1 * 2) * 8 <= l1 as i64 && (b1 * 2) as usize <= n {
+        b1 *= 2;
+    }
+    let l2 = config.cache.levels.get(1).map_or(32 * 1024, |l| l.capacity);
+    let mut b2: i64 = b1;
+    while 3 * (b2 * 2) * (b2 * 2) * 8 <= l2 as i64 && (b2 * 2) as usize <= n {
+        b2 *= 2;
+    }
+
+    // `i` stays outermost and untiled so the parallel loop keeps `n`
+    // iterations; the (k, j) band is blocked for L2 and then L1.
+    interchange(&mut stmt, &[0, 2, 1], true).expect("ikj interchange is legal for DGEMM");
+    let kj: HierIndex = "0.0".parse().expect("valid index");
+    if (b2 as usize) < n && b1 < b2 {
+        tile(&mut stmt, &kj, &[b2, b2], true).expect("outer tiling");
+        let inner: HierIndex = "0.0.0.0".parse().expect("valid index");
+        tile(&mut stmt, &inner, &[b1, b1], true).expect("inner tiling");
+    } else if (b1 as usize) < n {
+        tile(&mut stmt, &kj, &[b1, b1], true).expect("tiling");
+    }
+    insert_ivdep(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
+    insert_vector_always(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
+    insert_omp_for(&mut stmt, &LoopSel::parse("0").expect("valid selector"), None)
+        .expect("outermost exists");
+
+    replace_region(&mut program, region, stmt);
+    program
+}
+
+fn locus_corpus_dgemm(n: usize) -> Program {
+    // Kept textual to avoid a circular dependency on locus-corpus.
+    let src = format!(
+        r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+double C[{n}][{n}];
+double alpha = 1.5;
+double beta = 1.2;
+void kernel() {{
+    int i;
+    int j;
+    int k;
+    #pragma @Locus loop=matmul
+    for (i = 0; i < {n}; i++)
+        for (j = 0; j < {n}; j++)
+            for (k = 0; k < {n}; k++)
+                C[i][j] = beta * C[i][j] + alpha * A[i][k] * B[k][j];
+}}
+"#
+    );
+    locus_srcir::parse_program(&src).expect("DGEMM source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_machine::Machine;
+
+    #[test]
+    fn oracle_beats_naive_baseline() {
+        let config = MachineConfig::scaled_small().with_cores(1);
+        let machine = Machine::new(config.clone());
+        let naive = locus_corpus::dgemm_program(48);
+        let oracle = mkl_like_dgemm(48, &config);
+        let base = machine.run(&naive, "kernel").unwrap();
+        let fast = machine.run(&oracle, "kernel").unwrap();
+        assert_eq!(base.checksum, fast.checksum, "oracle must be exact");
+        assert!(
+            fast.cycles < base.cycles,
+            "oracle {} vs naive {}",
+            fast.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn parallel_oracle_scales() {
+        let config = MachineConfig::scaled_small().with_cores(8);
+        let machine = Machine::new(config.clone());
+        let oracle = mkl_like_dgemm(48, &config);
+        let seq = Machine::new(config.clone().with_cores(1))
+            .run(&oracle, "kernel")
+            .unwrap();
+        let par = machine.run(&oracle, "kernel").unwrap();
+        assert!(par.cycles < seq.cycles / 2.0);
+    }
+
+    #[test]
+    fn blocking_adapts_to_cache_size() {
+        let small = MachineConfig::scaled_small();
+        let big = MachineConfig::xeon_e5_2660_v3();
+        // Different cache geometry must produce different programs for a
+        // large-enough problem.
+        let a = mkl_like_dgemm(256, &small);
+        let b = mkl_like_dgemm(256, &big);
+        assert_ne!(
+            locus_srcir::print_program(&a),
+            locus_srcir::print_program(&b)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion bench behind Fig. 6 (right): the cost of the DGEMM
+//! pipeline stages — preparing the Fig. 7 program, building one variant,
+//! measuring it on the simulated machine, and a short end-to-end search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use locus_bench::fig6::fig7_locus_program;
+use locus_bench::{bench_machine, fig6::run_dgemm};
+use locus_core::LocusSystem;
+use locus_corpus::dgemm_program;
+use locus_space::{ParamValue, Point};
+
+fn fig7_point() -> Point {
+    let mut point = Point::new();
+    for (id, v) in [
+        ("tileI", 16),
+        ("tileK", 16),
+        ("tileJ", 16),
+        ("tileI_2", 4),
+        ("tileK_2", 4),
+        ("tileJ_2", 4),
+    ] {
+        point.set(id, ParamValue::Int(v));
+    }
+    point.set("p6", ParamValue::Choice(0)); // schedule enum
+    point.set("p7", ParamValue::Int(8)); // chunk
+    point.set("p8", ParamValue::Choice(0)); // OR block
+    point
+}
+
+fn bench(c: &mut Criterion) {
+    let source = dgemm_program(32);
+    let locus = fig7_locus_program(512);
+    let system = LocusSystem::new(bench_machine(4));
+    let prepared = system.prepare(&source, &locus).expect("prepare");
+    let point = fig7_point();
+
+    c.bench_function("fig6_dgemm/prepare", |b| {
+        b.iter(|| system.prepare(black_box(&source), black_box(&locus)).unwrap())
+    });
+    c.bench_function("fig6_dgemm/build_variant", |b| {
+        b.iter(|| {
+            system
+                .build_variant(black_box(&source), &prepared, &point)
+                .unwrap()
+        })
+    });
+    let variant = system.build_variant(&source, &prepared, &point).unwrap();
+    c.bench_function("fig6_dgemm/measure_32", |b| {
+        b.iter(|| system.measure(black_box(&variant)).unwrap())
+    });
+    let mut group = c.benchmark_group("fig6_dgemm/search");
+    group.sample_size(10);
+    group.bench_function("bandit_budget8", |b| {
+        b.iter(|| {
+            let mut search = locus_search::BanditTuner::new(1);
+            system
+                .tune(black_box(&source), black_box(&locus), &mut search, 8)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let mut e2e = c.benchmark_group("fig6_dgemm/figure");
+    e2e.sample_size(10);
+    e2e.bench_function("two_core_points", |b| {
+        b.iter(|| run_dgemm(black_box(24), 4, &[1, 4], 7, 16))
+    });
+    e2e.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

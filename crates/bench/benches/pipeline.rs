@@ -1,0 +1,62 @@
+//! Criterion bench of the Locus pipeline stages and the ablation knobs:
+//! parsing, query substitution + optimization, space extraction, and
+//! the Table I per-nest tuning step — with the Sec. IV-C optimizer on
+//! and off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use locus_bench::table1::FIG13_PROGRAM;
+use locus_bench::bench_machine;
+use locus_core::LocusSystem;
+use locus_corpus::generate_corpus;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("pipeline/parse_fig13", |b| {
+        b.iter(|| locus_lang::parse(black_box(FIG13_PROGRAM)).unwrap())
+    });
+
+    let locus = locus_lang::parse(FIG13_PROGRAM).unwrap();
+    let nest = generate_corpus(9, 1)
+        .into_iter()
+        .find(|n| n.depth >= 2 && n.affine)
+        .expect("a deep affine nest exists");
+
+    let mut on = LocusSystem::new(bench_machine(1));
+    on.optimize_programs = true;
+    let mut off = on.clone();
+    off.optimize_programs = false;
+
+    c.bench_function("pipeline/prepare_optimizer_on", |b| {
+        b.iter(|| on.prepare(black_box(&nest.program), &locus).unwrap())
+    });
+    c.bench_function("pipeline/prepare_optimizer_off", |b| {
+        b.iter(|| off.prepare(black_box(&nest.program), &locus).unwrap())
+    });
+
+    let mut group = c.benchmark_group("pipeline/tune_one_nest");
+    group.sample_size(10);
+    group.bench_function("budget6", |b| {
+        b.iter(|| {
+            let mut search = locus_search::BanditTuner::new(3);
+            on.tune(black_box(&nest.program), &locus, &mut search, 6)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // Dependence analysis, the hot inner analysis of every legality
+    // check.
+    let stmt = {
+        let regions = locus_srcir::region::find_regions(&nest.program);
+        locus_srcir::region::extract_region(&nest.program, &regions[0])
+            .expect("region")
+            .stmt
+    };
+    c.bench_function("pipeline/dependence_analysis", |b| {
+        b.iter(|| locus_analysis::deps::analyze_region(black_box(&stmt)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6 (left): the six stencils — Locus (Fig. 9 skewed
+//! generic tiling + empirical skew-factor search) vs Pluto (-tile -pet).
+//!
+//! Usage: `cargo run --release -p locus-bench --bin fig6_stencils`
+//! (set `LOCUS_FULL=1` for larger grids).
+
+use locus_bench::fig6::run_stencils;
+use locus_bench::report::render_table;
+
+fn main() {
+    let full = std::env::var("LOCUS_FULL").is_ok();
+    let (n, t, budget) = if full { (128, 16, 8) } else { (96, 12, 6) };
+
+    eprintln!("Fig. 6 (left): stencils, {n} interior points, {t} time steps");
+    let rows = run_stencils(n, t, budget);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stencil.to_string(),
+                format!("{:.2}x", r.locus),
+                format!("{:.2}x", r.pluto),
+                r.evaluations.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Stencil speedup over the untiled baseline",
+            &["stencil", "Locus", "Pluto-like", "evals"],
+            &table
+        )
+    );
+    let wins = rows.iter().filter(|r| r.locus >= r.pluto).count();
+    println!(
+        "Locus matches or beats Pluto on {wins}/6 stencils \
+         (paper: Locus outperforms Pluto on all six, up to 4x over baseline)"
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates Table I and the Sec. V-D summary: the generic Fig. 13
+//! Locus program over the synthetic extraction corpus vs the Pluto-like
+//! baseline.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin table1_loopnests`
+//! (set `LOCUS_FULL=1` for more nests per suite and a larger budget).
+
+use locus_bench::report::render_table;
+use locus_bench::table1::run_table1;
+use locus_corpus::TABLE1_SUITES;
+
+fn main() {
+    let full = std::env::var("LOCUS_FULL").is_ok();
+    let (cap, budget) = if full { (8, 80) } else { (2, 40) };
+
+    eprintln!(
+        "Table I / Sec. V-D: up to {cap} nests per suite, {budget} variants per nest \
+         (paper: 856 nests, 500 variants)"
+    );
+    let result = run_table1(0x10c5, cap, budget);
+
+    let mut rows = Vec::new();
+    for suite in TABLE1_SUITES {
+        let mine = result
+            .per_suite
+            .iter()
+            .find(|(name, _, _)| name == suite.name);
+        let (ran, variants) = mine.map_or((0, 0), |(_, n, v)| (*n, *v));
+        rows.push(vec![
+            suite.name.to_string(),
+            suite.selected.to_string(),
+            suite.variants_assessed.to_string(),
+            ran.to_string(),
+            variants.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        "856".to_string(),
+        "45899".to_string(),
+        result.summary.nests.to_string(),
+        result.summary.variants_assessed.to_string(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "Table I: loop nests and variants assessed (paper columns vs this run)",
+            &["benchmark", "paper nests", "paper variants", "our nests", "our variants"],
+            &rows
+        )
+    );
+
+    let s = &result.summary;
+    println!("Sec. V-D summary (paper value in parentheses):");
+    println!(
+        "  mean speedup:        Locus {:.3} (1.15)   Pluto {:.3} (1.05)",
+        s.locus_mean_speedup, s.pluto_mean_speedup
+    );
+    println!(
+        "  nests transformed:   Locus {}/{} (822/856)   Pluto {}/{} (397/856)",
+        s.locus_transformed, s.nests, s.pluto_transformed, s.nests
+    );
+    println!(
+        "  speedup > 1.05:      Locus {} (360)   Pluto {} (170)",
+        s.locus_gt_105, s.pluto_gt_105
+    );
+    println!(
+        "  head-to-head (both > 1.05): Locus faster on {}/{} (129/170)",
+        s.locus_wins_head_to_head, s.both_gt_105
+    );
+}

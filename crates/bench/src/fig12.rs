@@ -1,0 +1,161 @@
+//! Fig. 12 harness: Kripke's five kernels, Locus-generated versus
+//! hand-optimized, across the six data layouts.
+
+use locus_core::LocusSystem;
+use locus_corpus::kripke::{layout_loop_order, placeholder_index};
+use locus_corpus::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+use locus_space::{ParamValue, Point};
+
+use crate::bench_machine;
+
+/// Builds the Fig. 11-style Locus program for one kernel: the layout
+/// `enum`, per-layout `looporder` table, `Altdesc` splice of the address
+/// snippet, then Interchange → LICM → ScalarRepl → OMPFor.
+pub fn fig11_locus_program(kernel: KripkeKernel) -> locus_lang::LocusProgram {
+    let name = kernel.name();
+    let placeholder = placeholder_index(kernel);
+    let mut branches = String::new();
+    for (i, layout) in LAYOUTS.iter().enumerate() {
+        let order = layout_loop_order(kernel, layout);
+        let order_text = order
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let kw = if i == 0 { "if" } else { "} elif" };
+        branches.push_str(&format!(
+            "    {kw} (datalayout == \"{layout}\") {{\n        looporder = [{order_text}];\n"
+        ));
+    }
+    branches.push_str("    }\n");
+    let src = format!(
+        r#"
+datalayout = enum("DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD");
+CodeReg {name} {{
+{branches}
+    sourcepath = "{name}_" + datalayout + ".txt";
+    BuiltIn.Altdesc(stmt="{placeholder}", source=sourcepath);
+    RoseLocus.Interchange(order=looporder);
+    RoseLocus.LICM();
+    RoseLocus.ScalarRepl();
+    Pragma.OMPFor(loop="0");
+}}
+"#
+    );
+    locus_lang::parse(&src).expect("Fig. 11 program parses")
+}
+
+/// One bar pair of Fig. 12.
+#[derive(Debug, Clone)]
+pub struct KripkeRow {
+    /// The kernel measured.
+    pub kernel: KripkeKernel,
+    /// The data layout measured.
+    pub layout: &'static str,
+    /// Simulated time of the hand-optimized version (ms).
+    pub hand_ms: f64,
+    /// Simulated time of the Locus-generated version (ms).
+    pub locus_ms: f64,
+    /// Whether both versions computed identical results.
+    pub results_match: bool,
+}
+
+impl KripkeRow {
+    /// Locus time relative to hand-optimized (1.0 = identical).
+    pub fn ratio(&self) -> f64 {
+        self.locus_ms / self.hand_ms
+    }
+}
+
+/// Runs the full Fig. 12 matrix: 5 kernels x 6 layouts.
+///
+/// As in the paper, the Kripke transformations are forced: the mix of
+/// symbolic addresses defeats the dependence analysis, and the expert
+/// knows the interchanges are legal — so the system runs with legality
+/// checks off (Sec. II's "a programmer might feel interested in
+/// enforcing an optimization when she/he knows it is legal").
+pub fn run_kripke(cores: usize) -> Vec<KripkeRow> {
+    let machine = bench_machine(cores);
+    let mut rows = Vec::new();
+    for kernel in KripkeKernel::ALL {
+        let skeleton = kripke_skeleton(kernel);
+        let locus = fig11_locus_program(kernel);
+        let mut system = LocusSystem::new(machine.clone());
+        system.snippets = kripke_snippets(kernel);
+        system.check_legality = false;
+        system.verify_results = false; // the raw skeleton cannot run
+        let prepared = system
+            .prepare(&skeleton, &locus)
+            .expect("Kripke program prepares");
+        assert_eq!(prepared.space.size(), 6, "one parameter: the layout");
+
+        for (i, layout) in LAYOUTS.iter().enumerate() {
+            let mut point = Point::new();
+            point.set("datalayout", ParamValue::Choice(i));
+            let variant = system
+                .build_variant(&skeleton, &prepared, &point)
+                .unwrap_or_else(|e| panic!("{kernel}/{layout}: {e:?}"));
+            let locus_m = machine
+                .run(&variant, "kernel")
+                .unwrap_or_else(|e| panic!("{kernel}/{layout}: {e}"));
+
+            let hand = kripke_hand_optimized(kernel, layout);
+            let hand_m = machine
+                .run(&hand, "kernel")
+                .unwrap_or_else(|e| panic!("hand {kernel}/{layout}: {e}"));
+
+            rows.push(KripkeRow {
+                kernel,
+                layout,
+                hand_ms: hand_m.time_ms,
+                locus_ms: locus_m.time_ms,
+                results_match: locus_m.checksum == hand_m.checksum,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_program_has_one_search_parameter() {
+        let p = fig11_locus_program(KripkeKernel::Scattering);
+        assert_eq!(p.serial_count, 1);
+        assert_eq!(p.codereg_names(), vec!["Scattering"]);
+    }
+
+    #[test]
+    fn locus_matches_hand_optimized_for_scattering() {
+        let machine = bench_machine(1);
+        let kernel = KripkeKernel::Scattering;
+        let skeleton = kripke_skeleton(kernel);
+        let locus = fig11_locus_program(kernel);
+        let mut system = LocusSystem::new(machine.clone());
+        system.snippets = kripke_snippets(kernel);
+        system.check_legality = false;
+        system.verify_results = false;
+        let prepared = system.prepare(&skeleton, &locus).unwrap();
+        for (i, layout) in LAYOUTS.iter().enumerate() {
+            let mut point = Point::new();
+            point.set("datalayout", ParamValue::Choice(i));
+            let variant = system.build_variant(&skeleton, &prepared, &point).unwrap();
+            let locus_m = machine.run(&variant, "kernel").unwrap();
+            let hand_m = machine
+                .run(&kripke_hand_optimized(kernel, layout), "kernel")
+                .unwrap();
+            assert_eq!(
+                locus_m.checksum, hand_m.checksum,
+                "{layout}: Locus and hand-optimized must agree\n{}",
+                locus_srcir::print_program(&variant)
+            );
+            let ratio = locus_m.time_ms / hand_m.time_ms;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{layout}: ratio {ratio} out of range"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The Locus orchestration system (Sec. II, Fig. 1 and Fig. 2 of the
+//! paper).
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`registry`] — the transformation-module registry and the wrapper
+//!   that lets Locus programs invoke `RoseLocus.*`, `Pips.*`, `Pragma.*`
+//!   and `BuiltIn.*` modules on a concrete code region (Sec. IV-A);
+//! * [`system`] — the two workflows of Fig. 2:
+//!   the **direct** workflow ([`system::LocusSystem::apply_direct`])
+//!   applies one transformation sequence and returns the optimized
+//!   program, and the **search** workflow
+//!   ([`system::LocusSystem::tune`]) converts the optimization space,
+//!   repeatedly asks a search module for points, builds each variant,
+//!   measures it on the simulated machine, feeds the metric back, and
+//!   returns the best variant found;
+//! * region-hash coherence checking ([`system::check_coherence`])
+//!   warns when the application source drifted under a stored
+//!   optimization program.
+//!
+//! The system is *non-prescriptive* (Sec. II): when no transformation
+//! applies or every variant fails, the baseline version remains the
+//! result.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod subst;
+pub mod suggest;
+pub mod system;
+
+pub use registry::{RegionHost, SnippetProvider};
+pub use suggest::{profile_region, suggest_program, RegionProfile};
+pub use system::{
+    check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, TuneResult,
+    VariantOutcome,
+};

@@ -1,0 +1,643 @@
+//! The transformation-module registry: dispatches Locus module
+//! invocations onto the native transformation crate.
+//!
+//! Mirrors the module collections of Sec. IV-A:
+//!
+//! | Collection | Functions |
+//! |---|---|
+//! | `RoseLocus` | `Unroll`, `Tiling`, `Interchange`, `UnrollAndJam`, `LICM`, `ScalarRepl`, `Distribute`, `IsDepAvailable` |
+//! | `Pips` | `Unroll`, `Tiling`, `GenericTiling`, `Fusion`, `UnrollAndJam` |
+//! | `Pragma` | `Ivdep`, `Vector`, `OMPFor` |
+//! | `BuiltIn` | `IsPerfectLoopNest`, `LoopNestDepth`, `ListInnerLoops`, `ListOuterLoops`, `Altdesc` |
+//!
+//! The wrapper contract follows the paper: each invocation returns
+//! *successful* (a value), *illegal* (legality check refused) or *error*
+//! (malformed invocation), surfaced as [`HostError`].
+
+use std::collections::HashMap;
+
+use locus_lang::{HostError, TransformHost, Value};
+use locus_srcir::ast::{OmpSchedule, OmpScheduleKind, Stmt};
+use locus_srcir::index::HierIndex;
+use locus_transform::generic_tiling::ScanDir;
+use locus_transform::{self as tx, LoopSel, TransformError};
+
+/// Resolves `Altdesc` snippet paths to source text — the stand-in for
+/// the external snippet files of the Kripke experiment.
+pub trait SnippetProvider {
+    /// Returns the snippet stored under `path`, if any.
+    fn snippet(&self, path: &str) -> Option<String>;
+}
+
+impl SnippetProvider for HashMap<String, String> {
+    fn snippet(&self, path: &str) -> Option<String> {
+        self.get(path).cloned()
+    }
+}
+
+/// An empty snippet store.
+impl SnippetProvider for () {
+    fn snippet(&self, _path: &str) -> Option<String> {
+        None
+    }
+}
+
+/// A [`TransformHost`] bound to one code region.
+pub struct RegionHost<'a> {
+    /// The region root being transformed in place.
+    pub stmt: &'a mut Stmt,
+    /// Snippet resolution for `BuiltIn.Altdesc`.
+    pub snippets: &'a dyn SnippetProvider,
+    /// Whether modules run their legality checks (the paper lets expert
+    /// users force transformations they know to be legal).
+    pub check_legality: bool,
+    /// Invocation log, for diagnostics and tests.
+    pub log: Vec<String>,
+}
+
+impl<'a> RegionHost<'a> {
+    /// Creates a host over a region root.
+    pub fn new(stmt: &'a mut Stmt, snippets: &'a dyn SnippetProvider) -> RegionHost<'a> {
+        RegionHost {
+            stmt,
+            snippets,
+            check_legality: true,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl TransformHost for RegionHost<'_> {
+    fn call(
+        &mut self,
+        module: &str,
+        func: &str,
+        args: &[(Option<String>, Value)],
+    ) -> Result<Value, HostError> {
+        self.log.push(format!("{module}.{func}"));
+        dispatch(self, module, func, args).map_err(|e| match e {
+            TransformError::Illegal(m) => HostError::Illegal(m),
+            TransformError::Error(m) => HostError::Error(m),
+        })
+    }
+}
+
+/// The set of (module, function) pairs that are queries — these are
+/// pre-evaluated before space conversion (Sec. IV-C).
+pub const QUERIES: &[(&str, &str)] = &[
+    ("BuiltIn", "IsPerfectLoopNest"),
+    ("BuiltIn", "LoopNestDepth"),
+    ("BuiltIn", "ListInnerLoops"),
+    ("BuiltIn", "ListOuterLoops"),
+    ("RoseLocus", "IsDepAvailable"),
+];
+
+/// Returns `true` when `(module, func)` is a query.
+pub fn is_query(module: &str, func: &str) -> bool {
+    QUERIES.iter().any(|(m, f)| *m == module && *f == func)
+}
+
+/// Evaluates a query against a region root (used both by the host and by
+/// the pre-search substitution pass).
+pub fn run_query(stmt: &Stmt, module: &str, func: &str) -> Option<Value> {
+    match (module, func) {
+        ("BuiltIn", "IsPerfectLoopNest") => {
+            Some(Value::from(tx::queries::is_perfect_loop_nest(stmt)))
+        }
+        ("BuiltIn", "LoopNestDepth") => {
+            Some(Value::Int(tx::queries::loop_nest_depth(stmt) as i64))
+        }
+        ("BuiltIn", "ListInnerLoops") => Some(Value::List(
+            tx::queries::list_inner_loops(stmt)
+                .into_iter()
+                .map(|i| Value::Str(i.to_string()))
+                .collect(),
+        )),
+        ("BuiltIn", "ListOuterLoops") => Some(Value::List(
+            tx::queries::list_outer_loops(stmt)
+                .into_iter()
+                .map(|i| Value::Str(i.to_string()))
+                .collect(),
+        )),
+        ("RoseLocus", "IsDepAvailable") => Some(Value::from(tx::queries::is_dep_available(stmt))),
+        _ => None,
+    }
+}
+
+fn dispatch(
+    host: &mut RegionHost<'_>,
+    module: &str,
+    func: &str,
+    args: &[(Option<String>, Value)],
+) -> Result<Value, TransformError> {
+    if is_query(module, func) {
+        return run_query(host.stmt, module, func)
+            .ok_or_else(|| TransformError::error("query dispatch failure"));
+    }
+    let check = host.check_legality;
+    match (module, func) {
+        ("RoseLocus" | "Pips", "Unroll") => {
+            let targets = arg_loops(host.stmt, args, "loop")?;
+            let factor = arg_u64(args, "factor")?;
+            tx::unroll::unroll_all(host.stmt, &targets, factor)?;
+            Ok(Value::None)
+        }
+        ("RoseLocus" | "Pips", "Tiling") => {
+            let target = arg_single_loop(host.stmt, args, "loop")?;
+            let factors = arg_i64_list(args, "factor")?;
+            tx::tiling::tile(host.stmt, &target, &factors, check)?;
+            Ok(Value::None)
+        }
+        ("Pips", "GenericTiling") => {
+            let target = arg_single_loop(host.stmt, args, "loop")?;
+            let matrix = arg_matrix(args, "factor")?;
+            let dirs = arg_scan_dirs(args, "tiledir")?;
+            tx::generic_tiling::generic_tile(host.stmt, &target, &matrix, dirs.as_deref())?;
+            Ok(Value::None)
+        }
+        ("RoseLocus", "Interchange") => {
+            let order = arg_usize_list(args, "order")?;
+            tx::interchange::interchange(host.stmt, &order, check)?;
+            Ok(Value::None)
+        }
+        ("RoseLocus" | "Pips", "UnrollAndJam") => {
+            let target = arg_single_loop(host.stmt, args, "loop")?;
+            let factor = arg_u64(args, "factor")?;
+            tx::unroll_jam::unroll_and_jam(host.stmt, &target, factor, check)?;
+            Ok(Value::None)
+        }
+        ("Pips", "Fusion") => {
+            let target = arg_single_loop(host.stmt, args, "loop")?;
+            tx::fusion::fuse(host.stmt, &target, check)?;
+            Ok(Value::None)
+        }
+        ("RoseLocus", "LICM") => {
+            tx::licm::licm(host.stmt)?;
+            Ok(Value::None)
+        }
+        ("RoseLocus", "ScalarRepl") => {
+            tx::scalar_repl::scalar_replacement(host.stmt)?;
+            Ok(Value::None)
+        }
+        ("RoseLocus", "Distribute") => {
+            let targets = arg_loops(host.stmt, args, "loop")?;
+            tx::distribution::distribute_all(host.stmt, &targets, check)?;
+            Ok(Value::None)
+        }
+        ("Pragma", "Ivdep") => {
+            let sel = arg_loop_sel(args, "loop")?;
+            tx::pragmas::insert_ivdep(host.stmt, &sel)?;
+            Ok(Value::None)
+        }
+        ("Pragma", "Vector") => {
+            let sel = arg_loop_sel(args, "loop")?;
+            tx::pragmas::insert_vector_always(host.stmt, &sel)?;
+            Ok(Value::None)
+        }
+        ("Pragma", "OMPFor") => {
+            let sel = arg_loop_sel(args, "loop")?;
+            let schedule = arg_schedule(args)?;
+            tx::pragmas::insert_omp_for(host.stmt, &sel, schedule)?;
+            Ok(Value::None)
+        }
+        ("BuiltIn", "Altdesc") => {
+            let stmt_idx: HierIndex = arg_str(args, "stmt")?
+                .parse()
+                .map_err(|e| TransformError::error(format!("{e}")))?;
+            let path = arg_str(args, "source")?;
+            let snippet = host
+                .snippets
+                .snippet(&path)
+                .ok_or_else(|| TransformError::error(format!("no snippet at `{path}`")))?;
+            tx::altdesc::altdesc(host.stmt, &stmt_idx, &snippet)?;
+            Ok(Value::None)
+        }
+        _ => Err(TransformError::error(format!(
+            "unknown module function `{module}.{func}`"
+        ))),
+    }
+}
+
+// ---- argument conversion --------------------------------------------------
+
+fn find_arg<'v>(
+    args: &'v [(Option<String>, Value)],
+    name: &str,
+    position: usize,
+) -> Option<&'v Value> {
+    args.iter()
+        .find(|(n, _)| n.as_deref() == Some(name))
+        .map(|(_, v)| v)
+        .or_else(|| {
+            args.get(position)
+                .filter(|(n, _)| n.is_none())
+                .map(|(_, v)| v)
+        })
+}
+
+fn arg_str(args: &[(Option<String>, Value)], name: &str) -> Result<String, TransformError> {
+    match find_arg(args, name, 0) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(TransformError::error(format!(
+            "argument `{name}` must be a string, got {}",
+            other.type_name()
+        ))),
+        None => Err(TransformError::error(format!("missing argument `{name}`"))),
+    }
+}
+
+fn arg_u64(args: &[(Option<String>, Value)], name: &str) -> Result<u64, TransformError> {
+    match find_arg(args, name, 1).and_then(Value::as_int) {
+        Some(v) if v >= 0 => Ok(v as u64),
+        _ => Err(TransformError::error(format!(
+            "argument `{name}` must be a non-negative integer"
+        ))),
+    }
+}
+
+fn arg_i64_list(args: &[(Option<String>, Value)], name: &str) -> Result<Vec<i64>, TransformError> {
+    match find_arg(args, name, 1) {
+        Some(Value::List(items)) | Some(Value::Tuple(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_int()
+                    .ok_or_else(|| TransformError::error(format!("`{name}` must hold integers")))
+            })
+            .collect(),
+        Some(Value::Int(v)) => Ok(vec![*v]),
+        _ => Err(TransformError::error(format!(
+            "argument `{name}` must be an integer list"
+        ))),
+    }
+}
+
+fn arg_usize_list(
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<Vec<usize>, TransformError> {
+    arg_i64_list(args, name)?
+        .into_iter()
+        .map(|v| {
+            usize::try_from(v)
+                .map_err(|_| TransformError::error(format!("`{name}` must be non-negative")))
+        })
+        .collect()
+}
+
+fn arg_matrix(
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<Vec<Vec<i64>>, TransformError> {
+    match find_arg(args, name, 1) {
+        Some(Value::List(rows)) => rows
+            .iter()
+            .map(|row| match row {
+                Value::List(items) | Value::Tuple(items) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_int().ok_or_else(|| {
+                            TransformError::error("matrix entries must be integers")
+                        })
+                    })
+                    .collect(),
+                _ => Err(TransformError::error("matrix rows must be lists")),
+            })
+            .collect(),
+        _ => Err(TransformError::error(format!(
+            "argument `{name}` must be a matrix (list of lists)"
+        ))),
+    }
+}
+
+fn arg_scan_dirs(
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<Option<Vec<ScanDir>>, TransformError> {
+    match args.iter().find(|(n, _)| n.as_deref() == Some(name)) {
+        None => Ok(None),
+        Some((_, Value::List(items))) => items
+            .iter()
+            .map(|v| match v.as_int() {
+                Some(v) if v >= 0 => Ok(ScanDir::Forward),
+                Some(_) => Ok(ScanDir::Backward),
+                None => Err(TransformError::error("tile directions must be integers")),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(TransformError::error(
+            "tile direction must be a list of +-1",
+        )),
+    }
+}
+
+/// Parses a loop selector argument into one or more hierarchical indices.
+fn arg_loops(
+    stmt: &Stmt,
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<Vec<HierIndex>, TransformError> {
+    let sel = find_arg(args, name, 0)
+        .ok_or_else(|| TransformError::error(format!("missing argument `{name}`")))?;
+    loops_from_value(stmt, sel)
+}
+
+fn loops_from_value(stmt: &Stmt, value: &Value) -> Result<Vec<HierIndex>, TransformError> {
+    match value {
+        Value::Str(s) => LoopSel::parse(s)?.resolve(stmt),
+        Value::Int(level) => LoopSel::Level(usize::try_from(*level).map_err(|_| {
+            TransformError::error("loop level must be positive")
+        })?)
+        .resolve(stmt),
+        Value::List(items) | Value::Tuple(items) => {
+            let mut out = Vec::new();
+            for v in items {
+                out.extend(loops_from_value(stmt, v)?);
+            }
+            Ok(out)
+        }
+        other => Err(TransformError::error(format!(
+            "loop selector must be a string, level or list, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn arg_single_loop(
+    stmt: &Stmt,
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<HierIndex, TransformError> {
+    let mut loops = arg_loops(stmt, args, name)?;
+    if loops.len() != 1 {
+        return Err(TransformError::error(format!(
+            "`{name}` must select exactly one loop (selected {})",
+            loops.len()
+        )));
+    }
+    Ok(loops.remove(0))
+}
+
+fn arg_loop_sel(
+    args: &[(Option<String>, Value)],
+    name: &str,
+) -> Result<LoopSel, TransformError> {
+    match find_arg(args, name, 0) {
+        Some(Value::Str(s)) => LoopSel::parse(s),
+        Some(Value::Int(level)) => Ok(LoopSel::Level(usize::try_from(*level).map_err(
+            |_| TransformError::error("loop level must be positive"),
+        )?)),
+        Some(other) => Err(TransformError::error(format!(
+            "loop selector must be a string or level, got {}",
+            other.type_name()
+        ))),
+        None => Err(TransformError::error(format!("missing argument `{name}`"))),
+    }
+}
+
+fn arg_schedule(
+    args: &[(Option<String>, Value)],
+) -> Result<Option<OmpSchedule>, TransformError> {
+    let kind = match args.iter().find(|(n, _)| n.as_deref() == Some("schedule")) {
+        None => return Ok(None),
+        Some((_, Value::Str(s))) => match s.as_str() {
+            "static" => OmpScheduleKind::Static,
+            "dynamic" => OmpScheduleKind::Dynamic,
+            other => {
+                return Err(TransformError::error(format!(
+                    "unknown schedule `{other}`"
+                )))
+            }
+        },
+        Some((_, other)) => {
+            return Err(TransformError::error(format!(
+                "schedule must be a string, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let chunk = match args.iter().find(|(n, _)| n.as_deref() == Some("chunk")) {
+        None => None,
+        Some((_, v)) => Some(
+            v.as_int()
+                .and_then(|c| u32::try_from(c).ok())
+                .ok_or_else(|| TransformError::error("chunk must be a small integer"))?,
+        ),
+    };
+    Ok(Some(OmpSchedule { kind, chunk }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn matmul() -> Stmt {
+        let p = parse_program(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+        .unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn call(
+        host: &mut RegionHost<'_>,
+        module: &str,
+        func: &str,
+        args: Vec<(Option<&str>, Value)>,
+    ) -> Result<Value, HostError> {
+        let args: Vec<(Option<String>, Value)> = args
+            .into_iter()
+            .map(|(n, v)| (n.map(str::to_string), v))
+            .collect();
+        host.call(module, func, &args)
+    }
+
+    #[test]
+    fn dispatches_interchange_and_tiling() {
+        let mut stmt = matmul();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        call(
+            &mut host,
+            "RoseLocus",
+            "Interchange",
+            vec![(Some("order"), Value::List(vec![0.into(), 2.into(), 1.into()]))],
+        )
+        .unwrap();
+        call(
+            &mut host,
+            "Pips",
+            "Tiling",
+            vec![
+                (Some("loop"), Value::from("0")),
+                (
+                    Some("factor"),
+                    Value::List(vec![4.into(), 4.into(), 8.into()]),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(host.log, vec!["RoseLocus.Interchange", "Pips.Tiling"]);
+        assert_eq!(locus_analysis::loops::all_loops(&stmt).len(), 6);
+    }
+
+    #[test]
+    fn queries_answer_without_mutating() {
+        let mut stmt = matmul();
+        let before = stmt.clone();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        assert_eq!(
+            call(&mut host, "BuiltIn", "LoopNestDepth", vec![]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call(&mut host, "BuiltIn", "IsPerfectLoopNest", vec![]).unwrap(),
+            Value::from(true)
+        );
+        assert_eq!(
+            call(&mut host, "RoseLocus", "IsDepAvailable", vec![]).unwrap(),
+            Value::from(true)
+        );
+        assert_eq!(
+            call(&mut host, "BuiltIn", "ListInnerLoops", vec![]).unwrap(),
+            Value::List(vec![Value::from("0.0.0")])
+        );
+        assert_eq!(*host.stmt, before);
+    }
+
+    #[test]
+    fn illegal_transformations_surface_as_illegal() {
+        let p = parse_program(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        )
+        .unwrap();
+        let mut stmt = p.functions().next().unwrap().body[0].clone();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        let err = call(
+            &mut host,
+            "RoseLocus",
+            "Interchange",
+            vec![(Some("order"), Value::List(vec![1.into(), 0.into()]))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, HostError::Illegal(_)));
+        // Forcing is possible.
+        host.check_legality = false;
+        call(
+            &mut host,
+            "RoseLocus",
+            "Interchange",
+            vec![(Some("order"), Value::List(vec![1.into(), 0.into()]))],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let mut stmt = matmul();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        let err = call(&mut host, "RoseLocus", "Nope", vec![]).unwrap_err();
+        assert!(matches!(err, HostError::Error(_)));
+    }
+
+    #[test]
+    fn omp_pragma_with_schedule() {
+        let mut stmt = matmul();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        call(
+            &mut host,
+            "Pragma",
+            "OMPFor",
+            vec![
+                (Some("loop"), Value::from("0")),
+                (Some("schedule"), Value::from("dynamic")),
+                (Some("chunk"), Value::Int(8)),
+            ],
+        )
+        .unwrap();
+        let printed = locus_srcir::print_stmt(&stmt);
+        assert!(printed.contains("#pragma omp parallel for schedule(dynamic, 8)"));
+    }
+
+    #[test]
+    fn altdesc_pulls_from_snippet_provider() {
+        let src = r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n; i++) {
+                ;
+                A[i] = 1.0;
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let mut stmt = p.functions().next().unwrap().body[0].clone();
+        let mut snippets = HashMap::new();
+        snippets.insert("addr_DGZ.txt".to_string(), "int off = i * 2;".to_string());
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        call(
+            &mut host,
+            "BuiltIn",
+            "Altdesc",
+            vec![
+                (Some("stmt"), Value::from("0.0")),
+                (Some("source"), Value::from("addr_DGZ.txt")),
+            ],
+        )
+        .unwrap();
+        assert!(locus_srcir::print_stmt(host.stmt).contains("int off = i * 2"));
+        // Missing snippet is an error.
+        let err = call(
+            &mut host,
+            "BuiltIn",
+            "Altdesc",
+            vec![
+                (Some("stmt"), Value::from("0.0")),
+                (Some("source"), Value::from("missing.txt")),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, HostError::Error(_)));
+    }
+
+    #[test]
+    fn loop_selector_forms() {
+        // Level selector (Fig. 13's `loop=indexT1`).
+        let mut stmt = matmul();
+        let snippets = ();
+        let mut host = RegionHost::new(&mut stmt, &snippets);
+        call(
+            &mut host,
+            "RoseLocus",
+            "Tiling",
+            vec![(Some("loop"), Value::Int(1)), (Some("factor"), Value::Int(4))],
+        )
+        .unwrap();
+        assert_eq!(locus_analysis::loops::all_loops(host.stmt).len(), 4);
+
+        // List selector (Fig. 13's `loop=innerloops`).
+        let mut stmt2 = matmul();
+        let mut host2 = RegionHost::new(&mut stmt2, &snippets);
+        call(
+            &mut host2,
+            "RoseLocus",
+            "Unroll",
+            vec![
+                (Some("loop"), Value::List(vec![Value::from("0.0.0")])),
+                (Some("factor"), Value::Int(2)),
+            ],
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,436 @@
+//! Selective query pre-evaluation (Sec. IV-C of the paper).
+//!
+//! "The parameters of the search constructs need to be known when the
+//! search is defined. Therefore, these Query operations are executed and
+//! their values replace their calls" — *these* being the queries whose
+//! results are used by search constructs (directly or through
+//! variables) or by the control flow that decides which constructs
+//! exist. Queries whose results only parameterize transformations (like
+//! Fig. 13's `innerloops = BuiltIn.ListInnerLoops()`) stay live and are
+//! re-executed per variant, so they observe earlier transformations.
+
+use std::collections::HashSet;
+
+use locus_lang::ast::{LArg, LBlock, LExpr, LStmt};
+use locus_lang::Value;
+
+/// Substitutes the *needed* query calls in a `CodeReg` body.
+///
+/// `resolve(module, func)` returns the query's value (queries in the
+/// paper's figures take no arguments) or `None` for non-queries.
+pub fn substitute_needed_queries(
+    body: &mut LBlock,
+    resolve: &mut dyn FnMut(&str, &str) -> Option<Value>,
+) {
+    // 1. Names whose values must be static: used in search-construct
+    //    arguments or branch conditions.
+    let mut needed: HashSet<String> = HashSet::new();
+    collect_needed_block(body, &mut needed);
+    // 2. Propagate backwards through assignments to a fixpoint.
+    for _ in 0..16 {
+        let before = needed.len();
+        propagate_block(body, &mut needed);
+        if needed.len() == before {
+            break;
+        }
+    }
+    // 3. Rewrite.
+    rewrite_block(body, &needed, resolve);
+}
+
+// ---- step 1: seeds ---------------------------------------------------------
+
+fn collect_needed_block(block: &LBlock, needed: &mut HashSet<String>) {
+    for alt in &block.alternatives {
+        for stmt in alt {
+            collect_needed_stmt(stmt, needed);
+        }
+    }
+}
+
+fn collect_needed_stmt(stmt: &LStmt, needed: &mut HashSet<String>) {
+    match stmt {
+        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => {
+            collect_search_args(e, needed)
+        }
+        LStmt::Assign { value, .. } => collect_search_args(value, needed),
+        LStmt::Optional { stmt, .. } => collect_needed_stmt(stmt, needed),
+        LStmt::Block(b) => collect_needed_block(b, needed),
+        LStmt::If {
+            cond,
+            then,
+            elifs,
+            els,
+        } => {
+            collect_idents(cond, needed);
+            collect_search_args(cond, needed);
+            collect_needed_block(then, needed);
+            for (c, b) in elifs {
+                collect_idents(c, needed);
+                collect_search_args(c, needed);
+                collect_needed_block(b, needed);
+            }
+            if let Some(b) = els {
+                collect_needed_block(b, needed);
+            }
+        }
+        LStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            collect_needed_stmt(init, needed);
+            collect_idents(cond, needed);
+            collect_needed_stmt(step, needed);
+            collect_needed_block(body, needed);
+        }
+        LStmt::While { cond, body } => {
+            collect_idents(cond, needed);
+            collect_needed_block(body, needed);
+        }
+        LStmt::Return(None) | LStmt::Pass => {}
+    }
+}
+
+/// Idents inside search-construct arguments become needed.
+fn collect_search_args(e: &LExpr, needed: &mut HashSet<String>) {
+    walk_expr(e, &mut |node| {
+        if let LExpr::Search { args, .. } = node {
+            for a in args {
+                collect_idents(a, needed);
+            }
+        }
+    });
+}
+
+fn collect_idents(e: &LExpr, needed: &mut HashSet<String>) {
+    walk_expr(e, &mut |node| {
+        if let LExpr::Ident(name) = node {
+            needed.insert(name.clone());
+        }
+    });
+}
+
+// ---- step 2: propagation ----------------------------------------------------
+
+fn propagate_block(block: &LBlock, needed: &mut HashSet<String>) {
+    for alt in &block.alternatives {
+        for stmt in alt {
+            propagate_stmt(stmt, needed);
+        }
+    }
+}
+
+fn propagate_stmt(stmt: &LStmt, needed: &mut HashSet<String>) {
+    match stmt {
+        LStmt::Assign { targets, value } => {
+            let target_needed = targets.iter().any(|t| match t {
+                LExpr::Ident(n) => needed.contains(n),
+                _ => false,
+            });
+            if target_needed {
+                collect_idents(value, needed);
+            }
+        }
+        LStmt::Optional { stmt, .. } => propagate_stmt(stmt, needed),
+        LStmt::Block(b) => propagate_block(b, needed),
+        LStmt::If {
+            then, elifs, els, ..
+        } => {
+            propagate_block(then, needed);
+            for (_, b) in elifs {
+                propagate_block(b, needed);
+            }
+            if let Some(b) = els {
+                propagate_block(b, needed);
+            }
+        }
+        LStmt::For { init, step, body, .. } => {
+            propagate_stmt(init, needed);
+            propagate_stmt(step, needed);
+            propagate_block(body, needed);
+        }
+        LStmt::While { body, .. } => propagate_block(body, needed),
+        _ => {}
+    }
+}
+
+// ---- step 3: rewriting -------------------------------------------------------
+
+fn rewrite_block(
+    block: &mut LBlock,
+    needed: &HashSet<String>,
+    resolve: &mut dyn FnMut(&str, &str) -> Option<Value>,
+) {
+    for alt in &mut block.alternatives {
+        for stmt in alt {
+            rewrite_stmt(stmt, needed, resolve);
+        }
+    }
+}
+
+fn rewrite_stmt(
+    stmt: &mut LStmt,
+    needed: &HashSet<String>,
+    resolve: &mut dyn FnMut(&str, &str) -> Option<Value>,
+) {
+    match stmt {
+        LStmt::Assign { targets, value } => {
+            let target_needed = targets.iter().any(|t| match t {
+                LExpr::Ident(n) => needed.contains(n),
+                _ => false,
+            });
+            if target_needed {
+                rewrite_queries(value, resolve);
+            }
+            // Search-construct arguments always substitute.
+            rewrite_in_search_args(value, resolve);
+        }
+        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => {
+            rewrite_in_search_args(e, resolve);
+        }
+        LStmt::Optional { stmt, .. } => rewrite_stmt(stmt, needed, resolve),
+        LStmt::Block(b) => rewrite_block(b, needed, resolve),
+        LStmt::If {
+            cond,
+            then,
+            elifs,
+            els,
+        } => {
+            rewrite_queries(cond, resolve);
+            rewrite_block(then, needed, resolve);
+            for (c, b) in elifs {
+                rewrite_queries(c, resolve);
+                rewrite_block(b, needed, resolve);
+            }
+            if let Some(b) = els {
+                rewrite_block(b, needed, resolve);
+            }
+        }
+        LStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            rewrite_stmt(init, needed, resolve);
+            rewrite_queries(cond, resolve);
+            rewrite_stmt(step, needed, resolve);
+            rewrite_block(body, needed, resolve);
+        }
+        LStmt::While { cond, body } => {
+            rewrite_queries(cond, resolve);
+            rewrite_block(body, needed, resolve);
+        }
+        LStmt::Return(None) | LStmt::Pass => {}
+    }
+}
+
+/// Replaces every zero/literal-argument query call in the expression.
+fn rewrite_queries(e: &mut LExpr, resolve: &mut dyn FnMut(&str, &str) -> Option<Value>) {
+    rewrite_expr(e, &mut |node| {
+        if let LExpr::Call { callee, args } = node {
+            if !args.is_empty() {
+                return;
+            }
+            if let LExpr::Attr { base, name } = callee.as_ref() {
+                if let LExpr::Ident(module) = base.as_ref() {
+                    if let Some(value) = resolve(module, name) {
+                        *node = locus_lang::optimize::value_to_expr_pub(&value);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Substitutes query calls that appear inside search-construct argument
+/// positions (range endpoints etc.).
+fn rewrite_in_search_args(e: &mut LExpr, resolve: &mut dyn FnMut(&str, &str) -> Option<Value>) {
+    rewrite_expr(e, &mut |node| {
+        if let LExpr::Search { args, .. } = node {
+            for a in args {
+                rewrite_queries(a, resolve);
+            }
+        }
+    });
+}
+
+// ---- generic walkers --------------------------------------------------------
+
+fn walk_expr<'a>(e: &'a LExpr, f: &mut impl FnMut(&'a LExpr)) {
+    f(e);
+    match e {
+        LExpr::List(items) | LExpr::Tuple(items) => {
+            for i in items {
+                walk_expr(i, f);
+            }
+        }
+        LExpr::Dict(entries) => {
+            for (_, v) in entries {
+                walk_expr(v, f);
+            }
+        }
+        LExpr::Attr { base, .. } => walk_expr(base, f),
+        LExpr::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        LExpr::Range { lo, hi, step } => {
+            walk_expr(lo, f);
+            walk_expr(hi, f);
+            if let Some(s) = step {
+                walk_expr(s, f);
+            }
+        }
+        LExpr::Neg(i) | LExpr::Not(i) => walk_expr(i, f),
+        LExpr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        LExpr::Search { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        LExpr::OrExpr { options, .. } => {
+            for o in options {
+                walk_expr(o, f);
+            }
+        }
+        LExpr::Call { callee, args } => {
+            walk_expr(callee, f);
+            for LArg { value, .. } in args {
+                walk_expr(value, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_expr(e: &mut LExpr, f: &mut impl FnMut(&mut LExpr)) {
+    match e {
+        LExpr::List(items) | LExpr::Tuple(items) => {
+            for i in items {
+                rewrite_expr(i, f);
+            }
+        }
+        LExpr::Dict(entries) => {
+            for (_, v) in entries {
+                rewrite_expr(v, f);
+            }
+        }
+        LExpr::Attr { base, .. } => rewrite_expr(base, f),
+        LExpr::Index { base, index } => {
+            rewrite_expr(base, f);
+            rewrite_expr(index, f);
+        }
+        LExpr::Range { lo, hi, step } => {
+            rewrite_expr(lo, f);
+            rewrite_expr(hi, f);
+            if let Some(s) = step {
+                rewrite_expr(s, f);
+            }
+        }
+        LExpr::Neg(i) | LExpr::Not(i) => rewrite_expr(i, f),
+        LExpr::Binary { lhs, rhs, .. } => {
+            rewrite_expr(lhs, f);
+            rewrite_expr(rhs, f);
+        }
+        LExpr::Search { args, .. } => {
+            for a in args {
+                rewrite_expr(a, f);
+            }
+        }
+        LExpr::OrExpr { options, .. } => {
+            for o in options {
+                rewrite_expr(o, f);
+            }
+        }
+        LExpr::Call { callee, args } => {
+            rewrite_expr(callee, f);
+            for LArg { value, .. } in args {
+                rewrite_expr(value, f);
+            }
+        }
+        _ => {}
+    }
+    f(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_lang::parse;
+
+    fn resolver(module: &str, func: &str) -> Option<Value> {
+        match (module, func) {
+            ("BuiltIn", "LoopNestDepth") => Some(Value::Int(3)),
+            ("BuiltIn", "IsPerfectLoopNest") => Some(Value::from(true)),
+            ("RoseLocus", "IsDepAvailable") => Some(Value::from(true)),
+            ("BuiltIn", "ListInnerLoops") => {
+                Some(Value::List(vec![Value::from("0.0.0")]))
+            }
+            _ => None,
+        }
+    }
+
+    fn codereg_body(src: &str) -> LBlock {
+        let p = parse(src).unwrap();
+        p.codereg("scop").unwrap().clone()
+    }
+
+    #[test]
+    fn substitutes_condition_and_range_queries_only() {
+        let src = r#"
+        CodeReg scop {
+            perfect = BuiltIn.IsPerfectLoopNest();
+            depth = BuiltIn.LoopNestDepth();
+            innerloops = BuiltIn.ListInnerLoops();
+            if (perfect && depth > 1) {
+                indexT1 = integer(1..depth);
+            }
+            RoseLocus.Unroll(loop=innerloops, factor=2);
+        }
+        "#;
+        let mut body = codereg_body(src);
+        substitute_needed_queries(&mut body, &mut |m, f| resolver(m, f));
+        let text = format!("{body:?}");
+        // depth/perfect feed conditions & ranges: substituted.
+        assert!(!text.contains("LoopNestDepth"), "{text}");
+        assert!(!text.contains("IsPerfectLoopNest"));
+        // innerloops only parameterizes a transformation: stays live.
+        assert!(text.contains("ListInnerLoops"));
+    }
+
+    #[test]
+    fn direct_query_in_condition_is_substituted() {
+        let src = r#"
+        CodeReg scop {
+            if (RoseLocus.IsDepAvailable()) {
+                t = poweroftwo(2..8);
+            }
+        }
+        "#;
+        let mut body = codereg_body(src);
+        substitute_needed_queries(&mut body, &mut |m, f| resolver(m, f));
+        let text = format!("{body:?}");
+        assert!(!text.contains("IsDepAvailable"));
+    }
+
+    #[test]
+    fn propagates_through_assignments() {
+        let src = r#"
+        CodeReg scop {
+            depth = BuiltIn.LoopNestDepth();
+            d2 = depth - 1;
+            x = integer(1..d2);
+        }
+        "#;
+        let mut body = codereg_body(src);
+        substitute_needed_queries(&mut body, &mut |m, f| resolver(m, f));
+        let text = format!("{body:?}");
+        assert!(!text.contains("LoopNestDepth"));
+    }
+}

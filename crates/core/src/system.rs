@@ -1,0 +1,576 @@
+//! The Locus system: direct and search workflows (Fig. 2 of the paper).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use locus_lang::ast::{LItem, LocusProgram};
+use locus_lang::interp::LocusError;
+use locus_lang::{extract_space, Interp};
+use locus_machine::{Machine, Measurement};
+use locus_search::{Objective, SearchModule, SearchOutcome};
+use locus_space::{Point, Space};
+use locus_srcir::ast::Program;
+use locus_srcir::hash::{hash_region, RegionHash};
+use locus_srcir::region::{extract_region, find_regions, replace_region};
+
+use crate::registry::{is_query, run_query, RegionHost};
+
+/// Errors of the orchestration layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplyError {
+    /// The Locus program references no region present in the source.
+    NoMatchingRegion,
+    /// Space extraction failed (e.g. unsubstitutable constructs).
+    Extract(String),
+    /// Interpreting the optimization program failed.
+    Locus(String),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::NoMatchingRegion => {
+                write!(f, "no code region matches any CodeReg of the program")
+            }
+            ApplyError::Extract(m) => write!(f, "space extraction failed: {m}"),
+            ApplyError::Locus(m) => write!(f, "optimization program failed: {m}"),
+        }
+    }
+}
+
+impl Error for ApplyError {}
+
+/// A prepared (query-substituted, optimized) Locus program together with
+/// its extracted optimization space.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The optimized Locus program all variants are generated from.
+    pub locus: LocusProgram,
+    /// The optimization space (the `convertOptUniverse` result).
+    pub space: Space,
+    /// Serial-to-parameter-id mapping for the interpreter.
+    pub ids: HashMap<usize, String>,
+}
+
+/// The result of building and measuring one variant.
+#[derive(Debug, Clone)]
+pub enum VariantOutcome {
+    /// The variant was built and measured.
+    Measured(Box<(Program, Measurement)>),
+    /// The point violates a dependent-range constraint.
+    Invalid(String),
+    /// A module failed (error or illegal), the variant crashed, or the
+    /// result diverged from the baseline.
+    Failed(String),
+}
+
+/// Result of the search workflow.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Search statistics and best point.
+    pub outcome: SearchOutcome,
+    /// Measurement of the untransformed baseline.
+    pub baseline: Measurement,
+    /// Best variant: point, transformed program, and its measurement.
+    pub best: Option<(Point, Program, Measurement)>,
+    /// Size of the optimization space.
+    pub space_size: u128,
+}
+
+impl TuneResult {
+    /// Speedup of the shipped result over the baseline. The system is
+    /// non-prescriptive (Sec. II): when the best variant does not beat
+    /// the baseline, the baseline itself ships, so the speedup never
+    /// drops below 1.0.
+    pub fn speedup(&self) -> f64 {
+        match &self.best {
+            Some((_, _, m)) if m.time_ms > 0.0 => {
+                (self.baseline.time_ms / m.time_ms).max(1.0)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// The Locus system: a simulated machine plus orchestration policy.
+#[derive(Debug, Clone)]
+pub struct LocusSystem {
+    /// The machine variants are measured on.
+    pub machine: Machine,
+    /// Snippet store for `BuiltIn.Altdesc`.
+    pub snippets: HashMap<String, String>,
+    /// Whether transformation modules run their legality checks.
+    pub check_legality: bool,
+    /// Entry function executed to measure a variant.
+    pub entry: String,
+    /// Whether variants must reproduce the baseline's checksum.
+    pub verify_results: bool,
+    /// Whether the Sec. IV-C program optimizer (constant propagation,
+    /// folding, DCE) runs during [`LocusSystem::prepare`]. On by
+    /// default; the ablation benches turn it off to measure its effect
+    /// on space size and search time.
+    pub optimize_programs: bool,
+}
+
+impl LocusSystem {
+    /// Creates a system over a machine with default policy: legality
+    /// checks on, result verification on, entry point `kernel`.
+    pub fn new(machine: Machine) -> LocusSystem {
+        LocusSystem {
+            machine,
+            snippets: HashMap::new(),
+            check_legality: true,
+            entry: "kernel".to_string(),
+            verify_results: true,
+            optimize_programs: true,
+        }
+    }
+
+    /// Prepares a Locus program for a given source: substitutes queries
+    /// per `CodeReg` (Sec. IV-C), runs the program optimizer, and
+    /// extracts the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError::Extract`] when a search construct cannot be
+    /// statically bounded even after query substitution.
+    pub fn prepare(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+    ) -> Result<Prepared, ApplyError> {
+        let mut locus = locus.clone();
+        let regions = find_regions(source);
+
+        // Per-CodeReg selective query substitution against the first
+        // matching region: only queries whose results reach search
+        // constructs or control flow are pre-evaluated (Sec. IV-C); the
+        // rest (e.g. Fig. 13's `innerloops`) run live per variant so
+        // they observe earlier transformations.
+        for item in &mut locus.items {
+            let LItem::CodeReg { name, body } = item else {
+                continue;
+            };
+            let Some(region) = regions.iter().find(|r| &r.id == name) else {
+                continue;
+            };
+            let Some(code) = extract_region(source, region) else {
+                continue;
+            };
+            crate::subst::substitute_needed_queries(body, &mut |module, func| {
+                if is_query(module, func) {
+                    run_query(&code.stmt, module, func)
+                } else {
+                    None
+                }
+            });
+        }
+
+        if self.optimize_programs {
+            locus_lang::optimize::optimize(&mut locus);
+        }
+        let info = extract_space(&locus).map_err(|e| ApplyError::Extract(e.to_string()))?;
+        Ok(Prepared {
+            locus,
+            space: info.space,
+            ids: info.ids,
+        })
+    }
+
+    /// Builds the variant a point denotes: runs the optimization program
+    /// on every matching region of (a clone of) the source.
+    pub fn build_variant(
+        &self,
+        source: &Program,
+        prepared: &Prepared,
+        point: &Point,
+    ) -> Result<Program, VariantOutcome> {
+        let mut program = source.clone();
+        let regions = find_regions(&program);
+        let mut matched = false;
+        for region in &regions {
+            if prepared.locus.codereg(&region.id).is_none() {
+                continue;
+            }
+            matched = true;
+            let Some(code) = extract_region(&program, region) else {
+                continue;
+            };
+            let mut stmt = code.stmt;
+            {
+                let mut host = RegionHost::new(&mut stmt, &self.snippets);
+                host.check_legality = self.check_legality;
+                let mut interp = Interp::new(&prepared.locus, &mut host, point, &prepared.ids);
+                match interp.run_codereg(&region.id) {
+                    Ok(()) => {}
+                    Err(LocusError::InvalidPoint(m)) => {
+                        return Err(VariantOutcome::Invalid(m));
+                    }
+                    Err(e) => return Err(VariantOutcome::Failed(e.to_string())),
+                }
+            }
+            replace_region(&mut program, region, stmt);
+        }
+        if !matched {
+            return Err(VariantOutcome::Failed(
+                ApplyError::NoMatchingRegion.to_string(),
+            ));
+        }
+        Ok(program)
+    }
+
+    /// Measures a program on the system's machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the interpreter's runtime errors.
+    pub fn measure(&self, program: &Program) -> Result<Measurement, locus_machine::RuntimeError> {
+        self.machine.run(program, &self.entry)
+    }
+
+    /// Builds and measures the variant of one point, verifying the
+    /// result against `expected_checksum` when verification is on.
+    pub fn evaluate_point(
+        &self,
+        source: &Program,
+        prepared: &Prepared,
+        point: &Point,
+        expected_checksum: Option<u64>,
+    ) -> VariantOutcome {
+        let program = match self.build_variant(source, prepared, point) {
+            Ok(p) => p,
+            Err(outcome) => return outcome,
+        };
+        match self.measure(&program) {
+            Ok(m) => {
+                if self.verify_results {
+                    if let Some(expect) = expected_checksum {
+                        if m.checksum != expect {
+                            return VariantOutcome::Failed(format!(
+                                "variant checksum {:016x} diverged from baseline {expect:016x}",
+                                m.checksum
+                            ));
+                        }
+                    }
+                }
+                VariantOutcome::Measured(Box::new((program, m)))
+            }
+            Err(e) => VariantOutcome::Failed(e.to_string()),
+        }
+    }
+
+    /// Renders the *direct* Locus program a chosen point denotes — the
+    /// artifact the paper ships alongside the baseline source so the
+    /// tuning result can be reused "for machines with similar
+    /// environments" (Sec. II). The result contains no search
+    /// constructs; running it through [`LocusSystem::apply_direct`]
+    /// reproduces the winning variant.
+    pub fn direct_program(&self, prepared: &Prepared, point: &Point) -> String {
+        let specialized = locus_lang::specialize(&prepared.locus, point, &prepared.ids);
+        locus_lang::print_program(&specialized)
+    }
+
+    /// The direct workflow (Fig. 2, top): applies the program with
+    /// default choices for any search construct and returns the
+    /// optimized source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when the program cannot be prepared or a
+    /// module invocation fails.
+    pub fn apply_direct(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+    ) -> Result<Program, ApplyError> {
+        let prepared = self.prepare(source, locus)?;
+        match self.build_variant(source, &prepared, &Point::new()) {
+            Ok(p) => Ok(p),
+            Err(VariantOutcome::Invalid(m)) | Err(VariantOutcome::Failed(m)) => {
+                Err(ApplyError::Locus(m))
+            }
+            Err(VariantOutcome::Measured(_)) => unreachable!("build never measures"),
+        }
+    }
+
+    /// The search workflow (Fig. 2, bottom): converts the space, drives
+    /// the search module for `budget` evaluations, and returns the best
+    /// variant together with the baseline measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+    ) -> Result<TuneResult, ApplyError> {
+        let prepared = self.prepare(source, locus)?;
+        let baseline = self
+            .measure(source)
+            .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?;
+        let expected = baseline.checksum;
+
+        let mut evaluate = |point: &Point| -> Objective {
+            match self.evaluate_point(source, &prepared, point, Some(expected)) {
+                VariantOutcome::Measured(boxed) => Objective::Value(boxed.1.time_ms),
+                VariantOutcome::Invalid(_) => Objective::Invalid,
+                VariantOutcome::Failed(_) => Objective::Error,
+            }
+        };
+        let outcome = search.search(&prepared.space, budget, &mut evaluate);
+
+        let best = outcome.best.clone().and_then(|(point, _)| {
+            match self.evaluate_point(source, &prepared, &point, Some(expected)) {
+                VariantOutcome::Measured(boxed) => {
+                    let (program, m) = *boxed;
+                    Some((point, program, m))
+                }
+                _ => None,
+            }
+        });
+
+        Ok(TuneResult {
+            outcome,
+            baseline,
+            best,
+            space_size: prepared.space.size(),
+        })
+    }
+}
+
+/// Checks stored region hashes against the current source (the coherence
+/// mechanism of Sec. II). Returns a warning per changed or missing
+/// region.
+pub fn check_coherence(source: &Program, stored: &HashMap<String, RegionHash>) -> Vec<String> {
+    let regions = find_regions(source);
+    let mut warnings = Vec::new();
+    for (id, expected) in stored {
+        let found: Vec<_> = regions.iter().filter(|r| &r.id == id).collect();
+        if found.is_empty() {
+            warnings.push(format!("region `{id}` no longer exists in the source"));
+            continue;
+        }
+        for r in found {
+            if let Some(code) = extract_region(source, r) {
+                let current = hash_region(&code.stmt);
+                if current != *expected {
+                    warnings.push(format!(
+                        "region `{id}` changed (stored {expected}, current {current}); \
+                         stored optimizations may no longer apply"
+                    ));
+                }
+            }
+        }
+    }
+    warnings
+}
+
+/// Computes the hashes of every region for storing alongside a Locus
+/// program.
+pub fn region_hashes(source: &Program) -> HashMap<String, RegionHash> {
+    let mut out = HashMap::new();
+    for r in find_regions(source) {
+        if let Some(code) = extract_region(source, &r) {
+            out.entry(r.id.clone()).or_insert_with(|| hash_region(&code.stmt));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_machine::MachineConfig;
+    use locus_search::BanditTuner;
+    use locus_srcir::parse_program;
+
+    const MATMUL_SRC: &str = r#"
+    double C[32][32];
+    double A[32][32];
+    double B[32][32];
+    void kernel() {
+        int i;
+        int j;
+        int k;
+        #pragma @Locus loop=matmul
+        for (i = 0; i < 32; i++)
+            for (j = 0; j < 32; j++)
+                for (k = 0; k < 32; k++)
+                    C[i][j] = C[i][j] + A[i][k] * B[k][j];
+    }
+    "#;
+
+    fn system() -> LocusSystem {
+        LocusSystem::new(Machine::new(MachineConfig::scaled_small().with_cores(1)))
+    }
+
+    #[test]
+    fn direct_workflow_applies_fixed_sequence() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                RoseLocus.Interchange(order=[0, 2, 1]);
+                Pips.Tiling(loop="0", factor=[8, 8, 8]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let optimized = sys.apply_direct(&source, &locus).unwrap();
+        let regions = find_regions(&optimized);
+        assert_eq!(regions.len(), 1, "region annotation preserved");
+        let stmt = extract_region(&optimized, &regions[0]).unwrap().stmt;
+        assert_eq!(locus_analysis::loops::all_loops(&stmt).len(), 6);
+
+        // The transformed program computes the same result.
+        let base = sys.measure(&source).unwrap();
+        let opt = sys.measure(&optimized).unwrap();
+        assert_eq!(base.checksum, opt.checksum);
+    }
+
+    #[test]
+    fn direct_workflow_reports_missing_region() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse("CodeReg other { RoseLocus.LICM(); }").unwrap();
+        let sys = system();
+        assert!(matches!(
+            sys.apply_direct(&source, &locus),
+            Err(ApplyError::Locus(_))
+        ));
+    }
+
+    #[test]
+    fn tiling_improves_matmul_locality() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                RoseLocus.Interchange(order=[0, 2, 1]);
+                Pips.Tiling(loop="0", factor=[16, 16, 16]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let optimized = sys.apply_direct(&source, &locus).unwrap();
+        let base = sys.measure(&source).unwrap();
+        let opt = sys.measure(&optimized).unwrap();
+        assert_eq!(base.checksum, opt.checksum);
+        // Everything fits in the simulated L3, so DRAM traffic ties; the
+        // win shows up as more L1 hits and fewer cycles.
+        assert!(
+            opt.cycles < base.cycles,
+            "tiling+interchange should beat naive ijk: {} vs {}",
+            opt.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn search_workflow_finds_an_improving_variant() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                RoseLocus.Interchange(order=[0, 2, 1]);
+                tileI = poweroftwo(4..16);
+                tileK = poweroftwo(4..16);
+                tileJ = poweroftwo(4..16);
+                Pips.Tiling(loop="0", factor=[tileI, tileK, tileJ]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let mut search = BanditTuner::new(7);
+        let result = sys.tune(&source, &locus, &mut search, 12).unwrap();
+        assert_eq!(result.space_size, 27);
+        let (_, _, best) = result.best.as_ref().expect("a best variant");
+        assert_eq!(best.checksum, result.baseline.checksum);
+        assert!(
+            result.speedup() > 1.0,
+            "tiled matmul should beat the naive baseline (speedup {})",
+            result.speedup()
+        );
+    }
+
+    #[test]
+    fn invalid_dependent_points_are_skipped_not_fatal() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                tileI = poweroftwo(4..16);
+                tileI_2 = poweroftwo(4..tileI);
+                Pips.Tiling(loop="0", factor=[tileI, tileI_2, 8]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let mut search = locus_search::ExhaustiveSearch;
+        let result = sys.tune(&source, &locus, &mut search, 64).unwrap();
+        // 3x3 grid; points with tileI_2 > tileI are invalid.
+        assert!(result.outcome.invalid > 0);
+        assert!(result.best.is_some());
+    }
+
+    #[test]
+    fn query_substitution_runs_against_the_region() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                depth = BuiltIn.LoopNestDepth();
+                permorder = permutation(seq(0, depth));
+                RoseLocus.Interchange(order=permorder);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let prepared = sys.prepare(&source, &locus).unwrap();
+        assert_eq!(
+            prepared.space.param("permorder").unwrap().kind,
+            locus_space::ParamKind::Permutation(3)
+        );
+        assert_eq!(prepared.space.size(), 6);
+        // All six permutations of matmul are legal; exhaustively searching
+        // them must yield six valid evaluations.
+        let mut search = locus_search::ExhaustiveSearch;
+        let result = sys.tune(&source, &locus, &mut search, 10).unwrap();
+        assert_eq!(result.outcome.evaluations, 6);
+    }
+
+    #[test]
+    fn coherence_check_detects_source_drift() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let hashes = region_hashes(&source);
+        assert!(check_coherence(&source, &hashes).is_empty());
+
+        let drifted = parse_program(&MATMUL_SRC.replace("A[i][k] * B[k][j]", "A[i][k]")).unwrap();
+        let warnings = check_coherence(&drifted, &hashes);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("matmul"));
+
+        let removed = parse_program(&MATMUL_SRC.replace("#pragma @Locus loop=matmul\n", ""))
+            .unwrap();
+        let warnings = check_coherence(&removed, &hashes);
+        assert!(warnings[0].contains("no longer exists"));
+    }
+
+    #[test]
+    fn failed_variants_fall_back_to_baseline() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        // Interchange with an order that is not a permutation: every
+        // variant fails, yet tune still reports the baseline.
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                RoseLocus.Interchange(order=[0, 0, 1]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let mut search = locus_search::ExhaustiveSearch;
+        let result = sys.tune(&source, &locus, &mut search, 4).unwrap();
+        assert!(result.best.is_none());
+        assert_eq!(result.speedup(), 1.0);
+        assert!(result.baseline.cycles > 0.0);
+    }
+}

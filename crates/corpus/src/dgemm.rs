@@ -1,0 +1,65 @@
+//! The DGEMM baseline of the paper's Fig. 3.
+
+use locus_srcir::ast::Program;
+use locus_srcir::parse_program;
+
+/// Builds the naive triple-loop DGEMM program
+/// `C = beta*C + alpha*A*B` with square `n x n` matrices, annotated with
+/// `#pragma @Locus loop=matmul` exactly like Fig. 3 (scaled from the
+/// paper's 2048 to laptop-friendly sizes).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn dgemm_program(n: usize) -> Program {
+    assert!(n > 0, "matrix dimension must be positive");
+    let src = format!(
+        r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+double C[{n}][{n}];
+double alpha = 1.5;
+double beta = 1.2;
+void kernel() {{
+    int i;
+    int j;
+    int k;
+    #pragma @Locus loop=matmul
+    for (i = 0; i < {n}; i++)
+        for (j = 0; j < {n}; j++)
+            for (k = 0; k < {n}; k++)
+                C[i][j] = beta * C[i][j] + alpha * A[i][k] * B[k][j];
+}}
+"#
+    );
+    parse_program(&src).expect("generated DGEMM source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::region::find_regions;
+
+    #[test]
+    fn program_has_the_matmul_region() {
+        let p = dgemm_program(16);
+        let regions = find_regions(&p);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].id, "matmul");
+    }
+
+    #[test]
+    fn runs_on_the_machine() {
+        let p = dgemm_program(16);
+        let machine =
+            locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
+        let m = machine.run(&p, "kernel").unwrap();
+        assert!(m.flops >= 16 * 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = dgemm_program(0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Synthetic loop-nest corpus for the Table I experiment.
+//!
+//! The paper extracts 3,146 loop nests from 16 benchmark suites (via the
+//! LORE extractor of Gong et al.) and selects the 856 slower than 10,000
+//! cycles. That corpus is not redistributable, so this module generates
+//! a *structurally matched* synthetic stand-in: deterministic loop nests
+//! with controlled depth, perfect/imperfect shape, affine or non-affine
+//! (indirect) accesses, dependence-free or recurrence-carrying bodies —
+//! the properties that decide which transformations of the paper's
+//! Fig. 13 program apply, and that make Pluto's polyhedral gate reject a
+//! nest.
+
+use locus_srcir::ast::Program;
+use locus_srcir::parse_program;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-suite specification: suite name and how many nests the paper
+/// selected from it (Table I, column "# of loop nests").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteSpec {
+    /// Suite name as printed in Table I.
+    pub name: &'static str,
+    /// Loop nests the paper selected from the suite.
+    pub selected: usize,
+    /// Variants the paper assessed for the suite (Table I).
+    pub variants_assessed: usize,
+}
+
+/// Table I of the paper: the 16 suites, their selected-nest counts and
+/// assessed-variant counts.
+pub const TABLE1_SUITES: [SuiteSpec; 16] = [
+    SuiteSpec { name: "ALPBench", selected: 13, variants_assessed: 39 },
+    SuiteSpec { name: "ASC Sequoia", selected: 1, variants_assessed: 3 },
+    SuiteSpec { name: "Cortexsuite", selected: 47, variants_assessed: 1_297 },
+    SuiteSpec { name: "FreeBench", selected: 30, variants_assessed: 431 },
+    SuiteSpec { name: "Parallel Research Kernels", selected: 37, variants_assessed: 1_055 },
+    SuiteSpec { name: "Livermore Loops", selected: 11, variants_assessed: 121 },
+    SuiteSpec { name: "MediaBench", selected: 39, variants_assessed: 159 },
+    SuiteSpec { name: "Netlib", selected: 18, variants_assessed: 260 },
+    SuiteSpec { name: "NAS Parallel Benchmarks", selected: 208, variants_assessed: 23_384 },
+    SuiteSpec { name: "Polybench", selected: 93, variants_assessed: 7_582 },
+    SuiteSpec { name: "Scimark2", selected: 4, variants_assessed: 83 },
+    SuiteSpec { name: "SPEC2000", selected: 71, variants_assessed: 2_228 },
+    SuiteSpec { name: "SPEC2006", selected: 50, variants_assessed: 216 },
+    SuiteSpec { name: "Extended TSVC", selected: 156, variants_assessed: 6_943 },
+    SuiteSpec { name: "Libraries", selected: 61, variants_assessed: 1_966 },
+    SuiteSpec { name: "Neural Network Kernels", selected: 17, variants_assessed: 132 },
+];
+
+/// One extracted loop nest: its provenance and the runnable program.
+#[derive(Debug, Clone)]
+pub struct CorpusNest {
+    /// Suite the nest is attributed to.
+    pub suite: &'static str,
+    /// Unique name within the corpus.
+    pub name: String,
+    /// The program; the nest is annotated `#pragma @Locus loop=scop`
+    /// (like the paper's extracted kernels) with a `kernel()` entry.
+    pub program: Program,
+    /// Loop nest depth (structural ground truth, for reporting).
+    pub depth: usize,
+    /// Whether the nest is perfect.
+    pub perfect: bool,
+    /// Whether all accesses are affine.
+    pub affine: bool,
+}
+
+/// Generates a deterministic corpus of `per_suite_cap`-limited nests per
+/// Table I suite (pass `usize::MAX` for the full per-suite counts).
+///
+/// The shape mix approximates LORE's population: ~55% depth-1, ~30%
+/// depth-2, ~15% depth-3; roughly a quarter of bodies are non-affine
+/// (indirection or modulo), and a fifth of the multi-loop nests are
+/// imperfect.
+pub fn generate_corpus(seed: u64, per_suite_cap: usize) -> Vec<CorpusNest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for suite in TABLE1_SUITES {
+        let count = suite.selected.min(per_suite_cap);
+        for k in 0..count {
+            let name = format!(
+                "{}_{k}",
+                suite.name.to_lowercase().replace(' ', "_")
+            );
+            out.push(generate_nest(&mut rng, suite.name, name));
+        }
+    }
+    out
+}
+
+fn generate_nest(rng: &mut StdRng, suite: &'static str, name: String) -> CorpusNest {
+    let depth = match rng.random_range(0..100) {
+        0..=54 => 1,
+        55..=84 => 2,
+        _ => 3,
+    };
+    let mut affine = rng.random_range(0..100) >= 25;
+    let perfect = depth == 1 || rng.random_range(0..100) >= 20;
+    // The imperfect templates are all affine.
+    if !perfect {
+        affine = true;
+    }
+    // Sizes chosen so every nest runs past the paper's 10k-cycle floor
+    // without dominating the harness, and so the multi-loop nests exceed
+    // Pluto's default 32-tile (the extracted nests of the paper do too).
+    let n: usize = match depth {
+        1 => 512,
+        2 => 96,
+        _ => 56,
+    };
+
+    let program = build_nest(rng, depth, perfect, affine, n);
+    CorpusNest {
+        suite,
+        name,
+        program,
+        depth,
+        perfect,
+        affine,
+    }
+}
+
+fn build_nest(rng: &mut StdRng, depth: usize, perfect: bool, affine: bool, n: usize) -> Program {
+    let body_kind = rng.random_range(0..4);
+    let src = match (depth, perfect) {
+        (1, _) => {
+            let body = match (affine, body_kind) {
+                (true, 0) => "A[i] = B[i] * 0.5 + C[i];",
+                (true, 1) => "A[i] = A[i] + B[i];",
+                (true, 2) => "A[i] = B[i] * B[i] - C[i] * 0.25;",
+                (true, _) => "A[i + 1] = A[i] * 0.5 + B[i];", // recurrence
+                (false, 0) => "A[idx[i]] = B[i];",
+                (false, 1) => "A[i] = B[idx[i]];",
+                (false, _) => "A[i % 7] = A[i % 7] + B[i];",
+            };
+            format!(
+                r#"
+double A[{m}];
+double B[{m}];
+double C[{m}];
+int idx[{m}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++)
+        {body}
+}}
+"#,
+                m = n + 2
+            )
+        }
+        (2, true) => {
+            // Triangular nests (body_kind 3, affine) exercise the
+            // non-rectangular error paths of tiling/interchange.
+            if affine && body_kind == 3 {
+                return parse_program(&format!(
+                    r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++)
+        for (int j = i; j < {n}; j++)
+            A[i][j] = A[i][j] + B[j][i];
+}}
+"#
+                ))
+                .expect("generated triangular nest is valid");
+            }
+            let body = match (affine, body_kind) {
+                (true, 0) => "A[i][j] = B[i][j] * 0.5 + A[i][j];",
+                (true, 1) => "A[i][j] = B[j][i];",
+                (true, _) => "A[i][j] = A[i][j] + B[i][j] * C[j][i];",
+                (false, _) => "A[i][idx[j] % {n}] = B[i][j];",
+            }
+            .replace("{n}", &n.to_string());
+            format!(
+                r#"
+double A[{n}][{np}];
+double B[{n}][{n}];
+double C[{n}][{n}];
+int idx[{n}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++)
+        for (int j = 1; j < {n}; j++)
+            {body}
+}}
+"#,
+                np = n + 1
+            )
+        }
+        (2, false) => format!(
+            r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+double s[{n}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++) {{
+        s[i] = 0.0;
+        for (int j = 0; j < {n}; j++)
+            s[i] = s[i] + A[i][j] * B[j][i];
+    }}
+}}
+"#
+        ),
+        (_, true) => {
+            let body = if affine {
+                "A[i][j] = A[i][j] + B[i][k] * C[k][j];"
+            } else {
+                "A[i][j] = A[i][j] + B[i][idx[k] % {n}] * C[k][j];"
+            }
+            .replace("{n}", &n.to_string());
+            format!(
+                r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+double C[{n}][{n}];
+int idx[{n}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++)
+        for (int j = 1; j < {n}; j++)
+            for (int k = 0; k < {n}; k++)
+                {body}
+}}
+"#
+            )
+        }
+        (_, false) => format!(
+            r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+double C[{n}][{n}];
+void kernel() {{
+    #pragma @Locus loop=scop
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            A[i][j] = B[i][j] * 2.0;
+            for (int k = 0; k < {n}; k++)
+                C[i][k] = C[i][k] + A[i][j] * B[k][j];
+        }}
+    }}
+}}
+"#
+        ),
+    };
+    parse_program(&src).expect("generated corpus nest is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::region::find_regions;
+
+    #[test]
+    fn table1_totals_match_the_paper() {
+        let selected: usize = TABLE1_SUITES.iter().map(|s| s.selected).sum();
+        let variants: usize = TABLE1_SUITES.iter().map(|s| s.variants_assessed).sum();
+        assert_eq!(selected, 856);
+        assert_eq!(variants, 45_899);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate_corpus(42, 3);
+        let b = generate_corpus(42, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn capped_corpus_has_expected_size() {
+        let corpus = generate_corpus(1, 2);
+        // 16 suites, at most 2 each, ASC Sequoia has only 1.
+        assert_eq!(corpus.len(), 16 * 2 - 1);
+    }
+
+    #[test]
+    fn every_nest_has_a_scop_region_and_runs() {
+        let machine =
+            locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
+        for nest in generate_corpus(7, 2) {
+            let regions = find_regions(&nest.program);
+            assert_eq!(regions.len(), 1, "{}", nest.name);
+            assert_eq!(regions[0].id, "scop");
+            let m = machine.run(&nest.program, "kernel").unwrap_or_else(|e| {
+                panic!(
+                    "{} failed: {e}\n{}",
+                    nest.name,
+                    locus_srcir::print_program(&nest.program)
+                )
+            });
+            assert!(m.cycles > 10_000.0, "{} too fast (paper's floor)", nest.name);
+        }
+    }
+
+    #[test]
+    fn shape_metadata_matches_reality() {
+        for nest in generate_corpus(3, 4) {
+            let regions = find_regions(&nest.program);
+            let stmt = locus_srcir::region::extract_region(&nest.program, &regions[0])
+                .unwrap()
+                .stmt;
+            let info = locus_analysis::loops::loop_nest_info(&stmt);
+            assert_eq!(info.depth, nest.depth, "{}", nest.name);
+            assert_eq!(info.perfect, nest.perfect, "{}", nest.name);
+            let deps = locus_analysis::deps::analyze_region(&stmt);
+            assert_eq!(deps.available, nest.affine, "{}", nest.name);
+        }
+    }
+
+    #[test]
+    fn corpus_mixes_shapes() {
+        let corpus = generate_corpus(11, usize::MAX);
+        assert_eq!(corpus.len(), 856);
+        let d1 = corpus.iter().filter(|n| n.depth == 1).count();
+        let nonaffine = corpus.iter().filter(|n| !n.affine).count();
+        let imperfect = corpus.iter().filter(|n| !n.perfect).count();
+        assert!(d1 > 300 && d1 < 600, "depth-1 {d1}");
+        assert!(nonaffine > 120 && nonaffine < 350, "non-affine {nonaffine}");
+        assert!(imperfect > 30, "imperfect {imperfect}");
+    }
+}

@@ -1,0 +1,486 @@
+//! Kripke (Sec. V-C of the paper): five particle-transport kernels whose
+//! 3D angular-flux arrays can be linearized under six data layouts —
+//! the permutations of the direction/moment (`D`), group (`G`) and zone
+//! (`Z`) axes.
+//!
+//! Two versions of each kernel exist:
+//!
+//! * [`kripke_skeleton`] — the single compact skeleton the Locus
+//!   experiment transforms: the innermost body starts with a placeholder
+//!   statement that `BuiltIn.Altdesc` replaces with the layout's address
+//!   computation (see [`kripke_snippets`]), after which interchange,
+//!   LICM, scalar replacement and an OpenMP pragma produce the final
+//!   code (the Fig. 11 recipe);
+//! * [`kripke_hand_optimized`] — an independently constructed
+//!   per-layout version with loops pre-ordered for the layout, address
+//!   bases hoisted by hand, and accumulators introduced where the output
+//!   is invariant in the innermost loop — the "6 hand-optimized versions
+//!   of each kernel" the paper compares against (Fig. 12).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use locus_srcir::ast::Program;
+use locus_srcir::parse_program;
+
+/// Moments (the `D` axis extent of `phi`-like arrays).
+pub const NM: usize = 4;
+/// Directions (the `D` axis extent of `psi`-like arrays).
+pub const ND: usize = 6;
+/// Energy groups.
+pub const NG: usize = 8;
+/// Zones.
+pub const NZ: usize = 32;
+
+/// The six data layouts of the paper.
+pub const LAYOUTS: [&str; 6] = ["DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"];
+
+/// Kripke's five kernels (Sec. V-C of the paper).
+#[allow(missing_docs)] // variants are the paper's kernel names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KripkeKernel {
+    LTimes,
+    LPlusTimes,
+    Scattering,
+    Source,
+    Sweep,
+}
+
+impl KripkeKernel {
+    /// All five kernels, in the paper's order.
+    pub const ALL: [KripkeKernel; 5] = [
+        KripkeKernel::LTimes,
+        KripkeKernel::LPlusTimes,
+        KripkeKernel::Scattering,
+        KripkeKernel::Source,
+        KripkeKernel::Sweep,
+    ];
+
+    /// The region identifier / kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KripkeKernel::LTimes => "LTimes",
+            KripkeKernel::LPlusTimes => "LPlusTimes",
+            KripkeKernel::Scattering => "Scattering",
+            KripkeKernel::Source => "Source",
+            KripkeKernel::Sweep => "Sweep",
+        }
+    }
+}
+
+impl std::fmt::Display for KripkeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Axis class of a loop variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    D,
+    G,
+    Z,
+}
+
+/// One loop of a kernel: variable name, axis class, extent.
+#[derive(Debug, Clone, Copy)]
+struct LoopSpec {
+    var: &'static str,
+    axis: Axis,
+    extent: usize,
+}
+
+/// One 3D array access: array name and its (a, g, z) index variables
+/// ("0" for a constant-zero index) plus the D-axis extent of the array.
+#[derive(Debug, Clone, Copy)]
+struct Access3d {
+    #[allow(dead_code)] // documents which array the access touches
+    array: &'static str,
+    a: &'static str,
+    a_extent: usize,
+    g: &'static str,
+    z: &'static str,
+    /// Identifier prefix for the generated index variables.
+    tag: &'static str,
+}
+
+struct KernelSpec {
+    loops: Vec<LoopSpec>,
+    accesses: Vec<Access3d>,
+    /// Innermost statement, with `{tag}_idx` placeholders for each 3D
+    /// access.
+    stmt: &'static str,
+    /// Global array declarations shared by all versions.
+    globals: &'static str,
+}
+
+fn spec(kernel: KripkeKernel) -> KernelSpec {
+    let globals_phi = concat!(
+        "double phi[1024];\n",     // NM*NG*NZ = 4*8*32
+        "double phi_out[1024];\n",
+        "double psi[1536];\n",     // ND*NG*NZ = 6*8*32
+        "double rhs[1536];\n",
+        "double ell[24];\n",       // NM*ND
+        "double ell_plus[24];\n",  // ND*NM
+        "double sigs[64];\n",      // NG*NG
+        "double sigt[256];\n",     // NG*NZ
+    );
+    match kernel {
+        KripkeKernel::LTimes => KernelSpec {
+            loops: vec![
+                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
+                LoopSpec { var: "d", axis: Axis::D, extent: ND },
+                LoopSpec { var: "g", axis: Axis::G, extent: NG },
+                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+            ],
+            accesses: vec![
+                Access3d { array: "phi", a: "nm", a_extent: NM, g: "g", z: "z", tag: "out" },
+                Access3d { array: "psi", a: "d", a_extent: ND, g: "g", z: "z", tag: "in" },
+            ],
+            stmt: "phi[out_idx] += ell[nm * 6 + d] * psi[in_idx];",
+            globals: globals_phi,
+        },
+        KripkeKernel::LPlusTimes => KernelSpec {
+            loops: vec![
+                LoopSpec { var: "d", axis: Axis::D, extent: ND },
+                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
+                LoopSpec { var: "g", axis: Axis::G, extent: NG },
+                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+            ],
+            accesses: vec![
+                Access3d { array: "rhs", a: "d", a_extent: ND, g: "g", z: "z", tag: "out" },
+                Access3d { array: "phi_out", a: "nm", a_extent: NM, g: "g", z: "z", tag: "in" },
+            ],
+            stmt: "rhs[out_idx] += ell_plus[d * 4 + nm] * phi_out[in_idx];",
+            globals: globals_phi,
+        },
+        KripkeKernel::Scattering => KernelSpec {
+            loops: vec![
+                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
+                LoopSpec { var: "g", axis: Axis::G, extent: NG },
+                LoopSpec { var: "gp", axis: Axis::G, extent: NG },
+                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+            ],
+            accesses: vec![
+                Access3d { array: "phi_out", a: "nm", a_extent: NM, g: "g", z: "z", tag: "out" },
+                Access3d { array: "phi", a: "nm", a_extent: NM, g: "gp", z: "z", tag: "in" },
+            ],
+            stmt: "phi_out[out_idx] += sigs[g * 8 + gp] * phi[in_idx];",
+            globals: globals_phi,
+        },
+        KripkeKernel::Source => KernelSpec {
+            loops: vec![
+                LoopSpec { var: "g", axis: Axis::G, extent: NG },
+                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+            ],
+            accesses: vec![Access3d {
+                array: "phi_out",
+                a: "0",
+                a_extent: NM,
+                g: "g",
+                z: "z",
+                tag: "out",
+            }],
+            stmt: "phi_out[out_idx] += 1.0;",
+            globals: globals_phi,
+        },
+        KripkeKernel::Sweep => KernelSpec {
+            loops: vec![
+                LoopSpec { var: "d", axis: Axis::D, extent: ND },
+                LoopSpec { var: "g", axis: Axis::G, extent: NG },
+                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+            ],
+            accesses: vec![
+                Access3d { array: "psi", a: "d", a_extent: ND, g: "g", z: "z", tag: "out" },
+                Access3d { array: "rhs", a: "d", a_extent: ND, g: "g", z: "z", tag: "in" },
+            ],
+            stmt: "psi[out_idx] = (rhs[in_idx] + psi[out_idx]) / (2.0 + sigt[g * 32 + z]);",
+            globals: globals_phi,
+        },
+    }
+}
+
+/// Maps an access's (a, g, z) triple onto the layout's axis order:
+/// returns `[(var, extent); 3]` outermost first.
+fn layout_order(layout: &str, acc: &Access3d) -> [(String, usize); 3] {
+    let pick = |c: char| -> (String, usize) {
+        match c {
+            'D' => (acc.a.to_string(), acc.a_extent),
+            'G' => (acc.g.to_string(), NG),
+            'Z' => (acc.z.to_string(), NZ),
+            _ => unreachable!("layout chars are D/G/Z"),
+        }
+    };
+    let mut chars = layout.chars();
+    [
+        pick(chars.next().expect("3-char layout")),
+        pick(chars.next().expect("3-char layout")),
+        pick(chars.next().expect("3-char layout")),
+    ]
+}
+
+/// The decomposed address computation for one access under a layout:
+/// `int {tag}_b = x * EY + y; int {tag}_idx = {tag}_b * EW + w;`
+fn address_decls(layout: &str, acc: &Access3d) -> String {
+    let [(x, _), (y, ey), (w, ew)] = layout_order(layout, acc);
+    format!(
+        "int {tag}_b = {x} * {ey} + {y};\nint {tag}_idx = {tag}_b * {ew} + {w};\n",
+        tag = acc.tag
+    )
+}
+
+/// The address-computation snippets for one kernel: one per layout,
+/// keyed `"{kernel}_{layout}.txt"` — the stand-ins for the paper's
+/// `scatter_DZG.txt`-style files.
+pub fn kripke_snippets(kernel: KripkeKernel) -> HashMap<String, String> {
+    let spec = spec(kernel);
+    let mut out = HashMap::new();
+    for layout in LAYOUTS {
+        let mut text = String::new();
+        for acc in &spec.accesses {
+            text.push_str(&address_decls(layout, acc));
+        }
+        out.insert(format!("{}_{layout}.txt", kernel.name()), text);
+    }
+    out
+}
+
+/// The kernel skeleton: canonical loop order, placeholder statement for
+/// the address computation (the paper's "Address calculation to be
+/// included here"), annotated `#pragma @Locus loop=<kernel>`.
+pub fn kripke_skeleton(kernel: KripkeKernel) -> Program {
+    let spec = spec(kernel);
+    let mut src = String::from(spec.globals);
+    src.push_str("void kernel() {\n");
+    let _ = writeln!(src, "    #pragma @Locus loop={}", kernel.name());
+    for (depth, l) in spec.loops.iter().enumerate() {
+        let indent = "    ".repeat(depth + 1);
+        let _ = writeln!(
+            src,
+            "{indent}for (int {v} = 0; {v} < {e}; {v}++)",
+            v = l.var,
+            e = l.extent
+        );
+        if depth + 1 == spec.loops.len() {
+            let indent2 = "    ".repeat(depth + 2);
+            let _ = writeln!(src, "{indent2}{{");
+            let _ = writeln!(src, "{indent2}    ;");
+            let _ = writeln!(src, "{indent2}    {}", spec.stmt);
+            let _ = writeln!(src, "{indent2}}}");
+        }
+    }
+    src.push_str("}\n");
+    parse_program(&src).expect("generated Kripke skeleton is valid")
+}
+
+/// The hierarchical index of the skeleton's placeholder statement (the
+/// `stmt=` argument of `BuiltIn.Altdesc` in the optimization program).
+pub fn placeholder_index(kernel: KripkeKernel) -> String {
+    let depth = spec(kernel).loops.len();
+    let mut s = String::from("0");
+    for _ in 1..depth {
+        s.push_str(".0");
+    }
+    s.push_str(".0");
+    s
+}
+
+/// The interchange order (old loop levels in new order) that sorts a
+/// kernel's loops by the layout's axis order, same-axis loops keeping
+/// their source order. This is the `looporder` table of Fig. 11.
+pub fn layout_loop_order(kernel: KripkeKernel, layout: &str) -> Vec<usize> {
+    let spec = spec(kernel);
+    let mut order = Vec::new();
+    for c in layout.chars() {
+        let axis = match c {
+            'D' => Axis::D,
+            'G' => Axis::G,
+            'Z' => Axis::Z,
+            _ => unreachable!("layout chars are D/G/Z"),
+        };
+        for (i, l) in spec.loops.iter().enumerate() {
+            if l.axis == axis {
+                order.push(i);
+            }
+        }
+    }
+    order
+}
+
+/// Builds the hand-optimized version of a kernel for a layout: loops in
+/// layout order, address bases declared at the outermost level where
+/// they are computable, an accumulator when the output address is
+/// invariant in the innermost loop, and `omp parallel for` on the
+/// outermost loop.
+pub fn kripke_hand_optimized(kernel: KripkeKernel, layout: &str) -> Program {
+    let spec = spec(kernel);
+    let order = layout_loop_order(kernel, layout);
+    let loops: Vec<LoopSpec> = order.iter().map(|&i| spec.loops[i]).collect();
+    let innermost = loops.last().expect("kernels have loops").var;
+
+    // For each access: the level (after which loop) its base becomes
+    // computable, i.e. once x and y are known ("0" is always known).
+    let known_at = |var: &str| -> usize {
+        if var == "0" {
+            0
+        } else {
+            loops
+                .iter()
+                .position(|l| l.var == var)
+                .map(|p| p + 1)
+                .expect("index var is a loop var")
+        }
+    };
+
+    let out_acc = &spec.accesses[0];
+    let use_accumulator = out_acc.a != innermost
+        && out_acc.g != innermost
+        && out_acc.z != innermost
+        && spec.stmt.contains("+=");
+
+    let mut src = String::from(spec.globals);
+    src.push_str("void kernel() {\n");
+    src.push_str("    #pragma omp parallel for\n");
+    let mut indent = String::from("    ");
+    for (depth, l) in loops.iter().enumerate() {
+        let _ = writeln!(
+            src,
+            "{indent}for (int {v} = 0; {v} < {e}; {v}++) {{",
+            v = l.var,
+            e = l.extent
+        );
+        indent.push_str("    ");
+        let level = depth + 1;
+        // Emit base/idx declarations as soon as computable (hand-hoisted
+        // LICM), but no earlier than needed and not below the innermost.
+        for acc in &spec.accesses {
+            let [(x, _), (y, ey), (w, ew)] = layout_order(layout, acc);
+            let base_level = known_at(&x).max(known_at(&y));
+            let idx_level = base_level.max(known_at(&w));
+            if base_level == level {
+                let _ = writeln!(
+                    src,
+                    "{indent}int {tag}_b = {x} * {ey} + {y};",
+                    tag = acc.tag
+                );
+            }
+            if idx_level == level && level < loops.len() {
+                let _ = writeln!(
+                    src,
+                    "{indent}int {tag}_idx = {tag}_b * {ew} + {w};",
+                    tag = acc.tag
+                );
+            }
+        }
+        if level == loops.len() {
+            // Innermost: remaining idx decls, then the statement (with
+            // accumulator rewriting when profitable).
+            for acc in &spec.accesses {
+                let [(x, _), (y, _), (w, ew)] = layout_order(layout, acc);
+                let idx_level = known_at(&x).max(known_at(&y)).max(known_at(&w));
+                if idx_level == level {
+                    let _ = writeln!(
+                        src,
+                        "{indent}int {tag}_idx = {tag}_b * {ew} + {w};",
+                        tag = acc.tag
+                    );
+                }
+            }
+            let _ = writeln!(src, "{indent}{}", spec.stmt);
+        }
+    }
+    for depth in (0..loops.len()).rev() {
+        indent.truncate(4 * (depth + 1));
+        let _ = writeln!(src, "{indent}}}");
+    }
+    src.push_str("}\n");
+
+    let mut program = parse_program(&src).expect("generated hand-optimized Kripke is valid");
+    if use_accumulator {
+        // Introduce the accumulator with the same machinery a human
+        // would reason by: the innermost loop's output reference is
+        // invariant, so load once / store once.
+        let f = program.function_mut("kernel").expect("kernel exists");
+        let root = &mut f.body[0];
+        locus_transform::scalar_repl::scalar_replacement(root)
+            .expect("scalar replacement never fails");
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_machine::{Machine, MachineConfig};
+    use locus_srcir::region::find_regions;
+
+    #[test]
+    fn skeletons_build_for_all_kernels() {
+        for k in KripkeKernel::ALL {
+            let p = kripke_skeleton(k);
+            let regions = find_regions(&p);
+            assert_eq!(regions.len(), 1, "{k}");
+            assert_eq!(regions[0].id, k.name());
+        }
+    }
+
+    #[test]
+    fn snippets_exist_for_every_layout() {
+        for k in KripkeKernel::ALL {
+            let snippets = kripke_snippets(k);
+            assert_eq!(snippets.len(), 6, "{k}");
+            for layout in LAYOUTS {
+                let key = format!("{}_{layout}.txt", k.name());
+                let text = snippets.get(&key).unwrap_or_else(|| panic!("{key}"));
+                assert!(text.contains("out_idx"), "{key}: {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn placeholder_index_points_at_the_empty_statement() {
+        for k in KripkeKernel::ALL {
+            let p = kripke_skeleton(k);
+            let region = &find_regions(&p)[0];
+            let stmt = locus_srcir::region::extract_region(&p, region).unwrap().stmt;
+            let idx: locus_srcir::HierIndex = placeholder_index(k).parse().unwrap();
+            let placeholder = idx.resolve(&stmt).expect("placeholder resolves");
+            assert!(matches!(
+                placeholder.kind,
+                locus_srcir::ast::StmtKind::Empty
+            ));
+        }
+    }
+
+    #[test]
+    fn hand_optimized_versions_run_for_all_layouts() {
+        let machine = Machine::new(MachineConfig::scaled_small().with_cores(1));
+        for k in KripkeKernel::ALL {
+            for layout in LAYOUTS {
+                let p = kripke_hand_optimized(k, layout);
+                let m = machine.run(&p, "kernel").unwrap_or_else(|e| {
+                    panic!("{k}/{layout}: {e}\n{}", locus_srcir::print_program(&p))
+                });
+                assert!(m.flops > 0, "{k}/{layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_produce_different_loop_orders() {
+        let dgz = layout_loop_order(KripkeKernel::Scattering, "DGZ");
+        let zgd = layout_loop_order(KripkeKernel::Scattering, "ZGD");
+        assert_eq!(dgz, vec![0, 1, 2, 3]);
+        assert_eq!(zgd, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn accumulator_appears_where_profitable() {
+        // ZDG puts gp innermost for Scattering; the output reference is
+        // gp-invariant, so the hand-optimized version uses a scalar
+        // accumulator.
+        let p = kripke_hand_optimized(KripkeKernel::Scattering, "ZDG");
+        let printed = locus_srcir::print_program(&p);
+        assert!(printed.contains("double __t"), "printed:\n{printed}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Benchmark corpus for the Locus evaluation (Sec. V of the paper).
+//!
+//! * [`dgemm`] — the naive matrix-matrix multiplication baseline of
+//!   Fig. 3;
+//! * [`stencils`] — the six stencils of Sec. V-B (Jacobi 1D/2D, Heat
+//!   1D/2D, Seidel 1D/2D), Fig. 8 style;
+//! * [`kripke`] — skeletons of Kripke's five kernels with the six
+//!   per-data-layout address snippets, plus independently built
+//!   hand-optimized versions for the Fig. 12 comparison;
+//! * [`generator`] — a deterministic synthetic loop-nest corpus standing
+//!   in for the 16-suite extraction corpus of Table I (the LORE corpus
+//!   is not redistributable; the generator reproduces its *structure*:
+//!   controlled depth, perfect/imperfect nests, affine and non-affine
+//!   accesses).
+//!
+//! All kernels are full `locus_srcir` programs with a `kernel()` entry
+//! and `#pragma @Locus` region annotations, sized so a search of
+//! hundreds of variants runs in seconds on the simulated machine.
+
+#![warn(missing_docs)]
+
+pub mod dgemm;
+pub mod generator;
+pub mod kripke;
+pub mod stencils;
+
+pub use dgemm::dgemm_program;
+pub use generator::{generate_corpus, CorpusNest, SuiteSpec, TABLE1_SUITES};
+pub use kripke::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+pub use stencils::{stencil_program, Stencil};

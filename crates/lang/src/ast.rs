@@ -1,0 +1,280 @@
+//! Abstract syntax tree of the Locus language.
+//!
+//! Search constructs (`OR` blocks, `OR` statements/expressions, optional
+//! statements, and the value constructs) each carry a *serial* assigned
+//! during parsing. Serials identify the corresponding space parameter
+//! across the extraction pass and every later interpretation of the
+//! program, independent of execution order.
+
+/// A whole optimization program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LocusProgram {
+    /// Top-level items in source order.
+    pub items: Vec<LItem>,
+    /// Total number of search-construct serials issued by the parser.
+    pub serial_count: usize,
+}
+
+impl LocusProgram {
+    /// Finds a `CodeReg` by name.
+    pub fn codereg(&self, name: &str) -> Option<&LBlock> {
+        self.items.iter().find_map(|item| match item {
+            LItem::CodeReg { name: n, body } if n == name => Some(body),
+            _ => None,
+        })
+    }
+
+    /// Names of all `CodeReg`s, in source order.
+    pub fn codereg_names(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter_map(|item| match item {
+                LItem::CodeReg { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Finds an `OptSeq` by name.
+    pub fn optseq(&self, name: &str) -> Option<(&[String], &LBlock)> {
+        self.items.iter().find_map(|item| match item {
+            LItem::OptSeq {
+                name: n,
+                params,
+                body,
+            } if n == name => Some((params.as_slice(), body)),
+            _ => None,
+        })
+    }
+
+    /// Finds a `def` method by name.
+    pub fn method(&self, name: &str) -> Option<(&[String], &LBlock)> {
+        self.items.iter().find_map(|item| match item {
+            LItem::Def {
+                name: n,
+                params,
+                body,
+            } if n == name => Some((params.as_slice(), body)),
+            _ => None,
+        })
+    }
+
+    /// The `Search { ... }` block, if present.
+    pub fn search_block(&self) -> Option<&LBlock> {
+        self.items.iter().find_map(|item| match item {
+            LItem::SearchBlock(b) => Some(b),
+            _ => None,
+        })
+    }
+}
+
+/// Top-level item. (Variant payload fields are conventional and carry
+/// no per-field docs.)
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LItem {
+    /// `import "RoseLocus";`
+    Import(String),
+    /// `extern mol;`
+    Extern(LExpr),
+    /// `CodeReg NAME { ... }`
+    CodeReg { name: String, body: LBlock },
+    /// `OptSeq NAME(params) { ... }`
+    OptSeq {
+        name: String,
+        params: Vec<String>,
+        body: LBlock,
+    },
+    /// `Query NAME(params) { ... }`
+    Query {
+        name: String,
+        params: Vec<String>,
+        body: LBlock,
+    },
+    /// `Module NAME { ... }`
+    ModuleDecl { name: String, body: LBlock },
+    /// `def NAME(params) { ... }`
+    Def {
+        name: String,
+        params: Vec<String>,
+        body: LBlock,
+    },
+    /// `Search { ... }`
+    SearchBlock(LBlock),
+    /// A bare top-level statement (Fig. 11 defines `datalayout` this
+    /// way).
+    Stmt(LStmt),
+}
+
+/// A block. When `alternatives.len() > 1` this is an `OR` block — a
+/// search construct choosing one alternative (and `serial` is its
+/// space-parameter identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LBlock {
+    /// The alternative statement lists (one = plain block).
+    pub alternatives: Vec<Vec<LStmt>>,
+    /// Space-parameter serial when this is an `OR` block.
+    pub serial: Option<usize>,
+}
+
+impl LBlock {
+    /// A plain single-alternative block.
+    pub fn simple(stmts: Vec<LStmt>) -> LBlock {
+        LBlock {
+            alternatives: vec![stmts],
+            serial: None,
+        }
+    }
+}
+
+/// A statement. (Variant payload fields are conventional and carry no
+/// per-field docs.)
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LStmt {
+    /// Expression statement (usually a module invocation).
+    Expr(LExpr),
+    /// `targets = value;` (multiple targets: `a, b = f();`).
+    Assign { targets: Vec<LExpr>, value: LExpr },
+    /// `*stmt;` — optional statement; `serial` is the boolean parameter.
+    Optional { serial: usize, stmt: Box<LStmt> },
+    /// `if / elif / else`.
+    If {
+        cond: LExpr,
+        then: LBlock,
+        elifs: Vec<(LExpr, LBlock)>,
+        els: Option<LBlock>,
+    },
+    /// `for (init; cond; step) { ... }`
+    For {
+        init: Box<LStmt>,
+        cond: LExpr,
+        step: Box<LStmt>,
+        body: LBlock,
+    },
+    /// `while cond { ... }`
+    While { cond: LExpr, body: LBlock },
+    /// `return expr;`
+    Return(Option<LExpr>),
+    /// `print expr;`
+    Print(LExpr),
+    /// Nested block (possibly an OR block).
+    Block(LBlock),
+    /// `None;` — explicit no-op (used inside OR alternatives).
+    Pass,
+}
+
+/// The value-level search construct kinds of Sec. III, named after the
+/// Locus keywords (`enum`, `integer`, `float`, `permutation`,
+/// `poweroftwo`, `loginteger`, `logfloat`).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchKind {
+    Enum,
+    Integer,
+    Float,
+    Permutation,
+    PowerOfTwo,
+    LogInteger,
+    LogFloat,
+}
+
+impl SearchKind {
+    /// Parses the construct keyword.
+    pub fn from_name(name: &str) -> Option<SearchKind> {
+        Some(match name {
+            "enum" => SearchKind::Enum,
+            "integer" => SearchKind::Integer,
+            "float" => SearchKind::Float,
+            "permutation" => SearchKind::Permutation,
+            "poweroftwo" => SearchKind::PowerOfTwo,
+            "loginteger" => SearchKind::LogInteger,
+            "logfloat" => SearchKind::LogFloat,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary operators, named after their Locus spelling.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// A call argument, possibly named (`factor=[a,b]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LArg {
+    /// Argument name for `name=value` arguments.
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: LExpr,
+}
+
+/// An expression. (Variant payload fields are conventional — operand,
+/// operator, base/index — and carry no per-field docs.)
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LExpr {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    /// `None` literal.
+    None,
+    List(Vec<LExpr>),
+    Tuple(Vec<LExpr>),
+    /// `dict(key=value, ...)`.
+    Dict(Vec<(String, LExpr)>),
+    /// `base.name`.
+    Attr { base: Box<LExpr>, name: String },
+    /// `callee(args)`.
+    Call {
+        callee: Box<LExpr>,
+        args: Vec<LArg>,
+    },
+    /// `base[index]`.
+    Index { base: Box<LExpr>, index: Box<LExpr> },
+    /// `lo..hi` (optionally `lo..hi..step`).
+    Range {
+        lo: Box<LExpr>,
+        hi: Box<LExpr>,
+        step: Option<Box<LExpr>>,
+    },
+    /// Unary negation / `not`.
+    Neg(Box<LExpr>),
+    Not(Box<LExpr>),
+    Binary {
+        op: LBinOp,
+        lhs: Box<LExpr>,
+        rhs: Box<LExpr>,
+    },
+    /// A value-level search construct, e.g. `poweroftwo(2..512)`.
+    Search {
+        serial: usize,
+        kind: SearchKind,
+        args: Vec<LExpr>,
+    },
+    /// `a OR b OR c` — an alternative-choice search construct.
+    OrExpr { serial: usize, options: Vec<LExpr> },
+}
+
+impl LExpr {
+    /// Convenience: string literal.
+    pub fn str(s: impl Into<String>) -> LExpr {
+        LExpr::Str(s.into())
+    }
+}

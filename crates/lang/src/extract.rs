@@ -1,0 +1,747 @@
+//! Space extraction: the `convertOptUniverse` step of Sec. IV-B.
+//!
+//! Walks the program's reachable blocks, turning every search construct
+//! into a [`locus_space::ParamDef`]:
+//!
+//! * `OR` blocks / statements / expressions → `Enum` over alternatives;
+//! * optional statements → `Bool`;
+//! * `enum(...)` → `Enum` over the argument labels;
+//! * `integer` / `poweroftwo` / `loginteger` / `float` / `logfloat` →
+//!   numeric domains whose bounds are inferred by an abstract (interval)
+//!   evaluation over the use-def chains, exactly as Sec. IV-B.1
+//!   describes for dependent ranges like `poweroftwo(2..tileI)`: the
+//!   *static* parameter gets the outermost bounds, and the runtime
+//!   interpreter revalidates the dependency per point;
+//! * `permutation(list)` → `Permutation(n)`, requiring a statically
+//!   known list length (queries must be pre-substituted first, see
+//!   [`crate::optimize`]).
+//!
+//! Parameter ids prefer the assigned variable name (`tileI`) and fall
+//! back to `p<serial>`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use locus_space::{ParamDef, ParamKind, Space};
+
+use crate::ast::*;
+
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space extraction error: {}", self.message)
+    }
+}
+
+impl Error for ExtractError {}
+
+/// The extracted space plus the serial-to-parameter-id mapping consumed
+/// by [`crate::interp::Interp`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpaceInfo {
+    /// The extracted optimization space.
+    pub space: Space,
+    /// Serial-to-parameter-id mapping for the interpreter.
+    pub ids: HashMap<usize, String>,
+}
+
+/// Abstract value for bound inference.
+#[derive(Debug, Clone, PartialEq)]
+enum Abs {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    List(usize),
+    Range(i64, i64),
+    Unknown,
+}
+
+impl Abs {
+    fn bounds(&self) -> Option<(i64, i64)> {
+        match self {
+            Abs::Int(v) => Some((*v, *v)),
+            Abs::Float(v) => Some((*v as i64, *v as i64)),
+            Abs::Range(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts the optimization space of a program.
+///
+/// Only `CodeReg` bodies, top-level statements, and `OptSeq`s /
+/// `Query`s / `def`s reachable from them contribute parameters.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] when a search construct's parameters cannot
+/// be statically bounded (e.g. `permutation` over a list of unknown
+/// length) — run the Sec. IV-C optimizer with query substitution first.
+pub fn extract_space(program: &LocusProgram) -> Result<SpaceInfo, ExtractError> {
+    let mut ex = Extractor {
+        program,
+        info: SpaceInfo::default(),
+        env: HashMap::new(),
+        visited: Vec::new(),
+    };
+    // Top-level statements first: they establish globals like Fig. 11's
+    // `datalayout`.
+    for item in &program.items {
+        if let LItem::Stmt(stmt) = item {
+            ex.stmt(stmt)?;
+        }
+    }
+    for item in &program.items {
+        if let LItem::CodeReg { body, .. } = item {
+            let saved = ex.env.clone();
+            ex.block(body)?;
+            ex.env = saved;
+        }
+    }
+    Ok(ex.info)
+}
+
+struct Extractor<'p> {
+    program: &'p LocusProgram,
+    info: SpaceInfo,
+    env: HashMap<String, Abs>,
+    /// Call stack of named sequences, for recursion cut-off.
+    visited: Vec<String>,
+}
+
+impl Extractor<'_> {
+    fn err(&self, message: impl Into<String>) -> ExtractError {
+        ExtractError {
+            message: message.into(),
+        }
+    }
+
+    fn register(&mut self, serial: usize, preferred: Option<&str>, kind: ParamKind) {
+        if self.info.ids.contains_key(&serial) {
+            // Re-walked (OptSeq called twice, or loop body): keep the
+            // first registration.
+            return;
+        }
+        let id = match preferred {
+            Some(name) if self.info.space.param(name).is_none() => name.to_string(),
+            _ => format!("p{serial}"),
+        };
+        self.info.space.add(ParamDef::new(id.clone(), kind));
+        self.info.ids.insert(serial, id);
+    }
+
+    fn block(&mut self, block: &LBlock) -> Result<(), ExtractError> {
+        if let Some(serial) = block.serial {
+            let labels = (0..block.alternatives.len())
+                .map(|i| format!("alt{i}"))
+                .collect();
+            self.register(serial, None, ParamKind::Enum(labels));
+        }
+        // All alternatives contribute; variables assigned in any
+        // alternative become unknown-merged afterwards.
+        let before = self.env.clone();
+        let mut merged = before.clone();
+        for alt in &block.alternatives {
+            self.env = before.clone();
+            for stmt in alt {
+                self.stmt(stmt)?;
+            }
+            for (k, v) in &self.env {
+                match merged.get(k) {
+                    Some(existing) if existing == v => {}
+                    Some(_) => {
+                        merged.insert(k.clone(), Abs::Unknown);
+                    }
+                    None => {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        self.env = merged;
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &LStmt) -> Result<(), ExtractError> {
+        match stmt {
+            LStmt::Pass => Ok(()),
+            LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => {
+                self.expr(e, None)?;
+                Ok(())
+            }
+            LStmt::Return(None) => Ok(()),
+            LStmt::Assign { targets, value } => {
+                let preferred = match targets.as_slice() {
+                    [LExpr::Ident(name)] => Some(name.to_string()),
+                    _ => None,
+                };
+                let abs = self.expr(value, preferred.as_deref())?;
+                if let Some(name) = preferred {
+                    self.env.insert(name, abs);
+                } else {
+                    for t in targets {
+                        if let LExpr::Ident(name) = t {
+                            self.env.insert(name.clone(), Abs::Unknown);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            LStmt::Optional { serial, stmt } => {
+                self.register(*serial, None, ParamKind::Bool);
+                self.stmt(stmt)
+            }
+            LStmt::Block(block) => self.block(block),
+            LStmt::If {
+                cond,
+                then,
+                elifs,
+                els,
+            } => {
+                self.expr(cond, None)?;
+                let before = self.env.clone();
+                let mut merged = before.clone();
+                let mut branches: Vec<&LBlock> = vec![then];
+                for (c, b) in elifs {
+                    self.env = before.clone();
+                    self.expr(c, None)?;
+                    branches.push(b);
+                }
+                if let Some(b) = els {
+                    branches.push(b);
+                }
+                for b in branches {
+                    self.env = before.clone();
+                    self.block(b)?;
+                    let env = std::mem::take(&mut self.env);
+                    for (k, v) in env {
+                        match (before.get(&k), merged.get(&k)) {
+                            (_, Some(existing)) if existing == &v => {}
+                            (None, None) => {
+                                merged.insert(k, v);
+                            }
+                            _ => {
+                                merged.insert(k, Abs::Unknown);
+                            }
+                        }
+                    }
+                }
+                self.env = merged;
+                Ok(())
+            }
+            LStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.stmt(init)?;
+                self.expr(cond, None)?;
+                let before = self.env.clone();
+                self.block(body)?;
+                self.stmt(step)?;
+                // Anything assigned in the loop is unknown after it.
+                let env = self.env.clone();
+                for (k, v) in env {
+                    if before.get(&k) != Some(&v) {
+                        self.env.insert(k, Abs::Unknown);
+                    }
+                }
+                Ok(())
+            }
+            LStmt::While { cond, body } => {
+                self.expr(cond, None)?;
+                let before = self.env.clone();
+                self.block(body)?;
+                let env = self.env.clone();
+                for (k, v) in env {
+                    if before.get(&k) != Some(&v) {
+                        self.env.insert(k, Abs::Unknown);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Walks an expression, registering search constructs, and returns
+    /// its abstract value.
+    fn expr(&mut self, e: &LExpr, preferred: Option<&str>) -> Result<Abs, ExtractError> {
+        match e {
+            LExpr::Int(v) => Ok(Abs::Int(*v)),
+            LExpr::Float(v) => Ok(Abs::Float(*v)),
+            LExpr::Str(s) => Ok(Abs::Str(s.clone())),
+            LExpr::None => Ok(Abs::Unknown),
+            LExpr::Ident(name) => Ok(self.env.get(name).cloned().unwrap_or(Abs::Unknown)),
+            LExpr::List(items) | LExpr::Tuple(items) => {
+                for i in items {
+                    self.expr(i, None)?;
+                }
+                Ok(Abs::List(items.len()))
+            }
+            LExpr::Dict(entries) => {
+                for (_, v) in entries {
+                    self.expr(v, None)?;
+                }
+                Ok(Abs::Unknown)
+            }
+            LExpr::Attr { base, .. } => {
+                // Module paths hide no constructs; dict bases are walked.
+                if !matches!(base.as_ref(), LExpr::Ident(_)) {
+                    self.expr(base, None)?;
+                }
+                Ok(Abs::Unknown)
+            }
+            LExpr::Index { base, index } => {
+                self.expr(base, None)?;
+                self.expr(index, None)?;
+                Ok(Abs::Unknown)
+            }
+            LExpr::Range { lo, hi, step } => {
+                let l = self.expr(lo, None)?;
+                let h = self.expr(hi, None)?;
+                if let Some(s) = step {
+                    self.expr(s, None)?;
+                }
+                match (l.bounds(), h.bounds()) {
+                    (Some((llo, _)), Some((_, hhi))) => Ok(Abs::Range(llo, hhi)),
+                    _ => Ok(Abs::Unknown),
+                }
+            }
+            LExpr::Neg(inner) => {
+                let v = self.expr(inner, None)?;
+                Ok(match v {
+                    Abs::Int(x) => Abs::Int(-x),
+                    Abs::Float(x) => Abs::Float(-x),
+                    Abs::Range(lo, hi) => Abs::Range(-hi, -lo),
+                    _ => Abs::Unknown,
+                })
+            }
+            LExpr::Not(inner) => {
+                self.expr(inner, None)?;
+                Ok(Abs::Unknown)
+            }
+            LExpr::Binary { op, lhs, rhs } => {
+                let l = self.expr(lhs, None)?;
+                let r = self.expr(rhs, None)?;
+                Ok(abs_binary(*op, &l, &r))
+            }
+            LExpr::OrExpr { serial, options } => {
+                self.register(
+                    *serial,
+                    preferred,
+                    ParamKind::Enum((0..options.len()).map(|i| format!("opt{i}")).collect()),
+                );
+                let mut result: Option<Abs> = None;
+                for o in options {
+                    let v = self.expr(o, None)?;
+                    result = Some(match result {
+                        None => v,
+                        Some(prev) if prev == v => prev,
+                        Some(_) => Abs::Unknown,
+                    });
+                }
+                Ok(result.unwrap_or(Abs::Unknown))
+            }
+            LExpr::Search { serial, kind, args } => self.search(*serial, *kind, args, preferred),
+            LExpr::Call { callee, args } => self.call(callee, args),
+        }
+    }
+
+    fn search(
+        &mut self,
+        serial: usize,
+        kind: SearchKind,
+        args: &[LExpr],
+        preferred: Option<&str>,
+    ) -> Result<Abs, ExtractError> {
+        match kind {
+            SearchKind::Enum => {
+                let labels = args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| match a {
+                        LExpr::Str(s) => s.clone(),
+                        LExpr::Int(v) => v.to_string(),
+                        LExpr::Float(v) => v.to_string(),
+                        _ => format!("opt{i}"),
+                    })
+                    .collect();
+                for a in args {
+                    self.expr(a, None)?;
+                }
+                self.register(serial, preferred, ParamKind::Enum(labels));
+                Ok(Abs::Unknown)
+            }
+            SearchKind::Integer
+            | SearchKind::PowerOfTwo
+            | SearchKind::LogInteger
+            | SearchKind::Float
+            | SearchKind::LogFloat => {
+                let (lo_abs, hi_abs) = match args {
+                    [LExpr::Range { lo, hi, .. }] => (self.expr(lo, None)?, self.expr(hi, None)?),
+                    [lo, hi] => (self.expr(lo, None)?, self.expr(hi, None)?),
+                    _ => {
+                        return Err(self.err(format!(
+                            "search construct `{}` needs a range",
+                            preferred.unwrap_or("<anonymous>")
+                        )))
+                    }
+                };
+                let (lo, _) = lo_abs.bounds().ok_or_else(|| {
+                    self.err(format!(
+                        "cannot infer lower bound of `{}`",
+                        preferred.unwrap_or("<anonymous>")
+                    ))
+                })?;
+                let (_, hi) = hi_abs.bounds().ok_or_else(|| {
+                    self.err(format!(
+                        "cannot infer upper bound of `{}`",
+                        preferred.unwrap_or("<anonymous>")
+                    ))
+                })?;
+                let param = match kind {
+                    SearchKind::Integer => ParamKind::Integer { min: lo, max: hi },
+                    SearchKind::PowerOfTwo => ParamKind::PowerOfTwo { min: lo, max: hi },
+                    SearchKind::LogInteger => ParamKind::LogInteger { min: lo, max: hi },
+                    SearchKind::Float => ParamKind::Float {
+                        min: lo as f64,
+                        max: hi as f64,
+                        steps: 33,
+                    },
+                    SearchKind::LogFloat => ParamKind::LogFloat {
+                        min: lo as f64,
+                        max: hi as f64,
+                        steps: 33,
+                    },
+                    _ => unreachable!(),
+                };
+                self.register(serial, preferred, param);
+                Ok(Abs::Range(lo, hi))
+            }
+            SearchKind::Permutation => {
+                let n = match args.first().map(|a| self.expr(a, None)).transpose()? {
+                    Some(Abs::List(n)) => n,
+                    _ => {
+                        return Err(self.err(format!(
+                            "permutation `{}` needs a statically sized list (substitute \
+                             queries first)",
+                            preferred.unwrap_or("<anonymous>")
+                        )))
+                    }
+                };
+                self.register(serial, preferred, ParamKind::Permutation(n));
+                Ok(Abs::List(n))
+            }
+        }
+    }
+
+    fn call(&mut self, callee: &LExpr, args: &[LArg]) -> Result<Abs, ExtractError> {
+        // seq(a, b) has a statically known length when both bounds are
+        // known.
+        if let LExpr::Ident(name) = callee {
+            if name == "seq" && args.len() == 2 {
+                let lo = self.expr(&args[0].value, None)?;
+                let hi = self.expr(&args[1].value, None)?;
+                if let (Some((l, _)), Some((_, h))) = (lo.bounds(), hi.bounds()) {
+                    return Ok(Abs::List((h - l).max(0) as usize));
+                }
+                return Ok(Abs::Unknown);
+            }
+        }
+        for a in args {
+            self.expr(&a.value, None)?;
+        }
+        if let LExpr::Ident(name) = callee {
+            // Named sequences contribute their constructs once.
+            let target = self
+                .program
+                .optseq(name)
+                .map(|(p, b)| (p.to_vec(), b.clone()))
+                .or_else(|| {
+                    self.program
+                        .method(name)
+                        .map(|(p, b)| (p.to_vec(), b.clone()))
+                })
+                .or_else(|| {
+                    self.program.items.iter().find_map(|i| match i {
+                        LItem::Query {
+                            name: n,
+                            params,
+                            body,
+                        } if n == name => Some((params.clone(), body.clone())),
+                        _ => None,
+                    })
+                });
+            if let Some((params, body)) = target {
+                if self.visited.iter().any(|v| v == name) {
+                    return Ok(Abs::Unknown);
+                }
+                self.visited.push(name.clone());
+                let saved = self.env.clone();
+                for p in &params {
+                    self.env.insert(p.clone(), Abs::Unknown);
+                }
+                self.block(&body)?;
+                self.env = saved;
+                self.visited.pop();
+            }
+        }
+        Ok(Abs::Unknown)
+    }
+}
+
+fn abs_binary(op: LBinOp, l: &Abs, r: &Abs) -> Abs {
+    match op {
+        LBinOp::Add | LBinOp::Sub | LBinOp::Mul => {
+            let (Some((llo, lhi)), Some((rlo, rhi))) = (l.bounds(), r.bounds()) else {
+                // String concatenation of constants stays constant.
+                if op == LBinOp::Add {
+                    if let (Abs::Str(a), Abs::Str(b)) = (l, r) {
+                        return Abs::Str(format!("{a}{b}"));
+                    }
+                }
+                return Abs::Unknown;
+            };
+            let candidates = match op {
+                LBinOp::Add => [llo + rlo, llo + rhi, lhi + rlo, lhi + rhi],
+                LBinOp::Sub => [llo - rhi, llo - rlo, lhi - rhi, lhi - rlo],
+                LBinOp::Mul => [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi],
+                _ => unreachable!(),
+            };
+            let lo = *candidates.iter().min().expect("non-empty");
+            let hi = *candidates.iter().max().expect("non-empty");
+            if lo == hi {
+                Abs::Int(lo)
+            } else {
+                Abs::Range(lo, hi)
+            }
+        }
+        _ => Abs::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn fig5_space_has_three_parameters() {
+        let src = r#"
+        OptSeq Tiling2D() {
+            tileI = poweroftwo(2..32);
+            tileJ = poweroftwo(2..32);
+            RoseLocus.Tiling(loop="0", factor=[tileI, tileJ]);
+            return "2D";
+        }
+        OptSeq Tiling3D() {
+            RoseLocus.Tiling(loop="0", factor=[4, 4, 8]);
+            return "3D";
+        }
+        CodeReg matmul {
+            tiledim = 4;
+            tiletype = Tiling2D() OR Tiling3D();
+            if (tiletype == "2D") {
+                RoseLocus.Unroll(loop="0.0", factor=tiledim);
+            }
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(info.space.len(), 3);
+        assert_eq!(
+            info.space.param("tileI").unwrap().kind,
+            ParamKind::PowerOfTwo { min: 2, max: 32 }
+        );
+        assert_eq!(
+            info.space.param("tiletype").unwrap().kind,
+            ParamKind::Enum(vec!["opt0".into(), "opt1".into()])
+        );
+        // Fig. 5 narrative: 25 2D points + 1 3D point; the flattened
+        // space is 5*5*2 = 50 assignments covering both.
+        assert_eq!(info.space.size(), 50);
+    }
+
+    #[test]
+    fn fig7_dependent_ranges_get_outer_bounds() {
+        let src = r#"
+        CodeReg matmul {
+            RoseLocus.Interchange(order=[0, 2, 1]);
+            tileI = poweroftwo(2..512);
+            tileK = poweroftwo(2..512);
+            tileJ = poweroftwo(2..512);
+            Pips.Tiling(loop="0", factor=[tileI, tileK, tileJ]);
+            tileI_2 = poweroftwo(2..tileI);
+            tileK_2 = poweroftwo(2..tileK);
+            tileJ_2 = poweroftwo(2..tileJ);
+            Pips.Tiling(loop="0.0.0.0", factor=[tileI_2, tileK_2, tileJ_2]);
+            {
+                Pragma.OMPFor(loop="0");
+            } OR {
+                Pragma.OMPFor(loop="0", schedule=enum("static", "dynamic"),
+                              chunk=integer(1..32));
+            }
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        // Data-flow gives tileI_2 the static bounds 2..512.
+        assert_eq!(
+            info.space.param("tileI_2").unwrap().kind,
+            ParamKind::PowerOfTwo { min: 2, max: 512 }
+        );
+        // 9 parameters: 6 tiles + OR block + schedule + chunk.
+        assert_eq!(info.space.len(), 9);
+        // Flattened: 9^6 * 2 * 2 * 32.
+        assert_eq!(info.space.size(), 68_024_448);
+    }
+
+    #[test]
+    fn permutation_needs_static_length() {
+        // Unsubstituted query: extraction must fail.
+        let src = r#"
+        CodeReg scop {
+            depth = BuiltIn.LoopNestDepth();
+            permorder = permutation(seq(0, depth));
+        }
+        "#;
+        assert!(extract_space(&parse(src).unwrap()).is_err());
+        // With depth known, it works.
+        let src = r#"
+        CodeReg scop {
+            depth = 3;
+            permorder = permutation(seq(0, depth));
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(
+            info.space.param("permorder").unwrap().kind,
+            ParamKind::Permutation(3)
+        );
+    }
+
+    #[test]
+    fn integer_range_with_arithmetic() {
+        let src = r#"
+        CodeReg scop {
+            depth = 4;
+            indexUAJ = integer(1..depth-1);
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(
+            info.space.param("indexUAJ").unwrap().kind,
+            ParamKind::Integer { min: 1, max: 3 }
+        );
+    }
+
+    #[test]
+    fn optional_statement_becomes_bool() {
+        let src = "CodeReg r { *RoseLocus.Distribute(loop=[1]); }";
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(info.space.len(), 1);
+        assert_eq!(info.space.params()[0].kind, ParamKind::Bool);
+    }
+
+    #[test]
+    fn top_level_enum_is_named() {
+        let src = r#"
+        datalayout = enum("DZG", "DGZ", "GDZ", "GZD", "ZDG", "ZGD");
+        CodeReg Scattering {
+            if (datalayout == "DGZ") { looporder = [0, 1, 2, 3, 4]; }
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(info.space.len(), 1);
+        assert_eq!(
+            info.space.param("datalayout").unwrap().kind,
+            ParamKind::Enum(vec![
+                "DZG".into(),
+                "DGZ".into(),
+                "GDZ".into(),
+                "GZD".into(),
+                "ZDG".into(),
+                "ZGD".into()
+            ])
+        );
+        assert_eq!(info.space.size(), 6);
+    }
+
+    #[test]
+    fn constructs_in_unreached_optseqs_are_ignored() {
+        let src = r#"
+        OptSeq Unused() {
+            t = poweroftwo(2..64);
+            A.X(t=t);
+        }
+        CodeReg r { A.Y(); }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert!(info.space.is_empty());
+    }
+
+    #[test]
+    fn or_statement_is_an_enum() {
+        let src = "CodeReg r { transfA() OR transfB() OR transfC(); }";
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        assert_eq!(info.space.len(), 1);
+        assert_eq!(
+            info.space.params()[0].kind,
+            ParamKind::Enum(vec!["opt0".into(), "opt1".into(), "opt2".into()])
+        );
+    }
+
+    #[test]
+    fn fig13_space_after_query_substitution() {
+        // As if the queries were substituted for a perfect depth-2 nest.
+        let src = r#"
+        CodeReg scop {
+            perfect = 1;
+            depth = 2;
+            if (1) {
+                if (perfect && depth > 1) {
+                    permorder = permutation(seq(0, depth));
+                    RoseLocus.Interchange(order=permorder);
+                }
+                {
+                    if (perfect) {
+                        indexT1 = integer(1..depth);
+                        T1fac = poweroftwo(2..32);
+                        RoseLocus.Tiling(loop=indexT1, factor=T1fac);
+                    }
+                } OR {
+                    if (depth > 1) {
+                        indexUAJ = integer(1..depth-1);
+                        UAJfac = poweroftwo(2..4);
+                        RoseLocus.UnrollAndJam(loop=indexUAJ, factor=UAJfac);
+                    }
+                } OR {
+                    None;
+                }
+                innerloops = [1];
+                *RoseLocus.Distribute(loop=innerloops);
+            }
+            innerloops = [1];
+            RoseLocus.Unroll(loop=innerloops, factor=poweroftwo(2..8));
+        }
+        "#;
+        let info = extract_space(&parse(src).unwrap()).unwrap();
+        // permutation(2) + OR(3) + indexT1 + T1fac + indexUAJ + UAJfac +
+        // optional + unroll pow2 = 8 params.
+        assert_eq!(info.space.len(), 8);
+        assert_eq!(
+            info.space.param("permorder").unwrap().kind,
+            ParamKind::Permutation(2)
+        );
+        assert_eq!(
+            info.space.param("UAJfac").unwrap().kind,
+            ParamKind::PowerOfTwo { min: 2, max: 4 }
+        );
+    }
+}

@@ -1,0 +1,1353 @@
+//! Interpreter for Locus optimization programs.
+//!
+//! A program is interpreted under a concrete [`Point`]: every search
+//! construct reads its value from the point (chosen by a search module),
+//! `OR` blocks execute the chosen alternative, and module invocations
+//! (`RoseLocus.Tiling(...)`) are dispatched to a [`TransformHost`] that
+//! owns the actual code region being optimized. With an empty point the
+//! interpreter produces the *default* variant — the behaviour of a
+//! direct (search-free) Locus program.
+
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use locus_space::{ParamValue, Point};
+
+use crate::ast::*;
+use crate::value::Value;
+
+/// Failures reported by the host (the system side owning regions and
+/// transformation modules) — the paper's wrapper exit statuses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The transformation's legality check refused.
+    Illegal(String),
+    /// The invocation failed outright.
+    Error(String),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Illegal(m) => write!(f, "illegal: {m}"),
+            HostError::Error(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl Error for HostError {}
+
+/// The system side of module integration (Sec. IV-A): receives every
+/// `Module.Function(...)` invocation made from `CodeReg`/`OptSeq`/`Query`
+/// bodies, applies it to the current code region, and returns a value
+/// (queries) or `Value::None` (transformations).
+pub trait TransformHost {
+    /// Handles one module invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] when the module reports an error or an
+    /// illegal transformation.
+    fn call(
+        &mut self,
+        module: &str,
+        func: &str,
+        args: &[(Option<String>, Value)],
+    ) -> Result<Value, HostError>;
+}
+
+/// A host that accepts no module calls (useful for pure programs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHost;
+
+impl TransformHost for NoHost {
+    fn call(
+        &mut self,
+        module: &str,
+        func: &str,
+        _args: &[(Option<String>, Value)],
+    ) -> Result<Value, HostError> {
+        Err(HostError::Error(format!(
+            "no module host available for {module}.{func}"
+        )))
+    }
+}
+
+/// Runtime errors of the Locus interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocusError {
+    /// A name was read before being defined.
+    Undefined(String),
+    /// Type mismatch or malformed operation.
+    Type(String),
+    /// The current point violates a dependent-range constraint
+    /// (Sec. IV-B.1) — the variant must be skipped.
+    InvalidPoint(String),
+    /// A module invocation failed.
+    Host(HostError),
+    /// Execution budget exhausted (runaway loop in the program).
+    Fuel,
+    /// Module calls are not allowed inside `def` methods (Sec. III).
+    ModuleCallInDef(String),
+    /// `CodeReg`/`OptSeq` not found.
+    UnknownRegion(String),
+}
+
+impl fmt::Display for LocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocusError::Undefined(n) => write!(f, "undefined name `{n}`"),
+            LocusError::Type(m) => write!(f, "type error: {m}"),
+            LocusError::InvalidPoint(m) => write!(f, "invalid point: {m}"),
+            LocusError::Host(e) => write!(f, "module failure: {e}"),
+            LocusError::Fuel => write!(f, "execution budget exhausted"),
+            LocusError::ModuleCallInDef(n) => {
+                write!(f, "module call `{n}` inside a def method")
+            }
+            LocusError::UnknownRegion(n) => write!(f, "no CodeReg or OptSeq named `{n}`"),
+        }
+    }
+}
+
+impl Error for LocusError {}
+
+impl From<HostError> for LocusError {
+    fn from(e: HostError) -> LocusError {
+        LocusError::Host(e)
+    }
+}
+
+/// Output of one interpretation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunOutput {
+    /// Messages from `print` statements.
+    pub log: Vec<String>,
+    /// Assignments made in the `Search { ... }` block (buildcmd, runcmd,
+    /// ...).
+    pub search_config: BTreeMap<String, Value>,
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// The interpreter. Create one per (program, point) pair, call
+/// [`Interp::run_codereg`] for each region, then take the
+/// [`RunOutput`].
+pub struct Interp<'a> {
+    program: &'a LocusProgram,
+    host: &'a mut dyn TransformHost,
+    point: &'a Point,
+    ids: &'a HashMap<usize, String>,
+    scopes: Vec<HashMap<String, Value>>,
+    output: RunOutput,
+    fuel: u64,
+    in_def: bool,
+    top_level_done: bool,
+    /// Names declared `extern`: calls to them dispatch to the host under
+    /// the pseudo-module `extern`.
+    externs: std::collections::HashSet<String>,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter over `program` for one `point`.
+    ///
+    /// `ids` maps search-construct serials to space-parameter ids (from
+    /// [`crate::extract::extract_space`]); pass an empty map together
+    /// with an empty point to run a direct program.
+    pub fn new(
+        program: &'a LocusProgram,
+        host: &'a mut dyn TransformHost,
+        point: &'a Point,
+        ids: &'a HashMap<usize, String>,
+    ) -> Interp<'a> {
+        Interp {
+            program,
+            host,
+            point,
+            ids,
+            scopes: vec![HashMap::new()],
+            output: RunOutput::default(),
+            fuel: 10_000_000,
+            in_def: false,
+            top_level_done: false,
+            externs: program
+                .items
+                .iter()
+                .filter_map(|item| match item {
+                    LItem::Extern(LExpr::Ident(name)) => Some(name.clone()),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes all top-level statements (global assignments such as
+    /// Fig. 11's `datalayout = enum(...)`). Called automatically by
+    /// [`Interp::run_codereg`] on first use.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocusError`].
+    pub fn run_top_level(&mut self) -> Result<(), LocusError> {
+        if self.top_level_done {
+            return Ok(());
+        }
+        self.top_level_done = true;
+        let items = self.program.items.clone();
+        for item in &items {
+            if let LItem::Stmt(stmt) = item {
+                if let Flow::Return(_) = self.exec(stmt)? {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the `CodeReg` with the given name against the host's current
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocusError`]; [`LocusError::UnknownRegion`] when no such
+    /// `CodeReg` exists.
+    pub fn run_codereg(&mut self, name: &str) -> Result<(), LocusError> {
+        self.run_top_level()?;
+        let body = self
+            .program
+            .codereg(name)
+            .ok_or_else(|| LocusError::UnknownRegion(name.to_string()))?
+            .clone();
+        self.scopes.push(HashMap::new());
+        let r = self.exec_block(&body);
+        self.scopes.pop();
+        r.map(|_| ())
+    }
+
+    /// Executes the `Search { ... }` block, populating
+    /// [`RunOutput::search_config`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LocusError`].
+    pub fn run_search_block(&mut self) -> Result<(), LocusError> {
+        self.run_top_level()?;
+        let Some(block) = self.program.search_block().cloned() else {
+            return Ok(());
+        };
+        // The search block runs in its own scope; every name it binds —
+        // including assignments made inside `if`/`for` bodies, which per
+        // Sec. III share their parent's scope — becomes configuration.
+        self.scopes.push(HashMap::new());
+        for stmt in &block.alternatives[0] {
+            if let Flow::Return(_) = self.exec(stmt)? {
+                break;
+            }
+        }
+        let frame = self.scopes.pop().expect("search scope was pushed");
+        for (name, value) in frame {
+            self.output.search_config.insert(name, value);
+        }
+        Ok(())
+    }
+
+    /// Consumes the interpreter, returning the run output.
+    pub fn into_output(self) -> RunOutput {
+        self.output
+    }
+
+    fn burn(&mut self) -> Result<(), LocusError> {
+        if self.fuel == 0 {
+            return Err(LocusError::Fuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// The chosen alternative index of a serial-carrying construct.
+    fn choice(&self, serial: usize, n: usize, default: usize) -> usize {
+        let id = self.param_id(serial);
+        match self.point.get(&id) {
+            Some(ParamValue::Choice(c)) => (*c).min(n.saturating_sub(1)),
+            Some(ParamValue::Int(v)) => (*v as usize).min(n.saturating_sub(1)),
+            _ => default,
+        }
+    }
+
+    fn param_id(&self, serial: usize) -> String {
+        self.ids
+            .get(&serial)
+            .cloned()
+            .unwrap_or_else(|| format!("p{serial}"))
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn exec_block(&mut self, block: &LBlock) -> Result<Flow, LocusError> {
+        let alt = match block.serial {
+            Some(serial) => self.choice(serial, block.alternatives.len(), 0),
+            None => 0,
+        };
+        // Per Sec. III *Scope*: blocks have their own scope, but control
+        // flow constructs share their parent's. `exec_block` is the
+        // shared-scope entry; `exec_scoped_block` pushes one.
+        for stmt in &block.alternatives[alt] {
+            if let Flow::Return(v) = self.exec(stmt)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, stmt: &LStmt) -> Result<Flow, LocusError> {
+        self.burn()?;
+        match stmt {
+            LStmt::Pass => Ok(Flow::Normal),
+            LStmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            LStmt::Print(e) => {
+                let v = self.eval(e)?;
+                self.output.log.push(v.to_string());
+                Ok(Flow::Normal)
+            }
+            LStmt::Assign { targets, value } => {
+                let v = self.eval(value)?;
+                if targets.len() == 1 {
+                    self.assign(&targets[0], v)?;
+                } else {
+                    let items = v.as_slice().ok_or_else(|| {
+                        LocusError::Type("multiple-target assignment needs a sequence".into())
+                    })?;
+                    if items.len() != targets.len() {
+                        return Err(LocusError::Type(format!(
+                            "cannot unpack {} values into {} targets",
+                            items.len(),
+                            targets.len()
+                        )));
+                    }
+                    let items = items.to_vec();
+                    for (t, item) in targets.iter().zip(items) {
+                        self.assign(t, item)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::Optional { serial, stmt } => {
+                // Choice 1 = execute, 0 = skip; defaults to execute so a
+                // direct program behaves as written.
+                if self.choice(*serial, 2, 1) == 1 {
+                    self.exec(stmt)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            LStmt::Block(block) => {
+                // Blocks introduce a scope (Sec. III *Scope*).
+                self.scopes.push(HashMap::new());
+                let r = self.exec_block(block);
+                self.scopes.pop();
+                r
+            }
+            LStmt::If {
+                cond,
+                then,
+                elifs,
+                els,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    return self.exec_block(then);
+                }
+                for (c, b) in elifs {
+                    if self.eval(c)?.truthy() {
+                        return self.exec_block(b);
+                    }
+                }
+                if let Some(b) = els {
+                    return self.exec_block(b);
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.exec(init)?;
+                loop {
+                    self.burn()?;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                    self.exec(step)?;
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::While { cond, body } => {
+                loop {
+                    self.burn()?;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::None,
+                };
+                Ok(Flow::Return(v))
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &LExpr, value: Value) -> Result<(), LocusError> {
+        match target {
+            LExpr::Ident(name) => {
+                // Assignment updates an existing binding in any enclosing
+                // scope, else creates one in the current scope.
+                for scope in self.scopes.iter_mut().rev() {
+                    if let Some(slot) = scope.get_mut(name) {
+                        *slot = value;
+                        return Ok(());
+                    }
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), value);
+                Ok(())
+            }
+            LExpr::Index { base, index } => {
+                let idx = self.eval(index)?;
+                let base_name = match base.as_ref() {
+                    LExpr::Ident(n) => n.clone(),
+                    _ => {
+                        return Err(LocusError::Type(
+                            "indexed assignment requires a named container".into(),
+                        ))
+                    }
+                };
+                let container = self.lookup_mut(&base_name)?;
+                match (container, idx) {
+                    (Value::List(items), Value::Int(i)) => {
+                        let i = i as usize;
+                        if i >= items.len() {
+                            return Err(LocusError::Type(format!(
+                                "list index {i} out of range"
+                            )));
+                        }
+                        items[i] = value;
+                        Ok(())
+                    }
+                    (Value::Dict(map), Value::Str(key)) => {
+                        map.insert(key, value);
+                        Ok(())
+                    }
+                    (c, i) => Err(LocusError::Type(format!(
+                        "cannot index {} with {}",
+                        c.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+            other => Err(LocusError::Type(format!(
+                "invalid assignment target {other:?}"
+            ))),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value, LocusError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        // Builtin loop-selector constants (Fig. 5's `loop=innermost`).
+        if name == "innermost" || name == "outermost" {
+            return Ok(Value::Str(name.to_string()));
+        }
+        Err(LocusError::Undefined(name.to_string()))
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Result<&mut Value, LocusError> {
+        for scope in self.scopes.iter_mut().rev() {
+            if scope.contains_key(name) {
+                return Ok(scope.get_mut(name).expect("just checked"));
+            }
+        }
+        Err(LocusError::Undefined(name.to_string()))
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn eval(&mut self, e: &LExpr) -> Result<Value, LocusError> {
+        self.burn()?;
+        match e {
+            LExpr::Int(v) => Ok(Value::Int(*v)),
+            LExpr::Float(v) => Ok(Value::Float(*v)),
+            LExpr::Str(s) => Ok(Value::Str(s.clone())),
+            LExpr::None => Ok(Value::None),
+            LExpr::Ident(name) => self.lookup(name),
+            LExpr::List(items) => Ok(Value::List(
+                items
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<Result<_, _>>()?,
+            )),
+            LExpr::Tuple(items) => Ok(Value::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<Result<_, _>>()?,
+            )),
+            LExpr::Dict(entries) => {
+                let mut map = BTreeMap::new();
+                for (k, v) in entries {
+                    map.insert(k.clone(), self.eval(v)?);
+                }
+                Ok(Value::Dict(map))
+            }
+            LExpr::Attr { base, name } => {
+                // Dict attribute access; module attributes only make
+                // sense when called, which `Call` handles before
+                // evaluating the callee.
+                let b = self.eval(base)?;
+                match b {
+                    Value::Dict(map) => map
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| LocusError::Undefined(format!("dict key `{name}`"))),
+                    other => Err(LocusError::Type(format!(
+                        "cannot access attribute `{name}` of {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            LExpr::Index { base, index } => {
+                let b = self.eval(base)?;
+                let i = self.eval(index)?;
+                match (b, i) {
+                    (Value::List(items) | Value::Tuple(items), Value::Int(idx)) => {
+                        let idx = if idx < 0 {
+                            (items.len() as i64 + idx) as usize
+                        } else {
+                            idx as usize
+                        };
+                        items
+                            .get(idx)
+                            .cloned()
+                            .ok_or_else(|| LocusError::Type(format!("index {idx} out of range")))
+                    }
+                    (Value::Dict(map), Value::Str(key)) => map
+                        .get(&key)
+                        .cloned()
+                        .ok_or_else(|| LocusError::Undefined(format!("dict key `{key}`"))),
+                    (Value::Str(s), Value::Int(idx)) => {
+                        let c = s
+                            .chars()
+                            .nth(idx as usize)
+                            .ok_or_else(|| LocusError::Type("string index out of range".into()))?;
+                        Ok(Value::Str(c.to_string()))
+                    }
+                    (b, i) => Err(LocusError::Type(format!(
+                        "cannot index {} with {}",
+                        b.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+            LExpr::Range { lo, hi, step } => {
+                // Outside search constructs a range materializes as the
+                // inclusive integer list it denotes.
+                let lo = self.eval_int(lo)?;
+                let hi = self.eval_int(hi)?;
+                let step = match step {
+                    Some(s) => self.eval_int(s)?.max(1),
+                    None => 1,
+                };
+                Ok(Value::List(
+                    (lo..=hi)
+                        .step_by(step as usize)
+                        .map(Value::Int)
+                        .collect(),
+                ))
+            }
+            LExpr::Neg(inner) => match self.eval(inner)? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Float(v) => Ok(Value::Float(-v)),
+                other => Err(LocusError::Type(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            },
+            LExpr::Not(inner) => Ok(Value::from(!self.eval(inner)?.truthy())),
+            LExpr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            LExpr::Search { serial, kind, args } => self.eval_search(*serial, *kind, args),
+            LExpr::OrExpr { serial, options } => {
+                let pick = self.choice(*serial, options.len(), 0);
+                self.eval(&options[pick])
+            }
+            LExpr::Call { callee, args } => self.eval_call(callee, args),
+        }
+    }
+
+    fn eval_int(&mut self, e: &LExpr) -> Result<i64, LocusError> {
+        self.eval(e)?
+            .as_int()
+            .ok_or_else(|| LocusError::Type("expected an integer".into()))
+    }
+
+    fn eval_binary(&mut self, op: LBinOp, lhs: &LExpr, rhs: &LExpr) -> Result<Value, LocusError> {
+        // Short-circuit logicals.
+        match op {
+            LBinOp::And => {
+                let l = self.eval(lhs)?;
+                if !l.truthy() {
+                    return Ok(Value::from(false));
+                }
+                return Ok(Value::from(self.eval(rhs)?.truthy()));
+            }
+            LBinOp::Or => {
+                let l = self.eval(lhs)?;
+                if l.truthy() {
+                    return Ok(Value::from(true));
+                }
+                return Ok(Value::from(self.eval(rhs)?.truthy()));
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        binary_values(op, l, r)
+    }
+
+    fn eval_search(
+        &mut self,
+        serial: usize,
+        kind: SearchKind,
+        args: &[LExpr],
+    ) -> Result<Value, LocusError> {
+        let id = self.param_id(serial);
+        let chosen = self.point.get(&id).cloned();
+        match kind {
+            SearchKind::Enum => {
+                let pick = match chosen {
+                    Some(ParamValue::Choice(c)) => c.min(args.len().saturating_sub(1)),
+                    _ => 0,
+                };
+                args.get(pick)
+                    .map(|e| self.eval(e))
+                    .unwrap_or(Ok(Value::None))?
+                    .pipe_ok()
+            }
+            SearchKind::Integer | SearchKind::PowerOfTwo | SearchKind::LogInteger => {
+                let (lo, hi) = self.eval_range(args)?;
+                let v = match chosen {
+                    Some(ParamValue::Int(v)) => v,
+                    Some(ParamValue::Choice(c)) => c as i64,
+                    _ => lo,
+                };
+                // Dependent-range revalidation (Sec. IV-B.1): the point
+                // must fall inside the *runtime* range.
+                if v < lo || v > hi {
+                    return Err(LocusError::InvalidPoint(format!(
+                        "{id} = {v} outside runtime range {lo}..{hi}"
+                    )));
+                }
+                if kind == SearchKind::PowerOfTwo && v.count_ones() != 1 {
+                    return Err(LocusError::InvalidPoint(format!(
+                        "{id} = {v} is not a power of two"
+                    )));
+                }
+                Ok(Value::Int(v))
+            }
+            SearchKind::Float | SearchKind::LogFloat => {
+                let (lo, hi) = self.eval_float_range(args)?;
+                let v = match chosen {
+                    Some(ParamValue::Float(v)) => v,
+                    Some(ParamValue::Int(v)) => v as f64,
+                    _ => lo,
+                };
+                if v < lo || v > hi {
+                    return Err(LocusError::InvalidPoint(format!(
+                        "{id} = {v} outside runtime range {lo}..{hi}"
+                    )));
+                }
+                Ok(Value::Float(v))
+            }
+            SearchKind::Permutation => {
+                let items = match args.first() {
+                    Some(e) => match self.eval(e)? {
+                        Value::List(v) | Value::Tuple(v) => v,
+                        other => {
+                            return Err(LocusError::Type(format!(
+                                "permutation() expects a list, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                    None => Vec::new(),
+                };
+                let perm: Vec<usize> = match chosen {
+                    Some(ParamValue::Perm(p)) => p,
+                    _ => (0..items.len()).collect(),
+                };
+                if perm.len() != items.len() {
+                    return Err(LocusError::InvalidPoint(format!(
+                        "{id}: permutation of length {} over {} items",
+                        perm.len(),
+                        items.len()
+                    )));
+                }
+                Ok(Value::List(
+                    perm.into_iter().map(|i| items[i].clone()).collect(),
+                ))
+            }
+        }
+    }
+
+    fn eval_range(&mut self, args: &[LExpr]) -> Result<(i64, i64), LocusError> {
+        match args {
+            [LExpr::Range { lo, hi, .. }] => {
+                let lo = self.eval_int(lo)?;
+                let hi = self.eval_int(hi)?;
+                Ok((lo, hi))
+            }
+            [lo, hi] => Ok((self.eval_int(lo)?, self.eval_int(hi)?)),
+            _ => Err(LocusError::Type(
+                "numeric search construct expects a range".into(),
+            )),
+        }
+    }
+
+    fn eval_float_range(&mut self, args: &[LExpr]) -> Result<(f64, f64), LocusError> {
+        match args {
+            [LExpr::Range { lo, hi, .. }] => {
+                let lo = self
+                    .eval(lo)?
+                    .as_f64()
+                    .ok_or_else(|| LocusError::Type("float range bound".into()))?;
+                let hi = self
+                    .eval(hi)?
+                    .as_f64()
+                    .ok_or_else(|| LocusError::Type("float range bound".into()))?;
+                Ok((lo, hi))
+            }
+            [lo, hi] => {
+                let lo = self
+                    .eval(lo)?
+                    .as_f64()
+                    .ok_or_else(|| LocusError::Type("float range bound".into()))?;
+                let hi = self
+                    .eval(hi)?
+                    .as_f64()
+                    .ok_or_else(|| LocusError::Type("float range bound".into()))?;
+                Ok((lo, hi))
+            }
+            _ => Err(LocusError::Type(
+                "float search construct expects a range".into(),
+            )),
+        }
+    }
+
+    fn eval_call(&mut self, callee: &LExpr, args: &[LArg]) -> Result<Value, LocusError> {
+        // Module invocation: `Module.Function(args)`.
+        if let LExpr::Attr { base, name } = callee {
+            if let LExpr::Ident(module) = base.as_ref() {
+                if !self.scope_has(module) {
+                    let mut values = Vec::with_capacity(args.len());
+                    for a in args {
+                        values.push((a.name.clone(), self.eval(&a.value)?));
+                    }
+                    if self.in_def {
+                        return Err(LocusError::ModuleCallInDef(format!("{module}.{name}")));
+                    }
+                    return Ok(self.host.call(module, name, &values)?);
+                }
+            }
+        }
+        if let LExpr::Ident(name) = callee {
+            // `extern` functions dispatch to the host (Sec. III: external
+            // modules and definitions brought in by `extern`/`import`).
+            if self.externs.contains(name) {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push((a.name.clone(), self.eval(&a.value)?));
+                }
+                if self.in_def {
+                    return Err(LocusError::ModuleCallInDef(name.clone()));
+                }
+                return Ok(self.host.call("extern", name, &values)?);
+            }
+            // Builtins.
+            match name.as_str() {
+                "seq" => {
+                    let lo = self.arg_int(args, 0)?;
+                    let hi = self.arg_int(args, 1)?;
+                    return Ok(Value::List((lo..hi).map(Value::Int).collect()));
+                }
+                "len" => {
+                    let v = self.eval(&args[0].value)?;
+                    let n = match &v {
+                        Value::List(v) | Value::Tuple(v) => v.len(),
+                        Value::Str(s) => s.len(),
+                        Value::Dict(d) => d.len(),
+                        other => {
+                            return Err(LocusError::Type(format!(
+                                "len() of {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    return Ok(Value::Int(n as i64));
+                }
+                "str" => {
+                    let v = self.eval(&args[0].value)?;
+                    return Ok(Value::Str(v.to_string()));
+                }
+                _ => {}
+            }
+            // OptSeq / Query / def invocation.
+            if let Some((params, body)) = self.program.optseq(name) {
+                let (params, body) = (params.to_vec(), body.clone());
+                return self.call_named(&params, &body, args, false);
+            }
+            if let Some(item) = self.program.items.iter().find_map(|i| match i {
+                LItem::Query {
+                    name: n,
+                    params,
+                    body,
+                } if n == name => Some((params.clone(), body.clone())),
+                _ => None,
+            }) {
+                let (params, body) = item;
+                return self.call_named(&params, &body, args, false);
+            }
+            if let Some((params, body)) = self.program.method(name) {
+                let (params, body) = (params.to_vec(), body.clone());
+                return self.call_named(&params, &body, args, true);
+            }
+            return Err(LocusError::Undefined(format!("function `{name}`")));
+        }
+        Err(LocusError::Type("expression is not callable".into()))
+    }
+
+    fn arg_int(&mut self, args: &[LArg], i: usize) -> Result<i64, LocusError> {
+        let a = args
+            .get(i)
+            .ok_or_else(|| LocusError::Type(format!("missing argument {i}")))?;
+        let value = a.value.clone();
+        self.eval_int(&value)
+    }
+
+    fn call_named(
+        &mut self,
+        params: &[String],
+        body: &LBlock,
+        args: &[LArg],
+        is_def: bool,
+    ) -> Result<Value, LocusError> {
+        let mut frame = HashMap::new();
+        for (i, p) in params.iter().enumerate() {
+            let value = match args.iter().find(|a| a.name.as_deref() == Some(p)) {
+                Some(a) => {
+                    let e = a.value.clone();
+                    self.eval(&e)?
+                }
+                None => match args.get(i).filter(|a| a.name.is_none()) {
+                    Some(a) => {
+                        let e = a.value.clone();
+                        self.eval(&e)?
+                    }
+                    None => Value::None,
+                },
+            };
+            frame.insert(p.clone(), value);
+        }
+        self.scopes.push(frame);
+        let was_def = self.in_def;
+        self.in_def = self.in_def || is_def;
+        let flow = self.exec_block(body);
+        self.in_def = was_def;
+        self.scopes.pop();
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(Value::None),
+        }
+    }
+
+    fn scope_has(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains_key(name))
+    }
+}
+
+/// Evaluates a binary operation on values (also used by the constant
+/// folder).
+pub(crate) fn binary_values(op: LBinOp, l: Value, r: Value) -> Result<Value, LocusError> {
+    use Value::{Float, Int, Str};
+    let type_err = |l: &Value, r: &Value| {
+        LocusError::Type(format!(
+            "unsupported operands {} and {} for {op:?}",
+            l.type_name(),
+            r.type_name()
+        ))
+    };
+    Ok(match op {
+        LBinOp::Add => match (&l, &r) {
+            (Int(a), Int(b)) => Int(a + b),
+            (Str(a), b) => Str(format!("{a}{b}")),
+            (a, Str(b)) => Str(format!("{a}{b}")),
+            (Value::List(a), Value::List(b)) => {
+                Value::List(a.iter().chain(b.iter()).cloned().collect())
+            }
+            _ => Float(
+                l.as_f64()
+                    .zip(r.as_f64())
+                    .map(|(a, b)| a + b)
+                    .ok_or_else(|| type_err(&l, &r))?,
+            ),
+        },
+        LBinOp::Sub | LBinOp::Mul | LBinOp::Div | LBinOp::Rem | LBinOp::Pow => {
+            match (&l, &r) {
+                (Int(a), Int(b)) => match op {
+                    LBinOp::Sub => Int(a - b),
+                    LBinOp::Mul => Int(a * b),
+                    LBinOp::Div => {
+                        if *b == 0 {
+                            return Err(LocusError::Type("division by zero".into()));
+                        }
+                        Int(a / b)
+                    }
+                    LBinOp::Rem => {
+                        if *b == 0 {
+                            return Err(LocusError::Type("modulo by zero".into()));
+                        }
+                        Int(a % b)
+                    }
+                    LBinOp::Pow => {
+                        if *b >= 0 {
+                            Int(a.pow((*b).min(63) as u32))
+                        } else {
+                            Float((*a as f64).powi(*b as i32))
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+                _ => {
+                    let (a, b) = l
+                        .as_f64()
+                        .zip(r.as_f64())
+                        .ok_or_else(|| type_err(&l, &r))?;
+                    match op {
+                        LBinOp::Sub => Float(a - b),
+                        LBinOp::Mul => Float(a * b),
+                        LBinOp::Div => Float(a / b),
+                        LBinOp::Rem => Float(a % b),
+                        LBinOp::Pow => Float(a.powf(b)),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        LBinOp::Eq => Value::from(values_equal(&l, &r)),
+        LBinOp::Ne => Value::from(!values_equal(&l, &r)),
+        LBinOp::Lt | LBinOp::Le | LBinOp::Gt | LBinOp::Ge => {
+            let (a, b) = l
+                .as_f64()
+                .zip(r.as_f64())
+                .ok_or_else(|| type_err(&l, &r))?;
+            Value::from(match op {
+                LBinOp::Lt => a < b,
+                LBinOp::Le => a <= b,
+                LBinOp::Gt => a > b,
+                LBinOp::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        LBinOp::And | LBinOp::Or => unreachable!("handled with short-circuit"),
+    })
+}
+
+fn values_equal(l: &Value, r: &Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+        _ => l == r,
+    }
+}
+
+trait PipeOk {
+    fn pipe_ok(self) -> Result<Value, LocusError>;
+}
+
+impl PipeOk for Value {
+    fn pipe_ok(self) -> Result<Value, LocusError> {
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// A host that records module calls.
+    #[derive(Default)]
+    pub struct RecordingHost {
+        pub calls: Vec<String>,
+        pub responses: HashMap<String, Value>,
+    }
+
+    impl TransformHost for RecordingHost {
+        fn call(
+            &mut self,
+            module: &str,
+            func: &str,
+            args: &[(Option<String>, Value)],
+        ) -> Result<Value, HostError> {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|(n, v)| match n {
+                    Some(n) => format!("{n}={v}"),
+                    None => v.to_string(),
+                })
+                .collect();
+            let key = format!("{module}.{func}");
+            self.calls.push(format!("{key}({})", rendered.join(", ")));
+            Ok(self.responses.get(&key).cloned().unwrap_or(Value::None))
+        }
+    }
+
+    fn run_default(src: &str, region: &str) -> (RecordingHost, RunOutput) {
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg(region).unwrap();
+        let out = interp.into_output();
+        (host, out)
+    }
+
+    #[test]
+    fn direct_program_invokes_modules_in_order() {
+        let src = r#"
+        CodeReg matmul {
+            RoseLocus.Interchange(order=[0, 2, 1]);
+            Pips.Tiling(loop="0", factor=[4, 4, 8]);
+        }
+        "#;
+        let (host, _) = run_default(src, "matmul");
+        assert_eq!(
+            host.calls,
+            vec![
+                "RoseLocus.Interchange(order=[0, 2, 1])",
+                "Pips.Tiling(loop=0, factor=[4, 4, 8])"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig5_default_point_runs_first_alternative() {
+        let src = r#"
+        OptSeq Tiling2D() {
+            tileI = poweroftwo(2..32);
+            tileJ = poweroftwo(2..32);
+            RoseLocus.Tiling(loop="0", factor=[tileI, tileJ]);
+            return "2D";
+        }
+        OptSeq Tiling3D() {
+            RoseLocus.Tiling(loop="0", factor=[4, 4, 8]);
+            return "3D";
+        }
+        def printstatus(type) {
+            print "Tiling selected: " + type;
+        }
+        CodeReg matmul {
+            tiledim = 4;
+            tiletype = Tiling2D() OR Tiling3D();
+            printstatus(tiletype);
+            if (tiletype == "2D") {
+                RoseLocus.Unroll(loop="0.0", factor=tiledim);
+            }
+        }
+        "#;
+        let (host, out) = run_default(src, "matmul");
+        // Default picks Tiling2D with minimum tile sizes.
+        assert_eq!(
+            host.calls,
+            vec![
+                "RoseLocus.Tiling(loop=0, factor=[2, 2])",
+                "RoseLocus.Unroll(loop=0.0, factor=4)"
+            ]
+        );
+        assert_eq!(out.log, vec!["Tiling selected: 2D"]);
+    }
+
+    #[test]
+    fn point_selects_or_alternative_and_values() {
+        let src = r#"
+        CodeReg r {
+            t = poweroftwo(2..32);
+            {
+                A.First(size=t);
+            } OR {
+                A.Second(size=t);
+            }
+        }
+        "#;
+        let program = parse(src).unwrap();
+        // Serials: 0 = pow2, 1 = OR block.
+        let ids: HashMap<usize, String> =
+            vec![(0, "t".to_string()), (1, "orblock".to_string())]
+                .into_iter()
+                .collect();
+        let mut point = Point::new();
+        point.set("t", ParamValue::Int(16));
+        point.set("orblock", ParamValue::Choice(1));
+        let mut host = RecordingHost::default();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("r").unwrap();
+        assert_eq!(host.calls, vec!["A.Second(size=16)"]);
+    }
+
+    #[test]
+    fn dependent_range_violation_is_invalid_point() {
+        let src = r#"
+        CodeReg r {
+            tileI = poweroftwo(2..512);
+            tileI_2 = poweroftwo(2..tileI);
+            A.T(a=tileI, b=tileI_2);
+        }
+        "#;
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> =
+            vec![(0, "tileI".to_string()), (1, "tileI_2".to_string())]
+                .into_iter()
+                .collect();
+        let mut point = Point::new();
+        point.set("tileI", ParamValue::Int(8));
+        point.set("tileI_2", ParamValue::Int(64));
+        let mut host = RecordingHost::default();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        let err = interp.run_codereg("r").unwrap_err();
+        assert!(matches!(err, LocusError::InvalidPoint(_)), "{err}");
+    }
+
+    #[test]
+    fn optional_statement_respects_point() {
+        let src = "CodeReg r { *A.Maybe(); A.Always(); }";
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> = vec![(0, "opt".to_string())].into_iter().collect();
+        let mut point = Point::new();
+        point.set("opt", ParamValue::Choice(0));
+        let mut host = RecordingHost::default();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("r").unwrap();
+        assert_eq!(host.calls, vec!["A.Always()"]);
+
+        point.set("opt", ParamValue::Choice(1));
+        let mut host2 = RecordingHost::default();
+        let mut interp2 = Interp::new(&program, &mut host2, &point, &ids);
+        interp2.run_codereg("r").unwrap();
+        assert_eq!(host2.calls, vec!["A.Maybe()", "A.Always()"]);
+    }
+
+    #[test]
+    fn kripke_control_flow_selects_layout() {
+        let src = r#"
+        datalayout = enum("DZG", "DGZ", "GDZ");
+        CodeReg Scattering {
+            if (datalayout == "DGZ") {
+                looporder = [0, 1, 2, 3, 4];
+            } elif (datalayout == "GDZ") {
+                looporder = [1, 2, 0, 3, 4];
+            } else {
+                looporder = [0, 3, 4, 1, 2];
+            }
+            sourcepath = "scatter_" + datalayout + ".txt";
+            BuiltIn.Altdesc(stmt="0.0.0.0.0.3", source=sourcepath);
+            RoseLocus.Interchange(order=looporder);
+        }
+        "#;
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> =
+            vec![(0, "datalayout".to_string())].into_iter().collect();
+        let mut point = Point::new();
+        point.set("datalayout", ParamValue::Choice(1)); // "DGZ"
+        let mut host = RecordingHost::default();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("Scattering").unwrap();
+        assert_eq!(
+            host.calls,
+            vec![
+                "BuiltIn.Altdesc(stmt=0.0.0.0.0.3, source=scatter_DGZ.txt)",
+                "RoseLocus.Interchange(order=[0, 1, 2, 3, 4])"
+            ]
+        );
+    }
+
+    #[test]
+    fn queries_feed_control_flow() {
+        let src = r#"
+        CodeReg scop {
+            perfect = BuiltIn.IsPerfectLoopNest();
+            depth = BuiltIn.LoopNestDepth();
+            if (perfect && depth > 1) {
+                RoseLocus.Interchange(order=[1, 0]);
+            }
+        }
+        "#;
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        host.responses
+            .insert("BuiltIn.IsPerfectLoopNest".into(), Value::from(true));
+        host.responses
+            .insert("BuiltIn.LoopNestDepth".into(), Value::Int(2));
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("scop").unwrap();
+        assert_eq!(host.calls.len(), 3);
+        assert!(host.calls[2].starts_with("RoseLocus.Interchange"));
+    }
+
+    #[test]
+    fn search_block_collects_config() {
+        let src = r#"
+        Search {
+            buildcmd = "make clean; make";
+            runcmd = "./matmul";
+        }
+        CodeReg r { A.X(); }
+        "#;
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_search_block().unwrap();
+        let out = interp.into_output();
+        assert_eq!(
+            out.search_config.get("buildcmd"),
+            Some(&Value::Str("make clean; make".into()))
+        );
+        assert_eq!(
+            out.search_config.get("runcmd"),
+            Some(&Value::Str("./matmul".into()))
+        );
+    }
+
+    #[test]
+    fn def_methods_cannot_call_modules() {
+        let src = r#"
+        def bad() {
+            RoseLocus.Unroll(factor=2);
+        }
+        CodeReg r { bad(); }
+        "#;
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        let err = interp.run_codereg("r").unwrap_err();
+        assert!(matches!(err, LocusError::ModuleCallInDef(_)));
+    }
+
+    #[test]
+    fn permutation_construct_reorders_list() {
+        let src = "CodeReg r { order = permutation(seq(0, 3)); A.I(order=order); }";
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> = vec![(0, "order".to_string())].into_iter().collect();
+        let mut point = Point::new();
+        point.set("order", ParamValue::Perm(vec![2, 0, 1]));
+        let mut host = RecordingHost::default();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("r").unwrap();
+        assert_eq!(host.calls, vec!["A.I(order=[2, 0, 1])"]);
+    }
+
+    #[test]
+    fn loops_and_arithmetic_work() {
+        let src = r#"
+        CodeReg r {
+            total = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                total = total + i;
+            }
+            s = 2 ** 5;
+            A.Done(sum=total, pow=s, mod=7 % 3);
+        }
+        "#;
+        let (host, _) = run_default(src, "r");
+        assert_eq!(host.calls, vec!["A.Done(sum=10, pow=32, mod=1)"]);
+    }
+
+    #[test]
+    fn while_loop_with_fuel_guard() {
+        let src = "CodeReg r { while 1 { x = 1; } }";
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        assert_eq!(interp.run_codereg("r").unwrap_err(), LocusError::Fuel);
+    }
+
+    #[test]
+    fn unknown_region_is_reported() {
+        let program = parse("CodeReg r { A.X(); }").unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        assert!(matches!(
+            interp.run_codereg("nope"),
+            Err(LocusError::UnknownRegion(_))
+        ));
+    }
+
+    #[test]
+    fn extern_functions_dispatch_to_the_host() {
+        let src = r#"
+        extern mytool;
+        CodeReg r {
+            mytool(level=2);
+        }
+        "#;
+        let program = parse(src).unwrap();
+        let mut host = RecordingHost::default();
+        let point = Point::new();
+        let ids = HashMap::new();
+        let mut interp = Interp::new(&program, &mut host, &point, &ids);
+        interp.run_codereg("r").unwrap();
+        assert_eq!(host.calls, vec!["extern.mytool(level=2)"]);
+    }
+
+    #[test]
+    fn dicts_lists_and_indexing() {
+        let src = r#"
+        CodeReg r {
+            d = dict(a=1, b=2);
+            l = [10, 20, 30];
+            l[1] = d.a + d["b"];
+            A.X(v=l[1], last=l[-1]);
+        }
+        "#;
+        let (host, _) = run_default(src, "r");
+        assert_eq!(host.calls, vec!["A.X(v=3, last=30)"]);
+    }
+}

@@ -1,0 +1,377 @@
+//! Lexer for the Locus optimization language.
+
+use std::error::Error;
+use std::fmt;
+
+/// Locus tokens.
+///
+/// Punctuation and operator variants are named after their spelling
+/// (see the `Display` impl) and are intentionally left without
+/// per-variant docs.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Eq,
+    AndAnd,
+    OrOr,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::StarStar => write!(f, "**"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Eq => write!(f, "="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocusLexError {
+    /// 1-based source line of the offending character.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LocusLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Locus lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LocusLexError {}
+
+/// Tokenizes Locus source. `#` and `//` start line comments.
+///
+/// # Errors
+///
+/// Returns [`LocusLexError`] on unterminated strings or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LocusLexError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    let err = |line: u32, message: String| LocusLexError { line, message };
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'"' => {
+                pos += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(pos + 1)
+                                .ok_or_else(|| err(line, "unterminated escape".into()))?;
+                            text.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                other => *other as char,
+                            });
+                            pos += 2;
+                        }
+                        Some(b'\n') | None => {
+                            return Err(err(line, "unterminated string".into()));
+                        }
+                        Some(other) => {
+                            text.push(*other as char);
+                            pos += 1;
+                        }
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(text),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                let mut is_float = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'0'..=b'9' => pos += 1,
+                        // `1..5` must lex as Int DotDot Int.
+                        b'.' if bytes.get(pos + 1) == Some(&b'.') => break,
+                        b'.' => {
+                            is_float = true;
+                            pos += 1;
+                        }
+                        b'e' | b'E' if is_float => {
+                            pos += 1;
+                            if matches!(bytes.get(pos), Some(b'+') | Some(b'-')) {
+                                pos += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are UTF-8");
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad float `{text}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad integer `{text}`")))?,
+                    )
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ident is UTF-8");
+                out.push(SpannedTok {
+                    tok: Tok::Ident(text.to_string()),
+                    line,
+                });
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(pos + 1) == Some(&b);
+                let (tok, width) = if two(b'.', b'.') {
+                    (Tok::DotDot, 2)
+                } else if two(b'*', b'*') {
+                    (Tok::StarStar, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let tok = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'.' => Tok::Dot,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'=' => Tok::Eq,
+                        other => {
+                            return Err(err(
+                                line,
+                                format!("unexpected character `{}`", other as char),
+                            ));
+                        }
+                    };
+                    (tok, 1)
+                };
+                out.push(SpannedTok { tok, line });
+                pos += width;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_range_without_eating_floats() {
+        assert_eq!(
+            toks("2..32"),
+            vec![Tok::Int(2), Tok::DotDot, Tok::Int(32)]
+        );
+        assert_eq!(toks("2.5"), vec![Tok::Float(2.5)]);
+        assert_eq!(
+            toks("2..tileI"),
+            vec![Tok::Int(2), Tok::DotDot, Tok::Ident("tileI".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_module_calls() {
+        assert_eq!(
+            toks("RoseLocus.Tiling(loop=\"0\", factor=[4,4]);"),
+            vec![
+                Tok::Ident("RoseLocus".into()),
+                Tok::Dot,
+                Tok::Ident("Tiling".into()),
+                Tok::LParen,
+                Tok::Ident("loop".into()),
+                Tok::Eq,
+                Tok::Str("0".into()),
+                Tok::Comma,
+                Tok::Ident("factor".into()),
+                Tok::Eq,
+                Tok::LBracket,
+                Tok::Int(4),
+                Tok::Comma,
+                Tok::Int(4),
+                Tok::RBracket,
+                Tok::RParen,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_comments_are_skipped() {
+        assert_eq!(
+            toks("x = 1; # No tiling.\ny"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Ident("y".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn power_and_comparison_operators() {
+        assert_eq!(
+            toks("a ** 2 <= b != c && d || e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::StarStar,
+                Tok::Int(2),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::AndAnd,
+                Tok::Ident("d".into()),
+                Tok::OrOr,
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_concatenation_source() {
+        assert_eq!(
+            toks(r#""scatter_" + datalayout + ".txt""#),
+            vec![
+                Tok::Str("scatter_".into()),
+                Tok::Plus,
+                Tok::Ident("datalayout".into()),
+                Tok::Plus,
+                Tok::Str(".txt".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let e = lex("x\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = lex("\"abc").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

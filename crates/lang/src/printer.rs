@@ -1,0 +1,420 @@
+//! Unparser for Locus programs.
+//!
+//! Renders a [`LocusProgram`] back to Locus source. Together with
+//! [`crate::specialize::specialize`], this implements the paper's Sec. II
+//! promise:
+//! "At the end, the result is a Locus *direct* program that can be
+//! shipped with the baseline source code to be reused for machines with
+//! similar environments."
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn print_program(program: &LocusProgram) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        print_item(&mut out, item);
+    }
+    out
+}
+
+fn print_item(out: &mut String, item: &LItem) {
+    match item {
+        LItem::Import(path) => {
+            let _ = writeln!(out, "import \"{path}\";");
+        }
+        LItem::Extern(e) => {
+            let _ = writeln!(out, "extern {};", print_expr(e));
+        }
+        LItem::CodeReg { name, body } => {
+            let _ = write!(out, "CodeReg {name} ");
+            print_block(out, body, 0);
+        }
+        LItem::OptSeq { name, params, body } => {
+            let _ = write!(out, "OptSeq {name}({}) ", params.join(", "));
+            print_block(out, body, 0);
+        }
+        LItem::Query { name, params, body } => {
+            let _ = write!(out, "Query {name}({}) ", params.join(", "));
+            print_block(out, body, 0);
+        }
+        LItem::ModuleDecl { name, body } => {
+            let _ = write!(out, "Module {name} ");
+            print_block(out, body, 0);
+        }
+        LItem::Def { name, params, body } => {
+            let _ = write!(out, "def {name}({}) ", params.join(", "));
+            print_block(out, body, 0);
+        }
+        LItem::SearchBlock(body) => {
+            out.push_str("Search ");
+            print_block(out, body, 0);
+        }
+        LItem::Stmt(stmt) => print_stmt(out, stmt, 0),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, block: &LBlock, level: usize) {
+    for (i, alt) in block.alternatives.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" OR ");
+        }
+        out.push_str("{\n");
+        for stmt in alt {
+            print_stmt(out, stmt, level + 1);
+        }
+        indent(out, level);
+        out.push('}');
+    }
+    out.push('\n');
+}
+
+fn print_stmt(out: &mut String, stmt: &LStmt, level: usize) {
+    match stmt {
+        LStmt::Pass => {
+            indent(out, level);
+            out.push_str("None;\n");
+        }
+        LStmt::Expr(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        LStmt::Print(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "print {};", print_expr(e));
+        }
+        LStmt::Return(Some(e)) => {
+            indent(out, level);
+            let _ = writeln!(out, "return {};", print_expr(e));
+        }
+        LStmt::Return(None) => {
+            indent(out, level);
+            out.push_str("return;\n");
+        }
+        LStmt::Assign { targets, value } => {
+            indent(out, level);
+            let ts: Vec<String> = targets.iter().map(print_expr).collect();
+            let _ = writeln!(out, "{} = {};", ts.join(", "), print_expr(value));
+        }
+        LStmt::Optional { stmt, .. } => {
+            indent(out, level);
+            let mut inner = String::new();
+            print_stmt(&mut inner, stmt, 0);
+            out.push('*');
+            out.push_str(inner.trim_start());
+        }
+        LStmt::Block(block) => {
+            indent(out, level);
+            print_block(out, block, level);
+        }
+        LStmt::If {
+            cond,
+            then,
+            elifs,
+            els,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block_inline(out, then, level);
+            for (c, b) in elifs {
+                indent(out, level);
+                let _ = write!(out, "elif ({}) ", print_expr(c));
+                print_block_inline(out, b, level);
+            }
+            if let Some(b) = els {
+                indent(out, level);
+                out.push_str("else ");
+                print_block_inline(out, b, level);
+            }
+        }
+        LStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            indent(out, level);
+            let mut i = String::new();
+            print_stmt(&mut i, init, 0);
+            let mut s = String::new();
+            print_stmt(&mut s, step, 0);
+            let _ = write!(
+                out,
+                "for ({}; {}; {}) ",
+                i.trim().trim_end_matches(';'),
+                print_expr(cond),
+                s.trim().trim_end_matches(';')
+            );
+            print_block_inline(out, body, level);
+        }
+        LStmt::While { cond, body } => {
+            indent(out, level);
+            let _ = write!(out, "while {} ", print_expr(cond));
+            print_block_inline(out, body, level);
+        }
+    }
+}
+
+/// Prints a block that continues an `if`/`for` header line.
+fn print_block_inline(out: &mut String, block: &LBlock, level: usize) {
+    print_block(out, block, level);
+}
+
+/// Renders an expression.
+pub fn print_expr(e: &LExpr) -> String {
+    expr_prec(e, 0)
+}
+
+fn bin_prec(op: LBinOp) -> u8 {
+    match op {
+        LBinOp::Or => 1,
+        LBinOp::And => 2,
+        LBinOp::Eq | LBinOp::Ne | LBinOp::Lt | LBinOp::Le | LBinOp::Gt | LBinOp::Ge => 3,
+        LBinOp::Add | LBinOp::Sub => 4,
+        LBinOp::Mul | LBinOp::Div | LBinOp::Rem => 5,
+        LBinOp::Pow => 6,
+    }
+}
+
+fn bin_symbol(op: LBinOp) -> &'static str {
+    match op {
+        LBinOp::Add => "+",
+        LBinOp::Sub => "-",
+        LBinOp::Mul => "*",
+        LBinOp::Div => "/",
+        LBinOp::Rem => "%",
+        LBinOp::Pow => "**",
+        LBinOp::Lt => "<",
+        LBinOp::Le => "<=",
+        LBinOp::Gt => ">",
+        LBinOp::Ge => ">=",
+        LBinOp::Eq => "==",
+        LBinOp::Ne => "!=",
+        LBinOp::And => "&&",
+        LBinOp::Or => "||",
+    }
+}
+
+fn expr_prec(e: &LExpr, parent: u8) -> String {
+    match e {
+        LExpr::Int(v) => v.to_string(),
+        LExpr::Float(v) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        LExpr::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        LExpr::Ident(name) => name.clone(),
+        LExpr::None => "None".to_string(),
+        LExpr::List(items) => {
+            let inner: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        LExpr::Tuple(items) => {
+            let inner: Vec<String> = items.iter().map(print_expr).collect();
+            format!("({})", inner.join(", "))
+        }
+        LExpr::Dict(entries) => {
+            let inner: Vec<String> = entries
+                .iter()
+                .map(|(k, v)| format!("{k}={}", print_expr(v)))
+                .collect();
+            format!("dict({})", inner.join(", "))
+        }
+        LExpr::Attr { base, name } => format!("{}.{name}", expr_prec(base, 9)),
+        LExpr::Call { callee, args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| match &a.name {
+                    Some(n) => format!("{n}={}", print_expr(&a.value)),
+                    None => print_expr(&a.value),
+                })
+                .collect();
+            format!("{}({})", expr_prec(callee, 9), rendered.join(", "))
+        }
+        LExpr::Index { base, index } => {
+            format!("{}[{}]", expr_prec(base, 9), print_expr(index))
+        }
+        LExpr::Range { lo, hi, step } => {
+            let mut s = format!("{}..{}", expr_prec(lo, 5), expr_prec(hi, 5));
+            if let Some(st) = step {
+                let _ = write!(s, "..{}", expr_prec(st, 5));
+            }
+            s
+        }
+        LExpr::Neg(inner) => format!("-{}", expr_prec(inner, 8)),
+        LExpr::Not(inner) => format!("not {}", expr_prec(inner, 8)),
+        LExpr::Binary { op, lhs, rhs } => {
+            let prec = bin_prec(*op);
+            let text = format!(
+                "{} {} {}",
+                expr_prec(lhs, prec),
+                bin_symbol(*op),
+                expr_prec(rhs, prec + 1)
+            );
+            if prec < parent {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        LExpr::Search { kind, args, .. } => {
+            let name = match kind {
+                SearchKind::Enum => "enum",
+                SearchKind::Integer => "integer",
+                SearchKind::Float => "float",
+                SearchKind::Permutation => "permutation",
+                SearchKind::PowerOfTwo => "poweroftwo",
+                SearchKind::LogInteger => "loginteger",
+                SearchKind::LogFloat => "logfloat",
+            };
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        LExpr::OrExpr { options, .. } => {
+            let inner: Vec<String> = options.iter().map(print_expr).collect();
+            inner.join(" OR ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) -> LocusProgram {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"))
+    }
+
+    /// Compares programs ignoring serial numbers (re-parsing renumbers).
+    fn assert_equivalent(a: &LocusProgram, b: &LocusProgram) {
+        assert_eq!(strip(format!("{a:?}")), strip(format!("{b:?}")));
+    }
+
+    fn strip(s: String) -> String {
+        // Remove `serial: N` occurrences.
+        let re_like: String = s
+            .split("serial:")
+            .enumerate()
+            .map(|(i, part)| {
+                if i == 0 {
+                    part.to_string()
+                } else {
+                    let rest = part.split_once([',', ' ', '}']).map(|x| x.1).unwrap_or("");
+                    format!("serial:<>{rest}")
+                }
+            })
+            .collect();
+        re_like
+    }
+
+    #[test]
+    fn fig7_round_trips() {
+        let src = r#"
+        Search {
+            buildcmd = "make";
+            runcmd = "./matmul";
+        }
+        CodeReg matmul {
+            RoseLocus.Interchange(order=[0, 2, 1]);
+            tileI = poweroftwo(2..512);
+            Pips.Tiling(loop="0", factor=[tileI, 4, 8]);
+            {
+                Pragma.OMPFor(loop="0");
+            } OR {
+                Pragma.OMPFor(loop="0", schedule=enum("static", "dynamic"), chunk=integer(1..32));
+            }
+        }
+        "#;
+        let p1 = parse(src).unwrap();
+        let p2 = round_trip(src);
+        assert_equivalent(&p1, &p2);
+    }
+
+    #[test]
+    fn fig13_round_trips() {
+        let src = r#"
+        CodeReg scop {
+            perfect = BuiltIn.IsPerfectLoopNest();
+            depth = BuiltIn.LoopNestDepth();
+            if (RoseLocus.IsDepAvailable()) {
+                if (perfect && depth > 1) {
+                    permorder = permutation(seq(0, depth));
+                    RoseLocus.Interchange(order=permorder);
+                }
+                {
+                    if (perfect) {
+                        indexT1 = integer(1..depth);
+                        T1fac = poweroftwo(2..32);
+                        RoseLocus.Tiling(loop=indexT1, factor=T1fac);
+                    }
+                } OR {
+                    if (depth > 1) {
+                        RoseLocus.UnrollAndJam(loop=1, factor=poweroftwo(2..4));
+                    }
+                } OR {
+                    None;
+                }
+                innerloops = BuiltIn.ListInnerLoops();
+                *RoseLocus.Distribute(loop=innerloops);
+            }
+            RoseLocus.Unroll(loop=innerloops, factor=poweroftwo(2..8));
+        }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_equivalent(&p1, &p2);
+    }
+
+    #[test]
+    fn expressions_round_trip_with_precedence() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "not x && y",
+            "a ** 2 + 1",
+            "x == \"2D\"",
+            "[1, 2, [3, 4]]",
+            "dict(a=1, b=2)",
+            "seq(0, depth)",
+            "2..tileI",
+        ] {
+            let text = format!("CodeReg r {{ x = {src}; }}");
+            let p1 = parse(&text).unwrap();
+            let printed = print_program(&p1);
+            let p2 = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+            assert_equivalent(&p1, &p2);
+        }
+    }
+
+    #[test]
+    fn control_flow_round_trips() {
+        let src = r#"
+        CodeReg r {
+            if (a == 1) { x = 1; } elif (a == 2) { x = 2; } else { x = 3; }
+            for (i = 0; i < 4; i = i + 1) { y = i; }
+            while y > 0 { y = y - 1; }
+            *Maybe.Do();
+            transfA() OR transfB();
+        }
+        "#;
+        let p1 = parse(src).unwrap();
+        let p2 = round_trip(src);
+        assert_equivalent(&p1, &p2);
+    }
+}

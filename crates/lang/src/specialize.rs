@@ -1,0 +1,374 @@
+//! Point specialization: turning a search program into a *direct*
+//! program (Sec. II of the paper: "At the end, the result is a Locus
+//! direct program that can be shipped with the baseline source code").
+//!
+//! Given the point a search chose, every search construct is replaced by
+//! its selected value, `OR` blocks keep only the chosen alternative, and
+//! optional statements are kept or dropped. The result contains no
+//! search constructs and reproduces the winning variant exactly when run
+//! through the direct workflow.
+
+use std::collections::HashMap;
+
+use locus_space::{ParamValue, Point};
+
+use crate::ast::*;
+
+/// Specializes `program` to `point`, producing a direct program.
+///
+/// Missing parameters default exactly as the interpreter defaults them
+/// (first alternative, range minimum, identity permutation, optional
+/// statements kept), so a partially assigned point still yields a
+/// runnable direct program.
+pub fn specialize(
+    program: &LocusProgram,
+    point: &Point,
+    ids: &HashMap<usize, String>,
+) -> LocusProgram {
+    let ctx = Ctx { point, ids };
+    let items = program
+        .items
+        .iter()
+        .map(|item| match item {
+            LItem::CodeReg { name, body } => LItem::CodeReg {
+                name: name.clone(),
+                body: ctx.block(body),
+            },
+            LItem::OptSeq { name, params, body } => LItem::OptSeq {
+                name: name.clone(),
+                params: params.clone(),
+                body: ctx.block(body),
+            },
+            LItem::Query { name, params, body } => LItem::Query {
+                name: name.clone(),
+                params: params.clone(),
+                body: ctx.block(body),
+            },
+            LItem::ModuleDecl { name, body } => LItem::ModuleDecl {
+                name: name.clone(),
+                body: ctx.block(body),
+            },
+            LItem::Def { name, params, body } => LItem::Def {
+                name: name.clone(),
+                params: params.clone(),
+                body: ctx.block(body),
+            },
+            LItem::SearchBlock(body) => LItem::SearchBlock(ctx.block(body)),
+            LItem::Stmt(stmt) => LItem::Stmt(
+                ctx.stmt(stmt)
+                    .unwrap_or(LStmt::Pass),
+            ),
+            other => other.clone(),
+        })
+        .collect();
+    LocusProgram {
+        items,
+        serial_count: program.serial_count,
+    }
+}
+
+struct Ctx<'a> {
+    point: &'a Point,
+    ids: &'a HashMap<usize, String>,
+}
+
+impl Ctx<'_> {
+    fn id(&self, serial: usize) -> String {
+        self.ids
+            .get(&serial)
+            .cloned()
+            .unwrap_or_else(|| format!("p{serial}"))
+    }
+
+    fn choice(&self, serial: usize, n: usize, default: usize) -> usize {
+        match self.point.get(&self.id(serial)) {
+            Some(ParamValue::Choice(c)) => (*c).min(n.saturating_sub(1)),
+            Some(ParamValue::Int(v)) => (*v as usize).min(n.saturating_sub(1)),
+            _ => default,
+        }
+    }
+
+    fn block(&self, block: &LBlock) -> LBlock {
+        let alt = match block.serial {
+            Some(serial) => self.choice(serial, block.alternatives.len(), 0),
+            None => 0,
+        };
+        let stmts = block.alternatives[alt]
+            .iter()
+            .filter_map(|s| self.stmt(s))
+            .collect();
+        LBlock {
+            alternatives: vec![stmts],
+            serial: None,
+        }
+    }
+
+    /// Specializes one statement; `None` drops it (a skipped optional).
+    fn stmt(&self, stmt: &LStmt) -> Option<LStmt> {
+        Some(match stmt {
+            LStmt::Pass => LStmt::Pass,
+            LStmt::Expr(e) => LStmt::Expr(self.expr(e)),
+            LStmt::Print(e) => LStmt::Print(self.expr(e)),
+            LStmt::Return(v) => LStmt::Return(v.as_ref().map(|e| self.expr(e))),
+            LStmt::Assign { targets, value } => LStmt::Assign {
+                targets: targets.clone(),
+                value: self.expr(value),
+            },
+            LStmt::Optional { serial, stmt } => {
+                if self.choice(*serial, 2, 1) == 1 {
+                    return self.stmt(stmt);
+                }
+                return None;
+            }
+            LStmt::Block(b) => {
+                let specialized = self.block(b);
+                // A single-alternative block stays a block (scoping).
+                LStmt::Block(specialized)
+            }
+            LStmt::If {
+                cond,
+                then,
+                elifs,
+                els,
+            } => LStmt::If {
+                cond: self.expr(cond),
+                then: self.block(then),
+                elifs: elifs
+                    .iter()
+                    .map(|(c, b)| (self.expr(c), self.block(b)))
+                    .collect(),
+                els: els.as_ref().map(|b| self.block(b)),
+            },
+            LStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => LStmt::For {
+                init: Box::new(self.stmt(init)?),
+                cond: self.expr(cond),
+                step: Box::new(self.stmt(step)?),
+                body: self.block(body),
+            },
+            LStmt::While { cond, body } => LStmt::While {
+                cond: self.expr(cond),
+                body: self.block(body),
+            },
+        })
+    }
+
+    fn expr(&self, e: &LExpr) -> LExpr {
+        match e {
+            LExpr::Search { serial, kind, args } => self.search(*serial, *kind, args),
+            LExpr::OrExpr { serial, options } => {
+                let pick = self.choice(*serial, options.len(), 0);
+                self.expr(&options[pick])
+            }
+            LExpr::List(items) => LExpr::List(items.iter().map(|i| self.expr(i)).collect()),
+            LExpr::Tuple(items) => LExpr::Tuple(items.iter().map(|i| self.expr(i)).collect()),
+            LExpr::Dict(entries) => LExpr::Dict(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.expr(v)))
+                    .collect(),
+            ),
+            LExpr::Attr { base, name } => LExpr::Attr {
+                base: Box::new(self.expr(base)),
+                name: name.clone(),
+            },
+            LExpr::Call { callee, args } => LExpr::Call {
+                callee: Box::new(self.expr(callee)),
+                args: args
+                    .iter()
+                    .map(|a| LArg {
+                        name: a.name.clone(),
+                        value: self.expr(&a.value),
+                    })
+                    .collect(),
+            },
+            LExpr::Index { base, index } => LExpr::Index {
+                base: Box::new(self.expr(base)),
+                index: Box::new(self.expr(index)),
+            },
+            LExpr::Range { lo, hi, step } => LExpr::Range {
+                lo: Box::new(self.expr(lo)),
+                hi: Box::new(self.expr(hi)),
+                step: step.as_ref().map(|s| Box::new(self.expr(s))),
+            },
+            LExpr::Neg(i) => LExpr::Neg(Box::new(self.expr(i))),
+            LExpr::Not(i) => LExpr::Not(Box::new(self.expr(i))),
+            LExpr::Binary { op, lhs, rhs } => LExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn search(&self, serial: usize, kind: SearchKind, args: &[LExpr]) -> LExpr {
+        let value = self.point.get(&self.id(serial));
+        match kind {
+            SearchKind::Enum => {
+                let pick = match value {
+                    Some(ParamValue::Choice(c)) => (*c).min(args.len().saturating_sub(1)),
+                    _ => 0,
+                };
+                args.get(pick)
+                    .map(|e| self.expr(e))
+                    .unwrap_or(LExpr::None)
+            }
+            SearchKind::Integer | SearchKind::PowerOfTwo | SearchKind::LogInteger => {
+                match value {
+                    Some(ParamValue::Int(v)) => LExpr::Int(*v),
+                    Some(ParamValue::Choice(c)) => LExpr::Int(*c as i64),
+                    // Default: the range minimum, kept symbolic when the
+                    // bound is an expression.
+                    _ => match args {
+                        [LExpr::Range { lo, .. }] => self.expr(lo),
+                        [lo, ..] => self.expr(lo),
+                        [] => LExpr::Int(0),
+                    },
+                }
+            }
+            SearchKind::Float | SearchKind::LogFloat => match value {
+                Some(ParamValue::Float(v)) => LExpr::Float(*v),
+                Some(ParamValue::Int(v)) => LExpr::Float(*v as f64),
+                _ => match args {
+                    [LExpr::Range { lo, .. }] => self.expr(lo),
+                    [lo, ..] => self.expr(lo),
+                    [] => LExpr::Float(0.0),
+                },
+            },
+            SearchKind::Permutation => {
+                // A statically known item list permutes into a literal
+                // list; otherwise the construct survives with the
+                // identity (no information is lost, the interpreter's
+                // default matches).
+                let items = match args.first() {
+                    Some(LExpr::List(items)) => Some(items.clone()),
+                    Some(LExpr::Call { callee, args: cargs }) => match callee.as_ref() {
+                        LExpr::Ident(name) if name == "seq" && cargs.len() == 2 => {
+                            match (&cargs[0].value, &cargs[1].value) {
+                                (LExpr::Int(lo), LExpr::Int(hi)) => {
+                                    Some((*lo..*hi).map(LExpr::Int).collect())
+                                }
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match (items, value) {
+                    (Some(items), Some(ParamValue::Perm(perm)))
+                        if perm.len() == items.len() =>
+                    {
+                        LExpr::List(perm.iter().map(|&i| items[i].clone()).collect())
+                    }
+                    (Some(items), _) => LExpr::List(items),
+                    (None, _) => LExpr::Search {
+                        serial,
+                        kind,
+                        args: args.to_vec(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print_program;
+
+    fn point(entries: &[(&str, ParamValue)]) -> Point {
+        let mut p = Point::new();
+        for (k, v) in entries {
+            p.set(*k, v.clone());
+        }
+        p
+    }
+
+    #[test]
+    fn specializes_fig7_to_a_direct_program() {
+        let src = r#"
+        CodeReg matmul {
+            RoseLocus.Interchange(order=[0, 2, 1]);
+            tileI = poweroftwo(2..512);
+            Pips.Tiling(loop="0", factor=[tileI, 8, 8]);
+            {
+                Pragma.OMPFor(loop="0");
+            } OR {
+                Pragma.OMPFor(loop="0", schedule=enum("static", "dynamic"), chunk=integer(1..32));
+            }
+        }
+        "#;
+        let program = parse(src).unwrap();
+        // Serials: tileI=0, enum=1, chunk=2, OR block=3.
+        let ids: HashMap<usize, String> = [
+            (0usize, "tileI".to_string()),
+            (1, "sched".to_string()),
+            (2, "chunk".to_string()),
+            (3, "orblock".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        let p = point(&[
+            ("tileI", ParamValue::Int(64)),
+            ("sched", ParamValue::Choice(1)),
+            ("chunk", ParamValue::Int(16)),
+            ("orblock", ParamValue::Choice(1)),
+        ]);
+        let direct = specialize(&program, &p, &ids);
+        assert_eq!(direct.serial_count, program.serial_count);
+        let printed = print_program(&direct);
+        assert!(printed.contains("tileI = 64;"), "{printed}");
+        assert!(printed.contains("schedule=\"dynamic\""), "{printed}");
+        assert!(printed.contains("chunk=16"), "{printed}");
+        assert!(!printed.contains(" OR "), "{printed}");
+        assert!(!printed.contains("poweroftwo"), "{printed}");
+        // The direct program re-parses cleanly.
+        assert!(parse(&printed).is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn optional_statements_are_kept_or_dropped() {
+        let src = "CodeReg r { *A.Maybe(); B.Always(); }";
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> = [(0usize, "opt".to_string())].into_iter().collect();
+
+        let kept = specialize(&program, &point(&[("opt", ParamValue::Choice(1))]), &ids);
+        assert!(print_program(&kept).contains("A.Maybe()"));
+        let dropped = specialize(&program, &point(&[("opt", ParamValue::Choice(0))]), &ids);
+        let printed = print_program(&dropped);
+        assert!(!printed.contains("A.Maybe()"), "{printed}");
+        assert!(printed.contains("B.Always()"));
+    }
+
+    #[test]
+    fn permutation_over_static_seq_becomes_a_list() {
+        let src = "CodeReg r { order = permutation(seq(0, 3)); A.I(order=order); }";
+        let program = parse(src).unwrap();
+        let ids: HashMap<usize, String> = [(0usize, "order".to_string())].into_iter().collect();
+        let direct = specialize(
+            &program,
+            &point(&[("order", ParamValue::Perm(vec![2, 0, 1]))]),
+            &ids,
+        );
+        assert!(print_program(&direct).contains("order = [2, 0, 1];"));
+    }
+
+    #[test]
+    fn defaults_mirror_the_interpreter() {
+        let src = "CodeReg r { t = poweroftwo(4..64); x = enum(\"a\", \"b\"); *A.M(); }";
+        let program = parse(src).unwrap();
+        let direct = specialize(&program, &Point::new(), &HashMap::new());
+        let printed = print_program(&direct);
+        assert!(printed.contains("t = 4;"), "{printed}");
+        assert!(printed.contains("x = \"a\";"), "{printed}");
+        assert!(printed.contains("A.M()"), "kept by default: {printed}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Runtime values of the Locus language: numbers, strings, lists,
+//! tuples and dictionaries (Sec. III, *Data Structures* and *Types*).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically typed Locus value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `None`.
+    None,
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Mutable list.
+    List(Vec<Value>),
+    /// Immutable tuple.
+    Tuple(Vec<Value>),
+    /// Dictionary with string keys.
+    Dict(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Locus truthiness: `None`, zero, empty containers are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(v) | Value::Tuple(v) => !v.is_empty(),
+            Value::Dict(d) => !d.is_empty(),
+        }
+    }
+
+    /// Integer view (floats truncate).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view (no coercion).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List/tuple element view.
+    pub fn as_slice(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) | Value::Tuple(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "None",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::Dict(_) => "dict",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "None"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Dict(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_python_conventions() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::List(vec![Value::Int(1)]).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(),
+            "[1, a]"
+        );
+        assert_eq!(Value::None.to_string(), "None");
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Float(2.9).as_int(), Some(2));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+}

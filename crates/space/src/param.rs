@@ -1,0 +1,384 @@
+//! Search-space parameters: one per Locus search construct.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// The kind (and domain) of one search parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// A labeled finite choice: `enum(...)`, `OR` blocks, `OR`
+    /// statements.
+    Enum(Vec<String>),
+    /// A boolean: optional (`*`) statements.
+    Bool,
+    /// All integers in `[min, max]` (the paper's `integer(min..max)`,
+    /// inclusive on both ends).
+    Integer {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// Powers of two within `[min, max]`: `poweroftwo(min..max)`.
+    PowerOfTwo {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// Like `Integer` but sampled log-uniformly: `loginteger(min..max)`.
+    LogInteger {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A float grid over `[min, max]` with `steps` samples:
+    /// `float(min..max)`.
+    Float {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+        /// Grid resolution.
+        steps: u32,
+    },
+    /// Log-spaced float grid: `logfloat(min..max)`.
+    LogFloat {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+        /// Grid resolution.
+        steps: u32,
+    },
+    /// All permutations of `0..n`: `permutation([...])`.
+    Permutation(usize),
+}
+
+/// A concrete value for one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Index into an [`ParamKind::Enum`]'s labels, or 0/1 for `Bool`.
+    Choice(usize),
+    /// Integer value (`Integer`, `PowerOfTwo`, `LogInteger`).
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// A permutation of `0..n`.
+    Perm(Vec<usize>),
+}
+
+impl ParamValue {
+    /// The integer payload, if this is an integer-like value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            ParamValue::Choice(c) => Some(*c as i64),
+            _ => None,
+        }
+    }
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    /// Unique identifier within the space (derived from the Locus
+    /// variable or construct position).
+    pub id: String,
+    /// Domain.
+    pub kind: ParamKind,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(id: impl Into<String>, kind: ParamKind) -> ParamDef {
+        ParamDef {
+            id: id.into(),
+            kind,
+        }
+    }
+}
+
+impl ParamKind {
+    /// Number of distinct values (saturating).
+    pub fn cardinality(&self) -> u128 {
+        match self {
+            ParamKind::Enum(labels) => labels.len().max(1) as u128,
+            ParamKind::Bool => 2,
+            ParamKind::Integer { min, max } | ParamKind::LogInteger { min, max } => {
+                if max < min {
+                    1
+                } else {
+                    (max - min) as u128 + 1
+                }
+            }
+            ParamKind::PowerOfTwo { min, max } => pow2_values(*min, *max).len() as u128,
+            ParamKind::Float { steps, .. } | ParamKind::LogFloat { steps, .. } => {
+                (*steps).max(1) as u128
+            }
+            ParamKind::Permutation(n) => (1..=*n as u128).product::<u128>().max(1),
+        }
+    }
+
+    /// The `index`-th value (for exhaustive enumeration). `index` must be
+    /// below [`ParamKind::cardinality`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn value_at(&self, index: u128) -> ParamValue {
+        assert!(
+            index < self.cardinality(),
+            "index {index} out of range for {self:?}"
+        );
+        match self {
+            ParamKind::Enum(_) | ParamKind::Bool => ParamValue::Choice(index as usize),
+            ParamKind::Integer { min, .. } | ParamKind::LogInteger { min, .. } => {
+                ParamValue::Int(min + index as i64)
+            }
+            ParamKind::PowerOfTwo { min, max } => {
+                ParamValue::Int(pow2_values(*min, *max)[index as usize])
+            }
+            ParamKind::Float { min, max, steps } => {
+                ParamValue::Float(grid(*min, *max, *steps, index as u32))
+            }
+            ParamKind::LogFloat { min, max, steps } => {
+                let (lmin, lmax) = (min.max(1e-12).ln(), max.max(1e-12).ln());
+                ParamValue::Float(grid(lmin, lmax, *steps, index as u32).exp())
+            }
+            ParamKind::Permutation(n) => ParamValue::Perm(nth_permutation(*n, index)),
+        }
+    }
+
+    /// Samples a uniform random value (log-uniform for the log kinds).
+    pub fn random(&self, rng: &mut impl Rng) -> ParamValue {
+        match self {
+            ParamKind::LogInteger { min, max } => {
+                let (lo, hi) = ((*min).max(1) as f64, (*max).max(1) as f64);
+                let v = (rng.random_range(lo.ln()..=hi.ln())).exp().round() as i64;
+                ParamValue::Int(v.clamp(*min, *max))
+            }
+            ParamKind::LogFloat { min, max, .. } => {
+                let (lo, hi) = (min.max(1e-12).ln(), max.max(1e-12).ln());
+                ParamValue::Float(rng.random_range(lo..=hi).exp())
+            }
+            _ => {
+                let idx = rng.random_range(0..self.cardinality().min(u64::MAX as u128) as u64);
+                self.value_at(u128::from(idx))
+            }
+        }
+    }
+
+    /// Perturbs a value to a nearby one (the mutation step used by the
+    /// local search techniques).
+    pub fn mutate(&self, value: &ParamValue, rng: &mut impl Rng) -> ParamValue {
+        match (self, value) {
+            (ParamKind::Integer { min, max }, ParamValue::Int(v))
+            | (ParamKind::LogInteger { min, max }, ParamValue::Int(v)) => {
+                let span = ((max - min) / 8).max(1);
+                let delta = rng.random_range(-span..=span);
+                ParamValue::Int((v + delta).clamp(*min, *max))
+            }
+            (ParamKind::PowerOfTwo { min, max }, ParamValue::Int(v)) => {
+                let values = pow2_values(*min, *max);
+                let pos = values.iter().position(|x| x == v).unwrap_or(0);
+                let next = if rng.random_bool(0.5) {
+                    pos.saturating_sub(1)
+                } else {
+                    (pos + 1).min(values.len() - 1)
+                };
+                ParamValue::Int(values[next])
+            }
+            (ParamKind::Permutation(n), ParamValue::Perm(p)) if *n >= 2 => {
+                let mut p = p.clone();
+                let a = rng.random_range(0..*n);
+                let b = rng.random_range(0..*n);
+                p.swap(a, b);
+                ParamValue::Perm(p)
+            }
+            (ParamKind::Float { min, max, .. }, ParamValue::Float(v)) => {
+                let delta = (max - min) / 16.0;
+                ParamValue::Float((v + rng.random_range(-delta..=delta)).clamp(*min, *max))
+            }
+            _ => self.random(rng),
+        }
+    }
+}
+
+/// Powers of two within `[min, max]`, ascending.
+pub fn pow2_values(min: i64, max: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut v: i64 = 1;
+    while v <= max {
+        if v >= min {
+            out.push(v);
+        }
+        match v.checked_mul(2) {
+            Some(next) => v = next,
+            None => break,
+        }
+    }
+    if out.is_empty() {
+        out.push(min.max(1));
+    }
+    out
+}
+
+fn grid(min: f64, max: f64, steps: u32, index: u32) -> f64 {
+    if steps <= 1 {
+        return min;
+    }
+    min + (max - min) * f64::from(index) / f64::from(steps - 1)
+}
+
+/// The `index`-th permutation of `0..n` in lexicographic order
+/// (factorial number system).
+fn nth_permutation(n: usize, mut index: u128) -> Vec<usize> {
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    let mut fact: u128 = (1..=n.saturating_sub(1) as u128).product::<u128>().max(1);
+    for k in (0..n).rev() {
+        let pos = (index / fact) as usize;
+        index %= fact;
+        out.push(items.remove(pos.min(items.len().saturating_sub(1))));
+        if k > 0 {
+            fact /= k.max(1) as u128;
+        }
+    }
+    out
+}
+
+/// Uniformly samples a permutation (kept for symmetry with `random`).
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    p.shuffle(rng);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> impl Rng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn pow2_range_matches_the_paper() {
+        // poweroftwo(2..32) — Fig. 5 says tiles 2,4,8,16,32: 5 values.
+        assert_eq!(pow2_values(2, 32), vec![2, 4, 8, 16, 32]);
+        // poweroftwo(2..512) — Fig. 7's 9 values.
+        assert_eq!(pow2_values(2, 512).len(), 9);
+    }
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(ParamKind::Bool.cardinality(), 2);
+        assert_eq!(
+            ParamKind::Enum(vec!["a".into(), "b".into(), "c".into()]).cardinality(),
+            3
+        );
+        assert_eq!(ParamKind::Integer { min: 1, max: 32 }.cardinality(), 32);
+        assert_eq!(ParamKind::PowerOfTwo { min: 2, max: 512 }.cardinality(), 9);
+        assert_eq!(ParamKind::Permutation(5).cardinality(), 120);
+        assert_eq!(
+            ParamKind::Float {
+                min: 0.0,
+                max: 1.0,
+                steps: 11
+            }
+            .cardinality(),
+            11
+        );
+    }
+
+    #[test]
+    fn value_at_enumerates_domain() {
+        let k = ParamKind::PowerOfTwo { min: 2, max: 32 };
+        let values: Vec<ParamValue> = (0..k.cardinality()).map(|i| k.value_at(i)).collect();
+        assert_eq!(
+            values,
+            vec![
+                ParamValue::Int(2),
+                ParamValue::Int(4),
+                ParamValue::Int(8),
+                ParamValue::Int(16),
+                ParamValue::Int(32)
+            ]
+        );
+    }
+
+    #[test]
+    fn permutations_enumerate_lexicographically() {
+        let k = ParamKind::Permutation(3);
+        let all: Vec<Vec<usize>> = (0..6)
+            .map(|i| match k.value_at(i) {
+                ParamValue::Perm(p) => p,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(all[0], vec![0, 1, 2]);
+        assert_eq!(all[5], vec![2, 1, 0]);
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn random_respects_domain() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            match (ParamKind::PowerOfTwo { min: 2, max: 64 }).random(&mut rng) {
+                ParamValue::Int(v) => {
+                    assert!((2..=64).contains(&v) && v.count_ones() == 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_domain_and_is_local() {
+        let mut rng = rng();
+        let k = ParamKind::PowerOfTwo { min: 2, max: 512 };
+        let v = ParamValue::Int(32);
+        for _ in 0..50 {
+            match k.mutate(&v, &mut rng) {
+                ParamValue::Int(m) => assert!(m == 16 || m == 64, "got {m}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn float_grid_hits_endpoints() {
+        let k = ParamKind::Float {
+            min: 1.0,
+            max: 2.0,
+            steps: 5,
+        };
+        assert_eq!(k.value_at(0), ParamValue::Float(1.0));
+        assert_eq!(k.value_at(4), ParamValue::Float(2.0));
+    }
+
+    #[test]
+    fn log_integer_sampling_is_in_range() {
+        let mut rng = rng();
+        let k = ParamKind::LogInteger { min: 1, max: 1000 };
+        for _ in 0..100 {
+            let ParamValue::Int(v) = k.random(&mut rng) else {
+                panic!("expected int")
+            };
+            assert!((1..=1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_domains_do_not_panic() {
+        assert_eq!(ParamKind::Integer { min: 5, max: 5 }.cardinality(), 1);
+        assert_eq!(ParamKind::Permutation(0).cardinality(), 1);
+        assert_eq!(ParamKind::Permutation(1).value_at(0), ParamValue::Perm(vec![0]));
+    }
+}

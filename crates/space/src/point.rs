@@ -1,0 +1,110 @@
+//! Points: one concrete assignment of every space parameter.
+
+use std::collections::BTreeMap;
+
+use crate::param::ParamValue;
+
+/// An assignment of values to parameters, keyed by parameter id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Point {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Point {
+    /// An empty point.
+    pub fn new() -> Point {
+        Point::default()
+    }
+
+    /// Sets a parameter value.
+    pub fn set(&mut self, id: impl Into<String>, value: ParamValue) {
+        self.values.insert(id.into(), value);
+    }
+
+    /// Reads a parameter value.
+    pub fn get(&self, id: &str) -> Option<&ParamValue> {
+        self.values.get(id)
+    }
+
+    /// Number of assigned parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameter is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A canonical string key for de-duplicating evaluated variants
+    /// (the OpenTuner behaviour the paper credits for faster search).
+    pub fn dedup_key(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            out.push_str(k);
+            out.push('=');
+            match v {
+                ParamValue::Choice(c) => out.push_str(&format!("c{c}")),
+                ParamValue::Int(i) => out.push_str(&format!("i{i}")),
+                ParamValue::Float(f) => out.push_str(&format!("f{f:.9e}")),
+                ParamValue::Perm(p) => {
+                    out.push('p');
+                    for x in p {
+                        out.push_str(&format!("{x}."));
+                    }
+                }
+            }
+            out.push(';');
+        }
+        out
+    }
+}
+
+impl FromIterator<(String, ParamValue)> for Point {
+    fn from_iter<T: IntoIterator<Item = (String, ParamValue)>>(iter: T) -> Point {
+        Point {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut p = Point::new();
+        assert!(p.is_empty());
+        p.set("tileI", ParamValue::Int(32));
+        assert_eq!(p.get("tileI"), Some(&ParamValue::Int(32)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn dedup_key_is_stable_and_discriminating() {
+        let mut a = Point::new();
+        a.set("x", ParamValue::Int(1));
+        a.set("y", ParamValue::Choice(0));
+        let mut b = Point::new();
+        b.set("y", ParamValue::Choice(0));
+        b.set("x", ParamValue::Int(1));
+        assert_eq!(a.dedup_key(), b.dedup_key(), "insertion order irrelevant");
+        let mut c = a.clone();
+        c.set("x", ParamValue::Int(2));
+        assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Point = vec![("a".to_string(), ParamValue::Int(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(p.get("a"), Some(&ParamValue::Int(3)));
+    }
+}

@@ -1,0 +1,275 @@
+//! The optimization space: an ordered collection of parameters.
+
+use rand::{Rng, RngExt};
+
+use crate::param::ParamDef;
+use crate::point::Point;
+
+/// An optimization space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Space {
+    params: Vec<ParamDef>,
+}
+
+impl Space {
+    /// An empty space (a single trivial variant).
+    pub fn new() -> Space {
+        Space::default()
+    }
+
+    /// Adds a parameter. Ids must be unique; re-adding an existing id
+    /// replaces its definition (the Locus optimizer uses this when a
+    /// range is tightened by constant propagation).
+    pub fn add(&mut self, def: ParamDef) {
+        match self.params.iter_mut().find(|p| p.id == def.id) {
+            Some(slot) => *slot = def,
+            None => self.params.push(def),
+        }
+    }
+
+    /// The parameters in declaration order.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Looks up a parameter by id.
+    pub fn param(&self, id: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.id == id)
+    }
+
+    /// Removes a parameter (dead-space elimination).
+    pub fn remove(&mut self, id: &str) -> bool {
+        let before = self.params.len();
+        self.params.retain(|p| p.id != id);
+        before != self.params.len()
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of points (saturating at `u128::MAX`).
+    ///
+    /// This is the figure the paper quotes for Fig. 7's space
+    /// ("34,012,224 possible variants according to OpenTuner") — the
+    /// exact count depends on how the search module encodes OR blocks,
+    /// so our flattened count may differ by small factors.
+    pub fn size(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.kind.cardinality())
+            .fold(1u128, |acc, c| acc.saturating_mul(c))
+    }
+
+    /// Decodes the `index`-th point in lexicographic order. Useful for
+    /// exhaustive search over small spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.size()`.
+    pub fn point_at(&self, mut index: u128) -> Point {
+        assert!(index < self.size(), "point index out of range");
+        let mut point = Point::new();
+        for p in self.params.iter().rev() {
+            let card = p.kind.cardinality();
+            let digit = index % card;
+            index /= card;
+            point.set(p.id.clone(), p.kind.value_at(digit));
+        }
+        point
+    }
+
+    /// Samples a uniform random point.
+    pub fn random_point(&self, rng: &mut impl Rng) -> Point {
+        let mut point = Point::new();
+        for p in &self.params {
+            point.set(p.id.clone(), p.kind.random(rng));
+        }
+        point
+    }
+
+    /// Mutates `count` randomly chosen parameters of a point.
+    pub fn mutate(&self, point: &Point, count: usize, rng: &mut impl Rng) -> Point {
+        if self.params.is_empty() {
+            return point.clone();
+        }
+        let mut out = point.clone();
+        for _ in 0..count.max(1) {
+            let p = &self.params[rng.random_range(0..self.params.len())];
+            let current = point
+                .get(&p.id)
+                .cloned()
+                .unwrap_or_else(|| p.kind.random(rng));
+            out.set(p.id.clone(), p.kind.mutate(&current, rng));
+        }
+        out
+    }
+
+    /// Uniform crossover of two points.
+    pub fn crossover(&self, a: &Point, b: &Point, rng: &mut impl Rng) -> Point {
+        let mut out = Point::new();
+        for p in &self.params {
+            let pick = if rng.random_bool(0.5) { a } else { b };
+            let value = pick
+                .get(&p.id)
+                .cloned()
+                .unwrap_or_else(|| p.kind.random(rng));
+            out.set(p.id.clone(), value);
+        }
+        out
+    }
+
+    /// Fills any missing parameters of `point` with random values (used
+    /// when the space gained parameters after a program edit).
+    pub fn complete(&self, point: &Point, rng: &mut impl Rng) -> Point {
+        let mut out = point.clone();
+        for p in &self.params {
+            if out.get(&p.id).is_none() {
+                out.set(p.id.clone(), p.kind.random(rng));
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<ParamDef> for Space {
+    fn from_iter<T: IntoIterator<Item = ParamDef>>(iter: T) -> Space {
+        let mut space = Space::new();
+        for def in iter {
+            space.add(def);
+        }
+        space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamKind, ParamValue};
+    use rand::SeedableRng;
+
+    fn rng() -> impl Rng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn fig5_space() -> Space {
+        // Fig. 5: two pow2 tiles 2..32 and a 2-way OR.
+        vec![
+            ParamDef::new("tileI", ParamKind::PowerOfTwo { min: 2, max: 32 }),
+            ParamDef::new("tileJ", ParamKind::PowerOfTwo { min: 2, max: 32 }),
+            ParamDef::new("or:tiletype", ParamKind::Enum(vec!["2D".into(), "3D".into()])),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn size_multiplies_cardinalities() {
+        // 5 * 5 * 2 = 50.
+        assert_eq!(fig5_space().size(), 50);
+        assert_eq!(Space::new().size(), 1);
+    }
+
+    #[test]
+    fn fig7_space_size_is_in_the_tens_of_millions() {
+        // The DGEMM space of Fig. 7: six pow2(2..512) tiles, the OMP OR
+        // block, schedule enum and chunk integer(1..32).
+        let mut space = Space::new();
+        for v in ["tileI", "tileK", "tileJ", "tileI_2", "tileK_2", "tileJ_2"] {
+            space.add(ParamDef::new(v, ParamKind::PowerOfTwo { min: 2, max: 512 }));
+        }
+        space.add(ParamDef::new(
+            "or:omp",
+            ParamKind::Enum(vec!["plain".into(), "sched".into()]),
+        ));
+        space.add(ParamDef::new(
+            "schedule",
+            ParamKind::Enum(vec!["static".into(), "dynamic".into()]),
+        ));
+        space.add(ParamDef::new("chunk", ParamKind::Integer { min: 1, max: 32 }));
+        // 9^6 * 2 * 2 * 32 = 68,024,448 flattened (the paper's OpenTuner
+        // encoding reports 34,012,224 — a factor-2 difference in how the
+        // OR block is counted).
+        assert_eq!(space.size(), 68_024_448);
+    }
+
+    #[test]
+    fn point_at_enumerates_all_distinct_points() {
+        let space = fig5_space();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..space.size() {
+            seen.insert(space.point_at(i).dedup_key());
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn random_point_assigns_every_param() {
+        let space = fig5_space();
+        let p = space.random_point(&mut rng());
+        assert_eq!(p.len(), 3);
+        assert!(p.get("tileI").is_some());
+    }
+
+    #[test]
+    fn mutate_changes_at_most_requested_params() {
+        let space = fig5_space();
+        let mut r = rng();
+        let p = space.random_point(&mut r);
+        let q = space.mutate(&p, 1, &mut r);
+        let diff = p
+            .iter()
+            .filter(|(k, v)| q.get(k) != Some(*v))
+            .count();
+        assert!(diff <= 1);
+    }
+
+    #[test]
+    fn crossover_takes_values_from_parents() {
+        let space = fig5_space();
+        let mut r = rng();
+        let a = space.random_point(&mut r);
+        let b = space.random_point(&mut r);
+        let c = space.crossover(&a, &b, &mut r);
+        for (k, v) in c.iter() {
+            assert!(a.get(k) == Some(v) || b.get(k) == Some(v));
+        }
+    }
+
+    #[test]
+    fn replacing_a_param_updates_definition() {
+        let mut space = fig5_space();
+        space.add(ParamDef::new("tileI", ParamKind::PowerOfTwo { min: 2, max: 8 }));
+        assert_eq!(space.len(), 3);
+        assert_eq!(
+            space.param("tileI").unwrap().kind,
+            ParamKind::PowerOfTwo { min: 2, max: 8 }
+        );
+    }
+
+    #[test]
+    fn complete_fills_missing_params() {
+        let space = fig5_space();
+        let mut r = rng();
+        let partial: Point = vec![("tileI".to_string(), ParamValue::Int(4))]
+            .into_iter()
+            .collect();
+        let full = space.complete(&partial, &mut r);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.get("tileI"), Some(&ParamValue::Int(4)));
+    }
+
+    #[test]
+    fn remove_eliminates_dead_params() {
+        let mut space = fig5_space();
+        assert!(!space.remove("chunk"));
+        assert!(space.remove("tileJ"));
+        assert_eq!(space.size(), 10);
+    }
+}

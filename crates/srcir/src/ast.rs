@@ -1,0 +1,586 @@
+//! Abstract syntax tree for the mini-C source language.
+//!
+//! The AST is a plain owned tree: transformations clone and rewrite
+//! subtrees freely, mirroring the unparse/re-parse round trips the Locus
+//! paper performs when driving external source-to-source tools.
+
+use std::fmt;
+
+/// A scalar or derived type in the mini-C language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `int` — also used for loop induction variables.
+    Int,
+    /// `double` — the numeric workhorse of the evaluation kernels.
+    Double,
+    /// `float`.
+    Float,
+    /// `char`, only used for string parameters.
+    Char,
+    /// `void`, for function return types.
+    Void,
+    /// A pointer type, e.g. `double*`.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Returns `true` for the floating-point scalar types.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Double | Type::Float)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Double => write!(f, "double"),
+            Type::Float => write!(f, "float"),
+            Type::Char => write!(f, "char"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// Unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Pointer dereference `*p`.
+    Deref,
+    /// Address-of `&x`.
+    Addr,
+}
+
+impl UnOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Deref => "*",
+            UnOp::Addr => "&",
+        }
+    }
+}
+
+/// Binary operator. Variants are named after their C spelling (see
+/// [`BinOp::symbol`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// Returns `true` if the operator yields a boolean-ish `int`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Assignment operator (`=`, `+=`, ...). Variants are named after their
+/// C spelling (see [`AssignOp::symbol`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+}
+
+impl AssignOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+
+    /// The plain binary operator a compound assignment expands to, if any.
+    pub fn to_bin_op(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+        }
+    }
+}
+
+/// An expression. (Variant payload fields are conventional — operand,
+/// operator, base/index — and carry no per-field docs.)
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// String literal (only meaningful as a call argument).
+    StrLit(String),
+    /// Variable reference.
+    Ident(String),
+    /// Array subscript `base[index]`; multi-dimensional accesses nest.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Assignment used as an expression (C semantics).
+    Assign {
+        op: AssignOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// C cast `(type) expr`.
+    Cast {
+        ty: Type,
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn int(value: i64) -> Expr {
+        Expr::IntLit(value)
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a simple `lhs = rhs` assignment.
+    pub fn assign(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Assign {
+            op: AssignOp::Assign,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Builds a (possibly multi-dimensional) subscript expression.
+    pub fn index(base: Expr, indices: impl IntoIterator<Item = Expr>) -> Expr {
+        indices.into_iter().fold(base, |acc, idx| Expr::Index {
+            base: Box::new(acc),
+            index: Box::new(idx),
+        })
+    }
+
+    /// If this is a chain of `Index` nodes over an identifier, returns the
+    /// array name and the index expressions from outermost dimension to
+    /// innermost.
+    pub fn as_array_access(&self) -> Option<(&str, Vec<&Expr>)> {
+        let mut indices = Vec::new();
+        let mut cur = self;
+        while let Expr::Index { base, index } = cur {
+            indices.push(index.as_ref());
+            cur = base;
+        }
+        if indices.is_empty() {
+            return None;
+        }
+        indices.reverse();
+        match cur {
+            Expr::Ident(name) => Some((name, indices)),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant integer value if the expression is a literal
+    /// (possibly negated).
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(v) => Some(*v),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => operand.as_const_int().map(|v| -v),
+            _ => None,
+        }
+    }
+}
+
+/// The OpenMP loop schedule kinds used by the `Pragma.OMPFor` module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmpScheduleKind {
+    /// Contiguous/round-robin chunks fixed at loop entry.
+    Static,
+    /// Chunks handed to threads on demand.
+    Dynamic,
+}
+
+impl fmt::Display for OmpScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpScheduleKind::Static => write!(f, "static"),
+            OmpScheduleKind::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+/// `schedule(kind, chunk)` clause of an `omp parallel for` pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OmpSchedule {
+    /// `static` or `dynamic`.
+    pub kind: OmpScheduleKind,
+    /// Chunk size; `None` means the implementation default.
+    pub chunk: Option<u32>,
+}
+
+/// A pragma attached to a statement.
+///
+/// `LocusLoop`/`LocusBlock` are the region annotations of Sec. II of the
+/// paper; the remaining variants are the compiler-specific pragmas the
+/// `Pragmas` module collection inserts (Sec. IV-A.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pragma {
+    /// `#pragma @Locus loop=NAME` — names the following loop nest.
+    LocusLoop(String),
+    /// `#pragma @Locus block=NAME` — names the following block.
+    LocusBlock(String),
+    /// `#pragma ivdep` — asserts no loop-carried dependences.
+    Ivdep,
+    /// `#pragma vector always` — forces vectorization.
+    VectorAlways,
+    /// `#pragma omp parallel for [schedule(...)]`.
+    OmpParallelFor {
+        /// Optional `schedule(kind, chunk)` clause.
+        schedule: Option<OmpSchedule>,
+    },
+    /// Any other pragma, preserved verbatim.
+    Raw(String),
+}
+
+impl Pragma {
+    /// Returns the Locus region identifier if this is a region annotation.
+    pub fn region_id(&self) -> Option<&str> {
+        match self {
+            Pragma::LocusLoop(id) | Pragma::LocusBlock(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// A `for` loop. After parsing, `body` is always a block statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Loop initialization: either a declaration statement or an
+    /// expression statement (or absent).
+    pub init: Option<Box<Stmt>>,
+    /// Loop condition; absent means an infinite loop.
+    pub cond: Option<Expr>,
+    /// Step expression evaluated after each iteration.
+    pub step: Option<Expr>,
+    /// Loop body.
+    pub body: Box<Stmt>,
+}
+
+/// The kind of a statement. (Variant payload fields are conventional
+/// and carry no per-field docs.)
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement `expr;`.
+    Expr(Expr),
+    /// Variable declaration, possibly with array dimensions and an
+    /// initializer: `double A[N][M];`, `int i = 0;`.
+    Decl {
+        ty: Type,
+        name: String,
+        dims: Vec<Expr>,
+        init: Option<Expr>,
+    },
+    /// `{ ... }` block.
+    Block(Vec<Stmt>),
+    /// `if` / `else`.
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `for` loop.
+    For(ForLoop),
+    /// `while` loop.
+    While { cond: Expr, body: Box<Stmt> },
+    /// `return` with optional value.
+    Return(Option<Expr>),
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// A statement together with the pragmas that precede it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Pragmas attached in front of the statement.
+    pub pragmas: Vec<Pragma>,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// Wraps a [`StmtKind`] with no pragmas.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt {
+            pragmas: Vec::new(),
+            kind,
+        }
+    }
+
+    /// An expression statement.
+    pub fn expr(expr: Expr) -> Stmt {
+        Stmt::new(StmtKind::Expr(expr))
+    }
+
+    /// A block statement from the given children.
+    pub fn block(stmts: Vec<Stmt>) -> Stmt {
+        Stmt::new(StmtKind::Block(stmts))
+    }
+
+    /// Returns `true` if this statement is a `for` loop.
+    pub fn is_for(&self) -> bool {
+        matches!(self.kind, StmtKind::For(_))
+    }
+
+    /// Returns the `for` loop payload, if any.
+    pub fn as_for(&self) -> Option<&ForLoop> {
+        match &self.kind {
+            StmtKind::For(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the `for` loop payload, if any.
+    pub fn as_for_mut(&mut self) -> Option<&mut ForLoop> {
+        match &mut self.kind {
+            StmtKind::For(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The statements of a block, treating any non-block statement as a
+    /// single-element sequence. Useful when navigating loop bodies.
+    pub fn body_stmts(&self) -> &[Stmt] {
+        match &self.kind {
+            StmtKind::Block(stmts) => stmts,
+            _ => std::slice::from_ref(self),
+        }
+    }
+
+    /// Returns the Locus region identifier attached to this statement, if
+    /// any.
+    pub fn region_id(&self) -> Option<&str> {
+        self.pragmas.iter().find_map(|p| p.region_id())
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Element type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+    /// Array dimensions for parameters declared like `double A[N][N]`.
+    /// The first dimension may be empty (`[]`), encoded as `Expr::IntLit(0)`.
+    pub dims: Vec<Expr>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function definition.
+    Function(Function),
+    /// Global declaration (scalars and arrays).
+    Global(Stmt),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Iterates over the functions of the program.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Function(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// Mutable iteration over the functions of the program.
+    pub fn functions_mut(&mut self) -> impl Iterator<Item = &mut Function> {
+        self.items.iter_mut().filter_map(|item| match item {
+            Item::Function(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// Finds a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions_mut().find(|f| f.name == name)
+    }
+
+    /// Iterates over global declarations.
+    pub fn globals(&self) -> impl Iterator<Item = &Stmt> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Global(s) => Some(s),
+            Item::Function(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_access_chain_is_recovered_in_dimension_order() {
+        // A[i][j]
+        let e = Expr::index(Expr::ident("A"), [Expr::ident("i"), Expr::ident("j")]);
+        let (name, idx) = e.as_array_access().expect("array access");
+        assert_eq!(name, "A");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0], &Expr::ident("i"));
+        assert_eq!(idx[1], &Expr::ident("j"));
+    }
+
+    #[test]
+    fn scalar_ident_is_not_array_access() {
+        assert!(Expr::ident("x").as_array_access().is_none());
+    }
+
+    #[test]
+    fn const_int_handles_negation() {
+        let e = Expr::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(Expr::int(7)),
+        };
+        assert_eq!(e.as_const_int(), Some(-7));
+        assert_eq!(Expr::ident("x").as_const_int(), None);
+    }
+
+    #[test]
+    fn compound_assign_expands_to_bin_op() {
+        assert_eq!(AssignOp::AddAssign.to_bin_op(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Assign.to_bin_op(), None);
+    }
+
+    #[test]
+    fn body_stmts_of_non_block_is_self() {
+        let s = Stmt::expr(Expr::int(1));
+        assert_eq!(s.body_stmts().len(), 1);
+        let b = Stmt::block(vec![Stmt::expr(Expr::int(1)), Stmt::expr(Expr::int(2))]);
+        assert_eq!(b.body_stmts().len(), 2);
+    }
+
+    #[test]
+    fn region_id_comes_from_pragmas() {
+        let mut s = Stmt::expr(Expr::int(1));
+        assert_eq!(s.region_id(), None);
+        s.pragmas.push(Pragma::LocusLoop("matmul".into()));
+        assert_eq!(s.region_id(), Some("matmul"));
+    }
+
+    #[test]
+    fn type_display_round_trips_pointers() {
+        let t = Type::Ptr(Box::new(Type::Double));
+        assert_eq!(t.to_string(), "double*");
+    }
+}

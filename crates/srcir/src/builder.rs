@@ -1,0 +1,189 @@
+//! Programmatic AST construction helpers.
+//!
+//! Transformations and the benchmark corpus build loops directly rather
+//! than formatting and re-parsing source strings. These helpers keep that
+//! construction terse and uniform: every generated loop has the canonical
+//! shape `for (int v = lo; v < hi; v += step) { ... }`.
+
+use crate::ast::*;
+
+/// Builds `for (int var = lo; var < hi; var += step) { body }`.
+///
+/// # Panics
+///
+/// Panics if `step` is zero — such a loop would never terminate.
+pub fn for_loop(var: &str, lo: Expr, hi: Expr, step: i64, body: Vec<Stmt>) -> Stmt {
+    assert!(step != 0, "loop step must be non-zero");
+    let step_expr = if step == 1 {
+        Expr::Assign {
+            op: AssignOp::AddAssign,
+            lhs: Box::new(Expr::ident(var)),
+            rhs: Box::new(Expr::int(1)),
+        }
+    } else {
+        Expr::Assign {
+            op: AssignOp::AddAssign,
+            lhs: Box::new(Expr::ident(var)),
+            rhs: Box::new(Expr::int(step)),
+        }
+    };
+    Stmt::new(StmtKind::For(ForLoop {
+        init: Some(Box::new(Stmt::new(StmtKind::Decl {
+            ty: Type::Int,
+            name: var.to_string(),
+            dims: Vec::new(),
+            init: Some(lo),
+        }))),
+        cond: Some(Expr::bin(
+            if step > 0 { BinOp::Lt } else { BinOp::Gt },
+            Expr::ident(var),
+            hi,
+        )),
+        step: Some(step_expr),
+        body: Box::new(Stmt::block(body)),
+    }))
+}
+
+/// Builds a perfect loop nest from `(var, lo, hi)` triples with unit step,
+/// innermost body last.
+pub fn loop_nest(bounds: &[(&str, Expr, Expr)], body: Vec<Stmt>) -> Stmt {
+    let mut stmt = body;
+    for (var, lo, hi) in bounds.iter().rev() {
+        stmt = vec![for_loop(var, lo.clone(), hi.clone(), 1, stmt)];
+    }
+    match stmt.into_iter().next() {
+        Some(s) => s,
+        None => Stmt::new(StmtKind::Empty),
+    }
+}
+
+/// Builds a scalar declaration `ty name;` or `ty name = init;`.
+pub fn decl(ty: Type, name: &str, init: Option<Expr>) -> Stmt {
+    Stmt::new(StmtKind::Decl {
+        ty,
+        name: name.to_string(),
+        dims: Vec::new(),
+        init,
+    })
+}
+
+/// Builds an array declaration `ty name[d0][d1]...;`.
+pub fn array_decl(ty: Type, name: &str, dims: &[i64]) -> Stmt {
+    Stmt::new(StmtKind::Decl {
+        ty,
+        name: name.to_string(),
+        dims: dims.iter().map(|&d| Expr::int(d)).collect(),
+        init: None,
+    })
+}
+
+/// Builds `lhs = rhs;` as a statement.
+pub fn assign_stmt(lhs: Expr, rhs: Expr) -> Stmt {
+    Stmt::expr(Expr::assign(lhs, rhs))
+}
+
+/// Builds `lhs += rhs;` as a statement.
+pub fn add_assign_stmt(lhs: Expr, rhs: Expr) -> Stmt {
+    Stmt::expr(Expr::Assign {
+        op: AssignOp::AddAssign,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    })
+}
+
+/// `min(a, b)` as an expression the machine understands natively.
+pub fn min_expr(a: Expr, b: Expr) -> Expr {
+    Expr::Call {
+        callee: "min".to_string(),
+        args: vec![a, b],
+    }
+}
+
+/// `max(a, b)` as an expression the machine understands natively.
+pub fn max_expr(a: Expr, b: Expr) -> Expr {
+    Expr::Call {
+        callee: "max".to_string(),
+        args: vec![a, b],
+    }
+}
+
+/// Attaches a Locus loop region annotation to a statement.
+pub fn with_loop_region(mut stmt: Stmt, id: &str) -> Stmt {
+    stmt.pragmas.insert(0, Pragma::LocusLoop(id.to_string()));
+    stmt
+}
+
+/// Builds a whole single-function program: `void kernel(<params>) { body }`
+/// plus the given globals.
+pub fn kernel_program(globals: Vec<Stmt>, name: &str, params: Vec<Param>, body: Vec<Stmt>) -> Program {
+    let mut items: Vec<Item> = globals.into_iter().map(Item::Global).collect();
+    items.push(Item::Function(Function {
+        ret: Type::Void,
+        name: name.to_string(),
+        params,
+        body,
+    }));
+    Program { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_stmt;
+
+    #[test]
+    fn for_loop_has_canonical_shape() {
+        let l = for_loop("i", Expr::int(0), Expr::ident("n"), 1, vec![]);
+        let f = l.as_for().unwrap();
+        assert!(matches!(
+            f.cond,
+            Some(Expr::Binary {
+                op: BinOp::Lt,
+                ..
+            })
+        ));
+        assert_eq!(print_stmt(&l), "for (int i = 0; i < n; i += 1) {\n}\n");
+    }
+
+    #[test]
+    fn negative_step_flips_comparison() {
+        let l = for_loop("i", Expr::int(10), Expr::int(0), -1, vec![]);
+        let f = l.as_for().unwrap();
+        assert!(matches!(
+            f.cond,
+            Some(Expr::Binary {
+                op: BinOp::Gt,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_step_panics() {
+        let _ = for_loop("i", Expr::int(0), Expr::int(1), 0, vec![]);
+    }
+
+    #[test]
+    fn loop_nest_nests_in_order() {
+        let nest = loop_nest(
+            &[
+                ("i", Expr::int(0), Expr::int(4)),
+                ("j", Expr::int(0), Expr::int(4)),
+            ],
+            vec![assign_stmt(
+                Expr::index(Expr::ident("A"), [Expr::ident("i"), Expr::ident("j")]),
+                Expr::int(0),
+            )],
+        );
+        let outer = nest.as_for().unwrap();
+        let inner = outer.body.body_stmts()[0].as_for().unwrap();
+        assert!(inner.body.body_stmts()[0].kind != StmtKind::Empty);
+    }
+
+    #[test]
+    fn region_annotation_is_first_pragma() {
+        let l = with_loop_region(for_loop("i", Expr::int(0), Expr::int(4), 1, vec![]), "r");
+        assert_eq!(l.region_id(), Some("r"));
+    }
+}

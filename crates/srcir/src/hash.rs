@@ -1,0 +1,91 @@
+//! Region content hashing.
+//!
+//! The paper (Sec. II) keeps the optimization program coherent with the
+//! application source by hashing each code region and warning the
+//! programmer when the source changed underneath a stored optimization.
+//! We hash the *unparsed* text of the region so that formatting-neutral
+//! AST details do not affect the digest, using the 64-bit FNV-1a function
+//! (dependency-free and stable across platforms).
+
+use crate::ast::Stmt;
+use crate::printer::print_stmt;
+
+/// A stable 64-bit digest of a code region's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionHash(pub u64);
+
+impl std::fmt::Display for RegionHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over arbitrary bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Hashes a region root statement.
+///
+/// The Locus region pragmas themselves are part of the hash (renaming a
+/// region is a change worth flagging), as is everything the region
+/// contains.
+pub fn hash_region(stmt: &Stmt) -> RegionHash {
+    RegionHash(fnv1a(print_stmt(stmt).as_bytes()))
+}
+
+/// Compares a stored hash against the current region content.
+///
+/// Returns `true` when the region is unchanged; `false` signals that the
+/// optimization program may no longer apply and the user should be warned.
+pub fn region_unchanged(stmt: &Stmt, stored: RegionHash) -> bool {
+    hash_region(stmt) == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn loop_stmt(body: &str) -> Stmt {
+        let src = format!("void f(int n, double A[64]) {{ {body} }}");
+        let p = parse_program(&src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn identical_regions_hash_equal() {
+        let a = loop_stmt("for (int i = 0; i < n; i++) A[i] = 0.0;");
+        let b = loop_stmt("for (int i = 0; i < n; i++) A[i] = 0.0;");
+        assert_eq!(hash_region(&a), hash_region(&b));
+    }
+
+    #[test]
+    fn changed_body_changes_hash() {
+        let a = loop_stmt("for (int i = 0; i < n; i++) A[i] = 0.0;");
+        let b = loop_stmt("for (int i = 0; i < n; i++) A[i] = 1.0;");
+        assert_ne!(hash_region(&a), hash_region(&b));
+        assert!(!region_unchanged(&b, hash_region(&a)));
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn display_is_zero_padded_hex() {
+        assert_eq!(RegionHash(0xabc).to_string(), "0000000000000abc");
+    }
+}

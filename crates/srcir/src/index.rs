@@ -1,0 +1,206 @@
+//! Hierarchical statement indexing (Sec. III of the paper).
+//!
+//! An index is a dot-separated list of numbers such as `"0.0.1"`. Each
+//! number selects a statement at one nesting level, starting from the
+//! *region root*: the first component indexes the (single-element) list
+//! containing the root itself, and each following component indexes the
+//! children of the previously selected statement, where a loop's children
+//! are the statements of its body (see [`crate::visit::child`]).
+//!
+//! For the triply nested `matmul` loop of the paper's Fig. 3, `"0"` is the
+//! `i` loop, `"0.0"` the `j` loop and `"0.0.0"` the innermost `k` loop.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ast::Stmt;
+use crate::visit::{child, child_mut};
+
+/// A parsed hierarchical index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HierIndex(pub Vec<usize>);
+
+/// Error parsing a hierarchical index string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHierIndexError {
+    text: String,
+}
+
+impl fmt::Display for ParseHierIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed hierarchical index `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseHierIndexError {}
+
+impl HierIndex {
+    /// The index of the region root itself (`"0"`).
+    pub fn root() -> HierIndex {
+        HierIndex(vec![0])
+    }
+
+    /// Builds an index from raw components.
+    pub fn new(components: Vec<usize>) -> HierIndex {
+        HierIndex(components)
+    }
+
+    /// The number of components.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns a new index with `component` appended.
+    pub fn push(&self, component: usize) -> HierIndex {
+        let mut v = self.0.clone();
+        v.push(component);
+        HierIndex(v)
+    }
+
+    /// Returns the parent index, if this is not the root level.
+    pub fn parent(&self) -> Option<HierIndex> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(HierIndex(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Resolves the index against a region root statement.
+    ///
+    /// Returns `None` when any component is out of range.
+    pub fn resolve<'a>(&self, root: &'a Stmt) -> Option<&'a Stmt> {
+        let mut components = self.0.iter();
+        match components.next() {
+            Some(0) => {}
+            _ => return None,
+        }
+        let mut cur = root;
+        for &i in components {
+            cur = child(cur, i)?;
+        }
+        Some(cur)
+    }
+
+    /// Resolves the index against a region root statement, mutably.
+    pub fn resolve_mut<'a>(&self, root: &'a mut Stmt) -> Option<&'a mut Stmt> {
+        let mut components = self.0.iter();
+        match components.next() {
+            Some(0) => {}
+            _ => return None,
+        }
+        let mut cur = root;
+        for &i in components {
+            cur = child_mut(cur, i)?;
+        }
+        Some(cur)
+    }
+}
+
+impl FromStr for HierIndex {
+    type Err = ParseHierIndexError;
+
+    fn from_str(s: &str) -> Result<HierIndex, ParseHierIndexError> {
+        let err = || ParseHierIndexError {
+            text: s.to_string(),
+        };
+        if s.is_empty() {
+            return Err(err());
+        }
+        s.split('.')
+            .map(|part| part.parse::<usize>().map_err(|_| err()))
+            .collect::<Result<Vec<_>, _>>()
+            .map(HierIndex)
+    }
+}
+
+impl fmt::Display for HierIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+impl From<Vec<usize>> for HierIndex {
+    fn from(components: Vec<usize>) -> HierIndex {
+        HierIndex(components)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StmtKind;
+    use crate::parser::parse_program;
+
+    fn matmul_loop() -> Stmt {
+        let src = r#"
+        void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+        }
+        "#;
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let idx: HierIndex = "0.0.1".parse().unwrap();
+        assert_eq!(idx, HierIndex(vec![0, 0, 1]));
+        assert_eq!(idx.to_string(), "0.0.1");
+    }
+
+    #[test]
+    fn malformed_indices_are_rejected() {
+        assert!("".parse::<HierIndex>().is_err());
+        assert!("0..1".parse::<HierIndex>().is_err());
+        assert!("a.b".parse::<HierIndex>().is_err());
+    }
+
+    #[test]
+    fn resolves_nested_loops_as_in_the_paper() {
+        let root = matmul_loop();
+        let i0: HierIndex = "0".parse().unwrap();
+        assert!(i0.resolve(&root).unwrap().is_for());
+        let innermost: HierIndex = "0.0.0".parse().unwrap();
+        let inner = innermost.resolve(&root).unwrap();
+        assert!(inner.is_for());
+        // The innermost loop's only child is the update statement.
+        let stmt: HierIndex = "0.0.0.0".parse().unwrap();
+        let update = stmt.resolve(&root).unwrap();
+        assert!(matches!(update.kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn out_of_range_component_returns_none() {
+        let root = matmul_loop();
+        let bad: HierIndex = "0.1".parse().unwrap();
+        assert!(bad.resolve(&root).is_none());
+        let not_zero: HierIndex = "1".parse().unwrap();
+        assert!(not_zero.resolve(&root).is_none());
+    }
+
+    #[test]
+    fn resolve_mut_allows_in_place_edits() {
+        let mut root = matmul_loop();
+        let inner: HierIndex = "0.0.0".parse().unwrap();
+        let stmt = inner.resolve_mut(&mut root).unwrap();
+        stmt.pragmas.push(crate::ast::Pragma::Ivdep);
+        assert_eq!(
+            inner.resolve(&root).unwrap().pragmas,
+            vec![crate::ast::Pragma::Ivdep]
+        );
+    }
+
+    #[test]
+    fn parent_and_push() {
+        let idx: HierIndex = "0.2.1".parse().unwrap();
+        assert_eq!(idx.parent().unwrap().to_string(), "0.2");
+        assert_eq!(idx.push(3).to_string(), "0.2.1.3");
+        assert_eq!(HierIndex::root().parent(), None);
+    }
+}

@@ -1,0 +1,452 @@
+//! Lexer for the mini-C source language.
+//!
+//! Besides ordinary C tokenization, the lexer handles two preprocessor-ish
+//! constructs the evaluation kernels rely on:
+//!
+//! * `#define NAME literal` — recorded and substituted into subsequent
+//!   identifier tokens (a deliberately tiny macro facility, enough for the
+//!   `#define M 2048` style constants in the paper's kernels);
+//! * `#pragma ...` — emitted as a single [`Token::Pragma`] carrying the
+//!   pragma text, which the parser attaches to the following statement.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::token::{SpannedToken, Token};
+
+/// Error produced while tokenizing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    defines: HashMap<String, Token>,
+    tokens: Vec<SpannedToken>,
+}
+
+/// Tokenizes mini-C source text.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        defines: HashMap::new(),
+        tokens: Vec::new(),
+    };
+    lexer.run()?;
+    Ok(lexer.tokens)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn push(&mut self, token: Token) {
+        self.tokens.push(SpannedToken {
+            token,
+            line: self.line,
+        });
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => self.skip_line(),
+                b'/' if self.peek2() == Some(b'*') => self.skip_block_comment()?,
+                b'#' => self.directive()?,
+                b'"' => self.string()?,
+                b'0'..=b'9' => self.number()?,
+                b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                _ => self.operator()?,
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) -> Result<(), LexError> {
+        self.bump();
+        self.bump();
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.error("unterminated block comment")),
+            }
+        }
+    }
+
+    /// Reads the rest of the current line (handles `\` continuations).
+    fn rest_of_line(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                if text.ends_with('\\') {
+                    text.pop();
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            text.push(c as char);
+            self.bump();
+        }
+        text
+    }
+
+    fn directive(&mut self) -> Result<(), LexError> {
+        self.bump(); // '#'
+        let line = self.rest_of_line();
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("pragma") {
+            self.push(Token::Pragma(rest.trim().to_string()));
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("define") {
+            let mut parts = rest.trim().splitn(2, char::is_whitespace);
+            let name = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| self.error("#define without a name"))?;
+            let value = parts.next().unwrap_or("").trim();
+            let token = parse_define_value(value)
+                .ok_or_else(|| self.error(format!("unsupported #define value `{value}`")))?;
+            self.defines.insert(name.to_string(), token);
+            return Ok(());
+        }
+        if line.starts_with("include") {
+            // Includes are ignored: the corpus is self-contained.
+            return Ok(());
+        }
+        Err(self.error(format!("unsupported preprocessor directive `#{line}`")))
+    }
+
+    fn string(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.error("unterminated string escape"))?;
+                    text.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => other as char,
+                    });
+                }
+                Some(c) => text.push(c as char),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        self.push(Token::Str(text));
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'f' | b'F' | b'l' | b'L' | b'u' | b'U' => {
+                    // Suffixes are accepted and discarded.
+                    self.bump();
+                    let text = std::str::from_utf8(&self.src[start..self.pos - 1]).unwrap();
+                    return self.finish_number(text, is_float || c == b'f' || c == b'F');
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        self.finish_number(text, is_float)
+    }
+
+    fn finish_number(&mut self, text: &str, is_float: bool) -> Result<(), LexError> {
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error(format!("malformed float literal `{text}`")))?;
+            self.push(Token::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("malformed integer literal `{text}`")))?;
+            self.push(Token::Int(v));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match self.defines.get(text) {
+            Some(replacement) => {
+                let token = replacement.clone();
+                self.push(token);
+            }
+            None => self.push(Token::Ident(text.to_string())),
+        }
+    }
+
+    fn operator(&mut self) -> Result<(), LexError> {
+        let c = self.bump().expect("operator called at end of input");
+        let two = |lexer: &mut Lexer<'_>, next: u8, yes: Token, no: Token| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let token = match c {
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b'{' => Token::LBrace,
+            b'}' => Token::RBrace,
+            b'[' => Token::LBracket,
+            b']' => Token::RBracket,
+            b';' => Token::Semi,
+            b',' => Token::Comma,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    Token::PlusPlus
+                } else {
+                    two(self, b'=', Token::PlusEq, Token::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Token::MinusMinus
+                } else {
+                    two(self, b'=', Token::MinusEq, Token::Minus)
+                }
+            }
+            b'*' => two(self, b'=', Token::StarEq, Token::Star),
+            b'/' => two(self, b'=', Token::SlashEq, Token::Slash),
+            b'%' => Token::Percent,
+            b'&' => two(self, b'&', Token::AmpAmp, Token::Amp),
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Token::PipePipe
+                } else {
+                    return Err(self.error("bitwise `|` is not supported"));
+                }
+            }
+            b'!' => two(self, b'=', Token::Ne, Token::Bang),
+            b'<' => two(self, b'=', Token::Le, Token::Lt),
+            b'>' => two(self, b'=', Token::Ge, Token::Gt),
+            b'=' => two(self, b'=', Token::EqEq, Token::Eq),
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        self.push(token);
+        Ok(())
+    }
+}
+
+fn parse_define_value(value: &str) -> Option<Token> {
+    if value.is_empty() {
+        return None;
+    }
+    if let Ok(v) = value.parse::<i64>() {
+        return Some(Token::Int(v));
+    }
+    if let Ok(v) = value.parse::<f64>() {
+        return Some(Token::Float(v));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        assert_eq!(
+            toks("x = a[i] + 1;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Ident("a".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::RBracket,
+                Token::Plus,
+                Token::Int(1),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_suffixes() {
+        assert_eq!(toks("0.125"), vec![Token::Float(0.125)]);
+        assert_eq!(toks("2.0f"), vec![Token::Float(2.0)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("1.5e-2"), vec![Token::Float(0.015)]);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != && || += ++ --"),
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne,
+                Token::AmpAmp,
+                Token::PipePipe,
+                Token::PlusEq,
+                Token::PlusPlus,
+                Token::MinusMinus,
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_becomes_single_token() {
+        assert_eq!(
+            toks("#pragma @Locus loop=matmul\nfor"),
+            vec![
+                Token::Pragma("@Locus loop=matmul".into()),
+                Token::Ident("for".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn define_substitutes_constants() {
+        assert_eq!(
+            toks("#define N 2048\nx < N"),
+            vec![Token::Ident("x".into()), Token::Lt, Token::Int(2048)]
+        );
+    }
+
+    #[test]
+    fn include_is_ignored() {
+        assert_eq!(toks("#include <stdio.h>\nx"), vec![Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block \n still */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""Time(ms) = %7.5lf\n""#),
+            vec![Token::Str("Time(ms) = %7.5lf\n".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_reports_line() {
+        let err = lex("a\n$\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Source-level intermediate representation for the Locus system.
+//!
+//! The Locus paper orchestrates *source-to-source* transformations of C,
+//! C++ and Fortran programs. This crate provides the equivalent substrate
+//! for the Rust reproduction: a small C-like language ("mini-C") with
+//!
+//! * a lexer and recursive-descent parser ([`parse_program`]),
+//! * a typed abstract syntax tree ([`ast`]),
+//! * an unparser that renders the AST back to C-like source
+//!   ([`printer::print_program`]),
+//! * `#pragma @Locus` code-region annotations ([`region`]),
+//! * the paper's hierarchical statement indexing, e.g. `"0.0.1"`
+//!   ([`index::HierIndex`]),
+//! * and region content hashing used to detect source drift between the
+//!   application code and its optimization program ([`hash`]).
+//!
+//! The language is deliberately small but covers everything exercised by
+//! the paper's evaluation kernels: multi-dimensional arrays, `for`/`while`
+//! loops, `if`/`else`, scalar declarations, compound assignment, function
+//! calls, and compiler pragmas (`ivdep`, `vector always`,
+//! `omp parallel for`).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), locus_srcir::ParseError> {
+//! let src = r#"
+//! int main() {
+//!     int i;
+//!     double A[16];
+//!     #pragma @Locus loop=init
+//!     for (i = 0; i < 16; i = i + 1)
+//!         A[i] = 0.0;
+//!     return 0;
+//! }
+//! "#;
+//! let program = locus_srcir::parse_program(src)?;
+//! let regions = locus_srcir::region::find_regions(&program);
+//! assert_eq!(regions.len(), 1);
+//! assert_eq!(regions[0].id, "init");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod hash;
+pub mod index;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod region;
+pub mod token;
+pub mod visit;
+
+pub use ast::{
+    AssignOp, BinOp, Expr, ForLoop, Function, Item, OmpSchedule, OmpScheduleKind, Param, Pragma,
+    Program, Stmt, StmtKind, Type, UnOp,
+};
+pub use index::HierIndex;
+pub use lexer::LexError;
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use printer::{print_program, print_stmt};
+pub use region::{CodeRegion, RegionKind, RegionRef};

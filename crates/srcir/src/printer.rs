@@ -1,0 +1,381 @@
+//! Unparser: renders the AST back to C-like source text.
+//!
+//! The Locus system round-trips source through external tools, so the
+//! printed form must itself be parseable: `parse(print(ast))` is tested to
+//! be a fixpoint (see the property tests in this crate).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        match item {
+            Item::Global(stmt) => print_stmt_into(&mut out, stmt, 0),
+            Item::Function(f) => print_function_into(&mut out, f),
+        }
+    }
+    out
+}
+
+/// Renders a single statement with the given indentation level.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt_into(&mut out, stmt, 0);
+    out
+}
+
+/// Renders an expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    print_expr_into(&mut out, expr, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_function_into(out: &mut String, f: &Function) {
+    let _ = write!(out, "{} {}(", f.ret, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+        for d in &p.dims {
+            if d == &Expr::IntLit(0) {
+                out.push_str("[]");
+            } else {
+                let _ = write!(out, "[{}]", print_expr(d));
+            }
+        }
+    }
+    out.push_str(") {\n");
+    for stmt in &f.body {
+        print_stmt_into(out, stmt, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn print_pragma(out: &mut String, pragma: &Pragma, level: usize) {
+    indent(out, level);
+    match pragma {
+        Pragma::LocusLoop(id) => {
+            let _ = writeln!(out, "#pragma @Locus loop={id}");
+        }
+        Pragma::LocusBlock(id) => {
+            let _ = writeln!(out, "#pragma @Locus block={id}");
+        }
+        Pragma::Ivdep => {
+            let _ = writeln!(out, "#pragma ivdep");
+        }
+        Pragma::VectorAlways => {
+            let _ = writeln!(out, "#pragma vector always");
+        }
+        Pragma::OmpParallelFor { schedule } => match schedule {
+            None => {
+                let _ = writeln!(out, "#pragma omp parallel for");
+            }
+            Some(OmpSchedule { kind, chunk: None }) => {
+                let _ = writeln!(out, "#pragma omp parallel for schedule({kind})");
+            }
+            Some(OmpSchedule {
+                kind,
+                chunk: Some(c),
+            }) => {
+                let _ = writeln!(out, "#pragma omp parallel for schedule({kind}, {c})");
+            }
+        },
+        Pragma::Raw(text) => {
+            let _ = writeln!(out, "#pragma {text}");
+        }
+    }
+}
+
+fn print_stmt_into(out: &mut String, stmt: &Stmt, level: usize) {
+    for pragma in &stmt.pragmas {
+        print_pragma(out, pragma, level);
+    }
+    match &stmt.kind {
+        StmtKind::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            indent(out, level);
+            print_expr_into(out, e, 0);
+            out.push_str(";\n");
+        }
+        StmtKind::Decl {
+            ty,
+            name,
+            dims,
+            init,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "{ty} {name}");
+            for d in dims {
+                let _ = write!(out, "[{}]", print_expr(d));
+            }
+            if let Some(init) = init {
+                let _ = write!(out, " = {}", print_expr(init));
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Block(stmts) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for s in stmts {
+                print_stmt_into(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(out, level);
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_branch(out, then_branch, level);
+            if let Some(else_branch) = else_branch {
+                indent(out, level);
+                out.push_str("else ");
+                print_branch(out, else_branch, level);
+            }
+        }
+        StmtKind::For(f) => {
+            indent(out, level);
+            out.push_str("for (");
+            if let Some(init) = &f.init { match &init.kind {
+                StmtKind::Decl { ty, name, init, .. } => {
+                    let _ = write!(out, "{ty} {name}");
+                    if let Some(e) = init {
+                        let _ = write!(out, " = {}", print_expr(e));
+                    }
+                }
+                StmtKind::Expr(e) => {
+                    print_expr_into(out, e, 0);
+                }
+                other => {
+                    let _ = write!(out, "/* unsupported init {other:?} */");
+                }
+            } }
+            out.push_str("; ");
+            if let Some(cond) = &f.cond {
+                print_expr_into(out, cond, 0);
+            }
+            out.push_str("; ");
+            if let Some(step) = &f.step {
+                print_expr_into(out, step, 0);
+            }
+            out.push_str(") ");
+            print_branch(out, &f.body, level);
+        }
+        StmtKind::While { cond, body } => {
+            indent(out, level);
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_branch(out, body, level);
+        }
+        StmtKind::Return(value) => {
+            indent(out, level);
+            match value {
+                Some(v) => {
+                    let _ = writeln!(out, "return {};", print_expr(v));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+    }
+}
+
+/// Prints a statement used as a branch/body: blocks inline their brace on
+/// the current line, other statements go on the next line.
+fn print_branch(out: &mut String, stmt: &Stmt, level: usize) {
+    match &stmt.kind {
+        StmtKind::Block(stmts) if stmt.pragmas.is_empty() => {
+            out.push_str("{\n");
+            for s in stmts {
+                print_stmt_into(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        _ => {
+            out.push('\n');
+            print_stmt_into(out, stmt, level + 1);
+        }
+    }
+}
+
+/// Operator precedence for parenthesization while printing.
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+    }
+}
+
+fn print_expr_into(out: &mut String, expr: &Expr, parent_prec: u8) {
+    match expr {
+        Expr::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::FloatLit(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::StrLit(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let _ = write!(out, "\"{escaped}\"");
+        }
+        Expr::Ident(name) => {
+            let _ = write!(out, "{name}");
+        }
+        Expr::Index { base, index } => {
+            print_expr_into(out, base, 8);
+            out.push('[');
+            print_expr_into(out, index, 0);
+            out.push(']');
+        }
+        Expr::Call { callee, args } => {
+            let _ = write!(out, "{callee}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr_into(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, operand } => {
+            let needs_parens = parent_prec > 7;
+            if needs_parens {
+                out.push('(');
+            }
+            out.push_str(op.symbol());
+            print_expr_into(out, operand, 7);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = bin_prec(*op);
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            print_expr_into(out, lhs, prec);
+            let _ = write!(out, " {} ", op.symbol());
+            // Right operand needs one more level to preserve left
+            // associativity on reparse.
+            print_expr_into(out, rhs, prec + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            let needs_parens = parent_prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
+            print_expr_into(out, lhs, 7);
+            let _ = write!(out, " {} ", op.symbol());
+            print_expr_into(out, rhs, 0);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Cast { ty, expr } => {
+            let needs_parens = parent_prec > 7;
+            if needs_parens {
+                out.push('(');
+            }
+            let _ = write!(out, "({ty})");
+            print_expr_into(out, expr, 7);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn round_trip_expr(src: &str) -> String {
+        print_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn prints_precedence_with_minimal_parens() {
+        assert_eq!(round_trip_expr("a + b * c"), "a + b * c");
+        assert_eq!(round_trip_expr("(a + b) * c"), "(a + b) * c");
+        assert_eq!(round_trip_expr("a - (b - c)"), "a - (b - c)");
+        assert_eq!(round_trip_expr("a - b - c"), "a - b - c");
+    }
+
+    #[test]
+    fn prints_modulo_index() {
+        assert_eq!(round_trip_expr("A[(t+1)%2][i][j]"), "A[(t + 1) % 2][i][j]");
+    }
+
+    #[test]
+    fn reparse_is_fixpoint_for_program() {
+        let src = r#"
+        double A[8][8];
+        int main() {
+            int i;
+            #pragma @Locus loop=k
+            for (i = 0; i < 8; i++)
+                A[i][0] = 2.0 * A[i][0] + 1.0;
+            return 0;
+        }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "printed source:\n{printed}");
+    }
+
+    #[test]
+    fn pragmas_are_printed_before_statement() {
+        let src = "void f(int n) {\n#pragma omp parallel for schedule(dynamic, 4)\nfor (int i = 0; i < n; i++) { n = n; }\n}";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("#pragma omp parallel for schedule(dynamic, 4)"));
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn float_literals_keep_a_decimal_point() {
+        assert_eq!(round_trip_expr("2.0 * x"), "2.0 * x");
+    }
+
+    #[test]
+    fn assignment_in_expression_position_is_parenthesized() {
+        // `a + (b = c)` must not print as `a + b = c`.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::ident("a"),
+            Expr::assign(Expr::ident("b"), Expr::ident("c")),
+        );
+        assert_eq!(print_expr(&e), "a + (b = c)");
+    }
+}

@@ -1,0 +1,266 @@
+//! Code regions: the `#pragma @Locus` annotated statements the
+//! optimization program refers to (Sec. II of the paper).
+//!
+//! A region is identified by a *name*; multiple regions may share a name,
+//! in which case the same optimization sequence applies to all of them.
+//! A [`RegionRef`] locates one annotated statement inside a [`Program`]
+//! by function name and statement path, so regions stay addressable across
+//! transformations that replace the annotated statement wholesale.
+
+use crate::ast::{Item, Program, Stmt, StmtKind};
+use crate::visit::{child, child_mut, child_count};
+
+/// Whether the annotation is a `loop=` or `block=` region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// `#pragma @Locus loop=NAME`: applies to the following loop nest.
+    Loop,
+    /// `#pragma @Locus block=NAME`: applies to the following block.
+    Block,
+}
+
+/// A reference to an annotated statement within a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegionRef {
+    /// The region identifier from the pragma.
+    pub id: String,
+    /// Loop or block annotation.
+    pub kind: RegionKind,
+    /// Enclosing function name.
+    pub func: String,
+    /// Path of child indices from the function body to the statement.
+    pub path: Vec<usize>,
+}
+
+/// An extracted code region: the annotated statement plus its identity.
+///
+/// Extracting clones the statement; use [`RegionRef`] + [`replace_region`]
+/// to write a transformed region back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeRegion {
+    /// Region identifier from the pragma.
+    pub id: String,
+    /// Loop or block annotation.
+    pub kind: RegionKind,
+    /// The (cloned) annotated statement.
+    pub stmt: Stmt,
+}
+
+/// Finds every Locus-annotated statement in the program, in source order.
+pub fn find_regions(program: &Program) -> Vec<RegionRef> {
+    let mut out = Vec::new();
+    for item in &program.items {
+        let Item::Function(f) = item else { continue };
+        for (i, stmt) in f.body.iter().enumerate() {
+            find_in_stmt(stmt, &f.name, &mut vec![i], &mut out);
+        }
+    }
+    out
+}
+
+fn find_in_stmt(stmt: &Stmt, func: &str, path: &mut Vec<usize>, out: &mut Vec<RegionRef>) {
+    for pragma in &stmt.pragmas {
+        let kind = match pragma {
+            crate::ast::Pragma::LocusLoop(_) => Some(RegionKind::Loop),
+            crate::ast::Pragma::LocusBlock(_) => Some(RegionKind::Block),
+            _ => None,
+        };
+        if let (Some(kind), Some(id)) = (kind, pragma.region_id()) {
+            out.push(RegionRef {
+                id: id.to_string(),
+                kind,
+                func: func.to_string(),
+                path: path.clone(),
+            });
+        }
+    }
+    for i in 0..child_count(stmt) {
+        if let Some(c) = child(stmt, i) {
+            path.push(i);
+            find_in_stmt(c, func, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Looks up the statement a [`RegionRef`] points to.
+pub fn region_stmt<'a>(program: &'a Program, region: &RegionRef) -> Option<&'a Stmt> {
+    let f = program.function(&region.func)?;
+    let mut components = region.path.iter();
+    let mut cur = f.body.get(*components.next()?)?;
+    for &i in components {
+        cur = child(cur, i)?;
+    }
+    Some(cur)
+}
+
+/// Looks up the statement a [`RegionRef`] points to, mutably.
+pub fn region_stmt_mut<'a>(program: &'a mut Program, region: &RegionRef) -> Option<&'a mut Stmt> {
+    let f = program.function_mut(&region.func)?;
+    let mut components = region.path.iter();
+    let mut cur = f.body.get_mut(*components.next()?)?;
+    for &i in components {
+        cur = child_mut(cur, i)?;
+    }
+    Some(cur)
+}
+
+/// Extracts a region as an owned [`CodeRegion`].
+pub fn extract_region(program: &Program, region: &RegionRef) -> Option<CodeRegion> {
+    let stmt = region_stmt(program, region)?.clone();
+    Some(CodeRegion {
+        id: region.id.clone(),
+        kind: region.kind,
+        stmt,
+    })
+}
+
+/// Replaces the statement a [`RegionRef`] points to with `new_stmt`,
+/// preserving the region's Locus pragma so the region remains addressable.
+///
+/// Returns `false` if the reference no longer resolves.
+pub fn replace_region(program: &mut Program, region: &RegionRef, mut new_stmt: Stmt) -> bool {
+    let Some(slot) = region_stmt_mut(program, region) else {
+        return false;
+    };
+    // Keep exactly the Locus region pragmas of the original statement at
+    // the front; the transformed statement may carry additional pragmas
+    // (ivdep, omp, ...) of its own.
+    let locus_pragmas: Vec<_> = slot
+        .pragmas
+        .iter()
+        .filter(|p| p.region_id().is_some())
+        .cloned()
+        .collect();
+    for p in locus_pragmas.into_iter().rev() {
+        if !new_stmt.pragmas.contains(&p) {
+            new_stmt.pragmas.insert(0, p);
+        }
+    }
+    *slot = new_stmt;
+    true
+}
+
+/// Groups region references by identifier, preserving source order.
+pub fn regions_by_id(refs: &[RegionRef]) -> Vec<(String, Vec<RegionRef>)> {
+    let mut out: Vec<(String, Vec<RegionRef>)> = Vec::new();
+    for r in refs {
+        match out.iter_mut().find(|(id, _)| id == &r.id) {
+            Some((_, group)) => group.push(r.clone()),
+            None => out.push((r.id.clone(), vec![r.clone()])),
+        }
+    }
+    out
+}
+
+/// Returns `true` if the region root is (or starts with) a `for` loop,
+/// which `loop=` annotations require.
+pub fn is_loop_region(stmt: &Stmt) -> bool {
+    match &stmt.kind {
+        StmtKind::For(_) => true,
+        StmtKind::Block(stmts) => stmts.first().is_some_and(is_loop_region),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SRC: &str = r#"
+    void f(int n, double A[64]) {
+        int i;
+        #pragma @Locus loop=init
+        for (i = 0; i < n; i++)
+            A[i] = 0.0;
+        #pragma @Locus block=post
+        {
+            A[0] = 1.0;
+        }
+    }
+    void g(int n, double A[64]) {
+        #pragma @Locus loop=init
+        for (int i = 0; i < n; i++)
+            A[i] = 2.0;
+    }
+    "#;
+
+    #[test]
+    fn finds_all_regions_in_order() {
+        let p = parse_program(SRC).unwrap();
+        let regions = find_regions(&p);
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].id, "init");
+        assert_eq!(regions[0].kind, RegionKind::Loop);
+        assert_eq!(regions[0].func, "f");
+        assert_eq!(regions[1].id, "post");
+        assert_eq!(regions[1].kind, RegionKind::Block);
+        assert_eq!(regions[2].func, "g");
+    }
+
+    #[test]
+    fn same_id_groups_together() {
+        let p = parse_program(SRC).unwrap();
+        let groups = regions_by_id(&find_regions(&p));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "init");
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn region_stmt_resolves_to_annotated_loop() {
+        let p = parse_program(SRC).unwrap();
+        let regions = find_regions(&p);
+        let stmt = region_stmt(&p, &regions[0]).unwrap();
+        assert!(stmt.is_for());
+        assert_eq!(stmt.region_id(), Some("init"));
+    }
+
+    #[test]
+    fn replace_preserves_locus_pragma() {
+        let mut p = parse_program(SRC).unwrap();
+        let regions = find_regions(&p);
+        let mut new_stmt = region_stmt(&p, &regions[0]).unwrap().clone();
+        new_stmt.pragmas.clear();
+        assert!(replace_region(&mut p, &regions[0], new_stmt));
+        let stmt = region_stmt(&p, &regions[0]).unwrap();
+        assert_eq!(stmt.region_id(), Some("init"));
+        // Re-finding still sees all regions.
+        assert_eq!(find_regions(&p).len(), 3);
+    }
+
+    #[test]
+    fn extract_clones_region() {
+        let p = parse_program(SRC).unwrap();
+        let regions = find_regions(&p);
+        let region = extract_region(&p, &regions[0]).unwrap();
+        assert_eq!(region.id, "init");
+        assert!(region.stmt.is_for());
+    }
+
+    #[test]
+    fn nested_region_is_found() {
+        let src = r#"
+        void f(int n) {
+            for (int t = 0; t < n; t++) {
+                #pragma @Locus loop=inner
+                for (int i = 0; i < n; i++) { n = n; }
+            }
+        }
+        "#;
+        let p = parse_program(src).unwrap();
+        let regions = find_regions(&p);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].path.len(), 2);
+        assert!(region_stmt(&p, &regions[0]).unwrap().is_for());
+    }
+
+    #[test]
+    fn loop_region_detection() {
+        let p = parse_program(SRC).unwrap();
+        let regions = find_regions(&p);
+        assert!(is_loop_region(region_stmt(&p, &regions[0]).unwrap()));
+        assert!(!is_loop_region(region_stmt(&p, &regions[1]).unwrap()));
+    }
+}

@@ -1,0 +1,309 @@
+//! Traversal helpers over the mini-C AST.
+//!
+//! Statement navigation is defined through a uniform *child list*:
+//! a block's children are its statements, a loop's children are the
+//! statements of its body, and an `if`'s children are its branches. The
+//! same child relation underpins the hierarchical indexing of
+//! [`crate::index::HierIndex`].
+
+use crate::ast::{Expr, ForLoop, Stmt, StmtKind};
+
+/// Number of child statements of `stmt` under the uniform child relation.
+pub fn child_count(stmt: &Stmt) -> usize {
+    match &stmt.kind {
+        StmtKind::Block(stmts) => stmts.len(),
+        StmtKind::For(f) => f.body.body_stmts().len(),
+        StmtKind::While { body, .. } => body.body_stmts().len(),
+        StmtKind::If { else_branch, .. } => {
+            if else_branch.is_some() {
+                2
+            } else {
+                1
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// The `i`-th child statement of `stmt`, if any.
+pub fn child(stmt: &Stmt, i: usize) -> Option<&Stmt> {
+    match &stmt.kind {
+        StmtKind::Block(stmts) => stmts.get(i),
+        StmtKind::For(f) => f.body.body_stmts().get(i),
+        StmtKind::While { body, .. } => body.body_stmts().get(i),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => match i {
+            0 => Some(then_branch),
+            1 => else_branch.as_deref(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Mutable access to the `i`-th child statement of `stmt`.
+pub fn child_mut(stmt: &mut Stmt, i: usize) -> Option<&mut Stmt> {
+    match &mut stmt.kind {
+        StmtKind::Block(stmts) => stmts.get_mut(i),
+        StmtKind::For(f) => body_stmts_mut(&mut f.body).get_mut(i),
+        StmtKind::While { body, .. } => body_stmts_mut(body).get_mut(i),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => match i {
+            0 => Some(then_branch),
+            1 => else_branch.as_deref_mut(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Mutable view of a body statement's statement list (wrapping non-blocks).
+pub(crate) fn body_stmts_mut(body: &mut Stmt) -> &mut [Stmt] {
+    if matches!(body.kind, StmtKind::Block(_)) {
+        match &mut body.kind {
+            StmtKind::Block(stmts) => stmts,
+            _ => unreachable!(),
+        }
+    } else {
+        std::slice::from_mut(body)
+    }
+}
+
+/// Pre-order walk over `stmt` and all nested statements.
+pub fn walk_stmts<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
+    f(stmt);
+    match &stmt.kind {
+        StmtKind::Block(stmts) => {
+            for s in stmts {
+                walk_stmts(s, f);
+            }
+        }
+        StmtKind::For(ForLoop { init, body, .. }) => {
+            if let Some(init) = init {
+                walk_stmts(init, f);
+            }
+            walk_stmts(body, f);
+        }
+        StmtKind::While { body, .. } => walk_stmts(body, f),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_stmts(then_branch, f);
+            if let Some(e) = else_branch {
+                walk_stmts(e, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Pre-order walk over an expression tree.
+pub fn walk_exprs<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match expr {
+        Expr::Index { base, index } => {
+            walk_exprs(base, f);
+            walk_exprs(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_exprs(a, f);
+            }
+        }
+        Expr::Unary { operand, .. } => walk_exprs(operand, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_exprs(lhs, f);
+            walk_exprs(rhs, f);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            walk_exprs(lhs, f);
+            walk_exprs(rhs, f);
+        }
+        Expr::Cast { expr, .. } => walk_exprs(expr, f),
+        Expr::IntLit(_) | Expr::FloatLit(_) | Expr::StrLit(_) | Expr::Ident(_) => {}
+    }
+}
+
+/// Walks every expression contained in `stmt` (conditions, bounds, steps,
+/// initializers, and statement expressions), including nested statements.
+pub fn walk_exprs_in_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    walk_stmts(stmt, &mut |s| {
+        match &s.kind {
+            StmtKind::Expr(e) => walk_exprs(e, f),
+            StmtKind::Decl { dims, init, .. } => {
+                for d in dims {
+                    walk_exprs(d, f);
+                }
+                if let Some(init) = init {
+                    walk_exprs(init, f);
+                }
+            }
+            StmtKind::If { cond, .. } => walk_exprs(cond, f),
+            StmtKind::For(fl) => {
+                if let Some(cond) = &fl.cond {
+                    walk_exprs(cond, f);
+                }
+                if let Some(step) = &fl.step {
+                    walk_exprs(step, f);
+                }
+            }
+            StmtKind::While { cond, .. } => walk_exprs(cond, f),
+            StmtKind::Return(Some(e)) => walk_exprs(e, f),
+            _ => {}
+        };
+    });
+}
+
+/// Rewrites every expression node in an expression tree, bottom-up.
+pub fn rewrite_exprs(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match expr {
+        Expr::Index { base, index } => {
+            rewrite_exprs(base, f);
+            rewrite_exprs(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                rewrite_exprs(a, f);
+            }
+        }
+        Expr::Unary { operand, .. } => rewrite_exprs(operand, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            rewrite_exprs(lhs, f);
+            rewrite_exprs(rhs, f);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            rewrite_exprs(lhs, f);
+            rewrite_exprs(rhs, f);
+        }
+        Expr::Cast { expr, .. } => rewrite_exprs(expr, f),
+        Expr::IntLit(_) | Expr::FloatLit(_) | Expr::StrLit(_) | Expr::Ident(_) => {}
+    }
+    f(expr);
+}
+
+/// Rewrites every expression contained in `stmt`, recursing into nested
+/// statements.
+pub fn rewrite_exprs_in_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match &mut stmt.kind {
+        StmtKind::Expr(e) => rewrite_exprs(e, f),
+        StmtKind::Decl { dims, init, .. } => {
+            for d in dims {
+                rewrite_exprs(d, f);
+            }
+            if let Some(init) = init {
+                rewrite_exprs(init, f);
+            }
+        }
+        StmtKind::Block(stmts) => {
+            for s in stmts {
+                rewrite_exprs_in_stmt(s, f);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            rewrite_exprs(cond, f);
+            rewrite_exprs_in_stmt(then_branch, f);
+            if let Some(e) = else_branch {
+                rewrite_exprs_in_stmt(e, f);
+            }
+        }
+        StmtKind::For(fl) => {
+            if let Some(init) = &mut fl.init {
+                rewrite_exprs_in_stmt(init, f);
+            }
+            if let Some(cond) = &mut fl.cond {
+                rewrite_exprs(cond, f);
+            }
+            if let Some(step) = &mut fl.step {
+                rewrite_exprs(step, f);
+            }
+            rewrite_exprs_in_stmt(&mut fl.body, f);
+        }
+        StmtKind::While { cond, body } => {
+            rewrite_exprs(cond, f);
+            rewrite_exprs_in_stmt(body, f);
+        }
+        StmtKind::Return(Some(e)) => rewrite_exprs(e, f),
+        StmtKind::Return(None) | StmtKind::Empty => {}
+    }
+}
+
+/// Replaces every use of identifier `name` with `replacement`.
+pub fn substitute_ident(stmt: &mut Stmt, name: &str, replacement: &Expr) {
+    rewrite_exprs_in_stmt(stmt, &mut |e| {
+        if matches!(e, Expr::Ident(n) if n == name) {
+            *e = replacement.clone();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn first_loop(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let f = p.functions().next().unwrap();
+        f.body
+            .iter()
+            .find(|s| s.is_for())
+            .cloned()
+            .expect("a for loop")
+    }
+
+    #[test]
+    fn child_relation_descends_loop_bodies() {
+        let l = first_loop(
+            "void f(int n) { for (int i = 0; i < n; i++) { n = n; for (int j = 0; j < n; j++) { n = n; } } }",
+        );
+        assert_eq!(child_count(&l), 2);
+        assert!(child(&l, 1).unwrap().is_for());
+        assert!(child(&l, 2).is_none());
+    }
+
+    #[test]
+    fn walk_counts_all_statements() {
+        let l = first_loop(
+            "void f(int n) { for (int i = 0; i < n; i++) { n = n; n = n; } }",
+        );
+        let mut count = 0;
+        walk_stmts(&l, &mut |_| count += 1);
+        // for + init decl + block + 2 exprs
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn substitute_rewrites_identifiers_everywhere() {
+        let mut l = first_loop("void f(int n) { for (int i = 0; i < n; i++) { n = n + i; } }");
+        substitute_ident(&mut l, "n", &Expr::int(10));
+        let mut found_n = false;
+        walk_exprs_in_stmt(&l, &mut |e| {
+            if matches!(e, Expr::Ident(x) if x == "n") {
+                found_n = true;
+            }
+        });
+        assert!(!found_n);
+    }
+
+    #[test]
+    fn if_children_are_branches() {
+        let p = parse_program("void f(int x) { if (x) { x = 1; } else { x = 2; } }").unwrap();
+        let f = p.functions().next().unwrap();
+        let s = &f.body[0];
+        assert_eq!(child_count(s), 2);
+        assert!(child(s, 0).is_some());
+        assert!(child(s, 1).is_some());
+    }
+}

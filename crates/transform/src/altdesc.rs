@@ -1,0 +1,202 @@
+//! Alternative descriptions — `BuiltIn.Altdesc`.
+//!
+//! Replaces a statement inside a region with externally provided code
+//! (the paper: "used to replace the code region with external code
+//! snippets... mostly used to incorporate hand-optimized kernels into an
+//! optimization sequence"). The Kripke experiment uses it to splice one
+//! of six per-layout address computations into a kernel skeleton.
+
+use locus_srcir::ast::{Stmt, StmtKind};
+use locus_srcir::index::HierIndex;
+use locus_srcir::parser;
+
+use crate::{TransformError, TransformResult};
+
+/// Parses `snippet` (a sequence of mini-C statements) and replaces the
+/// statement at `target` with it.
+///
+/// Multi-statement snippets are spliced *inline* into the enclosing
+/// statement list (so declarations they introduce are visible to later
+/// passes such as LICM); hierarchical indices of statements after the
+/// target shift by `len - 1`, matching the paper's usage where `Altdesc`
+/// runs before any index-based transformation.
+///
+/// # Errors
+///
+/// Returns [`TransformError::Error`] when the target does not resolve,
+/// the snippet fails to parse, or an inline splice is needed at a
+/// position that cannot hold multiple statements.
+pub fn altdesc(root: &mut Stmt, target: &HierIndex, snippet: &str) -> TransformResult {
+    let mut stmts = parse_snippet(snippet)?;
+    if stmts.is_empty() {
+        stmts.push(Stmt::new(StmtKind::Empty));
+    }
+    // Single statement: plain replacement.
+    if stmts.len() == 1 {
+        let slot = target
+            .resolve_mut(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+        let mut replacement = stmts.remove(0);
+        for p in slot
+            .pragmas
+            .iter()
+            .filter(|p| p.region_id().is_some())
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
+            replacement.pragmas.insert(0, p);
+        }
+        *slot = replacement;
+        return Ok(());
+    }
+    // Multi-statement: splice into the parent's statement list.
+    let parent_idx = target
+        .parent()
+        .ok_or_else(|| TransformError::error("cannot splice at the region root"))?;
+    let position = *target.0.last().expect("non-empty index");
+    let parent = parent_idx
+        .resolve_mut(root)
+        .ok_or_else(|| TransformError::error(format!("no statement at `{parent_idx}`")))?;
+    let list = match &mut parent.kind {
+        StmtKind::Block(list) => list,
+        StmtKind::For(f) => match &mut f.body.kind {
+            StmtKind::Block(list) => list,
+            _ => {
+                return Err(TransformError::error(
+                    "loop body cannot hold a spliced snippet",
+                ))
+            }
+        },
+        StmtKind::While { body, .. } => match &mut body.kind {
+            StmtKind::Block(list) => list,
+            _ => {
+                return Err(TransformError::error(
+                    "loop body cannot hold a spliced snippet",
+                ))
+            }
+        },
+        _ => {
+            return Err(TransformError::error(
+                "parent statement cannot hold a spliced snippet",
+            ))
+        }
+    };
+    if position >= list.len() {
+        return Err(TransformError::error(format!("no statement at `{target}`")));
+    }
+    let old = list.remove(position);
+    for p in old
+        .pragmas
+        .iter()
+        .filter(|p| p.region_id().is_some())
+        .cloned()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        stmts[0].pragmas.insert(0, p);
+    }
+    for (k, s) in stmts.into_iter().enumerate() {
+        list.insert(position + k, s);
+    }
+    Ok(())
+}
+
+/// Parses a statement-sequence snippet by wrapping it in a dummy
+/// function.
+pub fn parse_snippet(snippet: &str) -> TransformResult<Vec<Stmt>> {
+    let wrapped = format!("void __locus_snippet__() {{\n{snippet}\n}}");
+    let program = parser::parse_program(&wrapped)
+        .map_err(|e| TransformError::error(format!("snippet parse failure: {e}")))?;
+    let f = program
+        .function("__locus_snippet__")
+        .expect("wrapper function exists");
+    // Flatten multi-declarator expansion blocks back to plain statements.
+    let mut stmts = Vec::new();
+    for s in &f.body {
+        match &s.kind {
+            StmtKind::Block(inner)
+                if s.pragmas.is_empty()
+                    && inner.iter().all(|d| matches!(d.kind, StmtKind::Decl { .. })) =>
+            {
+                stmts.extend(inner.clone());
+            }
+            _ => stmts.push(s.clone()),
+        }
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn replaces_placeholder_statement() {
+        let mut root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n; i++) {
+                ;
+                A[i] = 1.0;
+            }
+            }"#,
+        );
+        altdesc(&mut root, &"0.0".parse().unwrap(), "int off = i * 4;").unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("int off = i * 4"), "printed:\n{printed}");
+        assert!(printed.contains("A[i] = 1.0"));
+    }
+
+    #[test]
+    fn multi_statement_snippet_splices_inline() {
+        let mut root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n; i++) {
+                ;
+                A[i] = 1.0;
+            }
+            }"#,
+        );
+        altdesc(
+            &mut root,
+            &"0.0".parse().unwrap(),
+            "int a = 1; int b = 2; A[0] = (double)(a + b);",
+        )
+        .unwrap();
+        // Spliced declarations are direct body statements (visible to
+        // LICM), and the original statement shifted by len - 1.
+        let decl: HierIndex = "0.0".parse().unwrap();
+        assert!(matches!(
+            decl.resolve(&root).unwrap().kind,
+            StmtKind::Decl { .. }
+        ));
+        let shifted: HierIndex = "0.3".parse().unwrap();
+        let printed = locus_srcir::printer::print_stmt(shifted.resolve(&root).unwrap());
+        assert!(printed.contains("A[i] = 1.0"));
+    }
+
+    #[test]
+    fn bad_snippet_is_an_error() {
+        let mut root = region(
+            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
+        );
+        assert!(altdesc(&mut root, &"0.0".parse().unwrap(), "int = ;").is_err());
+    }
+
+    #[test]
+    fn bad_target_is_an_error() {
+        let mut root = region(
+            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
+        );
+        assert!(altdesc(&mut root, &"0.9".parse().unwrap(), "int a = 1;").is_err());
+    }
+}

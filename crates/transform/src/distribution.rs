@@ -1,0 +1,207 @@
+//! Loop distribution (fission) — `RoseLocus.Distribute`.
+//!
+//! Splits a loop over its top-level body statements, giving each
+//! statement its own copy of the loop. The paper's Fig. 13 applies it
+//! (optionally) to inner loops before unrolling.
+
+use locus_srcir::ast::{Stmt, StmtKind};
+use locus_srcir::index::HierIndex;
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::canonicalize;
+
+use crate::{TransformError, TransformResult};
+
+/// Distributes the loop at `target` over its body statements.
+///
+/// Each top-level body statement becomes its own loop with a cloned
+/// header, in source order. When `check_legality` is set, the module
+/// refuses if any dependence points from a later statement back to an
+/// earlier one (which source-order distribution would violate).
+///
+/// # Errors
+///
+/// * [`TransformError::Error`] when the target is not a canonical loop,
+///   has fewer than two body statements, or declares locals shared
+///   between statements.
+/// * [`TransformError::Illegal`] when the legality check refuses.
+pub fn distribute(root: &mut Stmt, target: &HierIndex, check_legality: bool) -> TransformResult {
+    {
+        let loop_stmt = target
+            .resolve(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+        canonicalize(loop_stmt)
+            .ok_or_else(|| TransformError::error("target loop is not canonical"))?;
+        let body = loop_stmt.as_for().expect("loop").body.body_stmts();
+        if body.len() < 2 {
+            return Err(TransformError::error(
+                "distribution needs at least two body statements",
+            ));
+        }
+        if body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::Decl { .. }))
+        {
+            return Err(TransformError::error(
+                "body declares locals; distribution would break their scope",
+            ));
+        }
+        if check_legality {
+            let info = analyze_region(loop_stmt);
+            if !info.available {
+                return Err(TransformError::illegal(
+                    "dependence information unavailable",
+                ));
+            }
+            if !info.distribution_legal() {
+                return Err(TransformError::illegal(
+                    "a backward dependence prevents distribution",
+                ));
+            }
+        }
+    }
+
+    let loop_stmt = target.resolve_mut(root).expect("validated above");
+    let body = loop_stmt.as_for().expect("loop").body.body_stmts().to_vec();
+    let mut loops = Vec::with_capacity(body.len());
+    for (i, stmt) in body.into_iter().enumerate() {
+        let mut copy = loop_stmt.clone();
+        if i > 0 {
+            // Region pragmas stay on the first loop only.
+            copy.pragmas.retain(|p| p.region_id().is_none());
+        }
+        *copy.as_for_mut().expect("loop").body = Stmt::block(vec![stmt]);
+        loops.push(copy);
+    }
+    *loop_stmt = Stmt::block(loops);
+    Ok(())
+}
+
+/// Distributes every loop in `targets`, deepest-first so indices stay
+/// valid. Loops where distribution does not apply (single statement
+/// bodies) are skipped silently — matching the forgiving behaviour the
+/// generic optimization program of Fig. 13 relies on.
+pub fn distribute_all(
+    root: &mut Stmt,
+    targets: &[HierIndex],
+    check_legality: bool,
+) -> TransformResult {
+    let mut sorted: Vec<&HierIndex> = targets.iter().collect();
+    sorted.sort();
+    for target in sorted.into_iter().rev() {
+        match distribute(root, target, check_legality) {
+            Ok(()) => {}
+            Err(TransformError::Error(msg)) if msg.contains("at least two") => {}
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_analysis::loops::all_loops;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn splits_independent_statements() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                A[i] = 1.0;
+                B[i] = 2.0;
+            }
+            }"#,
+        );
+        distribute(&mut root, &HierIndex::root(), true).unwrap();
+        assert_eq!(all_loops(&root).len(), 2);
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.matches("for (").count() == 2);
+    }
+
+    #[test]
+    fn forward_dependence_is_fine() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                A[i] = 1.0;
+                B[i] = A[i] * 2.0;
+            }
+            }"#,
+        );
+        distribute(&mut root, &HierIndex::root(), true).unwrap();
+        assert_eq!(all_loops(&root).len(), 2);
+    }
+
+    #[test]
+    fn backward_dependence_is_refused() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64], double C[64]) {
+            for (int i = 1; i < n; i++) {
+                B[i] = A[i - 1];
+                A[i] = C[i] + 1.0;
+            }
+            }"#,
+        );
+        assert!(matches!(
+            distribute(&mut root, &HierIndex::root(), true),
+            Err(TransformError::Illegal(_))
+        ));
+        distribute(&mut root, &HierIndex::root(), false).unwrap();
+        assert_eq!(all_loops(&root).len(), 2);
+    }
+
+    #[test]
+    fn single_statement_body_is_an_error() {
+        let mut root = region(
+            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
+        );
+        assert!(distribute(&mut root, &HierIndex::root(), true).is_err());
+        // ... but distribute_all skips it.
+        distribute_all(&mut root, &[HierIndex::root()], true).unwrap();
+        assert_eq!(all_loops(&root).len(), 1);
+    }
+
+    #[test]
+    fn local_declarations_block_distribution() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                double t = A[i];
+                B[i] = t;
+            }
+            }"#,
+        );
+        assert!(matches!(
+            distribute(&mut root, &HierIndex::root(), true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn region_pragma_only_on_first_loop() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                A[i] = 1.0;
+                B[i] = 2.0;
+            }
+            }"#,
+        );
+        root.pragmas
+            .push(locus_srcir::ast::Pragma::LocusLoop("r".into()));
+        distribute(&mut root, &HierIndex::root(), true).unwrap();
+        let StmtKind::Block(stmts) = &root.kind else {
+            panic!("expected block")
+        };
+        assert_eq!(stmts[0].region_id(), Some("r"));
+        assert_eq!(stmts[1].region_id(), None);
+    }
+}

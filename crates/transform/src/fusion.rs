@@ -1,0 +1,241 @@
+//! Loop fusion — `Pips.Fusion`.
+//!
+//! Fuses two adjacent sibling loops with identical iteration spaces into
+//! one loop, improving locality when both bodies touch the same data.
+
+use locus_srcir::ast::{Stmt, StmtKind};
+use locus_srcir::index::HierIndex;
+use locus_srcir::visit::substitute_ident;
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::canonicalize;
+
+use crate::{TransformError, TransformResult};
+
+/// Fuses the loop at `first` with its immediately following sibling.
+///
+/// Both loops must be canonical with syntactically identical bounds and
+/// step; the second loop's induction variable is renamed to the first's.
+/// When `check_legality` is set, the module refuses when fusing would
+/// create a dependence from the second body back into the first (a
+/// fusion-preventing dependence).
+///
+/// # Errors
+///
+/// * [`TransformError::Error`] when the target or its sibling is missing
+///   or not canonical, or iteration spaces differ.
+/// * [`TransformError::Illegal`] when the legality check refuses.
+pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> TransformResult {
+    let parent_idx = first
+        .parent()
+        .ok_or_else(|| TransformError::error("cannot fuse the region root"))?;
+    let position = *first.0.last().expect("non-empty index");
+
+    // Validate on immutable data first.
+    {
+        let parent = parent_idx
+            .resolve(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{parent_idx}`")))?;
+        let siblings = parent.body_stmts();
+        let a = siblings
+            .get(position)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{first}`")))?;
+        let b = siblings.get(position + 1).ok_or_else(|| {
+            TransformError::error("loop to fuse has no following sibling statement")
+        })?;
+        let ca = canonicalize(a)
+            .ok_or_else(|| TransformError::error("first loop is not canonical"))?;
+        let cb = canonicalize(b)
+            .ok_or_else(|| TransformError::error("second loop is not canonical"))?;
+        if ca.lower != cb.lower
+            || ca.upper != cb.upper
+            || ca.inclusive != cb.inclusive
+            || ca.step != cb.step
+        {
+            return Err(TransformError::error(
+                "loops have different iteration spaces",
+            ));
+        }
+    }
+
+    // Build the fused loop.
+    let (fused, first_len) = {
+        let parent = parent_idx.resolve(root).expect("validated");
+        let siblings = parent.body_stmts();
+        let a = &siblings[position];
+        let b = &siblings[position + 1];
+        let ca = canonicalize(a).expect("validated");
+        let cb = canonicalize(b).expect("validated");
+
+        let mut body = a.as_for().expect("loop").body.body_stmts().to_vec();
+        let first_len = body.len();
+        let mut second_body = b.as_for().expect("loop").body.body_stmts().to_vec();
+        if ca.var != cb.var {
+            for s in &mut second_body {
+                substitute_ident(s, &cb.var, &locus_srcir::ast::Expr::ident(&ca.var));
+            }
+        }
+        body.extend(second_body);
+
+        let mut fused = a.clone();
+        *fused.as_for_mut().expect("loop").body = Stmt::block(body);
+        (fused, first_len)
+    };
+
+    if check_legality {
+        let info = analyze_region(&fused);
+        if !info.available {
+            return Err(TransformError::illegal(
+                "dependence information unavailable",
+            ));
+        }
+        // Count assignment statements contributed by the first body to
+        // split statement indices between the two origins.
+        let boundary = count_stmts(&fused.as_for().unwrap().body.body_stmts()[..first_len]);
+        let preventing = info
+            .deps
+            .iter()
+            .any(|d| d.src_stmt >= boundary && d.dst_stmt < boundary);
+        if preventing {
+            return Err(TransformError::illegal(
+                "fusion-preventing dependence between the loop bodies",
+            ));
+        }
+    }
+
+    // Commit: replace the first loop, remove the second.
+    let parent = parent_idx.resolve_mut(root).expect("validated");
+    match &mut parent.kind {
+        StmtKind::Block(stmts) => {
+            stmts[position] = fused;
+            stmts.remove(position + 1);
+        }
+        StmtKind::For(f) => match &mut f.body.kind {
+            StmtKind::Block(stmts) => {
+                stmts[position] = fused;
+                stmts.remove(position + 1);
+            }
+            _ => unreachable!("sibling existence implies a block body"),
+        },
+        StmtKind::While { body, .. } => match &mut body.kind {
+            StmtKind::Block(stmts) => {
+                stmts[position] = fused;
+                stmts.remove(position + 1);
+            }
+            _ => unreachable!("sibling existence implies a block body"),
+        },
+        _ => {
+            return Err(TransformError::error(
+                "parent statement cannot hold fused loops",
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Counts assignment/expression statements the dependence analysis
+/// numbers, in the same order it numbers them.
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    use locus_srcir::visit::{child, child_count};
+    fn rec(s: &Stmt, count: &mut usize) {
+        match &s.kind {
+            StmtKind::Expr(_) | StmtKind::Decl { init: Some(_), .. } => *count += 1,
+            _ => {
+                for i in 0..child_count(s) {
+                    if let Some(c) = child(s, i) {
+                        rec(c, count);
+                    }
+                }
+            }
+        }
+    }
+    let mut count = 0;
+    for s in stmts {
+        rec(s, &mut count);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_analysis::loops::all_loops;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let f = p.functions().next().unwrap();
+        Stmt::block(f.body.clone())
+    }
+
+    #[test]
+    fn fuses_identical_headers() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            for (int j = 0; j < 64; j++) B[j] = A[j] * 2.0;
+            }"#,
+        );
+        fuse(&mut root, &"0.0".parse().unwrap(), true).unwrap();
+        assert_eq!(all_loops(&root).len(), 1);
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("B[i] = A[i] * 2.0"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn refuses_fusion_preventing_dependence() {
+        // Second loop reads A[i+1], which the first writes at a later
+        // iteration once fused.
+        let mut root = region(
+            r#"void f(int n, double A[66], double B[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            for (int j = 0; j < 64; j++) B[j] = A[j + 1];
+            }"#,
+        );
+        assert!(matches!(
+            fuse(&mut root, &"0.0".parse().unwrap(), true),
+            Err(TransformError::Illegal(_))
+        ));
+        // Forced fusion is possible.
+        fuse(&mut root, &"0.0".parse().unwrap(), false).unwrap();
+        assert_eq!(all_loops(&root).len(), 1);
+    }
+
+    #[test]
+    fn backward_reads_are_fusable() {
+        // Second loop reads A[j - 1]: after fusion the dependence is
+        // still forward (write in earlier iteration).
+        let mut root = region(
+            r#"void f(int n, double A[66], double B[64]) {
+            for (int i = 1; i < 64; i++) A[i] = 1.0;
+            for (int j = 1; j < 64; j++) B[j] = A[j - 1];
+            }"#,
+        );
+        fuse(&mut root, &"0.0".parse().unwrap(), true).unwrap();
+        assert_eq!(all_loops(&root).len(), 1);
+    }
+
+    #[test]
+    fn rejects_different_spaces() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            for (int j = 0; j < 32; j++) B[j] = 2.0;
+            }"#,
+        );
+        assert!(matches!(
+            fuse(&mut root, &"0.0".parse().unwrap(), true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_sibling() {
+        let mut root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            }"#,
+        );
+        assert!(fuse(&mut root, &"0.0".parse().unwrap(), true).is_err());
+    }
+}

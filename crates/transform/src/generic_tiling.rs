@@ -1,0 +1,459 @@
+//! Matrix-driven tiling — `Pips.GenericTiling(loop, factor=matrix)`.
+//!
+//! The paper's stencil experiments (Fig. 9) tile with the *Skewing-1*
+//! shape: a lower-triangular matrix such as
+//!
+//! ```text
+//! [[ s, 0, 0],
+//!  [-s, s, 0],
+//!  [-s, 0, s]]
+//! ```
+//!
+//! Row `i` defines the tiling hyperplane of loop `i`: the diagonal entry
+//! is the tile size along that dimension and the off-diagonal entries
+//! skew the dimension against outer loops. The matrix above gives
+//! `u1 = i + t`, `u2 = j + t` (skew factor `-(-s)/s = 1`) with all three
+//! dimensions tiled by `s` — classic time skewing.
+//!
+//! The generated code enumerates tiles of the skewed space
+//! lexicographically with exact `max`/`min` guards, and reconstructs the
+//! original induction variables inside each point loop, so the
+//! transformation is semantics-preserving whenever the matrix is a valid
+//! tiling transformation. As with Pips, validity of the matrix is the
+//! caller's responsibility — this module checks shape, not legality.
+
+use locus_srcir::ast::{AssignOp, BinOp, Expr, ForLoop, Stmt, StmtKind, Type};
+use locus_srcir::builder::{max_expr, min_expr};
+use locus_srcir::index::HierIndex;
+
+use crate::selector::fresh_name;
+use crate::tiling::{check_rectangular, collect_band};
+use crate::{TransformError, TransformResult};
+
+/// Scanning direction of the tile loops (the paper's *tile direction*
+/// parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanDir {
+    /// Increasing coordinates.
+    #[default]
+    Forward,
+    /// Decreasing coordinates.
+    Backward,
+}
+
+/// Applies matrix tiling to the perfect nest at `target`.
+///
+/// * `matrix` must be square and lower-triangular with positive diagonal
+///   entries (the tile sizes); each off-diagonal entry must be divisible
+///   by its row's diagonal entry (the quotient, negated, is the skew
+///   factor).
+/// * `tile_dirs`, when provided, sets the scanning direction per tile
+///   dimension.
+///
+/// # Errors
+///
+/// Returns [`TransformError::Error`] for malformed matrices, imperfect or
+/// non-canonical nests, non-unit loop steps, or non-rectangular bands.
+pub fn generic_tile(
+    root: &mut Stmt,
+    target: &HierIndex,
+    matrix: &[Vec<i64>],
+    tile_dirs: Option<&[ScanDir]>,
+) -> TransformResult {
+    let n = matrix.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for (i, row) in matrix.iter().enumerate() {
+        if row.len() != n {
+            return Err(TransformError::error("tiling matrix must be square"));
+        }
+        if row[i] <= 0 {
+            return Err(TransformError::error(
+                "tiling matrix diagonal entries must be positive tile sizes",
+            ));
+        }
+        for (j, &m) in row.iter().enumerate() {
+            if j > i && m != 0 {
+                return Err(TransformError::error(
+                    "tiling matrix must be lower-triangular",
+                ));
+            }
+            if j < i && m % row[i] != 0 {
+                return Err(TransformError::error(
+                    "off-diagonal entries must be divisible by the row's tile size",
+                ));
+            }
+        }
+    }
+    if let Some(dirs) = tile_dirs {
+        if dirs.len() != n {
+            return Err(TransformError::error(
+                "tile direction vector length must match the matrix",
+            ));
+        }
+    }
+
+    // Skew factors: u_i = var_i + sum_{j<i} skew[i][j] * var_j.
+    let skew: Vec<Vec<i64>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row[..i].iter().map(|&m| -m / row[i]).collect())
+        .collect();
+    let sizes: Vec<i64> = matrix.iter().enumerate().map(|(i, row)| row[i]).collect();
+
+    let (band, fresh_tile, fresh_point) = {
+        let loop_stmt = target
+            .resolve(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+        let band = collect_band(loop_stmt, n)?;
+        check_rectangular(&band)?;
+        if band.iter().any(|l| l.step != 1) {
+            return Err(TransformError::error(
+                "generic tiling requires unit-step loops",
+            ));
+        }
+        let fresh_tile: Vec<String> = band
+            .iter()
+            .map(|l| fresh_name(root, &format!("{}_tt", l.var)))
+            .collect();
+        let fresh_point: Vec<String> = band
+            .iter()
+            .map(|l| fresh_name(root, &format!("{}_s", l.var)))
+            .collect();
+        (band, fresh_tile, fresh_point)
+    };
+
+    let loop_stmt = target.resolve_mut(root).expect("validated above");
+
+    // Innermost body of the band.
+    let innermost_body = {
+        let mut cur: &Stmt = loop_stmt;
+        for _ in 0..n - 1 {
+            cur = &cur.as_for().expect("band loop").body.body_stmts()[0];
+        }
+        (*cur.as_for().expect("band loop").body).clone()
+    };
+
+    // Static (expanded) bounds of the skewed coordinates:
+    //   L_i = lo_i + sum_j min(c*lo_j, c*(hi_j - 1))
+    //   U_i = hi_i + sum_j max(c*lo_j, c*(hi_j - 1))   (exclusive)
+    let static_lo: Vec<Expr> = (0..n)
+        .map(|i| {
+            let mut e = band[i].lower.clone();
+            for (j, &c) in skew[i].iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let term = if c > 0 {
+                    scale(c, band[j].lower.clone())
+                } else {
+                    scale(c, last_value(&band[j]))
+                };
+                e = Expr::bin(BinOp::Add, e, term);
+            }
+            e
+        })
+        .collect();
+    let static_hi: Vec<Expr> = (0..n)
+        .map(|i| {
+            let mut e = band[i].exclusive_upper();
+            for (j, &c) in skew[i].iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let term = if c > 0 {
+                    scale(c, last_value(&band[j]))
+                } else {
+                    scale(c, band[j].lower.clone())
+                };
+                e = Expr::bin(BinOp::Add, e, term);
+            }
+            e
+        })
+        .collect();
+
+    // Dynamic bounds of u_i inside the point nest: lo_i + sum c*var_j.
+    let dyn_lo: Vec<Expr> = (0..n)
+        .map(|i| {
+            let mut e = band[i].lower.clone();
+            for (j, &c) in skew[i].iter().enumerate() {
+                if c != 0 {
+                    e = Expr::bin(BinOp::Add, e, scale(c, Expr::ident(&band[j].var)));
+                }
+            }
+            e
+        })
+        .collect();
+    let dyn_hi: Vec<Expr> = (0..n)
+        .map(|i| {
+            let mut e = band[i].exclusive_upper();
+            for (j, &c) in skew[i].iter().enumerate() {
+                if c != 0 {
+                    e = Expr::bin(BinOp::Add, e, scale(c, Expr::ident(&band[j].var)));
+                }
+            }
+            e
+        })
+        .collect();
+
+    // Build the point nest, innermost first.
+    let mut rebuilt = innermost_body;
+    for i in (0..n).rev() {
+        let u = &fresh_point[i];
+        // var_i = u_i - sum c*var_j, available because outer point loops
+        // already reconstructed var_j.
+        let mut recon = Expr::ident(u);
+        for (j, &c) in skew[i].iter().enumerate() {
+            if c != 0 {
+                recon = Expr::bin(BinOp::Sub, recon, scale(c, Expr::ident(&band[j].var)));
+            }
+        }
+        let var_stmt = if band[i].declares_var {
+            Stmt::new(StmtKind::Decl {
+                ty: Type::Int,
+                name: band[i].var.clone(),
+                dims: Vec::new(),
+                init: Some(recon),
+            })
+        } else {
+            Stmt::expr(Expr::assign(Expr::ident(&band[i].var), recon))
+        };
+        let mut body_stmts = vec![var_stmt];
+        match rebuilt.kind {
+            StmtKind::Block(stmts) => body_stmts.extend(stmts),
+            _ => body_stmts.push(rebuilt),
+        }
+        let init = Stmt::new(StmtKind::Decl {
+            ty: Type::Int,
+            name: u.clone(),
+            dims: Vec::new(),
+            init: Some(max_expr(dyn_lo[i].clone(), Expr::ident(&fresh_tile[i]))),
+        });
+        let cond = Expr::bin(
+            BinOp::Lt,
+            Expr::ident(u),
+            min_expr(
+                dyn_hi[i].clone(),
+                Expr::bin(BinOp::Add, Expr::ident(&fresh_tile[i]), Expr::int(sizes[i])),
+            ),
+        );
+        rebuilt = Stmt::new(StmtKind::For(ForLoop {
+            init: Some(Box::new(init)),
+            cond: Some(cond),
+            step: Some(Expr::Assign {
+                op: AssignOp::AddAssign,
+                lhs: Box::new(Expr::ident(u)),
+                rhs: Box::new(Expr::int(1)),
+            }),
+            body: Box::new(Stmt::block(body_stmts)),
+        }));
+    }
+
+    // Tile loops, outermost first.
+    for i in (0..n).rev() {
+        let dir = tile_dirs.map_or(ScanDir::Forward, |d| d[i]);
+        let t = &fresh_tile[i];
+        rebuilt = match dir {
+            ScanDir::Forward => locus_srcir::builder::for_loop(
+                t,
+                static_lo[i].clone(),
+                static_hi[i].clone(),
+                sizes[i],
+                vec![rebuilt],
+            ),
+            ScanDir::Backward => {
+                // Start from the last tile origin:
+                //   L + floor((U - 1 - L)/s) * s, stepping down by s.
+                let span = Expr::bin(
+                    BinOp::Sub,
+                    Expr::bin(BinOp::Sub, static_hi[i].clone(), Expr::int(1)),
+                    static_lo[i].clone(),
+                );
+                let start = Expr::bin(
+                    BinOp::Add,
+                    static_lo[i].clone(),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::bin(BinOp::Div, span, Expr::int(sizes[i])),
+                        Expr::int(sizes[i]),
+                    ),
+                );
+                let init = Stmt::new(StmtKind::Decl {
+                    ty: Type::Int,
+                    name: t.clone(),
+                    dims: Vec::new(),
+                    init: Some(start),
+                });
+                let cond = Expr::bin(BinOp::Ge, Expr::ident(t), static_lo[i].clone());
+                Stmt::new(StmtKind::For(ForLoop {
+                    init: Some(Box::new(init)),
+                    cond: Some(cond),
+                    step: Some(Expr::Assign {
+                        op: AssignOp::SubAssign,
+                        lhs: Box::new(Expr::ident(t)),
+                        rhs: Box::new(Expr::int(sizes[i])),
+                    }),
+                    body: Box::new(Stmt::block(vec![rebuilt])),
+                }))
+            }
+        };
+    }
+
+    rebuilt.pragmas = loop_stmt.pragmas.clone();
+    *loop_stmt = rebuilt;
+    Ok(())
+}
+
+/// `c * e`, simplified for `c == 1` / `c == -1`.
+fn scale(c: i64, e: Expr) -> Expr {
+    match c {
+        1 => e,
+        -1 => Expr::Unary {
+            op: locus_srcir::ast::UnOp::Neg,
+            operand: Box::new(e),
+        },
+        _ => Expr::bin(BinOp::Mul, Expr::int(c), e),
+    }
+}
+
+/// The last value an induction variable takes: `upper - 1` for exclusive
+/// bounds, `upper` for inclusive ones.
+fn last_value(l: &locus_analysis::loops::CanonLoop) -> Expr {
+    if l.inclusive {
+        l.upper.clone()
+    } else {
+        Expr::bin(BinOp::Sub, l.upper.clone(), Expr::int(1))
+    }
+}
+
+/// Builds the Skewing-1 matrix of the paper's Fig. 9 for a nest of
+/// `depth` loops and tile size `s`: time dimension first, every spatial
+/// dimension skewed by the time dimension.
+pub fn skewing1_matrix(depth: usize, s: i64) -> Vec<Vec<i64>> {
+    (0..depth)
+        .map(|i| {
+            (0..depth)
+                .map(|j| {
+                    if j == i {
+                        s
+                    } else if i > 0 && j == 0 {
+                        -s
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_analysis::loops::all_loops;
+    use locus_srcir::parse_program;
+
+    fn heat1d() -> Stmt {
+        let p = parse_program(
+            r#"void f(double A[2][66]) {
+            for (int t = 0; t < 8; t++)
+                for (int i = 1; i < 65; i++)
+                    A[(t + 1) % 2][i] = 0.125 * (A[t % 2][i + 1] - 2.0 * A[t % 2][i] + A[t % 2][i - 1]) + A[t % 2][i];
+            }"#,
+        )
+        .unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn skewing1_matrix_shape() {
+        assert_eq!(
+            skewing1_matrix(3, 16),
+            vec![vec![16, 0, 0], vec![-16, 16, 0], vec![-16, 0, 16]]
+        );
+    }
+
+    #[test]
+    fn skewed_tiling_produces_double_band() {
+        let mut root = heat1d();
+        generic_tile(&mut root, &HierIndex::root(), &skewing1_matrix(2, 4), None).unwrap();
+        assert_eq!(all_loops(&root).len(), 4);
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("max("), "guards expected:\n{printed}");
+        assert!(printed.contains("min("));
+        // Original induction variables are reconstructed.
+        assert!(printed.contains("int i = i_s - t"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_rectangular_tiling() {
+        let mut root = heat1d();
+        generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &[vec![4, 0], vec![0, 8]],
+            None,
+        )
+        .unwrap();
+        assert_eq!(all_loops(&root).len(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_matrices() {
+        let mut root = heat1d();
+        // Not square.
+        assert!(generic_tile(&mut root, &HierIndex::root(), &[vec![4, 0]], None).is_err());
+        // Upper triangular entry.
+        assert!(generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &[vec![4, 2], vec![0, 4]],
+            None
+        )
+        .is_err());
+        // Non-positive diagonal.
+        assert!(generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &[vec![0, 0], vec![0, 4]],
+            None
+        )
+        .is_err());
+        // Off-diagonal not divisible by diagonal.
+        assert!(generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &[vec![4, 0], vec![-3, 4]],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn backward_tile_direction_generates_descending_loop() {
+        let mut root = heat1d();
+        generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &skewing1_matrix(2, 4),
+            Some(&[ScanDir::Forward, ScanDir::Backward]),
+        )
+        .unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("-= 4"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn direction_vector_length_is_checked() {
+        let mut root = heat1d();
+        assert!(generic_tile(
+            &mut root,
+            &HierIndex::root(),
+            &skewing1_matrix(2, 4),
+            Some(&[ScanDir::Forward])
+        )
+        .is_err());
+    }
+}

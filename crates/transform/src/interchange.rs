@@ -1,0 +1,327 @@
+//! Loop interchange (permutation) — `RoseLocus.Interchange(order=[...])`.
+
+use locus_srcir::ast::{Stmt, StmtKind};
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::canonicalize;
+
+use crate::{TransformError, TransformResult};
+
+/// Permutes the loops of the perfect nest rooted at `root`.
+///
+/// `order` lists old 0-based loop levels in their new order, so
+/// `order=[0,2,1]` swaps the second and third loops (the paper's Fig. 7
+/// turns the `i,j,k` matmul nest into `i,k,j`). The permutation may cover
+/// a prefix of the nest: unlisted deeper loops stay in place.
+///
+/// When `check_legality` is set, the module consults the dependence
+/// analysis and refuses permutations that would reverse a dependence; per
+/// the paper's philosophy, a caller who knows better may pass `false`.
+///
+/// # Errors
+///
+/// * [`TransformError::Error`] when `order` is not a permutation, the
+///   nest is not perfect/canonical deep enough, or a loop bound depends
+///   on another loop being permuted.
+/// * [`TransformError::Illegal`] when the legality check refuses.
+pub fn interchange(root: &mut Stmt, order: &[usize], check_legality: bool) -> TransformResult {
+    let depth = order.len();
+    if depth == 0 {
+        return Ok(());
+    }
+    let mut sorted = order.to_vec();
+    sorted.sort_unstable();
+    if sorted != (0..depth).collect::<Vec<_>>() {
+        return Err(TransformError::error(format!(
+            "order {order:?} is not a permutation of 0..{depth}"
+        )));
+    }
+    // The identity permutation is a no-op and is always legal — even on
+    // nests (triangular, imperfect) the restructuring path rejects.
+    if order.iter().enumerate().all(|(i, &o)| i == o) {
+        return Ok(());
+    }
+
+    // Gather the band: `depth` perfectly nested loops from the root.
+    let mut vars = Vec::new();
+    {
+        let mut cur: &Stmt = root;
+        for level in 0..depth {
+            let canon = canonicalize(cur).ok_or_else(|| {
+                TransformError::error(format!("loop at level {level} is not canonical"))
+            })?;
+            vars.push(canon.var.clone());
+            if level + 1 < depth {
+                let f = cur.as_for().expect("canonical loop is a for");
+                let body = f.body.body_stmts();
+                if body.len() != 1 || !body[0].is_for() {
+                    return Err(TransformError::error(format!(
+                        "nest is not perfect at level {level}"
+                    )));
+                }
+                cur = &body[0];
+            }
+        }
+    }
+
+    // Bounds must not reference other band variables (rectangular band).
+    {
+        let mut cur: &Stmt = root;
+        for level in 0..depth {
+            let canon = canonicalize(cur).expect("checked above");
+            for bound in [&canon.lower, &canon.upper] {
+                let mut bad = false;
+                locus_srcir::visit::walk_exprs(bound, &mut |e| {
+                    if let locus_srcir::ast::Expr::Ident(n) = e {
+                        if vars.iter().any(|v| v == n && v != &canon.var) {
+                            bad = true;
+                        }
+                    }
+                });
+                if bad {
+                    return Err(TransformError::error(
+                        "band is not rectangular: a bound references another band variable",
+                    ));
+                }
+            }
+            if level + 1 < depth {
+                cur = &cur.as_for().unwrap().body.body_stmts()[0];
+            }
+        }
+    }
+
+    if check_legality {
+        let info = analyze_region(root);
+        if !info.available {
+            return Err(TransformError::illegal(
+                "dependence information unavailable",
+            ));
+        }
+        // Extend the permutation to the full analyzed nest depth.
+        let full: Vec<usize> = order
+            .iter()
+            .copied()
+            .chain(depth..info.loop_vars.len())
+            .collect();
+        if !info.interchange_legal(&full) {
+            return Err(TransformError::illegal(format!(
+                "permutation {order:?} reverses a dependence"
+            )));
+        }
+    }
+
+    // Detach the `depth` loop headers and the innermost body, permute,
+    // and rebuild.
+    let mut headers = Vec::with_capacity(depth);
+    let mut cur = std::mem::replace(root, Stmt::new(StmtKind::Empty));
+    for level in 0..depth {
+        let pragmas = cur.pragmas.clone();
+        let StmtKind::For(f) = cur.kind else {
+            unreachable!("validated as a loop above")
+        };
+        let body = *f.body;
+        headers.push((
+            pragmas,
+            locus_srcir::ast::ForLoop {
+                init: f.init,
+                cond: f.cond,
+                step: f.step,
+                body: Box::new(Stmt::new(StmtKind::Empty)), // placeholder
+            },
+        ));
+        if level + 1 < depth {
+            let StmtKind::Block(mut stmts) = body.kind else {
+                unreachable!("perfect nest bodies are blocks")
+            };
+            cur = stmts.remove(0);
+        } else {
+            cur = body;
+        }
+    }
+    let innermost_body = cur;
+
+    let mut rebuilt = innermost_body;
+    for (new_level, &old_level) in order.iter().enumerate().rev() {
+        let (pragmas, mut header) = headers[old_level].clone();
+        let body = if matches!(rebuilt.kind, StmtKind::Block(_)) {
+            rebuilt
+        } else {
+            Stmt::block(vec![rebuilt])
+        };
+        header.body = Box::new(body);
+        let mut stmt = Stmt::new(StmtKind::For(header));
+        // Region pragmas stay on the (new) outermost loop; every other
+        // pragma (ivdep, omp, ...) travels with its own loop.
+        let own: Vec<_> = pragmas
+            .iter()
+            .filter(|p| p.region_id().is_none())
+            .cloned()
+            .collect();
+        stmt.pragmas = if new_level == 0 {
+            headers[0]
+                .0
+                .iter()
+                .filter(|p| p.region_id().is_some())
+                .cloned()
+                .chain(own)
+                .collect()
+        } else {
+            own
+        };
+        rebuilt = stmt;
+    }
+    *root = rebuilt;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_analysis::loops::perfect_nest_loops;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn matmul() -> Stmt {
+        region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+    }
+
+    #[test]
+    fn interchanges_matmul_to_ikj() {
+        let mut root = matmul();
+        interchange(&mut root, &[0, 2, 1], true).unwrap();
+        let vars: Vec<String> = perfect_nest_loops(&root)
+            .into_iter()
+            .map(|l| l.var)
+            .collect();
+        assert_eq!(vars, vec!["i", "k", "j"]);
+    }
+
+    #[test]
+    fn full_reversal() {
+        let mut root = matmul();
+        interchange(&mut root, &[2, 1, 0], true).unwrap();
+        let vars: Vec<String> = perfect_nest_loops(&root)
+            .into_iter()
+            .map(|l| l.var)
+            .collect();
+        assert_eq!(vars, vec!["k", "j", "i"]);
+    }
+
+    #[test]
+    fn body_is_preserved() {
+        let mut root = matmul();
+        let before = locus_srcir::print_stmt(&root);
+        interchange(&mut root, &[1, 0, 2], true).unwrap();
+        let after = locus_srcir::print_stmt(&root);
+        assert!(after.contains("C[i][j] = C[i][j] + A[i][k] * B[k][j]"));
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop_semantically() {
+        let mut root = matmul();
+        let before = locus_srcir::print_stmt(&root);
+        interchange(&mut root, &[0, 1, 2], true).unwrap();
+        assert_eq!(before, locus_srcir::print_stmt(&root));
+    }
+
+    #[test]
+    fn identity_permutation_is_legal_on_triangular_nests() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = i; j < n; j++)
+                    A[i][j] = 1.0;
+            }"#,
+        );
+        interchange(&mut root, &[0, 1], true).unwrap();
+        assert!(matches!(
+            interchange(&mut root, &[1, 0], true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_permutation() {
+        let mut root = matmul();
+        assert!(matches!(
+            interchange(&mut root, &[0, 0, 1], true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn refuses_illegal_interchange() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        assert!(matches!(
+            interchange(&mut root, &[1, 0], true),
+            Err(TransformError::Illegal(_))
+        ));
+        // Forcing skips the check.
+        interchange(&mut root, &[1, 0], false).unwrap();
+        let vars: Vec<String> = perfect_nest_loops(&root)
+            .into_iter()
+            .map(|l| l.var)
+            .collect();
+        assert_eq!(vars, vec!["j", "i"]);
+    }
+
+    #[test]
+    fn rejects_imperfect_nest() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++) {
+                A[i][0] = 0.0;
+                for (int j = 0; j < n; j++)
+                    A[i][j] = 1.0;
+            }
+            }"#,
+        );
+        assert!(matches!(
+            interchange(&mut root, &[1, 0], true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_triangular_band() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = i; j < n; j++)
+                    A[i][j] = 1.0;
+            }"#,
+        );
+        assert!(matches!(
+            interchange(&mut root, &[1, 0], true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn region_pragma_stays_on_outermost_loop() {
+        let mut root = matmul();
+        root.pragmas
+            .push(locus_srcir::ast::Pragma::LocusLoop("matmul".into()));
+        interchange(&mut root, &[2, 0, 1], true).unwrap();
+        assert_eq!(root.region_id(), Some("matmul"));
+    }
+}

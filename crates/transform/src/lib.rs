@@ -1,0 +1,83 @@
+//! Source-to-source loop transformations for the Locus system.
+//!
+//! This crate reimplements, natively on the Locus source IR, the four
+//! transformation-module collections the paper integrates (Sec. IV-A):
+//!
+//! * **RoseLocus** equivalents: [`unroll`], [`tiling`], [`interchange`],
+//!   [`unroll_jam`], [`licm`] (loop-invariant code motion) and
+//!   [`scalar_repl`] (scalar replacement);
+//! * **Pips** equivalents: unrolling, rectangular tiling,
+//!   [`fusion`], unroll-and-jam, and the matrix-driven
+//!   [`generic_tiling`] (used with a skewed matrix for the stencil
+//!   experiments);
+//! * **Pragmas**: [`pragmas`] inserts `ivdep`, `vector always` and
+//!   `omp parallel for` annotations;
+//! * **BuiltIn**: [`altdesc`] splices external code snippets into a
+//!   region, and [`queries`] exposes `IsPerfectLoopNest`,
+//!   `LoopNestDepth`, `ListInnerLoops`, `ListOuterLoops` and
+//!   `IsDepAvailable`.
+//!
+//! Every transformation operates in place on a region root statement and
+//! reports one of the paper's wrapper exit statuses through
+//! [`TransformError`]: a hard *error* (malformed arguments, target not
+//! found) or *illegal* (the module's own legality check refused). As in
+//! the paper, legality checking belongs to each module — callers may
+//! bypass it with the `force` flags where offered.
+
+#![warn(missing_docs)]
+
+pub mod altdesc;
+pub mod distribution;
+pub mod fusion;
+pub mod generic_tiling;
+pub mod interchange;
+pub mod licm;
+pub mod pragmas;
+pub mod queries;
+pub mod scalar_repl;
+pub mod selector;
+pub mod tiling;
+pub mod unroll;
+pub mod unroll_jam;
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of a transformation module, mirroring the wrapper exit
+/// statuses of the paper (Sec. II: "successful, error, illegal").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The module refused because its legality check failed.
+    Illegal(String),
+    /// The invocation itself was malformed (bad target, bad arguments,
+    /// unsupported loop shape).
+    Error(String),
+}
+
+impl TransformError {
+    /// Builds an [`TransformError::Illegal`].
+    pub fn illegal(msg: impl Into<String>) -> TransformError {
+        TransformError::Illegal(msg.into())
+    }
+
+    /// Builds an [`TransformError::Error`].
+    pub fn error(msg: impl Into<String>) -> TransformError {
+        TransformError::Error(msg.into())
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Illegal(msg) => write!(f, "illegal transformation: {msg}"),
+            TransformError::Error(msg) => write!(f, "transformation error: {msg}"),
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+/// Convenient result alias for transformation entry points.
+pub type TransformResult<T = ()> = Result<T, TransformError>;
+
+pub use selector::LoopSel;

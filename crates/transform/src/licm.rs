@@ -1,0 +1,322 @@
+//! Loop-invariant code motion — `RoseLocus.LICM`.
+//!
+//! Hoists declaration statements whose initializers are invariant with
+//! respect to the enclosing loop out of that loop, repeating until a
+//! fixpoint. This is the transformation the paper's Kripke experiment
+//! uses to move per-layout address computations to the cheapest legal
+//! level of the five-deep kernel nests.
+
+use std::collections::HashSet;
+
+use locus_srcir::ast::{Expr, Stmt, StmtKind};
+use locus_srcir::visit::{walk_exprs, walk_exprs_in_stmt, walk_stmts};
+
+use crate::TransformResult;
+
+/// Calls that are pure and therefore hoistable.
+const PURE_CALLS: &[&str] = &["min", "max", "abs", "floor", "ceil", "sqrt"];
+
+/// Applies loop-invariant code motion to every loop in the region.
+///
+/// Only declaration statements with pure initializers are hoisted; a
+/// declaration moves from a loop body to just before the loop when its
+/// initializer references neither the loop variable nor anything the
+/// loop body may modify (scalars assigned or arrays written anywhere in
+/// the body). Hoisting repeats until no statement moves.
+///
+/// LICM never fails: an empty or loop-free region is simply left alone.
+pub fn licm(root: &mut Stmt) -> TransformResult {
+    // Iterate to a fixpoint; each pass hoists one level at a time.
+    for _ in 0..64 {
+        if !hoist_pass(root) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One bottom-up pass. Returns `true` if anything moved.
+fn hoist_pass(stmt: &mut Stmt) -> bool {
+    let mut moved = false;
+    // Recurse first so inner hoists can cascade outward in later passes.
+    match &mut stmt.kind {
+        StmtKind::Block(stmts) => {
+            let mut i = 0;
+            while i < stmts.len() {
+                if hoist_pass(&mut stmts[i]) {
+                    moved = true;
+                }
+                // If the child is a loop with hoistable decls, splice them
+                // before it.
+                if stmts[i].is_for() {
+                    let hoisted = extract_invariant_decls(&mut stmts[i]);
+                    if !hoisted.is_empty() {
+                        moved = true;
+                        let at = i;
+                        for (k, d) in hoisted.into_iter().enumerate() {
+                            stmts.insert(at + k, d);
+                            i += 1;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        StmtKind::For(f) => {
+            moved |= hoist_pass(&mut f.body);
+        }
+        StmtKind::While { body, .. } => {
+            moved |= hoist_pass(body);
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            moved |= hoist_pass(then_branch);
+            if let Some(e) = else_branch {
+                moved |= hoist_pass(e);
+            }
+        }
+        _ => {}
+    }
+    moved
+}
+
+/// Removes hoistable declarations from the front region of a loop's body
+/// and returns them (in order). Only declarations that appear before any
+/// other kind of statement participate, keeping ordering semantics
+/// simple and predictable.
+fn extract_invariant_decls(loop_stmt: &mut Stmt) -> Vec<Stmt> {
+    let loop_var = match locus_analysis::loops::canonicalize(loop_stmt) {
+        Some(c) => c.var,
+        None => return Vec::new(),
+    };
+
+    // Everything the loop may modify through assignments, plus the
+    // induction variable.
+    let mut modified: HashSet<String> = HashSet::new();
+    modified.insert(loop_var);
+    collect_modified(loop_stmt, &mut modified);
+
+    // Names declared in the body (with multiplicity): reads of a
+    // still-in-place declaration block hoisting, and names declared more
+    // than once never hoist.
+    let mut declared: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    walk_stmts(loop_stmt.as_for().expect("loop").body.as_ref(), &mut |s| {
+        if let StmtKind::Decl { name, .. } = &s.kind {
+            *declared.entry(name.clone()).or_insert(0) += 1;
+        }
+    });
+
+    let f = loop_stmt.as_for_mut().expect("loop");
+    let StmtKind::Block(body) = &mut f.body.kind else {
+        return Vec::new();
+    };
+
+    let mut hoisted = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Only the leading run of declarations participates, so order is
+        // trivially preserved.
+        let StmtKind::Decl {
+            name,
+            init: Some(init),
+            dims,
+            ..
+        } = &body[i].kind
+        else {
+            break;
+        };
+        let blocked = !dims.is_empty()
+            || !is_pure(init)
+            || declared.get(name).copied().unwrap_or(0) != 1
+            || modified.contains(name)
+            || free_vars(init)
+                .iter()
+                .any(|v| modified.contains(v) || declared.contains_key(v));
+        if blocked {
+            // Reads of this (skipped) declaration keep blocking later
+            // candidates, which `declared` already ensures.
+            i += 1;
+            continue;
+        }
+        // Hoist: later declarations reading this one may follow it out.
+        declared.remove(name);
+        hoisted.push(body.remove(i));
+    }
+    hoisted
+}
+
+/// Collects scalar names assigned and array names written inside a
+/// statement (including nested loops), plus loop induction variables.
+fn collect_modified(stmt: &Stmt, out: &mut HashSet<String>) {
+    walk_exprs_in_stmt(stmt, &mut |e| {
+        if let Expr::Assign { lhs, .. } = e {
+            match lhs.as_ref() {
+                Expr::Ident(n) => {
+                    out.insert(n.clone());
+                }
+                other => {
+                    if let Some((name, _)) = other.as_array_access() {
+                        out.insert(name.to_string());
+                    } else if let Expr::Unary { operand, .. } = other {
+                        if let Expr::Ident(n) = operand.as_ref() {
+                            out.insert(n.clone());
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Free variables of an expression (idents and array base names).
+fn free_vars(e: &Expr) -> HashSet<String> {
+    let mut out = HashSet::new();
+    walk_exprs(e, &mut |node| {
+        if let Expr::Ident(n) = node {
+            out.insert(n.clone());
+        }
+    });
+    out
+}
+
+/// An expression is pure when it contains no assignments and only
+/// whitelisted calls.
+fn is_pure(e: &Expr) -> bool {
+    let mut pure = true;
+    walk_exprs(e, &mut |node| match node {
+        Expr::Assign { .. } => pure = false,
+        Expr::Call { callee, .. } if !PURE_CALLS.contains(&callee.as_str()) => pure = false,
+        _ => {}
+    });
+    pure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+    use locus_srcir::print_stmt;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn hoists_invariant_decl_out_of_inner_loop() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8], double c[8]) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                    double t = c[i] * 2.0;
+                    A[i][j] = t;
+                }
+            }
+            }"#,
+        );
+        licm(&mut root).unwrap();
+        let printed = print_stmt(&root);
+        // `t` now sits between the loops.
+        let t_pos = printed.find("double t").unwrap();
+        let j_pos = printed.find("int j").unwrap();
+        assert!(t_pos < j_pos, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn decl_depending_on_inner_var_stays() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8], double c[8]) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                    double t = c[j];
+                    A[i][j] = t;
+                }
+            }
+            }"#,
+        );
+        let before = print_stmt(&root);
+        licm(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+
+    #[test]
+    fn cascades_to_the_outermost_legal_level() {
+        // `double t = c[0]` is invariant at every level: it should end up
+        // hoisted out of both loops.
+        let mut root = Stmt::block(vec![region(
+            r#"void f(int n, double A[8][8], double c[8]) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                    double t = c[0];
+                    A[i][j] = t;
+                }
+            }
+            }"#,
+        )]);
+        licm(&mut root).unwrap();
+        let printed = print_stmt(&root);
+        let t_pos = printed.find("double t").unwrap();
+        let i_pos = printed.find("int i").unwrap();
+        assert!(t_pos < i_pos, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn array_written_in_loop_blocks_hoisting() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8], double c[8]) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                    double t = c[i];
+                    c[j] = t + 1.0;
+                    A[i][j] = t;
+                }
+            }
+            }"#,
+        );
+        let before = print_stmt(&root);
+        licm(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+
+    #[test]
+    fn impure_initializer_stays() {
+        let mut root = region(
+            r#"void f(int n, double A[8]) {
+            for (int i = 0; i < n; i++) {
+                double t = rtclock();
+                A[i] = t;
+            }
+            }"#,
+        );
+        let before = print_stmt(&root);
+        licm(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+
+    #[test]
+    fn kripke_style_address_hoisting() {
+        let mut root = region(
+            r#"void f(int nm_end, int g_end, int z_end, int m2c[8], double phi[512], double out[512]) {
+            for (int nm = 0; nm < nm_end; nm++) {
+                for (int g = 0; g < g_end; g++) {
+                    for (int z = 0; z < z_end; z++) {
+                        int n = m2c[nm];
+                        out[n * 64 + g * 8 + z] += phi[g * 8 + z];
+                    }
+                }
+            }
+            }"#,
+        );
+        licm(&mut root).unwrap();
+        let printed = print_stmt(&root);
+        // `int n = m2c[nm]` hoists out of g and z, landing inside nm.
+        let n_pos = printed.find("int n =").unwrap();
+        let g_pos = printed.find("int g =").unwrap();
+        let nm_pos = printed.find("int nm =").unwrap();
+        assert!(nm_pos < n_pos && n_pos < g_pos, "printed:\n{printed}");
+    }
+}

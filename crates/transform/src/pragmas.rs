@@ -1,0 +1,120 @@
+//! Pragma insertion — the paper's `Pragma` module collection
+//! (Sec. IV-A.3): `ivdep`, `vector always`, and `omp parallel for` with
+//! optional schedule and chunk parameters.
+
+use locus_srcir::ast::{OmpSchedule, Pragma, Stmt};
+
+use crate::selector::LoopSel;
+use crate::TransformResult;
+
+/// Inserts `#pragma ivdep` before each loop the selector names.
+///
+/// # Errors
+///
+/// Returns an error when the selector resolves to no loop.
+pub fn insert_ivdep(root: &mut Stmt, sel: &LoopSel) -> TransformResult {
+    insert(root, sel, Pragma::Ivdep)
+}
+
+/// Inserts `#pragma vector always` before each loop the selector names.
+///
+/// # Errors
+///
+/// Returns an error when the selector resolves to no loop.
+pub fn insert_vector_always(root: &mut Stmt, sel: &LoopSel) -> TransformResult {
+    insert(root, sel, Pragma::VectorAlways)
+}
+
+/// Inserts `#pragma omp parallel for` (with an optional schedule clause)
+/// before each loop the selector names.
+///
+/// # Errors
+///
+/// Returns an error when the selector resolves to no loop.
+pub fn insert_omp_for(
+    root: &mut Stmt,
+    sel: &LoopSel,
+    schedule: Option<OmpSchedule>,
+) -> TransformResult {
+    insert(root, sel, Pragma::OmpParallelFor { schedule })
+}
+
+fn insert(root: &mut Stmt, sel: &LoopSel, pragma: Pragma) -> TransformResult {
+    let targets = sel.resolve(root)?;
+    for idx in targets {
+        let stmt = idx.resolve_mut(root).expect("selector resolved");
+        if !stmt.pragmas.contains(&pragma) {
+            stmt.pragmas.push(pragma.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::ast::{OmpScheduleKind, StmtKind};
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn nest() -> Stmt {
+        region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[i][j] = 0.0;
+            }"#,
+        )
+    }
+
+    #[test]
+    fn inserts_omp_on_outermost() {
+        let mut root = nest();
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None).unwrap();
+        assert!(root
+            .pragmas
+            .contains(&Pragma::OmpParallelFor { schedule: None }));
+    }
+
+    #[test]
+    fn inserts_vector_pragmas_on_innermost() {
+        let mut root = nest();
+        insert_ivdep(&mut root, &LoopSel::Innermost).unwrap();
+        insert_vector_always(&mut root, &LoopSel::Innermost).unwrap();
+        let inner: locus_srcir::HierIndex = "0.0".parse().unwrap();
+        let stmt = inner.resolve(&root).unwrap();
+        assert_eq!(stmt.pragmas, vec![Pragma::Ivdep, Pragma::VectorAlways]);
+    }
+
+    #[test]
+    fn schedule_clause_round_trips() {
+        let mut root = nest();
+        let schedule = OmpSchedule {
+            kind: OmpScheduleKind::Dynamic,
+            chunk: Some(16),
+        };
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), Some(schedule)).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("#pragma omp parallel for schedule(dynamic, 16)"));
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let mut root = nest();
+        insert_ivdep(&mut root, &LoopSel::Innermost).unwrap();
+        insert_ivdep(&mut root, &LoopSel::Innermost).unwrap();
+        let inner: locus_srcir::HierIndex = "0.0".parse().unwrap();
+        assert_eq!(inner.resolve(&root).unwrap().pragmas.len(), 1);
+    }
+
+    #[test]
+    fn selector_to_non_loop_fails() {
+        let mut root = Stmt::new(StmtKind::Empty);
+        assert!(insert_ivdep(&mut root, &LoopSel::Innermost).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! The `BuiltIn` query modules (Sec. IV-A.4) plus `IsDepAvailable`.
+//!
+//! Queries analyze a code region without changing it; their results feed
+//! the control flow of optimization programs (see the paper's Fig. 13)
+//! and, unlike `OptSeq` results, may parameterize search constructs.
+
+use locus_srcir::ast::Stmt;
+use locus_srcir::index::HierIndex;
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::loop_nest_info;
+
+/// `BuiltIn.IsPerfectLoopNest()`: whether the region is a perfect nest.
+pub fn is_perfect_loop_nest(root: &Stmt) -> bool {
+    loop_nest_info(root).perfect
+}
+
+/// `BuiltIn.LoopNestDepth()`: maximum loop nesting depth of the region.
+pub fn loop_nest_depth(root: &Stmt) -> usize {
+    loop_nest_info(root).depth
+}
+
+/// `BuiltIn.ListInnerLoops()`: hierarchical indices of all innermost
+/// loops.
+pub fn list_inner_loops(root: &Stmt) -> Vec<HierIndex> {
+    loop_nest_info(root).inner_loops
+}
+
+/// `BuiltIn.ListOuterLoops()`: hierarchical indices of all outermost
+/// loops.
+pub fn list_outer_loops(root: &Stmt) -> Vec<HierIndex> {
+    loop_nest_info(root).outer_loops
+}
+
+/// `RoseLocus.IsDepAvailable()`: whether dependence information can be
+/// computed for the region.
+pub fn is_dep_available(root: &Stmt) -> bool {
+    analyze_region(root).available
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn queries_agree_on_matmul() {
+        let root = region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        );
+        assert!(is_perfect_loop_nest(&root));
+        assert_eq!(loop_nest_depth(&root), 3);
+        assert_eq!(list_inner_loops(&root), vec!["0.0.0".parse().unwrap()]);
+        assert_eq!(list_outer_loops(&root), vec![HierIndex::root()]);
+        assert!(is_dep_available(&root));
+    }
+
+    #[test]
+    fn indirect_access_has_no_dependences_available() {
+        let root = region(
+            r#"void f(int n, double A[64], int idx[64]) {
+            for (int i = 0; i < n; i++)
+                A[idx[i]] = 1.0;
+            }"#,
+        );
+        assert!(!is_dep_available(&root));
+        assert_eq!(loop_nest_depth(&root), 1);
+    }
+}

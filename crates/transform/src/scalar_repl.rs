@@ -1,0 +1,312 @@
+//! Scalar replacement — `RoseLocus.ScalarRepl`.
+//!
+//! Replaces array references that are invariant in the innermost loop
+//! with scalar temporaries: the value is loaded once before the loop and,
+//! when written, stored back once after it. This is the register-reuse
+//! transformation the paper's Kripke experiment applies after loop
+//! invariant code motion (following Kennedy & Allen).
+
+use std::collections::HashSet;
+
+use locus_srcir::ast::{Expr, Stmt, Type};
+use locus_srcir::builder::decl;
+use locus_srcir::printer::print_expr;
+use locus_srcir::visit::{rewrite_exprs_in_stmt, walk_exprs_in_stmt};
+
+use crate::selector::fresh_name;
+use crate::TransformResult;
+
+/// Maximum number of temporaries introduced per loop, a stand-in for
+/// register pressure limits.
+const MAX_TEMPS: usize = 8;
+
+/// Applies scalar replacement to every innermost loop in the region.
+///
+/// An array reference qualifies when (a) none of its subscripts uses the
+/// innermost loop variable or anything the loop body modifies, and (b)
+/// every write to that array inside the loop uses the *same* textual
+/// reference (so no aliasing write can bypass the temporary).
+///
+/// Never fails; loops with no qualifying reference are left unchanged.
+pub fn scalar_replacement(root: &mut Stmt) -> TransformResult {
+    let inner = locus_analysis::loops::loop_nest_info(root).inner_loops;
+    // Deepest-first keeps sibling indices valid as loops become blocks.
+    let mut targets = inner;
+    targets.sort();
+    for idx in targets.into_iter().rev() {
+        let taken = fresh_base_names(root);
+        let slot = idx.resolve_mut(root).expect("query result resolves");
+        replace_in_loop(slot, &taken);
+    }
+    Ok(())
+}
+
+/// Collects identifier names used anywhere in the region so generated
+/// temporaries stay unique.
+fn fresh_base_names(root: &Stmt) -> HashSet<String> {
+    let mut used = HashSet::new();
+    walk_exprs_in_stmt(root, &mut |e| {
+        if let Expr::Ident(n) = e {
+            used.insert(n.clone());
+        }
+    });
+    used
+}
+
+fn replace_in_loop(loop_stmt: &mut Stmt, taken: &HashSet<String>) {
+    let Some(canon) = locus_analysis::loops::canonicalize(loop_stmt) else {
+        return;
+    };
+
+    // Variables the loop body modifies (scalars assigned, plus the loop
+    // variable itself).
+    let mut modified: HashSet<String> = HashSet::new();
+    modified.insert(canon.var.clone());
+    let mut written_arrays: Vec<(String, String)> = Vec::new(); // (array, printed ref)
+    {
+        let body = loop_stmt.as_for().expect("loop").body.as_ref();
+        // Names declared inside the body take a new value every
+        // iteration: they count as modified.
+        locus_srcir::visit::walk_stmts(body, &mut |s| {
+            if let locus_srcir::ast::StmtKind::Decl { name, .. } = &s.kind {
+                modified.insert(name.clone());
+            }
+        });
+        walk_exprs_in_stmt(body, &mut |e| {
+            if let Expr::Assign { lhs, .. } = e {
+                match lhs.as_ref() {
+                    Expr::Ident(n) => {
+                        modified.insert(n.clone());
+                    }
+                    other => {
+                        if let Some((name, _)) = other.as_array_access() {
+                            written_arrays.push((name.to_string(), print_expr(other)));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Candidate references: textually grouped array accesses.
+    #[derive(Default)]
+    struct Candidate {
+        expr: Option<Expr>,
+        written: bool,
+        count: usize,
+    }
+    let mut candidates: std::collections::BTreeMap<String, Candidate> = Default::default();
+    {
+        let body = loop_stmt.as_for().expect("loop").body.as_ref();
+        // Bases of index chains are sub-accesses (`A[i]` inside
+        // `A[i][k]`): only *maximal* chains are replacement candidates.
+        let mut sub_accesses: HashSet<*const Expr> = HashSet::new();
+        let mut in_subscript: HashSet<String> = HashSet::new();
+        walk_exprs_in_stmt(body, &mut |e| {
+            if let Expr::Index { base, index } = e {
+                sub_accesses.insert(base.as_ref() as *const Expr);
+                // Accesses used as subscripts are integer-valued; a
+                // floating temporary would change their type.
+                locus_srcir::visit::walk_exprs(index, &mut |n| {
+                    if n.as_array_access().is_some() {
+                        in_subscript.insert(print_expr(n));
+                    }
+                });
+            }
+        });
+        walk_exprs_in_stmt(body, &mut |e| {
+            if sub_accesses.contains(&(e as *const Expr)) {
+                return;
+            }
+            if in_subscript.contains(&print_expr(e)) {
+                return;
+            }
+            let Some((_, subscripts)) = e.as_array_access() else {
+                return;
+            };
+            // Subscripts must not mention anything the loop modifies, and
+            // must not contain nested array reads (conservative).
+            let mut ok = true;
+            for s in &subscripts {
+                locus_srcir::visit::walk_exprs(s, &mut |node| match node {
+                    Expr::Ident(n) if modified.contains(n) => ok = false,
+                    Expr::Index { .. } | Expr::Call { .. } | Expr::Assign { .. } => ok = false,
+                    _ => {}
+                });
+            }
+            if !ok {
+                return;
+            }
+            let key = print_expr(e);
+            let entry = candidates.entry(key).or_default();
+            entry.count += 1;
+            entry.expr.get_or_insert_with(|| e.clone());
+        });
+        // Mark written candidates and poison arrays written through a
+        // different reference.
+        for (array, printed) in &written_arrays {
+            if let Some(c) = candidates.get_mut(printed) {
+                c.written = true;
+            }
+            candidates.retain(|key, _| {
+                key == printed || !key_references_array(key, array) || {
+                    // A different written reference of the same array:
+                    // keep only if this key is not that array at all.
+                    !key.starts_with(&format!("{array}["))
+                }
+            });
+        }
+    }
+
+    // Any array written through a non-candidate reference invalidates all
+    // candidates of that array.
+    let written_names: HashSet<&String> = written_arrays.iter().map(|(a, _)| a).collect();
+    let survivors: Vec<(String, Expr, bool)> = candidates
+        .into_iter()
+        .filter(|(key, c)| {
+            let Some((name, _)) = c.expr.as_ref().and_then(|e| e.as_array_access()) else {
+                return false;
+            };
+            let name = name.to_string();
+            if written_names.contains(&name) {
+                // Every write must be this exact reference.
+                written_arrays
+                    .iter()
+                    .filter(|(a, _)| a == &name)
+                    .all(|(_, printed)| printed == key)
+            } else {
+                true
+            }
+        })
+        .map(|(key, c)| (key, c.expr.expect("recorded"), c.written))
+        .take(MAX_TEMPS)
+        .collect();
+
+    if survivors.is_empty() {
+        return;
+    }
+
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    let mut replaced = loop_stmt.clone();
+    for (i, (key, expr, written)) in survivors.iter().enumerate() {
+        let base = format!("__t{i}");
+        let name = if taken.contains(&base) {
+            fresh_name(loop_stmt, &base)
+        } else {
+            base
+        };
+        pre.push(decl(Type::Double, &name, Some(expr.clone())));
+        if *written {
+            post.push(Stmt::expr(Expr::assign(expr.clone(), Expr::ident(&name))));
+        }
+        let body = replaced.as_for_mut().expect("loop").body.as_mut();
+        rewrite_exprs_in_stmt(body, &mut |e| {
+            if e.as_array_access().is_some() && print_expr(e) == *key {
+                *e = Expr::ident(&name);
+            }
+        });
+    }
+
+    let mut stmts = pre;
+    // Move region pragmas from the loop to the enclosing block.
+    let pragmas = std::mem::take(&mut replaced.pragmas);
+    stmts.push(replaced);
+    stmts.extend(post);
+    let mut block = Stmt::block(stmts);
+    block.pragmas = pragmas;
+    *loop_stmt = block;
+}
+
+fn key_references_array(key: &str, array: &str) -> bool {
+    key.starts_with(&format!("{array}["))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+    use locus_srcir::print_stmt;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn replaces_invariant_accumulator() {
+        let mut root = region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        );
+        scalar_replacement(&mut root).unwrap();
+        let printed = print_stmt(&root);
+        // C[i][j] is invariant in k: loaded before, stored after.
+        assert!(printed.contains("double __t0 = C[i][j];"), "printed:\n{printed}");
+        assert!(printed.contains("C[i][j] = __t0;"), "printed:\n{printed}");
+        assert!(printed.contains("__t0 = __t0 + A[i][k] * B[k][j]"));
+    }
+
+    #[test]
+    fn read_only_reference_gets_no_store_back() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8], double c[8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[i][j] = c[i] * 2.0;
+            }"#,
+        );
+        scalar_replacement(&mut root).unwrap();
+        let printed = print_stmt(&root);
+        assert!(printed.contains("double __t0 = c[i];"), "printed:\n{printed}");
+        assert!(!printed.contains("c[i] = __t0"));
+    }
+
+    #[test]
+    fn loop_varying_reference_is_untouched() {
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++)
+                A[i] = B[i] * 2.0;
+            }"#,
+        );
+        let before = print_stmt(&root);
+        scalar_replacement(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+
+    #[test]
+    fn aliasing_write_poisons_candidates() {
+        // B[0] is invariant in j, but B[j] is also written: no replacement
+        // for B[0] because B[j] may alias it.
+        let mut root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int j = 0; j < n; j++) {
+                A[j] = B[0];
+                B[j] = 1.0;
+            }
+            }"#,
+        );
+        let before = print_stmt(&root);
+        scalar_replacement(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+
+    #[test]
+    fn subscript_reading_an_array_is_skipped() {
+        let mut root = region(
+            r#"void f(int n, double A[64], int idx[64], double B[64]) {
+            for (int j = 0; j < n; j++)
+                A[idx[0]] = A[idx[0]] + B[j];
+            }"#,
+        );
+        let before = print_stmt(&root);
+        scalar_replacement(&mut root).unwrap();
+        assert_eq!(before, print_stmt(&root));
+    }
+}

@@ -1,0 +1,209 @@
+//! Loop selectors: how optimization programs name the loop a
+//! transformation applies to.
+//!
+//! The paper uses three spellings interchangeably: a hierarchical index
+//! string (`loop="0.0.0.0"`), a 1-based nest level (`loop=indexT1` where
+//! `indexT1 = integer(1..depth)` in Fig. 13), and query results such as
+//! `loop=innermost` / `loop=innerloops`.
+
+use locus_srcir::ast::Stmt;
+use locus_srcir::index::HierIndex;
+
+use crate::{TransformError, TransformResult};
+use locus_analysis::loops::{all_loops, loop_nest_info};
+
+/// A loop selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopSel {
+    /// A hierarchical index such as `"0.0.1"`.
+    Index(HierIndex),
+    /// A 1-based perfect-nest level: `1` is the outermost loop.
+    Level(usize),
+    /// The innermost loop(s) of the region.
+    Innermost,
+    /// The outermost loop(s) of the region.
+    Outermost,
+}
+
+impl LoopSel {
+    /// Parses the string spelling of a selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for anything that is neither a hierarchical index
+    /// nor one of the keywords `innermost` / `outermost`.
+    pub fn parse(text: &str) -> TransformResult<LoopSel> {
+        match text {
+            "innermost" => Ok(LoopSel::Innermost),
+            "outermost" => Ok(LoopSel::Outermost),
+            _ => text
+                .parse::<HierIndex>()
+                .map(LoopSel::Index)
+                .map_err(|e| TransformError::error(e.to_string())),
+        }
+    }
+
+    /// Resolves the selector to concrete hierarchical indices within the
+    /// region rooted at `root`. Multi-loop selectors (`Innermost`,
+    /// `Outermost`) may resolve to several indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the selector does not name any loop in the
+    /// region.
+    pub fn resolve(&self, root: &Stmt) -> TransformResult<Vec<HierIndex>> {
+        let found = match self {
+            LoopSel::Index(idx) => {
+                let stmt = idx
+                    .resolve(root)
+                    .ok_or_else(|| TransformError::error(format!("no statement at `{idx}`")))?;
+                if !stmt.is_for() {
+                    return Err(TransformError::error(format!(
+                        "statement at `{idx}` is not a loop"
+                    )));
+                }
+                vec![idx.clone()]
+            }
+            LoopSel::Level(level) => {
+                if *level == 0 {
+                    return Err(TransformError::error("loop levels are 1-based"));
+                }
+                let loops = all_loops(root);
+                // Level N = the N-th loop on the leftmost nest chain.
+                let chain: Vec<&HierIndex> = loops
+                    .iter()
+                    .filter(|idx| idx.0.iter().all(|&c| c == 0))
+                    .collect();
+                let idx = chain.get(level - 1).ok_or_else(|| {
+                    TransformError::error(format!("nest has no level {level} loop"))
+                })?;
+                vec![(*idx).clone()]
+            }
+            LoopSel::Innermost => {
+                let info = loop_nest_info(root);
+                if info.inner_loops.is_empty() {
+                    return Err(TransformError::error("region contains no loops"));
+                }
+                info.inner_loops
+            }
+            LoopSel::Outermost => {
+                let info = loop_nest_info(root);
+                if info.outer_loops.is_empty() {
+                    return Err(TransformError::error("region contains no loops"));
+                }
+                info.outer_loops
+            }
+        };
+        Ok(found)
+    }
+
+    /// Resolves a selector that must name exactly one loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the selector names zero or several loops.
+    pub fn resolve_single(&self, root: &Stmt) -> TransformResult<HierIndex> {
+        let mut found = self.resolve(root)?;
+        if found.len() != 1 {
+            return Err(TransformError::error(format!(
+                "selector names {} loops where exactly one is required",
+                found.len()
+            )));
+        }
+        Ok(found.remove(0))
+    }
+}
+
+impl From<HierIndex> for LoopSel {
+    fn from(idx: HierIndex) -> LoopSel {
+        LoopSel::Index(idx)
+    }
+}
+
+/// Generates a fresh variable name based on `base` that does not collide
+/// with any identifier used inside `root`.
+pub(crate) fn fresh_name(root: &Stmt, base: &str) -> String {
+    use locus_srcir::visit::walk_exprs_in_stmt;
+    let mut used = std::collections::HashSet::new();
+    walk_exprs_in_stmt(root, &mut |e| {
+        if let locus_srcir::ast::Expr::Ident(n) = e {
+            used.insert(n.clone());
+        }
+    });
+    locus_srcir::visit::walk_stmts(root, &mut |s| {
+        if let locus_srcir::ast::StmtKind::Decl { name, .. } = &s.kind {
+            used.insert(name.clone());
+        }
+    });
+    if !used.contains(base) {
+        return base.to_string();
+    }
+    for i in 2.. {
+        let candidate = format!("{base}_{i}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn matmul() -> Stmt {
+        let p = parse_program(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+        .unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn parses_keywords_and_indices() {
+        assert_eq!(LoopSel::parse("innermost").unwrap(), LoopSel::Innermost);
+        assert_eq!(LoopSel::parse("outermost").unwrap(), LoopSel::Outermost);
+        assert_eq!(
+            LoopSel::parse("0.0").unwrap(),
+            LoopSel::Index("0.0".parse().unwrap())
+        );
+        assert!(LoopSel::parse("wibble").is_err());
+    }
+
+    #[test]
+    fn resolves_levels_on_the_leftmost_chain() {
+        let root = matmul();
+        let idx = LoopSel::Level(2).resolve_single(&root).unwrap();
+        assert_eq!(idx.to_string(), "0.0");
+        assert!(LoopSel::Level(4).resolve(&root).is_err());
+        assert!(LoopSel::Level(0).resolve(&root).is_err());
+    }
+
+    #[test]
+    fn innermost_resolves_to_k_loop() {
+        let root = matmul();
+        let found = LoopSel::Innermost.resolve(&root).unwrap();
+        assert_eq!(found, vec!["0.0.0".parse().unwrap()]);
+    }
+
+    #[test]
+    fn index_to_non_loop_is_an_error() {
+        let root = matmul();
+        let sel = LoopSel::Index("0.0.0.0".parse().unwrap());
+        assert!(matches!(sel.resolve(&root), Err(TransformError::Error(_))));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let root = matmul();
+        assert_eq!(fresh_name(&root, "ii"), "ii");
+        assert_eq!(fresh_name(&root, "i"), "i_2");
+    }
+}

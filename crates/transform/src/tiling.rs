@@ -1,0 +1,316 @@
+//! Rectangular loop tiling — `RoseLocus.Tiling` / `Pips.Tiling`.
+//!
+//! Tiles the band of perfectly nested loops rooted at the target: each of
+//! the `factors.len()` loops is strip-mined and the strip (tile) loops
+//! are interchanged outward, producing the classic
+//! `tile-loops... point-loops...` structure. Non-divisible bounds are
+//! handled with `min()` guards, so the transformation is exact for any
+//! trip count.
+
+use locus_srcir::ast::{AssignOp, Expr, ForLoop, Stmt, StmtKind};
+use locus_srcir::builder::min_expr;
+use locus_srcir::index::HierIndex;
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::{canonicalize, CanonLoop};
+
+use crate::selector::fresh_name;
+use crate::{TransformError, TransformResult};
+
+/// Tiles `factors.len()` perfectly nested loops starting at `target`.
+///
+/// `factors[i]` is the tile size of the `i`-th loop of the band
+/// (outermost first). When `check_legality` is set, the band must be
+/// fully permutable according to the dependence analysis.
+///
+/// # Errors
+///
+/// * [`TransformError::Error`] for non-positive factors, non-canonical or
+///   imperfect nests, or non-rectangular bands.
+/// * [`TransformError::Illegal`] when the legality check refuses.
+pub fn tile(
+    root: &mut Stmt,
+    target: &HierIndex,
+    factors: &[i64],
+    check_legality: bool,
+) -> TransformResult {
+    if factors.is_empty() {
+        return Ok(());
+    }
+    if factors.iter().any(|&f| f <= 0) {
+        return Err(TransformError::error(format!(
+            "tile factors must be positive, got {factors:?}"
+        )));
+    }
+
+    // Validate and gather the band before mutating anything.
+    {
+        let loop_stmt = target
+            .resolve(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+        let band = collect_band(loop_stmt, factors.len())?;
+        check_rectangular(&band)?;
+        if check_legality {
+            let info = analyze_region(loop_stmt);
+            if !info.available {
+                return Err(TransformError::illegal(
+                    "dependence information unavailable",
+                ));
+            }
+            let levels: Vec<usize> = (0..factors.len()).collect();
+            if !info.band_permutable(&levels) {
+                return Err(TransformError::illegal(
+                    "band is not fully permutable; tiling would reverse a dependence",
+                ));
+            }
+        }
+    }
+
+    let fresh_names: Vec<String> = {
+        let loop_stmt = target.resolve(root).expect("validated above");
+        let band = collect_band(loop_stmt, factors.len())?;
+        band.iter()
+            .map(|l| fresh_name(root, &format!("{}_t", l.var)))
+            .collect()
+    };
+
+    let loop_stmt = target.resolve_mut(root).expect("validated above");
+    let band = collect_band(loop_stmt, factors.len())?;
+
+    // Detach the innermost body of the band.
+    let innermost_body = {
+        let mut cur: &Stmt = loop_stmt;
+        for _ in 0..factors.len() - 1 {
+            cur = &cur.as_for().expect("band loop").body.body_stmts()[0];
+        }
+        (*cur.as_for().expect("band loop").body).clone()
+    };
+
+    // Point loops, innermost last.
+    let mut rebuilt = innermost_body;
+    for (i, canon) in band.iter().enumerate().rev() {
+        let tile_var = &fresh_names[i];
+        let size = factors[i] * canon.step;
+        let init = if canon.declares_var {
+            Stmt::new(StmtKind::Decl {
+                ty: locus_srcir::ast::Type::Int,
+                name: canon.var.clone(),
+                dims: Vec::new(),
+                init: Some(Expr::ident(tile_var)),
+            })
+        } else {
+            Stmt::expr(Expr::assign(Expr::ident(&canon.var), Expr::ident(tile_var)))
+        };
+        let cond = Expr::bin(
+            locus_srcir::ast::BinOp::Lt,
+            Expr::ident(&canon.var),
+            min_expr(
+                canon.exclusive_upper(),
+                Expr::bin(locus_srcir::ast::BinOp::Add, Expr::ident(tile_var), Expr::int(size)),
+            ),
+        );
+        let step = Expr::Assign {
+            op: AssignOp::AddAssign,
+            lhs: Box::new(Expr::ident(&canon.var)),
+            rhs: Box::new(Expr::int(canon.step)),
+        };
+        let body = if matches!(rebuilt.kind, StmtKind::Block(_)) {
+            rebuilt
+        } else {
+            Stmt::block(vec![rebuilt])
+        };
+        rebuilt = Stmt::new(StmtKind::For(ForLoop {
+            init: Some(Box::new(init)),
+            cond: Some(cond),
+            step: Some(step),
+            body: Box::new(body),
+        }));
+    }
+
+    // Tile loops, outermost first.
+    for (i, canon) in band.iter().enumerate().rev() {
+        let tile_var = &fresh_names[i];
+        let size = factors[i] * canon.step;
+        let tile = locus_srcir::builder::for_loop(
+            tile_var,
+            canon.lower.clone(),
+            canon.exclusive_upper(),
+            size,
+            vec![rebuilt],
+        );
+        rebuilt = tile;
+    }
+
+    rebuilt.pragmas = loop_stmt.pragmas.clone();
+    *loop_stmt = rebuilt;
+    Ok(())
+}
+
+/// Collects `depth` perfectly nested canonical loops starting at `stmt`.
+pub(crate) fn collect_band(stmt: &Stmt, depth: usize) -> TransformResult<Vec<CanonLoop>> {
+    let mut out = Vec::with_capacity(depth);
+    let mut cur = stmt;
+    for level in 0..depth {
+        let canon = canonicalize(cur).ok_or_else(|| {
+            TransformError::error(format!("loop at band level {level} is not canonical"))
+        })?;
+        out.push(canon);
+        if level + 1 < depth {
+            let body = cur.as_for().expect("canonical loop").body.body_stmts();
+            if body.len() != 1 || !body[0].is_for() {
+                return Err(TransformError::error(format!(
+                    "band is not perfectly nested at level {level}"
+                )));
+            }
+            cur = &body[0];
+        }
+    }
+    Ok(out)
+}
+
+/// Ensures no band loop bound references another band loop's variable.
+pub(crate) fn check_rectangular(band: &[CanonLoop]) -> TransformResult {
+    for canon in band {
+        for bound in [&canon.lower, &canon.upper] {
+            let mut bad = false;
+            locus_srcir::visit::walk_exprs(bound, &mut |e| {
+                if let Expr::Ident(n) = e {
+                    if band.iter().any(|l| &l.var == n) {
+                        bad = true;
+                    }
+                }
+            });
+            if bad {
+                return Err(TransformError::error(
+                    "band is not rectangular: a bound references a band variable",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_analysis::loops::{all_loops, perfect_nest_loops};
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn matmul() -> Stmt {
+        region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+    }
+
+    #[test]
+    fn tiles_matmul_into_six_loops() {
+        let mut root = matmul();
+        tile(&mut root, &HierIndex::root(), &[4, 4, 8], true).unwrap();
+        assert_eq!(all_loops(&root).len(), 6);
+        let nest = perfect_nest_loops(&root);
+        assert_eq!(nest.len(), 6);
+        assert_eq!(nest[0].var, "i_t");
+        assert_eq!(nest[1].var, "j_t");
+        assert_eq!(nest[2].var, "k_t");
+        assert_eq!(nest[3].var, "i");
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("min("), "guards expected:\n{printed}");
+    }
+
+    #[test]
+    fn two_level_tiling_as_in_fig7() {
+        let mut root = matmul();
+        tile(&mut root, &HierIndex::root(), &[16, 16, 16], true).unwrap();
+        // The point band starts at "0.0.0.0" exactly as in the paper.
+        let point_band: HierIndex = "0.0.0.0".parse().unwrap();
+        tile(&mut root, &point_band, &[4, 4, 4], true).unwrap();
+        assert_eq!(all_loops(&root).len(), 9);
+    }
+
+    #[test]
+    fn rejects_illegal_tiling() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        assert!(matches!(
+            tile(&mut root, &HierIndex::root(), &[4, 4], true),
+            Err(TransformError::Illegal(_))
+        ));
+        // Forced tiling proceeds.
+        tile(&mut root, &HierIndex::root(), &[4, 4], false).unwrap();
+        assert_eq!(all_loops(&root).len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_factors() {
+        let mut root = matmul();
+        assert!(tile(&mut root, &HierIndex::root(), &[0, 4, 4], true).is_err());
+        assert!(tile(&mut root, &HierIndex::root(), &[-2], true).is_err());
+    }
+
+    #[test]
+    fn rejects_triangular_band() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = i; j < n; j++)
+                    A[i][j] = 1.0;
+            }"#,
+        );
+        assert!(matches!(
+            tile(&mut root, &HierIndex::root(), &[4, 4], true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn single_loop_tiling_is_strip_mining() {
+        let mut root = region(
+            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 0.0; }",
+        );
+        tile(&mut root, &HierIndex::root(), &[8], true).unwrap();
+        let nest = perfect_nest_loops(&root);
+        assert_eq!(nest.len(), 2);
+        assert_eq!(nest[0].var, "i_t");
+        assert_eq!(nest[0].step, 8);
+        assert_eq!(nest[1].var, "i");
+    }
+
+    #[test]
+    fn region_pragma_is_preserved() {
+        let mut root = matmul();
+        root.pragmas
+            .push(locus_srcir::ast::Pragma::LocusLoop("matmul".into()));
+        tile(&mut root, &HierIndex::root(), &[4, 4, 4], true).unwrap();
+        assert_eq!(root.region_id(), Some("matmul"));
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let p = parse_program(
+            r#"void f(int n, double A[64], int i_t) {
+            for (int i = 0; i < n; i++) A[i] = (double)i_t;
+            }"#,
+        )
+        .unwrap();
+        let mut root = p.functions().next().unwrap().body[0].clone();
+        tile(&mut root, &HierIndex::root(), &[4], true).unwrap();
+        let nest = perfect_nest_loops(&root);
+        assert_eq!(nest[0].var, "i_t_2");
+    }
+}

@@ -1,0 +1,272 @@
+//! Loop unrolling — `RoseLocus.Unroll` / `Pips.Unroll`.
+
+use locus_srcir::ast::{BinOp, Expr, Stmt, StmtKind};
+use locus_srcir::builder;
+use locus_srcir::index::HierIndex;
+use locus_srcir::visit::substitute_ident;
+
+use locus_analysis::loops::{canonicalize, CanonLoop};
+
+use crate::{TransformError, TransformResult};
+
+/// Unrolls the loop at `target` by `factor`.
+///
+/// * When the trip count is a known constant and `factor >= trip`, the
+///   loop is fully unrolled into straight-line copies.
+/// * Otherwise the loop is partially unrolled: the main loop advances by
+///   `factor * step` with `factor` body copies, and a remainder loop
+///   handles leftover iterations (omitted when a constant trip count is
+///   known to divide evenly).
+///
+/// Unrolling is always legal, so there is no legality gate — matching the
+/// paper's Fig. 13 where unrolling is applied even when dependence
+/// information is unavailable.
+///
+/// # Errors
+///
+/// Returns [`TransformError::Error`] when the target is not a canonical
+/// loop or the factor is zero.
+pub fn unroll(root: &mut Stmt, target: &HierIndex, factor: u64) -> TransformResult {
+    if factor == 0 {
+        return Err(TransformError::error("unroll factor must be positive"));
+    }
+    if factor == 1 {
+        return Ok(());
+    }
+    let loop_stmt = target
+        .resolve_mut(root)
+        .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+    let canon = canonicalize(loop_stmt)
+        .ok_or_else(|| TransformError::error("target loop is not canonical"))?;
+
+    let replacement = match canon.const_trip_count() {
+        Some(trip) if factor as i64 >= trip && canon.lower.as_const_int().is_some() => {
+            full_unroll(loop_stmt, &canon, trip)
+        }
+        trip => partial_unroll(loop_stmt, &canon, factor, trip),
+    };
+    *loop_stmt = replacement;
+    Ok(())
+}
+
+/// Unrolls every loop in `targets` by `factor`. Targets are processed
+/// deepest-first so sibling indices remain valid as loops get replaced.
+pub fn unroll_all(root: &mut Stmt, targets: &[HierIndex], factor: u64) -> TransformResult {
+    let mut sorted: Vec<&HierIndex> = targets.iter().collect();
+    sorted.sort();
+    for target in sorted.into_iter().rev() {
+        unroll(root, target, factor)?;
+    }
+    Ok(())
+}
+
+fn body_copies(loop_stmt: &Stmt, canon: &CanonLoop, count: u64, offset_of: impl Fn(u64) -> Expr) -> Vec<Stmt> {
+    let body = loop_stmt.as_for().expect("canonical loop").body.clone();
+    let mut out = Vec::new();
+    for k in 0..count {
+        let mut copy = (*body).clone();
+        substitute_ident(&mut copy, &canon.var, &offset_of(k));
+        // Each copy keeps its own scope so local declarations in the body
+        // do not collide between copies.
+        out.push(copy);
+    }
+    out
+}
+
+fn full_unroll(loop_stmt: &Stmt, canon: &CanonLoop, trip: i64) -> Stmt {
+    let lo = canon.lower.as_const_int().expect("checked by caller");
+    let copies = body_copies(loop_stmt, canon, trip.max(0) as u64, |k| {
+        Expr::int(lo + k as i64 * canon.step)
+    });
+    let mut block = Stmt::block(copies);
+    block.pragmas = loop_stmt.pragmas.clone();
+    block
+}
+
+fn partial_unroll(loop_stmt: &Stmt, canon: &CanonLoop, factor: u64, trip: Option<i64>) -> Stmt {
+    let f = factor as i64;
+    let step = canon.step;
+    let hi_excl = canon.exclusive_upper();
+
+    // Main loop: for (v = lo; v < hi - (f-1)*step; v += f*step) { f copies }
+    let offset = |k: u64| {
+        if k == 0 {
+            Expr::ident(&canon.var)
+        } else {
+            Expr::bin(
+                BinOp::Add,
+                Expr::ident(&canon.var),
+                Expr::int(k as i64 * step),
+            )
+        }
+    };
+    let copies = body_copies(loop_stmt, canon, factor, offset);
+    let main_cond = Expr::bin(
+        BinOp::Lt,
+        Expr::ident(&canon.var),
+        Expr::bin(BinOp::Sub, hi_excl.clone(), Expr::int((f - 1) * step)),
+    );
+    let orig = loop_stmt.as_for().expect("canonical loop");
+    let mut main = Stmt::new(StmtKind::For(locus_srcir::ast::ForLoop {
+        init: orig.init.clone(),
+        cond: Some(main_cond),
+        step: Some(Expr::Assign {
+            op: locus_srcir::ast::AssignOp::AddAssign,
+            lhs: Box::new(Expr::ident(&canon.var)),
+            rhs: Box::new(Expr::int(f * step)),
+        }),
+        body: Box::new(Stmt::block(copies)),
+    }));
+    main.pragmas = loop_stmt.pragmas.clone();
+
+    let needs_remainder = match trip {
+        Some(t) => t % f != 0,
+        None => true,
+    };
+    if !needs_remainder {
+        return main;
+    }
+
+    // Remainder start: lo + (ceil((hi - lo)/step) / f) * f * step.
+    let lo = canon.lower.clone();
+    let trip_expr = Expr::bin(
+        BinOp::Div,
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Sub, hi_excl.clone(), lo.clone()),
+            Expr::int(step - 1),
+        ),
+        Expr::int(step),
+    );
+    let start = Expr::bin(
+        BinOp::Add,
+        lo,
+        Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Div, trip_expr, Expr::int(f)),
+            Expr::int(f * step),
+        ),
+    );
+    let remainder = builder::for_loop(
+        &canon.var,
+        start,
+        hi_excl,
+        step,
+        loop_stmt
+            .as_for()
+            .expect("canonical loop")
+            .body
+            .body_stmts()
+            .to_vec(),
+    );
+    Stmt::block(vec![main, remainder])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn simple(n: i64) -> Stmt {
+        region(&format!(
+            "void f(double A[64], double B[64]) {{ for (int i = 0; i < {n}; i++) A[i] = B[i] + 1.0; }}"
+        ))
+    }
+
+    #[test]
+    fn partial_unroll_divisible_has_no_remainder() {
+        let mut root = simple(16);
+        unroll(&mut root, &HierIndex::root(), 4).unwrap();
+        assert!(root.is_for(), "no remainder expected: {}", locus_srcir::print_stmt(&root));
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("i += 4"));
+        assert!(printed.contains("A[i + 3] = B[i + 3] + 1.0"));
+    }
+
+    #[test]
+    fn partial_unroll_nondivisible_adds_remainder() {
+        let mut root = simple(10);
+        unroll(&mut root, &HierIndex::root(), 4).unwrap();
+        match &root.kind {
+            StmtKind::Block(stmts) => {
+                assert_eq!(stmts.len(), 2);
+                assert!(stmts[0].is_for());
+                assert!(stmts[1].is_for());
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_unroll_small_constant_loop() {
+        let mut root = simple(3);
+        unroll(&mut root, &HierIndex::root(), 8).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("A[0]"));
+        assert!(printed.contains("A[1]"));
+        assert!(printed.contains("A[2]"));
+        assert!(!printed.contains("for"));
+    }
+
+    #[test]
+    fn factor_one_is_noop() {
+        let mut root = simple(10);
+        let before = locus_srcir::print_stmt(&root);
+        unroll(&mut root, &HierIndex::root(), 1).unwrap();
+        assert_eq!(before, locus_srcir::print_stmt(&root));
+    }
+
+    #[test]
+    fn factor_zero_is_error() {
+        let mut root = simple(10);
+        assert!(unroll(&mut root, &HierIndex::root(), 0).is_err());
+    }
+
+    #[test]
+    fn unrolls_inner_loop_of_nest() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < 8; j++)
+                    A[i][j] = 0.0;
+            }"#,
+        );
+        unroll(&mut root, &"0.0".parse().unwrap(), 2).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("A[i][j + 1]"));
+    }
+
+    #[test]
+    fn symbolic_bound_gets_remainder_loop() {
+        let mut root = region(
+            "void f(int n, double A[64], double B[64]) { for (int i = 0; i < n; i++) A[i] = B[i]; }",
+        );
+        unroll(&mut root, &HierIndex::root(), 4).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        // Remainder start expression computes completed groups.
+        assert!(printed.contains("/ 4 * 4"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn unroll_all_processes_sibling_loops() {
+        let mut root = region(
+            r#"void f(int n, double A[8]) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 8; j++) A[j] = 0.0;
+                for (int k = 0; k < 8; k++) A[k] = 1.0;
+            }
+            }"#,
+        );
+        let targets: Vec<HierIndex> = vec!["0.0".parse().unwrap(), "0.1".parse().unwrap()];
+        unroll_all(&mut root, &targets, 2).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("A[j + 1]"));
+        assert!(printed.contains("A[k + 1]"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Unroll-and-jam — `RoseLocus.UnrollAndJam` / `Pips.UnrollAndJam`.
+//!
+//! Unrolls an outer loop by a factor and fuses ("jams") the resulting
+//! copies of the inner loop body into a single inner loop, increasing
+//! register reuse across outer iterations.
+
+use locus_srcir::ast::{AssignOp, BinOp, Expr, ForLoop, Stmt, StmtKind};
+use locus_srcir::builder;
+use locus_srcir::index::HierIndex;
+use locus_srcir::visit::substitute_ident;
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::canonicalize;
+
+use crate::{TransformError, TransformResult};
+
+/// Applies unroll-and-jam to the loop at `target` with the given factor.
+///
+/// The target loop's body must consist of exactly one inner loop whose
+/// bounds do not depend on the target's induction variable. A remainder
+/// loop is emitted unless a constant trip count divides evenly.
+///
+/// Legality: jamming moves outer-iteration copies inside the inner loop,
+/// which is valid when the two loops are interchangeable; with
+/// `check_legality` set the module requires the 2-loop band to be fully
+/// permutable.
+///
+/// # Errors
+///
+/// * [`TransformError::Error`] for factor 0, non-canonical loops, bodies
+///   that are not a single inner loop, or inner bounds depending on the
+///   outer variable.
+/// * [`TransformError::Illegal`] when the legality check refuses.
+pub fn unroll_and_jam(
+    root: &mut Stmt,
+    target: &HierIndex,
+    factor: u64,
+    check_legality: bool,
+) -> TransformResult {
+    if factor == 0 {
+        return Err(TransformError::error("unroll-and-jam factor must be positive"));
+    }
+    if factor == 1 {
+        return Ok(());
+    }
+
+    {
+        let loop_stmt = target
+            .resolve(root)
+            .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
+        validate(loop_stmt)?;
+        if check_legality {
+            let info = analyze_region(loop_stmt);
+            if !info.available {
+                return Err(TransformError::illegal(
+                    "dependence information unavailable",
+                ));
+            }
+            if !info.band_permutable(&[0, 1]) {
+                return Err(TransformError::illegal(
+                    "outer and inner loops are not permutable; jamming would reverse a dependence",
+                ));
+            }
+        }
+    }
+
+    let loop_stmt = target.resolve_mut(root).expect("validated above");
+    let outer = canonicalize(loop_stmt).expect("validated above");
+    let inner_stmt = loop_stmt.as_for().expect("loop").body.body_stmts()[0].clone();
+    let inner_body = inner_stmt.as_for().expect("loop").body.clone();
+
+    let f = factor as i64;
+    let step = outer.step;
+
+    // Jammed inner body: f copies with outer var offset by k*step.
+    let mut jammed = Vec::new();
+    for k in 0..f {
+        let mut copy = (*inner_body).clone();
+        let replacement = if k == 0 {
+            Expr::ident(&outer.var)
+        } else {
+            Expr::bin(BinOp::Add, Expr::ident(&outer.var), Expr::int(k * step))
+        };
+        substitute_ident(&mut copy, &outer.var, &replacement);
+        jammed.push(copy);
+    }
+
+    let new_inner = Stmt::new(StmtKind::For(ForLoop {
+        init: inner_stmt.as_for().unwrap().init.clone(),
+        cond: inner_stmt.as_for().unwrap().cond.clone(),
+        step: inner_stmt.as_for().unwrap().step.clone(),
+        body: Box::new(Stmt::block(jammed)),
+    }));
+
+    // Main outer loop strides by f*step and stops f-1 iterations early.
+    let main_cond = Expr::bin(
+        BinOp::Lt,
+        Expr::ident(&outer.var),
+        Expr::bin(
+            BinOp::Sub,
+            outer.exclusive_upper(),
+            Expr::int((f - 1) * step),
+        ),
+    );
+    let mut main = Stmt::new(StmtKind::For(ForLoop {
+        init: loop_stmt.as_for().unwrap().init.clone(),
+        cond: Some(main_cond),
+        step: Some(Expr::Assign {
+            op: AssignOp::AddAssign,
+            lhs: Box::new(Expr::ident(&outer.var)),
+            rhs: Box::new(Expr::int(f * step)),
+        }),
+        body: Box::new(Stmt::block(vec![new_inner])),
+    }));
+    main.pragmas = loop_stmt.pragmas.clone();
+
+    let needs_remainder = match outer.const_trip_count() {
+        Some(t) => t % f != 0,
+        None => true,
+    };
+    if !needs_remainder {
+        *loop_stmt = main;
+        return Ok(());
+    }
+
+    // Remainder: original loop restarted at the first uncovered value.
+    let trip_expr = Expr::bin(
+        BinOp::Div,
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Sub, outer.exclusive_upper(), outer.lower.clone()),
+            Expr::int(step - 1),
+        ),
+        Expr::int(step),
+    );
+    let start = Expr::bin(
+        BinOp::Add,
+        outer.lower.clone(),
+        Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Div, trip_expr, Expr::int(f)),
+            Expr::int(f * step),
+        ),
+    );
+    let remainder = builder::for_loop(
+        &outer.var,
+        start,
+        outer.exclusive_upper(),
+        step,
+        loop_stmt.as_for().unwrap().body.body_stmts().to_vec(),
+    );
+    *loop_stmt = Stmt::block(vec![main, remainder]);
+    Ok(())
+}
+
+fn validate(loop_stmt: &Stmt) -> TransformResult {
+    let outer = canonicalize(loop_stmt)
+        .ok_or_else(|| TransformError::error("target loop is not canonical"))?;
+    let body = loop_stmt.as_for().expect("loop").body.body_stmts();
+    if body.len() != 1 || !body[0].is_for() {
+        return Err(TransformError::error(
+            "unroll-and-jam requires the body to be a single inner loop",
+        ));
+    }
+    let inner = canonicalize(&body[0])
+        .ok_or_else(|| TransformError::error("inner loop is not canonical"))?;
+    for bound in [&inner.lower, &inner.upper] {
+        let mut bad = false;
+        locus_srcir::visit::walk_exprs(bound, &mut |e| {
+            if matches!(e, Expr::Ident(n) if n == &outer.var) {
+                bad = true;
+            }
+        });
+        if bad {
+            return Err(TransformError::error(
+                "inner loop bounds depend on the outer induction variable",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn matmul_like(n: i64) -> Stmt {
+        region(&format!(
+            r#"void f(double C[64][64], double A[64][64], double B[64][64]) {{
+            for (int i = 0; i < {n}; i++)
+                for (int j = 0; j < {n}; j++)
+                    C[i][j] = C[i][j] + A[i][j] * B[j][i];
+            }}"#
+        ))
+    }
+
+    #[test]
+    fn jams_copies_into_inner_loop() {
+        let mut root = matmul_like(16);
+        unroll_and_jam(&mut root, &HierIndex::root(), 2, true).unwrap();
+        assert!(root.is_for(), "divisible trip needs no remainder");
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("i += 2"));
+        assert!(printed.contains("C[i + 1][j]"), "printed:\n{printed}");
+        // Only one inner loop (the jam target).
+        assert_eq!(locus_analysis::loops::all_loops(&root).len(), 2);
+    }
+
+    #[test]
+    fn nondivisible_trip_adds_remainder() {
+        let mut root = matmul_like(15);
+        unroll_and_jam(&mut root, &HierIndex::root(), 4, true).unwrap();
+        assert!(matches!(&root.kind, StmtKind::Block(stmts) if stmts.len() == 2));
+    }
+
+    #[test]
+    fn rejects_imperfect_body() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++) {
+                A[i][0] = 0.0;
+                for (int j = 0; j < n; j++) A[i][j] = 1.0;
+            }
+            }"#,
+        );
+        assert!(matches!(
+            unroll_and_jam(&mut root, &HierIndex::root(), 2, true),
+            Err(TransformError::Error(_))
+        ));
+    }
+
+    #[test]
+    fn refuses_illegal_jam() {
+        // A[i][j] = A[i-1][j+1]: interchange illegal, so jam illegal.
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        assert!(matches!(
+            unroll_and_jam(&mut root, &HierIndex::root(), 2, true),
+            Err(TransformError::Illegal(_))
+        ));
+        unroll_and_jam(&mut root, &HierIndex::root(), 2, false).unwrap();
+    }
+
+    #[test]
+    fn factor_one_is_noop() {
+        let mut root = matmul_like(8);
+        let before = locus_srcir::print_stmt(&root);
+        unroll_and_jam(&mut root, &HierIndex::root(), 1, true).unwrap();
+        assert_eq!(before, locus_srcir::print_stmt(&root));
+    }
+
+    #[test]
+    fn inner_bounds_depending_on_outer_are_rejected() {
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = i; j < n; j++)
+                    A[i][j] = 1.0;
+            }"#,
+        );
+        assert!(matches!(
+            unroll_and_jam(&mut root, &HierIndex::root(), 2, true),
+            Err(TransformError::Error(_))
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! The Kripke experiment (Sec. V-C): one kernel skeleton + six address
+//! snippets replace six hand-written kernel versions. The Locus program
+//! splices the layout's address computation (`BuiltIn.Altdesc`), orders
+//! the loops for the layout (`RoseLocus.Interchange`), hoists the
+//! invariant address parts (`RoseLocus.LICM`), introduces accumulators
+//! (`RoseLocus.ScalarRepl`), and parallelizes (`Pragma.OMPFor`).
+//!
+//! Run with: `cargo run --release --example kripke_layouts`
+
+use locus::corpus::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+use locus::machine::{Machine, MachineConfig};
+use locus::space::{ParamValue, Point};
+use locus::system::LocusSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = KripkeKernel::Scattering;
+    let skeleton = kripke_skeleton(kernel);
+    println!("--- single skeleton (replaces 6 hand-written versions) -----");
+    println!("{}", locus::srcir::print_program(&skeleton));
+
+    let locus_program = locus_bench_program(kernel)?;
+    let machine = Machine::new(MachineConfig::scaled_small().with_cores(4));
+    let mut system = LocusSystem::new(machine.clone());
+    system.snippets = kripke_snippets(kernel);
+    // The mix of symbolic addresses defeats the dependence tests; the
+    // expert forces the (known legal) interchanges, as Sec. II allows.
+    system.check_legality = false;
+    system.verify_results = false;
+    let prepared = system.prepare(&skeleton, &locus_program)?;
+
+    println!("layout   Locus(ms)   hand(ms)   ratio   same result");
+    for (i, layout) in LAYOUTS.iter().enumerate() {
+        let mut point = Point::new();
+        point.set("datalayout", ParamValue::Choice(i));
+        let variant = system
+            .build_variant(&skeleton, &prepared, &point)
+            .map_err(|e| format!("{e:?}"))?;
+        let locus_m = machine.run(&variant, "kernel")?;
+        let hand_m = machine.run(&kripke_hand_optimized(kernel, layout), "kernel")?;
+        println!(
+            "{layout}   {:>9.4}   {:>8.4}   {:>5.2}   {}",
+            locus_m.time_ms,
+            hand_m.time_ms,
+            locus_m.time_ms / hand_m.time_ms,
+            locus_m.checksum == hand_m.checksum
+        );
+    }
+    Ok(())
+}
+
+/// The Fig. 11-style program for a kernel, generated from the layout
+/// loop-order table.
+fn locus_bench_program(
+    kernel: KripkeKernel,
+) -> Result<locus::lang::LocusProgram, Box<dyn std::error::Error>> {
+    use locus::corpus::kripke::{layout_loop_order, placeholder_index};
+    let name = kernel.name();
+    let placeholder = placeholder_index(kernel);
+    let mut branches = String::new();
+    for (i, layout) in LAYOUTS.iter().enumerate() {
+        let order: Vec<String> = layout_loop_order(kernel, layout)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let kw = if i == 0 { "if" } else { "} elif" };
+        branches.push_str(&format!(
+            "    {kw} (datalayout == \"{layout}\") {{\n        looporder = [{}];\n",
+            order.join(", ")
+        ));
+    }
+    branches.push_str("    }\n");
+    let src = format!(
+        r#"
+datalayout = enum("DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD");
+CodeReg {name} {{
+{branches}
+    sourcepath = "{name}_" + datalayout + ".txt";
+    BuiltIn.Altdesc(stmt="{placeholder}", source=sourcepath);
+    RoseLocus.Interchange(order=looporder);
+    RoseLocus.LICM();
+    RoseLocus.ScalarRepl();
+    Pragma.OMPFor(loop="0");
+}}
+"#
+    );
+    Ok(locus::lang::parse(&src)?)
+}

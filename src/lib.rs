@@ -1,0 +1,37 @@
+//! Locus — a system and a language for program optimization.
+//!
+//! This is a Rust reproduction of the CGO 2019 paper *"Locus: A System and
+//! a Language for Program Optimization"* by Teixeira, Ancourt, Padua and
+//! Gropp. The crate is a facade that re-exports the workspace:
+//!
+//! * [`srcir`] — the mini-C source front-end (lexer, parser, unparser,
+//!   `#pragma @Locus` regions, hierarchical indexing, region hashing);
+//! * [`analysis`] — loop queries and data-dependence analysis;
+//! * [`transform`] — the transformation module collections (`RoseLocus`,
+//!   `Pips`, `Pragma`, `BuiltIn` equivalents);
+//! * [`machine`] — the execution substrate (interpreter + cache simulator
+//!   + cost model standing in for the paper's Xeon/ICC testbed);
+//! * [`lang`] — the Locus DSL itself;
+//! * [`space`] — the optimization-space representation;
+//! * [`search`] — search modules (exhaustive, random, bandit ensemble,
+//!   annealing);
+//! * [`system`] — the orchestrator tying everything together;
+//! * [`baselines`] — Pluto-like / MKL-like comparators;
+//! * [`corpus`] — the evaluation kernels and synthetic loop-nest corpus.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: annotate a kernel,
+//! write a Locus program with a search space, and let the system find the
+//! best variant on the simulated machine.
+
+pub use locus_analysis as analysis;
+pub use locus_baselines as baselines;
+pub use locus_core as system;
+pub use locus_corpus as corpus;
+pub use locus_lang as lang;
+pub use locus_machine as machine;
+pub use locus_search as search;
+pub use locus_space as space;
+pub use locus_srcir as srcir;
+pub use locus_transform as transform;

@@ -1,0 +1,177 @@
+//! Property tests on the language layers: the mini-C printer/parser
+//! round trip and space/point invariants.
+
+use proptest::prelude::*;
+
+// ---- mini-C round trip ------------------------------------------------------
+
+/// Generates small mini-C programs compositionally.
+fn arb_minic() -> impl Strategy<Value = String> {
+    let stmts = prop_oneof![
+        Just("A[i] = A[i] + 1.0;"),
+        Just("A[i] = B[i] * 2.0 - 1.0;"),
+        Just("x = x + i;"),
+        Just("if (i % 2 == 0) { A[i] = 0.0; }"),
+        Just("A[i] = (double)(i * 3 % 7);"),
+    ];
+    (stmts, 1usize..30, prop::bool::ANY).prop_map(|(stmt, n, pragma)| {
+        let p = if pragma { "#pragma @Locus loop=r\n" } else { "" };
+        format!(
+            r#"
+            double A[32];
+            double B[32];
+            int x;
+            void kernel() {{
+                {p}for (int i = 0; i < {n}; i++) {{
+                    {stmt}
+                }}
+            }}
+            "#
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(parse(x)) re-parses to the same AST.
+    #[test]
+    fn minic_print_parse_is_a_fixpoint(src in arb_minic()) {
+        let p1 = locus::srcir::parse_program(&src).expect("generated source parses");
+        let printed = locus::srcir::print_program(&p1);
+        let p2 = locus::srcir::parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(p1, p2, "printed:\n{}", printed);
+    }
+
+    /// Expression printing preserves evaluation (via the machine).
+    #[test]
+    fn minic_reprint_preserves_execution(src in arb_minic()) {
+        let machine = locus::machine::Machine::new(
+            locus::machine::MachineConfig::scaled_small(),
+        );
+        let p1 = locus::srcir::parse_program(&src).expect("parses");
+        let m1 = machine.run(&p1, "kernel").expect("runs");
+        let p2 = locus::srcir::parse_program(&locus::srcir::print_program(&p1))
+            .expect("reparses");
+        let m2 = machine.run(&p2, "kernel").expect("reruns");
+        prop_assert_eq!(m1.checksum, m2.checksum);
+        prop_assert_eq!(m1.cycles, m2.cycles, "costs must be deterministic");
+    }
+}
+
+// ---- space / point invariants ------------------------------------------------
+
+fn arb_space() -> impl Strategy<Value = locus::space::Space> {
+    use locus::space::{ParamDef, ParamKind};
+    let kinds = prop_oneof![
+        (1i64..20, 20i64..40).prop_map(|(lo, hi)| ParamKind::Integer { min: lo, max: hi }),
+        (1i64..8, 16i64..128).prop_map(|(lo, hi)| ParamKind::PowerOfTwo { min: lo, max: hi }),
+        (2usize..5).prop_map(ParamKind::Permutation),
+        Just(ParamKind::Bool),
+        (2usize..6).prop_map(|n| ParamKind::Enum(
+            (0..n).map(|i| format!("v{i}")).collect()
+        )),
+    ];
+    prop::collection::vec(kinds, 1..5).prop_map(|kinds| {
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| ParamDef::new(format!("p{i}"), kind))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every lexicographic index decodes to a distinct in-domain point.
+    #[test]
+    fn space_point_at_is_injective_and_in_domain(space in arb_space()) {
+        let size = space.size();
+        let sample = size.min(64);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..sample {
+            // Spread indices over the whole range.
+            let idx = if sample == size { k } else { k * (size / sample) };
+            let point = space.point_at(idx);
+            prop_assert_eq!(point.len(), space.len());
+            seen.insert(point.dedup_key());
+        }
+        prop_assert_eq!(seen.len() as u128, sample);
+    }
+
+    /// Random points and mutations stay inside the domain.
+    #[test]
+    fn random_and_mutated_points_stay_in_domain(space in arb_space(), seed in 0u64..1000) {
+        use locus::space::{ParamKind, ParamValue};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = space.random_point(&mut rng);
+        let q = space.mutate(&p, 2, &mut rng);
+        for point in [&p, &q] {
+            for def in space.params() {
+                let v = point.get(&def.id).expect("assigned");
+                match (&def.kind, v) {
+                    (ParamKind::Integer { min, max }, ParamValue::Int(x)) => {
+                        prop_assert!(x >= min && x <= max);
+                    }
+                    (ParamKind::PowerOfTwo { min, max }, ParamValue::Int(x)) => {
+                        prop_assert!(x >= min && x <= max && x.count_ones() == 1);
+                    }
+                    (ParamKind::Permutation(n), ParamValue::Perm(perm)) => {
+                        let mut sorted = perm.clone();
+                        sorted.sort_unstable();
+                        prop_assert_eq!(sorted, (0..*n).collect::<Vec<_>>());
+                    }
+                    (ParamKind::Bool, ParamValue::Choice(c)) => prop_assert!(*c < 2),
+                    (ParamKind::Enum(labels), ParamValue::Choice(c)) => {
+                        prop_assert!(*c < labels.len());
+                    }
+                    other => prop_assert!(false, "mismatched kind/value {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+// ---- Locus DSL determinism ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interpreting the same program twice under the same point produces
+    /// identical module-call sequences (determinism of the pipeline).
+    #[test]
+    fn locus_interpretation_is_deterministic(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let source = locus::corpus::dgemm_program(8);
+        let locus_program = locus::lang::parse(
+            r#"CodeReg matmul {
+                t = poweroftwo(2..8);
+                u = integer(1..4);
+                {
+                    Pips.Tiling(loop="0", factor=[t, t, t]);
+                } OR {
+                    RoseLocus.Unroll(loop=innermost, factor=u);
+                }
+            }"#,
+        ).expect("parses");
+        let system = locus::system::LocusSystem::new(locus::machine::Machine::new(
+            locus::machine::MachineConfig::scaled_small(),
+        ));
+        let prepared = system.prepare(&source, &locus_program).expect("prepares");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let point = prepared.space.random_point(&mut rng);
+        let a = system.build_variant(&source, &prepared, &point);
+        let b = system.build_variant(&source, &prepared, &point);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(
+                locus::srcir::print_program(&x),
+                locus::srcir::print_program(&y)
+            ),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "divergent outcomes {other:?}"),
+        }
+    }
+}

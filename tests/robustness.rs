@@ -1,0 +1,224 @@
+//! Robustness: the front-ends must never panic on malformed input, the
+//! interpreters must fail closed (errors, not UB), and less-traveled
+//! constructs (float search values, log-scaled ranges, nested parallel
+//! pragmas) behave sensibly.
+
+use proptest::prelude::*;
+
+// ---- parsers never panic ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the mini-C parser returns Ok or Err, never
+    /// panics.
+    #[test]
+    fn minic_parser_is_panic_free(src in "\\PC*") {
+        let _ = locus::srcir::parse_program(&src);
+    }
+
+    /// Arbitrary token soup assembled from the language's own lexemes.
+    #[test]
+    fn minic_parser_survives_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("for"), Just("if"), Just("else"), Just("while"),
+                Just("int"), Just("double"), Just("return"), Just("("),
+                Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+                Just(";"), Just(","), Just("+"), Just("*"), Just("="),
+                Just("=="), Just("<"), Just("x"), Just("42"), Just("1.5"),
+                Just("#pragma @Locus loop=r\n"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = locus::srcir::parse_program(&src);
+    }
+
+    /// The Locus parser is equally panic-free.
+    #[test]
+    fn locus_parser_is_panic_free(src in "\\PC*") {
+        let _ = locus::lang::parse(&src);
+    }
+
+    #[test]
+    fn locus_parser_survives_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("CodeReg"), Just("OptSeq"), Just("Search"), Just("OR"),
+                Just("if"), Just("elif"), Just("else"), Just("def"),
+                Just("poweroftwo"), Just("integer"), Just("enum"),
+                Just("permutation"), Just("("), Just(")"), Just("{"),
+                Just("}"), Just("["), Just("]"), Just(";"), Just(","),
+                Just(".."), Just("."), Just("="), Just("*"), Just("x"),
+                Just("7"), Just("\"s\""),
+            ],
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = locus::lang::parse(&src);
+    }
+
+    /// Hierarchical indices round-trip through their string form.
+    #[test]
+    fn hier_index_round_trips(components in prop::collection::vec(0usize..30, 1..6)) {
+        let idx = locus::srcir::HierIndex::new(components.clone());
+        let parsed: locus::srcir::HierIndex = idx.to_string().parse().unwrap();
+        prop_assert_eq!(idx, parsed);
+    }
+
+    /// Region hashing is stable across print/parse round trips.
+    #[test]
+    fn region_hash_is_print_stable(n in 1usize..40) {
+        let src = format!(
+            "double A[64];\nvoid kernel() {{\n#pragma @Locus loop=r\nfor (int i = 0; i < {n}; i++) A[i] = 1.0;\n}}"
+        );
+        let p1 = locus::srcir::parse_program(&src).unwrap();
+        let p2 = locus::srcir::parse_program(&locus::srcir::print_program(&p1)).unwrap();
+        let h = |p: &locus::srcir::ast::Program| {
+            let regions = locus::srcir::region::find_regions(p);
+            let stmt = locus::srcir::region::extract_region(p, &regions[0]).unwrap().stmt;
+            locus::srcir::hash::hash_region(&stmt)
+        };
+        prop_assert_eq!(h(&p1), h(&p2));
+    }
+}
+
+// ---- less-traveled constructs -----------------------------------------------
+
+#[test]
+fn float_and_log_constructs_flow_through_the_space() {
+    let program = locus::lang::parse(
+        r#"CodeReg r {
+            alpha = float(1..4);
+            beta = logfloat(1..100);
+            gamma = loginteger(1..1000);
+            A.Use(a=alpha, b=beta, c=gamma);
+        }"#,
+    )
+    .unwrap();
+    let info = locus::lang::extract_space(&program).unwrap();
+    assert_eq!(info.space.len(), 3);
+    use locus::space::ParamKind;
+    assert!(matches!(
+        info.space.param("alpha").unwrap().kind,
+        ParamKind::Float { .. }
+    ));
+    assert!(matches!(
+        info.space.param("beta").unwrap().kind,
+        ParamKind::LogFloat { .. }
+    ));
+    assert!(matches!(
+        info.space.param("gamma").unwrap().kind,
+        ParamKind::LogInteger { .. }
+    ));
+
+    // Random points decode through the interpreter.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    struct Capture(Vec<String>);
+    impl locus::lang::TransformHost for Capture {
+        fn call(
+            &mut self,
+            _m: &str,
+            _f: &str,
+            args: &[(Option<String>, locus::lang::Value)],
+        ) -> Result<locus::lang::Value, locus::lang::HostError> {
+            self.0
+                .extend(args.iter().map(|(_, v)| v.to_string()));
+            Ok(locus::lang::Value::None)
+        }
+    }
+    for _ in 0..20 {
+        let point = info.space.random_point(&mut rng);
+        let mut host = Capture(Vec::new());
+        let mut interp = locus::lang::Interp::new(&program, &mut host, &point, &info.ids);
+        interp.run_codereg("r").unwrap();
+        assert_eq!(host.0.len(), 3);
+    }
+}
+
+#[test]
+fn nested_parallel_pragmas_are_serialized() {
+    // Only the outer `omp parallel for` parallelizes; the inner pragma is
+    // ignored (common OpenMP runtime default), so timing equals the
+    // outer-only version.
+    let nested = locus::srcir::parse_program(
+        r#"double A[64][64];
+        void kernel() {
+            #pragma omp parallel for
+            for (int i = 0; i < 64; i++) {
+                #pragma omp parallel for
+                for (int j = 0; j < 64; j++)
+                    A[i][j] = A[i][j] * 2.0;
+            }
+        }"#,
+    )
+    .unwrap();
+    let outer_only = locus::srcir::parse_program(
+        r#"double A[64][64];
+        void kernel() {
+            #pragma omp parallel for
+            for (int i = 0; i < 64; i++) {
+                for (int j = 0; j < 64; j++)
+                    A[i][j] = A[i][j] * 2.0;
+            }
+        }"#,
+    )
+    .unwrap();
+    let machine = locus::machine::Machine::new(
+        locus::machine::MachineConfig::scaled_small().with_cores(4),
+    );
+    let a = machine.run(&nested, "kernel").unwrap();
+    let b = machine.run(&outer_only, "kernel").unwrap();
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn scaled_tiny_machine_is_consistent() {
+    let program = locus::corpus::stencil_program(locus::corpus::Stencil::Heat1d, 32, 4);
+    let small = locus::machine::Machine::new(locus::machine::MachineConfig::scaled_small());
+    let tiny = locus::machine::Machine::new(locus::machine::MachineConfig::scaled_tiny());
+    let a = small.run(&program, "kernel").unwrap();
+    let b = tiny.run(&program, "kernel").unwrap();
+    assert_eq!(a.checksum, b.checksum, "cache size never changes results");
+    assert!(b.cycles >= a.cycles, "smaller caches cannot be faster");
+}
+
+#[test]
+fn runtime_errors_fail_closed_through_the_system() {
+    // A variant that indexes out of bounds is a failed variant, not a
+    // crash: the search continues and reports the valid ones.
+    let source = locus::srcir::parse_program(
+        r#"double A[32];
+        void kernel() {
+            #pragma @Locus loop=r
+            for (int i = 0; i < 32; i++)
+                A[i] = 1.0;
+        }"#,
+    )
+    .unwrap();
+    // Unrolling by 7 generates a remainder loop; forcing an interchange
+    // on a depth-1 nest errors. Both failure kinds must surface cleanly.
+    let locus_program = locus::lang::parse(
+        r#"CodeReg r {
+            {
+                RoseLocus.Interchange(order=[1, 0]);
+            } OR {
+                RoseLocus.Unroll(loop="0", factor=7);
+            }
+        }"#,
+    )
+    .unwrap();
+    let system = locus::system::LocusSystem::new(locus::machine::Machine::new(
+        locus::machine::MachineConfig::scaled_small(),
+    ));
+    let mut search = locus::search::ExhaustiveSearch;
+    let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
+    // Alternative 0 fails (interchange on depth-1), alternative 1 works.
+    assert_eq!(result.outcome.evaluations, 2);
+    assert!(result.best.is_some());
+}

@@ -1,0 +1,216 @@
+//! Property tests: legality-checked transformations never change program
+//! semantics. The simulated machine's checksum (quantized to absorb
+//! floating-point reassociation) is the oracle.
+
+use proptest::prelude::*;
+
+use locus::machine::{Machine, MachineConfig};
+use locus::srcir::index::HierIndex;
+use locus::srcir::region::{extract_region, find_regions, replace_region};
+use locus::transform;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::scaled_small().with_cores(1))
+}
+
+/// A small family of generated loop-nest programs.
+fn arb_program() -> impl Strategy<Value = locus::srcir::ast::Program> {
+    let bodies = prop_oneof![
+        Just("A[i][j] = A[i][j] + B[i][j];"),
+        Just("A[i][j] = B[j][i] * 0.5;"),
+        Just("A[i][j] = A[i][j] + B[i][j] * B[i][j];"),
+        Just("A[i][j] = B[i][j] + C[0];"),
+    ];
+    (bodies, 4usize..20, 4usize..20).prop_map(|(body, ni, nj)| {
+        let src = format!(
+            r#"
+            double A[32][32];
+            double B[32][32];
+            double C[4];
+            void kernel() {{
+                #pragma @Locus loop=scop
+                for (int i = 0; i < {ni}; i++)
+                    for (int j = 0; j < {nj}; j++)
+                        {body}
+            }}
+            "#
+        );
+        locus::srcir::parse_program(&src).expect("generated program parses")
+    })
+}
+
+/// A transformation choice with its parameters.
+#[derive(Debug, Clone)]
+enum Tx {
+    Interchange,
+    Tile(i64, i64),
+    Unroll(u64),
+    UnrollAndJam(u64),
+    Distribute,
+    Licm,
+    ScalarRepl,
+}
+
+fn arb_tx() -> impl Strategy<Value = Tx> {
+    prop_oneof![
+        Just(Tx::Interchange),
+        (1i64..12, 1i64..12).prop_map(|(a, b)| Tx::Tile(a, b)),
+        (2u64..7).prop_map(Tx::Unroll),
+        (2u64..5).prop_map(Tx::UnrollAndJam),
+        Just(Tx::Distribute),
+        Just(Tx::Licm),
+        Just(Tx::ScalarRepl),
+    ]
+}
+
+fn apply(stmt: &mut locus::srcir::ast::Stmt, tx: &Tx) -> bool {
+    let root = HierIndex::root();
+    let result = match tx {
+        Tx::Interchange => transform::interchange::interchange(stmt, &[1, 0], true),
+        Tx::Tile(a, b) => transform::tiling::tile(stmt, &root, &[*a, *b], true),
+        Tx::Unroll(f) => {
+            let inner = locus::analysis::loops::loop_nest_info(stmt).inner_loops;
+            transform::unroll::unroll_all(stmt, &inner, *f)
+        }
+        Tx::UnrollAndJam(f) => transform::unroll_jam::unroll_and_jam(stmt, &root, *f, true),
+        Tx::Distribute => {
+            let inner = locus::analysis::loops::loop_nest_info(stmt).inner_loops;
+            transform::distribution::distribute_all(stmt, &inner, true)
+        }
+        Tx::Licm => transform::licm::licm(stmt),
+        Tx::ScalarRepl => transform::scalar_repl::scalar_replacement(stmt),
+    };
+    result.is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of up to three legality-checked transformations
+    /// preserves the checksum.
+    #[test]
+    fn checked_transform_sequences_preserve_semantics(
+        program in arb_program(),
+        txs in prop::collection::vec(arb_tx(), 1..4),
+    ) {
+        let m = machine();
+        let baseline = m.run(&program, "kernel").expect("baseline runs");
+
+        let mut variant = program.clone();
+        let regions = find_regions(&variant);
+        let mut stmt = extract_region(&variant, &regions[0]).expect("region").stmt;
+        let mut applied = Vec::new();
+        for tx in &txs {
+            if apply(&mut stmt, tx) {
+                applied.push(format!("{tx:?}"));
+            }
+        }
+        replace_region(&mut variant, &regions[0], stmt);
+
+        let transformed = m.run(&variant, "kernel").unwrap_or_else(|e| {
+            panic!(
+                "variant crashed after {applied:?}: {e}\n{}",
+                locus::srcir::print_program(&variant)
+            )
+        });
+        prop_assert_eq!(
+            baseline.checksum,
+            transformed.checksum,
+            "sequence {:?} changed semantics:\n{}",
+            applied,
+            locus::srcir::print_program(&variant)
+        );
+    }
+
+    /// Skewed (generic) tiling is exact for stencil-style nests, for any
+    /// valid skew factor.
+    #[test]
+    fn skewed_tiling_preserves_stencil_semantics(
+        s in prop_oneof![Just(2i64), Just(4), Just(8), Just(16)],
+        n in 8usize..40,
+        t in 2usize..8,
+    ) {
+        let stencil = locus::corpus::stencil_program(locus::corpus::Stencil::Heat1d, n, t);
+        let m = machine();
+        let baseline = m.run(&stencil, "kernel").expect("baseline runs");
+
+        let mut variant = stencil.clone();
+        let regions = find_regions(&variant);
+        let mut stmt = extract_region(&variant, &regions[0]).expect("region").stmt;
+        transform::generic_tiling::generic_tile(
+            &mut stmt,
+            &HierIndex::root(),
+            &transform::generic_tiling::skewing1_matrix(2, s),
+            None,
+        )
+        .expect("skewed tiling applies");
+        replace_region(&mut variant, &regions[0], stmt);
+
+        let transformed = m.run(&variant, "kernel").expect("variant runs");
+        prop_assert_eq!(baseline.checksum, transformed.checksum);
+    }
+
+    /// The unroll remainder logic is exact for arbitrary bounds/factors.
+    #[test]
+    fn unroll_is_exact_for_any_trip_count(
+        n in 1usize..70,
+        factor in 2u64..9,
+    ) {
+        let src = format!(
+            r#"
+            double A[80];
+            double B[80];
+            void kernel() {{
+                #pragma @Locus loop=scop
+                for (int i = 0; i < {n}; i++)
+                    A[i] = A[i] * 0.5 + B[i];
+            }}
+            "#
+        );
+        let program = locus::srcir::parse_program(&src).expect("parses");
+        let m = machine();
+        let baseline = m.run(&program, "kernel").expect("baseline");
+
+        let mut variant = program.clone();
+        let regions = find_regions(&variant);
+        let mut stmt = extract_region(&variant, &regions[0]).expect("region").stmt;
+        transform::unroll::unroll(&mut stmt, &HierIndex::root(), factor).expect("unrolls");
+        replace_region(&mut variant, &regions[0], stmt);
+        let transformed = m.run(&variant, "kernel").expect("variant");
+        prop_assert_eq!(baseline.checksum, transformed.checksum);
+    }
+
+    /// Rectangular tiling is exact for non-divisible bounds.
+    #[test]
+    fn tiling_is_exact_for_any_shape(
+        ni in 3usize..40,
+        nj in 3usize..40,
+        ti in 2i64..17,
+        tj in 2i64..17,
+    ) {
+        let src = format!(
+            r#"
+            double A[40][40];
+            double B[40][40];
+            void kernel() {{
+                #pragma @Locus loop=scop
+                for (int i = 0; i < {ni}; i++)
+                    for (int j = 0; j < {nj}; j++)
+                        A[i][j] = A[i][j] + B[j][i];
+            }}
+            "#
+        );
+        let program = locus::srcir::parse_program(&src).expect("parses");
+        let m = machine();
+        let baseline = m.run(&program, "kernel").expect("baseline");
+
+        let mut variant = program.clone();
+        let regions = find_regions(&variant);
+        let mut stmt = extract_region(&variant, &regions[0]).expect("region").stmt;
+        transform::tiling::tile(&mut stmt, &HierIndex::root(), &[ti, tj], true)
+            .expect("tiles");
+        replace_region(&mut variant, &regions[0], stmt);
+        let transformed = m.run(&variant, "kernel").expect("variant");
+        prop_assert_eq!(baseline.checksum, transformed.checksum);
+    }
+}
