@@ -1,16 +1,17 @@
-//! Criterion bench behind Fig. 12: generating one Kripke variant
-//! (Altdesc + Interchange + LICM + ScalarRepl + OMPFor) and running it.
+//! Bench behind Fig. 12: generating one Kripke variant (Altdesc +
+//! Interchange + LICM + ScalarRepl + OMPFor) and running it, under the
+//! in-tree [`locus_bench::timer`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use locus_bench::bench_machine;
 use locus_bench::fig12::fig11_locus_program;
+use locus_bench::timer::bench_function;
 use locus_core::LocusSystem;
 use locus_corpus::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel};
 use locus_space::{ParamValue, Point};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let kernel = KripkeKernel::Scattering;
     let skeleton = kripke_skeleton(kernel);
     let locus = fig11_locus_program(kernel);
@@ -22,27 +23,19 @@ fn bench(c: &mut Criterion) {
     let mut point = Point::new();
     point.set("datalayout", ParamValue::Choice(4)); // "ZDG"
 
-    c.bench_function("fig12_kripke/build_variant", |b| {
-        b.iter(|| {
-            system
-                .build_variant(black_box(&skeleton), &prepared, &point)
-                .unwrap()
-        })
+    bench_function("fig12_kripke/build_variant", || {
+        system
+            .build_variant(black_box(&skeleton), &prepared, &point)
+            .unwrap()
     });
 
     let variant = system.build_variant(&skeleton, &prepared, &point).unwrap();
     let machine = bench_machine(4);
-    let mut group = c.benchmark_group("fig12_kripke/measure");
-    group.sample_size(10);
-    group.bench_function("locus_variant", |b| {
-        b.iter(|| machine.run(black_box(&variant), "kernel").unwrap())
+    bench_function("fig12_kripke/measure/locus_variant", || {
+        machine.run(black_box(&variant), "kernel").unwrap()
     });
     let hand = kripke_hand_optimized(kernel, "ZDG");
-    group.bench_function("hand_optimized", |b| {
-        b.iter(|| machine.run(black_box(&hand), "kernel").unwrap())
+    bench_function("fig12_kripke/measure/hand_optimized", || {
+        machine.run(black_box(&hand), "kernel").unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,15 @@
-//! Criterion bench behind Fig. 6 (right): the cost of the DGEMM
-//! pipeline stages — preparing the Fig. 7 program, building one variant,
-//! measuring it on the simulated machine, and a short end-to-end search.
+//! Bench behind Fig. 6 (right): the cost of the DGEMM pipeline stages —
+//! preparing the Fig. 7 program, building one variant, measuring it on
+//! the simulated machine, and a short end-to-end search.
+//!
+//! Runs under the in-tree [`locus_bench::timer`] harness (`cargo bench
+//! -p locus-bench --bench fig6_dgemm`); the workspace has no external
+//! bench dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use locus_bench::fig6::fig7_locus_program;
+use locus_bench::timer::bench_function;
 use locus_bench::{bench_machine, fig6::run_dgemm};
 use locus_core::LocusSystem;
 use locus_corpus::dgemm_program;
@@ -29,46 +33,32 @@ fn fig7_point() -> Point {
     point
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let source = dgemm_program(32);
     let locus = fig7_locus_program(512);
     let system = LocusSystem::new(bench_machine(4));
     let prepared = system.prepare(&source, &locus).expect("prepare");
     let point = fig7_point();
 
-    c.bench_function("fig6_dgemm/prepare", |b| {
-        b.iter(|| system.prepare(black_box(&source), black_box(&locus)).unwrap())
+    bench_function("fig6_dgemm/prepare", || {
+        system.prepare(black_box(&source), black_box(&locus)).unwrap()
     });
-    c.bench_function("fig6_dgemm/build_variant", |b| {
-        b.iter(|| {
-            system
-                .build_variant(black_box(&source), &prepared, &point)
-                .unwrap()
-        })
+    bench_function("fig6_dgemm/build_variant", || {
+        system
+            .build_variant(black_box(&source), &prepared, &point)
+            .unwrap()
     });
     let variant = system.build_variant(&source, &prepared, &point).unwrap();
-    c.bench_function("fig6_dgemm/measure_32", |b| {
-        b.iter(|| system.measure(black_box(&variant)).unwrap())
+    bench_function("fig6_dgemm/measure_32", || {
+        system.measure(black_box(&variant)).unwrap()
     });
-    let mut group = c.benchmark_group("fig6_dgemm/search");
-    group.sample_size(10);
-    group.bench_function("bandit_budget8", |b| {
-        b.iter(|| {
-            let mut search = locus_search::BanditTuner::new(1);
-            system
-                .tune(black_box(&source), black_box(&locus), &mut search, 8)
-                .unwrap()
-        })
+    bench_function("fig6_dgemm/search/bandit_budget8", || {
+        let mut search = locus_search::BanditTuner::new(1);
+        system
+            .tune(black_box(&source), black_box(&locus), &mut search, 8)
+            .unwrap()
     });
-    group.finish();
-
-    let mut e2e = c.benchmark_group("fig6_dgemm/figure");
-    e2e.sample_size(10);
-    e2e.bench_function("two_core_points", |b| {
-        b.iter(|| run_dgemm(black_box(24), 4, &[1, 4], 7, 16))
+    bench_function("fig6_dgemm/figure/two_core_points", || {
+        run_dgemm(black_box(24), 4, &[1, 4], 7, 16)
     });
-    e2e.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,45 +1,37 @@
-//! Criterion bench behind Fig. 6 (left): skewed generic tiling and the
-//! stencil measurement loop.
+//! Bench behind Fig. 6 (left): skewed generic tiling and the stencil
+//! measurement loop, under the in-tree [`locus_bench::timer`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use locus_bench::bench_machine;
+use locus_bench::timer::bench_function;
 use locus_corpus::{stencil_program, Stencil};
 use locus_srcir::index::HierIndex;
 use locus_srcir::region::{extract_region, find_regions};
 use locus_transform::generic_tiling::{generic_tile, skewing1_matrix};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let program = stencil_program(Stencil::Heat2d, 32, 6);
     let regions = find_regions(&program);
     let stmt = extract_region(&program, &regions[0]).expect("region").stmt;
 
-    c.bench_function("fig6_stencils/skewed_tiling_transform", |b| {
-        b.iter(|| {
-            let mut s = stmt.clone();
-            generic_tile(
-                &mut s,
-                &HierIndex::root(),
-                black_box(&skewing1_matrix(3, 8)),
-                None,
-            )
-            .unwrap();
-            s
-        })
+    bench_function("fig6_stencils/skewed_tiling_transform", || {
+        let mut s = stmt.clone();
+        generic_tile(
+            &mut s,
+            &HierIndex::root(),
+            black_box(&skewing1_matrix(3, 8)),
+            None,
+        )
+        .unwrap();
+        s
     });
 
     let machine = bench_machine(1);
-    let mut group = c.benchmark_group("fig6_stencils/measure");
-    group.sample_size(10);
     for stencil in [Stencil::Jacobi1d, Stencil::Heat2d, Stencil::Seidel2d] {
         let p = stencil_program(stencil, 24, 4);
-        group.bench_function(format!("{stencil}"), |b| {
-            b.iter(|| machine.run(black_box(&p), "kernel").unwrap())
+        bench_function(&format!("fig6_stencils/measure/{stencil}"), || {
+            machine.run(black_box(&p), "kernel").unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,19 @@
-//! Criterion bench of the Locus pipeline stages and the ablation knobs:
-//! parsing, query substitution + optimization, space extraction, and
-//! the Table I per-nest tuning step — with the Sec. IV-C optimizer on
-//! and off.
+//! Bench of the Locus pipeline stages and the ablation knobs: parsing,
+//! query substitution + optimization, space extraction, and the Table I
+//! per-nest tuning step — with the Sec. IV-C optimizer on and off.
+//! Runs under the in-tree [`locus_bench::timer`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use locus_bench::table1::FIG13_PROGRAM;
 use locus_bench::bench_machine;
+use locus_bench::table1::FIG13_PROGRAM;
+use locus_bench::timer::bench_function;
 use locus_core::LocusSystem;
 use locus_corpus::generate_corpus;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("pipeline/parse_fig13", |b| {
-        b.iter(|| locus_lang::parse(black_box(FIG13_PROGRAM)).unwrap())
+fn main() {
+    bench_function("pipeline/parse_fig13", || {
+        locus_lang::parse(black_box(FIG13_PROGRAM)).unwrap()
     });
 
     let locus = locus_lang::parse(FIG13_PROGRAM).unwrap();
@@ -27,23 +27,18 @@ fn bench(c: &mut Criterion) {
     let mut off = on.clone();
     off.optimize_programs = false;
 
-    c.bench_function("pipeline/prepare_optimizer_on", |b| {
-        b.iter(|| on.prepare(black_box(&nest.program), &locus).unwrap())
+    bench_function("pipeline/prepare_optimizer_on", || {
+        on.prepare(black_box(&nest.program), &locus).unwrap()
     });
-    c.bench_function("pipeline/prepare_optimizer_off", |b| {
-        b.iter(|| off.prepare(black_box(&nest.program), &locus).unwrap())
+    bench_function("pipeline/prepare_optimizer_off", || {
+        off.prepare(black_box(&nest.program), &locus).unwrap()
     });
 
-    let mut group = c.benchmark_group("pipeline/tune_one_nest");
-    group.sample_size(10);
-    group.bench_function("budget6", |b| {
-        b.iter(|| {
-            let mut search = locus_search::BanditTuner::new(3);
-            on.tune(black_box(&nest.program), &locus, &mut search, 6)
-                .unwrap()
-        })
+    bench_function("pipeline/tune_one_nest/budget6", || {
+        let mut search = locus_search::BanditTuner::new(3);
+        on.tune(black_box(&nest.program), &locus, &mut search, 6)
+            .unwrap()
     });
-    group.finish();
 
     // Dependence analysis, the hot inner analysis of every legality
     // check.
@@ -53,10 +48,7 @@ fn bench(c: &mut Criterion) {
             .expect("region")
             .stmt
     };
-    c.bench_function("pipeline/dependence_analysis", |b| {
-        b.iter(|| locus_analysis::deps::analyze_region(black_box(&stmt)))
+    bench_function("pipeline/dependence_analysis", || {
+        locus_analysis::deps::analyze_region(black_box(&stmt))
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -75,7 +75,7 @@ fn ablation_constraints() {
     )
     .expect("program parses");
     let system = LocusSystem::new(bench_machine(1));
-    let mut search = ExhaustiveSearch;
+    let mut search = ExhaustiveSearch::default();
     let result = system
         .tune(&source, &locus, &mut search, 64)
         .expect("tuning runs");
@@ -107,7 +107,7 @@ fn ablation_search_modules() {
     run("bandit (OpenTuner-like)", &mut BanditTuner::new(5));
     run("annealing (Hyperopt-like)", &mut AnnealTuner::new(5));
     run("random", &mut RandomSearch::new(5));
-    run("stratified exhaustive", &mut ExhaustiveSearch);
+    run("stratified exhaustive", &mut ExhaustiveSearch::default());
     println!(
         "{}",
         render_table(

@@ -165,7 +165,7 @@ pub fn run_stencils(n: usize, t_steps: usize, budget: usize) -> Vec<StencilRow> 
         let source = stencil_program(stencil, n, t_steps);
         let locus = fig9_locus_program(stencil, 4, 32);
         let system = LocusSystem::new(machine.clone());
-        let mut search = locus_search::ExhaustiveSearch;
+        let mut search = locus_search::ExhaustiveSearch::default();
         let result = system
             .tune(&source, &locus, &mut search, budget)
             .expect("stencil tuning runs");

@@ -6,7 +6,9 @@
 //! | [`fig6`] | Fig. 6: DGEMM speedups over 1..10 cores (Locus vs Pluto vs MKL-like) and the six stencil speedups (Locus vs Pluto) |
 //! | [`fig12`] | Fig. 12: Kripke — Locus-generated vs hand-optimized versions across the six data layouts |
 //! | [`table1`] | Table I + the Sec. V-D summary statistics over the synthetic extraction corpus |
+//! | [`parallel`] | The parallel batched-evaluation engine vs the sequential driver (BENCH_parallel.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
+//! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
 //! Each module has a binary (`cargo run --release -p locus-bench --bin
 //! fig6_dgemm`, ...) that prints the regenerated rows next to the
@@ -18,8 +20,10 @@
 
 pub mod fig12;
 pub mod fig6;
+pub mod parallel;
 pub mod report;
 pub mod table1;
+pub mod timer;
 
 use locus_machine::{Machine, MachineConfig};
 

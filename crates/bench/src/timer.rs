@@ -1,0 +1,69 @@
+//! Minimal timing harness for the `harness = false` benches.
+//!
+//! The workspace builds offline with no external dev-dependencies, so
+//! criterion is out; this covers what the figure benches need — warm-up,
+//! automatic iteration scaling, and a median over a few samples.
+
+use std::time::{Duration, Instant};
+
+/// Samples taken per benchmark after calibration.
+const SAMPLES: usize = 5;
+/// Minimum wall-clock per sample; iteration count doubles until met.
+const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Times `f`, printing the median per-iteration wall-clock.
+pub fn bench_function<T>(name: &str, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warm up caches and lazy state
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= MIN_SAMPLE || iters >= 1 << 20 {
+            let mut samples = vec![elapsed.as_secs_f64() / iters as f64];
+            for _ in 1..SAMPLES {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            }
+            samples.sort_by(f64::total_cmp);
+            break samples[samples.len() / 2];
+        }
+        iters = iters.saturating_mul(2);
+    };
+    println!(
+        "{name:<48} {:>12}/iter   ({iters} iters x {SAMPLES} samples)",
+        format_seconds(per_iter)
+    );
+}
+
+/// Renders a duration in the largest unit that keeps 3 significant
+/// digits readable.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_pick_sane_units() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0042), "4.200 ms");
+        assert_eq!(format_seconds(0.0000042), "4.200 us");
+        assert_eq!(format_seconds(0.0000000042), "4.2 ns");
+    }
+}

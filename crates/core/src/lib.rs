@@ -24,14 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub mod memo;
 pub mod registry;
 pub mod subst;
 pub mod suggest;
 pub mod system;
 
+pub use memo::{MemoCache, MemoStats};
 pub use registry::{RegionHost, SnippetProvider};
 pub use suggest::{profile_region, suggest_program, RegionProfile};
 pub use system::{
     check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, TuneResult,
-    VariantOutcome,
+    VariantOutcome, PARALLEL_BATCH,
 };

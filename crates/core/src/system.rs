@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 
 use locus_lang::ast::{LItem, LocusProgram};
 use locus_lang::interp::LocusError;
@@ -14,7 +15,13 @@ use locus_srcir::ast::Program;
 use locus_srcir::hash::{hash_region, RegionHash};
 use locus_srcir::region::{extract_region, find_regions, replace_region};
 
+use crate::memo::{MemoCache, MemoStats};
 use crate::registry::{is_query, run_query, RegionHost};
+
+/// Number of proposals drawn per batch by the parallel engine. Fixed —
+/// independent of the worker count — so a run's proposal stream, and
+/// with it the tuning result, is identical for 1, 2 or 8 threads.
+pub const PARALLEL_BATCH: usize = 16;
 
 /// Errors of the orchestration layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -341,6 +348,201 @@ impl LocusSystem {
             space_size: prepared.space.size(),
         })
     }
+
+    /// The parallel search workflow: like [`LocusSystem::tune`], but
+    /// each batch of proposals is evaluated by a pool of `threads`
+    /// worker threads sharing a two-level [`MemoCache`], so duplicate
+    /// points — and distinct points denoting the *same* variant — are
+    /// measured exactly once.
+    ///
+    /// Determinism: proposals are drawn in batches of
+    /// [`PARALLEL_BATCH`] regardless of `threads`, workers only compute
+    /// objectives (the simulated machine is deterministic), and results
+    /// are merged back in proposal order through the same
+    /// [`locus_search::Bookkeeper`] the sequential driver uses. For
+    /// search modules whose proposals do not depend on observations
+    /// (exhaustive, seeded random) the outcome is bit-identical to
+    /// [`LocusSystem::tune`]; for every module it is bit-identical
+    /// across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune_parallel(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+    ) -> Result<TuneResult, ApplyError> {
+        self.tune_parallel_with_cache(source, locus, search, budget, threads)
+            .map(|(result, _)| result)
+    }
+
+    /// [`LocusSystem::tune_parallel`], additionally reporting the memo
+    /// cache statistics of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune_parallel_with_cache(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+    ) -> Result<(TuneResult, MemoStats), ApplyError> {
+        let cache = MemoCache::new();
+        let result = self.tune_parallel_shared(source, locus, search, budget, threads, &cache)?;
+        Ok((result, cache.stats()))
+    }
+
+    /// [`LocusSystem::tune_parallel`] against a caller-owned
+    /// [`MemoCache`], so several tuning runs of one session — different
+    /// search modules or seeds over the same source and machine — share
+    /// measurements: a variant assessed by any earlier run is never
+    /// measured again (the OpenTuner-memoization effect the paper
+    /// credits in Sec. IV-B).
+    ///
+    /// Cache entries record objectives of *this* system's machine;
+    /// sharing a cache between systems with different machine
+    /// configurations would return stale measurements. Use one cache per
+    /// (source, machine) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune_parallel_shared(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        cache: &MemoCache,
+    ) -> Result<TuneResult, ApplyError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let prepared = self.prepare(source, locus)?;
+        let baseline = self
+            .measure(source)
+            .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?;
+        let expected = baseline.checksum;
+        let threads = threads.max(1);
+
+        search.begin(&prepared.space, budget);
+        let mut book = locus_search::Bookkeeper::new(budget);
+        'driver: while !book.done() {
+            let batch = search.propose_batch(&prepared.space, PARALLEL_BATCH);
+            if batch.is_empty() {
+                break;
+            }
+
+            // Resolve every proposal against the cache; what remains is
+            // one representative point per *new* variant digest.
+            let mut batch_variant: Vec<u64> = Vec::with_capacity(batch.len());
+            let mut to_measure: Vec<(u64, Point)> = Vec::new();
+            let mut measuring = std::collections::HashSet::new();
+            for point in &batch {
+                let variant = locus_srcir::hash::fnv1a(
+                    self.direct_program(&prepared, point).as_bytes(),
+                );
+                batch_variant.push(variant);
+                if cache.lookup_point(point).is_some() || cache.lookup_variant(variant).is_some()
+                {
+                    continue;
+                }
+                if measuring.insert(variant) {
+                    to_measure.push((variant, point.clone()));
+                } else {
+                    cache.note_coalesced();
+                }
+            }
+
+            // Fan the fresh measurements out over the worker pool. Each
+            // worker owns a clone of the system (and thus the machine);
+            // an atomic cursor deals work out.
+            if !to_measure.is_empty() {
+                let work = &to_measure;
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let results: Vec<Mutex<Option<Objective>>> =
+                    work.iter().map(|_| Mutex::new(None)).collect();
+                let results = &results;
+                let prepared_ref = &prepared;
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(work.len()) {
+                        let sys = self.clone();
+                        scope.spawn(move || loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((_, point)) = work.get(i) else {
+                                break;
+                            };
+                            let objective = match sys.evaluate_point(
+                                source,
+                                prepared_ref,
+                                point,
+                                Some(expected),
+                            ) {
+                                VariantOutcome::Measured(boxed) => {
+                                    Objective::Value(boxed.1.time_ms)
+                                }
+                                VariantOutcome::Invalid(_) => Objective::Invalid,
+                                VariantOutcome::Failed(_) => Objective::Error,
+                            };
+                            *results[i].lock().expect("result slot") = Some(objective);
+                        });
+                    }
+                });
+                for ((variant, point), slot) in work.iter().zip(results) {
+                    let objective = slot
+                        .lock()
+                        .expect("result slot")
+                        .expect("worker filled every dealt slot");
+                    cache.note_miss();
+                    cache.insert(point, *variant, objective);
+                }
+            }
+
+            // Deterministic merge: feed results back in proposal order
+            // through the same bookkeeping the sequential driver uses.
+            for (point, variant) in batch.iter().zip(&batch_variant) {
+                if book.done() {
+                    break 'driver;
+                }
+                let objective = cache
+                    .peek_variant(*variant)
+                    .or_else(|| cache.peek_point(point))
+                    .expect("every batch point resolved");
+                cache.insert_point(point, objective);
+                let (recorded, fresh) = book.record(point, |_| objective);
+                search.observe(point, recorded, fresh);
+            }
+        }
+        let outcome = book.finish();
+
+        let best = outcome.best.clone().and_then(|(point, _)| {
+            match self.evaluate_point(source, &prepared, &point, Some(expected)) {
+                VariantOutcome::Measured(boxed) => {
+                    let (program, m) = *boxed;
+                    Some((point, program, m))
+                }
+                _ => None,
+            }
+        });
+
+        Ok(TuneResult {
+            outcome,
+            baseline,
+            best,
+            space_size: prepared.space.size(),
+        })
+    }
 }
 
 /// Checks stored region hashes against the current source (the coherence
@@ -506,7 +708,7 @@ mod tests {
         )
         .unwrap();
         let sys = system();
-        let mut search = locus_search::ExhaustiveSearch;
+        let mut search = locus_search::ExhaustiveSearch::default();
         let result = sys.tune(&source, &locus, &mut search, 64).unwrap();
         // 3x3 grid; points with tileI_2 > tileI are invalid.
         assert!(result.outcome.invalid > 0);
@@ -533,7 +735,7 @@ mod tests {
         assert_eq!(prepared.space.size(), 6);
         // All six permutations of matmul are legal; exhaustively searching
         // them must yield six valid evaluations.
-        let mut search = locus_search::ExhaustiveSearch;
+        let mut search = locus_search::ExhaustiveSearch::default();
         let result = sys.tune(&source, &locus, &mut search, 10).unwrap();
         assert_eq!(result.outcome.evaluations, 6);
     }
@@ -567,7 +769,7 @@ mod tests {
         )
         .unwrap();
         let sys = system();
-        let mut search = locus_search::ExhaustiveSearch;
+        let mut search = locus_search::ExhaustiveSearch::default();
         let result = sys.tune(&source, &locus, &mut search, 4).unwrap();
         assert!(result.best.is_none());
         assert_eq!(result.speedup(), 1.0);

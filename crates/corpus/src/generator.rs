@@ -10,10 +10,9 @@
 //! Fig. 13 program apply, and that make Pluto's polyhedral gate reject a
 //! nest.
 
+use locus_space::rng::SplitMix64;
 use locus_srcir::ast::Program;
 use locus_srcir::parse_program;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Per-suite specification: suite name and how many nests the paper
 /// selected from it (Table I, column "# of loop nests").
@@ -74,7 +73,7 @@ pub struct CorpusNest {
 /// (indirection or modulo), and a fifth of the multi-loop nests are
 /// imperfect.
 pub fn generate_corpus(seed: u64, per_suite_cap: usize) -> Vec<CorpusNest> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::new();
     for suite in TABLE1_SUITES {
         let count = suite.selected.min(per_suite_cap);
@@ -89,14 +88,14 @@ pub fn generate_corpus(seed: u64, per_suite_cap: usize) -> Vec<CorpusNest> {
     out
 }
 
-fn generate_nest(rng: &mut StdRng, suite: &'static str, name: String) -> CorpusNest {
-    let depth = match rng.random_range(0..100) {
+fn generate_nest(rng: &mut SplitMix64, suite: &'static str, name: String) -> CorpusNest {
+    let depth = match rng.below(100) {
         0..=54 => 1,
         55..=84 => 2,
         _ => 3,
     };
-    let mut affine = rng.random_range(0..100) >= 25;
-    let perfect = depth == 1 || rng.random_range(0..100) >= 20;
+    let mut affine = rng.below(100) >= 25;
+    let perfect = depth == 1 || rng.below(100) >= 20;
     // The imperfect templates are all affine.
     if !perfect {
         affine = true;
@@ -121,8 +120,8 @@ fn generate_nest(rng: &mut StdRng, suite: &'static str, name: String) -> CorpusN
     }
 }
 
-fn build_nest(rng: &mut StdRng, depth: usize, perfect: bool, affine: bool, n: usize) -> Program {
-    let body_kind = rng.random_range(0..4);
+fn build_nest(rng: &mut SplitMix64, depth: usize, perfect: bool, affine: bool, n: usize) -> Program {
+    let body_kind = rng.below(4);
     let src = match (depth, perfect) {
         (1, _) => {
             let body = match (affine, body_kind) {

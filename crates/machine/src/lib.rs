@@ -160,6 +160,20 @@ impl Machine {
     }
 }
 
+/// Compile-time contract of the parallel evaluation engine in the core
+/// crate: workers clone the machine and carry it across threads, and
+/// share measurements back through the merge. `Machine` is plain data
+/// (no interior mutability — [`Machine::run`] takes `&self`), so these
+/// bounds hold structurally; this block turns any regression into a
+/// build error.
+const _: () = {
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<Machine>();
+    assert_send_sync_clone::<MachineConfig>();
+    assert_send_sync_clone::<crate::cache::CacheHierarchy>();
+    assert_send_sync_clone::<Measurement>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,12 +5,17 @@
 //! current point (or a fresh prior sample with a decaying probability),
 //! accept by the Metropolis criterion under a geometric temperature
 //! schedule.
+//!
+//! As an ask/tell state machine the annealer walks from whatever point
+//! it last accepted; inside a batch every proposal is a neighbour of
+//! the same walking point (acceptances only apply once the batch is
+//! observed), which is the standard "speculative neighbourhood"
+//! batching of annealing. Runs are deterministic for a fixed seed and
+//! batch size, regardless of how many workers evaluate the batch.
 
-use locus_space::{Point, Space};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use locus_space::{Point, Space, SplitMix64};
 
-use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+use crate::{Objective, SearchModule};
 
 /// The Hyperopt-like annealer.
 #[derive(Debug, Clone)]
@@ -20,6 +25,14 @@ pub struct AnnealTuner {
     t0: f64,
     /// Geometric cooling rate per evaluation.
     cooling: f64,
+    rng: SplitMix64,
+    /// The walking point and its objective, once a valid sample landed.
+    current: Option<(Point, f64)>,
+    temperature: f64,
+    init_attempts: usize,
+    init_limit: usize,
+    stale: usize,
+    stale_limit: usize,
 }
 
 impl AnnealTuner {
@@ -30,6 +43,13 @@ impl AnnealTuner {
             seed,
             t0: 0.3,
             cooling: 0.97,
+            rng: SplitMix64::new(seed),
+            current: None,
+            temperature: 0.0,
+            init_attempts: 0,
+            init_limit: 64,
+            stale: 0,
+            stale_limit: 256,
         }
     }
 
@@ -52,58 +72,70 @@ impl SearchModule for AnnealTuner {
         "annealing (hyperopt-like)"
     }
 
-    fn search(
-        &mut self,
-        space: &Space,
-        budget: usize,
-        evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut eval = Evaluator::new(budget, evaluate);
+    fn begin(&mut self, _space: &Space, budget: usize) {
+        self.rng = SplitMix64::new(self.seed);
+        self.current = None;
+        self.temperature = 0.0;
+        self.init_attempts = 0;
+        self.init_limit = budget.max(16).saturating_mul(4);
+        self.stale = 0;
+        self.stale_limit = budget.saturating_mul(8).max(256);
+    }
 
-        // Initial point: first valid random sample.
-        let mut current: Option<(Point, f64)> = None;
-        let mut attempts = 0;
-        while current.is_none() && attempts < budget.max(16) * 4 && !eval.done() {
-            attempts += 1;
-            let p = space.random_point(&mut rng);
-            if let (Objective::Value(v), _) = eval.eval(&p) {
-                current = Some((p, v));
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        match &self.current {
+            // Initial phase: sample the prior until a valid point lands.
+            None => {
+                if self.init_attempts >= self.init_limit {
+                    return None;
+                }
+                self.init_attempts += 1;
+                Some(space.random_point(&mut self.rng))
             }
-        }
-        let Some((mut cur_point, mut cur_value)) = current else {
-            return eval.finish();
-        };
-
-        let mut temperature = self.t0 * cur_value.abs().max(1e-9);
-        let mut stale = 0usize;
-        while !eval.done() && stale < budget.saturating_mul(8).max(256) {
-            // Restart probability decays as the search matures.
-            let restart_p = 0.25 * temperature / (self.t0 * cur_value.abs().max(1e-9) + 1e-12);
-            let proposal = if rng.random_bool(restart_p.clamp(0.02, 0.5)) {
-                space.random_point(&mut rng)
-            } else {
-                space.mutate(&cur_point, 1, &mut rng)
-            };
-            let (obj, fresh) = eval.eval(&proposal);
-            if !fresh {
-                stale += 1;
-                continue;
-            }
-            stale = 0;
-            if let Objective::Value(v) = obj {
-                let accept = v < cur_value || {
-                    let delta = v - cur_value;
-                    rng.random_bool((-delta / temperature.max(1e-12)).exp().clamp(0.0, 1.0))
-                };
-                if accept {
-                    cur_point = proposal;
-                    cur_value = v;
+            Some((cur_point, cur_value)) => {
+                if self.stale >= self.stale_limit {
+                    return None;
+                }
+                // Restart probability decays as the search matures.
+                let restart_p =
+                    0.25 * self.temperature / (self.t0 * cur_value.abs().max(1e-9) + 1e-12);
+                if self.rng.chance(restart_p.clamp(0.02, 0.5)) {
+                    Some(space.random_point(&mut self.rng))
+                } else {
+                    Some(space.mutate(cur_point, 1, &mut self.rng))
                 }
             }
-            temperature *= self.cooling;
         }
-        eval.finish()
+    }
+
+    fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
+        match &self.current {
+            None => {
+                if let Objective::Value(v) = objective {
+                    self.current = Some((point.clone(), v));
+                    self.temperature = self.t0 * v.abs().max(1e-9);
+                }
+            }
+            Some((_, cur_value)) => {
+                if !fresh {
+                    self.stale += 1;
+                    return;
+                }
+                self.stale = 0;
+                if let Objective::Value(v) = objective {
+                    let accept = v < *cur_value || {
+                        let delta = v - cur_value;
+                        self.rng.chance(
+                            (-delta / self.temperature.max(1e-12)).exp().clamp(0.0, 1.0),
+                        )
+                    };
+                    if accept {
+                        self.current = Some((point.clone(), v));
+                    }
+                }
+                self.temperature *= self.cooling;
+            }
+        }
     }
 }
 
@@ -155,5 +187,27 @@ mod tests {
             .with_schedule(1.0, 0.9)
             .search(&space, 100, &mut f);
         assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn batch_runs_are_deterministic_for_a_seed() {
+        let space = quadratic_space();
+        let run = || {
+            let mut m = AnnealTuner::new(12);
+            m.begin(&space, 40);
+            let mut book = crate::Bookkeeper::new(40);
+            while !book.done() {
+                let batch = m.propose_batch(&space, 8);
+                if batch.is_empty() {
+                    break;
+                }
+                for p in &batch {
+                    let (obj, fresh) = book.record(p, quadratic_objective);
+                    m.observe(p, obj, fresh);
+                }
+            }
+            book.finish()
+        };
+        assert_eq!(run(), run());
     }
 }

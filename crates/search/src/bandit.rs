@@ -8,12 +8,19 @@
 //! bonus. This module reproduces that architecture with four
 //! techniques — greedy mutation, differential evolution, hill climbing
 //! and uniform random — over the generic [`Space`] operators.
+//!
+//! Batching: each proposal carries a pending tag naming the technique
+//! that produced it, so observations arriving after a batch credit the
+//! right arm. The UCB bonus counts in-flight (not yet observed)
+//! proposals against an arm, which naturally diversifies the techniques
+//! inside one batch; with batches of one this term is zero and the
+//! behaviour is the classic sequential bandit.
 
-use locus_space::{Point, Space};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 
-use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+use locus_space::{Point, Space, SplitMix64};
+
+use crate::{Objective, SearchModule};
 
 /// Sliding window length for AUC credit assignment.
 const WINDOW: usize = 50;
@@ -26,12 +33,34 @@ const ELITES: usize = 8;
 #[derive(Debug, Clone)]
 pub struct BanditTuner {
     seed: u64,
+    rng: SplitMix64,
+    credits: Vec<Credit>,
+    elites: Vec<(Point, f64)>,
+    best: Option<(Point, f64)>,
+    /// Technique index of every proposal not yet observed; `None` tags
+    /// the seeding phase.
+    pending: VecDeque<Option<usize>>,
+    seeds_remaining: usize,
+    total_uses: f64,
+    stale: usize,
+    stale_limit: usize,
 }
 
 impl BanditTuner {
     /// Creates a tuner with a deterministic seed.
     pub fn new(seed: u64) -> BanditTuner {
-        BanditTuner { seed }
+        BanditTuner {
+            seed,
+            rng: SplitMix64::new(seed),
+            credits: vec![Credit::default(); TECHNIQUES.len()],
+            elites: Vec::new(),
+            best: None,
+            pending: VecDeque::new(),
+            seeds_remaining: 0,
+            total_uses: 1.0,
+            stale: 0,
+            stale_limit: 256,
+        }
     }
 }
 
@@ -96,70 +125,94 @@ impl SearchModule for BanditTuner {
         "bandit (opentuner-like)"
     }
 
-    fn search(
-        &mut self,
-        space: &Space,
-        budget: usize,
-        evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut eval = Evaluator::new(budget, evaluate);
-        let mut credits = vec![Credit::default(); TECHNIQUES.len()];
-        // Elite population of (point, value), best first.
-        let mut elites: Vec<(Point, f64)> = Vec::new();
-
+    fn begin(&mut self, _space: &Space, budget: usize) {
+        self.rng = SplitMix64::new(self.seed);
+        self.credits = vec![Credit::default(); TECHNIQUES.len()];
+        self.elites.clear();
+        self.best = None;
+        self.pending.clear();
         // Seed with random points (a tenth of the budget, at least 2).
-        let seeds = (budget / 10).clamp(2, 32);
-        for _ in 0..seeds {
-            if eval.done() {
-                break;
-            }
-            let p = space.random_point(&mut rng);
-            let (obj, fresh) = eval.eval(&p);
-            if fresh {
-                if let Objective::Value(v) = obj {
-                    insert_elite(&mut elites, p, v);
+        self.seeds_remaining = (budget / 10).clamp(2, 32);
+        self.total_uses = 1.0;
+        self.stale = 0;
+        self.stale_limit = budget.saturating_mul(8).max(256);
+    }
+
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.seeds_remaining > 0 {
+            self.seeds_remaining -= 1;
+            self.pending.push_back(None);
+            return Some(space.random_point(&mut self.rng));
+        }
+        if self.stale >= self.stale_limit {
+            return None;
+        }
+        // UCB-style technique selection; in-flight proposals count
+        // toward an arm's use so a batch spreads across techniques.
+        let (ti, _) = self
+            .credits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let in_flight = self.pending.iter().filter(|t| **t == Some(i)).count();
+                let bonus = EXPLORATION
+                    * ((self.total_uses.ln() / ((c.uses + in_flight) as f64 + 1.0)).sqrt());
+                (i, c.auc() + bonus)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("non-empty technique list");
+        let technique = TECHNIQUES[ti];
+        let best = self.best.as_ref().map(|(p, _)| p.clone());
+        let proposal = propose(
+            technique,
+            space,
+            &self.elites,
+            best.as_ref(),
+            &mut self.rng,
+        );
+        self.pending.push_back(Some(ti));
+        Some(proposal)
+    }
+
+    fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
+        let tag = self.pending.pop_front().flatten();
+        let before = self.best.as_ref().map(|(_, v)| *v);
+        if fresh {
+            if let Objective::Value(v) = objective {
+                if before.is_none_or(|b| v < b) {
+                    self.best = Some((point.clone(), v));
                 }
             }
         }
-
-        let mut total_uses = 1.0f64;
-        let mut stale = 0usize;
-        while !eval.done() && stale < budget.saturating_mul(8).max(256) {
-            // UCB-style technique selection.
-            let (ti, _) = credits
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let bonus = EXPLORATION * ((total_uses.ln() / (c.uses as f64 + 1.0)).sqrt());
-                    (i, c.auc() + bonus)
-                })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
-                .expect("non-empty technique list");
-            let technique = TECHNIQUES[ti];
-
-            let proposal = propose(technique, space, &elites, eval.best_point(), &mut rng);
-            let before = eval.best_value();
-            let (obj, fresh) = eval.eval(&proposal);
-            if !fresh {
-                stale += 1;
-                credits[ti].record(false);
-                total_uses += 1.0;
-                continue;
+        let Some(ti) = tag else {
+            // Seeding phase: populate the elite pool, no credit, but
+            // count the use so the UCB exploration bonus is live from
+            // the first post-seed selection.
+            self.total_uses += 1.0;
+            if fresh {
+                if let Objective::Value(v) = objective {
+                    insert_elite(&mut self.elites, point.clone(), v);
+                }
             }
-            stale = 0;
-            let improved = match (before, eval.best_value()) {
-                (None, Some(_)) => true,
-                (Some(b), Some(a)) => a < b,
-                _ => false,
-            };
-            credits[ti].record(improved);
-            total_uses += 1.0;
-            if let Objective::Value(v) = obj {
-                insert_elite(&mut elites, proposal, v);
-            }
+            return;
+        };
+        if !fresh {
+            self.stale += 1;
+            self.credits[ti].record(false);
+            self.total_uses += 1.0;
+            return;
         }
-        eval.finish()
+        self.stale = 0;
+        let improved = match (before, self.best.as_ref().map(|(_, v)| *v)) {
+            (None, Some(_)) => true,
+            (Some(b), Some(a)) => a < b,
+            _ => false,
+        };
+        self.credits[ti].record(improved);
+        self.total_uses += 1.0;
+        if let Objective::Value(v) = objective {
+            insert_elite(&mut self.elites, point.clone(), v);
+        }
     }
 }
 
@@ -177,9 +230,9 @@ fn propose(
     space: &Space,
     elites: &[(Point, f64)],
     best: Option<&Point>,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Point {
-    let fallback = |rng: &mut StdRng| space.random_point(rng);
+    let fallback = |rng: &mut SplitMix64| space.random_point(rng);
     match technique {
         Technique::UniformRandom => fallback(rng),
         Technique::HillClimb => match best {
@@ -190,16 +243,16 @@ fn propose(
             if elites.is_empty() {
                 return fallback(rng);
             }
-            let parent = &elites[rng.random_range(0..elites.len())].0;
-            let strength = 1 + rng.random_range(0..3);
+            let parent = &elites[rng.below_usize(elites.len())].0;
+            let strength = 1 + rng.below_usize(3);
             space.mutate(parent, strength, rng)
         }
         Technique::DifferentialEvolution => {
             if elites.len() < 2 {
                 return fallback(rng);
             }
-            let a = &elites[rng.random_range(0..elites.len())].0;
-            let b = &elites[rng.random_range(0..elites.len())].0;
+            let a = &elites[rng.below_usize(elites.len())].0;
+            let b = &elites[rng.below_usize(elites.len())].0;
             let child = space.crossover(a, b, rng);
             space.mutate(&child, 1, rng)
         }
@@ -278,5 +331,24 @@ mod tests {
         let b = BanditTuner::new(11).search(&space, 50, &mut f2);
         assert_eq!(a.best, b.best);
         assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn batches_spread_across_techniques() {
+        let space = quadratic_space();
+        let mut m = BanditTuner::new(7);
+        m.begin(&space, 100);
+        // Drain the seeding phase first.
+        let seeds = m.propose_batch(&space, 10);
+        for p in &seeds {
+            let (obj, fresh) = (quadratic_objective(p), true);
+            m.observe(p, obj, fresh);
+        }
+        let batch = m.propose_batch(&space, 8);
+        assert_eq!(batch.len(), 8);
+        // The in-flight term must have engaged all four arms.
+        let tagged: std::collections::BTreeSet<_> =
+            m.pending.iter().flatten().copied().collect();
+        assert_eq!(tagged.len(), TECHNIQUES.len());
     }
 }

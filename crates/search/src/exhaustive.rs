@@ -2,46 +2,60 @@
 
 use locus_space::{Point, Space};
 
-use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+use crate::{Objective, SearchModule};
 
 /// Enumerates every point of the space in lexicographic order. When the
 /// space exceeds the budget, the enumeration is *stratified*: `budget`
 /// points evenly spread over the lexicographic index range, so every
 /// parameter region is touched.
+///
+/// Like [`crate::RandomSearch`], the proposal stream is independent of
+/// the observed objectives, so batched (parallel) runs are bit-identical
+/// to sequential ones.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ExhaustiveSearch;
+pub struct ExhaustiveSearch {
+    next: u128,
+    count: u128,
+    step: u128,
+}
+
+impl ExhaustiveSearch {
+    /// Creates an exhaustive enumerator.
+    pub fn new() -> ExhaustiveSearch {
+        ExhaustiveSearch::default()
+    }
+}
 
 impl SearchModule for ExhaustiveSearch {
     fn name(&self) -> &str {
         "exhaustive"
     }
 
-    fn search(
-        &mut self,
-        space: &Space,
-        budget: usize,
-        evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome {
-        let mut eval = Evaluator::new(budget, evaluate);
+    fn begin(&mut self, space: &Space, budget: usize) {
         let size = space.size();
-        if size <= budget as u128 {
-            for i in 0..size {
-                if eval.done() {
-                    break;
-                }
-                eval.eval(&space.point_at(i));
-            }
+        self.next = 0;
+        if budget == 0 {
+            self.count = 0;
+            self.step = 1;
+        } else if size <= budget as u128 {
+            self.count = size;
+            self.step = 1;
         } else {
-            let step = size / budget as u128;
-            for k in 0..budget as u128 {
-                if eval.done() {
-                    break;
-                }
-                eval.eval(&space.point_at(k * step));
-            }
+            self.count = budget as u128;
+            self.step = size / budget as u128;
         }
-        eval.finish()
     }
+
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.next >= self.count {
+            return None;
+        }
+        let point = space.point_at(self.next * self.step);
+        self.next += 1;
+        Some(point)
+    }
+
+    fn observe(&mut self, _point: &Point, _objective: Objective, _fresh: bool) {}
 }
 
 #[cfg(test)]
@@ -53,7 +67,7 @@ mod tests {
     fn finds_global_optimum_when_budget_covers_space() {
         let space = quadratic_space();
         let mut f = quadratic_objective;
-        let out = ExhaustiveSearch.search(&space, usize::MAX, &mut f);
+        let out = ExhaustiveSearch::default().search(&space, usize::MAX, &mut f);
         assert_eq!(out.evaluations as u128, space.size());
         let (best, value) = out.best.unwrap();
         assert_eq!(value, 0.0);
@@ -64,7 +78,7 @@ mod tests {
     fn stratified_enumeration_respects_budget() {
         let space = quadratic_space();
         let mut f = quadratic_objective;
-        let out = ExhaustiveSearch.search(&space, 50, &mut f);
+        let out = ExhaustiveSearch::default().search(&space, 50, &mut f);
         assert!(out.evaluations <= 50);
         assert!(out.best.is_some());
     }
@@ -77,8 +91,39 @@ mod tests {
             calls += 1;
             Objective::Value(1.0)
         };
-        let out = ExhaustiveSearch.search(&space, 10, &mut f);
+        let out = ExhaustiveSearch::default().search(&space, 10, &mut f);
         assert_eq!(out.evaluations, 1);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn zero_budget_proposes_nothing() {
+        let space = quadratic_space();
+        let mut m = ExhaustiveSearch::default();
+        m.begin(&space, 0);
+        assert!(m.propose(&space).is_none());
+    }
+
+    #[test]
+    fn batched_proposals_cover_the_same_stream() {
+        let space = quadratic_space();
+        let mut a = ExhaustiveSearch::default();
+        let mut b = ExhaustiveSearch::default();
+        a.begin(&space, 40);
+        b.begin(&space, 40);
+        let mut batched = Vec::new();
+        loop {
+            let batch = a.propose_batch(&space, 16);
+            if batch.is_empty() {
+                break;
+            }
+            batched.extend(batch);
+        }
+        let mut singles = Vec::new();
+        while let Some(p) = b.propose(&space) {
+            singles.push(p);
+        }
+        assert_eq!(batched, singles);
+        assert_eq!(batched.len(), 40);
     }
 }

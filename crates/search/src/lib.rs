@@ -19,12 +19,29 @@
 //!   best-so-far, with budget shifting toward whichever module recently
 //!   improved the result.
 //!
-//! Every module implements [`SearchModule`]: it proposes points, the
-//! caller evaluates them (build + run + measure in the full system) and
-//! feeds back an [`Objective`]; lower is better. Points may be rejected
-//! as [`Objective::Invalid`] — e.g. when a dependent-range constraint
-//! such as `tileI_2 <= tileI` fails (Sec. IV-B.1) — without counting as
-//! useful evaluations.
+//! # The ask/tell batch protocol
+//!
+//! Every module implements [`SearchModule`] as an *ask/tell* state
+//! machine: [`SearchModule::begin`] resets it for a space and budget,
+//! [`SearchModule::propose_batch`] asks for up to `k` candidate points,
+//! and [`SearchModule::observe`] tells it the [`Objective`] of each
+//! proposal, in proposal order. The driver — sequential
+//! ([`SearchModule::search`], the default implementation, which drives
+//! batches of one) or parallel (`LocusSystem::tune_parallel` in the
+//! core crate, which fans a batch out over a worker pool behind a
+//! shared memo cache) — owns evaluation, de-duplication, best-so-far
+//! tracking and budget accounting through a [`Bookkeeper`].
+//!
+//! Because a `Bookkeeper` consumes results strictly in proposal order,
+//! any two drivers that feed the same proposal stream produce
+//! bit-identical [`SearchOutcome`]s; for modules whose proposals do not
+//! depend on observations (exhaustive enumeration, seeded random
+//! sampling) the parallel driver is therefore exactly equivalent to the
+//! sequential one, regardless of worker count.
+//!
+//! Points may be rejected as [`Objective::Invalid`] — e.g. when a
+//! dependent-range constraint such as `tileI_2 <= tileI` fails
+//! (Sec. IV-B.1) — without counting as useful evaluations.
 
 #![warn(missing_docs)]
 
@@ -39,6 +56,11 @@ pub use bandit::BanditTuner;
 pub use exhaustive::ExhaustiveSearch;
 pub use portfolio::PortfolioSearch;
 pub use random::RandomSearch;
+
+/// The deterministic in-tree PRNG all modules draw from, re-exported so
+/// downstream crates (and tests) need not depend on `locus-space`
+/// directly for it.
+pub use locus_space::rng;
 
 use locus_space::{Point, Space};
 
@@ -92,38 +114,92 @@ impl SearchOutcome {
     }
 }
 
-/// A search module: traverses a [`Space`], calling `evaluate` on chosen
-/// points, until `budget` evaluations have been spent or the module
-/// decides it is done.
+/// A search module: an ask/tell state machine over a [`Space`].
+///
+/// Drivers call [`SearchModule::begin`] once, then alternate
+/// [`SearchModule::propose_batch`] and (for every proposal, in proposal
+/// order) [`SearchModule::observe`] until the budget is spent or the
+/// module returns an empty batch. Modules own their termination
+/// heuristics (staleness limits on tiny spaces); drivers own budget,
+/// memoization and best-so-far tracking.
 pub trait SearchModule {
     /// A short human-readable name ("opentuner-like bandit", ...).
     fn name(&self) -> &str;
 
-    /// Runs the search.
+    /// Resets the module for a fresh run over `space` with `budget`
+    /// evaluations available.
+    fn begin(&mut self, space: &Space, budget: usize);
+
+    /// Proposes the next point, or `None` when the module has nothing
+    /// left to try (space exhausted, staleness limit hit).
+    fn propose(&mut self, space: &Space) -> Option<Point>;
+
+    /// Proposes up to `k` points for (possibly parallel) evaluation.
+    ///
+    /// The default implementation asks [`SearchModule::propose`] `k`
+    /// times; modules with batch-aware strategies (technique fan-out,
+    /// per-member shares) override it.
+    fn propose_batch(&mut self, space: &Space, k: usize) -> Vec<Point> {
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.propose(space) {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Feeds back the objective of a proposed point. `fresh` is `false`
+    /// when the driver's memo table already held the point (a duplicate
+    /// proposal that consumed no evaluation budget).
+    fn observe(&mut self, point: &Point, objective: Objective, fresh: bool);
+
+    /// Runs the search sequentially: the classic evaluate-one-point-at-
+    /// a-time workflow of Fig. 2 (bottom), implemented as the batch
+    /// protocol with `k = 1`.
     fn search(
         &mut self,
         space: &Space,
         budget: usize,
         evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome {
+        self.begin(space, budget);
+        let mut book = Bookkeeper::new(budget);
+        while !book.done() {
+            let batch = self.propose_batch(space, 1);
+            if batch.is_empty() {
+                break;
+            }
+            for point in &batch {
+                let (objective, fresh) = book.record(point, |p| evaluate(p));
+                self.observe(point, objective, fresh);
+            }
+        }
+        book.finish()
+    }
 }
 
-/// Shared evaluation bookkeeping used by the concrete modules: dedup,
-/// best tracking, history recording.
-pub(crate) struct Evaluator<'a> {
-    evaluate: &'a mut dyn FnMut(&Point) -> Objective,
+/// Driver-side evaluation bookkeeping shared by the sequential default
+/// driver and the parallel engine in the core crate: memoized dedup,
+/// budget accounting, best tracking and history recording.
+///
+/// The bookkeeper consumes proposals **in proposal order**; equal
+/// objective values never displace an earlier best (ties break toward
+/// the earliest proposal, whose canonical key the driver ordering makes
+/// stable), which is what makes sequential and batched runs of
+/// observation-independent modules bit-identical.
+#[derive(Debug)]
+pub struct Bookkeeper {
     seen: std::collections::HashMap<String, Objective>,
     outcome: SearchOutcome,
     budget: usize,
 }
 
-impl<'a> Evaluator<'a> {
-    pub(crate) fn new(
-        budget: usize,
-        evaluate: &'a mut dyn FnMut(&Point) -> Objective,
-    ) -> Evaluator<'a> {
-        Evaluator {
-            evaluate,
+impl Bookkeeper {
+    /// Creates a bookkeeper for a run of `budget` evaluations.
+    pub fn new(budget: usize) -> Bookkeeper {
+        Bookkeeper {
             seen: std::collections::HashMap::new(),
             outcome: SearchOutcome::new(),
             budget,
@@ -131,19 +207,24 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Whether the budget is exhausted.
-    pub(crate) fn done(&self) -> bool {
+    pub fn done(&self) -> bool {
         self.outcome.evaluations >= self.budget
     }
 
-    /// Evaluates a point with memoization. Returns the objective and
-    /// whether this was a *fresh* evaluation.
-    pub(crate) fn eval(&mut self, point: &Point) -> (Objective, bool) {
-        let key = point.dedup_key();
+    /// Records a point, calling `evaluate` only when the point was not
+    /// seen before in this run. Returns the objective and whether this
+    /// was a *fresh* evaluation.
+    pub fn record(
+        &mut self,
+        point: &Point,
+        evaluate: impl FnOnce(&Point) -> Objective,
+    ) -> (Objective, bool) {
+        let key = point.canonical_key();
         if let Some(cached) = self.seen.get(&key) {
             self.outcome.duplicates += 1;
             return (*cached, false);
         }
-        let objective = (self.evaluate)(point);
+        let objective = evaluate(point);
         self.seen.insert(key, objective);
         match objective {
             Objective::Invalid => {
@@ -171,16 +252,17 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Current best objective value.
-    pub(crate) fn best_value(&self) -> Option<f64> {
+    pub fn best_value(&self) -> Option<f64> {
         self.outcome.best.as_ref().map(|(_, v)| *v)
     }
 
     /// Current best point.
-    pub(crate) fn best_point(&self) -> Option<&Point> {
+    pub fn best_point(&self) -> Option<&Point> {
         self.outcome.best.as_ref().map(|(p, _)| p)
     }
 
-    pub(crate) fn finish(self) -> SearchOutcome {
+    /// Finishes the run and returns the outcome.
+    pub fn finish(self) -> SearchOutcome {
         self.outcome
     }
 }
@@ -227,16 +309,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn evaluator_dedups_and_tracks_best() {
+    fn bookkeeper_dedups_and_tracks_best() {
         let space = quadratic_space();
-        let mut f = quadratic_objective;
-        let mut eval = Evaluator::new(10, &mut f);
+        let mut book = Bookkeeper::new(10);
         let p = space.point_at(0);
-        let (_, fresh1) = eval.eval(&p);
-        let (_, fresh2) = eval.eval(&p);
+        let (_, fresh1) = book.record(&p, quadratic_objective);
+        let (_, fresh2) = book.record(&p, quadratic_objective);
         assert!(fresh1);
         assert!(!fresh2);
-        let out = eval.finish();
+        let out = book.finish();
         assert_eq!(out.evaluations, 1);
         assert_eq!(out.duplicates, 1);
         assert!(out.best.is_some());
@@ -245,12 +326,11 @@ mod tests {
     #[test]
     fn invalid_points_do_not_consume_budget() {
         let space = quadratic_space();
-        let mut f = |_: &Point| Objective::Invalid;
-        let mut eval = Evaluator::new(5, &mut f);
+        let mut book = Bookkeeper::new(5);
         for i in 0..5 {
-            eval.eval(&space.point_at(i));
+            book.record(&space.point_at(i), |_| Objective::Invalid);
         }
-        let out = eval.finish();
+        let out = book.finish();
         assert_eq!(out.evaluations, 0);
         assert_eq!(out.invalid, 5);
         assert!(out.best.is_none());
@@ -259,15 +339,26 @@ mod tests {
     #[test]
     fn history_is_monotonically_improving() {
         let space = quadratic_space();
-        let mut f = quadratic_objective;
-        let mut eval = Evaluator::new(100, &mut f);
+        let mut book = Bookkeeper::new(100);
         for i in 0..60 {
-            eval.eval(&space.point_at(i * 7 % space.size()));
+            book.record(&space.point_at(i * 7 % space.size()), quadratic_objective);
         }
-        let out = eval.finish();
+        let out = book.finish();
         for w in out.history.windows(2) {
             assert!(w[1].1 < w[0].1);
             assert!(w[1].0 > w[0].0);
         }
+    }
+
+    #[test]
+    fn default_batch_proposals_match_repeated_single_proposals() {
+        let space = quadratic_space();
+        let mut a = RandomSearch::new(17);
+        let mut b = RandomSearch::new(17);
+        a.begin(&space, 64);
+        b.begin(&space, 64);
+        let batch = a.propose_batch(&space, 8);
+        let singles: Vec<_> = (0..8).filter_map(|_| b.propose(&space)).collect();
+        assert_eq!(batch, singles);
     }
 }

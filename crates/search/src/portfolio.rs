@@ -4,17 +4,25 @@
 //! the use of multiple search modules in the same run to speed up the
 //! search process". This module implements it: the budget is spent in
 //! rounds, each round split between the member modules; all members
-//! share one memo table (through the crate's common evaluator) so no variant
-//! is ever assessed twice, and each member resumes from the shared
-//! best-so-far. Budget allocation across rounds shifts toward members
-//! that recently improved the shared best (the same credit idea the
-//! bandit uses across techniques, lifted to whole modules).
+//! share one memo table (through the driver's [`crate::Bookkeeper`]) so
+//! no variant is ever assessed twice, and each member resumes from the
+//! shared best-so-far. Budget allocation across rounds shifts toward
+//! members that recently improved the shared best (the same credit idea
+//! the bandit uses across techniques, lifted to whole modules).
+//!
+//! As an ask/tell machine the portfolio runs one member *session* at a
+//! time; each proposal is tagged with its session so observations
+//! arriving after a batch update the right member's walking state and
+//! credit. With batches of one this is exactly the sequential
+//! round-robin; with larger batches a session may overshoot its share
+//! by at most the in-flight batch, deterministically for a fixed batch
+//! size.
 
-use locus_space::{Point, Space};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 
-use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+use locus_space::{Point, Space, SplitMix64};
+
+use crate::{Objective, SearchModule};
 
 /// Identifier of a member module in a [`PortfolioSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +33,26 @@ pub enum Member {
     Anneal,
     /// Uniform random sampling.
     Random,
+}
+
+/// One member's in-progress slice of a round.
+#[derive(Debug, Clone)]
+struct Session {
+    member: Member,
+    /// Index into the member list (for credit updates).
+    mi: usize,
+    serial: u64,
+    rng: SplitMix64,
+    /// Member-local walking point (annealing keeps its own walk; the
+    /// others track the shared best).
+    current: Option<Point>,
+    temperature: f64,
+    /// Fresh, non-invalid evaluations attributed to this session.
+    spent: usize,
+    proposals: usize,
+    share: usize,
+    /// Shared best value when the session started, for credit.
+    before: Option<f64>,
 }
 
 /// A portfolio over the built-in search modules.
@@ -38,6 +66,20 @@ pub struct PortfolioSearch {
     members: Vec<Member>,
     /// Evaluations per member per round.
     round_share: usize,
+    credit: Vec<f64>,
+    round: u64,
+    /// Credit total frozen at round start, like the sequential loop.
+    round_total: f64,
+    /// Fresh evaluations spent anywhere in the current round.
+    round_spent: usize,
+    next_member: usize,
+    session: Option<Session>,
+    next_serial: u64,
+    /// `(session serial, member index)` per unobserved proposal.
+    pending: VecDeque<(u64, usize)>,
+    /// Shared best across all members.
+    best: Option<(Point, f64)>,
+    exhausted: bool,
 }
 
 impl PortfolioSearch {
@@ -47,6 +89,16 @@ impl PortfolioSearch {
             seed,
             members: vec![Member::Bandit, Member::Anneal, Member::Random],
             round_share: 6,
+            credit: Vec::new(),
+            round: 0,
+            round_total: 0.0,
+            round_spent: 0,
+            next_member: 0,
+            session: None,
+            next_serial: 0,
+            pending: VecDeque::new(),
+            best: None,
+            exhausted: false,
         }
     }
 
@@ -61,6 +113,55 @@ impl PortfolioSearch {
         self.round_share = share.max(1);
         self
     }
+
+    fn open_session(&mut self) {
+        let mi = self.next_member;
+        let share = ((self.credit[mi] / self.round_total)
+            * (self.round_share * self.members.len()) as f64)
+            .round()
+            .max(1.0) as usize;
+        let seed = self.seed ^ self.round.wrapping_mul(0x9e37_79b9) ^ mi as u64;
+        self.session = Some(Session {
+            member: self.members[mi],
+            mi,
+            serial: self.next_serial,
+            rng: SplitMix64::new(seed),
+            current: self.best.as_ref().map(|(p, _)| p.clone()),
+            temperature: 0.2,
+            spent: 0,
+            proposals: 0,
+            share,
+            before: self.best.as_ref().map(|(_, v)| *v),
+        });
+        self.next_serial += 1;
+    }
+
+    fn close_session(&mut self) {
+        let Some(session) = self.session.take() else {
+            return;
+        };
+        let after = self.best.as_ref().map(|(_, v)| *v);
+        let improved = match (session.before, after) {
+            (None, Some(_)) => true,
+            (Some(b), Some(a)) => a < b,
+            _ => false,
+        };
+        let mi = session.mi;
+        self.credit[mi] = (self.credit[mi] * 0.7) + if improved { 1.0 } else { 0.1 };
+        self.next_member += 1;
+        if self.next_member >= self.members.len() {
+            // Round boundary: a round that spent nothing (and has no
+            // observations in flight that could still change that)
+            // means the space is exhausted.
+            if self.round_spent == 0 && self.pending.is_empty() {
+                self.exhausted = true;
+            }
+            self.next_member = 0;
+            self.round += 1;
+            self.round_spent = 0;
+            self.round_total = self.credit.iter().sum();
+        }
+    }
 }
 
 impl Default for PortfolioSearch {
@@ -74,123 +175,106 @@ impl SearchModule for PortfolioSearch {
         "portfolio (multi-module)"
     }
 
-    fn search(
-        &mut self,
-        space: &Space,
-        budget: usize,
-        evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome {
-        let mut eval = Evaluator::new(budget, evaluate);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        if self.members.is_empty() {
-            return eval.finish();
-        }
-        // Per-member improvement credit.
-        let mut credit = vec![1.0f64; self.members.len()];
-        let mut round = 0u64;
-        while !eval.done() {
-            // Allocate this round's shares proportionally to credit.
-            let total: f64 = credit.iter().sum();
-            let mut progressed = false;
-            for (mi, member) in self.members.iter().enumerate() {
-                if eval.done() {
-                    break;
-                }
-                let share = ((credit[mi] / total) * (self.round_share * self.members.len()) as f64)
-                    .round()
-                    .max(1.0) as usize;
-                let before = eval.best_value();
-                let spent = run_member(
-                    *member,
-                    self.seed ^ round.wrapping_mul(0x9e37_79b9) ^ mi as u64,
-                    space,
-                    share,
-                    &mut eval,
-                    &mut rng,
-                );
-                progressed |= spent > 0;
-                let improved = match (before, eval.best_value()) {
-                    (None, Some(_)) => true,
-                    (Some(b), Some(a)) => a < b,
-                    _ => false,
-                };
-                credit[mi] = (credit[mi] * 0.7) + if improved { 1.0 } else { 0.1 };
-            }
-            if !progressed {
-                break; // space exhausted
-            }
-            round += 1;
-        }
-        eval.finish()
+    fn begin(&mut self, _space: &Space, _budget: usize) {
+        self.credit = vec![1.0; self.members.len()];
+        self.round = 0;
+        self.round_total = self.members.len() as f64;
+        self.round_spent = 0;
+        self.next_member = 0;
+        self.session = None;
+        self.next_serial = 0;
+        self.pending.clear();
+        self.best = None;
+        self.exhausted = false;
     }
-}
 
-/// Runs one member for up to `share` fresh evaluations against the
-/// shared evaluator. Returns the number of fresh evaluations spent.
-fn run_member(
-    member: Member,
-    seed: u64,
-    space: &Space,
-    share: usize,
-    eval: &mut Evaluator<'_>,
-    rng: &mut StdRng,
-) -> usize {
-    let mut spent = 0usize;
-    let mut proposals = 0usize;
-    // Warm start from the shared best.
-    let mut current = eval.best_point().cloned();
-    let mut member_rng = StdRng::seed_from_u64(seed);
-    let mut temperature = 0.2f64;
-    while spent < share && !eval.done() && proposals < share * 16 + 16 {
-        proposals += 1;
-        let proposal = match member {
-            Member::Random => space.random_point(&mut member_rng),
-            Member::Bandit => match &current {
-                Some(best) if member_rng.random_bool(0.75) => {
-                    let strength = 1 + member_rng.random_range(0..3);
-                    space.mutate(best, strength, &mut member_rng)
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.members.is_empty() || self.exhausted {
+            return None;
+        }
+        // Retire the active session once it spent its share or ran out
+        // of proposal attempts, then open the next member's.
+        loop {
+            match &self.session {
+                Some(s) if s.spent >= s.share || s.proposals >= s.share * 16 + 16 => {
+                    self.close_session();
+                    if self.exhausted {
+                        return None;
+                    }
                 }
-                _ => space.random_point(&mut member_rng),
+                Some(_) => break,
+                None => self.open_session(),
+            }
+        }
+        let best = self.best.as_ref().map(|(p, _)| p.clone());
+        let session = self.session.as_mut().expect("active session");
+        session.proposals += 1;
+        let rng = &mut session.rng;
+        let proposal = match session.member {
+            Member::Random => space.random_point(rng),
+            Member::Bandit => match &best {
+                Some(b) if rng.chance(0.75) => {
+                    let strength = 1 + rng.below_usize(3);
+                    space.mutate(b, strength, rng)
+                }
+                _ => space.random_point(rng),
             },
-            Member::Anneal => match &current {
-                Some(point) if !member_rng.random_bool(0.15) => {
-                    space.mutate(point, 1, &mut member_rng)
-                }
-                _ => space.random_point(&mut member_rng),
+            Member::Anneal => match session.current.clone() {
+                Some(point) if !rng.chance(0.15) => space.mutate(&point, 1, rng),
+                _ => space.random_point(rng),
             },
         };
-        let before = eval.best_value();
-        let (objective, fresh) = eval.eval(&proposal);
+        self.pending.push_back((session.serial, session.mi));
+        Some(proposal)
+    }
+
+    fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
+        let Some((serial, _mi)) = self.pending.pop_front() else {
+            return;
+        };
+        let before = self.best.as_ref().map(|(_, v)| *v);
+        if let Objective::Value(v) = objective {
+            if before.is_none_or(|b| v < b) {
+                self.best = Some((point.clone(), v));
+            }
+        }
         if fresh && !matches!(objective, Objective::Invalid) {
-            spent += 1;
+            self.round_spent += 1;
+        }
+        let Some(session) = self.session.as_mut() else {
+            return;
+        };
+        if session.serial != serial {
+            return; // proposal from an already-retired session
+        }
+        if fresh && !matches!(objective, Objective::Invalid) {
+            session.spent += 1;
         }
         // Member-local acceptance (annealing keeps a walking point).
-        match (member, objective) {
+        match (session.member, objective) {
             (Member::Anneal, Objective::Value(v)) => {
-                let accept = match (&current, before) {
+                let accept = match (&session.current, before) {
                     (Some(_), Some(b)) => {
-                        let denom = (temperature * b.abs()).max(1e-12);
+                        let denom = (session.temperature * b.abs()).max(1e-12);
                         let mut prob = (-(v - b) / denom).exp();
                         if !prob.is_finite() {
                             prob = 0.0;
                         }
-                        v < b || member_rng.random_bool(prob.clamp(0.0, 1.0))
+                        v < b || session.rng.chance(prob.clamp(0.0, 1.0))
                     }
                     _ => true,
                 };
                 if accept {
-                    current = Some(proposal);
+                    session.current = Some(point.clone());
                 }
-                temperature *= 0.95;
+                session.temperature *= 0.95;
             }
             (_, Objective::Value(_)) => {
-                current = eval.best_point().cloned();
+                session.current = self.best.as_ref().map(|(p, _)| p.clone());
             }
             _ => {}
         }
-        let _ = rng;
     }
-    spent
 }
 
 #[cfg(test)]
@@ -287,5 +371,18 @@ mod tests {
             .with_members(Vec::new())
             .search(&space, 10, &mut f);
         assert_eq!(out.evaluations, 0);
+    }
+
+    #[test]
+    fn exhausts_tiny_spaces_without_spinning() {
+        let space: locus_space::Space = vec![locus_space::ParamDef::new(
+            "x",
+            locus_space::ParamKind::Bool,
+        )]
+        .into_iter()
+        .collect();
+        let mut f = |_: &Point| Objective::Value(1.0);
+        let out = PortfolioSearch::new(5).search(&space, 100, &mut f);
+        assert_eq!(out.evaluations, 2, "only two distinct points exist");
     }
 }

@@ -1,23 +1,33 @@
 //! Uniform random search with de-duplication.
 
-use locus_space::{Point, Space};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use locus_space::{Point, Space, SplitMix64};
 
-use crate::{Evaluator, Objective, SearchModule, SearchOutcome};
+use crate::{Objective, SearchModule};
 
-/// Uniform random sampling. Duplicate proposals are memoized and do not
-/// consume budget; the module gives up after a bounded number of
-/// consecutive duplicates (tiny spaces).
+/// Uniform random sampling. Duplicate proposals are memoized by the
+/// driver and do not consume budget; the module gives up after a
+/// bounded number of consecutive duplicates (tiny spaces).
+///
+/// Proposals are a pure function of the seed — they never depend on
+/// observed objectives — so a batched (parallel) run visits exactly the
+/// same point stream as a sequential one.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
+    rng: SplitMix64,
+    stale: usize,
+    stale_limit: usize,
 }
 
 impl RandomSearch {
     /// Creates a random search with a deterministic seed.
     pub fn new(seed: u64) -> RandomSearch {
-        RandomSearch { seed }
+        RandomSearch {
+            seed,
+            rng: SplitMix64::new(seed),
+            stale: 0,
+            stale_limit: 64,
+        }
     }
 }
 
@@ -32,25 +42,25 @@ impl SearchModule for RandomSearch {
         "random"
     }
 
-    fn search(
-        &mut self,
-        space: &Space,
-        budget: usize,
-        evaluate: &mut dyn FnMut(&Point) -> Objective,
-    ) -> SearchOutcome {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut eval = Evaluator::new(budget, evaluate);
-        let mut stale = 0usize;
-        while !eval.done() && stale < budget.saturating_mul(4).max(64) {
-            let point = space.random_point(&mut rng);
-            let (_, fresh) = eval.eval(&point);
-            if fresh {
-                stale = 0;
-            } else {
-                stale += 1;
-            }
+    fn begin(&mut self, _space: &Space, budget: usize) {
+        self.rng = SplitMix64::new(self.seed);
+        self.stale = 0;
+        self.stale_limit = budget.saturating_mul(4).max(64);
+    }
+
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.stale >= self.stale_limit {
+            return None;
         }
-        eval.finish()
+        Some(space.random_point(&mut self.rng))
+    }
+
+    fn observe(&mut self, _point: &Point, _objective: Objective, fresh: bool) {
+        if fresh {
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
     }
 }
 
@@ -58,6 +68,7 @@ impl SearchModule for RandomSearch {
 mod tests {
     use super::*;
     use crate::testutil::*;
+    use locus_space::Space;
 
     #[test]
     fn respects_budget_and_finds_something() {
@@ -89,5 +100,16 @@ mod tests {
         let mut f = |_: &Point| Objective::Value(1.0);
         let out = RandomSearch::new(2).search(&space, 100, &mut f);
         assert_eq!(out.evaluations, 2, "only two distinct points exist");
+    }
+
+    #[test]
+    fn begin_resets_the_stream() {
+        let space = quadratic_space();
+        let mut m = RandomSearch::new(6);
+        m.begin(&space, 10);
+        let first: Vec<_> = (0..4).filter_map(|_| m.propose(&space)).collect();
+        m.begin(&space, 10);
+        let again: Vec<_> = (0..4).filter_map(|_| m.propose(&space)).collect();
+        assert_eq!(first, again);
     }
 }

@@ -22,8 +22,10 @@
 
 pub mod param;
 pub mod point;
+pub mod rng;
 pub mod space;
 
 pub use param::{ParamDef, ParamKind, ParamValue};
 pub use point::Point;
+pub use rng::SplitMix64;
 pub use space::Space;

@@ -1,7 +1,6 @@
 //! Search-space parameters: one per Locus search construct.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use crate::rng::SplitMix64;
 
 /// The kind (and domain) of one search parameter.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,19 +151,19 @@ impl ParamKind {
     }
 
     /// Samples a uniform random value (log-uniform for the log kinds).
-    pub fn random(&self, rng: &mut impl Rng) -> ParamValue {
+    pub fn random(&self, rng: &mut SplitMix64) -> ParamValue {
         match self {
             ParamKind::LogInteger { min, max } => {
                 let (lo, hi) = ((*min).max(1) as f64, (*max).max(1) as f64);
-                let v = (rng.random_range(lo.ln()..=hi.ln())).exp().round() as i64;
+                let v = rng.range_f64(lo.ln(), hi.ln()).exp().round() as i64;
                 ParamValue::Int(v.clamp(*min, *max))
             }
             ParamKind::LogFloat { min, max, .. } => {
                 let (lo, hi) = (min.max(1e-12).ln(), max.max(1e-12).ln());
-                ParamValue::Float(rng.random_range(lo..=hi).exp())
+                ParamValue::Float(rng.range_f64(lo, hi).exp())
             }
             _ => {
-                let idx = rng.random_range(0..self.cardinality().min(u64::MAX as u128) as u64);
+                let idx = rng.below(self.cardinality().min(u64::MAX as u128) as u64);
                 self.value_at(u128::from(idx))
             }
         }
@@ -172,18 +171,18 @@ impl ParamKind {
 
     /// Perturbs a value to a nearby one (the mutation step used by the
     /// local search techniques).
-    pub fn mutate(&self, value: &ParamValue, rng: &mut impl Rng) -> ParamValue {
+    pub fn mutate(&self, value: &ParamValue, rng: &mut SplitMix64) -> ParamValue {
         match (self, value) {
             (ParamKind::Integer { min, max }, ParamValue::Int(v))
             | (ParamKind::LogInteger { min, max }, ParamValue::Int(v)) => {
                 let span = ((max - min) / 8).max(1);
-                let delta = rng.random_range(-span..=span);
+                let delta = rng.range_i64(-span, span);
                 ParamValue::Int((v + delta).clamp(*min, *max))
             }
             (ParamKind::PowerOfTwo { min, max }, ParamValue::Int(v)) => {
                 let values = pow2_values(*min, *max);
                 let pos = values.iter().position(|x| x == v).unwrap_or(0);
-                let next = if rng.random_bool(0.5) {
+                let next = if rng.chance(0.5) {
                     pos.saturating_sub(1)
                 } else {
                     (pos + 1).min(values.len() - 1)
@@ -192,14 +191,14 @@ impl ParamKind {
             }
             (ParamKind::Permutation(n), ParamValue::Perm(p)) if *n >= 2 => {
                 let mut p = p.clone();
-                let a = rng.random_range(0..*n);
-                let b = rng.random_range(0..*n);
+                let a = rng.below_usize(*n);
+                let b = rng.below_usize(*n);
                 p.swap(a, b);
                 ParamValue::Perm(p)
             }
             (ParamKind::Float { min, max, .. }, ParamValue::Float(v)) => {
                 let delta = (max - min) / 16.0;
-                ParamValue::Float((v + rng.random_range(-delta..=delta)).clamp(*min, *max))
+                ParamValue::Float((v + rng.range_f64(-delta, delta)).clamp(*min, *max))
             }
             _ => self.random(rng),
         }
@@ -250,19 +249,18 @@ fn nth_permutation(n: usize, mut index: u128) -> Vec<usize> {
 }
 
 /// Uniformly samples a permutation (kept for symmetry with `random`).
-pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+pub fn random_permutation(n: usize, rng: &mut SplitMix64) -> Vec<usize> {
     let mut p: Vec<usize> = (0..n).collect();
-    p.shuffle(rng);
+    rng.shuffle(&mut p);
     p
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> impl Rng {
-        rand::rngs::StdRng::seed_from_u64(42)
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(42)
     }
 
     #[test]

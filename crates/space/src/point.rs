@@ -43,7 +43,13 @@ impl Point {
 
     /// A canonical string key for de-duplicating evaluated variants
     /// (the OpenTuner behaviour the paper credits for faster search).
-    pub fn dedup_key(&self) -> String {
+    ///
+    /// The key is a pure function of the `(id, value)` assignments —
+    /// insertion order never matters — so equal points always collide.
+    /// It doubles as the stable tie-break ordering of the parallel
+    /// evaluation engine: merged batch results compare by objective
+    /// first, canonical key second.
+    pub fn canonical_key(&self) -> String {
         let mut out = String::new();
         for (k, v) in &self.values {
             out.push_str(k);
@@ -62,6 +68,25 @@ impl Point {
             out.push(';');
         }
         out
+    }
+
+    /// [`Point::canonical_key`] under its historical name.
+    pub fn dedup_key(&self) -> String {
+        self.canonical_key()
+    }
+
+    /// A stable 64-bit FNV-1a digest of [`Point::canonical_key`], the
+    /// point half of the parallel engine's memo-cache key (the other
+    /// half is the variant region-hash computed by the core crate).
+    pub fn canonical_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for b in self.canonical_key().bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
     }
 }
 
@@ -98,6 +123,18 @@ mod tests {
         let mut c = a.clone();
         c.set("x", ParamValue::Int(2));
         assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn canonical_hash_tracks_canonical_key() {
+        let mut a = Point::new();
+        a.set("x", ParamValue::Int(1));
+        let mut b = Point::new();
+        b.set("x", ParamValue::Int(1));
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        b.set("x", ParamValue::Int(2));
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+        assert_eq!(a.dedup_key(), a.canonical_key());
     }
 
     #[test]

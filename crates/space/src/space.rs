@@ -1,8 +1,7 @@
 //! The optimization space: an ordered collection of parameters.
 
-use rand::{Rng, RngExt};
-
 use crate::param::ParamDef;
+use crate::rng::SplitMix64;
 use crate::point::Point;
 
 /// An optimization space.
@@ -86,7 +85,7 @@ impl Space {
     }
 
     /// Samples a uniform random point.
-    pub fn random_point(&self, rng: &mut impl Rng) -> Point {
+    pub fn random_point(&self, rng: &mut SplitMix64) -> Point {
         let mut point = Point::new();
         for p in &self.params {
             point.set(p.id.clone(), p.kind.random(rng));
@@ -95,13 +94,13 @@ impl Space {
     }
 
     /// Mutates `count` randomly chosen parameters of a point.
-    pub fn mutate(&self, point: &Point, count: usize, rng: &mut impl Rng) -> Point {
+    pub fn mutate(&self, point: &Point, count: usize, rng: &mut SplitMix64) -> Point {
         if self.params.is_empty() {
             return point.clone();
         }
         let mut out = point.clone();
         for _ in 0..count.max(1) {
-            let p = &self.params[rng.random_range(0..self.params.len())];
+            let p = &self.params[rng.below_usize(self.params.len())];
             let current = point
                 .get(&p.id)
                 .cloned()
@@ -112,10 +111,10 @@ impl Space {
     }
 
     /// Uniform crossover of two points.
-    pub fn crossover(&self, a: &Point, b: &Point, rng: &mut impl Rng) -> Point {
+    pub fn crossover(&self, a: &Point, b: &Point, rng: &mut SplitMix64) -> Point {
         let mut out = Point::new();
         for p in &self.params {
-            let pick = if rng.random_bool(0.5) { a } else { b };
+            let pick = if rng.chance(0.5) { a } else { b };
             let value = pick
                 .get(&p.id)
                 .cloned()
@@ -127,7 +126,7 @@ impl Space {
 
     /// Fills any missing parameters of `point` with random values (used
     /// when the space gained parameters after a program edit).
-    pub fn complete(&self, point: &Point, rng: &mut impl Rng) -> Point {
+    pub fn complete(&self, point: &Point, rng: &mut SplitMix64) -> Point {
         let mut out = point.clone();
         for p in &self.params {
             if out.get(&p.id).is_none() {
@@ -152,10 +151,10 @@ impl FromIterator<ParamDef> for Space {
 mod tests {
     use super::*;
     use crate::param::{ParamKind, ParamValue};
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64;
 
-    fn rng() -> impl Rng {
-        rand::rngs::StdRng::seed_from_u64(7)
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(7)
     }
 
     fn fig5_space() -> Space {

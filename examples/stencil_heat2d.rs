@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let system = LocusSystem::new(Machine::new(MachineConfig::scaled_small()));
-    let mut search = ExhaustiveSearch;
+    let mut search = ExhaustiveSearch::default();
     let result = system.tune(&source, &locus_program, &mut search, 8)?;
 
     println!(

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate. The workspace has no external dependencies, so everything
+# runs with --offline: a build that reaches for the network is a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

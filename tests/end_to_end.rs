@@ -47,7 +47,7 @@ fn fig5_program_end_to_end() {
     // paper's 25 + 1 semantic variants.
     assert_eq!(prepared.space.size(), 50);
 
-    let mut search = ExhaustiveSearch;
+    let mut search = ExhaustiveSearch::default();
     let result = system
         .tune(&source, &locus_program, &mut search, 64)
         .unwrap();
@@ -70,7 +70,7 @@ fn all_search_modules_tune_the_same_space() {
     .unwrap();
     let system = LocusSystem::new(small_machine(1));
     let mut modules: Vec<Box<dyn SearchModule>> = vec![
-        Box::new(ExhaustiveSearch),
+        Box::new(ExhaustiveSearch::default()),
         Box::new(RandomSearch::new(1)),
         Box::new(BanditTuner::new(1)),
         Box::new(AnnealTuner::new(1)),
@@ -113,7 +113,7 @@ fn variant_checksum_guard_rejects_wrong_code() {
     .unwrap();
     let mut system = LocusSystem::new(small_machine(1));
     system.check_legality = false; // expert override...
-    let mut search = ExhaustiveSearch;
+    let mut search = ExhaustiveSearch::default();
     let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
     // ...but the empirical result check catches the broken variant.
     assert!(result.best.is_none());
@@ -122,7 +122,7 @@ fn variant_checksum_guard_rejects_wrong_code() {
     // With legality checks on, the module itself refuses.
     let mut strict = LocusSystem::new(small_machine(1));
     strict.check_legality = true;
-    let mut search = ExhaustiveSearch;
+    let mut search = ExhaustiveSearch::default();
     let result = strict.tune(&source, &locus_program, &mut search, 4).unwrap();
     assert!(result.best.is_none());
 }

@@ -288,7 +288,7 @@ fn fusion_or_distribution_is_searchable() {
     )
     .unwrap();
     let system = LocusSystem::new(machine(1));
-    let mut search = locus::search::ExhaustiveSearch;
+    let mut search = locus::search::ExhaustiveSearch::default();
     let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
     assert_eq!(result.outcome.evaluations, 2);
     assert!(result.best.is_some());

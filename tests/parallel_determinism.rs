@@ -1,0 +1,219 @@
+//! The contract of the parallel engine ([`LocusSystem::tune_parallel`]):
+//! batched, multi-threaded variant evaluation with a shared memo cache
+//! returns the *same* best point, best objective, and evaluation count
+//! as the sequential driver, for any thread count.
+//!
+//! Why this holds: proposals are consumed in proposal order through the
+//! shared `Bookkeeper`, the batch size is fixed (16) regardless of the
+//! thread count, and threads only race on *measuring* — the merge loop
+//! that feeds observations back to the search module is sequential and
+//! deterministic.
+
+use locus::corpus::dgemm_program;
+use locus::machine::{Machine, MachineConfig};
+use locus::search::{ExhaustiveSearch, RandomSearch, SearchModule};
+use locus::system::LocusSystem;
+
+fn tiny_system(cores: usize) -> LocusSystem {
+    LocusSystem::new(Machine::new(MachineConfig::scaled_tiny().with_cores(cores)))
+}
+
+/// A small but non-trivial space: the Fig. 7 program with tiles capped
+/// at 4 (two tiling levels + OR block over OMP schedules).
+fn fig7_small() -> locus::lang::LocusProgram {
+    locus_bench::fig6::fig7_locus_program(4)
+}
+
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    best_key: Option<String>,
+    best_value: Option<u64>,
+    evaluations: usize,
+    invalid: usize,
+}
+
+fn fingerprint(result: &locus::system::TuneResult) -> Fingerprint {
+    Fingerprint {
+        best_key: result.best.as_ref().map(|(p, _, _)| p.canonical_key()),
+        best_value: result
+            .outcome
+            .best
+            .as_ref()
+            .map(|(_, v)| v.to_bits()),
+        evaluations: result.outcome.evaluations,
+        invalid: result.outcome.invalid,
+    }
+}
+
+/// `tune_parallel` with 1, 2, and 8 threads is bit-identical to the
+/// sequential `tune` under exhaustive search.
+#[test]
+fn parallel_matches_sequential_exhaustive() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 48;
+
+    let mut search = ExhaustiveSearch::default();
+    let sequential = system.tune(&source, &locus, &mut search, budget).unwrap();
+    let want = fingerprint(&sequential);
+    assert!(sequential.best.is_some(), "sequential run found a variant");
+
+    for threads in [1, 2, 8] {
+        let mut search = ExhaustiveSearch::default();
+        let parallel = system
+            .tune_parallel(&source, &locus, &mut search, budget, threads)
+            .unwrap();
+        assert_eq!(
+            fingerprint(&parallel),
+            want,
+            "threads={threads}: parallel driver diverged from sequential"
+        );
+    }
+}
+
+/// Same bit-identity under seeded random search: the proposal stream is
+/// observation-independent, so the driver (batched or not) must not
+/// perturb it.
+#[test]
+fn parallel_matches_sequential_random() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 40;
+    let seed = 0xdead;
+
+    let mut search = RandomSearch::new(seed);
+    let sequential = system.tune(&source, &locus, &mut search, budget).unwrap();
+    let want = fingerprint(&sequential);
+
+    for threads in [1, 2, 8] {
+        let mut search = RandomSearch::new(seed);
+        let parallel = system
+            .tune_parallel(&source, &locus, &mut search, budget, threads)
+            .unwrap();
+        assert_eq!(
+            fingerprint(&parallel),
+            want,
+            "threads={threads}: parallel driver diverged from sequential"
+        );
+    }
+}
+
+/// Thread-count invariance holds for observation-*dependent* modules
+/// too (bandit, anneal, portfolio): at a fixed batch size the
+/// observation order is deterministic, so any two thread counts agree
+/// with each other.
+#[test]
+fn thread_count_is_invariant_for_adaptive_modules() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 32;
+
+    type MakeSearch = Box<dyn Fn() -> Box<dyn SearchModule>>;
+    let mut make: Vec<(&str, MakeSearch)> = Vec::new();
+    make.push(("bandit", Box::new(|| Box::new(locus::search::BanditTuner::new(7)))));
+    make.push(("anneal", Box::new(|| Box::new(locus::search::AnnealTuner::new(7)))));
+    make.push((
+        "portfolio",
+        Box::new(|| Box::new(locus::search::PortfolioSearch::new(7))),
+    ));
+
+    for (name, factory) in &mut make {
+        let mut reference: Option<Fingerprint> = None;
+        for threads in [1, 2, 8] {
+            let mut search = factory();
+            let result = system
+                .tune_parallel(&source, &locus, search.as_mut(), budget, threads)
+                .unwrap();
+            let fp = fingerprint(&result);
+            match &reference {
+                None => reference = Some(fp),
+                Some(want) => assert_eq!(
+                    &fp, want,
+                    "{name}: threads={threads} diverged from threads=1"
+                ),
+            }
+        }
+    }
+}
+
+/// The shared memo cache actually dedups: exhaustive search over a
+/// space whose OR-block dead parameters collapse to few distinct
+/// variants must record variant-level hits, and duplicate points
+/// proposed twice must record point-level hits.
+#[test]
+fn memo_cache_sees_hits_on_duplicate_proposals() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+
+    // A stride small enough to sweep the fast-varying OR-block params:
+    // distinct points in the plain OR branch differ only in dead
+    // schedule/chunk values, so their direct programs collide at the
+    // variant level and are measured once.
+    let mut search = ExhaustiveSearch::default();
+    let (result, stats) = system
+        .tune_parallel_with_cache(&source, &locus, &mut search, 512, 4)
+        .unwrap();
+    assert!(result.best.is_some());
+    assert!(
+        stats.hits() >= 1,
+        "expected memo hits on duplicate variants, stats: {stats:?}"
+    );
+    assert!(
+        stats.unique_variants <= stats.unique_points,
+        "variant dedup can only shrink the measurement set: {stats:?}"
+    );
+
+    // A random walk re-proposing points also scores point-level hits.
+    let mut search = RandomSearch::new(3);
+    let (_, stats) = system
+        .tune_parallel_with_cache(&source, &locus, &mut search, 96, 2)
+        .unwrap();
+    assert!(
+        stats.hits() >= 1,
+        "expected point or variant hits under random re-proposals, stats: {stats:?}"
+    );
+}
+
+/// A caller-owned cache shared across a session replays earlier
+/// measurements without perturbing outcomes: a random search run against
+/// a cache pre-populated by an exhaustive sweep returns exactly what the
+/// same run returns standalone.
+#[test]
+fn shared_cache_replays_without_perturbing_outcomes() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+
+    let mut search = RandomSearch::new(11);
+    let standalone = system
+        .tune_parallel(&source, &locus, &mut search, 32, 2)
+        .unwrap();
+
+    let shared = locus::system::MemoCache::new();
+    let mut sweep = ExhaustiveSearch::default();
+    system
+        .tune_parallel_shared(&source, &locus, &mut sweep, 8192, 2, &shared)
+        .unwrap();
+    let before = shared.stats();
+
+    let mut search = RandomSearch::new(11);
+    let replayed = system
+        .tune_parallel_shared(&source, &locus, &mut search, 32, 2, &shared)
+        .unwrap();
+    let after = shared.stats();
+
+    assert_eq!(
+        fingerprint(&replayed),
+        fingerprint(&standalone),
+        "cached replay must match the standalone run bit for bit"
+    );
+    assert_eq!(
+        after.unique_variants, before.unique_variants,
+        "the sweep covered the space; the replay must measure nothing new"
+    );
+    assert!(after.hits() > before.hits(), "the replay must hit the cache");
+}

@@ -2,76 +2,95 @@
 //! interpreters must fail closed (errors, not UB), and less-traveled
 //! constructs (float search values, log-scaled ranges, nested parallel
 //! pragmas) behave sensibly.
+//!
+//! Fuzz loops are hand-rolled over the in-tree [`SplitMix64`] generator
+//! (offline-only build; see README "Testing").
 
-use proptest::prelude::*;
+use locus::space::SplitMix64;
 
 // ---- parsers never panic ----------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string over a broad printable alphabet (plus newlines), the
+/// deterministic stand-in for arbitrary fuzz input.
+fn random_garbage(rng: &mut SplitMix64, max_len: usize) -> String {
+    const ALPHABET: &[u8] =
+        b"abcxyzXYZ0123456789 \t\n(){}[];,.+-*/=<>!&|%#@\"'_\\~^?:$";
+    let len = rng.below_usize(max_len + 1);
+    (0..len)
+        .map(|_| ALPHABET[rng.below_usize(ALPHABET.len())] as char)
+        .collect()
+}
 
-    /// Arbitrary bytes: the mini-C parser returns Ok or Err, never
-    /// panics.
-    #[test]
-    fn minic_parser_is_panic_free(src in "\\PC*") {
-        let _ = locus::srcir::parse_program(&src);
+fn random_soup(rng: &mut SplitMix64, lexemes: &[&str], max_len: usize) -> String {
+    let len = rng.below_usize(max_len + 1);
+    (0..len)
+        .map(|_| lexemes[rng.below_usize(lexemes.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Arbitrary bytes: the mini-C parser returns Ok or Err, never panics.
+#[test]
+fn minic_parser_is_panic_free() {
+    let mut rng = SplitMix64::new(0xf022);
+    for _ in 0..256 {
+        let _ = locus::srcir::parse_program(&random_garbage(&mut rng, 120));
     }
+}
 
-    /// Arbitrary token soup assembled from the language's own lexemes.
-    #[test]
-    fn minic_parser_survives_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("for"), Just("if"), Just("else"), Just("while"),
-                Just("int"), Just("double"), Just("return"), Just("("),
-                Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
-                Just(";"), Just(","), Just("+"), Just("*"), Just("="),
-                Just("=="), Just("<"), Just("x"), Just("42"), Just("1.5"),
-                Just("#pragma @Locus loop=r\n"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = tokens.join(" ");
-        let _ = locus::srcir::parse_program(&src);
+/// Arbitrary token soup assembled from the language's own lexemes.
+#[test]
+fn minic_parser_survives_token_soup() {
+    const LEXEMES: [&str; 24] = [
+        "for", "if", "else", "while", "int", "double", "return", "(", ")", "{", "}", "[", "]",
+        ";", ",", "+", "*", "=", "==", "<", "x", "42", "1.5", "#pragma @Locus loop=r\n",
+    ];
+    let mut rng = SplitMix64::new(0x50a1);
+    for _ in 0..256 {
+        let _ = locus::srcir::parse_program(&random_soup(&mut rng, &LEXEMES, 60));
     }
+}
 
-    /// The Locus parser is equally panic-free.
-    #[test]
-    fn locus_parser_is_panic_free(src in "\\PC*") {
-        let _ = locus::lang::parse(&src);
+/// The Locus parser is equally panic-free.
+#[test]
+fn locus_parser_is_panic_free() {
+    let mut rng = SplitMix64::new(0xf0cb);
+    for _ in 0..256 {
+        let _ = locus::lang::parse(&random_garbage(&mut rng, 120));
     }
+}
 
-    #[test]
-    fn locus_parser_survives_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("CodeReg"), Just("OptSeq"), Just("Search"), Just("OR"),
-                Just("if"), Just("elif"), Just("else"), Just("def"),
-                Just("poweroftwo"), Just("integer"), Just("enum"),
-                Just("permutation"), Just("("), Just(")"), Just("{"),
-                Just("}"), Just("["), Just("]"), Just(";"), Just(","),
-                Just(".."), Just("."), Just("="), Just("*"), Just("x"),
-                Just("7"), Just("\"s\""),
-            ],
-            0..60,
-        )
-    ) {
-        let src = tokens.join(" ");
-        let _ = locus::lang::parse(&src);
+#[test]
+fn locus_parser_survives_token_soup() {
+    const LEXEMES: [&str; 27] = [
+        "CodeReg", "OptSeq", "Search", "OR", "if", "elif", "else", "def", "poweroftwo",
+        "integer", "enum", "permutation", "(", ")", "{", "}", "[", "]", ";", ",", "..", ".",
+        "=", "*", "x", "7", "\"s\"",
+    ];
+    let mut rng = SplitMix64::new(0x50a2);
+    for _ in 0..256 {
+        let _ = locus::lang::parse(&random_soup(&mut rng, &LEXEMES, 60));
     }
+}
 
-    /// Hierarchical indices round-trip through their string form.
-    #[test]
-    fn hier_index_round_trips(components in prop::collection::vec(0usize..30, 1..6)) {
+/// Hierarchical indices round-trip through their string form.
+#[test]
+fn hier_index_round_trips() {
+    let mut rng = SplitMix64::new(0x41d3);
+    for _ in 0..256 {
+        let components: Vec<usize> = (0..1 + rng.below_usize(5))
+            .map(|_| rng.below_usize(30))
+            .collect();
         let idx = locus::srcir::HierIndex::new(components.clone());
         let parsed: locus::srcir::HierIndex = idx.to_string().parse().unwrap();
-        prop_assert_eq!(idx, parsed);
+        assert_eq!(idx, parsed);
     }
+}
 
-    /// Region hashing is stable across print/parse round trips.
-    #[test]
-    fn region_hash_is_print_stable(n in 1usize..40) {
+/// Region hashing is stable across print/parse round trips.
+#[test]
+fn region_hash_is_print_stable() {
+    for n in 1usize..40 {
         let src = format!(
             "double A[64];\nvoid kernel() {{\n#pragma @Locus loop=r\nfor (int i = 0; i < {n}; i++) A[i] = 1.0;\n}}"
         );
@@ -79,10 +98,12 @@ proptest! {
         let p2 = locus::srcir::parse_program(&locus::srcir::print_program(&p1)).unwrap();
         let h = |p: &locus::srcir::ast::Program| {
             let regions = locus::srcir::region::find_regions(p);
-            let stmt = locus::srcir::region::extract_region(p, &regions[0]).unwrap().stmt;
+            let stmt = locus::srcir::region::extract_region(p, &regions[0])
+                .unwrap()
+                .stmt;
             locus::srcir::hash::hash_region(&stmt)
         };
-        prop_assert_eq!(h(&p1), h(&p2));
+        assert_eq!(h(&p1), h(&p2), "n = {n}");
     }
 }
 
@@ -116,8 +137,7 @@ fn float_and_log_constructs_flow_through_the_space() {
     ));
 
     // Random points decode through the interpreter.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::new(1);
     struct Capture(Vec<String>);
     impl locus::lang::TransformHost for Capture {
         fn call(
@@ -126,8 +146,7 @@ fn float_and_log_constructs_flow_through_the_space() {
             _f: &str,
             args: &[(Option<String>, locus::lang::Value)],
         ) -> Result<locus::lang::Value, locus::lang::HostError> {
-            self.0
-                .extend(args.iter().map(|(_, v)| v.to_string()));
+            self.0.extend(args.iter().map(|(_, v)| v.to_string()));
             Ok(locus::lang::Value::None)
         }
     }
@@ -216,8 +235,10 @@ fn runtime_errors_fail_closed_through_the_system() {
     let system = locus::system::LocusSystem::new(locus::machine::Machine::new(
         locus::machine::MachineConfig::scaled_small(),
     ));
-    let mut search = locus::search::ExhaustiveSearch;
-    let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
+    let mut search = locus::search::ExhaustiveSearch::default();
+    let result = system
+        .tune(&source, &locus_program, &mut search, 4)
+        .unwrap();
     // Alternative 0 fails (interchange on depth-1), alternative 1 works.
     assert_eq!(result.outcome.evaluations, 2);
     assert!(result.best.is_some());
