@@ -113,12 +113,7 @@ impl DependenceInfo {
         self.deps.iter().all(|dep| {
             let permuted: Vec<Direction> = perm
                 .iter()
-                .map(|&old| {
-                    dep.directions
-                        .get(old)
-                        .copied()
-                        .unwrap_or(Direction::Eq)
-                })
+                .map(|&old| dep.directions.get(old).copied().unwrap_or(Direction::Eq))
                 .collect();
             lex_nonnegative(&permuted)
         })
@@ -157,9 +152,7 @@ impl DependenceInfo {
         if !self.available {
             return false;
         }
-        self.deps
-            .iter()
-            .all(|dep| dep.src_stmt <= dep.dst_stmt)
+        self.deps.iter().all(|dep| dep.src_stmt <= dep.dst_stmt)
     }
 
     /// `true` when no dependence is carried by any loop (every dependence
@@ -544,11 +537,7 @@ fn test_pair(
 /// GCD test: does `gcd(coeffs)` divide `delta`?
 /// Returns `true` when a dependence may exist.
 fn gcd_test(coeffs: &[i64], delta: i64) -> bool {
-    let g = coeffs
-        .iter()
-        .copied()
-        .filter(|c| *c != 0)
-        .fold(0i64, gcd);
+    let g = coeffs.iter().copied().filter(|c| *c != 0).fold(0i64, gcd);
     if g == 0 {
         return delta == 0;
     }
@@ -603,7 +592,9 @@ fn normalize(a: &Access, b: &Access, directions: Vec<Direction>, levels: usize) 
         };
         // Same-statement, same-iteration "dependence" of an access with
         // itself is meaningless.
-        if class == std::cmp::Ordering::Equal && src.stmt == dst.stmt && src.is_write == dst.is_write
+        if class == std::cmp::Ordering::Equal
+            && src.stmt == dst.stmt
+            && src.is_write == dst.is_write
         {
             if !(src.is_write && dst.is_write) {
                 return;
@@ -626,9 +617,7 @@ fn normalize(a: &Access, b: &Access, directions: Vec<Direction>, levels: usize) 
         });
     });
     let _ = levels;
-    out.sort_by(|x, y| {
-        format!("{:?}", x).cmp(&format!("{:?}", y))
-    });
+    out.sort_by(|x, y| format!("{:?}", x).cmp(&format!("{:?}", y)));
     out.dedup();
     out
 }

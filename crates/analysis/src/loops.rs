@@ -270,7 +270,8 @@ mod tests {
     #[test]
     fn canonicalizes_common_forms() {
         for step_src in ["i++", "i += 2", "i = i + 3"] {
-            let src = format!("void f(int n) {{ for (int i = 0; i < n; {step_src}) {{ n = n; }} }}");
+            let src =
+                format!("void f(int n) {{ for (int i = 0; i < n; {step_src}) {{ n = n; }} }}");
             let l = canonicalize(&first_stmt(&src)).unwrap();
             assert_eq!(l.var, "i");
             assert!(l.declares_var);

@@ -27,7 +27,9 @@ pub fn mkl_like_dgemm(n: usize, config: &MachineConfig) -> Program {
     let mut program = locus_corpus_dgemm(n);
     let regions = find_regions(&program);
     let region = &regions[0];
-    let mut stmt = extract_region(&program, region).expect("region exists").stmt;
+    let mut stmt = extract_region(&program, region)
+        .expect("region exists")
+        .stmt;
 
     // Blocking analysis: the inner tile of C (bi x bj doubles) plus a
     // row of A and a column strip of B must fit L1; choose the largest
@@ -56,8 +58,12 @@ pub fn mkl_like_dgemm(n: usize, config: &MachineConfig) -> Program {
     }
     insert_ivdep(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
     insert_vector_always(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
-    insert_omp_for(&mut stmt, &LoopSel::parse("0").expect("valid selector"), None)
-        .expect("outermost exists");
+    insert_omp_for(
+        &mut stmt,
+        &LoopSel::parse("0").expect("valid selector"),
+        None,
+    )
+    .expect("outermost exists");
 
     replace_region(&mut program, region, stmt);
     program

@@ -112,7 +112,10 @@ impl PlutoLike {
             if outcome == PlutoOutcome::Transformed {
                 let mut candidate = out.clone();
                 replace_region(&mut candidate, &region, stmt);
-                let ok = match (baseline_checksum, machine.run(&candidate, entry_of(&candidate))) {
+                let ok = match (
+                    baseline_checksum,
+                    machine.run(&candidate, entry_of(&candidate)),
+                ) {
                     (Some(expect), Ok(m)) => m.checksum == expect,
                     _ => false,
                 };
@@ -191,8 +194,7 @@ impl PlutoLike {
                     let _ = tile(stmt, &HierIndex::new(idx), &sizes, true);
                     transformed = true;
                 }
-            } else if self.tile < min_extent
-                && tile(stmt, &HierIndex::root(), &sizes, true).is_ok()
+            } else if self.tile < min_extent && tile(stmt, &HierIndex::root(), &sizes, true).is_ok()
             {
                 transformed = true;
             }
@@ -238,13 +240,14 @@ impl PlutoLike {
         if self.parallelize {
             // Outermost loop is marked parallel when the model *proves*
             // it carries no dependence.
-            let outer_parallel = deps.available
-                && deps
-                    .deps
-                    .iter()
-                    .all(|d| d.carrier_level() != Some(0));
+            let outer_parallel =
+                deps.available && deps.deps.iter().all(|d| d.carrier_level() != Some(0));
             if outer_parallel {
-                let _ = insert_omp_for(stmt, &LoopSel::parse("0").unwrap_or(LoopSel::Outermost), None);
+                let _ = insert_omp_for(
+                    stmt,
+                    &LoopSel::parse("0").unwrap_or(LoopSel::Outermost),
+                    None,
+                );
                 transformed = true;
             }
         }
@@ -337,8 +340,7 @@ mod tests {
 
     #[test]
     fn stencils_get_skewed_tiling() {
-        let program =
-            locus_corpus::stencil_program(locus_corpus::Stencil::Heat1d, 64, 8);
+        let program = locus_corpus::stencil_program(locus_corpus::Stencil::Heat1d, 64, 8);
         let m = machine();
         let (optimized, outcomes) = PlutoLike::tiling_only().optimize(&program, &m);
         assert_eq!(outcomes, vec![PlutoOutcome::Transformed]);

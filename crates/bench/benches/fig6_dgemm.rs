@@ -41,7 +41,9 @@ fn main() {
     let point = fig7_point();
 
     bench_function("fig6_dgemm/prepare", || {
-        system.prepare(black_box(&source), black_box(&locus)).unwrap()
+        system
+            .prepare(black_box(&source), black_box(&locus))
+            .unwrap()
     });
     bench_function("fig6_dgemm/build_variant", || {
         system

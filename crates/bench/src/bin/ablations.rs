@@ -56,7 +56,13 @@ fn ablation_program_optimizer() {
         "{}",
         render_table(
             "Ablation 1: Sec. IV-C program optimizer (space size per nest)",
-            &["nest", "depth", "affine", "space (opt off)", "space (opt on)"],
+            &[
+                "nest",
+                "depth",
+                "affine",
+                "space (opt off)",
+                "space (opt on)"
+            ],
             &rows
         )
     );

@@ -1,0 +1,42 @@
+//! Benchmarks the persistent tuning store: the Fig. 6 DGEMM tuning
+//! session run cold (empty store) and warm (rehydrated from the cold
+//! session's records) and writes the cold-vs-warm wall-clock ratio to
+//! `BENCH_store.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_store
+//! [output.json]` (threads via `LOCUS_THREADS`, default 8).
+
+use locus_bench::store::{run_store, to_json};
+
+fn main() {
+    let threads = std::env::var("LOCUS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+
+    eprintln!("cold vs warm store-backed tuning, {threads} worker threads");
+    let rows = run_store(threads);
+    for r in &rows {
+        println!(
+            "{:<26} {:<18} budget {:>5}  cold {:>8.3}s ({} evals)  warm {:>8.3}s \
+             ({} evals, {} store hits)  cold/warm {:>6.2}x  store {:>7} B  identical_best {}",
+            r.label,
+            r.search,
+            r.budget,
+            r.cold_s,
+            r.cold.evaluations(),
+            r.warm_s,
+            r.warm.evaluations(),
+            r.warm.store_hits(),
+            r.ratio,
+            r.store_bytes,
+            r.identical_best,
+        );
+    }
+
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+}

@@ -28,15 +28,19 @@ fn main() {
         "{}",
         render_table(
             "Kripke: hand-optimized vs Locus-generated (simulated ms)",
-            &["kernel", "layout", "hand", "Locus", "ratio", "results match"],
+            &[
+                "kernel",
+                "layout",
+                "hand",
+                "Locus",
+                "ratio",
+                "results match"
+            ],
             &table
         )
     );
 
-    let worst = rows
-        .iter()
-        .map(|r| r.ratio())
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
     let mismatches = rows.iter().filter(|r| !r.results_match).count();
     println!(
         "Worst Locus/hand ratio: {worst:.2} (paper: \"very close\"); result mismatches: {mismatches}"

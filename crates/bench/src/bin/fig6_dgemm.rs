@@ -45,12 +45,8 @@ fn main() {
     );
 
     let best = result.rows.last().expect("rows");
-    let avg_ratio: f64 = result
-        .rows
-        .iter()
-        .map(|r| r.locus / r.pluto)
-        .sum::<f64>()
-        / result.rows.len() as f64;
+    let avg_ratio: f64 =
+        result.rows.iter().map(|r| r.locus / r.pluto).sum::<f64>() / result.rows.len() as f64;
     println!("Locus/Pluto mean ratio: {avg_ratio:.2}x  (paper: 3.45x on the Xeon)");
     println!(
         "Locus at {} cores: {:.1}x  (paper: 553x over its 1-core baseline at 2048^3)",

@@ -45,7 +45,13 @@ fn main() {
         "{}",
         render_table(
             "Table I: loop nests and variants assessed (paper columns vs this run)",
-            &["benchmark", "paper nests", "paper variants", "our nests", "our variants"],
+            &[
+                "benchmark",
+                "paper nests",
+                "paper variants",
+                "our nests",
+                "our variants"
+            ],
             &rows
         )
     );

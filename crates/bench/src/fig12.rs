@@ -3,7 +3,9 @@
 
 use locus_core::LocusSystem;
 use locus_corpus::kripke::{layout_loop_order, placeholder_index};
-use locus_corpus::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+use locus_corpus::{
+    kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS,
+};
 use locus_space::{ParamValue, Point};
 
 use crate::bench_machine;
@@ -147,7 +149,8 @@ mod tests {
                 .run(&kripke_hand_optimized(kernel, layout), "kernel")
                 .unwrap();
             assert_eq!(
-                locus_m.checksum, hand_m.checksum,
+                locus_m.checksum,
+                hand_m.checksum,
                 "{layout}: Locus and hand-optimized must agree\n{}",
                 locus_srcir::print_program(&variant)
             );

@@ -70,7 +70,13 @@ pub struct DgemmResult {
 /// search (Fig. 7 program), Pluto with fixed tiles, and the MKL-like
 /// oracle; speedups are over the single-core naive baseline, as in the
 /// paper.
-pub fn run_dgemm(n: usize, budget: usize, cores: &[usize], seed: u64, max_tile: i64) -> DgemmResult {
+pub fn run_dgemm(
+    n: usize,
+    budget: usize,
+    cores: &[usize],
+    seed: u64,
+    max_tile: i64,
+) -> DgemmResult {
     let source = dgemm_program(n);
     let locus = fig7_locus_program(max_tile);
 
@@ -119,7 +125,11 @@ pub fn run_dgemm(n: usize, budget: usize, cores: &[usize], seed: u64, max_tile: 
 /// The paper's Fig. 9 stencil optimization program (Skewing-1 generic
 /// tiling + vectorization pragmas), with the skew factor range scaled to
 /// the simulated problem sizes.
-pub fn fig9_locus_program(stencil: Stencil, min_skew: i64, max_skew: i64) -> locus_lang::LocusProgram {
+pub fn fig9_locus_program(
+    stencil: Stencil,
+    min_skew: i64,
+    max_skew: i64,
+) -> locus_lang::LocusProgram {
     let id = stencil.region_id();
     let tmat = match stencil.dims() {
         1 => "[[skew1, 0], [0 - skew1, skew1]]",

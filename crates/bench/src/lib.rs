@@ -7,6 +7,7 @@
 //! | [`fig12`] | Fig. 12: Kripke — Locus-generated vs hand-optimized versions across the six data layouts |
 //! | [`table1`] | Table I + the Sec. V-D summary statistics over the synthetic extraction corpus |
 //! | [`parallel`] | The parallel batched-evaluation engine vs the sequential driver (BENCH_parallel.json) |
+//! | [`store`] | Cold vs warm store-backed tuning sessions (BENCH_store.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -22,6 +23,7 @@ pub mod fig12;
 pub mod fig6;
 pub mod parallel;
 pub mod report;
+pub mod store;
 pub mod table1;
 pub mod timer;
 

@@ -103,7 +103,10 @@ fn compare_session(threads: usize) -> ParallelRow {
         // searches that re-propose inside it.
         (8192, Box::new(|| Box::new(ExhaustiveSearch::default()))),
         (512, Box::new(|| Box::new(RandomSearch::new(7)))),
-        (512, Box::new(|| Box::new(locus_search::BanditTuner::new(1)))),
+        (
+            512,
+            Box::new(|| Box::new(locus_search::BanditTuner::new(1))),
+        ),
     ];
     let budget: usize = runs.iter().map(|(b, _)| b).sum();
 
@@ -169,12 +172,20 @@ pub fn run_parallel(threads: usize) -> Vec<ParallelRow> {
         // sweeps the fast-varying OR-block params, so most points in the
         // plain branch are dead-param duplicates of an already-measured
         // variant.
-        compare("fig7 dgemm exhaustive", "ExhaustiveSearch", 2048, threads, || {
-            Box::new(ExhaustiveSearch::default())
-        }),
-        compare("fig7 dgemm random", "RandomSearch(seed 7)", 256, threads, || {
-            Box::new(RandomSearch::new(7))
-        }),
+        compare(
+            "fig7 dgemm exhaustive",
+            "ExhaustiveSearch",
+            2048,
+            threads,
+            || Box::new(ExhaustiveSearch::default()),
+        ),
+        compare(
+            "fig7 dgemm random",
+            "RandomSearch(seed 7)",
+            256,
+            threads,
+            || Box::new(RandomSearch::new(7)),
+        ),
         compare_session(threads),
     ]
 }
@@ -182,7 +193,9 @@ pub fn run_parallel(threads: usize) -> Vec<ParallelRow> {
 /// Renders the rows as a JSON document (hand-rolled; the workspace has
 /// no serde).
 pub fn to_json(rows: &[ParallelRow]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"tune_parallel vs tune (fig7 dgemm)\",\n  \"rows\": [\n");
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"tune_parallel vs tune (fig7 dgemm)\",\n  \"rows\": [\n",
+    );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             concat!(

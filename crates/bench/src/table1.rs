@@ -149,8 +149,7 @@ pub fn run_table1(seed: u64, per_suite_cap: usize, budget: usize) -> Table1Resul
 
     let mut per_suite = Vec::new();
     for suite in TABLE1_SUITES {
-        let mine: Vec<&NestResult> =
-            nests.iter().filter(|n| n.suite == suite.name).collect();
+        let mine: Vec<&NestResult> = nests.iter().filter(|n| n.suite == suite.name).collect();
         if !mine.is_empty() {
             per_suite.push((
                 suite.name.to_string(),

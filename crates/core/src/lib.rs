@@ -26,14 +26,18 @@
 
 pub mod memo;
 pub mod registry;
+pub mod report;
 pub mod subst;
 pub mod suggest;
 pub mod system;
 
 pub use memo::{MemoCache, MemoStats};
 pub use registry::{RegionHost, SnippetProvider};
-pub use suggest::{profile_region, suggest_program, RegionProfile};
+pub use report::TuneReport;
+pub use suggest::{
+    profile_region, suggest_program, suggest_with_store, RegionProfile, MAX_SUGGEST_DISTANCE,
+};
 pub use system::{
-    check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, TuneResult,
-    VariantOutcome, PARALLEL_BATCH,
+    check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, TuneResult, VariantOutcome,
+    PARALLEL_BATCH, WARM_START_K,
 };

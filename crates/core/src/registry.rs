@@ -104,9 +104,7 @@ pub fn run_query(stmt: &Stmt, module: &str, func: &str) -> Option<Value> {
         ("BuiltIn", "IsPerfectLoopNest") => {
             Some(Value::from(tx::queries::is_perfect_loop_nest(stmt)))
         }
-        ("BuiltIn", "LoopNestDepth") => {
-            Some(Value::Int(tx::queries::loop_nest_depth(stmt) as i64))
-        }
+        ("BuiltIn", "LoopNestDepth") => Some(Value::Int(tx::queries::loop_nest_depth(stmt) as i64)),
         ("BuiltIn", "ListInnerLoops") => Some(Value::List(
             tx::queries::list_inner_loops(stmt)
                 .into_iter()
@@ -295,9 +293,8 @@ fn arg_matrix(
                 Value::List(items) | Value::Tuple(items) => items
                     .iter()
                     .map(|v| {
-                        v.as_int().ok_or_else(|| {
-                            TransformError::error("matrix entries must be integers")
-                        })
+                        v.as_int()
+                            .ok_or_else(|| TransformError::error("matrix entries must be integers"))
                     })
                     .collect(),
                 _ => Err(TransformError::error("matrix rows must be lists")),
@@ -344,9 +341,10 @@ fn arg_loops(
 fn loops_from_value(stmt: &Stmt, value: &Value) -> Result<Vec<HierIndex>, TransformError> {
     match value {
         Value::Str(s) => LoopSel::parse(s)?.resolve(stmt),
-        Value::Int(level) => LoopSel::Level(usize::try_from(*level).map_err(|_| {
-            TransformError::error("loop level must be positive")
-        })?)
+        Value::Int(level) => LoopSel::Level(
+            usize::try_from(*level)
+                .map_err(|_| TransformError::error("loop level must be positive"))?,
+        )
         .resolve(stmt),
         Value::List(items) | Value::Tuple(items) => {
             let mut out = Vec::new();
@@ -377,15 +375,14 @@ fn arg_single_loop(
     Ok(loops.remove(0))
 }
 
-fn arg_loop_sel(
-    args: &[(Option<String>, Value)],
-    name: &str,
-) -> Result<LoopSel, TransformError> {
+fn arg_loop_sel(args: &[(Option<String>, Value)], name: &str) -> Result<LoopSel, TransformError> {
     match find_arg(args, name, 0) {
         Some(Value::Str(s)) => LoopSel::parse(s),
-        Some(Value::Int(level)) => Ok(LoopSel::Level(usize::try_from(*level).map_err(
-            |_| TransformError::error("loop level must be positive"),
-        )?)),
+        Some(Value::Int(level)) => {
+            Ok(LoopSel::Level(usize::try_from(*level).map_err(|_| {
+                TransformError::error("loop level must be positive")
+            })?))
+        }
         Some(other) => Err(TransformError::error(format!(
             "loop selector must be a string or level, got {}",
             other.type_name()
@@ -394,19 +391,13 @@ fn arg_loop_sel(
     }
 }
 
-fn arg_schedule(
-    args: &[(Option<String>, Value)],
-) -> Result<Option<OmpSchedule>, TransformError> {
+fn arg_schedule(args: &[(Option<String>, Value)]) -> Result<Option<OmpSchedule>, TransformError> {
     let kind = match args.iter().find(|(n, _)| n.as_deref() == Some("schedule")) {
         None => return Ok(None),
         Some((_, Value::Str(s))) => match s.as_str() {
             "static" => OmpScheduleKind::Static,
             "dynamic" => OmpScheduleKind::Dynamic,
-            other => {
-                return Err(TransformError::error(format!(
-                    "unknown schedule `{other}`"
-                )))
-            }
+            other => return Err(TransformError::error(format!("unknown schedule `{other}`"))),
         },
         Some((_, other)) => {
             return Err(TransformError::error(format!(
@@ -467,7 +458,10 @@ mod tests {
             &mut host,
             "RoseLocus",
             "Interchange",
-            vec![(Some("order"), Value::List(vec![0.into(), 2.into(), 1.into()]))],
+            vec![(
+                Some("order"),
+                Value::List(vec![0.into(), 2.into(), 1.into()]),
+            )],
         )
         .unwrap();
         call(
@@ -621,7 +615,10 @@ mod tests {
             &mut host,
             "RoseLocus",
             "Tiling",
-            vec![(Some("loop"), Value::Int(1)), (Some("factor"), Value::Int(4))],
+            vec![
+                (Some("loop"), Value::Int(1)),
+                (Some("factor"), Value::Int(4)),
+            ],
         )
         .unwrap();
         assert_eq!(locus_analysis::loops::all_loops(host.stmt).len(), 4);

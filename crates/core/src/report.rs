@@ -1,0 +1,49 @@
+//! Session accounting for store-backed tuning runs.
+
+use crate::memo::MemoStats;
+
+/// What a store-backed tuning session did, beyond the [`TuneResult`]:
+/// how much work the persistent store saved it, and how much it gave
+/// back.
+///
+/// The three mutually exclusive ways a proposal gets an objective are
+/// [`TuneReport::evaluations`] (measured now),
+/// [`TuneReport::memo_hits`] (measured earlier *this* session) and
+/// [`TuneReport::store_hits`] (measured in a *prior* session and
+/// rehydrated from disk). A warm repeat of an unchanged session performs
+/// zero evaluations — every proposal is a store hit.
+///
+/// [`TuneResult`]: crate::system::TuneResult
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneReport {
+    /// Counters of the run's shared memo cache.
+    pub memo: MemoStats,
+    /// Evaluation records rehydrated from the store into the cache
+    /// before the search started.
+    pub rehydrated: usize,
+    /// Prior observations fed to `SearchModule::seed_observations`.
+    pub seeded: usize,
+    /// Fresh evaluation records appended to the store by this session.
+    pub appended: usize,
+    /// Stale evaluation records dropped by the coherence check (regions
+    /// edited since they were recorded).
+    pub invalidated: usize,
+}
+
+impl TuneReport {
+    /// Actual measurements performed this session.
+    pub fn evaluations(&self) -> usize {
+        self.memo.misses
+    }
+
+    /// Proposals answered by this session's own earlier measurements
+    /// (either cache level, including within-batch coalescing).
+    pub fn memo_hits(&self) -> usize {
+        self.memo.point_hits + self.memo.variant_hits
+    }
+
+    /// Proposals answered by measurements a prior session persisted.
+    pub fn store_hits(&self) -> usize {
+        self.memo.store_hits
+    }
+}

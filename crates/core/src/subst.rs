@@ -50,9 +50,7 @@ fn collect_needed_block(block: &LBlock, needed: &mut HashSet<String>) {
 
 fn collect_needed_stmt(stmt: &LStmt, needed: &mut HashSet<String>) {
     match stmt {
-        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => {
-            collect_search_args(e, needed)
-        }
+        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => collect_search_args(e, needed),
         LStmt::Assign { value, .. } => collect_search_args(value, needed),
         LStmt::Optional { stmt, .. } => collect_needed_stmt(stmt, needed),
         LStmt::Block(b) => collect_needed_block(b, needed),
@@ -146,7 +144,9 @@ fn propagate_stmt(stmt: &LStmt, needed: &mut HashSet<String>) {
                 propagate_block(b, needed);
             }
         }
-        LStmt::For { init, step, body, .. } => {
+        LStmt::For {
+            init, step, body, ..
+        } => {
             propagate_stmt(init, needed);
             propagate_stmt(step, needed);
             propagate_block(body, needed);
@@ -369,9 +369,7 @@ mod tests {
             ("BuiltIn", "LoopNestDepth") => Some(Value::Int(3)),
             ("BuiltIn", "IsPerfectLoopNest") => Some(Value::from(true)),
             ("RoseLocus", "IsDepAvailable") => Some(Value::from(true)),
-            ("BuiltIn", "ListInnerLoops") => {
-                Some(Value::List(vec![Value::from("0.0.0")]))
-            }
+            ("BuiltIn", "ListInnerLoops") => Some(Value::List(vec![Value::from("0.0.0")])),
             _ => None,
         }
     }

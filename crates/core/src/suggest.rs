@@ -9,9 +9,16 @@
 
 use std::fmt::Write as _;
 
+use locus_lang::ast::LItem;
 use locus_srcir::ast::Stmt;
+use locus_store::{RegionShape, TuningStore};
 
 use locus_transform::queries;
+
+/// Maximum structural distance ([`RegionShape::distance`]) at which a
+/// stored session still counts as "similar enough" for recipe
+/// retrieval.
+pub const MAX_SUGGEST_DISTANCE: u32 = 3;
 
 /// What the suggester learned about a region.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +34,20 @@ pub struct RegionProfile {
     /// Whether every innermost loop is already provably vectorizable
     /// (pragmas would be redundant).
     pub vectorizable: bool,
+}
+
+impl RegionProfile {
+    /// The store's serialized form of this profile — the retrieval key
+    /// of persisted session records.
+    pub fn shape(&self) -> RegionShape {
+        RegionShape {
+            depth: self.depth,
+            perfect: self.perfect,
+            deps_available: self.deps_available,
+            inner_loops: self.inner_loops,
+            vectorizable: self.vectorizable,
+        }
+    }
 }
 
 /// Analyzes a region root.
@@ -83,7 +104,11 @@ pub fn suggest_program(region_id: &str, stmt: &Stmt) -> String {
         }
         if profile.perfect && profile.depth > 1 {
             push("{");
-            push("    indexT1 = integer(1..LoopDepth);".replace("LoopDepth", &profile.depth.to_string()).as_str());
+            push(
+                "    indexT1 = integer(1..LoopDepth);"
+                    .replace("LoopDepth", &profile.depth.to_string())
+                    .as_str(),
+            );
             push("    T1fac = poweroftwo(2..32);");
             push("    RoseLocus.Tiling(loop=indexT1, factor=T1fac);");
             push("} OR {");
@@ -114,6 +139,46 @@ pub fn suggest_program(region_id: &str, stmt: &Stmt) -> String {
     push("RoseLocus.Unroll(loop=innerloops, factor=poweroftwo(2..8));");
 
     format!("CodeReg {region_id} {{\n{body}}}\n")
+}
+
+/// Store-backed suggestion: before falling back to the static
+/// [`suggest_program`] recipe, retrieve the winning recipe of the
+/// structurally nearest region a prior session tuned
+/// ([`TuningStore::nearest_session`], matched on loop depth, perfect
+/// nesting, dependence availability, inner-loop count and
+/// vectorizability, within [`MAX_SUGGEST_DISTANCE`]), retargeted to
+/// `region_id` and prefixed with a provenance comment. The retrieved
+/// recipe is *direct* (search-free) — it encodes a known-good outcome,
+/// which the user can run as-is or reopen into a search.
+pub fn suggest_with_store(region_id: &str, stmt: &Stmt, store: &TuningStore) -> String {
+    let profile = profile_region(stmt);
+    let retrieved = store
+        .nearest_session(&profile.shape(), MAX_SUGGEST_DISTANCE)
+        .and_then(|(session, distance)| {
+            retarget_recipe(&session.recipe, region_id).map(|recipe| {
+                format!(
+                    "# retrieved from tuning store: region `{}` (shape distance {}, \
+                     best {:.6} ms, search `{}`)\n{}",
+                    session.region, distance, session.best_ms, session.search, recipe
+                )
+            })
+        });
+    retrieved.unwrap_or_else(|| suggest_program(region_id, stmt))
+}
+
+/// Re-targets a stored recipe at a new region: parse, rename every
+/// `CodeReg`, re-print. `None` when the stored text no longer parses
+/// (e.g. written by a newer language version) — callers fall back.
+fn retarget_recipe(recipe: &str, region_id: &str) -> Option<String> {
+    let mut program = locus_lang::parse(recipe).ok()?;
+    let mut renamed = false;
+    for item in &mut program.items {
+        if let LItem::CodeReg { name, .. } = item {
+            *name = region_id.to_string();
+            renamed = true;
+        }
+    }
+    renamed.then(|| locus_lang::print_program(&program))
 }
 
 #[cfg(test)]
@@ -187,8 +252,73 @@ mod tests {
             locus_machine::MachineConfig::scaled_small().with_cores(1),
         ));
         let mut search = locus_search::BanditTuner::new(5);
-        let result = system.tune(&program, &locus_program, &mut search, 8).unwrap();
+        let result = system
+            .tune(&program, &locus_program, &mut search, 8)
+            .unwrap();
         assert!(result.best.is_some());
+    }
+
+    #[test]
+    fn suggest_retrieves_nearest_stored_recipe_and_falls_back() {
+        use locus_store::{SessionRecord, StoreKey};
+
+        let stmt = region_of(
+            r#"double C[8][8]; double A[8][8]; double B[8][8];
+            void kernel() {
+                #pragma @Locus loop=mm
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++)
+                        for (int k = 0; k < 8; k++)
+                            C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        );
+        let path = std::env::temp_dir().join(format!(
+            "locus-suggest-store-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let mut store = TuningStore::open(&path).unwrap();
+        let key = StoreKey::new(vec![("mm".into(), 0x1)], 0x2, 0x3);
+        store
+            .append_session(
+                &key,
+                SessionRecord {
+                    region: "mm".into(),
+                    shape: profile_region(&stmt).shape(),
+                    best_point: "tileI=i16;".into(),
+                    best_ms: 1.25,
+                    recipe: "CodeReg mm {\n    RoseLocus.Interchange(order=[0, 2, 1]);\n}\n".into(),
+                    search: "bandit".into(),
+                },
+            )
+            .unwrap();
+
+        // A structurally identical region retrieves the stored recipe,
+        // retargeted at its own name.
+        let text = suggest_with_store("other", &stmt, &store);
+        assert!(text.contains("retrieved from tuning store"), "{text}");
+        let parsed = locus_lang::parse(&text).unwrap();
+        assert_eq!(parsed.codereg_names(), vec!["other"]);
+        assert!(text.contains("Interchange"), "{text}");
+
+        // A structurally alien region (flat, non-affine) is farther than
+        // MAX_SUGGEST_DISTANCE and falls back to the static recipe.
+        let scatter = region_of(
+            r#"double A[64]; int idx[64];
+            void kernel() {
+                #pragma @Locus loop=scatter
+                for (int i = 0; i < 64; i++)
+                    A[idx[i]] = A[idx[i]] + 1.0;
+            }"#,
+        );
+        let fallback = suggest_with_store("scatter", &scatter, &store);
+        assert!(
+            !fallback.contains("retrieved from tuning store"),
+            "{fallback}"
+        );
+        assert!(fallback.contains("RoseLocus.Unroll"), "{fallback}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

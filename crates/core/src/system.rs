@@ -15,13 +15,20 @@ use locus_srcir::ast::Program;
 use locus_srcir::hash::{hash_region, RegionHash};
 use locus_srcir::region::{extract_region, find_regions, replace_region};
 
+use locus_store::{EvalRecord, SessionRecord, StoreKey, TuningStore};
+
 use crate::memo::{MemoCache, MemoStats};
 use crate::registry::{is_query, run_query, RegionHost};
+use crate::report::TuneReport;
 
 /// Number of proposals drawn per batch by the parallel engine. Fixed —
 /// independent of the worker count — so a run's proposal stream, and
 /// with it the tuning result, is identical for 1, 2 or 8 threads.
 pub const PARALLEL_BATCH: usize = 16;
+
+/// How many prior points a store-backed session feeds to
+/// [`SearchModule::seed_observations`] when warm-starting.
+pub const WARM_START_K: usize = 8;
 
 /// Errors of the orchestration layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +39,8 @@ pub enum ApplyError {
     Extract(String),
     /// Interpreting the optimization program failed.
     Locus(String),
+    /// The persistent tuning store could not be read or written.
+    Store(String),
 }
 
 impl fmt::Display for ApplyError {
@@ -42,6 +51,7 @@ impl fmt::Display for ApplyError {
             }
             ApplyError::Extract(m) => write!(f, "space extraction failed: {m}"),
             ApplyError::Locus(m) => write!(f, "optimization program failed: {m}"),
+            ApplyError::Store(m) => write!(f, "tuning store failed: {m}"),
         }
     }
 }
@@ -89,11 +99,16 @@ impl TuneResult {
     /// Speedup of the shipped result over the baseline. The system is
     /// non-prescriptive (Sec. II): when the best variant does not beat
     /// the baseline, the baseline itself ships, so the speedup never
-    /// drops below 1.0.
+    /// drops below 1.0. Degenerate measurements — a zero or near-zero
+    /// time on either side, as an empty kernel produces — report 1.0
+    /// rather than infinity, and the ratio is clamped so the value is
+    /// always finite.
     pub fn speedup(&self) -> f64 {
+        const EPS: f64 = 1e-12;
+        const MAX_SPEEDUP: f64 = 1e12;
         match &self.best {
-            Some((_, _, m)) if m.time_ms > 0.0 => {
-                (self.baseline.time_ms / m.time_ms).max(1.0)
+            Some((_, _, m)) if m.time_ms > EPS && self.baseline.time_ms.is_finite() => {
+                (self.baseline.time_ms / m.time_ms).clamp(1.0, MAX_SPEEDUP)
             }
             _ => 1.0,
         }
@@ -142,11 +157,7 @@ impl LocusSystem {
     ///
     /// Returns [`ApplyError::Extract`] when a search construct cannot be
     /// statically bounded even after query substitution.
-    pub fn prepare(
-        &self,
-        source: &Program,
-        locus: &LocusProgram,
-    ) -> Result<Prepared, ApplyError> {
+    pub fn prepare(&self, source: &Program, locus: &LocusProgram) -> Result<Prepared, ApplyError> {
         let mut locus = locus.clone();
         let regions = find_regions(source);
 
@@ -401,6 +412,66 @@ impl LocusSystem {
         Ok((result, cache.stats()))
     }
 
+    /// The store-backed search workflow: [`LocusSystem::tune_parallel`]
+    /// against a persistent [`TuningStore`], closing the loop the paper
+    /// opens in Sec. II (shipping tuning results for reuse). Before the
+    /// search starts the driver:
+    ///
+    /// 1. **checks coherence** — store entries recorded for region
+    ///    contents that have since been edited are invalidated
+    ///    ([`TuningStore::invalidate_stale`]); entries of unchanged
+    ///    sibling regions stay live;
+    /// 2. **rehydrates** the session's [`MemoCache`] with every prior
+    ///    evaluation of this exact `(regions, machine, space)` context,
+    ///    so previously assessed proposals are answered from disk — a
+    ///    repeat session over unchanged code re-measures nothing;
+    /// 3. **warm-starts** the search module with the store's
+    ///    [`WARM_START_K`] best prior points via
+    ///    [`SearchModule::seed_observations`].
+    ///
+    /// Every fresh measurement is appended to the store, along with a
+    /// session summary (region profile, winning point, and the direct
+    /// recipe it denotes) that [`crate::suggest::suggest_with_store`]
+    /// retrieves for structurally similar regions.
+    ///
+    /// Determinism: prior points are fed best-first with canonical-key
+    /// tie-breaks and objectives are persisted bit-exactly, so the same
+    /// store file plus the same search seed reproduce the same
+    /// trajectory and the same best point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails, the baseline
+    /// cannot be measured, or ([`ApplyError::Store`]) the store cannot
+    /// be written.
+    pub fn tune_parallel_with_store(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        store: &mut TuningStore,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
+        let cache = MemoCache::new();
+        self.tune_parallel_driver(source, locus, search, budget, threads, &cache, Some(store))
+    }
+
+    /// The [`StoreKey`] a tuning session of `source` under `prepared`
+    /// files its records under: the hashes of the regions the program
+    /// actually matches, plus machine and space digests.
+    pub fn store_key(&self, source: &Program, prepared: &Prepared) -> StoreKey {
+        let regions = matched_regions(source, prepared);
+        StoreKey::new(
+            regions
+                .into_iter()
+                .map(|(id, hash, _)| (id, hash))
+                .collect(),
+            self.machine.digest(),
+            prepared.space.digest(),
+        )
+    }
+
     /// [`LocusSystem::tune_parallel`] against a caller-owned
     /// [`MemoCache`], so several tuning runs of one session — different
     /// search modules or seeds over the same source and machine — share
@@ -426,6 +497,25 @@ impl LocusSystem {
         threads: usize,
         cache: &MemoCache,
     ) -> Result<TuneResult, ApplyError> {
+        self.tune_parallel_driver(source, locus, search, budget, threads, cache, None)
+            .map(|(result, _)| result)
+    }
+
+    /// The shared parallel driver behind every `tune_parallel*` entry
+    /// point. With a store, the session is bracketed by rehydration /
+    /// warm-start on the way in and append-back on the way out; the
+    /// batch loop itself is identical either way.
+    #[allow(clippy::too_many_arguments)]
+    fn tune_parallel_driver(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        cache: &MemoCache,
+        mut store: Option<&mut TuningStore>,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
         let prepared = self.prepare(source, locus)?;
@@ -434,8 +524,33 @@ impl LocusSystem {
             .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?;
         let expected = baseline.checksum;
         let threads = threads.max(1);
+        let mut report = TuneReport::default();
+
+        // Store session prologue: coherence check, cache rehydration.
+        let store_key = store.as_ref().map(|_| self.store_key(source, &prepared));
+        if let (Some(store), Some(key)) = (store.as_deref_mut(), store_key.as_ref()) {
+            let current: HashMap<String, u64> = region_hashes(source)
+                .into_iter()
+                .map(|(id, hash)| (id, hash.0))
+                .collect();
+            report.invalidated = store.invalidate_stale(&current);
+            for record in store.evals(key) {
+                cache.seed(&record.point_key, record.variant, record.objective);
+                report.rehydrated += 1;
+            }
+        }
 
         search.begin(&prepared.space, budget);
+        if let (Some(store), Some(key)) = (store.as_deref(), store_key.as_ref()) {
+            let prior = store.top_k(key, WARM_START_K);
+            report.seeded = prior.len();
+            if !prior.is_empty() {
+                search.seed_observations(&prepared.space, &prior);
+            }
+        }
+        let search_name = search.name().to_string();
+        let mut fresh_records: Vec<EvalRecord> = Vec::new();
+
         let mut book = locus_search::Bookkeeper::new(budget);
         'driver: while !book.done() {
             let batch = search.propose_batch(&prepared.space, PARALLEL_BATCH);
@@ -449,12 +564,10 @@ impl LocusSystem {
             let mut to_measure: Vec<(u64, Point)> = Vec::new();
             let mut measuring = std::collections::HashSet::new();
             for point in &batch {
-                let variant = locus_srcir::hash::fnv1a(
-                    self.direct_program(&prepared, point).as_bytes(),
-                );
+                let variant =
+                    locus_srcir::hash::fnv1a(self.direct_program(&prepared, point).as_bytes());
                 batch_variant.push(variant);
-                if cache.lookup_point(point).is_some() || cache.lookup_variant(variant).is_some()
-                {
+                if cache.lookup_point(point).is_some() || cache.lookup_variant(variant).is_some() {
                     continue;
                 }
                 if measuring.insert(variant) {
@@ -471,7 +584,7 @@ impl LocusSystem {
                 let work = &to_measure;
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
-                let results: Vec<Mutex<Option<Objective>>> =
+                let results: Vec<Mutex<Option<(Objective, MeasureSummary)>>> =
                     work.iter().map(|_| Mutex::new(None)).collect();
                 let results = &results;
                 let prepared_ref = &prepared;
@@ -483,29 +596,58 @@ impl LocusSystem {
                             let Some((_, point)) = work.get(i) else {
                                 break;
                             };
-                            let objective = match sys.evaluate_point(
+                            let start = std::time::Instant::now();
+                            let (objective, mut summary) = match sys.evaluate_point(
                                 source,
                                 prepared_ref,
                                 point,
                                 Some(expected),
                             ) {
                                 VariantOutcome::Measured(boxed) => {
-                                    Objective::Value(boxed.1.time_ms)
+                                    let m = &boxed.1;
+                                    (
+                                        Objective::Value(m.time_ms),
+                                        MeasureSummary {
+                                            cycles: m.cycles,
+                                            ops: m.ops,
+                                            flops: m.flops,
+                                            checksum: m.checksum,
+                                            wall_ms: 0.0,
+                                        },
+                                    )
                                 }
-                                VariantOutcome::Invalid(_) => Objective::Invalid,
-                                VariantOutcome::Failed(_) => Objective::Error,
+                                VariantOutcome::Invalid(_) => {
+                                    (Objective::Invalid, MeasureSummary::default())
+                                }
+                                VariantOutcome::Failed(_) => {
+                                    (Objective::Error, MeasureSummary::default())
+                                }
                             };
-                            *results[i].lock().expect("result slot") = Some(objective);
+                            summary.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                            *results[i].lock().expect("result slot") = Some((objective, summary));
                         });
                     }
                 });
                 for ((variant, point), slot) in work.iter().zip(results) {
-                    let objective = slot
+                    let (objective, summary) = slot
                         .lock()
                         .expect("result slot")
                         .expect("worker filled every dealt slot");
                     cache.note_miss();
                     cache.insert(point, *variant, objective);
+                    if store.is_some() {
+                        fresh_records.push(EvalRecord {
+                            point_key: point.canonical_key(),
+                            variant: *variant,
+                            objective,
+                            cycles: summary.cycles,
+                            ops: summary.ops,
+                            flops: summary.flops,
+                            checksum: summary.checksum,
+                            search: search_name.clone(),
+                            wall_ms: summary.wall_ms,
+                        });
+                    }
                 }
             }
 
@@ -536,13 +678,79 @@ impl LocusSystem {
             }
         });
 
-        Ok(TuneResult {
-            outcome,
-            baseline,
-            best,
-            space_size: prepared.space.size(),
-        })
+        // Store session epilogue: persist fresh measurements and a
+        // session summary (region profile + winning recipe) the
+        // suggester can retrieve later.
+        if let (Some(store), Some(key)) = (store, store_key.as_ref()) {
+            report.appended = store
+                .append_evals(key, &fresh_records)
+                .map_err(|e| ApplyError::Store(e.to_string()))?;
+            if let Some((point, _, m)) = &best {
+                let recipe = self.direct_program(&prepared, point);
+                for (id, _, stmt) in matched_regions(source, &prepared) {
+                    let profile = crate::suggest::profile_region(&stmt);
+                    store
+                        .append_session(
+                            key,
+                            SessionRecord {
+                                region: id,
+                                shape: profile.shape(),
+                                best_point: point.canonical_key(),
+                                best_ms: m.time_ms,
+                                recipe: recipe.clone(),
+                                search: search_name.clone(),
+                            },
+                        )
+                        .map_err(|e| ApplyError::Store(e.to_string()))?;
+                }
+            }
+        }
+        report.memo = cache.stats();
+
+        Ok((
+            TuneResult {
+                outcome,
+                baseline,
+                best,
+                space_size: prepared.space.size(),
+            },
+            report,
+        ))
     }
+}
+
+/// Measurement summary workers hand back alongside the objective — the
+/// payload of the store's evaluation records.
+#[derive(Debug, Clone, Copy, Default)]
+struct MeasureSummary {
+    cycles: f64,
+    ops: u64,
+    flops: u64,
+    checksum: u64,
+    wall_ms: f64,
+}
+
+/// The regions of `source` the prepared program actually matches, as
+/// `(id, content hash, region root)` triples sorted by id — the region
+/// component of a session's [`StoreKey`].
+fn matched_regions(
+    source: &Program,
+    prepared: &Prepared,
+) -> Vec<(String, u64, locus_srcir::ast::Stmt)> {
+    let mut out: Vec<(String, u64, locus_srcir::ast::Stmt)> = Vec::new();
+    for region in find_regions(source) {
+        if prepared.locus.codereg(&region.id).is_none() {
+            continue;
+        }
+        if out.iter().any(|(id, _, _)| id == &region.id) {
+            continue;
+        }
+        if let Some(code) = extract_region(source, &region) {
+            out.push((region.id.clone(), hash_region(&code.stmt).0, code.stmt));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 /// Checks stored region hashes against the current source (the coherence
@@ -578,7 +786,8 @@ pub fn region_hashes(source: &Program) -> HashMap<String, RegionHash> {
     let mut out = HashMap::new();
     for r in find_regions(source) {
         if let Some(code) = extract_region(source, &r) {
-            out.entry(r.id.clone()).or_insert_with(|| hash_region(&code.stmt));
+            out.entry(r.id.clone())
+                .or_insert_with(|| hash_region(&code.stmt));
         }
     }
     out
@@ -751,10 +960,108 @@ mod tests {
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("matmul"));
 
-        let removed = parse_program(&MATMUL_SRC.replace("#pragma @Locus loop=matmul\n", ""))
-            .unwrap();
+        let removed =
+            parse_program(&MATMUL_SRC.replace("#pragma @Locus loop=matmul\n", "")).unwrap();
         let warnings = check_coherence(&removed, &hashes);
         assert!(warnings[0].contains("no longer exists"));
+    }
+
+    #[test]
+    fn store_backed_sessions_skip_prior_measurements() {
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let locus = locus_lang::parse(
+            r#"CodeReg matmul {
+                tileI = poweroftwo(4..16);
+                Pips.Tiling(loop="0", factor=[tileI, tileI, tileI]);
+            }"#,
+        )
+        .unwrap();
+        let sys = system();
+        let path = std::env::temp_dir().join(format!(
+            "locus-core-store-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&path).ok();
+
+        let (cold, cold_report) = {
+            let mut store = TuningStore::open(&path).unwrap();
+            let mut search = locus_search::ExhaustiveSearch::default();
+            sys.tune_parallel_with_store(&source, &locus, &mut search, 8, 2, &mut store)
+                .unwrap()
+        };
+        assert!(cold_report.evaluations() > 0);
+        assert_eq!(cold_report.store_hits(), 0);
+        assert_eq!(cold_report.appended, cold_report.evaluations());
+
+        // Re-open the file cold: a brand-new session must answer every
+        // proposal from disk.
+        let (warm, warm_report) = {
+            let mut store = TuningStore::open(&path).unwrap();
+            let mut search = locus_search::ExhaustiveSearch::default();
+            sys.tune_parallel_with_store(&source, &locus, &mut search, 8, 2, &mut store)
+                .unwrap()
+        };
+        assert_eq!(
+            warm_report.evaluations(),
+            0,
+            "warm session re-measures nothing"
+        );
+        assert_eq!(warm_report.store_hits(), cold_report.evaluations());
+        assert_eq!(warm_report.rehydrated, cold_report.appended);
+        assert_eq!(warm_report.appended, 0);
+
+        let (cold_point, _, cold_m) = cold.best.as_ref().expect("cold best");
+        let (warm_point, _, warm_m) = warm.best.as_ref().expect("warm best");
+        assert_eq!(cold_point.canonical_key(), warm_point.canonical_key());
+        assert_eq!(cold_m.time_ms.to_bits(), warm_m.time_ms.to_bits());
+        assert_eq!(
+            cold.outcome.best.as_ref().unwrap().1.to_bits(),
+            warm.outcome.best.as_ref().unwrap().1.to_bits(),
+            "replayed objective is bit-identical"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn speedup_is_finite_for_degenerate_measurements() {
+        fn measurement(time_ms: f64) -> Measurement {
+            Measurement {
+                cycles: time_ms * 1e6,
+                time_ms,
+                ops: 1,
+                flops: 1,
+                cache: Default::default(),
+                checksum: 0,
+            }
+        }
+        let source = parse_program(MATMUL_SRC).unwrap();
+        let result = |baseline_ms: f64, best_ms: f64| TuneResult {
+            outcome: locus_search::SearchOutcome {
+                best: Some((Point::new(), best_ms)),
+                evaluations: 1,
+                invalid: 0,
+                duplicates: 0,
+                history: vec![(1, best_ms)],
+            },
+            baseline: measurement(baseline_ms),
+            best: Some((Point::new(), source.clone(), measurement(best_ms))),
+            space_size: 1,
+        };
+
+        // Zero-time baseline (empty kernel): no infinity, no panic.
+        assert_eq!(result(0.0, 0.0).speedup(), 1.0);
+        assert_eq!(result(0.0, 2.0).speedup(), 1.0);
+        // Sub-epsilon variant time is degenerate, not an infinite win.
+        assert_eq!(result(1.0, 1e-300).speedup(), 1.0);
+        // A tiny-but-measurable variant time is clamped, still finite.
+        let huge = result(1e3, 1e-11).speedup();
+        assert!(huge.is_finite(), "speedup must never be infinite");
+        assert_eq!(huge, 1e12, "clamped at the ceiling");
+        // Ordinary case unchanged.
+        assert_eq!(result(4.0, 2.0).speedup(), 2.0);
+        // Slower-than-baseline best still reports 1.0 (baseline ships).
+        assert_eq!(result(1.0, 2.0).speedup(), 1.0);
     }
 
     #[test]

@@ -51,8 +51,7 @@ mod tests {
     #[test]
     fn runs_on_the_machine() {
         let p = dgemm_program(16);
-        let machine =
-            locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
+        let machine = locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
         let m = machine.run(&p, "kernel").unwrap();
         assert!(m.flops >= 16 * 16 * 16);
     }

@@ -29,22 +29,86 @@ pub struct SuiteSpec {
 /// Table I of the paper: the 16 suites, their selected-nest counts and
 /// assessed-variant counts.
 pub const TABLE1_SUITES: [SuiteSpec; 16] = [
-    SuiteSpec { name: "ALPBench", selected: 13, variants_assessed: 39 },
-    SuiteSpec { name: "ASC Sequoia", selected: 1, variants_assessed: 3 },
-    SuiteSpec { name: "Cortexsuite", selected: 47, variants_assessed: 1_297 },
-    SuiteSpec { name: "FreeBench", selected: 30, variants_assessed: 431 },
-    SuiteSpec { name: "Parallel Research Kernels", selected: 37, variants_assessed: 1_055 },
-    SuiteSpec { name: "Livermore Loops", selected: 11, variants_assessed: 121 },
-    SuiteSpec { name: "MediaBench", selected: 39, variants_assessed: 159 },
-    SuiteSpec { name: "Netlib", selected: 18, variants_assessed: 260 },
-    SuiteSpec { name: "NAS Parallel Benchmarks", selected: 208, variants_assessed: 23_384 },
-    SuiteSpec { name: "Polybench", selected: 93, variants_assessed: 7_582 },
-    SuiteSpec { name: "Scimark2", selected: 4, variants_assessed: 83 },
-    SuiteSpec { name: "SPEC2000", selected: 71, variants_assessed: 2_228 },
-    SuiteSpec { name: "SPEC2006", selected: 50, variants_assessed: 216 },
-    SuiteSpec { name: "Extended TSVC", selected: 156, variants_assessed: 6_943 },
-    SuiteSpec { name: "Libraries", selected: 61, variants_assessed: 1_966 },
-    SuiteSpec { name: "Neural Network Kernels", selected: 17, variants_assessed: 132 },
+    SuiteSpec {
+        name: "ALPBench",
+        selected: 13,
+        variants_assessed: 39,
+    },
+    SuiteSpec {
+        name: "ASC Sequoia",
+        selected: 1,
+        variants_assessed: 3,
+    },
+    SuiteSpec {
+        name: "Cortexsuite",
+        selected: 47,
+        variants_assessed: 1_297,
+    },
+    SuiteSpec {
+        name: "FreeBench",
+        selected: 30,
+        variants_assessed: 431,
+    },
+    SuiteSpec {
+        name: "Parallel Research Kernels",
+        selected: 37,
+        variants_assessed: 1_055,
+    },
+    SuiteSpec {
+        name: "Livermore Loops",
+        selected: 11,
+        variants_assessed: 121,
+    },
+    SuiteSpec {
+        name: "MediaBench",
+        selected: 39,
+        variants_assessed: 159,
+    },
+    SuiteSpec {
+        name: "Netlib",
+        selected: 18,
+        variants_assessed: 260,
+    },
+    SuiteSpec {
+        name: "NAS Parallel Benchmarks",
+        selected: 208,
+        variants_assessed: 23_384,
+    },
+    SuiteSpec {
+        name: "Polybench",
+        selected: 93,
+        variants_assessed: 7_582,
+    },
+    SuiteSpec {
+        name: "Scimark2",
+        selected: 4,
+        variants_assessed: 83,
+    },
+    SuiteSpec {
+        name: "SPEC2000",
+        selected: 71,
+        variants_assessed: 2_228,
+    },
+    SuiteSpec {
+        name: "SPEC2006",
+        selected: 50,
+        variants_assessed: 216,
+    },
+    SuiteSpec {
+        name: "Extended TSVC",
+        selected: 156,
+        variants_assessed: 6_943,
+    },
+    SuiteSpec {
+        name: "Libraries",
+        selected: 61,
+        variants_assessed: 1_966,
+    },
+    SuiteSpec {
+        name: "Neural Network Kernels",
+        selected: 17,
+        variants_assessed: 132,
+    },
 ];
 
 /// One extracted loop nest: its provenance and the runnable program.
@@ -78,10 +142,7 @@ pub fn generate_corpus(seed: u64, per_suite_cap: usize) -> Vec<CorpusNest> {
     for suite in TABLE1_SUITES {
         let count = suite.selected.min(per_suite_cap);
         for k in 0..count {
-            let name = format!(
-                "{}_{k}",
-                suite.name.to_lowercase().replace(' ', "_")
-            );
+            let name = format!("{}_{k}", suite.name.to_lowercase().replace(' ', "_"));
             out.push(generate_nest(&mut rng, suite.name, name));
         }
     }
@@ -120,7 +181,13 @@ fn generate_nest(rng: &mut SplitMix64, suite: &'static str, name: String) -> Cor
     }
 }
 
-fn build_nest(rng: &mut SplitMix64, depth: usize, perfect: bool, affine: bool, n: usize) -> Program {
+fn build_nest(
+    rng: &mut SplitMix64,
+    depth: usize,
+    perfect: bool,
+    affine: bool,
+    n: usize,
+) -> Program {
     let body_kind = rng.below(4);
     let src = match (depth, perfect) {
         (1, _) => {
@@ -280,8 +347,7 @@ mod tests {
 
     #[test]
     fn every_nest_has_a_scop_region_and_runs() {
-        let machine =
-            locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
+        let machine = locus_machine::Machine::new(locus_machine::MachineConfig::scaled_small());
         for nest in generate_corpus(7, 2) {
             let regions = find_regions(&nest.program);
             assert_eq!(regions.len(), 1, "{}", nest.name);
@@ -293,7 +359,11 @@ mod tests {
                     locus_srcir::print_program(&nest.program)
                 )
             });
-            assert!(m.cycles > 10_000.0, "{} too fast (paper's floor)", nest.name);
+            assert!(
+                m.cycles > 10_000.0,
+                "{} too fast (paper's floor)",
+                nest.name
+            );
         }
     }
 

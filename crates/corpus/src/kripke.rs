@@ -116,62 +116,160 @@ struct KernelSpec {
 
 fn spec(kernel: KripkeKernel) -> KernelSpec {
     let globals_phi = concat!(
-        "double phi[1024];\n",     // NM*NG*NZ = 4*8*32
+        "double phi[1024];\n", // NM*NG*NZ = 4*8*32
         "double phi_out[1024];\n",
-        "double psi[1536];\n",     // ND*NG*NZ = 6*8*32
+        "double psi[1536];\n", // ND*NG*NZ = 6*8*32
         "double rhs[1536];\n",
-        "double ell[24];\n",       // NM*ND
-        "double ell_plus[24];\n",  // ND*NM
-        "double sigs[64];\n",      // NG*NG
-        "double sigt[256];\n",     // NG*NZ
+        "double ell[24];\n",      // NM*ND
+        "double ell_plus[24];\n", // ND*NM
+        "double sigs[64];\n",     // NG*NG
+        "double sigt[256];\n",    // NG*NZ
     );
     match kernel {
         KripkeKernel::LTimes => KernelSpec {
             loops: vec![
-                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
-                LoopSpec { var: "d", axis: Axis::D, extent: ND },
-                LoopSpec { var: "g", axis: Axis::G, extent: NG },
-                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+                LoopSpec {
+                    var: "nm",
+                    axis: Axis::D,
+                    extent: NM,
+                },
+                LoopSpec {
+                    var: "d",
+                    axis: Axis::D,
+                    extent: ND,
+                },
+                LoopSpec {
+                    var: "g",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "z",
+                    axis: Axis::Z,
+                    extent: NZ,
+                },
             ],
             accesses: vec![
-                Access3d { array: "phi", a: "nm", a_extent: NM, g: "g", z: "z", tag: "out" },
-                Access3d { array: "psi", a: "d", a_extent: ND, g: "g", z: "z", tag: "in" },
+                Access3d {
+                    array: "phi",
+                    a: "nm",
+                    a_extent: NM,
+                    g: "g",
+                    z: "z",
+                    tag: "out",
+                },
+                Access3d {
+                    array: "psi",
+                    a: "d",
+                    a_extent: ND,
+                    g: "g",
+                    z: "z",
+                    tag: "in",
+                },
             ],
             stmt: "phi[out_idx] += ell[nm * 6 + d] * psi[in_idx];",
             globals: globals_phi,
         },
         KripkeKernel::LPlusTimes => KernelSpec {
             loops: vec![
-                LoopSpec { var: "d", axis: Axis::D, extent: ND },
-                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
-                LoopSpec { var: "g", axis: Axis::G, extent: NG },
-                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+                LoopSpec {
+                    var: "d",
+                    axis: Axis::D,
+                    extent: ND,
+                },
+                LoopSpec {
+                    var: "nm",
+                    axis: Axis::D,
+                    extent: NM,
+                },
+                LoopSpec {
+                    var: "g",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "z",
+                    axis: Axis::Z,
+                    extent: NZ,
+                },
             ],
             accesses: vec![
-                Access3d { array: "rhs", a: "d", a_extent: ND, g: "g", z: "z", tag: "out" },
-                Access3d { array: "phi_out", a: "nm", a_extent: NM, g: "g", z: "z", tag: "in" },
+                Access3d {
+                    array: "rhs",
+                    a: "d",
+                    a_extent: ND,
+                    g: "g",
+                    z: "z",
+                    tag: "out",
+                },
+                Access3d {
+                    array: "phi_out",
+                    a: "nm",
+                    a_extent: NM,
+                    g: "g",
+                    z: "z",
+                    tag: "in",
+                },
             ],
             stmt: "rhs[out_idx] += ell_plus[d * 4 + nm] * phi_out[in_idx];",
             globals: globals_phi,
         },
         KripkeKernel::Scattering => KernelSpec {
             loops: vec![
-                LoopSpec { var: "nm", axis: Axis::D, extent: NM },
-                LoopSpec { var: "g", axis: Axis::G, extent: NG },
-                LoopSpec { var: "gp", axis: Axis::G, extent: NG },
-                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+                LoopSpec {
+                    var: "nm",
+                    axis: Axis::D,
+                    extent: NM,
+                },
+                LoopSpec {
+                    var: "g",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "gp",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "z",
+                    axis: Axis::Z,
+                    extent: NZ,
+                },
             ],
             accesses: vec![
-                Access3d { array: "phi_out", a: "nm", a_extent: NM, g: "g", z: "z", tag: "out" },
-                Access3d { array: "phi", a: "nm", a_extent: NM, g: "gp", z: "z", tag: "in" },
+                Access3d {
+                    array: "phi_out",
+                    a: "nm",
+                    a_extent: NM,
+                    g: "g",
+                    z: "z",
+                    tag: "out",
+                },
+                Access3d {
+                    array: "phi",
+                    a: "nm",
+                    a_extent: NM,
+                    g: "gp",
+                    z: "z",
+                    tag: "in",
+                },
             ],
             stmt: "phi_out[out_idx] += sigs[g * 8 + gp] * phi[in_idx];",
             globals: globals_phi,
         },
         KripkeKernel::Source => KernelSpec {
             loops: vec![
-                LoopSpec { var: "g", axis: Axis::G, extent: NG },
-                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+                LoopSpec {
+                    var: "g",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "z",
+                    axis: Axis::Z,
+                    extent: NZ,
+                },
             ],
             accesses: vec![Access3d {
                 array: "phi_out",
@@ -186,13 +284,39 @@ fn spec(kernel: KripkeKernel) -> KernelSpec {
         },
         KripkeKernel::Sweep => KernelSpec {
             loops: vec![
-                LoopSpec { var: "d", axis: Axis::D, extent: ND },
-                LoopSpec { var: "g", axis: Axis::G, extent: NG },
-                LoopSpec { var: "z", axis: Axis::Z, extent: NZ },
+                LoopSpec {
+                    var: "d",
+                    axis: Axis::D,
+                    extent: ND,
+                },
+                LoopSpec {
+                    var: "g",
+                    axis: Axis::G,
+                    extent: NG,
+                },
+                LoopSpec {
+                    var: "z",
+                    axis: Axis::Z,
+                    extent: NZ,
+                },
             ],
             accesses: vec![
-                Access3d { array: "psi", a: "d", a_extent: ND, g: "g", z: "z", tag: "out" },
-                Access3d { array: "rhs", a: "d", a_extent: ND, g: "g", z: "z", tag: "in" },
+                Access3d {
+                    array: "psi",
+                    a: "d",
+                    a_extent: ND,
+                    g: "g",
+                    z: "z",
+                    tag: "out",
+                },
+                Access3d {
+                    array: "rhs",
+                    a: "d",
+                    a_extent: ND,
+                    g: "g",
+                    z: "z",
+                    tag: "in",
+                },
             ],
             stmt: "psi[out_idx] = (rhs[in_idx] + psi[out_idx]) / (2.0 + sigt[g * 32 + z]);",
             globals: globals_phi,
@@ -442,7 +566,9 @@ mod tests {
         for k in KripkeKernel::ALL {
             let p = kripke_skeleton(k);
             let region = &find_regions(&p)[0];
-            let stmt = locus_srcir::region::extract_region(&p, region).unwrap().stmt;
+            let stmt = locus_srcir::region::extract_region(&p, region)
+                .unwrap()
+                .stmt;
             let idx: locus_srcir::HierIndex = placeholder_index(k).parse().unwrap();
             let placeholder = idx.resolve(&stmt).expect("placeholder resolves");
             assert!(matches!(

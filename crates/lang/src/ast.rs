@@ -240,14 +240,20 @@ pub enum LExpr {
     /// `dict(key=value, ...)`.
     Dict(Vec<(String, LExpr)>),
     /// `base.name`.
-    Attr { base: Box<LExpr>, name: String },
+    Attr {
+        base: Box<LExpr>,
+        name: String,
+    },
     /// `callee(args)`.
     Call {
         callee: Box<LExpr>,
         args: Vec<LArg>,
     },
     /// `base[index]`.
-    Index { base: Box<LExpr>, index: Box<LExpr> },
+    Index {
+        base: Box<LExpr>,
+        index: Box<LExpr>,
+    },
     /// `lo..hi` (optionally `lo..hi..step`).
     Range {
         lo: Box<LExpr>,
@@ -269,7 +275,10 @@ pub enum LExpr {
         args: Vec<LExpr>,
     },
     /// `a OR b OR c` — an alternative-choice search construct.
-    OrExpr { serial: usize, options: Vec<LExpr> },
+    OrExpr {
+        serial: usize,
+        options: Vec<LExpr>,
+    },
 }
 
 impl LExpr {

@@ -445,9 +445,7 @@ impl<'a> Interp<'a> {
                     (Value::List(items), Value::Int(i)) => {
                         let i = i as usize;
                         if i >= items.len() {
-                            return Err(LocusError::Type(format!(
-                                "list index {i} out of range"
-                            )));
+                            return Err(LocusError::Type(format!("list index {i} out of range")));
                         }
                         items[i] = value;
                         Ok(())
@@ -579,10 +577,7 @@ impl<'a> Interp<'a> {
                     None => 1,
                 };
                 Ok(Value::List(
-                    (lo..=hi)
-                        .step_by(step as usize)
-                        .map(Value::Int)
-                        .collect(),
+                    (lo..=hi).step_by(step as usize).map(Value::Int).collect(),
                 ))
             }
             LExpr::Neg(inner) => match self.eval(inner)? {
@@ -806,10 +801,7 @@ impl<'a> Interp<'a> {
                         Value::Str(s) => s.len(),
                         Value::Dict(d) => d.len(),
                         other => {
-                            return Err(LocusError::Type(format!(
-                                "len() of {}",
-                                other.type_name()
-                            )))
+                            return Err(LocusError::Type(format!("len() of {}", other.type_name())))
                         }
                     };
                     return Ok(Value::Int(n as i64));
@@ -920,55 +912,47 @@ pub(crate) fn binary_values(op: LBinOp, l: Value, r: Value) -> Result<Value, Loc
                     .ok_or_else(|| type_err(&l, &r))?,
             ),
         },
-        LBinOp::Sub | LBinOp::Mul | LBinOp::Div | LBinOp::Rem | LBinOp::Pow => {
-            match (&l, &r) {
-                (Int(a), Int(b)) => match op {
-                    LBinOp::Sub => Int(a - b),
-                    LBinOp::Mul => Int(a * b),
-                    LBinOp::Div => {
-                        if *b == 0 {
-                            return Err(LocusError::Type("division by zero".into()));
-                        }
-                        Int(a / b)
+        LBinOp::Sub | LBinOp::Mul | LBinOp::Div | LBinOp::Rem | LBinOp::Pow => match (&l, &r) {
+            (Int(a), Int(b)) => match op {
+                LBinOp::Sub => Int(a - b),
+                LBinOp::Mul => Int(a * b),
+                LBinOp::Div => {
+                    if *b == 0 {
+                        return Err(LocusError::Type("division by zero".into()));
                     }
-                    LBinOp::Rem => {
-                        if *b == 0 {
-                            return Err(LocusError::Type("modulo by zero".into()));
-                        }
-                        Int(a % b)
+                    Int(a / b)
+                }
+                LBinOp::Rem => {
+                    if *b == 0 {
+                        return Err(LocusError::Type("modulo by zero".into()));
                     }
-                    LBinOp::Pow => {
-                        if *b >= 0 {
-                            Int(a.pow((*b).min(63) as u32))
-                        } else {
-                            Float((*a as f64).powi(*b as i32))
-                        }
-                    }
-                    _ => unreachable!(),
-                },
-                _ => {
-                    let (a, b) = l
-                        .as_f64()
-                        .zip(r.as_f64())
-                        .ok_or_else(|| type_err(&l, &r))?;
-                    match op {
-                        LBinOp::Sub => Float(a - b),
-                        LBinOp::Mul => Float(a * b),
-                        LBinOp::Div => Float(a / b),
-                        LBinOp::Rem => Float(a % b),
-                        LBinOp::Pow => Float(a.powf(b)),
-                        _ => unreachable!(),
+                    Int(a % b)
+                }
+                LBinOp::Pow => {
+                    if *b >= 0 {
+                        Int(a.pow((*b).min(63) as u32))
+                    } else {
+                        Float((*a as f64).powi(*b as i32))
                     }
                 }
+                _ => unreachable!(),
+            },
+            _ => {
+                let (a, b) = l.as_f64().zip(r.as_f64()).ok_or_else(|| type_err(&l, &r))?;
+                match op {
+                    LBinOp::Sub => Float(a - b),
+                    LBinOp::Mul => Float(a * b),
+                    LBinOp::Div => Float(a / b),
+                    LBinOp::Rem => Float(a % b),
+                    LBinOp::Pow => Float(a.powf(b)),
+                    _ => unreachable!(),
+                }
             }
-        }
+        },
         LBinOp::Eq => Value::from(values_equal(&l, &r)),
         LBinOp::Ne => Value::from(!values_equal(&l, &r)),
         LBinOp::Lt | LBinOp::Le | LBinOp::Gt | LBinOp::Ge => {
-            let (a, b) = l
-                .as_f64()
-                .zip(r.as_f64())
-                .ok_or_else(|| type_err(&l, &r))?;
+            let (a, b) = l.as_f64().zip(r.as_f64()).ok_or_else(|| type_err(&l, &r))?;
             Value::from(match op {
                 LBinOp::Lt => a < b,
                 LBinOp::Le => a <= b,
@@ -1110,10 +1094,9 @@ mod tests {
         "#;
         let program = parse(src).unwrap();
         // Serials: 0 = pow2, 1 = OR block.
-        let ids: HashMap<usize, String> =
-            vec![(0, "t".to_string()), (1, "orblock".to_string())]
-                .into_iter()
-                .collect();
+        let ids: HashMap<usize, String> = vec![(0, "t".to_string()), (1, "orblock".to_string())]
+            .into_iter()
+            .collect();
         let mut point = Point::new();
         point.set("t", ParamValue::Int(16));
         point.set("orblock", ParamValue::Choice(1));
@@ -1183,8 +1166,7 @@ mod tests {
         }
         "#;
         let program = parse(src).unwrap();
-        let ids: HashMap<usize, String> =
-            vec![(0, "datalayout".to_string())].into_iter().collect();
+        let ids: HashMap<usize, String> = vec![(0, "datalayout".to_string())].into_iter().collect();
         let mut point = Point::new();
         point.set("datalayout", ParamValue::Choice(1)); // "DGZ"
         let mut host = RecordingHost::default();

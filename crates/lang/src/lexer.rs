@@ -282,10 +282,7 @@ mod tests {
 
     #[test]
     fn lexes_range_without_eating_floats() {
-        assert_eq!(
-            toks("2..32"),
-            vec![Tok::Int(2), Tok::DotDot, Tok::Int(32)]
-        );
+        assert_eq!(toks("2..32"), vec![Tok::Int(2), Tok::DotDot, Tok::Int(32)]);
         assert_eq!(toks("2.5"), vec![Tok::Float(2.5)]);
         assert_eq!(
             toks("2..tileI"),

@@ -81,9 +81,7 @@ fn subst_block(block: &mut LBlock, resolve: QueryResolver<'_>, stats: &mut OptSt
 
 fn subst_stmt(stmt: &mut LStmt, resolve: QueryResolver<'_>, stats: &mut OptStats) {
     match stmt {
-        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => {
-            subst_expr(e, resolve, stats)
-        }
+        LStmt::Expr(e) | LStmt::Print(e) | LStmt::Return(Some(e)) => subst_expr(e, resolve, stats),
         LStmt::Assign { targets, value } => {
             for t in targets {
                 subst_expr(t, resolve, stats);
@@ -374,9 +372,7 @@ fn opt_stmt(stmt: &mut LStmt, env: &mut Env, stats: &mut OptStats) {
             // Keep only facts that hold on every path (including the
             // fall-through when no else exists).
             env.retain(|k, v| {
-                branch_envs
-                    .iter()
-                    .all(|be| be.get(k) == Some(v))
+                branch_envs.iter().all(|be| be.get(k) == Some(v))
                     && (els.is_some() || before.get(k) == Some(v))
             });
         }
@@ -482,20 +478,15 @@ fn fold_expr(e: &mut LExpr, env: &mut Env, stats: &mut OptStats) {
                 fold_expr(v, env, stats);
             }
         }
-        LExpr::Attr { base, .. }
-            if !matches!(base.as_ref(), LExpr::Ident(_)) => {
-                fold_expr(base, env, stats);
-            }
+        LExpr::Attr { base, .. } if !matches!(base.as_ref(), LExpr::Ident(_)) => {
+            fold_expr(base, env, stats);
+        }
         LExpr::Index { base, index } => {
             fold_expr(base, env, stats);
             fold_expr(index, env, stats);
             // Constant list indexing folds.
             if let (LExpr::List(items), LExpr::Int(i)) = (base.as_ref(), index.as_ref()) {
-                let idx = if *i < 0 {
-                    items.len() as i64 + i
-                } else {
-                    *i
-                };
+                let idx = if *i < 0 { items.len() as i64 + i } else { *i };
                 if idx >= 0 && (idx as usize) < items.len() && is_literal(&items[idx as usize]) {
                     *e = items[idx as usize].clone();
                     stats.folded += 1;

@@ -18,7 +18,11 @@ pub struct LocusParseError {
 
 impl fmt::Display for LocusParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Locus parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "Locus parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -171,7 +175,8 @@ impl P {
             let body = self.block()?;
             return Ok(LItem::Query { name, params, body });
         }
-        if self.is_kw("Module") && matches!(self.peek_at(1), Some(Tok::Ident(_)))
+        if self.is_kw("Module")
+            && matches!(self.peek_at(1), Some(Tok::Ident(_)))
             && self.peek_at(2) == Some(&Tok::LBrace)
         {
             self.bump();

@@ -54,10 +54,7 @@ pub fn specialize(
                 body: ctx.block(body),
             },
             LItem::SearchBlock(body) => LItem::SearchBlock(ctx.block(body)),
-            LItem::Stmt(stmt) => LItem::Stmt(
-                ctx.stmt(stmt)
-                    .unwrap_or(LStmt::Pass),
-            ),
+            LItem::Stmt(stmt) => LItem::Stmt(ctx.stmt(stmt).unwrap_or(LStmt::Pass)),
             other => other.clone(),
         })
         .collect();
@@ -214,9 +211,7 @@ impl Ctx<'_> {
                     Some(ParamValue::Choice(c)) => (*c).min(args.len().saturating_sub(1)),
                     _ => 0,
                 };
-                args.get(pick)
-                    .map(|e| self.expr(e))
-                    .unwrap_or(LExpr::None)
+                args.get(pick).map(|e| self.expr(e)).unwrap_or(LExpr::None)
             }
             SearchKind::Integer | SearchKind::PowerOfTwo | SearchKind::LogInteger => {
                 match value {
@@ -247,7 +242,10 @@ impl Ctx<'_> {
                 // default matches).
                 let items = match args.first() {
                     Some(LExpr::List(items)) => Some(items.clone()),
-                    Some(LExpr::Call { callee, args: cargs }) => match callee.as_ref() {
+                    Some(LExpr::Call {
+                        callee,
+                        args: cargs,
+                    }) => match callee.as_ref() {
                         LExpr::Ident(name) if name == "seq" && cargs.len() == 2 => {
                             match (&cargs[0].value, &cargs[1].value) {
                                 (LExpr::Int(lo), LExpr::Int(hi)) => {
@@ -261,9 +259,7 @@ impl Ctx<'_> {
                     _ => None,
                 };
                 match (items, value) {
-                    (Some(items), Some(ParamValue::Perm(perm)))
-                        if perm.len() == items.len() =>
-                    {
+                    (Some(items), Some(ParamValue::Perm(perm))) if perm.len() == items.len() => {
                         LExpr::List(perm.iter().map(|&i| items[i].clone()).collect())
                     }
                     (Some(items), _) => LExpr::List(items),

@@ -348,7 +348,10 @@ mod tests {
             strided.access((i * 8192) % (1 << 22));
         }
         let strided_misses = strided.stats().memory_accesses;
-        assert!(seq_misses * 4 < strided_misses, "{seq_misses} vs {strided_misses}");
+        assert!(
+            seq_misses * 4 < strided_misses,
+            "{seq_misses} vs {strided_misses}"
+        );
     }
 
     #[test]

@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn static_balanced_speedup_is_near_linear() {
         let (cost, cores) = model(4);
-        let omp = OmpModel {
-            cost: &cost,
-            cores,
-        };
+        let omp = OmpModel { cost: &cost, cores };
         let iters = vec![1000.0; 64];
         let seq: f64 = iters.iter().sum();
         let par = omp.makespan(&iters, None);
@@ -126,12 +123,11 @@ mod tests {
     #[test]
     fn dynamic_helps_imbalanced_loops() {
         let (cost, cores) = model(4);
-        let omp = OmpModel {
-            cost: &cost,
-            cores,
-        };
+        let omp = OmpModel { cost: &cost, cores };
         // Costs descending steeply: static contiguous blocks are skewed.
-        let iters: Vec<f64> = (0..64).map(|i| if i < 8 { 20_000.0 } else { 100.0 }).collect();
+        let iters: Vec<f64> = (0..64)
+            .map(|i| if i < 8 { 20_000.0 } else { 100.0 })
+            .collect();
         let static_span = omp.makespan(
             &iters,
             Some(OmpSchedule {
@@ -155,10 +151,7 @@ mod tests {
     #[test]
     fn dynamic_dispatch_overhead_hurts_balanced_loops() {
         let (cost, cores) = model(4);
-        let omp = OmpModel {
-            cost: &cost,
-            cores,
-        };
+        let omp = OmpModel { cost: &cost, cores };
         let iters = vec![500.0; 256];
         let static_span = omp.makespan(&iters, None);
         let dynamic_span = omp.makespan(

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use locus_srcir::ast::{
-    BinOp, Expr, Item, Pragma, Program, Stmt, StmtKind, Type, UnOp,
-};
+use locus_srcir::ast::{BinOp, Expr, Item, Pragma, Program, Stmt, StmtKind, Type, UnOp};
 
 use crate::cache::{CacheHierarchy, CacheStats};
 use crate::cost::OmpModel;
@@ -166,7 +164,10 @@ impl<'p> Interp<'p> {
     ///
     /// Returns [`RuntimeError`] when a global declaration cannot be
     /// evaluated (non-constant dimensions, unsupported initializers).
-    pub fn new(program: &'p Program, config: &'p MachineConfig) -> Result<Interp<'p>, RuntimeError> {
+    pub fn new(
+        program: &'p Program,
+        config: &'p MachineConfig,
+    ) -> Result<Interp<'p>, RuntimeError> {
         let mut interp = Interp {
             program,
             config,
@@ -217,9 +218,7 @@ impl<'p> Interp<'p> {
             let mut len = 1usize;
             let mut dim_sizes = Vec::new();
             for d in dims {
-                let v = self
-                    .eval_const(d)?
-                    .as_i64();
+                let v = self.eval_const(d)?.as_i64();
                 if v <= 0 {
                     return Err(RuntimeError::BadArrayDim(name.clone()));
                 }
@@ -588,9 +587,9 @@ impl<'p> Interp<'p> {
                         self.charge(self.config.cost.add);
                         Ok(Value::Int(i64::from(!v.truthy())))
                     }
-                    UnOp::Deref | UnOp::Addr => Err(RuntimeError::Unsupported(
-                        "pointer operations".into(),
-                    )),
+                    UnOp::Deref | UnOp::Addr => {
+                        Err(RuntimeError::Unsupported("pointer operations".into()))
+                    }
                 }
             }
             Expr::Binary { op, lhs, rhs } => {
@@ -911,7 +910,8 @@ mod tests {
 
     #[test]
     fn loop_reversal_of_independent_writes_is_equivalent() {
-        let a = run("double A[16];\nvoid kernel() { for (int i = 0; i < 16; i++) A[i] = (double)i; }");
+        let a =
+            run("double A[16];\nvoid kernel() { for (int i = 0; i < 16; i++) A[i] = (double)i; }");
         let b = run(
             "double A[16];\nvoid kernel() { int i; for (i = 15; i >= 0; i--) A[i] = (double)i; }",
         );
@@ -920,25 +920,21 @@ mod tests {
 
     #[test]
     fn arithmetic_semantics() {
-        let m = run(
-            r#"double A[4];
+        let m = run(r#"double A[4];
             void kernel() {
                 A[0] = (double)(7 / 2);
                 A[1] = (double)(7 % 2);
                 A[2] = 7.0 / 2.0;
                 A[3] = (double)(1 < 2) + (double)(2 <= 2) + (double)(3 > 4);
-            }"#,
-        );
+            }"#);
         // Verified through the checksum of a second, literal program.
-        let expect = run(
-            r#"double A[4];
+        let expect = run(r#"double A[4];
             void kernel() {
                 A[0] = 3.0;
                 A[1] = 1.0;
                 A[2] = 3.5;
                 A[3] = 2.0;
-            }"#,
-        );
+            }"#);
         assert_eq!(m.checksum, expect.checksum);
     }
 
@@ -974,22 +970,18 @@ mod tests {
     fn tiled_access_has_fewer_misses_than_column_scan() {
         // Column-major scan of a row-major array thrashes; row scan does
         // not. The cache must reflect that.
-        let row = run(
-            r#"double A[128][128];
+        let row = run(r#"double A[128][128];
             void kernel() {
                 for (int i = 0; i < 128; i++)
                     for (int j = 0; j < 128; j++)
                         A[i][j] = A[i][j] + 1.0;
-            }"#,
-        );
-        let col = run(
-            r#"double A[128][128];
+            }"#);
+        let col = run(r#"double A[128][128];
             void kernel() {
                 for (int j = 0; j < 128; j++)
                     for (int i = 0; i < 128; i++)
                         A[i][j] = A[i][j] + 1.0;
-            }"#,
-        );
+            }"#);
         assert_eq!(row.checksum, col.checksum, "same semantics");
         // Both pay the same cold misses, but the row scan hits L1 almost
         // always while the column scan's per-column working set exceeds
@@ -1033,22 +1025,18 @@ mod tests {
         // A[i % 7] accumulation: non-affine, so the auto-vectorizer
         // refuses; the pragma forces the discount, exactly like icc with
         // `#pragma ivdep`.
-        let plain = run(
-            r#"double A[256], B[256];
+        let plain = run(r#"double A[256], B[256];
             void kernel() {
                 for (int i = 0; i < 256; i++)
                     A[i % 7] = A[i % 7] + B[i] * 3.0 + 1.0;
-            }"#,
-        );
-        let vectorized = run(
-            r#"double A[256], B[256];
+            }"#);
+        let vectorized = run(r#"double A[256], B[256];
             void kernel() {
                 #pragma ivdep
                 #pragma vector always
                 for (int i = 0; i < 256; i++)
                     A[i % 7] = A[i % 7] + B[i] * 3.0 + 1.0;
-            }"#,
-        );
+            }"#);
         assert_eq!(plain.checksum, vectorized.checksum);
         assert!(vectorized.cycles < plain.cycles);
     }
@@ -1056,21 +1044,17 @@ mod tests {
     #[test]
     fn auto_vectorizer_discounts_provably_safe_loops() {
         // Independent updates auto-vectorize (icc -O3 behaviour)...
-        let auto = run(
-            r#"double A[256], B[256];
+        let auto = run(r#"double A[256], B[256];
             void kernel() {
                 for (int i = 0; i < 256; i++)
                     A[i] = B[i] * 3.0 + 1.0;
-            }"#,
-        );
+            }"#);
         // ...while a carried recurrence of the same length does not.
-        let recurrence = run(
-            r#"double A[257], B[256];
+        let recurrence = run(r#"double A[257], B[256];
             void kernel() {
                 for (int i = 0; i < 256; i++)
                     A[i + 1] = A[i] * 3.0 + B[i];
-            }"#,
-        );
+            }"#);
         assert!(
             auto.cycles < recurrence.cycles,
             "auto {} vs recurrence {}",
@@ -1091,45 +1075,38 @@ mod tests {
 
     #[test]
     fn min_max_calls_work() {
-        let m = run(
-            r#"double A[2];
+        let m = run(r#"double A[2];
             void kernel() {
                 A[0] = (double)min(3, 5);
                 A[1] = max(2.5, 7.5);
-            }"#,
-        );
+            }"#);
         let expect = run("double A[2];\nvoid kernel() { A[0] = 3.0; A[1] = 7.5; }");
         assert_eq!(m.checksum, expect.checksum);
     }
 
     #[test]
     fn local_arrays_are_supported() {
-        let m = run(
-            r#"double Out[4];
+        let m = run(r#"double Out[4];
             void kernel() {
                 double tmp[4];
                 for (int i = 0; i < 4; i++) tmp[i] = (double)i;
                 for (int i = 0; i < 4; i++) Out[i] = tmp[i] * 2.0;
-            }"#,
-        );
+            }"#);
         assert!(m.cycles > 0.0);
     }
 
     #[test]
     fn global_scalar_initializers() {
-        let m = run(
-            r#"double alpha = 1.5; double beta = 2.0; double A[2];
-            void kernel() { A[0] = alpha * beta; }"#,
-        );
+        let m = run(r#"double alpha = 1.5; double beta = 2.0; double A[2];
+            void kernel() { A[0] = alpha * beta; }"#);
         let expect = run("double A[2];\nvoid kernel() { A[0] = 3.0; }");
         assert_eq!(m.checksum, expect.checksum);
     }
 
     #[test]
     fn measurement_reports_flops_and_time() {
-        let m = run(
-            "double A[64];\nvoid kernel() { for (int i = 0; i < 64; i++) A[i] = A[i] * 2.0; }",
-        );
+        let m =
+            run("double A[64];\nvoid kernel() { for (int i = 0; i < 64; i++) A[i] = A[i] * 2.0; }");
         assert!(m.flops >= 64);
         assert!(m.time_ms > 0.0);
         assert!(m.cache.accesses >= 128);
@@ -1137,16 +1114,14 @@ mod tests {
 
     #[test]
     fn while_loops_execute() {
-        let m = run(
-            r#"double A[8];
+        let m = run(r#"double A[8];
             void kernel() {
                 int i = 0;
                 while (i < 8) {
                     A[i] = 1.0;
                     i += 1;
                 }
-            }"#,
-        );
+            }"#);
         let expect = run("double A[8];\nvoid kernel() { for (int i = 0; i < 8; i++) A[i] = 1.0; }");
         assert_eq!(m.checksum, expect.checksum);
     }

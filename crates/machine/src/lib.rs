@@ -122,6 +122,49 @@ impl MachineConfig {
         self.cores = cores;
         self
     }
+
+    /// A stable 64-bit FNV-1a digest over every field that influences a
+    /// measurement: core count, vector width, clock, the full cache
+    /// geometry, every cost-model constant (via float bit patterns, so
+    /// the digest is exact), the fuel limit and the auto-vectorizer flag.
+    ///
+    /// The persistent tuning store keys records by this digest: a stored
+    /// measurement is only replayed onto a machine that would reproduce
+    /// it bit for bit. It also serves as a provenance line in BENCH
+    /// reports.
+    pub fn digest(&self) -> u64 {
+        let mut desc = format!(
+            "cores:{};vw:{};ghz:{:016x};line:{};memlat:{};maxops:{};autovec:{};",
+            self.cores,
+            self.vector_width,
+            self.ghz.to_bits(),
+            self.cache.line,
+            self.cache.memory_latency,
+            self.max_ops,
+            self.auto_vectorize,
+        );
+        for level in &self.cache.levels {
+            desc.push_str(&format!(
+                "{}:{}:{}:{};",
+                level.name, level.capacity, level.ways, level.latency
+            ));
+        }
+        let c = &self.cost;
+        for v in [
+            c.add,
+            c.mul,
+            c.div,
+            c.loop_iter,
+            c.loop_entry,
+            c.omp_fork,
+            c.omp_dispatch,
+            c.omp_barrier_per_thread,
+            c.vector_discount,
+        ] {
+            desc.push_str(&format!("{:016x};", v.to_bits()));
+        }
+        locus_srcir::hash::fnv1a(desc.as_bytes())
+    }
 }
 
 impl Default for MachineConfig {
@@ -145,6 +188,11 @@ impl Machine {
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// [`MachineConfig::digest`] of this machine's configuration.
+    pub fn digest(&self) -> u64 {
+        self.config.digest()
     }
 
     /// Runs `entry` (a zero-argument function using global arrays) and
@@ -190,5 +238,23 @@ mod tests {
     fn with_cores_overrides() {
         let cfg = MachineConfig::scaled_small().with_cores(4);
         assert_eq!(cfg.cores, 4);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive_to_every_knob() {
+        let a = MachineConfig::scaled_small();
+        assert_eq!(a.digest(), MachineConfig::scaled_small().digest());
+        assert_eq!(Machine::new(a.clone()).digest(), a.digest());
+
+        // Any field that changes a measurement changes the digest.
+        assert_ne!(a.digest(), a.clone().with_cores(4).digest());
+        assert_ne!(a.digest(), MachineConfig::scaled_tiny().digest());
+        assert_ne!(a.digest(), MachineConfig::xeon_e5_2660_v3().digest());
+        let mut b = a.clone();
+        b.auto_vectorize = false;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.cost.omp_fork += 1.0;
+        assert_ne!(a.digest(), c.digest());
     }
 }

@@ -82,6 +82,18 @@ impl SearchModule for AnnealTuner {
         self.stale_limit = budget.saturating_mul(8).max(256);
     }
 
+    /// Warm start: the walk begins from the best prior point instead of
+    /// a cold prior sample, with the temperature initialized from that
+    /// point's objective — the annealer resumes near where the last
+    /// session's search left off.
+    fn seed_observations(&mut self, _space: &Space, prior: &[(Point, f64)]) {
+        let Some((point, value)) = prior.first() else {
+            return;
+        };
+        self.current = Some((point.clone(), *value));
+        self.temperature = self.t0 * value.abs().max(1e-9);
+    }
+
     fn propose(&mut self, space: &Space) -> Option<Point> {
         match &self.current {
             // Initial phase: sample the prior until a valid point lands.
@@ -125,9 +137,8 @@ impl SearchModule for AnnealTuner {
                 if let Objective::Value(v) = objective {
                     let accept = v < *cur_value || {
                         let delta = v - cur_value;
-                        self.rng.chance(
-                            (-delta / self.temperature.max(1e-12)).exp().clamp(0.0, 1.0),
-                        )
+                        self.rng
+                            .chance((-delta / self.temperature.max(1e-12)).exp().clamp(0.0, 1.0))
                     };
                     if accept {
                         self.current = Some((point.clone(), v));
@@ -187,6 +198,25 @@ mod tests {
             .with_schedule(1.0, 0.9)
             .search(&space, 100, &mut f);
         assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn seeding_starts_the_walk_from_the_prior_best() {
+        let space = quadratic_space();
+        let mut m = AnnealTuner::new(6);
+        m.begin(&space, 50);
+        let prior_point = space.point_at(4);
+        m.seed_observations(&space, &[(prior_point.clone(), 2.0)]);
+        assert_eq!(
+            m.current.as_ref().map(|(p, v)| (p.clone(), *v)),
+            Some((prior_point, 2.0))
+        );
+        assert!(m.temperature > 0.0);
+        // An empty prior leaves the cold-start path untouched.
+        let mut cold = AnnealTuner::new(6);
+        cold.begin(&space, 50);
+        cold.seed_observations(&space, &[]);
+        assert!(cold.current.is_none());
     }
 
     #[test]

@@ -138,6 +138,20 @@ impl SearchModule for BanditTuner {
         self.stale_limit = budget.saturating_mul(8).max(256);
     }
 
+    /// Warm start: prior observations populate the elite pool and the
+    /// best-so-far, and stand in for the random seeding phase — each
+    /// prior point replaces one pending random seed, so a well-stocked
+    /// store sends the tuner straight into its adaptive techniques.
+    fn seed_observations(&mut self, _space: &Space, prior: &[(Point, f64)]) {
+        for (point, value) in prior {
+            if self.best.as_ref().is_none_or(|(_, b)| value < b) {
+                self.best = Some((point.clone(), *value));
+            }
+            insert_elite(&mut self.elites, point.clone(), *value);
+        }
+        self.seeds_remaining = self.seeds_remaining.saturating_sub(prior.len());
+    }
+
     fn propose(&mut self, space: &Space) -> Option<Point> {
         if self.seeds_remaining > 0 {
             self.seeds_remaining -= 1;
@@ -163,13 +177,7 @@ impl SearchModule for BanditTuner {
             .expect("non-empty technique list");
         let technique = TECHNIQUES[ti];
         let best = self.best.as_ref().map(|(p, _)| p.clone());
-        let proposal = propose(
-            technique,
-            space,
-            &self.elites,
-            best.as_ref(),
-            &mut self.rng,
-        );
+        let proposal = propose(technique, space, &self.elites, best.as_ref(), &mut self.rng);
         self.pending.push_back(Some(ti));
         Some(proposal)
     }
@@ -334,6 +342,59 @@ mod tests {
     }
 
     #[test]
+    fn seeding_primes_elites_and_skips_random_seeds() {
+        let space = quadratic_space();
+        let mut m = BanditTuner::new(7);
+        m.begin(&space, 100);
+        let seeds_before = m.seeds_remaining;
+        assert!(seeds_before > 0);
+
+        let prior: Vec<_> = (0..seeds_before)
+            .map(|i| {
+                let p = space.point_at(i as u128 * 3);
+                let v = match quadratic_objective(&p) {
+                    Objective::Value(v) => v,
+                    _ => unreachable!(),
+                };
+                (p, v)
+            })
+            .collect();
+        m.seed_observations(&space, &prior);
+        assert_eq!(m.seeds_remaining, 0, "priors replace the seeding phase");
+        assert!(!m.elites.is_empty());
+        let best_prior = prior.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        assert_eq!(m.best.as_ref().map(|(_, v)| *v), Some(best_prior));
+        // The first proposal comes from an adaptive technique, not the
+        // seeding phase.
+        assert!(m.propose(&space).is_some());
+        assert!(m.pending.front().map(|t| t.is_some()).unwrap_or(false));
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let space = quadratic_space();
+        let prior = vec![(space.point_at(5), 3.5), (space.point_at(11), 4.0)];
+        let run = || {
+            let mut m = BanditTuner::new(9);
+            m.begin(&space, 60);
+            m.seed_observations(&space, &prior);
+            let mut book = crate::Bookkeeper::new(60);
+            while !book.done() {
+                let batch = m.propose_batch(&space, 8);
+                if batch.is_empty() {
+                    break;
+                }
+                for p in &batch {
+                    let (obj, fresh) = book.record(p, quadratic_objective);
+                    m.observe(p, obj, fresh);
+                }
+            }
+            book.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn batches_spread_across_techniques() {
         let space = quadratic_space();
         let mut m = BanditTuner::new(7);
@@ -347,8 +408,7 @@ mod tests {
         let batch = m.propose_batch(&space, 8);
         assert_eq!(batch.len(), 8);
         // The in-flight term must have engaged all four arms.
-        let tagged: std::collections::BTreeSet<_> =
-            m.pending.iter().flatten().copied().collect();
+        let tagged: std::collections::BTreeSet<_> = m.pending.iter().flatten().copied().collect();
         assert_eq!(tagged.len(), TECHNIQUES.len());
     }
 }

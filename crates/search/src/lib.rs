@@ -130,6 +130,23 @@ pub trait SearchModule {
     /// evaluations available.
     fn begin(&mut self, space: &Space, budget: usize);
 
+    /// Feeds prior `(point, objective)` observations — e.g. the top-k
+    /// results a persistent tuning store recorded in earlier sessions —
+    /// into the module *before* the first proposal, warm-starting the
+    /// search without consuming any of this run's budget.
+    ///
+    /// Drivers call this between [`SearchModule::begin`] and the first
+    /// [`SearchModule::propose_batch`], with `prior` sorted best-first
+    /// (ties broken by canonical key, so the call is deterministic for a
+    /// given store state). The default implementation ignores the prior
+    /// — correct for modules whose proposal stream must not depend on
+    /// observations (exhaustive, seeded random); adaptive modules
+    /// ([`BanditTuner`], [`AnnealTuner`]) override it to prime their
+    /// internal state.
+    fn seed_observations(&mut self, space: &Space, prior: &[(Point, f64)]) {
+        let _ = (space, prior);
+    }
+
     /// Proposes the next point, or `None` when the module has nothing
     /// left to try (space exhausted, staleness limit hit).
     fn propose(&mut self, space: &Space) -> Option<Point>;
@@ -235,16 +252,10 @@ impl Bookkeeper {
             }
             Objective::Value(v) => {
                 self.outcome.evaluations += 1;
-                let improved = self
-                    .outcome
-                    .best
-                    .as_ref()
-                    .is_none_or(|(_, best)| v < *best);
+                let improved = self.outcome.best.as_ref().is_none_or(|(_, best)| v < *best);
                 if improved {
                     self.outcome.best = Some((point.clone(), v));
-                    self.outcome
-                        .history
-                        .push((self.outcome.evaluations, v));
+                    self.outcome.history.push((self.outcome.evaluations, v));
                 }
             }
         }

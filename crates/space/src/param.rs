@@ -377,6 +377,9 @@ mod tests {
     fn degenerate_domains_do_not_panic() {
         assert_eq!(ParamKind::Integer { min: 5, max: 5 }.cardinality(), 1);
         assert_eq!(ParamKind::Permutation(0).cardinality(), 1);
-        assert_eq!(ParamKind::Permutation(1).value_at(0), ParamValue::Perm(vec![0]));
+        assert_eq!(
+            ParamKind::Permutation(1).value_at(0),
+            ParamValue::Perm(vec![0])
+        );
     }
 }

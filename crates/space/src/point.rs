@@ -79,15 +79,60 @@ impl Point {
     /// point half of the parallel engine's memo-cache key (the other
     /// half is the variant region-hash computed by the core crate).
     pub fn canonical_hash(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = OFFSET;
-        for b in self.canonical_key().bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(PRIME);
-        }
-        hash
+        fnv1a(self.canonical_key().as_bytes())
     }
+
+    /// Parses a string produced by [`Point::canonical_key`] back into a
+    /// point. This is the inverse the persistent tuning store relies on:
+    /// records carry only the canonical key, and warm-starting a search
+    /// module needs the concrete assignment back.
+    ///
+    /// Returns `None` for malformed input. Floats round-trip through the
+    /// key's 9-significant-digit scientific notation, so
+    /// `parse_canonical_key(k).canonical_key() == k` for any key this
+    /// crate produced.
+    pub fn parse_canonical_key(key: &str) -> Option<Point> {
+        let mut point = Point::new();
+        for entry in key.split(';') {
+            if entry.is_empty() {
+                continue;
+            }
+            let (id, encoded) = entry.split_once('=')?;
+            let tag = encoded.chars().next()?;
+            let payload = &encoded[tag.len_utf8()..];
+            let value = match tag {
+                'c' => ParamValue::Choice(payload.parse().ok()?),
+                'i' => ParamValue::Int(payload.parse().ok()?),
+                'f' => ParamValue::Float(payload.parse().ok()?),
+                'p' => {
+                    let mut perm = Vec::new();
+                    for part in payload.split('.') {
+                        if part.is_empty() {
+                            continue;
+                        }
+                        perm.push(part.parse().ok()?);
+                    }
+                    ParamValue::Perm(perm)
+                }
+                _ => return None,
+            };
+            point.set(id, value);
+        }
+        Some(point)
+    }
+}
+
+/// FNV-1a over arbitrary bytes: the dependency-free stable hash shared
+/// by [`Point::canonical_hash`] and [`crate::Space::digest`].
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 impl FromIterator<(String, ParamValue)> for Point {
@@ -135,6 +180,31 @@ mod tests {
         b.set("x", ParamValue::Int(2));
         assert_ne!(a.canonical_hash(), b.canonical_hash());
         assert_eq!(a.dedup_key(), a.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_round_trips_through_parse() {
+        let mut p = Point::new();
+        p.set("tileI", ParamValue::Int(32));
+        p.set("or:omp", ParamValue::Choice(1));
+        p.set("perm", ParamValue::Perm(vec![2, 0, 1]));
+        p.set("ratio", ParamValue::Float(0.125));
+        let key = p.canonical_key();
+        let parsed = Point::parse_canonical_key(&key).expect("parses");
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.canonical_key(), key);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_keys() {
+        assert!(
+            Point::parse_canonical_key("x=q13;").is_none(),
+            "unknown tag"
+        );
+        assert!(Point::parse_canonical_key("x;").is_none(), "missing =");
+        assert!(Point::parse_canonical_key("x=inotanint;").is_none());
+        // The empty key is the empty point.
+        assert_eq!(Point::parse_canonical_key(""), Some(Point::new()));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The optimization space: an ordered collection of parameters.
 
 use crate::param::ParamDef;
-use crate::rng::SplitMix64;
 use crate::point::Point;
+use crate::rng::SplitMix64;
 
 /// An optimization space.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -64,6 +64,61 @@ impl Space {
             .iter()
             .map(|p| p.kind.cardinality())
             .fold(1u128, |acc, c| acc.saturating_mul(c))
+    }
+
+    /// A stable 64-bit digest of the space: parameter ids, kinds and
+    /// bounds in declaration order, hashed with FNV-1a (float bounds via
+    /// their bit patterns, so the digest is exact, not format-dependent).
+    ///
+    /// Two spaces share a digest exactly when they enumerate the same
+    /// points in the same order, which is what makes the digest usable as
+    /// a persistence key: a stored tuning record is only replayed into a
+    /// session whose space decodes canonical keys identically. It also
+    /// serves as a provenance line in benchmark reports.
+    pub fn digest(&self) -> u64 {
+        use crate::param::ParamKind;
+        use crate::point::fnv1a;
+        let mut desc = String::new();
+        for p in &self.params {
+            desc.push_str(&p.id);
+            desc.push('=');
+            match &p.kind {
+                ParamKind::Enum(labels) => {
+                    desc.push_str("enum:");
+                    for l in labels {
+                        desc.push_str(l);
+                        desc.push(',');
+                    }
+                }
+                ParamKind::Bool => desc.push_str("bool"),
+                ParamKind::Integer { min, max } => {
+                    desc.push_str(&format!("int:{min}:{max}"));
+                }
+                ParamKind::PowerOfTwo { min, max } => {
+                    desc.push_str(&format!("pow2:{min}:{max}"));
+                }
+                ParamKind::LogInteger { min, max } => {
+                    desc.push_str(&format!("logint:{min}:{max}"));
+                }
+                ParamKind::Float { min, max, steps } => {
+                    desc.push_str(&format!(
+                        "float:{:016x}:{:016x}:{steps}",
+                        min.to_bits(),
+                        max.to_bits()
+                    ));
+                }
+                ParamKind::LogFloat { min, max, steps } => {
+                    desc.push_str(&format!(
+                        "logfloat:{:016x}:{:016x}:{steps}",
+                        min.to_bits(),
+                        max.to_bits()
+                    ));
+                }
+                ParamKind::Permutation(n) => desc.push_str(&format!("perm:{n}")),
+            }
+            desc.push(';');
+        }
+        fnv1a(desc.as_bytes())
     }
 
     /// Decodes the `index`-th point in lexicographic order. Useful for
@@ -162,7 +217,10 @@ mod tests {
         vec![
             ParamDef::new("tileI", ParamKind::PowerOfTwo { min: 2, max: 32 }),
             ParamDef::new("tileJ", ParamKind::PowerOfTwo { min: 2, max: 32 }),
-            ParamDef::new("or:tiletype", ParamKind::Enum(vec!["2D".into(), "3D".into()])),
+            ParamDef::new(
+                "or:tiletype",
+                ParamKind::Enum(vec!["2D".into(), "3D".into()]),
+            ),
         ]
         .into_iter()
         .collect()
@@ -191,11 +249,47 @@ mod tests {
             "schedule",
             ParamKind::Enum(vec!["static".into(), "dynamic".into()]),
         ));
-        space.add(ParamDef::new("chunk", ParamKind::Integer { min: 1, max: 32 }));
+        space.add(ParamDef::new(
+            "chunk",
+            ParamKind::Integer { min: 1, max: 32 },
+        ));
         // 9^6 * 2 * 2 * 32 = 68,024,448 flattened (the paper's OpenTuner
         // encoding reports 34,012,224 — a factor-2 difference in how the
         // OR block is counted).
         assert_eq!(space.size(), 68_024_448);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let a = fig5_space();
+        let b = fig5_space();
+        assert_eq!(a.digest(), b.digest(), "same definition, same digest");
+
+        // Tightening a range changes the digest.
+        let mut c = fig5_space();
+        c.add(ParamDef::new(
+            "tileI",
+            ParamKind::PowerOfTwo { min: 2, max: 8 },
+        ));
+        assert_ne!(a.digest(), c.digest());
+
+        // Declaration order matters: it drives point_at enumeration.
+        let mut d = Space::new();
+        d.add(ParamDef::new(
+            "tileJ",
+            ParamKind::PowerOfTwo { min: 2, max: 32 },
+        ));
+        d.add(ParamDef::new(
+            "tileI",
+            ParamKind::PowerOfTwo { min: 2, max: 32 },
+        ));
+        d.add(ParamDef::new(
+            "or:tiletype",
+            ParamKind::Enum(vec!["2D".into(), "3D".into()]),
+        ));
+        assert_ne!(a.digest(), d.digest());
+
+        assert_ne!(Space::new().digest(), a.digest());
     }
 
     #[test]
@@ -222,10 +316,7 @@ mod tests {
         let mut r = rng();
         let p = space.random_point(&mut r);
         let q = space.mutate(&p, 1, &mut r);
-        let diff = p
-            .iter()
-            .filter(|(k, v)| q.get(k) != Some(*v))
-            .count();
+        let diff = p.iter().filter(|(k, v)| q.get(k) != Some(*v)).count();
         assert!(diff <= 1);
     }
 
@@ -244,7 +335,10 @@ mod tests {
     #[test]
     fn replacing_a_param_updates_definition() {
         let mut space = fig5_space();
-        space.add(ParamDef::new("tileI", ParamKind::PowerOfTwo { min: 2, max: 8 }));
+        space.add(ParamDef::new(
+            "tileI",
+            ParamKind::PowerOfTwo { min: 2, max: 8 },
+        ));
         assert_eq!(space.len(), 3);
         assert_eq!(
             space.param("tileI").unwrap().kind,

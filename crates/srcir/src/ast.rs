@@ -167,20 +167,11 @@ pub enum Expr {
     /// Variable reference.
     Ident(String),
     /// Array subscript `base[index]`; multi-dimensional accesses nest.
-    Index {
-        base: Box<Expr>,
-        index: Box<Expr>,
-    },
+    Index { base: Box<Expr>, index: Box<Expr> },
     /// Function call.
-    Call {
-        callee: String,
-        args: Vec<Expr>,
-    },
+    Call { callee: String, args: Vec<Expr> },
     /// Unary operation.
-    Unary {
-        op: UnOp,
-        operand: Box<Expr>,
-    },
+    Unary { op: UnOp, operand: Box<Expr> },
     /// Binary operation.
     Binary {
         op: BinOp,
@@ -194,10 +185,7 @@ pub enum Expr {
         rhs: Box<Expr>,
     },
     /// C cast `(type) expr`.
-    Cast {
-        ty: Type,
-        expr: Box<Expr>,
-    },
+    Cast { ty: Type, expr: Box<Expr> },
 }
 
 impl Expr {

@@ -115,7 +115,12 @@ pub fn with_loop_region(mut stmt: Stmt, id: &str) -> Stmt {
 
 /// Builds a whole single-function program: `void kernel(<params>) { body }`
 /// plus the given globals.
-pub fn kernel_program(globals: Vec<Stmt>, name: &str, params: Vec<Param>, body: Vec<Stmt>) -> Program {
+pub fn kernel_program(
+    globals: Vec<Stmt>,
+    name: &str,
+    params: Vec<Param>,
+    body: Vec<Stmt>,
+) -> Program {
     let mut items: Vec<Item> = globals.into_iter().map(Item::Global).collect();
     items.push(Item::Function(Function {
         ret: Type::Void,
@@ -135,13 +140,7 @@ mod tests {
     fn for_loop_has_canonical_shape() {
         let l = for_loop("i", Expr::int(0), Expr::ident("n"), 1, vec![]);
         let f = l.as_for().unwrap();
-        assert!(matches!(
-            f.cond,
-            Some(Expr::Binary {
-                op: BinOp::Lt,
-                ..
-            })
-        ));
+        assert!(matches!(f.cond, Some(Expr::Binary { op: BinOp::Lt, .. })));
         assert_eq!(print_stmt(&l), "for (int i = 0; i < n; i += 1) {\n}\n");
     }
 
@@ -149,13 +148,7 @@ mod tests {
     fn negative_step_flips_comparison() {
         let l = for_loop("i", Expr::int(10), Expr::int(0), -1, vec![]);
         let f = l.as_for().unwrap();
-        assert!(matches!(
-            f.cond,
-            Some(Expr::Binary {
-                op: BinOp::Gt,
-                ..
-            })
-        ));
+        assert!(matches!(f.cond, Some(Expr::Binary { op: BinOp::Gt, .. })));
     }
 
     #[test]

@@ -419,7 +419,10 @@ mod tests {
 
     #[test]
     fn include_is_ignored() {
-        assert_eq!(toks("#include <stdio.h>\nx"), vec![Token::Ident("x".into())]);
+        assert_eq!(
+            toks("#include <stdio.h>\nx"),
+            vec![Token::Ident("x".into())]
+        );
     }
 
     #[test]

@@ -182,7 +182,8 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat(&Token::RParen) {
             loop {
-                if self.peek() == Some(&Token::Ident("void".into())) && params.is_empty()
+                if self.peek() == Some(&Token::Ident("void".into()))
+                    && params.is_empty()
                     && self.peek_at(1) == Some(&Token::RParen)
                 {
                     self.bump();
@@ -759,10 +760,8 @@ mod tests {
 
     #[test]
     fn parses_for_with_decl_init() {
-        let program = parse_program(
-            "void f() { for (int t = 0; t < 4; t++) { int x; x = t; } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("void f() { for (int t = 0; t < 4; t++) { int x; x = t; } }").unwrap();
         let f = program.function("f").unwrap();
         let fl = f.body[0].as_for().unwrap();
         assert!(matches!(
@@ -773,8 +772,8 @@ mod tests {
 
     #[test]
     fn single_statement_bodies_are_wrapped_in_blocks() {
-        let program = parse_program("void f(int n) { for (int i = 0; i < n; ++i) n = n; }")
-            .unwrap();
+        let program =
+            parse_program("void f(int n) { for (int i = 0; i < n; ++i) n = n; }").unwrap();
         let f = program.function("f").unwrap();
         let fl = f.body[0].as_for().unwrap();
         assert!(matches!(fl.body.kind, StmtKind::Block(_)));
@@ -808,13 +807,7 @@ mod tests {
                 op: BinOp::Add,
                 rhs,
                 ..
-            } => assert!(matches!(
-                *rhs,
-                Expr::Binary {
-                    op: BinOp::Mul,
-                    ..
-                }
-            )),
+            } => assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. })),
             other => panic!("unexpected parse: {other:?}"),
         }
     }
@@ -822,19 +815,12 @@ mod tests {
     #[test]
     fn parses_cast() {
         let e = parse_expr("(double)x * 2.0").unwrap();
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
     fn parses_deref_and_pointer_decl() {
-        let program =
-            parse_program("void f(double* p) { *p += 1.0; }").unwrap();
+        let program = parse_program("void f(double* p) { *p += 1.0; }").unwrap();
         let f = program.function("f").unwrap();
         assert_eq!(f.params[0].ty, Type::Ptr(Box::new(Type::Double)));
     }
@@ -882,10 +868,8 @@ mod tests {
 
     #[test]
     fn if_else_parses() {
-        let program = parse_program(
-            "int f(int x) { if (x > 0) { return 1; } else { return 0; } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("int f(int x) { if (x > 0) { return 1; } else { return 0; } }").unwrap();
         let f = program.function("f").unwrap();
         assert!(matches!(f.body[0].kind, StmtKind::If { .. }));
     }

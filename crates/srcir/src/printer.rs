@@ -153,20 +153,22 @@ fn print_stmt_into(out: &mut String, stmt: &Stmt, level: usize) {
         StmtKind::For(f) => {
             indent(out, level);
             out.push_str("for (");
-            if let Some(init) = &f.init { match &init.kind {
-                StmtKind::Decl { ty, name, init, .. } => {
-                    let _ = write!(out, "{ty} {name}");
-                    if let Some(e) = init {
-                        let _ = write!(out, " = {}", print_expr(e));
+            if let Some(init) = &f.init {
+                match &init.kind {
+                    StmtKind::Decl { ty, name, init, .. } => {
+                        let _ = write!(out, "{ty} {name}");
+                        if let Some(e) = init {
+                            let _ = write!(out, " = {}", print_expr(e));
+                        }
+                    }
+                    StmtKind::Expr(e) => {
+                        print_expr_into(out, e, 0);
+                    }
+                    other => {
+                        let _ = write!(out, "/* unsupported init {other:?} */");
                     }
                 }
-                StmtKind::Expr(e) => {
-                    print_expr_into(out, e, 0);
-                }
-                other => {
-                    let _ = write!(out, "/* unsupported init {other:?} */");
-                }
-            } }
+            }
             out.push_str("; ");
             if let Some(cond) = &f.cond {
                 print_expr_into(out, cond, 0);
@@ -239,7 +241,10 @@ fn print_expr_into(out: &mut String, expr: &Expr, parent_prec: u8) {
             }
         }
         Expr::StrLit(s) => {
-            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
             let _ = write!(out, "\"{escaped}\"");
         }
         Expr::Ident(name) => {

@@ -8,7 +8,7 @@
 //! transformations that replace the annotated statement wholesale.
 
 use crate::ast::{Item, Program, Stmt, StmtKind};
-use crate::visit::{child, child_mut, child_count};
+use crate::visit::{child, child_count, child_mut};
 
 /// Whether the annotation is a `loop=` or `block=` region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -275,9 +275,7 @@ mod tests {
 
     #[test]
     fn walk_counts_all_statements() {
-        let l = first_loop(
-            "void f(int n) { for (int i = 0; i < n; i++) { n = n; n = n; } }",
-        );
+        let l = first_loop("void f(int n) { for (int i = 0; i < n; i++) { n = n; n = n; } }");
         let mut count = 0;
         walk_stmts(&l, &mut |_| count += 1);
         // for + init decl + block + 2 exprs

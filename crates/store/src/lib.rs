@@ -1,0 +1,36 @@
+//! Persistent tuning-results store.
+//!
+//! Locus's value is empirical search, and empirical results are worth
+//! keeping: the paper ships winning *direct* programs alongside the
+//! source precisely so tuning effort is reused "for machines with
+//! similar environments" (Sec. II). This crate is the systematic
+//! version of that idea — an append-only database of every evaluation a
+//! tuning session performs, keyed by
+//! `(region content hash, machine digest, space digest)`, so that:
+//!
+//! * a repeat session over unchanged code **re-measures nothing** — the
+//!   core crate rehydrates its two-level memo cache from the store and
+//!   answers every previously seen proposal from disk;
+//! * adaptive search modules **warm-start** from the store's best prior
+//!   points ([`TuningStore::top_k`] feeds
+//!   `SearchModule::seed_observations`);
+//! * `suggest_program` retrieves the winning **recipe** of the
+//!   structurally nearest previously tuned region
+//!   ([`TuningStore::nearest_session`]) instead of falling back to
+//!   static heuristics alone;
+//! * editing one region **invalidates exactly that region's records**
+//!   ([`TuningStore::invalidate_stale`]), leaving siblings live — the
+//!   cross-session counterpart of the Sec. II coherence check.
+//!
+//! The on-disk format is versioned, line-oriented JSON (see
+//! [`record`]): a `#locus-store v1` header, then one record per line,
+//! append-only. No external dependencies; the codec is hand-rolled and
+//! skips unknown record kinds so the format can evolve.
+
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod store;
+
+pub use record::{EvalRecord, Record, RegionShape, SessionRecord, HEADER};
+pub use store::{StoreKey, TuningStore};

@@ -1,0 +1,528 @@
+//! On-disk record types and the line codec.
+//!
+//! Every line of a store file is either the versioned header
+//! (`#locus-store v1`) or one flat JSON object. Two record kinds exist:
+//!
+//! * `eval` — one evaluated point: canonical point key, variant digest,
+//!   objective, a measurement summary, the search module that proposed
+//!   it and the wall-clock the measurement took;
+//! * `session` — one finished tuning session: the region's structural
+//!   profile, the best point, and the *direct* (search-free) Locus
+//!   recipe it denotes, which `suggest_program` retrieves for similar
+//!   regions.
+//!
+//! Objectives are persisted as exact `f64` bit patterns (hex) next to a
+//! human-readable decimal: warm-started sessions must replay *bit
+//! identical* values, or cross-session determinism of the search
+//! trajectory would silently break. The codec is hand-rolled (the
+//! workspace has no serde) and tolerant: unknown keys are ignored and
+//! unknown kinds are skipped, so the format can grow.
+
+use locus_search::Objective;
+
+/// Version tag written as the first line of every store file.
+pub const HEADER: &str = "#locus-store v1";
+
+/// Structural profile of a code region, the retrieval key of `session`
+/// records. Mirrors the analysis-derived `RegionProfile` of the core
+/// crate without depending on it (the core crate depends on this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionShape {
+    /// Loop nest depth.
+    pub depth: usize,
+    /// Whether the nest is perfect.
+    pub perfect: bool,
+    /// Whether dependence analysis succeeded.
+    pub deps_available: bool,
+    /// Number of innermost loops.
+    pub inner_loops: usize,
+    /// Whether every innermost loop is provably vectorizable.
+    pub vectorizable: bool,
+}
+
+impl RegionShape {
+    /// Structural distance between two regions, used for
+    /// nearest-neighbor recipe retrieval. Depth and dependence
+    /// availability dominate — a recipe for a deep affine nest is
+    /// useless on a flat non-affine one — while vectorizability is a
+    /// tie-breaker.
+    pub fn distance(&self, other: &RegionShape) -> u32 {
+        (self.depth.abs_diff(other.depth) as u32) * 2
+            + u32::from(self.perfect != other.perfect) * 2
+            + u32::from(self.deps_available != other.deps_available) * 3
+            + self.inner_loops.abs_diff(other.inner_loops) as u32
+            + u32::from(self.vectorizable != other.vectorizable)
+    }
+}
+
+/// One evaluated point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// `Point::canonical_key` of the evaluated point.
+    pub point_key: String,
+    /// FNV-1a digest of the direct program the point denotes.
+    pub variant: u64,
+    /// The evaluation outcome (value = simulated milliseconds).
+    pub objective: Objective,
+    /// Simulated cycles of the measurement (0 for invalid/error).
+    pub cycles: f64,
+    /// Interpreted operations.
+    pub ops: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Result checksum (semantic-equivalence witness).
+    pub checksum: u64,
+    /// Name of the search module that proposed the point.
+    pub search: String,
+    /// Wall-clock milliseconds the measurement took.
+    pub wall_ms: f64,
+}
+
+/// One finished tuning session's summary: what region was tuned, what
+/// recipe won.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// Region id the session tuned.
+    pub region: String,
+    /// Structural profile of the region at tuning time.
+    pub shape: RegionShape,
+    /// `Point::canonical_key` of the winning point.
+    pub best_point: String,
+    /// Objective of the winning point (simulated milliseconds).
+    pub best_ms: f64,
+    /// The direct (search-free) Locus program of the winning point.
+    pub recipe: String,
+    /// Name of the search module that found it.
+    pub search: String,
+}
+
+/// A parsed store line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// An `eval` line, with the group key it belongs to.
+    Eval {
+        /// Group key of the record.
+        key: crate::StoreKey,
+        /// The record itself.
+        record: EvalRecord,
+    },
+    /// A `session` line, with the group key it belongs to.
+    Session {
+        /// Group key of the record.
+        key: crate::StoreKey,
+        /// The record itself.
+        record: SessionRecord,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    escape(value, out);
+    out.push(',');
+}
+
+fn push_raw_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+fn push_bits_field(out: &mut String, key: &str, value: f64) {
+    // Exact bit pattern first, approximate decimal for human readers.
+    push_str_field(out, key, &format!("{:016x}", value.to_bits()));
+    push_raw_field(out, &format!("{key}_dec"), format!("{value:.6}"));
+}
+
+fn key_fields(out: &mut String, key: &crate::StoreKey) {
+    let mut regions = String::new();
+    for (id, hash) in &key.regions {
+        regions.push_str(id);
+        regions.push(':');
+        regions.push_str(&format!("{hash:016x}"));
+        regions.push(',');
+    }
+    push_str_field(out, "regions", &regions);
+    push_str_field(out, "machine", &format!("{:016x}", key.machine));
+    push_str_field(out, "space", &format!("{:016x}", key.space));
+}
+
+/// Encodes an `eval` line (no trailing newline).
+pub fn encode_eval(key: &crate::StoreKey, r: &EvalRecord) -> String {
+    let mut out = String::from("{");
+    push_str_field(&mut out, "kind", "eval");
+    key_fields(&mut out, key);
+    push_str_field(&mut out, "point", &r.point_key);
+    push_str_field(&mut out, "variant", &format!("{:016x}", r.variant));
+    let (tag, ms) = match r.objective {
+        Objective::Value(v) => ("V", v),
+        Objective::Invalid => ("I", 0.0),
+        Objective::Error => ("E", 0.0),
+    };
+    push_str_field(&mut out, "obj", tag);
+    push_bits_field(&mut out, "ms", ms);
+    push_bits_field(&mut out, "cycles", r.cycles);
+    push_raw_field(&mut out, "ops", r.ops);
+    push_raw_field(&mut out, "flops", r.flops);
+    push_str_field(&mut out, "checksum", &format!("{:016x}", r.checksum));
+    push_str_field(&mut out, "search", &r.search);
+    push_raw_field(&mut out, "wall_ms", format!("{:.6}", r.wall_ms));
+    finish(out)
+}
+
+/// Encodes a `session` line (no trailing newline).
+pub fn encode_session(key: &crate::StoreKey, r: &SessionRecord) -> String {
+    let mut out = String::from("{");
+    push_str_field(&mut out, "kind", "session");
+    key_fields(&mut out, key);
+    push_str_field(&mut out, "region", &r.region);
+    push_raw_field(&mut out, "depth", r.shape.depth);
+    push_raw_field(&mut out, "perfect", r.shape.perfect);
+    push_raw_field(&mut out, "deps", r.shape.deps_available);
+    push_raw_field(&mut out, "inner", r.shape.inner_loops);
+    push_raw_field(&mut out, "vec", r.shape.vectorizable);
+    push_str_field(&mut out, "best_point", &r.best_point);
+    push_bits_field(&mut out, "best_ms", r.best_ms);
+    push_str_field(&mut out, "recipe", &r.recipe);
+    push_str_field(&mut out, "search", &r.search);
+    finish(out)
+}
+
+fn finish(mut out: String) -> String {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Parses a flat JSON object into key/value pairs. String values are
+/// unescaped; everything else (numbers, booleans) is kept verbatim.
+fn parse_object(line: &str) -> Option<Vec<(String, String)>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek()? {
+            '}' => return Some(fields),
+            ',' | ' ' => {
+                chars.next();
+            }
+            '"' => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = if chars.peek() == Some(&'"') {
+                    parse_string(&mut chars)?
+                } else {
+                    let mut raw = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c == ',' || c == '}' {
+                            break;
+                        }
+                        raw.push(c);
+                        chars.next();
+                    }
+                    raw.trim().to_string()
+                };
+                fields.push((key, value));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek() == Some(&' ') {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn parse_key(get: &impl Fn(&str) -> Option<String>) -> Option<crate::StoreKey> {
+    let mut regions = Vec::new();
+    for entry in get("regions")?.split(',') {
+        if entry.is_empty() {
+            continue;
+        }
+        let (id, hash) = entry.rsplit_once(':')?;
+        regions.push((id.to_string(), hex64(hash)?));
+    }
+    Some(crate::StoreKey::new(
+        regions,
+        hex64(&get("machine")?)?,
+        hex64(&get("space")?)?,
+    ))
+}
+
+/// Decodes one store line. Returns `None` for lines this version does
+/// not understand (malformed, or a future record kind) — callers skip
+/// them so old binaries tolerate newer files.
+pub fn decode(line: &str) -> Option<Record> {
+    let fields = parse_object(line)?;
+    let get = |key: &str| -> Option<String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let key = parse_key(&get)?;
+    match get("kind")?.as_str() {
+        "eval" => {
+            let objective = match get("obj")?.as_str() {
+                "V" => Objective::Value(f64::from_bits(hex64(&get("ms")?)?)),
+                "I" => Objective::Invalid,
+                "E" => Objective::Error,
+                _ => return None,
+            };
+            Some(Record::Eval {
+                key,
+                record: EvalRecord {
+                    point_key: get("point")?,
+                    variant: hex64(&get("variant")?)?,
+                    objective,
+                    cycles: f64::from_bits(hex64(&get("cycles")?)?),
+                    ops: get("ops")?.parse().ok()?,
+                    flops: get("flops")?.parse().ok()?,
+                    checksum: hex64(&get("checksum")?)?,
+                    search: get("search")?,
+                    wall_ms: get("wall_ms")?.parse().ok()?,
+                },
+            })
+        }
+        "session" => Some(Record::Session {
+            key,
+            record: SessionRecord {
+                region: get("region")?,
+                shape: RegionShape {
+                    depth: get("depth")?.parse().ok()?,
+                    perfect: get("perfect")? == "true",
+                    deps_available: get("deps")? == "true",
+                    inner_loops: get("inner")?.parse().ok()?,
+                    vectorizable: get("vec")? == "true",
+                },
+                best_point: get("best_point")?,
+                best_ms: f64::from_bits(hex64(&get("best_ms")?)?),
+                recipe: get("recipe")?,
+                search: get("search")?,
+            },
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> crate::StoreKey {
+        crate::StoreKey::new(vec![("matmul".into(), 0xabcd)], 0x1111, 0x2222)
+    }
+
+    #[test]
+    fn eval_round_trips_bit_exactly() {
+        let r = EvalRecord {
+            point_key: "tileI=i32;or:omp=c1;".into(),
+            variant: 0xdead_beef_cafe_f00d,
+            objective: Objective::Value(0.1 + 0.2), // a value with ugly bits
+            cycles: 1234.5678,
+            ops: 99,
+            flops: 42,
+            checksum: 0x0123_4567_89ab_cdef,
+            search: "bandit (opentuner-like)".into(),
+            wall_ms: 0.25,
+        };
+        let line = encode_eval(&key(), &r);
+        let Some(Record::Eval { key: k, record }) = decode(&line) else {
+            panic!("decodes: {line}");
+        };
+        assert_eq!(k, key());
+        assert_eq!(record, r);
+        // Bit-exactness is the contract, not approximate equality.
+        let (Objective::Value(a), Objective::Value(b)) = (record.objective, r.objective) else {
+            panic!();
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn invalid_and_error_outcomes_round_trip() {
+        for objective in [Objective::Invalid, Objective::Error] {
+            let r = EvalRecord {
+                point_key: "x=i1;".into(),
+                variant: 7,
+                objective,
+                cycles: 0.0,
+                ops: 0,
+                flops: 0,
+                checksum: 0,
+                search: "exhaustive".into(),
+                wall_ms: 0.0,
+            };
+            let Some(Record::Eval { record, .. }) = decode(&encode_eval(&key(), &r)) else {
+                panic!("decodes");
+            };
+            assert_eq!(record.objective, objective);
+        }
+    }
+
+    #[test]
+    fn session_round_trips_with_multiline_recipe() {
+        let r = SessionRecord {
+            region: "matmul".into(),
+            shape: RegionShape {
+                depth: 3,
+                perfect: true,
+                deps_available: true,
+                inner_loops: 1,
+                vectorizable: false,
+            },
+            best_point: "tileI=i16;".into(),
+            best_ms: 1.5,
+            recipe: "CodeReg matmul {\n    RoseLocus.Interchange(order=[0, 2, 1]);\n}\n".into(),
+            search: "bandit".into(),
+        };
+        let line = encode_session(&key(), &r);
+        assert!(!line.contains('\n'), "one record per line: {line}");
+        let Some(Record::Session { record, .. }) = decode(&line) else {
+            panic!("decodes: {line}");
+        };
+        assert_eq!(record, r);
+    }
+
+    #[test]
+    fn strings_with_quotes_and_backslashes_survive() {
+        let r = SessionRecord {
+            region: "r".into(),
+            shape: RegionShape {
+                depth: 1,
+                perfect: false,
+                deps_available: false,
+                inner_loops: 1,
+                vectorizable: false,
+            },
+            best_point: String::new(),
+            best_ms: 0.0,
+            recipe: "Pips.Tiling(loop=\"0\", factor=[8]);\\ tab:\there".into(),
+            search: "s".into(),
+        };
+        let Some(Record::Session { record, .. }) = decode(&encode_session(&key(), &r)) else {
+            panic!("decodes");
+        };
+        assert_eq!(record.recipe, r.recipe);
+    }
+
+    #[test]
+    fn unknown_kinds_and_garbage_are_skipped() {
+        assert!(decode("not json at all").is_none());
+        assert!(decode("{\"kind\":\"eval\"}").is_none(), "missing fields");
+        let mut line = encode_eval(
+            &key(),
+            &EvalRecord {
+                point_key: "x=i1;".into(),
+                variant: 1,
+                objective: Objective::Value(1.0),
+                cycles: 0.0,
+                ops: 0,
+                flops: 0,
+                checksum: 0,
+                search: "s".into(),
+                wall_ms: 0.0,
+            },
+        );
+        line = line.replace("\"kind\":\"eval\"", "\"kind\":\"v2-hologram\"");
+        assert!(decode(&line).is_none(), "future kinds skip, not crash");
+    }
+
+    #[test]
+    fn shape_distance_prefers_structurally_similar_regions() {
+        let deep = RegionShape {
+            depth: 3,
+            perfect: true,
+            deps_available: true,
+            inner_loops: 1,
+            vectorizable: true,
+        };
+        let same = deep;
+        let shallow = RegionShape {
+            depth: 1,
+            perfect: true,
+            deps_available: true,
+            inner_loops: 1,
+            vectorizable: true,
+        };
+        let nonaffine = RegionShape {
+            depth: 3,
+            perfect: true,
+            deps_available: false,
+            inner_loops: 1,
+            vectorizable: false,
+        };
+        assert_eq!(deep.distance(&same), 0);
+        assert!(deep.distance(&shallow) > 0);
+        assert!(deep.distance(&nonaffine) > deep.distance(&same));
+    }
+}

@@ -1,0 +1,405 @@
+//! The persistent store: an append-only JSONL log plus a compact
+//! in-memory index.
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use locus_space::Point;
+
+use crate::record::{
+    decode, encode_eval, encode_session, EvalRecord, Record, RegionShape, SessionRecord, HEADER,
+};
+
+/// The identity of a tuning context: which code (region hashes), which
+/// machine, which optimization space. Records are grouped under this
+/// key; a session only rehydrates records whose key matches its own
+/// exactly, so a changed region, machine or space can never replay a
+/// stale measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// `(region id, region content hash)` pairs, sorted by id.
+    pub regions: Vec<(String, u64)>,
+    /// `MachineConfig::digest()` of the measuring machine.
+    pub machine: u64,
+    /// `Space::digest()` of the optimization space.
+    pub space: u64,
+}
+
+impl StoreKey {
+    /// Creates a key; region pairs are sorted so construction order
+    /// never influences identity.
+    pub fn new(mut regions: Vec<(String, u64)>, machine: u64, space: u64) -> StoreKey {
+        regions.sort();
+        regions.dedup();
+        StoreKey {
+            regions,
+            machine,
+            space,
+        }
+    }
+}
+
+/// All records of one [`StoreKey`], in insertion (= on-disk) order.
+#[derive(Debug, Default)]
+struct Group {
+    records: Vec<EvalRecord>,
+    by_point: HashMap<String, usize>,
+}
+
+/// A persistent, append-only tuning-results database.
+///
+/// The on-disk format is line-oriented: a versioned header
+/// (`#locus-store v1`) followed by one JSON record per line (see
+/// [`crate::record`]). Appends never rewrite earlier lines, so a
+/// crashed session loses at most its unflushed tail and concurrent
+/// readers always see a valid prefix. The in-memory index deduplicates
+/// by canonical point key within each group (first record wins — the
+/// simulated machine is deterministic, so later duplicates carry no new
+/// information).
+#[derive(Debug)]
+pub struct TuningStore {
+    path: PathBuf,
+    groups: HashMap<StoreKey, Group>,
+    sessions: Vec<(StoreKey, SessionRecord)>,
+    skipped_lines: usize,
+}
+
+impl TuningStore {
+    /// Opens (or creates) a store file. A fresh file gets the versioned
+    /// header; an existing file's header is validated.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the file
+    /// exists but carries a different format version.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TuningStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut store = TuningStore {
+            path: path.clone(),
+            groups: HashMap::new(),
+            sessions: Vec::new(),
+            skipped_lines: 0,
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => store.load(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                std::fs::write(&path, format!("{HEADER}\n"))?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(store)
+    }
+
+    fn load(&mut self, text: &str) -> io::Result<()> {
+        let mut lines = text.lines();
+        match lines.next() {
+            None | Some("") => {
+                // An empty file is adopted as a fresh v1 store.
+                std::fs::write(&self.path, format!("{HEADER}\n"))?;
+                return Ok(());
+            }
+            Some(header) if header == HEADER => {}
+            Some(header) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported store header `{header}` (expected `{HEADER}`)"),
+                ));
+            }
+        }
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match decode(line) {
+                Some(Record::Eval { key, record }) => {
+                    self.index_eval(key, record);
+                }
+                Some(Record::Session { key, record }) => self.sessions.push((key, record)),
+                None => self.skipped_lines += 1,
+            }
+        }
+        Ok(())
+    }
+
+    fn index_eval(&mut self, key: StoreKey, record: EvalRecord) -> bool {
+        let group = self.groups.entry(key).or_default();
+        if group.by_point.contains_key(&record.point_key) {
+            return false;
+        }
+        group
+            .by_point
+            .insert(record.point_key.clone(), group.records.len());
+        group.records.push(record);
+        true
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines skipped on load (malformed or future record kinds).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Total live evaluation records across all groups.
+    pub fn len(&self) -> usize {
+        self.groups.values().map(|g| g.records.len()).sum()
+    }
+
+    /// Whether the store holds no evaluation records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live evaluation records of one key, in insertion order.
+    pub fn evals(&self, key: &StoreKey) -> &[EvalRecord] {
+        self.groups
+            .get(key)
+            .map(|g| g.records.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All session records, in insertion order.
+    pub fn sessions(&self) -> impl Iterator<Item = &(StoreKey, SessionRecord)> {
+        self.sessions.iter()
+    }
+
+    /// Appends evaluation records under `key`, skipping point keys the
+    /// group already holds. Returns how many records were written.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_evals(&mut self, key: &StoreKey, records: &[EvalRecord]) -> io::Result<usize> {
+        let mut lines = String::new();
+        let mut appended = 0;
+        for record in records {
+            if self.index_eval(key.clone(), record.clone()) {
+                lines.push_str(&encode_eval(key, record));
+                lines.push('\n');
+                appended += 1;
+            }
+        }
+        if appended > 0 {
+            self.append_raw(&lines)?;
+        }
+        Ok(appended)
+    }
+
+    /// Appends one session summary under `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_session(&mut self, key: &StoreKey, record: SessionRecord) -> io::Result<()> {
+        let mut line = encode_session(key, &record);
+        line.push('\n');
+        self.append_raw(&line)?;
+        self.sessions.push((key.clone(), record));
+        Ok(())
+    }
+
+    fn append_raw(&self, text: &str) -> io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(text.as_bytes())
+    }
+
+    /// Drops every group and session whose key mentions a region id
+    /// present in `current` under a *different* content hash — the
+    /// cross-session counterpart of the paper's Sec. II coherence check.
+    /// Groups for regions absent from `current` (other source files
+    /// sharing the store) stay live. Returns the number of evaluation
+    /// records dropped.
+    ///
+    /// The on-disk log is untouched (append-only); stale lines are
+    /// simply never rehydrated again because their group key can no
+    /// longer match a live session's key.
+    pub fn invalidate_stale(&mut self, current: &HashMap<String, u64>) -> usize {
+        let stale = |regions: &[(String, u64)]| {
+            regions
+                .iter()
+                .any(|(id, hash)| current.get(id).is_some_and(|cur| cur != hash))
+        };
+        let mut dropped = 0;
+        self.groups.retain(|key, group| {
+            if stale(&key.regions) {
+                dropped += group.records.len();
+                false
+            } else {
+                true
+            }
+        });
+        self.sessions.retain(|(key, _)| !stale(&key.regions));
+        dropped
+    }
+
+    /// The `k` best valid prior points of a group, sorted by objective
+    /// (ties broken by canonical key, so the result is deterministic for
+    /// a given store state) — the warm-start feed for
+    /// `SearchModule::seed_observations`.
+    pub fn top_k(&self, key: &StoreKey, k: usize) -> Vec<(Point, f64)> {
+        let mut valid: Vec<(&EvalRecord, f64)> = self
+            .evals(key)
+            .iter()
+            .filter_map(|r| r.objective.value().map(|v| (r, v)))
+            .collect();
+        valid.sort_by(|(ra, va), (rb, vb)| {
+            va.total_cmp(vb)
+                .then_with(|| ra.point_key.cmp(&rb.point_key))
+        });
+        valid
+            .into_iter()
+            .take(k)
+            .filter_map(|(r, v)| Point::parse_canonical_key(&r.point_key).map(|p| (p, v)))
+            .collect()
+    }
+
+    /// The structurally nearest session record within `max_distance` of
+    /// `shape` — the retrieval behind store-backed `suggest_program`.
+    /// Among equally near sessions the best (lowest `best_ms`) wins;
+    /// remaining ties resolve to the earliest record, so retrieval is
+    /// deterministic.
+    pub fn nearest_session(
+        &self,
+        shape: &RegionShape,
+        max_distance: u32,
+    ) -> Option<(&SessionRecord, u32)> {
+        self.sessions
+            .iter()
+            .map(|(_, s)| (s, s.shape.distance(shape)))
+            .filter(|(_, d)| *d <= max_distance)
+            .min_by(|(sa, da), (sb, db)| da.cmp(db).then_with(|| sa.best_ms.total_cmp(&sb.best_ms)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_search::Objective;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos();
+        std::env::temp_dir().join(format!(
+            "locus-store-{tag}-{}-{nanos}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn eval(point: &str, ms: f64) -> EvalRecord {
+        EvalRecord {
+            point_key: point.to_string(),
+            variant: 0x42,
+            objective: Objective::Value(ms),
+            cycles: ms * 1000.0,
+            ops: 10,
+            flops: 5,
+            checksum: 0x99,
+            search: "test".into(),
+            wall_ms: 0.1,
+        }
+    }
+
+    #[test]
+    fn open_append_drop_reopen_round_trips() {
+        let path = tmp_path("roundtrip");
+        let k = StoreKey::new(vec![("matmul".into(), 0xaa)], 0x1, 0x5);
+        {
+            let mut store = TuningStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            let n = store
+                .append_evals(&k, &[eval("x=i1;", 2.0), eval("x=i2;", 1.0)])
+                .unwrap();
+            assert_eq!(n, 2);
+            // Duplicate point keys are not re-written.
+            assert_eq!(store.append_evals(&k, &[eval("x=i1;", 2.0)]).unwrap(), 0);
+        }
+        let store = TuningStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.skipped_lines(), 0);
+        assert_eq!(store.evals(&k).len(), 2);
+        let top = store.top_k(&k, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 1.0, "best first");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_is_versioned() {
+        let path = tmp_path("header");
+        TuningStore::open(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("#locus-store v1\n"));
+
+        std::fs::write(&path, "#locus-store v99\n").unwrap();
+        let err = TuningStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalidation_is_per_region() {
+        let path = tmp_path("invalidate");
+        let ka = StoreKey::new(vec![("a".into(), 0xa1)], 0x1, 0x5);
+        let kb = StoreKey::new(vec![("b".into(), 0xb1)], 0x1, 0x5);
+        let mut store = TuningStore::open(&path).unwrap();
+        store.append_evals(&ka, &[eval("x=i1;", 1.0)]).unwrap();
+        store.append_evals(&kb, &[eval("x=i1;", 1.0)]).unwrap();
+
+        // Region `a` changed, `b` did not; `c` is unknown to the source.
+        let current = HashMap::from([("a".to_string(), 0xa2u64), ("b".to_string(), 0xb1u64)]);
+        let dropped = store.invalidate_stale(&current);
+        assert_eq!(dropped, 1);
+        assert!(store.evals(&ka).is_empty(), "edited region invalidated");
+        assert_eq!(store.evals(&kb).len(), 1, "sibling region stays live");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_future_lines_are_skipped_not_fatal() {
+        let path = tmp_path("future");
+        std::fs::write(
+            &path,
+            "#locus-store v1\n{\"kind\":\"telemetry\",\"regions\":\"\",\"machine\":\"0\",\"space\":\"0\"}\nnot json\n",
+        )
+        .unwrap();
+        let store = TuningStore::open(&path).unwrap();
+        assert_eq!(store.skipped_lines(), 2);
+        assert!(store.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn top_k_breaks_value_ties_by_point_key() {
+        let path = tmp_path("topk");
+        let k = StoreKey::new(vec![("r".into(), 0x1)], 0x1, 0x1);
+        let mut store = TuningStore::open(&path).unwrap();
+        store
+            .append_evals(
+                &k,
+                &[
+                    eval("x=i3;", 1.0),
+                    eval("x=i1;", 1.0),
+                    eval("x=i2;", 0.5),
+                    EvalRecord {
+                        objective: Objective::Invalid,
+                        ..eval("x=i9;", 0.0)
+                    },
+                ],
+            )
+            .unwrap();
+        let top = store.top_k(&k, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 0.5);
+        assert_eq!(top[1].0.canonical_key(), "x=i1;", "tie broken by key");
+        std::fs::remove_file(&path).ok();
+    }
+}

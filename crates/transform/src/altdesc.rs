@@ -119,7 +119,9 @@ pub fn parse_snippet(snippet: &str) -> TransformResult<Vec<Stmt>> {
         match &s.kind {
             StmtKind::Block(inner)
                 if s.pragmas.is_empty()
-                    && inner.iter().all(|d| matches!(d.kind, StmtKind::Decl { .. })) =>
+                    && inner
+                        .iter()
+                        .all(|d| matches!(d.kind, StmtKind::Decl { .. })) =>
             {
                 stmts.extend(inner.clone());
             }
@@ -186,17 +188,15 @@ mod tests {
 
     #[test]
     fn bad_snippet_is_an_error() {
-        let mut root = region(
-            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
-        );
+        let mut root =
+            region("void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }");
         assert!(altdesc(&mut root, &"0.0".parse().unwrap(), "int = ;").is_err());
     }
 
     #[test]
     fn bad_target_is_an_error() {
-        let mut root = region(
-            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
-        );
+        let mut root =
+            region("void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }");
         assert!(altdesc(&mut root, &"0.9".parse().unwrap(), "int a = 1;").is_err());
     }
 }

@@ -38,10 +38,7 @@ pub fn distribute(root: &mut Stmt, target: &HierIndex, check_legality: bool) -> 
                 "distribution needs at least two body statements",
             ));
         }
-        if body
-            .iter()
-            .any(|s| matches!(s.kind, StmtKind::Decl { .. }))
-        {
+        if body.iter().any(|s| matches!(s.kind, StmtKind::Decl { .. })) {
             return Err(TransformError::error(
                 "body declares locals; distribution would break their scope",
             ));
@@ -160,9 +157,8 @@ mod tests {
 
     #[test]
     fn single_statement_body_is_an_error() {
-        let mut root = region(
-            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }",
-        );
+        let mut root =
+            region("void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 1.0; }");
         assert!(distribute(&mut root, &HierIndex::root(), true).is_err());
         // ... but distribute_all skips it.
         distribute_all(&mut root, &[HierIndex::root()], true).unwrap();

@@ -43,10 +43,10 @@ pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> Transfo
         let b = siblings.get(position + 1).ok_or_else(|| {
             TransformError::error("loop to fuse has no following sibling statement")
         })?;
-        let ca = canonicalize(a)
-            .ok_or_else(|| TransformError::error("first loop is not canonical"))?;
-        let cb = canonicalize(b)
-            .ok_or_else(|| TransformError::error("second loop is not canonical"))?;
+        let ca =
+            canonicalize(a).ok_or_else(|| TransformError::error("first loop is not canonical"))?;
+        let cb =
+            canonicalize(b).ok_or_else(|| TransformError::error("second loop is not canonical"))?;
         if ca.lower != cb.lower
             || ca.upper != cb.upper
             || ca.inclusive != cb.inclusive

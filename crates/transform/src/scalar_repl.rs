@@ -247,7 +247,10 @@ mod tests {
         scalar_replacement(&mut root).unwrap();
         let printed = print_stmt(&root);
         // C[i][j] is invariant in k: loaded before, stored after.
-        assert!(printed.contains("double __t0 = C[i][j];"), "printed:\n{printed}");
+        assert!(
+            printed.contains("double __t0 = C[i][j];"),
+            "printed:\n{printed}"
+        );
         assert!(printed.contains("C[i][j] = __t0;"), "printed:\n{printed}");
         assert!(printed.contains("__t0 = __t0 + A[i][k] * B[k][j]"));
     }
@@ -263,7 +266,10 @@ mod tests {
         );
         scalar_replacement(&mut root).unwrap();
         let printed = print_stmt(&root);
-        assert!(printed.contains("double __t0 = c[i];"), "printed:\n{printed}");
+        assert!(
+            printed.contains("double __t0 = c[i];"),
+            "printed:\n{printed}"
+        );
         assert!(!printed.contains("c[i] = __t0"));
     }
 

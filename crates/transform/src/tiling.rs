@@ -106,7 +106,11 @@ pub fn tile(
             Expr::ident(&canon.var),
             min_expr(
                 canon.exclusive_upper(),
-                Expr::bin(locus_srcir::ast::BinOp::Add, Expr::ident(tile_var), Expr::int(size)),
+                Expr::bin(
+                    locus_srcir::ast::BinOp::Add,
+                    Expr::ident(tile_var),
+                    Expr::int(size),
+                ),
             ),
         );
         let step = Expr::Assign {
@@ -280,9 +284,8 @@ mod tests {
 
     #[test]
     fn single_loop_tiling_is_strip_mining() {
-        let mut root = region(
-            "void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 0.0; }",
-        );
+        let mut root =
+            region("void f(int n, double A[64]) { for (int i = 0; i < n; i++) A[i] = 0.0; }");
         tile(&mut root, &HierIndex::root(), &[8], true).unwrap();
         let nest = perfect_nest_loops(&root);
         assert_eq!(nest.len(), 2);

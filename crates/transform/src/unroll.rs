@@ -60,7 +60,12 @@ pub fn unroll_all(root: &mut Stmt, targets: &[HierIndex], factor: u64) -> Transf
     Ok(())
 }
 
-fn body_copies(loop_stmt: &Stmt, canon: &CanonLoop, count: u64, offset_of: impl Fn(u64) -> Expr) -> Vec<Stmt> {
+fn body_copies(
+    loop_stmt: &Stmt,
+    canon: &CanonLoop,
+    count: u64,
+    offset_of: impl Fn(u64) -> Expr,
+) -> Vec<Stmt> {
     let body = loop_stmt.as_for().expect("canonical loop").body.clone();
     let mut out = Vec::new();
     for k in 0..count {
@@ -183,7 +188,11 @@ mod tests {
     fn partial_unroll_divisible_has_no_remainder() {
         let mut root = simple(16);
         unroll(&mut root, &HierIndex::root(), 4).unwrap();
-        assert!(root.is_for(), "no remainder expected: {}", locus_srcir::print_stmt(&root));
+        assert!(
+            root.is_for(),
+            "no remainder expected: {}",
+            locus_srcir::print_stmt(&root)
+        );
         let printed = locus_srcir::print_stmt(&root);
         assert!(printed.contains("i += 4"));
         assert!(printed.contains("A[i + 3] = B[i + 3] + 1.0"));

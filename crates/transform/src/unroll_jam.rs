@@ -38,7 +38,9 @@ pub fn unroll_and_jam(
     check_legality: bool,
 ) -> TransformResult {
     if factor == 0 {
-        return Err(TransformError::error("unroll-and-jam factor must be positive"));
+        return Err(TransformError::error(
+            "unroll-and-jam factor must be positive",
+        ));
     }
     if factor == 1 {
         return Ok(());

@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release --example kripke_layouts`
 
-use locus::corpus::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+use locus::corpus::{
+    kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS,
+};
 use locus::machine::{Machine, MachineConfig};
 use locus::space::{ParamValue, Point};
 use locus::system::LocusSystem;

@@ -41,9 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    let system = LocusSystem::new(Machine::new(
-        MachineConfig::scaled_small().with_cores(8),
-    ));
+    let system = LocusSystem::new(Machine::new(MachineConfig::scaled_small().with_cores(8)));
 
     let budget = 40;
     println!("searching {budget} of the space's variants with the bandit ensemble...");
@@ -51,10 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = system.tune(&source, &locus_program, &mut search, budget)?;
 
     println!("space size      : {} variants", result.space_size);
-    println!("evaluated       : {} distinct variants", result.outcome.evaluations);
-    println!("invalid points  : {} (dependent-range violations)", result.outcome.invalid);
-    println!("duplicates      : {} (skipped via memoization)", result.outcome.duplicates);
-    println!("baseline        : {:.3} simulated ms", result.baseline.time_ms);
+    println!(
+        "evaluated       : {} distinct variants",
+        result.outcome.evaluations
+    );
+    println!(
+        "invalid points  : {} (dependent-range violations)",
+        result.outcome.invalid
+    );
+    println!(
+        "duplicates      : {} (skipped via memoization)",
+        result.outcome.duplicates
+    );
+    println!(
+        "baseline        : {:.3} simulated ms",
+        result.baseline.time_ms
+    );
     if let Some((point, _, best)) = &result.best {
         println!("best variant    : {:.3} simulated ms", best.time_ms);
         println!("speedup         : {:.2}x", result.speedup());

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example portfolio_search`
 
+use locus::machine::{Machine, MachineConfig};
 use locus::search::{AnnealTuner, BanditTuner, PortfolioSearch, RandomSearch, SearchModule};
 use locus::system::LocusSystem;
-use locus::machine::{Machine, MachineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = locus::corpus::dgemm_program(48);
@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }"#,
     )?;
-    let system = LocusSystem::new(Machine::new(
-        MachineConfig::scaled_small().with_cores(4),
-    ));
+    let system = LocusSystem::new(Machine::new(MachineConfig::scaled_small().with_cores(4)));
 
     let budget = 30;
     println!("module                      speedup  evals  dups");

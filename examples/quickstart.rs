@@ -46,10 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- optimized region ---------------------------------------");
     println!("{}", locus::srcir::print_program(&optimized));
-    println!("baseline : {:>10.0} cycles ({} memory accesses)",
-        before.cycles, before.cache.memory_accesses);
-    println!("optimized: {:>10.0} cycles ({} memory accesses)",
-        after.cycles, after.cache.memory_accesses);
+    println!(
+        "baseline : {:>10.0} cycles ({} memory accesses)",
+        before.cycles, before.cache.memory_accesses
+    );
+    println!(
+        "optimized: {:>10.0} cycles ({} memory accesses)",
+        after.cycles, after.cache.memory_accesses
+    );
     println!("speedup  : {:.2}x", before.cycles / after.cycles);
     assert_eq!(
         before.checksum, after.checksum,

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("baseline : {:.3} simulated ms", result.baseline.time_ms);
     if let Some((point, program, best)) = &result.best {
-        println!("best     : {:.3} simulated ms ({:.2}x)", best.time_ms, result.speedup());
+        println!(
+            "best     : {:.3} simulated ms ({:.2}x)",
+            best.time_ms,
+            result.speedup()
+        );
         println!("chosen   : {:?}", point.get("skew1"));
         assert_eq!(best.checksum, result.baseline.checksum, "tiling is exact");
         println!("\n--- time-skewed tile loops (excerpt) -----------------------");

@@ -4,6 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The store round-trip named explicitly: write, drop, reopen, warm-start
+# to the identical best point with zero re-measurements.
+cargo test -q --offline --test store_persistence
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -15,6 +15,8 @@
 //! * [`space`] — the optimization-space representation;
 //! * [`search`] — search modules (exhaustive, random, bandit ensemble,
 //!   annealing);
+//! * [`store`] — the persistent tuning-results store (cross-session
+//!   memoization, warm-started search, recipe retrieval);
 //! * [`system`] — the orchestrator tying everything together;
 //! * [`baselines`] — Pluto-like / MKL-like comparators;
 //! * [`corpus`] — the evaluation kernels and synthetic loop-nest corpus.
@@ -34,4 +36,5 @@ pub use locus_machine as machine;
 pub use locus_search as search;
 pub use locus_space as space;
 pub use locus_srcir as srcir;
+pub use locus_store as store;
 pub use locus_transform as transform;

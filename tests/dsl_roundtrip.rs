@@ -69,11 +69,13 @@ fn minic_reprint_preserves_execution() {
         let src = random_minic(&mut rng);
         let p1 = locus::srcir::parse_program(&src).expect("parses");
         let m1 = machine.run(&p1, "kernel").expect("runs");
-        let p2 =
-            locus::srcir::parse_program(&locus::srcir::print_program(&p1)).expect("reparses");
+        let p2 = locus::srcir::parse_program(&locus::srcir::print_program(&p1)).expect("reparses");
         let m2 = machine.run(&p2, "kernel").expect("reruns");
         assert_eq!(m1.checksum, m2.checksum, "trial {trial}");
-        assert_eq!(m1.cycles, m2.cycles, "trial {trial}: costs must be deterministic");
+        assert_eq!(
+            m1.cycles, m2.cycles,
+            "trial {trial}: costs must be deterministic"
+        );
     }
 }
 
@@ -116,7 +118,11 @@ fn space_point_at_is_injective_and_in_domain() {
         let mut seen = std::collections::HashSet::new();
         for k in 0..sample {
             // Spread indices over the whole range.
-            let idx = if sample == size { k } else { k * (size / sample) };
+            let idx = if sample == size {
+                k
+            } else {
+                k * (size / sample)
+            };
             let point = space.point_at(idx);
             assert_eq!(point.len(), space.len(), "trial {trial}");
             seen.insert(point.canonical_key());
@@ -142,10 +148,7 @@ fn random_and_mutated_points_stay_in_domain() {
                         assert!(x >= min && x <= max, "trial {trial}");
                     }
                     (ParamKind::PowerOfTwo { min, max }, ParamValue::Int(x)) => {
-                        assert!(
-                            x >= min && x <= max && x.count_ones() == 1,
-                            "trial {trial}"
-                        );
+                        assert!(x >= min && x <= max && x.count_ones() == 1, "trial {trial}");
                     }
                     (ParamKind::Permutation(n), ParamValue::Perm(perm)) => {
                         let mut sorted = perm.clone();
@@ -195,8 +198,14 @@ fn assert_locus_round_trip(label: &str, program: &LocusProgram) {
 #[test]
 fn figure_programs_round_trip() {
     use locus::corpus::{KripkeKernel, Stencil};
-    assert_locus_round_trip("fig7(max_tile=64)", &locus_bench::fig6::fig7_locus_program(64));
-    assert_locus_round_trip("fig7(max_tile=4)", &locus_bench::fig6::fig7_locus_program(4));
+    assert_locus_round_trip(
+        "fig7(max_tile=64)",
+        &locus_bench::fig6::fig7_locus_program(64),
+    );
+    assert_locus_round_trip(
+        "fig7(max_tile=4)",
+        &locus_bench::fig6::fig7_locus_program(4),
+    );
     for stencil in Stencil::ALL {
         assert_locus_round_trip(
             &format!("fig9({stencil:?})"),

@@ -114,7 +114,9 @@ fn variant_checksum_guard_rejects_wrong_code() {
     let mut system = LocusSystem::new(small_machine(1));
     system.check_legality = false; // expert override...
     let mut search = ExhaustiveSearch::default();
-    let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
+    let result = system
+        .tune(&source, &locus_program, &mut search, 4)
+        .unwrap();
     // ...but the empirical result check catches the broken variant.
     assert!(result.best.is_none());
     assert_eq!(result.outcome.evaluations, 1);
@@ -123,7 +125,9 @@ fn variant_checksum_guard_rejects_wrong_code() {
     let mut strict = LocusSystem::new(small_machine(1));
     strict.check_legality = true;
     let mut search = ExhaustiveSearch::default();
-    let result = strict.tune(&source, &locus_program, &mut search, 4).unwrap();
+    let result = strict
+        .tune(&source, &locus_program, &mut search, 4)
+        .unwrap();
     assert!(result.best.is_none());
 }
 

@@ -29,7 +29,9 @@ fn shipped_direct_program_reproduces_the_tuned_variant() {
     .unwrap();
     let system = LocusSystem::new(machine(1));
     let mut search = BanditTuner::new(11);
-    let result = system.tune(&source, &locus_program, &mut search, 12).unwrap();
+    let result = system
+        .tune(&source, &locus_program, &mut search, 12)
+        .unwrap();
     let (point, _, best_measurement) = result.best.expect("found a variant");
 
     // Render the direct program and run it through the direct workflow:
@@ -170,7 +172,9 @@ fn portfolio_search_drives_the_full_system() {
     .unwrap();
     let system = LocusSystem::new(machine(1));
     let mut search = PortfolioSearch::new(3);
-    let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
+    let result = system
+        .tune(&source, &locus_program, &mut search, 4)
+        .unwrap();
     assert_eq!(result.outcome.evaluations, 4, "whole 4-point space covered");
     assert!(result.best.is_some());
 }
@@ -289,7 +293,9 @@ fn fusion_or_distribution_is_searchable() {
     .unwrap();
     let system = LocusSystem::new(machine(1));
     let mut search = locus::search::ExhaustiveSearch::default();
-    let result = system.tune(&source, &locus_program, &mut search, 4).unwrap();
+    let result = system
+        .tune(&source, &locus_program, &mut search, 4)
+        .unwrap();
     assert_eq!(result.outcome.evaluations, 2);
     assert!(result.best.is_some());
 }

@@ -35,11 +35,7 @@ struct Fingerprint {
 fn fingerprint(result: &locus::system::TuneResult) -> Fingerprint {
     Fingerprint {
         best_key: result.best.as_ref().map(|(p, _, _)| p.canonical_key()),
-        best_value: result
-            .outcome
-            .best
-            .as_ref()
-            .map(|(_, v)| v.to_bits()),
+        best_value: result.outcome.best.as_ref().map(|(_, v)| v.to_bits()),
         evaluations: result.outcome.evaluations,
         invalid: result.outcome.invalid,
     }
@@ -113,8 +109,14 @@ fn thread_count_is_invariant_for_adaptive_modules() {
 
     type MakeSearch = Box<dyn Fn() -> Box<dyn SearchModule>>;
     let mut make: Vec<(&str, MakeSearch)> = Vec::new();
-    make.push(("bandit", Box::new(|| Box::new(locus::search::BanditTuner::new(7)))));
-    make.push(("anneal", Box::new(|| Box::new(locus::search::AnnealTuner::new(7)))));
+    make.push((
+        "bandit",
+        Box::new(|| Box::new(locus::search::BanditTuner::new(7))),
+    ));
+    make.push((
+        "anneal",
+        Box::new(|| Box::new(locus::search::AnnealTuner::new(7))),
+    ));
     make.push((
         "portfolio",
         Box::new(|| Box::new(locus::search::PortfolioSearch::new(7))),
@@ -137,6 +139,72 @@ fn thread_count_is_invariant_for_adaptive_modules() {
             }
         }
     }
+}
+
+/// Warm-start is deterministic: the same store file plus the same
+/// search seed reproduce the same trajectory — proposal history, best
+/// point and objective, bit for bit — and the warm replay of an
+/// unchanged source re-measures nothing.
+#[test]
+fn warm_start_from_one_store_file_is_deterministic() {
+    use locus::search::BanditTuner;
+    use locus::store::TuningStore;
+
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 32;
+    let seed = 0x5eed;
+
+    let dir = std::env::temp_dir();
+    let tag = format!("{}-warm-determinism", std::process::id());
+    let cold_path = dir.join(format!("locus-{tag}-cold.jsonl"));
+    std::fs::remove_file(&cold_path).ok();
+
+    // Cold session builds the store.
+    {
+        let mut store = TuningStore::open(&cold_path).unwrap();
+        let mut search = BanditTuner::new(seed);
+        let (_, report) = system
+            .tune_parallel_with_store(&source, &locus, &mut search, budget, 4, &mut store)
+            .unwrap();
+        assert!(report.evaluations() > 0);
+    }
+
+    // Two warm sessions, each against its own copy of the same file (a
+    // warm run may append, so copies keep the starting state identical),
+    // with different thread counts: same seed => same trajectory.
+    let mut runs = Vec::new();
+    for (i, threads) in [(0usize, 2usize), (1, 8)] {
+        let path = dir.join(format!("locus-{tag}-warm{i}.jsonl"));
+        std::fs::copy(&cold_path, &path).unwrap();
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = BanditTuner::new(seed);
+        let (result, report) = system
+            .tune_parallel_with_store(&source, &locus, &mut search, budget, threads, &mut store)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        runs.push((fingerprint(&result), result.outcome.history.clone(), report));
+    }
+    std::fs::remove_file(&cold_path).ok();
+
+    let (fp_a, history_a, report_a) = &runs[0];
+    let (fp_b, history_b, report_b) = &runs[1];
+    assert_eq!(fp_a, fp_b, "same store + same seed must agree on the best");
+    let bits = |h: &[(usize, f64)]| -> Vec<(usize, u64)> {
+        h.iter().map(|(i, v)| (*i, v.to_bits())).collect()
+    };
+    assert_eq!(
+        bits(history_a),
+        bits(history_b),
+        "improvement trajectory must be bit-identical"
+    );
+    assert_eq!(report_a.seeded, report_b.seeded);
+    assert!(
+        report_a.seeded > 0,
+        "warm sessions were seeded from the store"
+    );
+    assert_eq!(report_a.rehydrated, report_b.rehydrated);
 }
 
 /// The shared memo cache actually dedups: exhaustive search over a
@@ -215,5 +283,8 @@ fn shared_cache_replays_without_perturbing_outcomes() {
         after.unique_variants, before.unique_variants,
         "the sweep covered the space; the replay must measure nothing new"
     );
-    assert!(after.hits() > before.hits(), "the replay must hit the cache");
+    assert!(
+        after.hits() > before.hits(),
+        "the replay must hit the cache"
+    );
 }

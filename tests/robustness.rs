@@ -13,8 +13,7 @@ use locus::space::SplitMix64;
 /// A random string over a broad printable alphabet (plus newlines), the
 /// deterministic stand-in for arbitrary fuzz input.
 fn random_garbage(rng: &mut SplitMix64, max_len: usize) -> String {
-    const ALPHABET: &[u8] =
-        b"abcxyzXYZ0123456789 \t\n(){}[];,.+-*/=<>!&|%#@\"'_\\~^?:$";
+    const ALPHABET: &[u8] = b"abcxyzXYZ0123456789 \t\n(){}[];,.+-*/=<>!&|%#@\"'_\\~^?:$";
     let len = rng.below_usize(max_len + 1);
     (0..len)
         .map(|_| ALPHABET[rng.below_usize(ALPHABET.len())] as char)
@@ -42,8 +41,30 @@ fn minic_parser_is_panic_free() {
 #[test]
 fn minic_parser_survives_token_soup() {
     const LEXEMES: [&str; 24] = [
-        "for", "if", "else", "while", "int", "double", "return", "(", ")", "{", "}", "[", "]",
-        ";", ",", "+", "*", "=", "==", "<", "x", "42", "1.5", "#pragma @Locus loop=r\n",
+        "for",
+        "if",
+        "else",
+        "while",
+        "int",
+        "double",
+        "return",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "+",
+        "*",
+        "=",
+        "==",
+        "<",
+        "x",
+        "42",
+        "1.5",
+        "#pragma @Locus loop=r\n",
     ];
     let mut rng = SplitMix64::new(0x50a1);
     for _ in 0..256 {
@@ -63,9 +84,33 @@ fn locus_parser_is_panic_free() {
 #[test]
 fn locus_parser_survives_token_soup() {
     const LEXEMES: [&str; 27] = [
-        "CodeReg", "OptSeq", "Search", "OR", "if", "elif", "else", "def", "poweroftwo",
-        "integer", "enum", "permutation", "(", ")", "{", "}", "[", "]", ";", ",", "..", ".",
-        "=", "*", "x", "7", "\"s\"",
+        "CodeReg",
+        "OptSeq",
+        "Search",
+        "OR",
+        "if",
+        "elif",
+        "else",
+        "def",
+        "poweroftwo",
+        "integer",
+        "enum",
+        "permutation",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "..",
+        ".",
+        "=",
+        "*",
+        "x",
+        "7",
+        "\"s\"",
     ];
     let mut rng = SplitMix64::new(0x50a2);
     for _ in 0..256 {
@@ -187,9 +232,8 @@ fn nested_parallel_pragmas_are_serialized() {
         }"#,
     )
     .unwrap();
-    let machine = locus::machine::Machine::new(
-        locus::machine::MachineConfig::scaled_small().with_cores(4),
-    );
+    let machine =
+        locus::machine::Machine::new(locus::machine::MachineConfig::scaled_small().with_cores(4));
     let a = machine.run(&nested, "kernel").unwrap();
     let b = machine.run(&outer_only, "kernel").unwrap();
     assert_eq!(a.checksum, b.checksum);

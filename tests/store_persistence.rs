@@ -1,0 +1,195 @@
+//! The persistent tuning store's cross-session contract, round-tripped
+//! through the serialized store file:
+//!
+//! * a store written by one session, dropped, and reopened by a fresh
+//!   process-equivalent session warm-starts to the identical best point
+//!   with **zero** re-measurements;
+//! * editing one region between sessions invalidates exactly that
+//!   region's store entries — sibling regions' entries stay live and
+//!   keep answering proposals from disk — mirroring what
+//!   [`check_coherence`] reports about the edit.
+//!
+//! [`check_coherence`]: locus::system::check_coherence
+
+use std::path::PathBuf;
+
+use locus::machine::{Machine, MachineConfig};
+use locus::search::ExhaustiveSearch;
+use locus::store::TuningStore;
+use locus::system::{check_coherence, region_hashes, LocusSystem};
+
+fn tiny_system() -> LocusSystem {
+    LocusSystem::new(Machine::new(MachineConfig::scaled_tiny().with_cores(1)))
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "locus-store-persistence-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Two independently tagged regions in one translation unit. The
+/// `axpy` scale constant is the part the "edit" changes.
+fn two_region_source(axpy_scale: &str) -> locus::srcir::ast::Program {
+    locus::srcir::parse_program(&format!(
+        r#"
+        double C[16][16];
+        double A[16][16];
+        double B[16][16];
+        double X[64];
+        void kernel() {{
+            #pragma @Locus loop=mm
+            for (int i = 0; i < 16; i++)
+                for (int j = 0; j < 16; j++)
+                    for (int k = 0; k < 16; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            #pragma @Locus loop=axpy
+            for (int i = 0; i < 64; i++)
+                X[i] = X[i] * {axpy_scale};
+        }}
+        "#
+    ))
+    .expect("two-region source parses")
+}
+
+fn mm_program() -> locus::lang::LocusProgram {
+    locus::lang::parse(
+        r#"CodeReg mm {
+            t = poweroftwo(2..8);
+            Pips.Tiling(loop="0", factor=[t, t, t]);
+        }"#,
+    )
+    .unwrap()
+}
+
+fn axpy_program() -> locus::lang::LocusProgram {
+    locus::lang::parse(
+        r#"CodeReg axpy {
+            u = poweroftwo(2..8);
+            RoseLocus.Unroll(loop=innermost, factor=u);
+        }"#,
+    )
+    .unwrap()
+}
+
+/// Write, drop, reopen: the warm session answers every proposal from
+/// disk and lands on the bit-identical best point. This is the store
+/// round-trip the CI gate names explicitly.
+#[test]
+fn reopened_store_warm_starts_to_identical_best() {
+    let source = two_region_source("1.5");
+    let locus = mm_program();
+    let system = tiny_system();
+    let path = tmp_path("reopen");
+    std::fs::remove_file(&path).ok();
+
+    let (cold, cold_report) = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&source, &locus, &mut search, 16, 2, &mut store)
+            .unwrap()
+        // The store is dropped here; everything lives in the file now.
+    };
+    assert!(cold_report.evaluations() > 0, "cold session measures");
+    assert_eq!(cold_report.store_hits(), 0);
+    assert_eq!(cold_report.appended, cold_report.evaluations());
+
+    let (warm, warm_report) = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&source, &locus, &mut search, 16, 2, &mut store)
+            .unwrap()
+    };
+    assert_eq!(
+        warm_report.evaluations(),
+        0,
+        "warm session re-measures nothing"
+    );
+    assert_eq!(
+        warm_report.store_hits(),
+        cold_report.evaluations() + cold_report.memo_hits()
+    );
+    assert_eq!(warm_report.rehydrated, cold_report.appended);
+
+    let (cold_point, _, cold_m) = cold.best.as_ref().expect("cold best");
+    let (warm_point, _, warm_m) = warm.best.as_ref().expect("warm best");
+    assert_eq!(cold_point.canonical_key(), warm_point.canonical_key());
+    assert_eq!(cold_m.time_ms.to_bits(), warm_m.time_ms.to_bits());
+    std::fs::remove_file(&path).ok();
+}
+
+/// A region edited between sessions invalidates exactly its own store
+/// entries; the sibling region's entries stay live, all through one
+/// serialized store file. `check_coherence` flags the same edit.
+#[test]
+fn edited_region_invalidates_only_its_own_entries() {
+    let original = two_region_source("1.5");
+    let edited = two_region_source("2.5");
+    let system = tiny_system();
+    let path = tmp_path("coherence");
+    std::fs::remove_file(&path).ok();
+
+    // The coherence check agrees on what changed: `axpy` drifted, `mm`
+    // did not.
+    let stored_hashes = region_hashes(&original);
+    let warnings = check_coherence(&edited, &stored_hashes);
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(warnings[0].contains("axpy"), "{warnings:?}");
+
+    // Cold sessions populate the store for both regions.
+    let (mm_cold, axpy_cold) = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        let (_, mm_cold) = system
+            .tune_parallel_with_store(&original, &mm_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        let mut search = ExhaustiveSearch::default();
+        let (_, axpy_cold) = system
+            .tune_parallel_with_store(&original, &axpy_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        (mm_cold, axpy_cold)
+    };
+    assert!(mm_cold.evaluations() > 0);
+    assert!(axpy_cold.evaluations() > 0);
+
+    // Session over the *unchanged* sibling after the edit: its entries
+    // are live, so nothing is re-measured; the edited region's stale
+    // records are the ones dropped by the coherence pass.
+    let mm_warm = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        let (_, report) = system
+            .tune_parallel_with_store(&edited, &mm_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        report
+    };
+    assert_eq!(mm_warm.evaluations(), 0, "sibling region replays from disk");
+    assert_eq!(mm_warm.rehydrated, mm_cold.appended);
+    assert_eq!(
+        mm_warm.invalidated, axpy_cold.appended,
+        "exactly the edited region's records are invalidated"
+    );
+
+    // Session over the *edited* region: its prior entries must not be
+    // replayed — everything is re-measured and re-persisted.
+    let axpy_warm = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        let (_, report) = system
+            .tune_parallel_with_store(&edited, &axpy_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        report
+    };
+    assert_eq!(
+        axpy_warm.store_hits(),
+        0,
+        "stale entries must never be replayed"
+    );
+    assert_eq!(axpy_warm.rehydrated, 0);
+    assert!(axpy_warm.evaluations() > 0);
+    assert_eq!(axpy_warm.invalidated, axpy_cold.appended);
+    std::fs::remove_file(&path).ok();
+}

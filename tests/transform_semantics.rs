@@ -36,7 +36,10 @@ fn corpus_kernels() -> Vec<(String, Program)> {
     ));
     kernels.push((
         "kripke-scattering-zgd".to_string(),
-        with_region(corpus::kripke_hand_optimized(KripkeKernel::Scattering, "ZGD")),
+        with_region(corpus::kripke_hand_optimized(
+            KripkeKernel::Scattering,
+            "ZGD",
+        )),
     ));
     kernels
 }
@@ -145,9 +148,7 @@ fn interchange_preserves_semantics() {
         let depth = 2 + rng.below_usize(2);
         let mut order: Vec<usize> = (0..depth).collect();
         rng.shuffle(&mut order);
-        Box::new(move |stmt| {
-            transform::interchange::interchange(stmt, &order, true).is_ok()
-        })
+        Box::new(move |stmt| transform::interchange::interchange(stmt, &order, true).is_ok())
     });
 }
 
@@ -186,9 +187,14 @@ fn unroll_and_jam_preserves_semantics() {
         let f = rng.range_i64(2, 5) as u64;
         let program = corpus::dgemm_program(n);
         let baseline = m.run(&program, "kernel").expect("baseline").checksum;
-        if check_transform(&m, "unroll-and-jam/dgemm", trial, &program, baseline, |stmt| {
-            transform::unroll_jam::unroll_and_jam(stmt, &HierIndex::root(), f, true).is_ok()
-        }) {
+        if check_transform(
+            &m,
+            "unroll-and-jam/dgemm",
+            trial,
+            &program,
+            baseline,
+            |stmt| transform::unroll_jam::unroll_and_jam(stmt, &HierIndex::root(), f, true).is_ok(),
+        ) {
             applied += 1;
         }
     }
@@ -277,8 +283,7 @@ fn checked_transform_sequences_preserve_semantics() {
                 1 => {
                     let a = rng.range_i64(1, 11);
                     let b = rng.range_i64(1, 11);
-                    transform::tiling::tile(&mut stmt, &HierIndex::root(), &[a, b], true)
-                        .is_ok()
+                    transform::tiling::tile(&mut stmt, &HierIndex::root(), &[a, b], true).is_ok()
                 }
                 2 => {
                     let f = rng.range_i64(2, 6) as u64;
