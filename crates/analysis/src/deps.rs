@@ -929,6 +929,104 @@ mod tests {
     }
 
     #[test]
+    fn forward_read_normalizes_to_anti_dependence() {
+        // A[i] = A[i+1]: the raw write->read distance is negative, so the
+        // normalizer flips it into an anti dependence read->write with a
+        // lexicographically positive (<) direction.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n - 1; i++)
+                A[i] = A[i + 1] * 0.5;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(!info.vectorizable());
+        assert!(info
+            .deps
+            .iter()
+            .any(|d| d.kind == DepKind::Anti && d.directions == vec![Direction::Lt]));
+        assert!(
+            info.deps.iter().all(|d| lex_nonnegative(&d.directions)),
+            "normalized vectors are never lexicographically negative"
+        );
+    }
+
+    #[test]
+    fn negative_coefficient_subscripts_are_conservative() {
+        // A[n - i] = A[i]: coefficients -1 and +1 fall to the weak-SIV
+        // GCD test, which cannot disprove the crossing — a (conservative)
+        // dependence must be reported.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 0; i < n; i++)
+                A[n - i] = A[i] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(!info.deps.is_empty(), "reflection may self-intersect");
+        assert!(!info.vectorizable());
+    }
+
+    #[test]
+    fn coupled_subscripts_disprove_dependence() {
+        // A[i][i] = A[i-1][i]: dimension 0 demands distance 1, dimension
+        // 1 demands distance 0 — the coupled system has no solution.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                A[i][i] = A[i - 1][i] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info.deps.is_empty(), "{:?}", info.deps);
+        assert!(info.vectorizable());
+    }
+
+    #[test]
+    fn coupled_subscripts_with_consistent_distance_depend() {
+        // A[i][i] = A[i-1][i-1]: both dimensions agree on distance 1.
+        let info = analyze_region(&region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                A[i][i] = A[i - 1][i - 1] + 1.0;
+            }"#,
+        ));
+        assert!(info.available);
+        assert!(info
+            .deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.directions == vec![Direction::Lt]));
+    }
+
+    #[test]
+    fn miv_gcd_distinguishes_coprime_from_non_coprime() {
+        // 2i + 4j vs 2i + 4j + 1: gcd(2,4) = 2 does not divide 1 — no
+        // dependence, the loop nest vectorizes.
+        let coprime = analyze_region(&region(
+            r#"void f(int n, double A[256]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[2 * i + 4 * j] = A[2 * i + 4 * j + 1] * 0.5;
+            }"#,
+        ));
+        assert!(coprime.available);
+        assert!(coprime.deps.is_empty(), "{:?}", coprime.deps);
+
+        // 2i + 4j vs 2i + 4j + 2: gcd 2 divides 2, so a dependence may
+        // exist and must be reported.
+        let divisible = analyze_region(&region(
+            r#"void f(int n, double A[256]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[2 * i + 4 * j] = A[2 * i + 4 * j + 2] * 0.5;
+            }"#,
+        ));
+        assert!(divisible.available);
+        assert!(!divisible.deps.is_empty());
+        assert!(!divisible.vectorizable());
+    }
+
+    #[test]
     fn direction_display() {
         assert_eq!(Direction::Lt.to_string(), "<");
         assert_eq!(Direction::Star.to_string(), "*");

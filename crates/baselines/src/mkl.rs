@@ -58,10 +58,12 @@ pub fn mkl_like_dgemm(n: usize, config: &MachineConfig) -> Program {
     }
     insert_ivdep(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
     insert_vector_always(&mut stmt, &LoopSel::Innermost).expect("innermost exists");
+    // The oracle encodes expert knowledge; skip the safety analyzer.
     insert_omp_for(
         &mut stmt,
         &LoopSel::parse("0").expect("valid selector"),
         None,
+        false,
     )
     .expect("outermost exists");
 

@@ -243,10 +243,12 @@ impl PlutoLike {
             let outer_parallel =
                 deps.available && deps.deps.iter().all(|d| d.carrier_level() != Some(0));
             if outer_parallel {
+                // Legality was just proven above; skip the re-check.
                 let _ = insert_omp_for(
                     stmt,
                     &LoopSel::parse("0").unwrap_or(LoopSel::Outermost),
                     None,
+                    false,
                 );
                 transformed = true;
             }

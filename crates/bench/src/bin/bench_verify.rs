@@ -1,0 +1,40 @@
+//! Benchmarks verifier-pruned search: the Fig. 6 DGEMM tuning session
+//! run with the static safety verifier active and with legality checks
+//! disabled, and writes the evaluations avoided and the wall-clock
+//! ratio to `BENCH_verify.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_verify
+//! [output.json]` (threads via `LOCUS_THREADS`, default 8).
+
+use locus_bench::verify::{run_verify, to_json};
+
+fn main() {
+    let threads = std::env::var("LOCUS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_verify.json".to_string());
+
+    eprintln!("verifier-pruned vs unchecked tuning, {threads} worker threads");
+    let rows = run_verify(threads);
+    for r in &rows {
+        println!(
+            "{:<30} space {:>3}  checked {:>8.3}s ({} evals, {} pruned)  unchecked \
+             {:>8.3}s ({} evals)  unchecked/checked {:>5.2}x  ships_racy {}",
+            r.label,
+            r.space,
+            r.checked_s,
+            r.checked.evaluations(),
+            r.checked.pruned_illegal,
+            r.unchecked_s,
+            r.unchecked.evaluations(),
+            r.ratio,
+            r.unchecked_ships_racy(),
+        );
+    }
+
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+}

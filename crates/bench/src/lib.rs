@@ -8,6 +8,7 @@
 //! | [`table1`] | Table I + the Sec. V-D summary statistics over the synthetic extraction corpus |
 //! | [`parallel`] | The parallel batched-evaluation engine vs the sequential driver (BENCH_parallel.json) |
 //! | [`store`] | Cold vs warm store-backed tuning sessions (BENCH_store.json) |
+//! | [`verify`] | Verifier-pruned vs unchecked tuning sessions (BENCH_verify.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -26,6 +27,7 @@ pub mod report;
 pub mod store;
 pub mod table1;
 pub mod timer;
+pub mod verify;
 
 use locus_machine::{Machine, MachineConfig};
 

@@ -1,0 +1,258 @@
+//! Benchmarks verifier-pruned search: the same DGEMM tuning session run
+//! twice — once with the static safety verifier active (racy
+//! parallelization choices are refused before the simulator ever runs
+//! them) and once with legality checking disabled (every point is built
+//! and measured). The difference in evaluation counts is the number of
+//! simulations the verifier saved; the wall-clock ratio is the headline
+//! number of `BENCH_verify.json`.
+//!
+//! The unchecked session also shows *why* the verifier exists: the
+//! simulated machine executes racy variants deterministically, so a
+//! data race on the reduction loop is invisible to measurement — only
+//! static analysis can refuse it.
+
+use std::time::Instant;
+
+use locus_core::{LocusSystem, TuneReport, TuneResult};
+use locus_corpus::dgemm_program;
+use locus_search::ExhaustiveSearch;
+
+use crate::bench_machine_tiny;
+
+/// One checked-vs-unchecked comparison of a tuning session over a space
+/// that contains statically racy parallelization choices.
+#[derive(Debug, Clone)]
+pub struct VerifyRow {
+    /// Row label.
+    pub label: String,
+    /// Evaluation budget per session.
+    pub budget: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Points in the search space.
+    pub space: u128,
+    /// Wall-clock of the checked (verifier active) session.
+    pub checked_s: f64,
+    /// Wall-clock of the unchecked (legality checks off) session.
+    pub unchecked_s: f64,
+    /// `unchecked_s / checked_s`.
+    pub ratio: f64,
+    /// Session accounting of the checked run.
+    pub checked: TuneReport,
+    /// Session accounting of the unchecked run.
+    pub unchecked: TuneReport,
+    /// Canonical key of the checked session's best point.
+    pub checked_best: Option<String>,
+    /// Canonical key of the unchecked session's best point.
+    pub unchecked_best: Option<String>,
+}
+
+impl VerifyRow {
+    /// Simulations the verifier saved: every point the unchecked session
+    /// measured that the checked session statically refused.
+    pub fn evaluations_avoided(&self) -> usize {
+        self.unchecked
+            .evaluations()
+            .saturating_sub(self.checked.evaluations())
+    }
+
+    /// Whether the unchecked session converged on a point the verifier
+    /// would have refused — i.e. it shipped a racy variant.
+    pub fn unchecked_ships_racy(&self) -> bool {
+        self.unchecked_best != self.checked_best
+    }
+}
+
+/// Parallelize the `i` loop ("0", legal), the `j` loop ("0.0", legal:
+/// distinct `C[i][j]` per iteration) or the `k` loop ("0.0.0", a data
+/// race: every `k` iteration accumulates into the same `C[i][j]`),
+/// crossed with a chunk-size knob so each choice repeats across several
+/// otherwise-distinct points.
+fn parallel_loop_choice_program() -> locus_lang::LocusProgram {
+    locus_lang::parse(
+        r#"CodeReg matmul {
+            target = enum("0", "0.0", "0.0.0");
+            Pragma.OMPFor(loop=target, schedule="static", chunk=integer(1..8));
+        }"#,
+    )
+    .expect("locus program parses")
+}
+
+/// The tiled variant: interchange to `i, k, j`, strip-mine all three
+/// levels, then parallelize either the outer tile loop ("0", legal via
+/// strip-mine coalescing) or the `k` tile loop ("0.0", refused — the
+/// tile of the reduction dimension still races on `C`).
+fn tiled_loop_choice_program() -> locus_lang::LocusProgram {
+    locus_lang::parse(
+        r#"CodeReg matmul {
+            RoseLocus.Interchange(order=[0, 2, 1]);
+            tile = poweroftwo(2..4);
+            Pips.Tiling(loop="0", factor=[tile, tile, tile]);
+            target = enum("0", "0.0");
+            Pragma.OMPFor(loop=target);
+        }"#,
+    )
+    .expect("locus program parses")
+}
+
+fn best_key(result: &TuneResult) -> Option<String> {
+    result.best.as_ref().map(|(p, _, _)| p.canonical_key())
+}
+
+fn session(
+    check_legality: bool,
+    source: &locus_srcir::ast::Program,
+    locus: &locus_lang::LocusProgram,
+    budget: usize,
+    threads: usize,
+) -> (TuneResult, TuneReport, f64) {
+    let mut system = LocusSystem::new(bench_machine_tiny(1));
+    system.check_legality = check_legality;
+    let mut search = ExhaustiveSearch::default();
+    let start = Instant::now();
+    let (result, report) = system
+        .tune_parallel_with_report(source, locus, &mut search, budget, threads)
+        .expect("tuning runs");
+    (result, report, start.elapsed().as_secs_f64())
+}
+
+/// Runs one checked-vs-unchecked pair over the given space.
+pub fn run_pair(
+    label: &str,
+    locus: &locus_lang::LocusProgram,
+    n: usize,
+    budget: usize,
+    threads: usize,
+) -> VerifyRow {
+    let source = dgemm_program(n);
+    let (checked_result, checked, checked_s) = session(true, &source, locus, budget, threads);
+    let (unchecked_result, unchecked, unchecked_s) =
+        session(false, &source, locus, budget, threads);
+
+    VerifyRow {
+        label: label.to_string(),
+        budget,
+        threads,
+        space: checked_result.space_size,
+        checked_s,
+        unchecked_s,
+        ratio: unchecked_s / checked_s.max(1e-12),
+        checked,
+        unchecked,
+        checked_best: best_key(&checked_result),
+        unchecked_best: best_key(&unchecked_result),
+    }
+}
+
+/// Runs the benchmark: the flat parallel-loop choice space and the tiled
+/// tile-loop choice space, both over the Fig. 6 DGEMM kernel.
+pub fn run_verify(threads: usize) -> Vec<VerifyRow> {
+    vec![
+        run_pair(
+            "dgemm parallel-loop choice",
+            &parallel_loop_choice_program(),
+            16,
+            64,
+            threads,
+        ),
+        run_pair(
+            "dgemm tiled tile-loop choice",
+            &tiled_loop_choice_program(),
+            16,
+            16,
+            threads,
+        ),
+    ]
+}
+
+fn json_opt(key: &Option<String>) -> String {
+    match key {
+        Some(k) => format!("\"{k}\""),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the rows as a JSON document (hand-rolled; the workspace has
+/// no serde).
+pub fn to_json(rows: &[VerifyRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"verifier-pruned vs unchecked tuning session (fig6 dgemm)\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"label\": \"{}\",\n",
+                "      \"budget\": {},\n",
+                "      \"threads\": {},\n",
+                "      \"space\": {},\n",
+                "      \"checked_s\": {:.6},\n",
+                "      \"unchecked_s\": {:.6},\n",
+                "      \"unchecked_over_checked\": {:.3},\n",
+                "      \"pruned_illegal\": {},\n",
+                "      \"checked_evaluations\": {},\n",
+                "      \"unchecked_evaluations\": {},\n",
+                "      \"evaluations_avoided\": {},\n",
+                "      \"checked_best\": {},\n",
+                "      \"unchecked_best\": {},\n",
+                "      \"unchecked_ships_racy\": {}\n",
+                "    }}{}\n",
+            ),
+            r.label,
+            r.budget,
+            r.threads,
+            r.space,
+            r.checked_s,
+            r.unchecked_s,
+            r.ratio,
+            r.checked.pruned_illegal,
+            r.checked.evaluations(),
+            r.unchecked.evaluations(),
+            r.evaluations_avoided(),
+            json_opt(&r.checked_best),
+            json_opt(&r.unchecked_best),
+            r.unchecked_ships_racy(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifier_saves_exactly_the_racy_points() {
+        // Scaled-down kernel; the bench_verify binary runs the same
+        // harness at the full size.
+        let row = run_pair("test", &parallel_loop_choice_program(), 8, 64, 2);
+        assert_eq!(row.space, 24, "3 targets x 8 chunk sizes");
+        assert!(row.checked.pruned_illegal > 0, "{:?}", row.checked);
+        assert_eq!(row.unchecked.pruned_illegal, 0, "{:?}", row.unchecked);
+        // Every point the unchecked session measured but the checked one
+        // did not is exactly a statically-refused point.
+        assert_eq!(
+            row.checked.evaluations() + row.checked.pruned_illegal,
+            row.unchecked.evaluations(),
+        );
+        assert_eq!(row.evaluations_avoided(), row.checked.pruned_illegal);
+        // The verifier never refuses the winner: the checked best is one
+        // of the legal parallelizations.
+        let best = row.checked_best.as_deref().expect("a legal point wins");
+        assert!(!best.contains("c2"), "k-loop must not win: {best}");
+        let json = to_json(&[row]);
+        assert!(json.contains("\"evaluations_avoided\": 8"), "{json}");
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tiled_space_prunes_the_reduction_tile_loop() {
+        let row = run_pair("test", &tiled_loop_choice_program(), 8, 16, 2);
+        assert_eq!(row.space, 4, "2 tiles x 2 targets");
+        assert_eq!(row.checked.pruned_illegal, 2, "{:?}", row.checked);
+        assert_eq!(row.checked.evaluations(), 2);
+        assert_eq!(row.unchecked.evaluations(), 4);
+    }
+}

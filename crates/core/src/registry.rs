@@ -75,10 +75,24 @@ impl TransformHost for RegionHost<'_> {
         args: &[(Option<String>, Value)],
     ) -> Result<Value, HostError> {
         self.log.push(format!("{module}.{func}"));
-        dispatch(self, module, func, args).map_err(|e| match e {
+        let value = dispatch(self, module, func, args).map_err(|e| match e {
             TransformError::Illegal(m) => HostError::Illegal(m),
             TransformError::Error(m) => HostError::Error(m),
-        })
+        })?;
+        // Debug builds validate IR well-formedness after every mutating
+        // step, so a transformation that silently produces nonsense fails
+        // the tuning run instead of being "measured".
+        #[cfg(debug_assertions)]
+        if !is_query(module, func) {
+            let issues = locus_verify::validate_region(self.stmt);
+            if !issues.is_empty() {
+                return Err(HostError::Error(format!(
+                    "ill-formed IR after {module}.{func}: {}",
+                    issues.join("; ")
+                )));
+            }
+        }
+        Ok(value)
     }
 }
 
@@ -195,7 +209,7 @@ fn dispatch(
         ("Pragma", "OMPFor") => {
             let sel = arg_loop_sel(args, "loop")?;
             let schedule = arg_schedule(args)?;
-            tx::pragmas::insert_omp_for(host.stmt, &sel, schedule)?;
+            tx::pragmas::insert_omp_for(host.stmt, &sel, schedule, check)?;
             Ok(Value::None)
         }
         ("BuiltIn", "Altdesc") => {

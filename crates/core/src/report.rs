@@ -6,12 +6,14 @@ use crate::memo::MemoStats;
 /// how much work the persistent store saved it, and how much it gave
 /// back.
 ///
-/// The three mutually exclusive ways a proposal gets an objective are
+/// The four mutually exclusive ways a proposal gets an objective are
 /// [`TuneReport::evaluations`] (measured now),
-/// [`TuneReport::memo_hits`] (measured earlier *this* session) and
+/// [`TuneReport::memo_hits`] (measured earlier *this* session),
 /// [`TuneReport::store_hits`] (measured in a *prior* session and
-/// rehydrated from disk). A warm repeat of an unchanged session performs
-/// zero evaluations — every proposal is a store hit.
+/// rehydrated from disk) and [`TuneReport::pruned_illegal`] (statically
+/// refused by the safety verifier, never measured at all). A warm
+/// repeat of an unchanged session performs zero evaluations — every
+/// proposal is a store hit.
 ///
 /// [`TuneResult`]: crate::system::TuneResult
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,6 +30,12 @@ pub struct TuneReport {
     /// Stale evaluation records dropped by the coherence check (regions
     /// edited since they were recorded).
     pub invalidated: usize,
+    /// Points the static safety verifier refused *before* any
+    /// evaluation this session — data races under an inserted
+    /// `omp parallel for` or illegal transformation sequences. A pruned
+    /// point never reaches the simulated machine; it is recorded as
+    /// [`locus_search::Objective::Invalid`] so the search moves on.
+    pub pruned_illegal: usize,
 }
 
 impl TuneReport {

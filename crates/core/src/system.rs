@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::Mutex;
 
 use locus_lang::ast::{LItem, LocusProgram};
-use locus_lang::interp::LocusError;
+use locus_lang::interp::{HostError, LocusError};
 use locus_lang::{extract_space, Interp};
 use locus_machine::{Machine, Measurement};
 use locus_search::{Objective, SearchModule, SearchOutcome};
@@ -15,7 +15,7 @@ use locus_srcir::ast::Program;
 use locus_srcir::hash::{hash_region, RegionHash};
 use locus_srcir::region::{extract_region, find_regions, replace_region};
 
-use locus_store::{EvalRecord, SessionRecord, StoreKey, TuningStore};
+use locus_store::{EvalRecord, PruneRecord, SessionRecord, StoreKey, TuningStore};
 
 use crate::memo::{MemoCache, MemoStats};
 use crate::registry::{is_query, run_query, RegionHost};
@@ -77,8 +77,13 @@ pub enum VariantOutcome {
     Measured(Box<(Program, Measurement)>),
     /// The point violates a dependent-range constraint.
     Invalid(String),
-    /// A module failed (error or illegal), the variant crashed, or the
-    /// result diverged from the baseline.
+    /// The static safety verifier refused the point: a transformation's
+    /// legality check failed, or an inserted `omp parallel for` races.
+    /// The payload is the verifier's reason. Illegal points are *pruned*
+    /// — excluded from the search without ever being simulated.
+    Illegal(String),
+    /// A module failed outright, the variant crashed, or the result
+    /// diverged from the baseline.
     Failed(String),
 }
 
@@ -225,6 +230,9 @@ impl LocusSystem {
                     Err(LocusError::InvalidPoint(m)) => {
                         return Err(VariantOutcome::Invalid(m));
                     }
+                    Err(LocusError::Host(HostError::Illegal(m))) => {
+                        return Err(VariantOutcome::Illegal(m));
+                    }
                     Err(e) => return Err(VariantOutcome::Failed(e.to_string())),
                 }
             }
@@ -305,9 +313,9 @@ impl LocusSystem {
         let prepared = self.prepare(source, locus)?;
         match self.build_variant(source, &prepared, &Point::new()) {
             Ok(p) => Ok(p),
-            Err(VariantOutcome::Invalid(m)) | Err(VariantOutcome::Failed(m)) => {
-                Err(ApplyError::Locus(m))
-            }
+            Err(VariantOutcome::Invalid(m))
+            | Err(VariantOutcome::Illegal(m))
+            | Err(VariantOutcome::Failed(m)) => Err(ApplyError::Locus(m)),
             Err(VariantOutcome::Measured(_)) => unreachable!("build never measures"),
         }
     }
@@ -336,7 +344,9 @@ impl LocusSystem {
         let mut evaluate = |point: &Point| -> Objective {
             match self.evaluate_point(source, &prepared, point, Some(expected)) {
                 VariantOutcome::Measured(boxed) => Objective::Value(boxed.1.time_ms),
-                VariantOutcome::Invalid(_) => Objective::Invalid,
+                // Statically refused points are invalid like
+                // constraint-violating ones: the search skips them.
+                VariantOutcome::Invalid(_) | VariantOutcome::Illegal(_) => Objective::Invalid,
                 VariantOutcome::Failed(_) => Objective::Error,
             }
         };
@@ -412,6 +422,30 @@ impl LocusSystem {
         Ok((result, cache.stats()))
     }
 
+    /// [`LocusSystem::tune_parallel`] returning the full session
+    /// [`TuneReport`] — most importantly
+    /// [`TuneReport::pruned_illegal`], the number of proposals the
+    /// static safety verifier rejected *before* simulation. Store-less
+    /// sessions that want pruning visibility use this; store-backed
+    /// ones get the same report from
+    /// [`LocusSystem::tune_parallel_with_store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune_parallel_with_report(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
+        let cache = MemoCache::new();
+        self.tune_parallel_driver(source, locus, search, budget, threads, &cache, None)
+    }
+
     /// The store-backed search workflow: [`LocusSystem::tune_parallel`]
     /// against a persistent [`TuningStore`], closing the loop the paper
     /// opens in Sec. II (shipping tuning results for reuse). Before the
@@ -429,10 +463,13 @@ impl LocusSystem {
     ///    [`WARM_START_K`] best prior points via
     ///    [`SearchModule::seed_observations`].
     ///
-    /// Every fresh measurement is appended to the store, along with a
-    /// session summary (region profile, winning point, and the direct
-    /// recipe it denotes) that [`crate::suggest::suggest_with_store`]
-    /// retrieves for structurally similar regions.
+    /// Every fresh measurement is appended to the store — as is every
+    /// *prune* (a point the static safety verifier refused before
+    /// simulation), so warm sessions replay refusals from disk — along
+    /// with a session summary (region profile, winning point, and the
+    /// direct recipe it denotes) that
+    /// [`crate::suggest::suggest_with_store`] retrieves for structurally
+    /// similar regions.
     ///
     /// Determinism: prior points are fed best-first with canonical-key
     /// tie-breaks and objectives are persisted bit-exactly, so the same
@@ -538,6 +575,13 @@ impl LocusSystem {
                 cache.seed(&record.point_key, record.variant, record.objective);
                 report.rehydrated += 1;
             }
+            // Prior static refusals replay from disk too: a warm
+            // session neither re-analyzes nor re-proposes known-racy
+            // points.
+            for prune in store.prunes(key) {
+                cache.seed(&prune.point_key, prune.variant, Objective::Invalid);
+                report.rehydrated += 1;
+            }
         }
 
         search.begin(&prepared.space, budget);
@@ -550,6 +594,7 @@ impl LocusSystem {
         }
         let search_name = search.name().to_string();
         let mut fresh_records: Vec<EvalRecord> = Vec::new();
+        let mut fresh_prunes: Vec<PruneRecord> = Vec::new();
 
         let mut book = locus_search::Bookkeeper::new(budget);
         'driver: while !book.done() {
@@ -558,10 +603,15 @@ impl LocusSystem {
                 break;
             }
 
-            // Resolve every proposal against the cache; what remains is
-            // one representative point per *new* variant digest.
+            // Resolve every proposal against the cache, then *build*
+            // each new variant on this thread: the build runs the
+            // optimization program, and with it every legality check
+            // and the race analyzer, so statically refused points are
+            // pruned here — before a worker thread ever simulates
+            // anything. What reaches the pool is one built program per
+            // *new, legal* variant digest.
             let mut batch_variant: Vec<u64> = Vec::with_capacity(batch.len());
-            let mut to_measure: Vec<(u64, Point)> = Vec::new();
+            let mut to_measure: Vec<(u64, Point, Program)> = Vec::new();
             let mut measuring = std::collections::HashSet::new();
             for point in &batch {
                 let variant =
@@ -570,16 +620,59 @@ impl LocusSystem {
                 if cache.lookup_point(point).is_some() || cache.lookup_variant(variant).is_some() {
                     continue;
                 }
-                if measuring.insert(variant) {
-                    to_measure.push((variant, point.clone()));
-                } else {
+                if !measuring.insert(variant) {
                     cache.note_coalesced();
+                    continue;
+                }
+                let start = std::time::Instant::now();
+                match self.build_variant(source, &prepared, point) {
+                    Ok(program) => to_measure.push((variant, point.clone(), program)),
+                    Err(VariantOutcome::Illegal(reason)) => {
+                        // Pruned: no measurement happened, so no
+                        // `note_miss` — the point simply never costs an
+                        // evaluation.
+                        cache.insert(point, variant, Objective::Invalid);
+                        report.pruned_illegal += 1;
+                        if store.is_some() {
+                            fresh_prunes.push(PruneRecord {
+                                point_key: point.canonical_key(),
+                                variant,
+                                reason,
+                                search: search_name.clone(),
+                            });
+                        }
+                    }
+                    Err(outcome) => {
+                        // Build-time invalid/failed points keep the
+                        // ordinary evaluation accounting.
+                        let objective = match outcome {
+                            VariantOutcome::Invalid(_) => Objective::Invalid,
+                            _ => Objective::Error,
+                        };
+                        cache.note_miss();
+                        cache.insert(point, variant, objective);
+                        if store.is_some() {
+                            fresh_records.push(EvalRecord {
+                                point_key: point.canonical_key(),
+                                variant,
+                                objective,
+                                cycles: 0.0,
+                                ops: 0,
+                                flops: 0,
+                                checksum: 0,
+                                search: search_name.clone(),
+                                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                            });
+                        }
+                    }
                 }
             }
 
             // Fan the fresh measurements out over the worker pool. Each
             // worker owns a clone of the system (and thus the machine);
-            // an atomic cursor deals work out.
+            // an atomic cursor deals work out. Workers only *measure* —
+            // every program handed to them was built (and statically
+            // vetted) on the main thread above.
             if !to_measure.is_empty() {
                 let work = &to_measure;
                 let cursor = AtomicUsize::new(0);
@@ -587,48 +680,37 @@ impl LocusSystem {
                 let results: Vec<Mutex<Option<(Objective, MeasureSummary)>>> =
                     work.iter().map(|_| Mutex::new(None)).collect();
                 let results = &results;
-                let prepared_ref = &prepared;
                 std::thread::scope(|scope| {
                     for _ in 0..threads.min(work.len()) {
                         let sys = self.clone();
                         scope.spawn(move || loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some((_, point)) = work.get(i) else {
+                            let Some((_, _, program)) = work.get(i) else {
                                 break;
                             };
                             let start = std::time::Instant::now();
-                            let (objective, mut summary) = match sys.evaluate_point(
-                                source,
-                                prepared_ref,
-                                point,
-                                Some(expected),
-                            ) {
-                                VariantOutcome::Measured(boxed) => {
-                                    let m = &boxed.1;
-                                    (
-                                        Objective::Value(m.time_ms),
-                                        MeasureSummary {
-                                            cycles: m.cycles,
-                                            ops: m.ops,
-                                            flops: m.flops,
-                                            checksum: m.checksum,
-                                            wall_ms: 0.0,
-                                        },
-                                    )
-                                }
-                                VariantOutcome::Invalid(_) => {
-                                    (Objective::Invalid, MeasureSummary::default())
-                                }
-                                VariantOutcome::Failed(_) => {
+                            let (objective, mut summary) = match sys.measure(program) {
+                                Ok(m) if sys.verify_results && m.checksum != expected => {
                                     (Objective::Error, MeasureSummary::default())
                                 }
+                                Ok(m) => (
+                                    Objective::Value(m.time_ms),
+                                    MeasureSummary {
+                                        cycles: m.cycles,
+                                        ops: m.ops,
+                                        flops: m.flops,
+                                        checksum: m.checksum,
+                                        wall_ms: 0.0,
+                                    },
+                                ),
+                                Err(_) => (Objective::Error, MeasureSummary::default()),
                             };
                             summary.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                             *results[i].lock().expect("result slot") = Some((objective, summary));
                         });
                     }
                 });
-                for ((variant, point), slot) in work.iter().zip(results) {
+                for ((variant, point, _), slot) in work.iter().zip(results) {
                     let (objective, summary) = slot
                         .lock()
                         .expect("result slot")
@@ -684,6 +766,9 @@ impl LocusSystem {
         if let (Some(store), Some(key)) = (store, store_key.as_ref()) {
             report.appended = store
                 .append_evals(key, &fresh_records)
+                .map_err(|e| ApplyError::Store(e.to_string()))?;
+            report.appended += store
+                .append_prunes(key, &fresh_prunes)
                 .map_err(|e| ApplyError::Store(e.to_string()))?;
             if let Some((point, _, m)) = &best {
                 let recipe = self.direct_program(&prepared, point);

@@ -32,5 +32,5 @@
 pub mod record;
 pub mod store;
 
-pub use record::{EvalRecord, Record, RegionShape, SessionRecord, HEADER};
+pub use record::{EvalRecord, PruneRecord, Record, RegionShape, SessionRecord, HEADER};
 pub use store::{StoreKey, TuningStore};

@@ -1,11 +1,16 @@
 //! On-disk record types and the line codec.
 //!
 //! Every line of a store file is either the versioned header
-//! (`#locus-store v1`) or one flat JSON object. Two record kinds exist:
+//! (`#locus-store v1`) or one flat JSON object. Three record kinds
+//! exist:
 //!
 //! * `eval` — one evaluated point: canonical point key, variant digest,
 //!   objective, a measurement summary, the search module that proposed
 //!   it and the wall-clock the measurement took;
+//! * `prune` — one point the static safety verifier refused before any
+//!   evaluation (a data race or an illegal transformation), with the
+//!   refusal reason; a warm session replays the refusal from disk
+//!   instead of re-running the analysis;
 //! * `session` — one finished tuning session: the region's structural
 //!   profile, the best point, and the *direct* (search-free) Locus
 //!   recipe it denotes, which `suggest_program` retrieves for similar
@@ -78,6 +83,20 @@ pub struct EvalRecord {
     pub wall_ms: f64,
 }
 
+/// One statically pruned point: the verifier refused it before any
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneRecord {
+    /// `Point::canonical_key` of the refused point.
+    pub point_key: String,
+    /// FNV-1a digest of the direct program the point denotes.
+    pub variant: u64,
+    /// Why the verifier refused (race report or legality verdict).
+    pub reason: String,
+    /// Name of the search module that proposed the point.
+    pub search: String,
+}
+
 /// One finished tuning session's summary: what region was tuned, what
 /// recipe won.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +124,13 @@ pub enum Record {
         key: crate::StoreKey,
         /// The record itself.
         record: EvalRecord,
+    },
+    /// A `prune` line, with the group key it belongs to.
+    Prune {
+        /// Group key of the record.
+        key: crate::StoreKey,
+        /// The record itself.
+        record: PruneRecord,
     },
     /// A `session` line, with the group key it belongs to.
     Session {
@@ -190,6 +216,18 @@ pub fn encode_eval(key: &crate::StoreKey, r: &EvalRecord) -> String {
     push_str_field(&mut out, "checksum", &format!("{:016x}", r.checksum));
     push_str_field(&mut out, "search", &r.search);
     push_raw_field(&mut out, "wall_ms", format!("{:.6}", r.wall_ms));
+    finish(out)
+}
+
+/// Encodes a `prune` line (no trailing newline).
+pub fn encode_prune(key: &crate::StoreKey, r: &PruneRecord) -> String {
+    let mut out = String::from("{");
+    push_str_field(&mut out, "kind", "prune");
+    key_fields(&mut out, key);
+    push_str_field(&mut out, "point", &r.point_key);
+    push_str_field(&mut out, "variant", &format!("{:016x}", r.variant));
+    push_str_field(&mut out, "reason", &r.reason);
+    push_str_field(&mut out, "search", &r.search);
     finish(out)
 }
 
@@ -353,6 +391,15 @@ pub fn decode(line: &str) -> Option<Record> {
                 },
             })
         }
+        "prune" => Some(Record::Prune {
+            key,
+            record: PruneRecord {
+                point_key: get("point")?,
+                variant: hex64(&get("variant")?)?,
+                reason: get("reason")?,
+                search: get("search")?,
+            },
+        }),
         "session" => Some(Record::Session {
             key,
             record: SessionRecord {
@@ -427,6 +474,24 @@ mod tests {
             };
             assert_eq!(record.objective, objective);
         }
+    }
+
+    #[test]
+    fn prune_round_trips_with_reason() {
+        let r = PruneRecord {
+            point_key: "or:omp=c1;".into(),
+            variant: 0x1234_5678_9abc_def0,
+            reason: "data race: write C[i][j] / write C[i][j] carried at level 0 (direction *)"
+                .into(),
+            search: "exhaustive".into(),
+        };
+        let line = encode_prune(&key(), &r);
+        assert!(!line.contains('\n'), "one record per line: {line}");
+        let Some(Record::Prune { key: k, record }) = decode(&line) else {
+            panic!("decodes: {line}");
+        };
+        assert_eq!(k, key());
+        assert_eq!(record, r);
     }
 
     #[test]

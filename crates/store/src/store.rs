@@ -8,7 +8,8 @@ use std::path::{Path, PathBuf};
 use locus_space::Point;
 
 use crate::record::{
-    decode, encode_eval, encode_session, EvalRecord, Record, RegionShape, SessionRecord, HEADER,
+    decode, encode_eval, encode_prune, encode_session, EvalRecord, PruneRecord, Record,
+    RegionShape, SessionRecord, HEADER,
 };
 
 /// The identity of a tuning context: which code (region hashes), which
@@ -45,6 +46,8 @@ impl StoreKey {
 struct Group {
     records: Vec<EvalRecord>,
     by_point: HashMap<String, usize>,
+    prunes: Vec<PruneRecord>,
+    pruned_points: std::collections::HashSet<String>,
 }
 
 /// A persistent, append-only tuning-results database.
@@ -115,6 +118,9 @@ impl TuningStore {
                 Some(Record::Eval { key, record }) => {
                     self.index_eval(key, record);
                 }
+                Some(Record::Prune { key, record }) => {
+                    self.index_prune(key, record);
+                }
                 Some(Record::Session { key, record }) => self.sessions.push((key, record)),
                 None => self.skipped_lines += 1,
             }
@@ -131,6 +137,15 @@ impl TuningStore {
             .by_point
             .insert(record.point_key.clone(), group.records.len());
         group.records.push(record);
+        true
+    }
+
+    fn index_prune(&mut self, key: StoreKey, record: PruneRecord) -> bool {
+        let group = self.groups.entry(key).or_default();
+        if !group.pruned_points.insert(record.point_key.clone()) {
+            return false;
+        }
+        group.prunes.push(record);
         true
     }
 
@@ -162,6 +177,14 @@ impl TuningStore {
             .unwrap_or(&[])
     }
 
+    /// Live prune records of one key, in insertion order.
+    pub fn prunes(&self, key: &StoreKey) -> &[PruneRecord] {
+        self.groups
+            .get(key)
+            .map(|g| g.prunes.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// All session records, in insertion order.
     pub fn sessions(&self) -> impl Iterator<Item = &(StoreKey, SessionRecord)> {
         self.sessions.iter()
@@ -179,6 +202,28 @@ impl TuningStore {
         for record in records {
             if self.index_eval(key.clone(), record.clone()) {
                 lines.push_str(&encode_eval(key, record));
+                lines.push('\n');
+                appended += 1;
+            }
+        }
+        if appended > 0 {
+            self.append_raw(&lines)?;
+        }
+        Ok(appended)
+    }
+
+    /// Appends prune records under `key`, skipping point keys the group
+    /// already holds a prune for. Returns how many records were written.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_prunes(&mut self, key: &StoreKey, records: &[PruneRecord]) -> io::Result<usize> {
+        let mut lines = String::new();
+        let mut appended = 0;
+        for record in records {
+            if self.index_prune(key.clone(), record.clone()) {
+                lines.push_str(&encode_prune(key, record));
                 lines.push('\n');
                 appended += 1;
             }
@@ -329,6 +374,39 @@ mod tests {
         let top = store.top_k(&k, 10);
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].1, 1.0, "best first");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prunes_persist_and_dedupe_like_evals() {
+        let path = tmp_path("prunes");
+        let k = StoreKey::new(vec![("matmul".into(), 0xaa)], 0x1, 0x5);
+        let prune = |point: &str| PruneRecord {
+            point_key: point.to_string(),
+            variant: 0x7,
+            reason: "data race: write C[i][j]".into(),
+            search: "exhaustive".into(),
+        };
+        {
+            let mut store = TuningStore::open(&path).unwrap();
+            let n = store
+                .append_prunes(&k, &[prune("omp=c1;"), prune("omp=c2;")])
+                .unwrap();
+            assert_eq!(n, 2);
+            // A point pruned once is never re-written.
+            assert_eq!(store.append_prunes(&k, &[prune("omp=c1;")]).unwrap(), 0);
+        }
+        let store = TuningStore::open(&path).unwrap();
+        assert_eq!(store.skipped_lines(), 0, "old kinds and prune both parse");
+        assert_eq!(store.prunes(&k).len(), 2);
+        assert_eq!(store.prunes(&k)[0].reason, "data race: write C[i][j]");
+        assert!(store.evals(&k).is_empty(), "prunes are not evaluations");
+
+        // An edited region invalidates its prunes along with its evals.
+        let mut store = TuningStore::open(&path).unwrap();
+        let current = HashMap::from([("matmul".to_string(), 0xbbu64)]);
+        store.invalidate_stale(&current);
+        assert!(store.prunes(&k).is_empty());
         std::fs::remove_file(&path).ok();
     }
 

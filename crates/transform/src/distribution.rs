@@ -7,7 +7,6 @@
 use locus_srcir::ast::{Stmt, StmtKind};
 use locus_srcir::index::HierIndex;
 
-use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
 
 use crate::{TransformError, TransformResult};
@@ -44,17 +43,12 @@ pub fn distribute(root: &mut Stmt, target: &HierIndex, check_legality: bool) -> 
             ));
         }
         if check_legality {
-            let info = analyze_region(loop_stmt);
-            if !info.available {
-                return Err(TransformError::illegal(
-                    "dependence information unavailable",
-                ));
-            }
-            if !info.distribution_legal() {
-                return Err(TransformError::illegal(
-                    "a backward dependence prevents distribution",
-                ));
-            }
+            crate::require_legal(locus_verify::legal(
+                root,
+                &locus_verify::TransformStep::Distribute {
+                    target: target.clone(),
+                },
+            ))?;
         }
     }
 

@@ -7,7 +7,6 @@ use locus_srcir::ast::{Stmt, StmtKind};
 use locus_srcir::index::HierIndex;
 use locus_srcir::visit::substitute_ident;
 
-use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
 
 use crate::{TransformError, TransformResult};
@@ -58,8 +57,17 @@ pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> Transfo
         }
     }
 
+    if check_legality {
+        crate::require_legal(locus_verify::legal(
+            root,
+            &locus_verify::TransformStep::Fuse {
+                first: first.clone(),
+            },
+        ))?;
+    }
+
     // Build the fused loop.
-    let (fused, first_len) = {
+    let fused = {
         let parent = parent_idx.resolve(root).expect("validated");
         let siblings = parent.body_stmts();
         let a = &siblings[position];
@@ -68,7 +76,6 @@ pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> Transfo
         let cb = canonicalize(b).expect("validated");
 
         let mut body = a.as_for().expect("loop").body.body_stmts().to_vec();
-        let first_len = body.len();
         let mut second_body = b.as_for().expect("loop").body.body_stmts().to_vec();
         if ca.var != cb.var {
             for s in &mut second_body {
@@ -79,29 +86,8 @@ pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> Transfo
 
         let mut fused = a.clone();
         *fused.as_for_mut().expect("loop").body = Stmt::block(body);
-        (fused, first_len)
+        fused
     };
-
-    if check_legality {
-        let info = analyze_region(&fused);
-        if !info.available {
-            return Err(TransformError::illegal(
-                "dependence information unavailable",
-            ));
-        }
-        // Count assignment statements contributed by the first body to
-        // split statement indices between the two origins.
-        let boundary = count_stmts(&fused.as_for().unwrap().body.body_stmts()[..first_len]);
-        let preventing = info
-            .deps
-            .iter()
-            .any(|d| d.src_stmt >= boundary && d.dst_stmt < boundary);
-        if preventing {
-            return Err(TransformError::illegal(
-                "fusion-preventing dependence between the loop bodies",
-            ));
-        }
-    }
 
     // Commit: replace the first loop, remove the second.
     let parent = parent_idx.resolve_mut(root).expect("validated");
@@ -131,29 +117,6 @@ pub fn fuse(root: &mut Stmt, first: &HierIndex, check_legality: bool) -> Transfo
         }
     }
     Ok(())
-}
-
-/// Counts assignment/expression statements the dependence analysis
-/// numbers, in the same order it numbers them.
-fn count_stmts(stmts: &[Stmt]) -> usize {
-    use locus_srcir::visit::{child, child_count};
-    fn rec(s: &Stmt, count: &mut usize) {
-        match &s.kind {
-            StmtKind::Expr(_) | StmtKind::Decl { init: Some(_), .. } => *count += 1,
-            _ => {
-                for i in 0..child_count(s) {
-                    if let Some(c) = child(s, i) {
-                        rec(c, count);
-                    }
-                }
-            }
-        }
-    }
-    let mut count = 0;
-    for s in stmts {
-        rec(s, &mut count);
-    }
-    count
 }
 
 #[cfg(test)]

@@ -2,7 +2,6 @@
 
 use locus_srcir::ast::{Stmt, StmtKind};
 
-use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
 
 use crate::{TransformError, TransformResult};
@@ -91,23 +90,12 @@ pub fn interchange(root: &mut Stmt, order: &[usize], check_legality: bool) -> Tr
     }
 
     if check_legality {
-        let info = analyze_region(root);
-        if !info.available {
-            return Err(TransformError::illegal(
-                "dependence information unavailable",
-            ));
-        }
-        // Extend the permutation to the full analyzed nest depth.
-        let full: Vec<usize> = order
-            .iter()
-            .copied()
-            .chain(depth..info.loop_vars.len())
-            .collect();
-        if !info.interchange_legal(&full) {
-            return Err(TransformError::illegal(format!(
-                "permutation {order:?} reverses a dependence"
-            )));
-        }
+        crate::require_legal(locus_verify::legal(
+            root,
+            &locus_verify::TransformStep::Interchange {
+                order: order.to_vec(),
+            },
+        ))?;
     }
 
     // Detach the `depth` loop headers and the innermost body, permute,

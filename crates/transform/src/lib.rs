@@ -20,9 +20,11 @@
 //! Every transformation operates in place on a region root statement and
 //! reports one of the paper's wrapper exit statuses through
 //! [`TransformError`]: a hard *error* (malformed arguments, target not
-//! found) or *illegal* (the module's own legality check refused). As in
-//! the paper, legality checking belongs to each module — callers may
-//! bypass it with the `force` flags where offered.
+//! found) or *illegal* (the legality check refused). Legality itself is
+//! delegated to the unified engine in `locus-verify` — each module asks
+//! `verify::legal(root, &TransformStep)` before mutating anything. As in
+//! the paper, callers may bypass the check with the `force` flags where
+//! offered.
 
 #![warn(missing_docs)]
 
@@ -79,5 +81,14 @@ impl Error for TransformError {}
 
 /// Convenient result alias for transformation entry points.
 pub type TransformResult<T = ()> = Result<T, TransformError>;
+
+/// Maps a verdict of the unified legality engine onto the transform
+/// error vocabulary: illegal verdicts become [`TransformError::Illegal`].
+pub(crate) fn require_legal(verdict: locus_verify::Verdict) -> TransformResult {
+    match verdict {
+        locus_verify::Verdict::Legal => Ok(()),
+        locus_verify::Verdict::Illegal(msg) => Err(TransformError::Illegal(msg)),
+    }
+}
 
 pub use selector::LoopSel;

@@ -28,26 +28,72 @@ pub fn insert_vector_always(root: &mut Stmt, sel: &LoopSel) -> TransformResult {
 /// Inserts `#pragma omp parallel for` (with an optional schedule clause)
 /// before each loop the selector names.
 ///
+/// With `check_legality` set, each target is vetted by the static safety
+/// analyzer first: the loop must be race-free (no dependence carried by
+/// it, modulo recognized reduction/privatization idioms) and must not
+/// create nested parallelism — the simulated machine executes an inner
+/// `omp` region sequentially anyway, so nesting would only double-charge
+/// fork overhead. Targets are checked and annotated one at a time, so a
+/// multi-loop selector cannot sneak a parallel loop inside another.
+///
 /// # Errors
 ///
-/// Returns an error when the selector resolves to no loop.
+/// * [`crate::TransformError::Error`] when the selector resolves to no
+///   loop.
+/// * [`crate::TransformError::Illegal`] when the safety analyzer refuses
+///   a target.
 pub fn insert_omp_for(
     root: &mut Stmt,
     sel: &LoopSel,
     schedule: Option<OmpSchedule>,
+    check_legality: bool,
 ) -> TransformResult {
-    insert(root, sel, Pragma::OmpParallelFor { schedule })
+    let targets = sel.resolve(root)?;
+    for idx in targets {
+        if check_legality {
+            crate::require_legal(locus_verify::legal(
+                root,
+                &locus_verify::TransformStep::ParallelFor {
+                    target: idx.clone(),
+                },
+            ))?;
+        }
+        let stmt = idx.resolve_mut(root).expect("selector resolved");
+        attach(stmt, Pragma::OmpParallelFor { schedule });
+    }
+    Ok(())
 }
 
 fn insert(root: &mut Stmt, sel: &LoopSel, pragma: Pragma) -> TransformResult {
     let targets = sel.resolve(root)?;
     for idx in targets {
         let stmt = idx.resolve_mut(root).expect("selector resolved");
-        if !stmt.pragmas.contains(&pragma) {
-            stmt.pragmas.push(pragma.clone());
-        }
+        attach(stmt, pragma.clone());
     }
     Ok(())
+}
+
+/// Attaches `pragma` to `stmt`, deduplicating by pragma *kind*: a second
+/// `omp parallel for` with a different schedule replaces the first
+/// instead of stacking (two parallel-for pragmas on one loop would be
+/// ill-formed). `Raw` pragmas are only deduplicated on exact equality.
+fn attach(stmt: &mut Stmt, pragma: Pragma) {
+    if matches!(pragma, Pragma::Raw(_)) {
+        if !stmt.pragmas.contains(&pragma) {
+            stmt.pragmas.push(pragma);
+        }
+        return;
+    }
+    let kind = std::mem::discriminant(&pragma);
+    if let Some(existing) = stmt
+        .pragmas
+        .iter_mut()
+        .find(|p| std::mem::discriminant(&**p) == kind)
+    {
+        *existing = pragma;
+    } else {
+        stmt.pragmas.push(pragma);
+    }
 }
 
 #[cfg(test)]
@@ -75,10 +121,69 @@ mod tests {
     #[test]
     fn inserts_omp_on_outermost() {
         let mut root = nest();
-        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None).unwrap();
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None, true).unwrap();
         assert!(root
             .pragmas
             .contains(&Pragma::OmpParallelFor { schedule: None }));
+    }
+
+    #[test]
+    fn omp_reinsertion_replaces_the_schedule() {
+        // Two insertions with different schedules must not stack two
+        // parallel-for pragmas on one loop.
+        let mut root = nest();
+        let sel = LoopSel::parse("0").unwrap();
+        insert_omp_for(&mut root, &sel, None, true).unwrap();
+        let schedule = OmpSchedule {
+            kind: OmpScheduleKind::Dynamic,
+            chunk: Some(8),
+        };
+        insert_omp_for(&mut root, &sel, Some(schedule), true).unwrap();
+        let omp: Vec<_> = root
+            .pragmas
+            .iter()
+            .filter(|p| matches!(p, Pragma::OmpParallelFor { .. }))
+            .collect();
+        assert_eq!(omp.len(), 1);
+        assert_eq!(
+            omp[0],
+            &Pragma::OmpParallelFor {
+                schedule: Some(schedule)
+            }
+        );
+    }
+
+    #[test]
+    fn refuses_racy_loop_unless_forced() {
+        let mut root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 1; i < n; i++)
+                A[i] = A[i - 1] + 1.0;
+            }"#,
+        );
+        let sel = LoopSel::parse("0").unwrap();
+        assert!(matches!(
+            insert_omp_for(&mut root, &sel, None, true),
+            Err(crate::TransformError::Illegal(_))
+        ));
+        assert!(root.pragmas.is_empty());
+        // The expert override still works.
+        insert_omp_for(&mut root, &sel, None, false).unwrap();
+        assert!(root
+            .pragmas
+            .contains(&Pragma::OmpParallelFor { schedule: None }));
+    }
+
+    #[test]
+    fn refuses_nested_parallelism() {
+        let mut root = nest();
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None, true).unwrap();
+        let err = insert_omp_for(&mut root, &LoopSel::parse("0.0").unwrap(), None, true)
+            .expect_err("nested parallelism must be refused");
+        assert!(matches!(err, crate::TransformError::Illegal(_)));
+        // Forcing allows it (the interpreter runs the inner region
+        // sequentially).
+        insert_omp_for(&mut root, &LoopSel::parse("0.0").unwrap(), None, false).unwrap();
     }
 
     #[test]
@@ -98,7 +203,13 @@ mod tests {
             kind: OmpScheduleKind::Dynamic,
             chunk: Some(16),
         };
-        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), Some(schedule)).unwrap();
+        insert_omp_for(
+            &mut root,
+            &LoopSel::parse("0").unwrap(),
+            Some(schedule),
+            true,
+        )
+        .unwrap();
         let printed = locus_srcir::print_stmt(&root);
         assert!(printed.contains("#pragma omp parallel for schedule(dynamic, 16)"));
     }

@@ -11,7 +11,6 @@ use locus_srcir::ast::{AssignOp, Expr, ForLoop, Stmt, StmtKind};
 use locus_srcir::builder::min_expr;
 use locus_srcir::index::HierIndex;
 
-use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::{canonicalize, CanonLoop};
 
 use crate::selector::fresh_name;
@@ -51,18 +50,13 @@ pub fn tile(
         let band = collect_band(loop_stmt, factors.len())?;
         check_rectangular(&band)?;
         if check_legality {
-            let info = analyze_region(loop_stmt);
-            if !info.available {
-                return Err(TransformError::illegal(
-                    "dependence information unavailable",
-                ));
-            }
-            let levels: Vec<usize> = (0..factors.len()).collect();
-            if !info.band_permutable(&levels) {
-                return Err(TransformError::illegal(
-                    "band is not fully permutable; tiling would reverse a dependence",
-                ));
-            }
+            crate::require_legal(locus_verify::legal(
+                root,
+                &locus_verify::TransformStep::Tile {
+                    target: target.clone(),
+                    width: factors.len(),
+                },
+            ))?;
         }
     }
 

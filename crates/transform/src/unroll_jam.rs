@@ -9,7 +9,6 @@ use locus_srcir::builder;
 use locus_srcir::index::HierIndex;
 use locus_srcir::visit::substitute_ident;
 
-use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
 
 use crate::{TransformError, TransformResult};
@@ -52,17 +51,12 @@ pub fn unroll_and_jam(
             .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
         validate(loop_stmt)?;
         if check_legality {
-            let info = analyze_region(loop_stmt);
-            if !info.available {
-                return Err(TransformError::illegal(
-                    "dependence information unavailable",
-                ));
-            }
-            if !info.band_permutable(&[0, 1]) {
-                return Err(TransformError::illegal(
-                    "outer and inner loops are not permutable; jamming would reverse a dependence",
-                ));
-            }
+            crate::require_legal(locus_verify::legal(
+                root,
+                &locus_verify::TransformStep::UnrollAndJam {
+                    target: target.clone(),
+                },
+            ))?;
         }
     }
 

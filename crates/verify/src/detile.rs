@@ -1,0 +1,288 @@
+//! Strip-mine coalescing for the race analyzer.
+//!
+//! Tiling rewrites `for (i = L; i < U; i += s)` into a *tile* loop
+//! `for (i_t = L; i_t < U; i_t += c)` and a *point* loop
+//! `for (i = i_t; i < min(U, i_t + c); i += s)`. The tile variable never
+//! appears in a subscript, so a direct dependence test reports an
+//! unknown (`*`) direction at the tile level and the race detector would
+//! refuse every tiled nest. But the point ranges of distinct tile
+//! iterations are disjoint (the tile step equals the point width `c`),
+//! so a dependence crosses two tile iterations exactly when it crosses
+//! two point iterations of the *coalesced* loop
+//! `for (i = L; i < U; i += s)`. This module performs that coalescing on
+//! an analysis-local clone, mapping "is the tile loop parallelizable?"
+//! back to the level-0 question the detector already answers.
+
+use locus_analysis::loops::{all_loops, canonicalize, CanonLoop};
+use locus_srcir::ast::{BinOp, Expr, Stmt, StmtKind, Type};
+use locus_srcir::visit::walk_exprs_in_stmt;
+
+/// Coalesces every recognizable tile/point pair in the nest rooted at
+/// `loop_stmt`, returning the rewritten clone.
+///
+/// Returns `None` — "analyze the original" — when nothing was
+/// coalesced, when a tile variable stays referenced after its pair is
+/// rewritten (the rewrite would then be unsound), or when the loop the
+/// caller asks about does not end up outermost in the coalesced nest
+/// (the level-0 race question would be about a different loop).
+pub(crate) fn coalesce_strip_mines(loop_stmt: &Stmt) -> Option<Stmt> {
+    let mut region = loop_stmt.clone();
+    let mut target_var = canonicalize(loop_stmt)?.var;
+    let mut changed = false;
+    loop {
+        match coalesce_one(&mut region, &mut target_var) {
+            Step::Coalesced => changed = true,
+            Step::Exhausted => break,
+            Step::Poisoned => return None,
+        }
+    }
+    if !changed {
+        return None;
+    }
+    (canonicalize(&region)?.var == target_var).then_some(region)
+}
+
+enum Step {
+    /// One tile/point pair was coalesced; the loop list is stale.
+    Coalesced,
+    /// No pair matches; the region is fully coalesced.
+    Exhausted,
+    /// A tile variable survived its own elimination; give up entirely.
+    Poisoned,
+}
+
+/// Finds and coalesces one tile/point pair, deepest tile loop first: an
+/// inner pair's `min` guard may reference an *outer* tile variable
+/// (multi-level tiling), which only matches once the inner pair is gone.
+fn coalesce_one(region: &mut Stmt, target_var: &mut String) -> Step {
+    let mut loops = all_loops(region);
+    loops.sort_by_key(|idx| std::cmp::Reverse(idx.0.len()));
+    for t_idx in &loops {
+        let Some(t_stmt) = t_idx.resolve(region) else {
+            continue;
+        };
+        let Some(t_canon) = canonicalize(t_stmt) else {
+            continue;
+        };
+        let Some((depth, new_upper)) = find_point_partner(t_stmt, &t_canon) else {
+            continue;
+        };
+
+        // The partner sits `depth` single-statement descents below the
+        // tile loop, so its hierarchical index appends `depth` zeros.
+        let mut p_idx = t_idx.clone();
+        for _ in 0..depth {
+            p_idx = p_idx.push(0);
+        }
+        let p_stmt = p_idx.resolve_mut(region).expect("partner was just found");
+        let p_canon = canonicalize(p_stmt).expect("partner is canonical");
+        let header = p_stmt.as_for_mut().expect("partner is a loop");
+        header.init = Some(Box::new(if p_canon.declares_var {
+            Stmt::new(StmtKind::Decl {
+                ty: Type::Int,
+                name: p_canon.var.clone(),
+                dims: Vec::new(),
+                init: Some(t_canon.lower.clone()),
+            })
+        } else {
+            Stmt::expr(Expr::assign(
+                Expr::ident(&p_canon.var),
+                t_canon.lower.clone(),
+            ))
+        }));
+        header.cond = Some(Expr::bin(BinOp::Lt, Expr::ident(&p_canon.var), new_upper));
+
+        // Splice the tile loop out: its (single-statement) body takes
+        // its place.
+        let t_stmt = t_idx.resolve_mut(region).expect("tile loop resolved");
+        let inner = t_stmt.as_for().expect("loop").body.body_stmts()[0].clone();
+        *t_stmt = inner;
+
+        // Sound only if the tile variable is gone everywhere.
+        let mut leftover = false;
+        walk_exprs_in_stmt(region, &mut |e| {
+            if matches!(e, Expr::Ident(n) if n == &t_canon.var) {
+                leftover = true;
+            }
+        });
+        if leftover {
+            return Step::Poisoned;
+        }
+        if *target_var == t_canon.var {
+            *target_var = p_canon.var;
+        }
+        return Step::Coalesced;
+    }
+    Step::Exhausted
+}
+
+/// Follows the perfect spine under a candidate tile loop looking for its
+/// point loop: `for (v = t; v < min(X, t + c); v += s)` with `c` equal
+/// to the tile step and `s` dividing `c`. Returns how many child-0
+/// descents reach it and the exclusive upper bound of the coalesced
+/// loop.
+///
+/// Only single-statement loop bodies are traversed: a statement between
+/// the tile loop and the point loop would execute once per *tile*, and
+/// eliminating the tile loop would mis-model its accesses.
+fn find_point_partner(t_stmt: &Stmt, t_canon: &CanonLoop) -> Option<(usize, Expr)> {
+    let mut cur = t_stmt;
+    let mut depth = 0;
+    loop {
+        let body = cur.as_for()?.body.body_stmts();
+        if body.len() != 1 || !body[0].is_for() {
+            return None;
+        }
+        cur = &body[0];
+        depth += 1;
+        let Some(canon) = canonicalize(cur) else {
+            continue;
+        };
+        if canon.inclusive
+            || canon.lower != Expr::ident(&t_canon.var)
+            || t_canon.step % canon.step != 0
+        {
+            continue;
+        }
+        if let Some(upper) = coalesced_upper(&canon.upper, t_canon) {
+            return Some((depth, upper));
+        }
+    }
+}
+
+/// Matches the point-loop guard against the tile loop: `min(X, t + c)`
+/// (either argument order) yields `X`; a bare `t + c` — a point loop
+/// without a remainder guard — yields the tile loop's own upper bound.
+/// `c` must equal the tile step, or the ranges would not tile the
+/// iteration space exactly.
+fn coalesced_upper(upper: &Expr, t_canon: &CanonLoop) -> Option<Expr> {
+    if let Expr::Call { callee, args } = upper {
+        if callee == "min" && args.len() == 2 {
+            if tile_offset(&args[1], t_canon) {
+                return Some(args[0].clone());
+            }
+            if tile_offset(&args[0], t_canon) {
+                return Some(args[1].clone());
+            }
+        }
+    }
+    tile_offset(upper, t_canon).then(|| t_canon.exclusive_upper())
+}
+
+/// `true` when `e` is exactly `tile_var + tile_step`.
+fn tile_offset(e: &Expr, t_canon: &CanonLoop) -> bool {
+    if let Expr::Binary {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = e
+    {
+        return matches!(lhs.as_ref(), Expr::Ident(n) if n == &t_canon.var)
+            && rhs.as_const_int() == Some(t_canon.step);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn coalesces_one_level_strip_mine() {
+        let root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8)
+                for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = B[i] * 2.0;
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("pair recognized");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.var, "i");
+        assert_eq!(canon.lower, Expr::int(0));
+        assert_eq!(canon.upper, Expr::ident("n"));
+        assert_eq!(canon.step, 1);
+        // Exactly one loop remains.
+        assert_eq!(all_loops(&coalesced).len(), 1);
+    }
+
+    #[test]
+    fn coalesces_two_level_strip_mine() {
+        let root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < n; i_t += 16)
+                for (int i_s = i_t; i_s < min(n, i_t + 16); i_s += 4)
+                    for (int i = i_s; i < min(min(n, i_t + 16), i_s + 4); i++)
+                        A[i] = B[i];
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("both pairs recognized");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.var, "i");
+        assert_eq!(canon.upper, Expr::ident("n"));
+        assert_eq!(all_loops(&coalesced).len(), 1);
+    }
+
+    #[test]
+    fn untiled_nest_is_left_alone() {
+        let root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[i][j] = 0.0;
+            }"#,
+        );
+        assert!(coalesce_strip_mines(&root).is_none());
+    }
+
+    #[test]
+    fn leftover_tile_variable_poisons_the_rewrite() {
+        // The body reads `i_t` directly; eliminating the tile loop would
+        // leave it undefined, so the analyzer must fall back.
+        let root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8)
+                for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = B[i_t];
+            }"#,
+        );
+        assert!(coalesce_strip_mines(&root).is_none());
+    }
+
+    #[test]
+    fn mismatched_tile_width_is_not_coalesced() {
+        // Guard width 4 but tile step 8: iterations would be skipped,
+        // so this is not a strip-mine pair.
+        let root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8)
+                for (int i = i_t; i < min(n, i_t + 4); i++)
+                    A[i] = 1.0;
+            }"#,
+        );
+        assert!(coalesce_strip_mines(&root).is_none());
+    }
+
+    #[test]
+    fn statement_beside_the_point_loop_blocks_coalescing() {
+        // `A[0] = 0.0` runs once per tile; eliminating the tile loop
+        // would drop those executions from the model.
+        let root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8) {
+                A[0] = 0.0;
+                for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = 1.0;
+            }
+            }"#,
+        );
+        assert!(coalesce_strip_mines(&root).is_none());
+    }
+}

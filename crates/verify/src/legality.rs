@@ -1,0 +1,513 @@
+//! The unified legality engine.
+//!
+//! Every transformation module used to carry its own ad-hoc
+//! `check_legality` block; this module consolidates them behind one
+//! question — *may this step be applied to this region?* — so that the
+//! transforms, the search driver and the `locus-lint` binary all consult
+//! the same dependence-based reasoning. The engine never mutates the
+//! program: fusion legality, for instance, is judged on a privately
+//! reconstructed fused candidate.
+
+use locus_analysis::deps::analyze_region;
+use locus_analysis::loops::canonicalize;
+use locus_srcir::ast::{Pragma, Stmt, StmtKind};
+use locus_srcir::index::HierIndex;
+use locus_srcir::visit::{child, child_count, substitute_ident, walk_stmts};
+
+use crate::races::analyze_parallel_for;
+use crate::Verdict;
+
+/// One transformation step, described by what it does to the region —
+/// the vocabulary the legality engine reasons over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformStep {
+    /// Permute the perfect nest at the region root;
+    /// `order[new_level] = old_level` over a prefix of the nest.
+    Interchange {
+        /// The permutation, old levels listed in their new order.
+        order: Vec<usize>,
+    },
+    /// Tile the band of `width` perfectly nested loops at `target`.
+    Tile {
+        /// Root loop of the band.
+        target: HierIndex,
+        /// Number of band loops being tiled.
+        width: usize,
+    },
+    /// Unroll the loop at `target` and jam the copies into its single
+    /// inner loop.
+    UnrollAndJam {
+        /// The outer loop being unrolled.
+        target: HierIndex,
+    },
+    /// Fuse the loop at `first` with its immediately following sibling.
+    Fuse {
+        /// The first of the two loops.
+        first: HierIndex,
+    },
+    /// Distribute the loop at `target` over its body statements.
+    Distribute {
+        /// The loop being distributed.
+        target: HierIndex,
+    },
+    /// Insert `#pragma omp parallel for` on the loop at `target`.
+    ParallelFor {
+        /// The candidate parallel loop.
+        target: HierIndex,
+    },
+    /// Assert the loop at `target` free of loop-carried dependences
+    /// (`#pragma ivdep` / vectorization).
+    Vectorize {
+        /// The candidate vector loop.
+        target: HierIndex,
+    },
+}
+
+/// Judges whether `step` may legally be applied to the region rooted at
+/// `root`. The program is never modified.
+///
+/// Unavailable dependence information is always `Illegal("dependence
+/// information unavailable")` — the engine is conservative, exactly like
+/// the per-module checks it replaces. Callers that know better (the
+/// paper's expert-override philosophy) skip the call entirely via their
+/// `check_legality = false` flags.
+pub fn legal(root: &Stmt, step: &TransformStep) -> Verdict {
+    match step {
+        TransformStep::Interchange { order } => interchange_verdict(root, order),
+        TransformStep::Tile { target, width } => band_verdict(
+            root,
+            target,
+            *width,
+            "band is not fully permutable; tiling would reverse a dependence",
+        ),
+        TransformStep::UnrollAndJam { target } => band_verdict(
+            root,
+            target,
+            2,
+            "outer and inner loops are not permutable; jamming would reverse a dependence",
+        ),
+        TransformStep::Fuse { first } => fuse_verdict(root, first),
+        TransformStep::Distribute { target } => distribute_verdict(root, target),
+        TransformStep::ParallelFor { target } => parallel_for_verdict(root, target),
+        TransformStep::Vectorize { target } => vectorize_verdict(root, target),
+    }
+}
+
+fn unavailable() -> Verdict {
+    Verdict::illegal("dependence information unavailable")
+}
+
+fn resolve_loop<'a>(root: &'a Stmt, target: &HierIndex) -> Result<&'a Stmt, Verdict> {
+    match target.resolve(root) {
+        Some(stmt) if stmt.is_for() => Ok(stmt),
+        Some(_) => Err(Verdict::illegal(format!(
+            "statement at `{target}` is not a loop"
+        ))),
+        None => Err(Verdict::illegal(format!("no statement at `{target}`"))),
+    }
+}
+
+fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
+    if order.iter().enumerate().all(|(i, &o)| i == o) {
+        return Verdict::Legal;
+    }
+    let info = analyze_region(root);
+    if !info.available {
+        return unavailable();
+    }
+    // Extend the permutation to the full analyzed nest depth: unlisted
+    // deeper loops stay in place.
+    let full: Vec<usize> = order
+        .iter()
+        .copied()
+        .chain(order.len()..info.loop_vars.len())
+        .collect();
+    if info.interchange_legal(&full) {
+        Verdict::Legal
+    } else {
+        Verdict::illegal(format!("permutation {order:?} reverses a dependence"))
+    }
+}
+
+fn band_verdict(root: &Stmt, target: &HierIndex, width: usize, refusal: &str) -> Verdict {
+    let loop_stmt = match resolve_loop(root, target) {
+        Ok(s) => s,
+        Err(v) => return v,
+    };
+    let info = analyze_region(loop_stmt);
+    if !info.available {
+        return unavailable();
+    }
+    let levels: Vec<usize> = (0..width).collect();
+    if info.band_permutable(&levels) {
+        Verdict::Legal
+    } else {
+        Verdict::illegal(refusal)
+    }
+}
+
+fn distribute_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
+    let loop_stmt = match resolve_loop(root, target) {
+        Ok(s) => s,
+        Err(v) => return v,
+    };
+    let info = analyze_region(loop_stmt);
+    if !info.available {
+        return unavailable();
+    }
+    if info.distribution_legal() {
+        Verdict::Legal
+    } else {
+        Verdict::illegal("a backward dependence prevents distribution")
+    }
+}
+
+fn vectorize_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
+    let loop_stmt = match resolve_loop(root, target) {
+        Ok(s) => s,
+        Err(v) => return v,
+    };
+    let info = analyze_region(loop_stmt);
+    if !info.available {
+        return unavailable();
+    }
+    if info.vectorizable() {
+        Verdict::Legal
+    } else {
+        Verdict::illegal("a loop-carried dependence prevents vectorization")
+    }
+}
+
+/// Fusion legality, judged on a reconstructed fused candidate: after
+/// concatenating the bodies (second induction variable renamed to the
+/// first's), no dependence may point from a second-body statement back
+/// into the first body.
+fn fuse_verdict(root: &Stmt, first: &HierIndex) -> Verdict {
+    let Some(parent_idx) = first.parent() else {
+        return Verdict::illegal("cannot fuse the region root");
+    };
+    let Some(parent) = parent_idx.resolve(root) else {
+        return Verdict::illegal(format!("no statement at `{parent_idx}`"));
+    };
+    let position = *first.0.last().expect("non-empty index");
+    let siblings = parent.body_stmts();
+    let Some(a) = siblings.get(position) else {
+        return Verdict::illegal(format!("no statement at `{first}`"));
+    };
+    let Some(b) = siblings.get(position + 1) else {
+        return Verdict::illegal("loop to fuse has no following sibling statement");
+    };
+    let (Some(ca), Some(cb)) = (canonicalize(a), canonicalize(b)) else {
+        return Verdict::illegal("loops to fuse are not canonical");
+    };
+
+    let mut body = a.as_for().expect("loop").body.body_stmts().to_vec();
+    let first_len = body.len();
+    let mut second_body = b.as_for().expect("loop").body.body_stmts().to_vec();
+    if ca.var != cb.var {
+        for s in &mut second_body {
+            substitute_ident(s, &cb.var, &locus_srcir::ast::Expr::ident(&ca.var));
+        }
+    }
+    body.extend(second_body);
+    let mut fused = a.clone();
+    *fused.as_for_mut().expect("loop").body = Stmt::block(body);
+
+    let info = analyze_region(&fused);
+    if !info.available {
+        return unavailable();
+    }
+    let boundary = count_stmts(&fused.as_for().unwrap().body.body_stmts()[..first_len]);
+    let preventing = info
+        .deps
+        .iter()
+        .any(|d| d.src_stmt >= boundary && d.dst_stmt < boundary);
+    if preventing {
+        Verdict::illegal("fusion-preventing dependence between the loop bodies")
+    } else {
+        Verdict::Legal
+    }
+}
+
+/// `omp parallel for` legality: no nested parallelism (neither an
+/// ancestor nor a descendant of the target may already carry the
+/// pragma), and the loop must be race-free per [`analyze_parallel_for`].
+fn parallel_for_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
+    let loop_stmt = match resolve_loop(root, target) {
+        Ok(s) => s,
+        Err(v) => return v,
+    };
+    for len in 1..target.0.len() {
+        let ancestor = HierIndex::new(target.0[..len].to_vec());
+        if let Some(s) = ancestor.resolve(root) {
+            if has_omp(s) {
+                return Verdict::illegal(format!(
+                    "nested parallelism: enclosing loop at `{ancestor}` already carries \
+                     `omp parallel for`"
+                ));
+            }
+        }
+    }
+    let mut nested = false;
+    walk_stmts(loop_stmt, &mut |s| {
+        if !std::ptr::eq(s, loop_stmt) && has_omp(s) {
+            nested = true;
+        }
+    });
+    if nested {
+        return Verdict::illegal(format!(
+            "nested parallelism: loop at `{target}` contains an `omp parallel for`"
+        ));
+    }
+    analyze_parallel_for(loop_stmt).verdict()
+}
+
+fn has_omp(stmt: &Stmt) -> bool {
+    stmt.pragmas
+        .iter()
+        .any(|p| matches!(p, Pragma::OmpParallelFor { .. }))
+}
+
+/// Counts assignment/expression statements the dependence analysis
+/// numbers, in the same order it numbers them.
+pub(crate) fn count_stmts(stmts: &[Stmt]) -> usize {
+    fn rec(s: &Stmt, count: &mut usize) {
+        match &s.kind {
+            StmtKind::Expr(_) | StmtKind::Decl { init: Some(_), .. } => *count += 1,
+            _ => {
+                for i in 0..child_count(s) {
+                    if let Some(c) = child(s, i) {
+                        rec(c, count);
+                    }
+                }
+            }
+        }
+    }
+    let mut count = 0;
+    for s in stmts {
+        rec(s, &mut count);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    fn block_region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let f = p.functions().next().unwrap();
+        Stmt::block(f.body.clone())
+    }
+
+    fn matmul() -> Stmt {
+        region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        )
+    }
+
+    fn idx(s: &str) -> HierIndex {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn matmul_interchange_and_tiling_are_legal() {
+        let root = matmul();
+        assert!(legal(
+            &root,
+            &TransformStep::Interchange {
+                order: vec![0, 2, 1]
+            }
+        )
+        .is_legal());
+        assert!(legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 3
+            }
+        )
+        .is_legal());
+        assert!(legal(&root, &TransformStep::UnrollAndJam { target: idx("0") }).is_legal());
+    }
+
+    #[test]
+    fn skewed_dependence_blocks_interchange() {
+        let root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        let verdict = legal(&root, &TransformStep::Interchange { order: vec![1, 0] });
+        assert!(verdict.reason().unwrap().contains("reverses a dependence"));
+        // Identity stays legal without even consulting the analysis.
+        assert!(legal(&root, &TransformStep::Interchange { order: vec![0, 1] }).is_legal());
+        assert!(!legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 2
+            }
+        )
+        .is_legal());
+    }
+
+    #[test]
+    fn fusion_verdict_matches_the_transform() {
+        let fusable = block_region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            for (int j = 0; j < 64; j++) B[j] = A[j] * 2.0;
+            }"#,
+        );
+        assert!(legal(&fusable, &TransformStep::Fuse { first: idx("0.0") }).is_legal());
+
+        let preventing = block_region(
+            r#"void f(int n, double A[66], double B[64]) {
+            for (int i = 0; i < 64; i++) A[i] = 1.0;
+            for (int j = 0; j < 64; j++) B[j] = A[j + 1];
+            }"#,
+        );
+        let verdict = legal(&preventing, &TransformStep::Fuse { first: idx("0.0") });
+        assert!(verdict.reason().unwrap().contains("fusion-preventing"));
+    }
+
+    #[test]
+    fn distribution_verdict() {
+        let backward = region(
+            r#"void f(int n, double A[8], double B[8], double C[8]) {
+            for (int i = 1; i < n; i++) {
+                B[i] = A[i - 1];
+                A[i] = C[i] + 1.0;
+            }
+            }"#,
+        );
+        assert!(!legal(&backward, &TransformStep::Distribute { target: idx("0") }).is_legal());
+        let forward = region(
+            r#"void f(int n, double A[8], double B[8]) {
+            for (int i = 0; i < n; i++) {
+                A[i] = 1.0;
+                B[i] = A[i] * 2.0;
+            }
+            }"#,
+        );
+        assert!(legal(&forward, &TransformStep::Distribute { target: idx("0") }).is_legal());
+    }
+
+    #[test]
+    fn parallel_for_verdict_detects_races() {
+        let root = matmul();
+        assert!(legal(&root, &TransformStep::ParallelFor { target: idx("0") }).is_legal());
+        let verdict = legal(
+            &root,
+            &TransformStep::ParallelFor {
+                target: idx("0.0.0"),
+            },
+        );
+        assert!(
+            verdict.reason().unwrap().contains("data race"),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_for_refuses_nested_parallelism() {
+        let mut root = matmul();
+        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        // An inner loop under an already-parallel outer loop.
+        let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0.0") });
+        assert!(
+            verdict.reason().unwrap().contains("nested parallelism"),
+            "{verdict:?}"
+        );
+        // The other direction: parallelizing an ancestor of a parallel loop.
+        let mut root = matmul();
+        idx("0.0")
+            .resolve_mut(&mut root)
+            .unwrap()
+            .pragmas
+            .push(Pragma::OmpParallelFor { schedule: None });
+        let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0") });
+        assert!(
+            verdict.reason().unwrap().contains("nested parallelism"),
+            "{verdict:?}"
+        );
+        // Re-judging the already-parallel loop itself is fine (the
+        // insertion replaces the schedule, it does not nest).
+        assert!(legal(&root, &TransformStep::ParallelFor { target: idx("0.0") }).is_legal());
+    }
+
+    #[test]
+    fn vectorize_verdict() {
+        let root = region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 1; i < n; i++)
+                A[i] = A[i - 1] + 1.0;
+            }"#,
+        );
+        assert!(!legal(&root, &TransformStep::Vectorize { target: idx("0") }).is_legal());
+    }
+
+    #[test]
+    fn missing_or_non_loop_targets_are_illegal() {
+        let root = matmul();
+        assert!(!legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0.7"),
+                width: 1
+            }
+        )
+        .is_legal());
+        assert!(
+            !legal(
+                &root,
+                &TransformStep::ParallelFor {
+                    target: idx("0.0.0.0")
+                }
+            )
+            .is_legal(),
+            "the innermost statement is not a loop"
+        );
+    }
+
+    #[test]
+    fn unavailable_dependences_refuse_everything() {
+        let root = region(
+            r#"void f(int n, double A[64], int idx[64]) {
+            for (int i = 0; i < n; i++)
+                A[idx[i]] = 1.0;
+            }"#,
+        );
+        for step in [
+            TransformStep::Interchange { order: vec![1, 0] },
+            TransformStep::Tile {
+                target: idx("0"),
+                width: 1,
+            },
+            TransformStep::Distribute { target: idx("0") },
+            TransformStep::ParallelFor { target: idx("0") },
+            TransformStep::Vectorize { target: idx("0") },
+        ] {
+            assert_eq!(
+                legal(&root, &step),
+                Verdict::illegal("dependence information unavailable"),
+                "{step:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Data-race detection for `omp parallel for` insertion.
+//!
+//! A loop may be executed in parallel iff no dependence is carried by it:
+//! with the candidate loop as the analysis root, every dependence whose
+//! outermost carrier is level 0 crosses two different iterations and
+//! therefore two different threads. The detector reports each such pair
+//! as a [`Race`] and classifies a *suggested fix*:
+//!
+//! * scalars updated only by `s = s ⊕ expr` / `s ⊕= expr` are reduction
+//!   idioms — legal under an OpenMP `reduction(⊕:s)` clause;
+//! * scalars written (plainly, unconditionally) before every use in each
+//!   iteration are privatizable — legal under `private(s)`, assuming the
+//!   value is not live-out of the loop;
+//! * everything else (in particular loop-carried array recurrences such
+//!   as `A[i] = A[i-1] + ...`) is refused.
+//!
+//! The detector is strip-mine aware: when the candidate is a *tile* loop
+//! (whose variable appears in no subscript and would test as `*` at
+//! every level), the nest is first coalesced back into its pre-tiling
+//! form — see the `detile` module — so `omp parallel for` on the outer
+//! tile loop of a tiled kernel is judged by the dependences of the
+//! original loop, exactly as the paper's Fig. 7 space requires.
+
+use std::fmt;
+
+use locus_analysis::deps::{analyze_region, DepKind, Direction};
+use locus_srcir::ast::{BinOp, Expr, Stmt, StmtKind};
+use locus_srcir::visit::{walk_exprs, walk_exprs_in_stmt};
+
+use crate::Verdict;
+
+/// The remedy the detector suggests for one detected race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceFix {
+    /// Every touch of the scalar is the same reduction update; an OpenMP
+    /// `reduction` clause over `op` makes the loop legal.
+    Reduction {
+        /// The reduced scalar.
+        var: String,
+        /// The (associative) combining operator.
+        op: BinOp,
+    },
+    /// The scalar is written before it is used in each iteration; a
+    /// `private` clause makes the loop legal (provided the value is not
+    /// live-out).
+    Privatize {
+        /// The privatizable scalar.
+        var: String,
+    },
+    /// No clause fixes this race; parallelizing the loop is refused.
+    Refuse,
+}
+
+/// One dependence carried by the candidate parallel loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Index of the source statement (region statement order).
+    pub src_stmt: usize,
+    /// Index of the destination statement.
+    pub dst_stmt: usize,
+    /// The array or scalar both statements touch.
+    pub array: String,
+    /// Kind of the carried dependence.
+    pub kind: DepKind,
+    /// Direction vector, outermost loop first.
+    pub directions: Vec<Direction>,
+    /// Suggested remedy.
+    pub fix: RaceFix,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dirs: Vec<String> = self.directions.iter().map(|d| d.to_string()).collect();
+        write!(
+            f,
+            "{:?} dependence on `{}` S{} -> S{} carried by the parallel loop, directions ({})",
+            self.kind,
+            self.array,
+            self.src_stmt,
+            self.dst_stmt,
+            dirs.join(", ")
+        )?;
+        match &self.fix {
+            RaceFix::Reduction { var, op } => {
+                write!(f, "; fix: reduction({}:{var}) clause", op.symbol())
+            }
+            RaceFix::Privatize { var } => write!(f, "; fix: private({var}) clause"),
+            RaceFix::Refuse => write!(f, "; no fixing clause — refuse"),
+        }
+    }
+}
+
+/// The full race analysis of one candidate `omp parallel for` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// `false` when the dependence analysis could not model the loop
+    /// (non-affine subscripts, opaque pointer writes); parallelization is
+    /// then refused conservatively.
+    pub available: bool,
+    /// All dependences carried by the candidate loop.
+    pub races: Vec<Race>,
+}
+
+impl RaceReport {
+    /// `true` when the loop may be parallelized: the analysis succeeded
+    /// and every carried dependence has a fixing clause.
+    pub fn is_parallelizable(&self) -> bool {
+        self.available && self.races.iter().all(|r| r.fix != RaceFix::Refuse)
+    }
+
+    /// Folds the report into a [`Verdict`], refusing on the first race
+    /// without a fixing clause.
+    pub fn verdict(&self) -> Verdict {
+        if !self.available {
+            return Verdict::illegal("dependence information unavailable");
+        }
+        match self.races.iter().find(|r| r.fix == RaceFix::Refuse) {
+            Some(r) => Verdict::illegal(format!("data race: {r}")),
+            None => Verdict::Legal,
+        }
+    }
+}
+
+/// Analyzes `loop_stmt` as a candidate `omp parallel for` target.
+///
+/// The loop itself becomes the root of the analyzed nest, so "carried at
+/// level 0" means carried by exactly the loop whose iterations would run
+/// concurrently. Non-loops and unanalyzable regions yield an unavailable
+/// report (conservatively not parallelizable).
+pub fn analyze_parallel_for(loop_stmt: &Stmt) -> RaceReport {
+    if !loop_stmt.is_for() {
+        return RaceReport {
+            available: false,
+            races: Vec::new(),
+        };
+    }
+    // Tiled nests: coalesce strip-mined pairs so the tile loop's race
+    // question becomes the level-0 question of the pre-tiling nest.
+    let coalesced = crate::detile::coalesce_strip_mines(loop_stmt);
+    let region = coalesced.as_ref().unwrap_or(loop_stmt);
+    let info = analyze_region(region);
+    if !info.available {
+        return RaceReport {
+            available: false,
+            races: Vec::new(),
+        };
+    }
+    let races = info
+        .deps
+        .iter()
+        .filter(|d| d.carrier_level() == Some(0))
+        .map(|d| Race {
+            src_stmt: d.src_stmt,
+            dst_stmt: d.dst_stmt,
+            array: d.array.clone(),
+            kind: d.kind,
+            directions: d.directions.clone(),
+            fix: suggest_fix(region, &d.array),
+        })
+        .collect();
+    RaceReport {
+        available: true,
+        races,
+    }
+}
+
+/// How one statement of the loop body touches a given scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Usage {
+    /// `s = s ⊕ expr` or `s ⊕= expr`, `expr` not reading `s`.
+    Reduction(BinOp),
+    /// `s = expr`, `expr` not reading `s`; `top` records whether the
+    /// write sits straight-line at the top level of the loop body (and
+    /// therefore dominates the rest of the iteration).
+    PlainWrite {
+        /// Unconditional, top-of-body write.
+        top: bool,
+    },
+    /// Any other touch (read-before-write, conditional use, ...).
+    Other,
+}
+
+/// Classifies the fix for a carried dependence on `name` inside the body
+/// of the candidate loop. Arrays are never fixable by a clause.
+fn suggest_fix(loop_stmt: &Stmt, name: &str) -> RaceFix {
+    let mut subscripted = false;
+    walk_exprs_in_stmt(loop_stmt, &mut |e| {
+        if let Some((base, _)) = e.as_array_access() {
+            if base == name {
+                subscripted = true;
+            }
+        }
+    });
+    if subscripted {
+        return RaceFix::Refuse;
+    }
+
+    let body = &loop_stmt.as_for().expect("candidate is a loop").body;
+    let mut usages = Vec::new();
+    collect_usages(body, name, true, &mut usages);
+    if usages.is_empty() {
+        return RaceFix::Refuse;
+    }
+
+    let mut ops = usages.iter().filter_map(|u| match u {
+        Usage::Reduction(op) => Some(*op),
+        _ => None,
+    });
+    if let Some(first) = ops.next() {
+        if usages.iter().all(|u| matches!(u, Usage::Reduction(_))) && ops.all(|op| op == first) {
+            return RaceFix::Reduction {
+                var: name.to_string(),
+                op: first,
+            };
+        }
+    }
+    if matches!(usages.first(), Some(Usage::PlainWrite { top: true })) {
+        return RaceFix::Privatize {
+            var: name.to_string(),
+        };
+    }
+    RaceFix::Refuse
+}
+
+/// Walks the loop body in the same pre-order the dependence analysis
+/// uses, recording how each statement touches `name`. `top` is true only
+/// while we are in straight-line code directly under the parallel loop.
+fn collect_usages(stmt: &Stmt, name: &str, top: bool, out: &mut Vec<Usage>) {
+    let mentions = |e: &Expr| {
+        let mut found = false;
+        walk_exprs(e, &mut |x| {
+            if matches!(x, Expr::Ident(n) if n == name) {
+                found = true;
+            }
+        });
+        found
+    };
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            if mentions(e) {
+                out.push(classify_expr(e, name, top));
+            }
+        }
+        StmtKind::Decl { dims, init, .. } => {
+            if init.as_ref().is_some_and(&mentions) || dims.iter().any(&mentions) {
+                out.push(Usage::Other);
+            }
+        }
+        StmtKind::Block(stmts) => {
+            for s in stmts {
+                collect_usages(s, name, top, out);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if mentions(cond) {
+                out.push(Usage::Other);
+            }
+            collect_usages(then_branch, name, false, out);
+            if let Some(e) = else_branch {
+                collect_usages(e, name, false, out);
+            }
+        }
+        StmtKind::For(f) => {
+            if let Some(init) = &f.init {
+                collect_usages(init, name, false, out);
+            }
+            if f.cond.as_ref().is_some_and(&mentions) || f.step.as_ref().is_some_and(&mentions) {
+                out.push(Usage::Other);
+            }
+            collect_usages(&f.body, name, false, out);
+        }
+        StmtKind::While { cond, body } => {
+            if mentions(cond) {
+                out.push(Usage::Other);
+            }
+            collect_usages(body, name, false, out);
+        }
+        StmtKind::Return(Some(e)) => {
+            if mentions(e) {
+                out.push(Usage::Other);
+            }
+        }
+        StmtKind::Return(None) | StmtKind::Empty => {}
+    }
+}
+
+/// Classifies one expression statement that mentions `name`.
+fn classify_expr(e: &Expr, name: &str, top: bool) -> Usage {
+    let reads = |e: &Expr| {
+        let mut found = false;
+        walk_exprs(e, &mut |x| {
+            if matches!(x, Expr::Ident(n) if n == name) {
+                found = true;
+            }
+        });
+        found
+    };
+    if let Expr::Assign { op, lhs, rhs } = e {
+        if matches!(lhs.as_ref(), Expr::Ident(n) if n == name) {
+            // Compound update `s ⊕= expr`.
+            if let Some(bin) = op.to_bin_op() {
+                if reduction_op(bin) && !reads(rhs) {
+                    return Usage::Reduction(bin);
+                }
+                return Usage::Other;
+            }
+            // Plain `s = s ⊕ expr` (or `s = expr ⊕ s` for commutative ⊕).
+            if let Expr::Binary {
+                op: bin,
+                lhs: a,
+                rhs: b,
+            } = rhs.as_ref()
+            {
+                if reduction_op(*bin) {
+                    let a_is_s = matches!(a.as_ref(), Expr::Ident(n) if n == name);
+                    let b_is_s = matches!(b.as_ref(), Expr::Ident(n) if n == name);
+                    if a_is_s && !reads(b) {
+                        return Usage::Reduction(*bin);
+                    }
+                    if b_is_s && !reads(a) && commutative(*bin) {
+                        return Usage::Reduction(*bin);
+                    }
+                }
+            }
+            if !reads(rhs) {
+                return Usage::PlainWrite { top };
+            }
+        }
+    }
+    Usage::Other
+}
+
+/// Operators OpenMP reduction clauses support (of the subset mini-C has).
+fn reduction_op(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul)
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Mul)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    fn region(src: &str) -> Stmt {
+        let p = parse_program(src).unwrap();
+        let s = p.functions().next().unwrap().body[0].clone();
+        s
+    }
+
+    #[test]
+    fn independent_loop_is_parallelizable() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++)
+                A[i] = B[i] * 2.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(report.races.is_empty());
+        assert!(report.is_parallelizable());
+        assert_eq!(report.verdict(), Verdict::Legal);
+    }
+
+    #[test]
+    fn refuses_loop_carried_recurrence() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i = 1; i < n; i++)
+                A[i] = A[i - 1] + 1.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+        let race = report
+            .races
+            .iter()
+            .find(|r| r.fix == RaceFix::Refuse)
+            .expect("a refused race");
+        assert_eq!(race.array, "A");
+        assert_eq!(race.kind, DepKind::Flow);
+        assert_eq!(race.directions, vec![Direction::Lt]);
+        assert!(report.verdict().reason().unwrap().contains("data race"));
+    }
+
+    #[test]
+    fn recognizes_scalar_sum_reduction() {
+        for src in [
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s + A[i];
+            }"#,
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s += A[i];
+            }"#,
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = A[i] + s;
+            }"#,
+        ] {
+            let report = analyze_parallel_for(&region(src));
+            assert!(report.available);
+            assert!(!report.races.is_empty(), "scalar dep must be reported");
+            assert!(report.is_parallelizable(), "reduction is fixable: {src}");
+            assert!(report.races.iter().all(|r| matches!(
+                &r.fix,
+                RaceFix::Reduction { var, op: BinOp::Add } if var == "s"
+            )));
+        }
+    }
+
+    #[test]
+    fn recognizes_product_reduction_but_not_division() {
+        let prod = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s * A[i];
+            }"#,
+        ));
+        assert!(prod.is_parallelizable());
+
+        // `s = s / A[i]` is not associative; refuse.
+        let div = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s / A[i];
+            }"#,
+        ));
+        assert!(div.available);
+        assert!(!div.is_parallelizable());
+    }
+
+    #[test]
+    fn subtraction_reduction_only_on_the_left() {
+        // `s = s - A[i]` is a sum of negatives; `s = A[i] - s` is not.
+        let ok = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s - A[i];
+            }"#,
+        ));
+        assert!(ok.is_parallelizable());
+        let bad = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = A[i] - s;
+            }"#,
+        ));
+        assert!(!bad.is_parallelizable());
+    }
+
+    #[test]
+    fn mixed_operator_updates_are_refused() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++) {
+                s = s + A[i];
+                s = s * 2.0;
+            }
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn recognizes_privatizable_scalar() {
+        // `t` is written (top of body, unconditionally) before every use.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                t = A[i] * 2.0;
+                B[i] = t + 1.0;
+            }
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.races.is_empty());
+        assert!(report.is_parallelizable());
+        assert!(report
+            .races
+            .iter()
+            .all(|r| matches!(&r.fix, RaceFix::Privatize { var } if var == "t")));
+    }
+
+    #[test]
+    fn conditional_first_write_is_not_privatizable() {
+        // The write does not dominate the read: refuse.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                if (A[i] > 0.0) { t = A[i]; }
+                B[i] = t + 1.0;
+            }
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn read_before_write_scalar_is_refused() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                B[i] = t + 1.0;
+                t = A[i];
+            }
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn matmul_outer_loop_is_parallelizable() {
+        // C[i][j] accumulation is carried by k, not by i.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(report.races.is_empty());
+        assert!(report.is_parallelizable());
+    }
+
+    #[test]
+    fn matmul_k_loop_is_racy() {
+        // With the k loop as the parallel candidate, the C accumulation
+        // is carried at level 0 and C is an array: refuse.
+        let root = region(
+            r#"void f(int n, double C[8][8], double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }"#,
+        );
+        let k_loop = locus_srcir::HierIndex::new(vec![0, 0, 0])
+            .resolve(&root)
+            .unwrap();
+        let report = analyze_parallel_for(k_loop);
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+        assert!(report.races.iter().any(|r| r.array == "C"));
+    }
+
+    #[test]
+    fn tiled_independent_loop_is_parallelizable() {
+        // The omp target is the *tile* loop: its variable appears in no
+        // subscript, so only the strip-mine coalescing makes this legal.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8)
+                for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = B[i] * 2.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(report.races.is_empty());
+        assert!(report.is_parallelizable());
+    }
+
+    #[test]
+    fn tiled_recurrence_is_still_refused() {
+        // Coalescing must not hide a genuine cross-tile recurrence.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i_t = 1; i_t < n; i_t += 8)
+                for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = A[i - 1] + 1.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn nonaffine_subscripts_are_refused_conservatively() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64], int idx[64]) {
+            for (int i = 0; i < n; i++)
+                A[idx[i]] = 1.0;
+            }"#,
+        ));
+        assert!(!report.available);
+        assert!(!report.is_parallelizable());
+        assert_eq!(
+            report.verdict(),
+            Verdict::illegal("dependence information unavailable")
+        );
+    }
+
+    #[test]
+    fn non_loop_statement_is_refused() {
+        let stmt = Stmt::new(StmtKind::Empty);
+        assert!(!analyze_parallel_for(&stmt).is_parallelizable());
+    }
+
+    #[test]
+    fn race_display_names_the_fix() {
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s += A[i];
+            }"#,
+        ));
+        let text = report.races[0].to_string();
+        assert!(text.contains("reduction(+:s)"), "{text}");
+    }
+}

@@ -1,0 +1,278 @@
+//! IR well-formedness validation.
+//!
+//! Two entry points with two audiences:
+//!
+//! * [`validate_region`] judges a single region root after a
+//!   transformation step — it is cheap and is run after every applied
+//!   step during tuning in debug builds, catching transformations that
+//!   silently produce nonsense (duplicate pragma kinds, loop pragmas on
+//!   non-loops, a parallel loop whose bounds no longer canonicalize).
+//! * [`validate_program`] judges a whole parsed translation unit — used
+//!   by the `locus-lint` binary, it additionally checks every identifier
+//!   against the scopes that declare it (globals, parameters, locals,
+//!   loop induction variables).
+
+use std::mem::discriminant;
+
+use locus_analysis::loops::canonicalize;
+use locus_srcir::ast::{Expr, Function, Item, Pragma, Program, Stmt, StmtKind};
+use locus_srcir::visit::{walk_exprs, walk_stmts};
+
+/// Validates the region rooted at `root`, returning one human-readable
+/// issue per defect found (empty = well-formed).
+pub fn validate_region(root: &Stmt) -> Vec<String> {
+    let mut issues = Vec::new();
+    walk_stmts(root, &mut |stmt| {
+        for (i, pragma) in stmt.pragmas.iter().enumerate() {
+            if loop_only(pragma) && !stmt.is_for() {
+                issues.push(format!(
+                    "pragma `{}` attached to a non-loop statement",
+                    pragma_name(pragma)
+                ));
+            }
+            if !matches!(pragma, Pragma::Raw(_))
+                && stmt.pragmas[..i]
+                    .iter()
+                    .any(|p| discriminant(p) == discriminant(pragma))
+            {
+                issues.push(format!(
+                    "duplicate `{}` pragmas on one statement",
+                    pragma_name(pragma)
+                ));
+            }
+        }
+        if stmt.is_for()
+            && stmt
+                .pragmas
+                .iter()
+                .any(|p| matches!(p, Pragma::OmpParallelFor { .. }))
+            && canonicalize(stmt).is_none()
+        {
+            issues.push("`omp parallel for` on a loop with non-canonical bounds".to_string());
+        }
+    });
+    issues
+}
+
+/// Validates a whole parsed program: every region check of
+/// [`validate_region`] plus undefined-variable detection with proper
+/// scoping.
+pub fn validate_program(program: &Program) -> Vec<String> {
+    let mut issues = Vec::new();
+    let mut globals = Vec::new();
+    for item in &program.items {
+        if let Item::Global(stmt) = item {
+            if let StmtKind::Decl { name, .. } = &stmt.kind {
+                globals.push(name.clone());
+            }
+        }
+    }
+    for function in program.functions() {
+        check_function(function, &globals, &mut issues);
+    }
+    issues
+}
+
+fn check_function(function: &Function, globals: &[String], issues: &mut Vec<String>) {
+    let mut scopes: Vec<Vec<String>> = vec![globals.to_vec()];
+    scopes.push(function.params.iter().map(|p| p.name.clone()).collect());
+    scopes.push(Vec::new());
+    for stmt in &function.body {
+        check_stmt(stmt, &mut scopes, &function.name, issues);
+        for issue in validate_region(stmt) {
+            issues.push(format!("{}: {issue}", function.name));
+        }
+    }
+}
+
+fn check_stmt(stmt: &Stmt, scopes: &mut Vec<Vec<String>>, fname: &str, issues: &mut Vec<String>) {
+    match &stmt.kind {
+        StmtKind::Expr(e) => check_expr(e, scopes, fname, issues),
+        StmtKind::Decl {
+            name, dims, init, ..
+        } => {
+            for d in dims {
+                check_expr(d, scopes, fname, issues);
+            }
+            if let Some(init) = init {
+                check_expr(init, scopes, fname, issues);
+            }
+            scopes.last_mut().expect("scope stack").push(name.clone());
+        }
+        StmtKind::Block(stmts) => {
+            scopes.push(Vec::new());
+            for s in stmts {
+                check_stmt(s, scopes, fname, issues);
+            }
+            scopes.pop();
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            check_expr(cond, scopes, fname, issues);
+            scopes.push(Vec::new());
+            check_stmt(then_branch, scopes, fname, issues);
+            scopes.pop();
+            if let Some(e) = else_branch {
+                scopes.push(Vec::new());
+                check_stmt(e, scopes, fname, issues);
+                scopes.pop();
+            }
+        }
+        StmtKind::For(f) => {
+            scopes.push(Vec::new());
+            if let Some(init) = &f.init {
+                check_stmt(init, scopes, fname, issues);
+            }
+            if let Some(cond) = &f.cond {
+                check_expr(cond, scopes, fname, issues);
+            }
+            if let Some(step) = &f.step {
+                check_expr(step, scopes, fname, issues);
+            }
+            check_stmt(&f.body, scopes, fname, issues);
+            scopes.pop();
+        }
+        StmtKind::While { cond, body } => {
+            check_expr(cond, scopes, fname, issues);
+            scopes.push(Vec::new());
+            check_stmt(body, scopes, fname, issues);
+            scopes.pop();
+        }
+        StmtKind::Return(Some(e)) => check_expr(e, scopes, fname, issues),
+        StmtKind::Return(None) | StmtKind::Empty => {}
+    }
+}
+
+fn check_expr(e: &Expr, scopes: &[Vec<String>], fname: &str, issues: &mut Vec<String>) {
+    walk_exprs(e, &mut |x| {
+        if let Expr::Ident(name) = x {
+            if !scopes.iter().any(|s| s.iter().any(|n| n == name)) {
+                issues.push(format!("{fname}: undefined variable `{name}`"));
+            }
+        }
+    });
+}
+
+fn loop_only(pragma: &Pragma) -> bool {
+    matches!(
+        pragma,
+        Pragma::LocusLoop(_) | Pragma::Ivdep | Pragma::VectorAlways | Pragma::OmpParallelFor { .. }
+    )
+}
+
+fn pragma_name(pragma: &Pragma) -> &'static str {
+    match pragma {
+        Pragma::LocusLoop(_) => "@Locus loop",
+        Pragma::LocusBlock(_) => "@Locus block",
+        Pragma::Ivdep => "ivdep",
+        Pragma::VectorAlways => "vector always",
+        Pragma::OmpParallelFor { .. } => "omp parallel for",
+        Pragma::Raw(_) => "raw",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::parse_program;
+
+    #[test]
+    fn clean_program_has_no_issues() {
+        let p = parse_program(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    A[i][j] = 0.0;
+            }"#,
+        )
+        .unwrap();
+        assert!(validate_program(&p).is_empty());
+    }
+
+    #[test]
+    fn undefined_variable_is_reported() {
+        let p = parse_program(
+            r#"void f(int n, double A[8]) {
+            for (int i = 0; i < n; i++)
+                A[i] = x * 2.0;
+            }"#,
+        )
+        .unwrap();
+        let issues = validate_program(&p);
+        assert!(
+            issues.iter().any(|m| m.contains("undefined variable `x`")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn scoped_locals_do_not_leak() {
+        // `t` declared inside the first loop is not visible in the second.
+        let p = parse_program(
+            r#"void f(int n, double A[8], double B[8]) {
+            for (int i = 0; i < n; i++) {
+                double t = A[i];
+                A[i] = t;
+            }
+            for (int j = 0; j < n; j++)
+                B[j] = t;
+            }"#,
+        )
+        .unwrap();
+        let issues = validate_program(&p);
+        assert!(
+            issues.iter().any(|m| m.contains("undefined variable `t`")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn pragma_on_non_loop_is_reported() {
+        let mut stmt = Stmt::expr(Expr::assign(Expr::ident("x"), Expr::int(1)));
+        stmt.pragmas.push(Pragma::Ivdep);
+        let issues = validate_region(&stmt);
+        assert!(issues.iter().any(|m| m.contains("non-loop")), "{issues:?}");
+    }
+
+    #[test]
+    fn duplicate_pragma_kind_is_reported() {
+        let p = parse_program(
+            r#"void f(int n, double A[8]) {
+            for (int i = 0; i < n; i++)
+                A[i] = 0.0;
+            }"#,
+        )
+        .unwrap();
+        let mut root = p.functions().next().unwrap().body[0].clone();
+        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        root.pragmas.push(Pragma::OmpParallelFor {
+            schedule: Some(locus_srcir::ast::OmpSchedule {
+                kind: locus_srcir::ast::OmpScheduleKind::Static,
+                chunk: None,
+            }),
+        });
+        let issues = validate_region(&root);
+        assert!(issues.iter().any(|m| m.contains("duplicate")), "{issues:?}");
+    }
+
+    #[test]
+    fn omp_on_non_canonical_loop_is_reported() {
+        let p = parse_program(
+            r#"void f(int n, double A[8]) {
+            for (int i = n; i > 0; i--)
+                A[i] = 0.0;
+            }"#,
+        )
+        .unwrap();
+        let mut root = p.functions().next().unwrap().body[0].clone();
+        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        let issues = validate_region(&root);
+        assert!(
+            issues.iter().any(|m| m.contains("non-canonical")),
+            "{issues:?}"
+        );
+    }
+}

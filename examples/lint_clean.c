@@ -1,0 +1,22 @@
+/* A clean kernel: `locus-lint` exits 0 on this file.
+ *
+ * The parallel loop writes a distinct A[i] per iteration, and the ivdep
+ * assertion on the inner loop holds (no loop-carried dependence).
+ */
+double A[256];
+double B[256];
+double C[16][16];
+
+void kernel() {
+    int i;
+    int j;
+    #pragma omp parallel for
+    for (i = 0; i < 256; i++)
+        A[i] = B[i] * 2.0 + 1.0;
+
+    for (i = 0; i < 16; i++) {
+        #pragma ivdep
+        for (j = 0; j < 16; j++)
+            C[i][j] = C[i][j] * 0.5;
+    }
+}

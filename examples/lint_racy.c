@@ -1,0 +1,25 @@
+/* A racy kernel: `locus-lint` exits 1 on this file.
+ *
+ * The first parallel loop is a loop-carried recurrence (A[i] depends on
+ * A[i-1]) — no clause fixes it. The second is a scalar sum without a
+ * reduction clause; the lint names the fix. The ivdep assertion on the
+ * last loop is false: it carries a flow dependence at distance 1.
+ */
+double A[256];
+double B[256];
+double s;
+
+void kernel() {
+    int i;
+    #pragma omp parallel for
+    for (i = 1; i < 256; i++)
+        A[i] = A[i - 1] + B[i];
+
+    #pragma omp parallel for
+    for (i = 0; i < 256; i++)
+        s = s + B[i];
+
+    #pragma ivdep
+    for (i = 1; i < 256; i++)
+        B[i] = B[i - 1] * 0.5;
+}

@@ -10,4 +10,16 @@ cargo test -q --offline --workspace
 # The store round-trip named explicitly: write, drop, reopen, warm-start
 # to the identical best point with zero re-measurements.
 cargo test -q --offline --test store_persistence
+# Verifier-pruned search named explicitly: racy points are refused before
+# the machine ever simulates them, bit-identically to the sequential run.
+cargo test -q --offline --test verify_pruning
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# locus-lint smoke: the clean example lints clean, the racy one is
+# refused with a nonzero exit.
+./target/release/locus-lint examples/lint_clean.c
+if ./target/release/locus-lint examples/lint_racy.c; then
+    echo "locus-lint accepted examples/lint_racy.c — it must refuse it" >&2
+    exit 1
+fi

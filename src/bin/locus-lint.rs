@@ -1,0 +1,142 @@
+//! `locus-lint` — static safety diagnostics for mini-C sources.
+//!
+//! Runs the `locus-verify` analyses over whole files, outside any tuning
+//! session: IR well-formedness (undefined variables, misplaced or
+//! duplicate pragmas), data-race detection for every `#pragma omp
+//! parallel for` already present in the source (including nested
+//! parallelism), and `#pragma ivdep` assertions checked against the
+//! dependence analysis.
+//!
+//! Usage: `locus-lint <file.c>...`
+//!
+//! Exit status: 0 when every file is clean, 1 when any diagnostic was
+//! emitted, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use locus::analysis::deps::analyze_region;
+use locus::srcir::ast::{Pragma, Program, Stmt};
+use locus::srcir::parse_program;
+use locus::verify::{analyze_parallel_for, validate_program};
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: locus-lint <file.c>...");
+        return ExitCode::from(2);
+    }
+
+    let mut diagnostics = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match parse_program(&text) {
+            Ok(program) => program,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        diagnostics += lint_file(path, &program);
+    }
+
+    if diagnostics > 0 {
+        eprintln!(
+            "locus-lint: {diagnostics} diagnostic{} in {} file{}",
+            if diagnostics == 1 { "" } else { "s" },
+            files.len(),
+            if files.len() == 1 { "" } else { "s" },
+        );
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints one parsed file, printing diagnostics; returns how many.
+fn lint_file(path: &str, program: &Program) -> usize {
+    let mut count = 0;
+    for issue in validate_program(program) {
+        println!("{path}: error: {issue}");
+        count += 1;
+    }
+    for function in program.functions() {
+        for stmt in &function.body {
+            lint_stmt(path, &function.name, stmt, false, &mut count);
+        }
+    }
+    count
+}
+
+/// Recursively lints a statement tree. `in_parallel` is true inside the
+/// body of an enclosing `omp parallel for` loop.
+fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mut usize) {
+    let is_parallel = stmt
+        .pragmas
+        .iter()
+        .any(|p| matches!(p, Pragma::OmpParallelFor { .. }));
+
+    if is_parallel && stmt.is_for() {
+        if in_parallel {
+            println!(
+                "{path}: error: {fname}: `omp parallel for` nested inside another \
+                 parallel loop"
+            );
+            *count += 1;
+        }
+        let report = analyze_parallel_for(stmt);
+        if !report.available {
+            println!(
+                "{path}: error: {fname}: cannot prove `omp parallel for` safe — \
+                 dependence information unavailable (non-affine subscripts?)"
+            );
+            *count += 1;
+        }
+        for race in &report.races {
+            println!("{path}: error: {fname}: {race}");
+            *count += 1;
+        }
+    }
+
+    if stmt.pragmas.iter().any(|p| matches!(p, Pragma::Ivdep)) && stmt.is_for() {
+        let info = analyze_region(stmt);
+        if !info.vectorizable() {
+            println!(
+                "{path}: error: {fname}: `#pragma ivdep` asserts no loop-carried \
+                 dependences, but the analysis finds (or cannot rule out) one"
+            );
+            *count += 1;
+        }
+    }
+
+    for child in children(stmt) {
+        lint_stmt(path, fname, child, in_parallel || is_parallel, count);
+    }
+}
+
+/// The sub-statements of `stmt`, for the lint walk.
+fn children(stmt: &Stmt) -> Vec<&Stmt> {
+    use locus::srcir::ast::StmtKind;
+    match &stmt.kind {
+        StmtKind::Block(stmts) => stmts.iter().collect(),
+        StmtKind::For(f) => vec![f.body.as_ref()],
+        StmtKind::While { body, .. } => vec![body.as_ref()],
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut out = vec![then_branch.as_ref()];
+            if let Some(e) = else_branch {
+                out.push(e.as_ref());
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`srcir`] — the mini-C source front-end (lexer, parser, unparser,
 //!   `#pragma @Locus` regions, hierarchical indexing, region hashing);
 //! * [`analysis`] — loop queries and data-dependence analysis;
+//! * [`verify`] — the static safety analyzer: race detection for
+//!   `omp parallel for` insertion, the unified transformation legality
+//!   engine, and the IR well-formedness validator behind `locus-lint`;
 //! * [`transform`] — the transformation module collections (`RoseLocus`,
 //!   `Pips`, `Pragma`, `BuiltIn` equivalents);
 //! * [`machine`] — the execution substrate (interpreter + cache simulator
@@ -38,3 +41,4 @@ pub use locus_space as space;
 pub use locus_srcir as srcir;
 pub use locus_store as store;
 pub use locus_transform as transform;
+pub use locus_verify as verify;
