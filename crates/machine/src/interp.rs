@@ -475,7 +475,7 @@ impl<'p> Interp<'p> {
             unreachable!("exec_for called on a for loop")
         };
         let omp = stmt.pragmas.iter().find_map(|p| match p {
-            Pragma::OmpParallelFor { schedule } => Some(*schedule),
+            Pragma::OmpParallelFor { schedule, .. } => Some(*schedule),
             _ => None,
         });
         let vectorized = stmt

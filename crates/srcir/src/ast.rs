@@ -286,6 +286,30 @@ pub struct OmpSchedule {
     pub chunk: Option<u32>,
 }
 
+/// A data-sharing clause of an `omp parallel for` pragma.
+///
+/// These are the clause shapes the static race analyzer names as fixes
+/// for scalar dependences carried by a parallel loop: a clause-less
+/// `omp parallel for` on `s = s + A[i]` is a data race, while the same
+/// pragma with `reduction(+:s)` is well-defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OmpClause {
+    /// `reduction(op:var)` — each thread accumulates a private partial
+    /// value, combined with `op` at the join.
+    Reduction {
+        /// The (associative) combining operator.
+        op: BinOp,
+        /// The reduced scalar.
+        var: String,
+    },
+    /// `private(var)` — each thread works on its own copy; the original
+    /// value is undefined after the loop.
+    Private {
+        /// The privatized scalar.
+        var: String,
+    },
+}
+
 /// A pragma attached to a statement.
 ///
 /// `LocusLoop`/`LocusBlock` are the region annotations of Sec. II of the
@@ -301,10 +325,12 @@ pub enum Pragma {
     Ivdep,
     /// `#pragma vector always` — forces vectorization.
     VectorAlways,
-    /// `#pragma omp parallel for [schedule(...)]`.
+    /// `#pragma omp parallel for [schedule(...)] [reduction(...)|private(...)]*`.
     OmpParallelFor {
         /// Optional `schedule(kind, chunk)` clause.
         schedule: Option<OmpSchedule>,
+        /// Data-sharing clauses, in emission order.
+        clauses: Vec<OmpClause>,
     },
     /// Any other pragma, preserved verbatim.
     Raw(String),

@@ -56,8 +56,8 @@ pub mod token;
 pub mod visit;
 
 pub use ast::{
-    AssignOp, BinOp, Expr, ForLoop, Function, Item, OmpSchedule, OmpScheduleKind, Param, Pragma,
-    Program, Stmt, StmtKind, Type, UnOp,
+    AssignOp, BinOp, Expr, ForLoop, Function, Item, OmpClause, OmpSchedule, OmpScheduleKind, Param,
+    Pragma, Program, Stmt, StmtKind, Type, UnOp,
 };
 pub use index::HierIndex;
 pub use lexer::LexError;

@@ -688,32 +688,57 @@ pub fn parse_pragma(text: &str) -> Result<Pragma, String> {
         return Ok(Pragma::VectorAlways);
     }
     if let Some(rest) = trimmed.strip_prefix("omp parallel for") {
-        let rest = rest.trim();
-        if rest.is_empty() {
-            return Ok(Pragma::OmpParallelFor { schedule: None });
-        }
-        if let Some(clause) = rest.strip_prefix("schedule(") {
-            let clause = clause
-                .strip_suffix(')')
-                .ok_or_else(|| format!("malformed schedule clause in `{trimmed}`"))?;
-            let mut parts = clause.splitn(2, ',');
-            let kind = match parts.next().map(str::trim) {
-                Some("static") => OmpScheduleKind::Static,
-                Some("dynamic") => OmpScheduleKind::Dynamic,
-                other => return Err(format!("unknown schedule kind `{other:?}`")),
+        let mut rest = rest.trim_start();
+        let mut schedule = None;
+        let mut clauses = Vec::new();
+        while !rest.is_empty() {
+            let Some((name, tail)) = rest.split_once('(') else {
+                return Err(format!("unsupported omp clause `{rest}`"));
             };
-            let chunk = match parts.next().map(str::trim) {
-                Some(text) => Some(
-                    text.parse::<u32>()
-                        .map_err(|_| format!("malformed chunk size `{text}`"))?,
-                ),
-                None => None,
-            };
-            return Ok(Pragma::OmpParallelFor {
-                schedule: Some(OmpSchedule { kind, chunk }),
-            });
+            let (body, after) = tail
+                .split_once(')')
+                .ok_or_else(|| format!("malformed `{}` clause in `{trimmed}`", name.trim()))?;
+            let body = body.trim();
+            match name.trim() {
+                "schedule" => {
+                    let mut parts = body.splitn(2, ',');
+                    let kind = match parts.next().map(str::trim) {
+                        Some("static") => OmpScheduleKind::Static,
+                        Some("dynamic") => OmpScheduleKind::Dynamic,
+                        other => return Err(format!("unknown schedule kind `{other:?}`")),
+                    };
+                    let chunk = match parts.next().map(str::trim) {
+                        Some(text) => Some(
+                            text.parse::<u32>()
+                                .map_err(|_| format!("malformed chunk size `{text}`"))?,
+                        ),
+                        None => None,
+                    };
+                    schedule = Some(OmpSchedule { kind, chunk });
+                }
+                "reduction" => {
+                    let (op, var) = body
+                        .split_once(':')
+                        .ok_or_else(|| format!("malformed reduction clause in `{trimmed}`"))?;
+                    let op = match op.trim() {
+                        "+" => BinOp::Add,
+                        "-" => BinOp::Sub,
+                        "*" => BinOp::Mul,
+                        other => return Err(format!("unsupported reduction operator `{other}`")),
+                    };
+                    clauses.push(OmpClause::Reduction {
+                        op,
+                        var: var.trim().to_string(),
+                    });
+                }
+                "private" => clauses.push(OmpClause::Private {
+                    var: body.to_string(),
+                }),
+                other => return Err(format!("unsupported omp clause `{other}`")),
+            }
+            rest = after.trim_start();
         }
-        return Err(format!("unsupported omp clause `{rest}`"));
+        return Ok(Pragma::OmpParallelFor { schedule, clauses });
     }
     Ok(Pragma::Raw(trimmed.to_string()))
 }
@@ -829,7 +854,10 @@ mod tests {
     fn parses_omp_pragmas() {
         assert_eq!(
             parse_pragma("omp parallel for").unwrap(),
-            Pragma::OmpParallelFor { schedule: None }
+            Pragma::OmpParallelFor {
+                schedule: None,
+                clauses: Vec::new()
+            }
         );
         assert_eq!(
             parse_pragma("omp parallel for schedule(dynamic, 8)").unwrap(),
@@ -837,9 +865,30 @@ mod tests {
                 schedule: Some(OmpSchedule {
                     kind: OmpScheduleKind::Dynamic,
                     chunk: Some(8)
-                })
+                }),
+                clauses: Vec::new()
             }
         );
+        assert_eq!(
+            parse_pragma("omp parallel for schedule(static) reduction(+:s) private(t)").unwrap(),
+            Pragma::OmpParallelFor {
+                schedule: Some(OmpSchedule {
+                    kind: OmpScheduleKind::Static,
+                    chunk: None
+                }),
+                clauses: vec![
+                    OmpClause::Reduction {
+                        op: BinOp::Add,
+                        var: "s".to_string()
+                    },
+                    OmpClause::Private {
+                        var: "t".to_string()
+                    },
+                ]
+            }
+        );
+        assert!(parse_pragma("omp parallel for reduction(/:s)").is_err());
+        assert!(parse_pragma("omp parallel for nowait").is_err());
         assert_eq!(parse_pragma("ivdep").unwrap(), Pragma::Ivdep);
         assert_eq!(parse_pragma("vector always").unwrap(), Pragma::VectorAlways);
     }

@@ -77,20 +77,32 @@ fn print_pragma(out: &mut String, pragma: &Pragma, level: usize) {
         Pragma::VectorAlways => {
             let _ = writeln!(out, "#pragma vector always");
         }
-        Pragma::OmpParallelFor { schedule } => match schedule {
-            None => {
-                let _ = writeln!(out, "#pragma omp parallel for");
+        Pragma::OmpParallelFor { schedule, clauses } => {
+            out.push_str("#pragma omp parallel for");
+            match schedule {
+                None => {}
+                Some(OmpSchedule { kind, chunk: None }) => {
+                    let _ = write!(out, " schedule({kind})");
+                }
+                Some(OmpSchedule {
+                    kind,
+                    chunk: Some(c),
+                }) => {
+                    let _ = write!(out, " schedule({kind}, {c})");
+                }
             }
-            Some(OmpSchedule { kind, chunk: None }) => {
-                let _ = writeln!(out, "#pragma omp parallel for schedule({kind})");
+            for clause in clauses {
+                match clause {
+                    OmpClause::Reduction { op, var } => {
+                        let _ = write!(out, " reduction({}:{var})", op.symbol());
+                    }
+                    OmpClause::Private { var } => {
+                        let _ = write!(out, " private({var})");
+                    }
+                }
             }
-            Some(OmpSchedule {
-                kind,
-                chunk: Some(c),
-            }) => {
-                let _ = writeln!(out, "#pragma omp parallel for schedule({kind}, {c})");
-            }
-        },
+            out.push('\n');
+        }
         Pragma::Raw(text) => {
             let _ = writeln!(out, "#pragma {text}");
         }

@@ -33,8 +33,16 @@ pub fn insert_vector_always(root: &mut Stmt, sel: &LoopSel) -> TransformResult {
 /// it, modulo recognized reduction/privatization idioms) and must not
 /// create nested parallelism — the simulated machine executes an inner
 /// `omp` region sequentially anyway, so nesting would only double-charge
-/// fork overhead. Targets are checked and annotated one at a time, so a
-/// multi-loop selector cannot sneak a parallel loop inside another.
+/// fork overhead. When the analyzer names a fixing clause (a
+/// `reduction(op:var)` for a recognized reduction idiom, a
+/// `private(var)` for a privatizable scalar), the emitted pragma carries
+/// it — a clause-less `omp parallel for` over `s = s + A[i]` would be a
+/// real data race in any OpenMP consumer of the printed source. Targets
+/// are checked and annotated one at a time, so a multi-loop selector
+/// cannot sneak a parallel loop inside another.
+///
+/// With `check_legality` unset (the expert override), the pragma is
+/// emitted as given, with no clauses.
 ///
 /// # Errors
 ///
@@ -50,16 +58,19 @@ pub fn insert_omp_for(
 ) -> TransformResult {
     let targets = sel.resolve(root)?;
     for idx in targets {
-        if check_legality {
-            crate::require_legal(locus_verify::legal(
-                root,
-                &locus_verify::TransformStep::ParallelFor {
-                    target: idx.clone(),
-                },
-            ))?;
-        }
+        let clauses = if check_legality {
+            match locus_verify::parallel_for_clauses(root, &idx) {
+                Ok(clauses) => clauses,
+                Err(verdict) => {
+                    crate::require_legal(verdict)?;
+                    Vec::new()
+                }
+            }
+        } else {
+            Vec::new()
+        };
         let stmt = idx.resolve_mut(root).expect("selector resolved");
-        attach(stmt, Pragma::OmpParallelFor { schedule });
+        attach(stmt, Pragma::OmpParallelFor { schedule, clauses });
     }
     Ok(())
 }
@@ -99,7 +110,7 @@ fn attach(stmt: &mut Stmt, pragma: Pragma) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locus_srcir::ast::{OmpScheduleKind, StmtKind};
+    use locus_srcir::ast::{OmpClause, OmpScheduleKind, StmtKind};
     use locus_srcir::parse_program;
 
     fn region(src: &str) -> Stmt {
@@ -122,9 +133,10 @@ mod tests {
     fn inserts_omp_on_outermost() {
         let mut root = nest();
         insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None, true).unwrap();
-        assert!(root
-            .pragmas
-            .contains(&Pragma::OmpParallelFor { schedule: None }));
+        assert!(root.pragmas.contains(&Pragma::OmpParallelFor {
+            schedule: None,
+            clauses: Vec::new()
+        }));
     }
 
     #[test]
@@ -148,7 +160,8 @@ mod tests {
         assert_eq!(
             omp[0],
             &Pragma::OmpParallelFor {
-                schedule: Some(schedule)
+                schedule: Some(schedule),
+                clauses: Vec::new()
             }
         );
     }
@@ -169,9 +182,61 @@ mod tests {
         assert!(root.pragmas.is_empty());
         // The expert override still works.
         insert_omp_for(&mut root, &sel, None, false).unwrap();
-        assert!(root
-            .pragmas
-            .contains(&Pragma::OmpParallelFor { schedule: None }));
+        assert!(root.pragmas.contains(&Pragma::OmpParallelFor {
+            schedule: None,
+            clauses: Vec::new()
+        }));
+    }
+
+    #[test]
+    fn reduction_loop_gets_the_reduction_clause() {
+        // A clause-less `omp parallel for` on `s = s + A[i]` would be a
+        // real data race; the inserted pragma must carry the fix the
+        // analyzer names.
+        let mut root = region(
+            r#"void f(int n, double s, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s + A[i];
+            }"#,
+        );
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None, true).unwrap();
+        assert_eq!(
+            root.pragmas,
+            vec![Pragma::OmpParallelFor {
+                schedule: None,
+                clauses: vec![OmpClause::Reduction {
+                    op: locus_srcir::ast::BinOp::Add,
+                    var: "s".to_string()
+                }]
+            }]
+        );
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(
+            printed.contains("#pragma omp parallel for reduction(+:s)"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn privatizable_scalar_gets_the_private_clause() {
+        let mut root = region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                t = A[i] * 2.0;
+                B[i] = t + 1.0;
+            }
+            }"#,
+        );
+        insert_omp_for(&mut root, &LoopSel::parse("0").unwrap(), None, true).unwrap();
+        assert_eq!(
+            root.pragmas,
+            vec![Pragma::OmpParallelFor {
+                schedule: None,
+                clauses: vec![OmpClause::Private {
+                    var: "t".to_string()
+                }]
+            }]
+        );
     }
 
     #[test]

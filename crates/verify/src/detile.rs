@@ -152,9 +152,10 @@ fn find_point_partner(t_stmt: &Stmt, t_canon: &CanonLoop) -> Option<(usize, Expr
 
 /// Matches the point-loop guard against the tile loop: `min(X, t + c)`
 /// (either argument order) yields `X`; a bare `t + c` — a point loop
-/// without a remainder guard — yields the tile loop's own upper bound.
-/// `c` must equal the tile step, or the ranges would not tile the
-/// iteration space exactly.
+/// without a remainder guard — yields the *rounded-up* upper bound of
+/// the iterations such a loop actually executes, and only when the tile
+/// loop's bounds are constant. `c` must equal the tile step, or the
+/// ranges would not tile the iteration space exactly.
 fn coalesced_upper(upper: &Expr, t_canon: &CanonLoop) -> Option<Expr> {
     if let Expr::Call { callee, args } = upper {
         if callee == "min" && args.len() == 2 {
@@ -166,7 +167,28 @@ fn coalesced_upper(upper: &Expr, t_canon: &CanonLoop) -> Option<Expr> {
             }
         }
     }
-    tile_offset(upper, t_canon).then(|| t_canon.exclusive_upper())
+    if tile_offset(upper, t_canon) {
+        return unguarded_upper(t_canon);
+    }
+    None
+}
+
+/// The exclusive upper bound an *unguarded* point loop reaches: each
+/// tile runs its full width, so when the trip count does not divide the
+/// tile step the nest overruns the tile loop's bound and dependences
+/// confined to those overrun iterations must stay modeled. Requires
+/// constant tile-loop bounds — with symbolic bounds the overrun extent
+/// is unknown and the pair is conservatively left uncoalesced (the race
+/// analysis then refuses the tile loop).
+fn unguarded_upper(t_canon: &CanonLoop) -> Option<Expr> {
+    let lo = t_canon.lower.as_const_int()?;
+    let hi = t_canon.upper.as_const_int()? + i64::from(t_canon.inclusive);
+    let tiles = if hi <= lo {
+        0
+    } else {
+        (hi - lo + t_canon.step - 1) / t_canon.step
+    };
+    Some(Expr::int(lo + tiles * t_canon.step))
 }
 
 /// `true` when `e` is exactly `tile_var + tile_step`.
@@ -228,6 +250,54 @@ mod tests {
         assert_eq!(canon.var, "i");
         assert_eq!(canon.upper, Expr::ident("n"));
         assert_eq!(all_loops(&coalesced).len(), 1);
+    }
+
+    #[test]
+    fn unguarded_point_loop_with_exact_division_is_coalesced() {
+        // 64 divides by the tile width 8, so `i < i_t + 8` needs no
+        // remainder guard and coalesces to the original bound.
+        let root = region(
+            r#"void f(double A[64], double B[64]) {
+            for (int i_t = 0; i_t < 64; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = B[i];
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("pair recognized");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.upper, Expr::int(64));
+    }
+
+    #[test]
+    fn unguarded_point_loop_coalesces_to_the_rounded_up_bound() {
+        // Tile bound 60 with width 8: the unguarded nest executes i up
+        // to 63, so the coalesced bound must be 64, not 60 — otherwise
+        // dependences confined to the overrun iterations are missed.
+        let root = region(
+            r#"void f(double A[64], double B[64]) {
+            for (int i_t = 0; i_t < 60; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = B[i];
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("pair recognized");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.upper, Expr::int(64));
+    }
+
+    #[test]
+    fn unguarded_point_loop_with_symbolic_bounds_is_not_coalesced() {
+        // Without a `min` guard the overrun extent past `n` is unknown,
+        // so the pair must be left alone (and conservatively refused by
+        // the race analysis).
+        let root = region(
+            r#"void f(int n, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < n; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = B[i];
+            }"#,
+        );
+        assert!(coalesce_strip_mines(&root).is_none());
     }
 
     #[test]

@@ -10,11 +10,11 @@
 
 use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
-use locus_srcir::ast::{Pragma, Stmt, StmtKind};
+use locus_srcir::ast::{Expr, OmpClause, Pragma, Stmt, StmtKind};
 use locus_srcir::index::HierIndex;
-use locus_srcir::visit::{child, child_count, substitute_ident, walk_stmts};
+use locus_srcir::visit::{child, child_count, substitute_ident, walk_exprs_in_stmt, walk_stmts};
 
-use crate::races::analyze_parallel_for;
+use crate::races::{analyze_parallel_for, RaceFix};
 use crate::Verdict;
 
 /// One transformation step, described by what it does to the region —
@@ -233,18 +233,37 @@ fn fuse_verdict(root: &Stmt, first: &HierIndex) -> Verdict {
 /// ancestor nor a descendant of the target may already carry the
 /// pragma), and the loop must be race-free per [`analyze_parallel_for`].
 fn parallel_for_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
-    let loop_stmt = match resolve_loop(root, target) {
-        Ok(s) => s,
-        Err(v) => return v,
-    };
+    match parallel_for_clauses(root, target) {
+        Ok(_) => Verdict::Legal,
+        Err(v) => v,
+    }
+}
+
+/// Computes the data-sharing clauses `#pragma omp parallel for` on the
+/// loop at `target` must carry for the parallelization to be legal.
+///
+/// This is the insertion-path companion of [`legal`]: a carried scalar
+/// dependence whose suggested fix is a reduction or privatization is
+/// only safe when the emitted pragma actually carries the fixing
+/// clause, so `insert_omp_for` consults this function and attaches
+/// exactly what the analyzer names. A privatization fix is additionally
+/// refused when the scalar is live-out — read after the loop anywhere
+/// in the region — because `private()` leaves the original variable
+/// undefined once the loop completes.
+///
+/// Errors mirror [`legal`] on [`TransformStep::ParallelFor`]: nested
+/// parallelism, unavailable dependence information, and unfixable races
+/// all yield the corresponding illegal [`Verdict`].
+pub fn parallel_for_clauses(root: &Stmt, target: &HierIndex) -> Result<Vec<OmpClause>, Verdict> {
+    let loop_stmt = resolve_loop(root, target)?;
     for len in 1..target.0.len() {
         let ancestor = HierIndex::new(target.0[..len].to_vec());
         if let Some(s) = ancestor.resolve(root) {
             if has_omp(s) {
-                return Verdict::illegal(format!(
+                return Err(Verdict::illegal(format!(
                     "nested parallelism: enclosing loop at `{ancestor}` already carries \
                      `omp parallel for`"
-                ));
+                )));
             }
         }
     }
@@ -255,11 +274,78 @@ fn parallel_for_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
         }
     });
     if nested {
-        return Verdict::illegal(format!(
+        return Err(Verdict::illegal(format!(
             "nested parallelism: loop at `{target}` contains an `omp parallel for`"
-        ));
+        )));
     }
-    analyze_parallel_for(loop_stmt).verdict()
+
+    let report = analyze_parallel_for(loop_stmt);
+    if !report.available {
+        return Err(unavailable());
+    }
+    let mut clauses: Vec<OmpClause> = Vec::new();
+    for race in &report.races {
+        let clause = match &race.fix {
+            RaceFix::Refuse => return Err(Verdict::illegal(format!("data race: {race}"))),
+            RaceFix::Reduction { var, op } => OmpClause::Reduction {
+                op: *op,
+                var: var.clone(),
+            },
+            RaceFix::Privatize { var } => {
+                if scalar_live_after(root, target, var) {
+                    return Err(Verdict::illegal(format!(
+                        "data race on `{var}`: the scalar is read after the loop \
+                         (live-out), so a private({var}) clause would change its \
+                         final value"
+                    )));
+                }
+                OmpClause::Private { var: var.clone() }
+            }
+        };
+        if !clauses.contains(&clause) {
+            clauses.push(clause);
+        }
+    }
+    Ok(clauses)
+}
+
+/// `true` when scalar `var` may still be used after the loop at
+/// `target` has finished executing. With straight-line ancestors the
+/// statements that run after the target are exactly the following
+/// siblings at each ancestor level; when a strict ancestor is itself a
+/// loop, its next trip re-runs the whole region, so any mention outside
+/// the target subtree keeps the value live. Mentions include writes;
+/// the scan is conservative.
+fn scalar_live_after(root: &Stmt, target: &HierIndex, var: &str) -> bool {
+    let mentions_in = |s: &Stmt| {
+        let mut count = 0usize;
+        walk_exprs_in_stmt(s, &mut |e| {
+            if matches!(e, Expr::Ident(n) if n == var) {
+                count += 1;
+            }
+        });
+        count
+    };
+    let reruns = (1..target.0.len()).any(|len| {
+        HierIndex::new(target.0[..len].to_vec())
+            .resolve(root)
+            .is_some_and(|s| matches!(s.kind, StmtKind::For(_) | StmtKind::While { .. }))
+    });
+    if reruns {
+        let inside = target.resolve(root).map_or(0, mentions_in);
+        return mentions_in(root) > inside;
+    }
+    for len in 1..target.0.len() {
+        let Some(ancestor) = HierIndex::new(target.0[..len].to_vec()).resolve(root) else {
+            continue;
+        };
+        for i in (target.0[len] + 1)..child_count(ancestor) {
+            if child(ancestor, i).is_some_and(|s| mentions_in(s) > 0) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 fn has_omp(stmt: &Stmt) -> bool {
@@ -427,7 +513,10 @@ mod tests {
     #[test]
     fn parallel_for_refuses_nested_parallelism() {
         let mut root = matmul();
-        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        root.pragmas.push(Pragma::OmpParallelFor {
+            schedule: None,
+            clauses: Vec::new(),
+        });
         // An inner loop under an already-parallel outer loop.
         let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0.0") });
         assert!(
@@ -440,7 +529,10 @@ mod tests {
             .resolve_mut(&mut root)
             .unwrap()
             .pragmas
-            .push(Pragma::OmpParallelFor { schedule: None });
+            .push(Pragma::OmpParallelFor {
+                schedule: None,
+                clauses: Vec::new(),
+            });
         let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0") });
         assert!(
             verdict.reason().unwrap().contains("nested parallelism"),
@@ -449,6 +541,91 @@ mod tests {
         // Re-judging the already-parallel loop itself is fine (the
         // insertion replaces the schedule, it does not nest).
         assert!(legal(&root, &TransformStep::ParallelFor { target: idx("0.0") }).is_legal());
+    }
+
+    #[test]
+    fn parallel_for_clauses_name_the_analyzer_fixes() {
+        // The reduction idiom is legal only under a reduction clause,
+        // and the clause list says exactly that — even with a read of
+        // `s` after the loop, since the reduction writes the combined
+        // value back.
+        let root = block_region(
+            r#"void f(int n, double s, double r, double A[64]) {
+            for (int i = 0; i < n; i++)
+                s = s + A[i];
+            r = s;
+            }"#,
+        );
+        let clauses = parallel_for_clauses(&root, &idx("0.0")).unwrap();
+        assert_eq!(
+            clauses,
+            vec![OmpClause::Reduction {
+                op: locus_srcir::ast::BinOp::Add,
+                var: "s".to_string()
+            }]
+        );
+        // An independent loop needs no clauses at all.
+        let root = matmul();
+        assert_eq!(parallel_for_clauses(&root, &idx("0")).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn live_out_scalar_is_not_privatizable() {
+        // `t` is written before read in each iteration, but the value
+        // of the last iteration is consumed after the loop — private()
+        // would leave it undefined there.
+        let root = block_region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                t = A[i] * 2.0;
+                B[i] = t + 1.0;
+            }
+            B[0] = t;
+            }"#,
+        );
+        let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0.0") });
+        assert!(
+            verdict.reason().unwrap().contains("live-out"),
+            "{verdict:?}"
+        );
+        // Without the trailing read the same loop is privatizable.
+        let root = block_region(
+            r#"void f(int n, double t, double A[64], double B[64]) {
+            for (int i = 0; i < n; i++) {
+                t = A[i] * 2.0;
+                B[i] = t + 1.0;
+            }
+            }"#,
+        );
+        assert_eq!(
+            parallel_for_clauses(&root, &idx("0.0")).unwrap(),
+            vec![OmpClause::Private {
+                var: "t".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn enclosing_loop_rerun_keeps_the_scalar_live() {
+        // The read of `t` before the inner loop executes again on the
+        // outer loop's next trip — i.e. after the candidate parallel
+        // loop completes — so privatization must still be refused.
+        let root = region(
+            r#"void f(int n, double t, double A[64], double B[64], double C[64]) {
+            for (int r = 0; r < n; r++) {
+                C[r] = t;
+                for (int i = 0; i < n; i++) {
+                    t = A[i] * 2.0;
+                    B[i] = t + 1.0;
+                }
+            }
+            }"#,
+        );
+        let verdict = legal(&root, &TransformStep::ParallelFor { target: idx("0.1") });
+        assert!(
+            verdict.reason().unwrap().contains("live-out"),
+            "{verdict:?}"
+        );
     }
 
     #[test]

@@ -68,6 +68,6 @@ impl Verdict {
     }
 }
 
-pub use legality::{legal, TransformStep};
+pub use legality::{legal, parallel_for_clauses, TransformStep};
 pub use races::{analyze_parallel_for, Race, RaceFix, RaceReport};
 pub use wellformed::{validate_program, validate_region};

@@ -104,6 +104,13 @@ pub struct RaceReport {
 impl RaceReport {
     /// `true` when the loop may be parallelized: the analysis succeeded
     /// and every carried dependence has a fixing clause.
+    ///
+    /// The fixes are *prescriptive*: the emitted pragma must actually
+    /// carry each named `reduction`/`private` clause, or the loop races
+    /// anyway. `legality::parallel_for_clauses` computes the clause
+    /// list for the insertion path (and additionally refuses
+    /// privatization of live-out scalars, which this loop-local report
+    /// cannot see).
     pub fn is_parallelizable(&self) -> bool {
         self.available && self.races.iter().all(|r| r.fix != RaceFix::Refuse)
     }
@@ -579,6 +586,54 @@ mod tests {
             r#"void f(int n, double A[64]) {
             for (int i_t = 1; i_t < n; i_t += 8)
                 for (int i = i_t; i < min(n, i_t + 8); i++)
+                    A[i] = A[i - 1] + 1.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn unguarded_exact_tiling_is_parallelizable() {
+        // No remainder guard, but 64 divides by the tile width 8, so
+        // the nest never overruns and coalescing is exact.
+        let report = analyze_parallel_for(&region(
+            r#"void f(double A[64], double B[64]) {
+            for (int i_t = 0; i_t < 64; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = B[i] * 2.0;
+            }"#,
+        ));
+        assert!(report.available);
+        assert!(report.is_parallelizable());
+    }
+
+    #[test]
+    fn unguarded_tile_overrun_dependences_are_not_missed() {
+        // Tile bound 60 with width 8: the unguarded nest executes i up
+        // to 63, and the A[i] / A[i + 60] pair only conflicts in those
+        // overrun iterations — coalescing back to bound 60 would
+        // wrongly approve the loop.
+        let report = analyze_parallel_for(&region(
+            r#"void f(double A[128]) {
+            for (int i_t = 0; i_t < 60; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = A[i + 60] + 1.0;
+            }"#,
+        ));
+        assert!(!report.is_parallelizable());
+    }
+
+    #[test]
+    fn unguarded_tiling_with_symbolic_bounds_is_judged_conservatively() {
+        // With a symbolic tile bound the overrun extent past `n` is
+        // unknown, so the pair is not coalesced; the recurrence is then
+        // refused through the uncoalesced nest's `*` direction at the
+        // tile level.
+        let report = analyze_parallel_for(&region(
+            r#"void f(int n, double A[64]) {
+            for (int i_t = 1; i_t < n; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
                     A[i] = A[i - 1] + 1.0;
             }"#,
         ));

@@ -247,12 +247,16 @@ mod tests {
         )
         .unwrap();
         let mut root = p.functions().next().unwrap().body[0].clone();
-        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        root.pragmas.push(Pragma::OmpParallelFor {
+            schedule: None,
+            clauses: Vec::new(),
+        });
         root.pragmas.push(Pragma::OmpParallelFor {
             schedule: Some(locus_srcir::ast::OmpSchedule {
                 kind: locus_srcir::ast::OmpScheduleKind::Static,
                 chunk: None,
             }),
+            clauses: Vec::new(),
         });
         let issues = validate_region(&root);
         assert!(issues.iter().any(|m| m.contains("duplicate")), "{issues:?}");
@@ -268,7 +272,10 @@ mod tests {
         )
         .unwrap();
         let mut root = p.functions().next().unwrap().body[0].clone();
-        root.pragmas.push(Pragma::OmpParallelFor { schedule: None });
+        root.pragmas.push(Pragma::OmpParallelFor {
+            schedule: None,
+            clauses: Vec::new(),
+        });
         let issues = validate_region(&root);
         assert!(
             issues.iter().any(|m| m.contains("non-canonical")),

@@ -15,9 +15,9 @@
 use std::process::ExitCode;
 
 use locus::analysis::deps::analyze_region;
-use locus::srcir::ast::{Pragma, Program, Stmt};
+use locus::srcir::ast::{OmpClause, Pragma, Program, Stmt};
 use locus::srcir::parse_program;
-use locus::verify::{analyze_parallel_for, validate_program};
+use locus::verify::{analyze_parallel_for, validate_program, RaceFix};
 
 fn main() -> ExitCode {
     let files: Vec<String> = std::env::args().skip(1).collect();
@@ -76,12 +76,13 @@ fn lint_file(path: &str, program: &Program) -> usize {
 /// Recursively lints a statement tree. `in_parallel` is true inside the
 /// body of an enclosing `omp parallel for` loop.
 fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mut usize) {
-    let is_parallel = stmt
-        .pragmas
-        .iter()
-        .any(|p| matches!(p, Pragma::OmpParallelFor { .. }));
+    let omp_clauses = stmt.pragmas.iter().find_map(|p| match p {
+        Pragma::OmpParallelFor { clauses, .. } => Some(clauses),
+        _ => None,
+    });
+    let is_parallel = omp_clauses.is_some();
 
-    if is_parallel && stmt.is_for() {
+    if let (Some(clauses), true) = (omp_clauses, stmt.is_for()) {
         if in_parallel {
             println!(
                 "{path}: error: {fname}: `omp parallel for` nested inside another \
@@ -97,9 +98,23 @@ fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mu
             );
             *count += 1;
         }
+        // A race is only reported when the pragma does not already
+        // carry the clause that fixes it.
         for race in &report.races {
-            println!("{path}: error: {fname}: {race}");
-            *count += 1;
+            let fixed = match &race.fix {
+                RaceFix::Refuse => false,
+                RaceFix::Reduction { var, op } => clauses.contains(&OmpClause::Reduction {
+                    op: *op,
+                    var: var.clone(),
+                }),
+                RaceFix::Privatize { var } => {
+                    clauses.contains(&OmpClause::Private { var: var.clone() })
+                }
+            };
+            if !fixed {
+                println!("{path}: error: {fname}: {race}");
+                *count += 1;
+            }
         }
     }
 
