@@ -1,0 +1,55 @@
+//! Benchmarks the bytecode VM against the tree interpreter on the
+//! corpus kernels and writes the per-kernel speedups to
+//! `BENCH_interp.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_interp
+//! [output.json] [--check]` (repeats via `LOCUS_REPEATS`, default 10).
+//!
+//! With `--check` the harness additionally fails (exit 1) unless every
+//! kernel is bit-identical across engines and the geometric-mean speedup
+//! is at least 5x — the CI smoke gate for the compiled engine.
+
+use locus_bench::interp::{geomean_speedup, run_interp, to_json};
+
+fn main() {
+    let repeats = std::env::var("LOCUS_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let mut out = "BENCH_interp.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out = arg;
+        }
+    }
+
+    eprintln!("bytecode VM vs tree interpreter, {repeats} repeats per engine");
+    let rows = run_interp(repeats);
+    for r in &rows {
+        println!(
+            "{:<24} {:>10} ops  tree {:>8.3}s  vm {:>8.3}s  speedup {:>6.2}x  identical {}",
+            r.label, r.ops, r.tree_s, r.vm_s, r.speedup, r.identical,
+        );
+    }
+    let geomean = geomean_speedup(&rows);
+    println!("geomean speedup {geomean:.2}x");
+
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+
+    if check {
+        let all_identical = rows.iter().all(|r| r.identical);
+        if !all_identical {
+            eprintln!("FAIL: engines disagree on at least one kernel");
+            std::process::exit(1);
+        }
+        if geomean < 5.0 {
+            eprintln!("FAIL: geomean speedup {geomean:.2}x is below the 5x floor");
+            std::process::exit(1);
+        }
+        eprintln!("check passed: bit-identical, {geomean:.2}x >= 5x");
+    }
+}

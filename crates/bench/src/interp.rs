@@ -1,0 +1,215 @@
+//! Benchmarks the execution engines against each other: every kernel is
+//! run on the tree interpreter and on the bytecode VM (each timed over
+//! several repeats of the full `Machine::run` path, compilation
+//! included), after first asserting the two engines return bit-identical
+//! measurements. The per-kernel speedups and their geometric mean are
+//! the headline numbers of `BENCH_interp.json`.
+//!
+//! The kernels are the corpus the tuner actually evaluates — DGEMM,
+//! stencils, Kripke — plus a tiled, OMP-annotated DGEMM variant so the
+//! transformed programs the search generates are represented too.
+
+use std::time::Instant;
+
+use locus_corpus::{dgemm_program, kripke_hand_optimized, KripkeKernel, Stencil};
+use locus_machine::{ExecEngine, Machine, MachineConfig, Measurement};
+use locus_srcir::ast::Program;
+use locus_transform as transform;
+
+use crate::geomean;
+
+/// One engine-vs-engine comparison on a single kernel.
+#[derive(Debug, Clone)]
+pub struct InterpRow {
+    /// Kernel label.
+    pub label: String,
+    /// Timed repeats per engine.
+    pub repeats: usize,
+    /// Interpreted operations of one run (identical across engines).
+    pub ops: u64,
+    /// Wall-clock of `repeats` tree-interpreter runs, seconds.
+    pub tree_s: f64,
+    /// Wall-clock of `repeats` bytecode-VM runs, seconds.
+    pub vm_s: f64,
+    /// `tree_s / vm_s`.
+    pub speedup: f64,
+    /// Whether the two engines returned bit-identical measurements.
+    pub identical: bool,
+}
+
+/// Bit-level measurement identity: floats by bit pattern (stricter than
+/// `PartialEq`, which would accept `-0.0 == 0.0`).
+pub fn bit_identical(a: &Measurement, b: &Measurement) -> bool {
+    a.cycles.to_bits() == b.cycles.to_bits()
+        && a.time_ms.to_bits() == b.time_ms.to_bits()
+        && a.ops == b.ops
+        && a.flops == b.flops
+        && a.cache == b.cache
+        && a.checksum == b.checksum
+}
+
+/// DGEMM tiled and OMP-parallelized the way a tuned variant would be.
+fn tuned_dgemm(n: usize) -> Program {
+    use locus_srcir::index::HierIndex;
+    use locus_srcir::region::{extract_region, find_regions, replace_region};
+
+    let mut program = dgemm_program(n);
+    let regions = find_regions(&program);
+    let mut stmt = extract_region(&program, &regions[0]).expect("region").stmt;
+    transform::interchange::interchange(&mut stmt, &[0, 2, 1], true).expect("interchange");
+    transform::tiling::tile(&mut stmt, &HierIndex::root(), &[8, 8, 8], true).expect("tile");
+    transform::pragmas::insert_omp_for(&mut stmt, &transform::LoopSel::Outermost, None, true)
+        .expect("omp");
+    replace_region(&mut program, &regions[0], stmt);
+    program
+}
+
+/// The benchmarked kernels.
+pub fn kernels() -> Vec<(String, Program)> {
+    vec![
+        ("dgemm-24".to_string(), dgemm_program(24)),
+        ("dgemm-24-tuned".to_string(), tuned_dgemm(24)),
+        (
+            "jacobi2d-32x4".to_string(),
+            locus_corpus::stencil_program(Stencil::Jacobi2d, 32, 4),
+        ),
+        (
+            "heat2d-32x4".to_string(),
+            locus_corpus::stencil_program(Stencil::Heat2d, 32, 4),
+        ),
+        (
+            "seidel1d-256x8".to_string(),
+            locus_corpus::stencil_program(Stencil::Seidel1d, 256, 8),
+        ),
+        (
+            "kripke-ltimes-dgz".to_string(),
+            kripke_hand_optimized(KripkeKernel::LTimes, "DGZ"),
+        ),
+        (
+            "kripke-scattering-zgd".to_string(),
+            kripke_hand_optimized(KripkeKernel::Scattering, "ZGD"),
+        ),
+    ]
+}
+
+/// Times `repeats` full runs, best of five batches (the minimum is the
+/// standard estimator under scheduler noise: every perturbation only
+/// adds time).
+fn time_engine(
+    config: &MachineConfig,
+    engine: ExecEngine,
+    program: &Program,
+    repeats: usize,
+) -> f64 {
+    let machine = Machine::new(config.clone().with_engine(engine));
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            machine.run(program, "kernel").expect("kernel runs");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs one kernel on both engines: asserts identity first, then times
+/// `repeats` full runs of each.
+pub fn run_kernel(label: &str, program: &Program, repeats: usize) -> InterpRow {
+    let config = MachineConfig::scaled_small();
+    let tree_m = Machine::new(config.clone().with_engine(ExecEngine::Tree))
+        .run(program, "kernel")
+        .expect("tree run");
+    let vm_m = Machine::new(config.clone().with_engine(ExecEngine::Bytecode))
+        .run(program, "kernel")
+        .expect("vm run");
+    let identical = bit_identical(&tree_m, &vm_m);
+
+    let tree_s = time_engine(&config, ExecEngine::Tree, program, repeats);
+    let vm_s = time_engine(&config, ExecEngine::Bytecode, program, repeats);
+    InterpRow {
+        label: label.to_string(),
+        repeats,
+        ops: tree_m.ops,
+        tree_s,
+        vm_s,
+        speedup: tree_s / vm_s.max(1e-12),
+        identical,
+    }
+}
+
+/// Runs the full engine comparison.
+pub fn run_interp(repeats: usize) -> Vec<InterpRow> {
+    kernels()
+        .iter()
+        .map(|(label, program)| run_kernel(label, program, repeats))
+        .collect()
+}
+
+/// Geometric-mean speedup across the rows.
+pub fn geomean_speedup(rows: &[InterpRow]) -> f64 {
+    geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>())
+}
+
+/// Renders the rows as a JSON document (hand-rolled; the workspace has
+/// no serde).
+pub fn to_json(rows: &[InterpRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"bytecode VM vs tree interpreter (full Machine::run, compile included)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.2},\n  \"rows\": [\n",
+        geomean_speedup(rows)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"label\": \"{}\",\n",
+                "      \"repeats\": {},\n",
+                "      \"ops\": {},\n",
+                "      \"tree_s\": {:.6},\n",
+                "      \"vm_s\": {:.6},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"bit_identical\": {}\n",
+                "    }}{}\n",
+            ),
+            r.label,
+            r.repeats,
+            r.ops,
+            r.tree_s,
+            r.vm_s,
+            r.speedup,
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_vm_is_faster() {
+        // One repeat keeps the test quick; the bench_interp binary runs
+        // the same harness with enough repeats for stable timing.
+        let row = run_kernel("dgemm", &dgemm_program(16), 1);
+        assert!(row.identical, "engines disagree on dgemm");
+        assert!(row.ops > 0);
+        let json = to_json(&[row]);
+        assert!(json.contains("\"bit_identical\": true"), "{json}");
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tuned_dgemm_variant_is_transformed_and_identical() {
+        let program = tuned_dgemm(16);
+        let printed = locus_srcir::print_program(&program);
+        assert!(printed.contains("omp parallel for"), "{printed}");
+        let row = run_kernel("dgemm-tuned", &program, 1);
+        assert!(row.identical, "engines disagree on tuned dgemm");
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`parallel`] | The parallel batched-evaluation engine vs the sequential driver (BENCH_parallel.json) |
 //! | [`store`] | Cold vs warm store-backed tuning sessions (BENCH_store.json) |
 //! | [`verify`] | Verifier-pruned vs unchecked tuning sessions (BENCH_verify.json) |
+//! | [`interp`] | Bytecode VM vs tree interpreter on the corpus kernels (BENCH_interp.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -22,6 +23,7 @@
 
 pub mod fig12;
 pub mod fig6;
+pub mod interp;
 pub mod parallel;
 pub mod report;
 pub mod store;

@@ -1,0 +1,496 @@
+//! Flat bytecode for the compiled execution engine.
+//!
+//! The `compile` module lowers the mini-C AST into this instruction set
+//! in one pass: scalars are resolved to frame slots, array names are
+//! interned to dense `ArrayId`s, and structured control flow becomes
+//! jumps. The `vm` module executes it while charging the *exact* cost,
+//! cache, OpenMP and vectorizer model of the tree interpreter — the two
+//! engines produce bit-identical [`crate::Measurement`]s, and the tree
+//! interpreter remains the reference oracle (see
+//! `tests/vm_equivalence.rs`).
+//!
+//! Design notes for the bit-identity contract:
+//!
+//! * every `fuel()` tick of the tree interpreter is accounted by a
+//!   `Insn::Fuel` instruction; the compiler merges ticks that are
+//!   *adjacent* (no intervening effect or possible error), which keeps
+//!   totals and error outcomes identical while shrinking dispatch
+//!   counts;
+//! * cycle charges are never merged — floating-point accumulation is
+//!   order-sensitive, so each `charge()` of the tree interpreter is one
+//!   charge here, in the same order;
+//! * statically unresolvable constructs (undefined names, unsupported
+//!   operators) compile to `Insn::Throw`, so they only error if the
+//!   enclosing code path actually executes, exactly like the tree.
+
+use locus_srcir::ast::{BinOp, OmpSchedule};
+
+/// Dense index of an interned array name.
+///
+/// The tree interpreter keys its array table by `String` in one flat
+/// namespace (block scoping does not apply to arrays); interning is a
+/// pure renaming of that namespace, so shadowing/redeclaration behave
+/// identically.
+pub(crate) type ArrayId = u32;
+
+/// Frame-slot index of a statically resolved scalar.
+pub(crate) type SlotId = u32;
+
+/// One simulated array (shared by the compiler's global setup and the
+/// VM's local allocations).
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayCell {
+    pub(crate) is_float: bool,
+    pub(crate) data: Vec<f64>,
+    pub(crate) base: u64,
+    /// Dimension extents, outermost first.
+    pub(crate) dims: Vec<usize>,
+    /// Local scratch arrays do not contribute to the checksum.
+    pub(crate) local: bool,
+}
+
+/// Deterministic, non-trivial initial array contents — the same formula
+/// the tree interpreter uses, so checksums agree across engines.
+pub(crate) fn array_init_data(len: usize, is_float: bool) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let v = ((i * 7 + 3) % 101) as f64;
+            if is_float {
+                v * 0.25
+            } else {
+                (v % 13.0).floor()
+            }
+        })
+        .collect()
+}
+
+/// Advances an allocation cursor past `len` 8-byte elements: 4KB-align
+/// each array and leave a guard page (the tree interpreter's layout).
+pub(crate) fn advance_base(next_base: u64, len: usize) -> u64 {
+    next_base + ((len as u64 * 8).div_ceil(4096) + 1) * 4096
+}
+
+/// The kind of coercion a cast or typed declaration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CastKind {
+    /// To `double`/`float`.
+    ToFloat,
+    /// To `int`/`char`.
+    ToInt,
+    /// Pointer/void types: the value passes through unchanged.
+    Keep,
+}
+
+/// Runtime error raised by a [`Insn::Throw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThrowKind {
+    /// [`crate::RuntimeError::UndefinedVariable`].
+    UndefinedVariable,
+    /// [`crate::RuntimeError::UndefinedFunction`].
+    UndefinedFunction,
+    /// [`crate::RuntimeError::Unsupported`].
+    Unsupported,
+}
+
+/// The builtin functions of the mini-C runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Builtin {
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `abs(a)` / `fabs(a)`.
+    Abs,
+    /// `sqrt(a)`.
+    Sqrt,
+    /// `floor(a)`.
+    Floor,
+    /// `ceil(a)`.
+    Ceil,
+}
+
+/// A dynamically resolved scalar access.
+///
+/// Needed only for one pathological construct: a *bare* declaration as
+/// an `if` branch (`if (c) int x;`), which the tree interpreter binds
+/// into the enclosing scope only when the branch executes. Every guard
+/// is a flag slot set by the conditional declaration; the first live
+/// guard wins (innermost binding), otherwise the statically visible
+/// outer binding (`fallback`), otherwise the access raises
+/// `UndefinedVariable` — exactly the tree's dynamic scope walk.
+/// Ordinary declarations always resolve statically and never pay for
+/// this.
+#[derive(Debug, Clone)]
+pub(crate) struct Chain {
+    /// `(flag slot, value slot)` pairs, innermost binding first.
+    pub(crate) guards: Vec<(SlotId, SlotId)>,
+    /// Unconditionally bound outer slot, if any.
+    pub(crate) fallback: Option<SlotId>,
+    /// Message-table index of the variable name.
+    pub(crate) msg: u32,
+}
+
+/// An array access fused onto the end of a subscript chain: the access
+/// the chain's flat index feeds, executed in the same dispatch as the
+/// chain's last index step ([`crate::peephole`]). Always accesses the
+/// same array the chain indexed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AccessTail {
+    /// No fused access; the flat index stays on the stack.
+    None,
+    /// A fused [`Insn::LoadArray`].
+    Load,
+    /// A fused [`Insn::LoadArrayBin`].
+    LoadBin(BinOp, f64),
+    /// A fused [`Insn::StoreArrayPop`].
+    StorePop,
+}
+
+/// One bytecode instruction. All cost constants are baked in at compile
+/// time from the machine's [`crate::cost::CostModel`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Insn {
+    /// `n` fuel ticks (`ops += n`, runaway-guard check).
+    Fuel(u32),
+    /// Push an integer literal.
+    PushInt(i64),
+    /// Push a float literal.
+    PushFloat(f64),
+    /// Drop the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when the value is falsy.
+    JumpIfFalse(u32),
+    /// Push the value of a scalar slot.
+    LoadSlot(SlotId),
+    /// Pop and store into a slot, preserving the slot's current tag
+    /// (the tree interpreter's `write_scalar`).
+    StoreSlot(SlotId),
+    /// Push the value of a dynamically resolved scalar (see [`Chain`]).
+    LoadChain(u32),
+    /// Pop and store into a dynamically resolved scalar (see [`Chain`]).
+    StoreChain(u32),
+    /// Pop and (re)initialize a slot from a declaration with the
+    /// declared type's coercion.
+    DeclSlot(SlotId, CastKind),
+    /// (Re)initialize a slot to the declared type's default value.
+    DeclDefault(SlotId, bool),
+    /// Charge cycles through the vector-discount gate.
+    Charge(f64),
+    /// Arithmetic negation: charge, count a flop for doubles.
+    Neg(f64),
+    /// Logical not: charge.
+    Not(f64),
+    /// Pop rhs then lhs, charge, count flops, apply the operator.
+    Bin(BinOp, f64),
+    /// Compound-assignment combine: pop old then rhs, charge, count a
+    /// flop when *old* is a double, apply `old op rhs`.
+    CompoundBin(BinOp, f64),
+    /// Pop; push `Int(1)` when truthy else `Int(0)`.
+    Truthy,
+    /// `&&` left arm: pop; when falsy, push `Int(0)` and jump.
+    AndShortCircuit(u32),
+    /// `||` left arm: pop; when truthy, push `Int(1)` and jump.
+    OrShortCircuit(u32),
+    /// C cast: charge, coerce.
+    Cast(CastKind, f64),
+    /// Builtin call: charge the call overhead, pop the arguments, push
+    /// the result (`sqrt` additionally counts a flop and charges the
+    /// division cost).
+    Call(Builtin, f64),
+    /// Verify the array exists and its rank matches the subscript count
+    /// (before any index expression is evaluated, like `locate`).
+    ArrayCheck(ArrayId, u32),
+    /// Fold one subscript into the flat index: pop the index (and the
+    /// accumulated flat index unless `first`), bounds-check, push the
+    /// new flat index, charge the address arithmetic.
+    IndexDim {
+        /// The array accessed.
+        id: ArrayId,
+        /// Which dimension this subscript addresses.
+        dim: u32,
+        /// First subscript of the chain (no accumulated index yet).
+        first: bool,
+        /// Address-arithmetic charge.
+        cost: f64,
+    },
+    /// Pop the flat index, read the element through the cache, push it.
+    LoadArray(ArrayId),
+    /// Pop the flat index and the value, write through the cache, push
+    /// the (uncoerced) value back.
+    StoreArray(ArrayId),
+    /// Compound assignment to an array element: pop the flat index and
+    /// the rhs, then read-modify-write *one* address (two cache
+    /// accesses, one subscript chain); push the new value.
+    RmwArray(ArrayId, BinOp, f64),
+    /// Peek the just-evaluated dimension extent; error when `<= 0`.
+    DimCheck(ArrayId),
+    /// Pop `dims` extents (innermost on top) and allocate a local
+    /// array, advancing the allocation cursor.
+    AllocArray {
+        /// Interned name being (re)allocated.
+        id: ArrayId,
+        /// Number of dimensions to pop.
+        dims: u32,
+        /// Element type.
+        is_float: bool,
+    },
+    /// Enter a vectorized loop (arithmetic discount on).
+    VecEnter,
+    /// Leave a vectorized loop.
+    VecLeave,
+    /// Enter an `omp parallel for` loop: activates a parallel context
+    /// unless already inside one (nested pragmas serialize).
+    ParEnter(Option<OmpSchedule>),
+    /// Start-of-iteration timestamp for the active parallel context.
+    IterStart,
+    /// End-of-iteration: record the iteration's sequential cost.
+    IterEnd,
+    /// Leave the parallel loop: replace the sequentially accumulated
+    /// body time with the scheduled makespan.
+    ParExit,
+    /// Raise a runtime error whose message lives in the message table.
+    Throw(ThrowKind, u32),
+    /// Finalize any open parallel contexts and stop.
+    Halt,
+
+    // ---- fused superinstructions ([`crate::peephole`]) -----------------
+    //
+    // Each is the exact composition of the instructions it replaces —
+    // same charges, flop counts and error behavior in the same order —
+    // so the peephole pass cannot change a measurement, only shrink
+    // dispatch and operand-stack traffic on the hot paths.
+    /// `PushInt` + `Bin`: rhs is the constant.
+    BinInt(BinOp, f64, i64),
+    /// `PushFloat` + `Bin`: rhs is the constant (always counts a flop,
+    /// like `Bin` with a double operand).
+    BinFloat(BinOp, f64, f64),
+    /// `LoadSlot` + `Bin`: rhs comes from the slot.
+    BinSlotR(BinOp, f64, SlotId),
+    /// `LoadSlot` + `BinInt`: lhs from the slot, rhs constant.
+    BinSlotInt(BinOp, f64, SlotId, i64),
+    /// `Bin` + `JumpIfFalse`: combine, branch on the unpushed result.
+    BinBr(BinOp, f64, u32),
+    /// `BinInt` + `JumpIfFalse`.
+    BinIntBr(BinOp, f64, i64, u32),
+    /// `Fuel` + `BinSlotInt` + `JumpIfFalse` — a whole `i < N` loop
+    /// condition, absorbing the fuel the back edge lands on, plus the
+    /// fall-through path's leading fuel and charge (the loop body's
+    /// prologue, which runs exactly when the branch is not taken).
+    BinSlotIntBr {
+        /// Fuel ticked before the comparison (0 when none fused).
+        fuel: u32,
+        /// Comparison operator.
+        op: BinOp,
+        /// Charge.
+        cost: f64,
+        /// Slot holding the lhs.
+        s: SlotId,
+        /// Constant rhs.
+        rhs: i64,
+        /// Branch target when the comparison is false.
+        t: u32,
+        /// Fuel ticked on the fall-through path (0 when none fused).
+        pfuel: u32,
+        /// Charge on the fall-through path (0 when none fused).
+        pcost: f64,
+    },
+    /// `LoadSlot` + `CompoundBin`: the old value comes from the slot.
+    CompoundSlot(BinOp, f64, SlotId),
+    /// `PushInt` + `CompoundSlot`: constant rhs.
+    CompoundSlotInt(BinOp, f64, SlotId, i64),
+    /// `CompoundSlot` + `StoreSlot` (src, then dst).
+    CompoundSlotStore(BinOp, f64, SlotId, SlotId),
+    /// `CompoundSlotInt` + `StoreSlot` — a whole `i += 1` (src, rhs,
+    /// dst).
+    CompoundSlotIntStore(BinOp, f64, SlotId, i64, SlotId),
+    /// `CompoundSlotIntStore` + `Jump` — a loop's step and back edge
+    /// (src, rhs, dst, target).
+    CompoundSlotIntStoreJump(BinOp, f64, SlotId, i64, SlotId, u32),
+    /// `LoadSlot` + `IndexDim`: the subscript comes from the slot.
+    IndexDimSlot {
+        /// The array accessed.
+        id: ArrayId,
+        /// Which dimension this subscript addresses.
+        dim: u32,
+        /// First subscript of the chain.
+        first: bool,
+        /// Address-arithmetic charge.
+        cost: f64,
+        /// Slot holding the subscript.
+        s: SlotId,
+        /// Fuel ticked *after* the index op (a following `Fuel` that
+        /// could not commute further left, absorbed here).
+        fuel: u32,
+        /// Array access fused onto the chain end, run last.
+        tail: AccessTail,
+    },
+    /// `PushInt` + `IndexDim`: constant subscript.
+    IndexDimInt {
+        /// The array accessed.
+        id: ArrayId,
+        /// Which dimension this subscript addresses.
+        dim: u32,
+        /// First subscript of the chain.
+        first: bool,
+        /// Address-arithmetic charge.
+        cost: f64,
+        /// The constant subscript.
+        v: i64,
+        /// Fuel ticked *after* the index op (a following `Fuel` that
+        /// could not commute further left, absorbed here).
+        fuel: u32,
+    },
+    /// `LoadArray` + `Bin`: the loaded element is the rhs.
+    LoadArrayBin(ArrayId, BinOp, f64),
+    /// `StoreArray` + `Pop`: a store in statement position (the pushed
+    /// value and its discard cancel out).
+    StoreArrayPop(ArrayId),
+    /// `BinSlotInt` + `IndexDim` — a `slot ⊕ const` subscript
+    /// (`B[j-1]`, `A[t%2]`), the stencil hot path.
+    IndexDimBinSlotInt {
+        /// The array accessed.
+        id: ArrayId,
+        /// Which dimension this subscript addresses.
+        dim: u32,
+        /// First subscript of the chain.
+        first: bool,
+        /// Address-arithmetic charge.
+        cost: f64,
+        /// Subscript operator.
+        op: BinOp,
+        /// Subscript-computation charge.
+        bcost: f64,
+        /// Slot holding the subscript lhs.
+        s: SlotId,
+        /// Constant subscript rhs.
+        v: i64,
+        /// Fuel ticked *after* the index op.
+        fuel: u32,
+        /// Array access fused onto the chain end, run last.
+        tail: AccessTail,
+    },
+    /// `BinInt` + `IndexDim` — a `<stack> ⊕ const` subscript.
+    IndexDimBinInt {
+        /// The array accessed.
+        id: ArrayId,
+        /// Which dimension this subscript addresses.
+        dim: u32,
+        /// First subscript of the chain.
+        first: bool,
+        /// Address-arithmetic charge.
+        cost: f64,
+        /// Subscript operator.
+        op: BinOp,
+        /// Subscript-computation charge.
+        bcost: f64,
+        /// Constant subscript rhs.
+        v: i64,
+        /// Fuel ticked *after* the index op.
+        fuel: u32,
+    },
+    /// Two adjacent `Charge`s — kept as two separate `+=`s so the f64
+    /// accumulation order (and hence the bits) is unchanged.
+    Charge2(f64, f64),
+    /// Two consecutive `IndexDimSlot`s of one subscript chain
+    /// (dimensions `dim` and `dim + 1` of the same array): a whole
+    /// `[i][j]` pair in one dispatch, with no stack traffic between.
+    Index2Slot {
+        /// The array accessed.
+        id: ArrayId,
+        /// Dimension the first subscript addresses; the second is
+        /// `dim + 1`.
+        dim: u32,
+        /// Whether the first subscript starts the chain.
+        first: bool,
+        /// Address-arithmetic charge of the first subscript.
+        c0: f64,
+        /// Slot holding the first subscript.
+        s0: SlotId,
+        /// Fuel ticked between the two index ops.
+        f0: u32,
+        /// Address-arithmetic charge of the second subscript.
+        c1: f64,
+        /// Slot holding the second subscript.
+        s1: SlotId,
+        /// Fuel ticked after the second index op.
+        f1: u32,
+        /// Array access fused onto the chain end, run last.
+        tail: AccessTail,
+    },
+    /// `IndexDimBinSlotInt` + `Index2Slot` — a whole three-subscript
+    /// chain `A[s ⊕ v][s0][s1]` (the time-toggled stencil hot path,
+    /// `A[t % 2][i][j]`), with the chain-ending access tail.
+    Index3BinSlotInt {
+        /// The array accessed.
+        id: ArrayId,
+        /// Dimension the first subscript addresses; the others are
+        /// `dim + 1` and `dim + 2`.
+        dim: u32,
+        /// Whether the first subscript starts the chain.
+        first: bool,
+        /// First subscript operator.
+        op: BinOp,
+        /// First subscript-computation charge.
+        bcost: f64,
+        /// Slot holding the first subscript's lhs.
+        s: SlotId,
+        /// Constant first-subscript rhs.
+        v: i64,
+        /// Address-arithmetic charge of the first subscript.
+        cost: f64,
+        /// Fuel ticked after the first index op.
+        fuel: u32,
+        /// Address-arithmetic charge of the second subscript.
+        c0: f64,
+        /// Slot holding the second subscript.
+        s0: SlotId,
+        /// Fuel ticked after the second index op.
+        f0: u32,
+        /// Address-arithmetic charge of the third subscript.
+        c1: f64,
+        /// Slot holding the third subscript.
+        s1: SlotId,
+        /// Fuel ticked after the third index op.
+        f1: u32,
+        /// Array access fused onto the chain end, run last.
+        tail: AccessTail,
+    },
+}
+
+/// A compiled program: flat code plus the initial machine image
+/// (global scalars, global arrays, allocation cursor) and the side
+/// tables error reporting needs.
+#[derive(Debug, Clone)]
+pub struct Exe {
+    pub(crate) code: Vec<Insn>,
+    /// Total scalar slots (globals first).
+    pub(crate) n_slots: usize,
+    /// Initial values of the global slot prefix.
+    pub(crate) global_values: Vec<crate::interp::Value>,
+    /// Initial array table (globals allocated, locals `None`).
+    pub(crate) arrays: Vec<Option<ArrayCell>>,
+    /// Interned array names, for error messages and the checksum.
+    pub(crate) array_names: Vec<String>,
+    /// Message table for [`Insn::Throw`] and [`Chain`]s.
+    pub(crate) messages: Vec<String>,
+    /// Dynamic scalar-resolution chains (conditional bare declarations).
+    pub(crate) chains: Vec<Chain>,
+    /// Allocation cursor after the globals.
+    pub(crate) next_base: u64,
+}
+
+impl Exe {
+    /// Number of instructions in the compiled program (diagnostics).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}

@@ -5,6 +5,25 @@
 //! (inclusive hierarchy). The geometry defaults mirror the paper's Xeon
 //! E5-2660 v3.
 
+use std::error::Error;
+use std::fmt;
+
+/// A cache configuration the simulator cannot realize.
+///
+/// Machine descriptions arrive from user-supplied configuration, so a
+/// bad geometry must surface as an error the caller can report, not as
+/// a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfigError(String);
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache configuration: {}", self.0)
+    }
+}
+
+impl Error for CacheConfigError {}
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LevelConfig {
@@ -159,49 +178,74 @@ impl CacheStats {
     }
 }
 
-/// One cache level: per-set LRU stacks of line tags.
+/// One cache level: per-set LRU stacks of line tags, stored MRU-first in
+/// one flat allocation (`ways` slots per set). Hits on recently used
+/// lines are found in the first slot or two of the scan, and the LRU
+/// reshuffle is a short `copy_within` instead of a `Vec` remove+push.
 #[derive(Debug, Clone)]
 struct CacheLevel {
-    sets: Vec<Vec<u64>>,
+    tags: Vec<u64>,
     ways: usize,
     set_shift: u32,
     set_mask: u64,
+    tag_shift: u32,
     latency: u64,
 }
 
+/// Empty-slot sentinel. A real tag would equal this only for an address
+/// near `u64::MAX`, which the allocator (4KB-aligned bases growing from
+/// 4096) cannot produce.
+const EMPTY_TAG: u64 = u64::MAX;
+
 impl CacheLevel {
-    fn new(config: &LevelConfig, line: usize) -> CacheLevel {
+    fn new(config: &LevelConfig, line: usize) -> Result<CacheLevel, CacheConfigError> {
+        if line == 0 || !line.is_power_of_two() {
+            return Err(CacheConfigError(format!(
+                "line size must be a nonzero power of two, got {line}"
+            )));
+        }
+        if config.ways == 0 {
+            return Err(CacheConfigError(format!(
+                "level {} has zero ways",
+                config.name
+            )));
+        }
         let num_sets = (config.capacity / line / config.ways).max(1);
-        assert!(
-            num_sets.is_power_of_two(),
-            "cache sets must be a power of two (capacity {} / line {line} / ways {})",
-            config.capacity,
-            config.ways
-        );
-        CacheLevel {
-            sets: vec![Vec::new(); num_sets],
+        if !num_sets.is_power_of_two() {
+            return Err(CacheConfigError(format!(
+                "level {} must have a power-of-two set count: capacity {} / line {line} / ways {} \
+                 yields {num_sets} sets",
+                config.name, config.capacity, config.ways
+            )));
+        }
+        Ok(CacheLevel {
+            tags: vec![EMPTY_TAG; num_sets * config.ways],
             ways: config.ways,
             set_shift: line.trailing_zeros(),
             set_mask: (num_sets - 1) as u64,
+            tag_shift: ((num_sets - 1) as u64).count_ones(),
             latency: config.latency,
-        }
+        })
     }
 
     /// Returns `true` on hit. Either way the line ends up MRU.
+    #[inline]
     fn access(&mut self, addr: u64) -> bool {
         let line_addr = addr >> self.set_shift;
         let set_idx = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let tag = line_addr >> self.tag_shift;
+        let start = set_idx * self.ways;
+        let set = &mut self.tags[start..start + self.ways];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
-            let t = set.remove(pos);
-            set.push(t);
+            // Move to MRU (front); slots before `pos` age by one.
+            set.copy_within(..pos, 1);
+            set[0] = tag;
             true
         } else {
-            if set.len() == self.ways {
-                set.remove(0);
-            }
-            set.push(tag);
+            // Install at MRU; the LRU tag (or an empty slot) falls off
+            // the end.
+            set.copy_within(..self.ways - 1, 1);
+            set[0] = tag;
             false
         }
     }
@@ -218,13 +262,25 @@ pub struct CacheHierarchy {
 
 impl CacheHierarchy {
     /// Builds the hierarchy from a configuration.
-    pub fn new(config: &CacheConfig) -> CacheHierarchy {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] when a level's geometry does not
+    /// yield a power-of-two set count (the set-index mask would alias)
+    /// or the line size is not a power of two.
+    pub fn new(config: &CacheConfig) -> Result<CacheHierarchy, CacheConfigError> {
+        if config.line == 0 || !config.line.is_power_of_two() {
+            return Err(CacheConfigError(format!(
+                "line size must be a nonzero power of two, got {}",
+                config.line
+            )));
+        }
         let levels: Vec<CacheLevel> = config
             .levels
             .iter()
             .map(|l| CacheLevel::new(l, config.line))
-            .collect();
-        CacheHierarchy {
+            .collect::<Result<_, _>>()?;
+        Ok(CacheHierarchy {
             stats: CacheStats {
                 hits: vec![0; levels.len()],
                 ..CacheStats::default()
@@ -232,7 +288,7 @@ impl CacheHierarchy {
             levels,
             memory_latency: config.memory_latency,
             line: config.line,
-        }
+        })
     }
 
     /// Simulates one access; returns (serving level, latency in cycles).
@@ -240,6 +296,20 @@ impl CacheHierarchy {
     /// The line is installed in every missing level (inclusive).
     pub fn access(&mut self, addr: u64) -> (Level, u64) {
         self.stats.accesses += 1;
+        if let Some(first) = self.levels.first() {
+            // MRU fast path: the line already sits in the first slot of
+            // its L1 set, so this is an L1 hit whose move-to-MRU is a
+            // no-op and the lower levels stay untouched — identical
+            // stats and latency to the full search below. This covers
+            // both same-line repeats and interleaved streams mapping to
+            // different sets (the common loop-kernel pattern).
+            let line_addr = addr >> first.set_shift;
+            let set_idx = (line_addr & first.set_mask) as usize;
+            if first.tags[set_idx * first.ways] == line_addr >> first.tag_shift {
+                self.stats.hits[0] += 1;
+                return (Level::Cache(0), first.latency);
+            }
+        }
         let mut hit_level = None;
         for (i, level) in self.levels.iter_mut().enumerate() {
             if level.access(addr) {
@@ -297,6 +367,7 @@ mod tests {
             ],
             memory_latency: 100,
         })
+        .unwrap()
     }
 
     #[test]
@@ -338,12 +409,12 @@ mod tests {
     #[test]
     fn sequential_scan_beats_random_stride() {
         // A 4KB scan with 64B lines: 1 miss per 8 doubles.
-        let mut seq = CacheHierarchy::new(&CacheConfig::scaled_small());
+        let mut seq = CacheHierarchy::new(&CacheConfig::scaled_small()).unwrap();
         for i in 0..512u64 {
             seq.access(i * 8);
         }
         let seq_misses = seq.stats().memory_accesses;
-        let mut strided = CacheHierarchy::new(&CacheConfig::scaled_small());
+        let mut strided = CacheHierarchy::new(&CacheConfig::scaled_small()).unwrap();
         for i in 0..512u64 {
             strided.access((i * 8192) % (1 << 22));
         }
@@ -352,6 +423,53 @@ mod tests {
             seq_misses * 4 < strided_misses,
             "{seq_misses} vs {strided_misses}"
         );
+    }
+
+    #[test]
+    fn non_power_of_two_sets_is_an_error_not_a_panic() {
+        // 48 KB / 64 B line / 8 ways = 96 sets: not a power of two.
+        let err = CacheHierarchy::new(&CacheConfig {
+            line: 64,
+            levels: vec![LevelConfig {
+                name: "L1",
+                capacity: 48 * 1024,
+                ways: 8,
+                latency: 4,
+            }],
+            memory_latency: 100,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("power-of-two set count"), "{err}");
+
+        let err = CacheHierarchy::new(&CacheConfig {
+            line: 48,
+            levels: vec![],
+            memory_latency: 100,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("line size"), "{err}");
+    }
+
+    #[test]
+    fn last_line_memo_counts_stats_identically() {
+        // Interleave repeats (memo path) with conflicting lines (full
+        // path) and check against hand-computed stats.
+        let mut c = tiny();
+        assert_eq!(c.access(0), (Level::Memory, 100)); // cold miss
+        assert_eq!(c.access(8), (Level::Cache(0), 4)); // memo: same line
+        assert_eq!(c.access(56), (Level::Cache(0), 4)); // memo again
+        assert_eq!(c.access(128), (Level::Memory, 100)); // new line
+        assert_eq!(c.access(0), (Level::Cache(0), 4)); // full path L1 hit
+        assert_eq!(c.access(0), (Level::Cache(0), 4)); // memo
+                                                       // Evict line 0 from L1 (2-way set 0): lines 128 and 256 win.
+        c.access(128);
+        c.access(256);
+        let (level, _) = c.access(0);
+        assert_eq!(level, Level::Cache(1), "line 0 fell to L2 despite memo");
+        assert_eq!(c.stats().accesses, 9);
+        assert_eq!(c.stats().hits[0], 5);
+        assert_eq!(c.stats().hits[1], 1);
+        assert_eq!(c.stats().memory_accesses, 3);
     }
 
     #[test]

@@ -1,0 +1,886 @@
+//! One-pass compiler from the mini-C AST to [`crate::bytecode`].
+//!
+//! The pass mirrors the tree interpreter construct by construct so the
+//! VM replays the *exact* sequence of fuel ticks, cycle charges, cache
+//! accesses and flop counts (see the module docs of
+//! [`crate::bytecode`]). Scalars are resolved to frame slots here,
+//! array names are interned to dense ids, and structured control flow
+//! becomes jumps. Global setup (constant initializers, global array
+//! allocation) is evaluated at compile time into the initial machine
+//! image, exactly as `Interp::new` does — including its error cases,
+//! which surface as compile errors because the tree interpreter raises
+//! them before execution starts.
+
+use std::collections::{HashMap, HashSet};
+
+use locus_srcir::ast::{BinOp, Expr, Item, Pragma, Program, Stmt, StmtKind, Type, UnOp};
+
+use crate::bytecode::{
+    advance_base, array_init_data, ArrayCell, ArrayId, Builtin, CastKind, Chain, Exe, Insn, SlotId,
+    ThrowKind,
+};
+use crate::interp::{apply_bin, collect_auto_vectorizable, RuntimeError, Value};
+use crate::MachineConfig;
+
+/// Compiles `program` for running `entry`, mirroring the setup work and
+/// setup-time errors of `Interp::new` + `Interp::run`.
+pub(crate) fn compile(
+    program: &Program,
+    config: &MachineConfig,
+    entry: &str,
+) -> Result<Exe, RuntimeError> {
+    let mut c = Compiler::new(config);
+    for item in &program.items {
+        if let Item::Global(stmt) = item {
+            c.compile_global(stmt)?;
+        }
+    }
+    let f = program
+        .function(entry)
+        .ok_or_else(|| RuntimeError::UndefinedFunction(entry.to_string()))?;
+    if !f.params.is_empty() {
+        return Err(RuntimeError::Unsupported(format!(
+            "entry `{entry}` must take no parameters"
+        )));
+    }
+    if config.auto_vectorize {
+        c.auto_vec = collect_auto_vectorizable(program);
+    }
+    for stmt in &f.body {
+        collect_local_array_decls(stmt, &mut c.local_array_decls);
+    }
+    c.push_scope();
+    for stmt in &f.body {
+        c.compile_stmt(stmt, false);
+    }
+    c.pop_scope();
+    c.emit(Insn::Halt);
+    Ok(c.finish())
+}
+
+/// One statically resolved scalar binding.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    slot: SlotId,
+    /// Set for conditional bare declarations (`if (c) int x;`): the
+    /// binding only exists at runtime when this flag slot is non-zero.
+    flag: Option<SlotId>,
+}
+
+/// Result of resolving a scalar name at a program point.
+enum Resolution {
+    /// Unconditionally bound: direct slot access.
+    Direct(SlotId),
+    /// At least one conditional binding shadows the path: dynamic chain.
+    Chained(u32),
+    /// No binding on any path: the access always raises.
+    Unbound,
+}
+
+/// Cost constants snapshot (avoids re-reading config in every arm).
+struct Costs {
+    add: f64,
+    mul: f64,
+    div: f64,
+    loop_iter: f64,
+    loop_entry: f64,
+}
+
+struct Compiler<'p> {
+    config: &'p MachineConfig,
+    k: Costs,
+    code: Vec<Insn>,
+    /// Fuel ticks not yet materialized: adjacent ticks merge into one
+    /// `Insn::Fuel`, flushed before anything that can error or branch.
+    fuel_pending: u32,
+    scopes: Vec<HashMap<String, Vec<Binding>>>,
+    n_slots: u32,
+    global_values: Vec<Value>,
+    arrays: Vec<Option<ArrayCell>>,
+    array_ids: HashMap<String, ArrayId>,
+    array_names: Vec<String>,
+    messages: Vec<String>,
+    chains: Vec<Chain>,
+    auto_vec: HashSet<usize>,
+    /// Names declared as *local* arrays anywhere in the entry body.
+    /// Accesses to those names keep their runtime `ArrayCheck` — the
+    /// cell's rank is only known once `AllocArray` runs (and a local
+    /// may share its interned id with a global of the same name).
+    local_array_decls: HashSet<String>,
+    next_base: u64,
+}
+
+/// Collects every name declared with array dimensions inside `stmt`.
+fn collect_local_array_decls(stmt: &Stmt, out: &mut HashSet<String>) {
+    match &stmt.kind {
+        StmtKind::Decl { name, dims, .. } => {
+            if !dims.is_empty() {
+                out.insert(name.clone());
+            }
+        }
+        StmtKind::Block(stmts) => {
+            for s in stmts {
+                collect_local_array_decls(s, out);
+            }
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_local_array_decls(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_local_array_decls(e, out);
+            }
+        }
+        StmtKind::For(f) => {
+            if let Some(init) = &f.init {
+                collect_local_array_decls(init, out);
+            }
+            collect_local_array_decls(&f.body, out);
+        }
+        StmtKind::While { body, .. } => collect_local_array_decls(body, out),
+        StmtKind::Expr(_) | StmtKind::Return(_) | StmtKind::Empty => {}
+    }
+}
+
+impl<'p> Compiler<'p> {
+    fn new(config: &'p MachineConfig) -> Compiler<'p> {
+        Compiler {
+            config,
+            k: Costs {
+                add: config.cost.add,
+                mul: config.cost.mul,
+                div: config.cost.div,
+                loop_iter: config.cost.loop_iter,
+                loop_entry: config.cost.loop_entry,
+            },
+            code: Vec::new(),
+            fuel_pending: 0,
+            scopes: vec![HashMap::new()],
+            n_slots: 0,
+            global_values: Vec::new(),
+            arrays: Vec::new(),
+            array_ids: HashMap::new(),
+            array_names: Vec::new(),
+            messages: Vec::new(),
+            chains: Vec::new(),
+            auto_vec: HashSet::new(),
+            local_array_decls: HashSet::new(),
+            next_base: 4096,
+        }
+    }
+
+    fn finish(self) -> Exe {
+        debug_assert_eq!(self.fuel_pending, 0, "Halt flushes pending fuel");
+        Exe {
+            code: crate::peephole::optimize(self.code),
+            n_slots: self.n_slots as usize,
+            global_values: self.global_values,
+            arrays: self.arrays,
+            array_names: self.array_names,
+            messages: self.messages,
+            chains: self.chains,
+            next_base: self.next_base,
+        }
+    }
+
+    // ---- emission -------------------------------------------------------
+
+    /// Whether pending fuel must be materialized before `insn`: the tree
+    /// interpreter's fuel check can fire *between* any two operations,
+    /// so a tick may only drift across instructions that cannot raise a
+    /// different error first and cannot be jumped over/to.
+    fn needs_fuel_flush(insn: &Insn) -> bool {
+        match insn {
+            Insn::Jump(_)
+            | Insn::JumpIfFalse(_)
+            | Insn::AndShortCircuit(_)
+            | Insn::OrShortCircuit(_)
+            | Insn::Throw(..)
+            | Insn::Halt
+            | Insn::ArrayCheck(..)
+            | Insn::IndexDim { .. }
+            | Insn::DimCheck(_)
+            | Insn::LoadChain(_)
+            | Insn::StoreChain(_) => true,
+            Insn::Bin(op, _) | Insn::CompoundBin(op, _) | Insn::RmwArray(_, op, _) => {
+                matches!(op, BinOp::Div | BinOp::Rem)
+            }
+            _ => false,
+        }
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        if Self::needs_fuel_flush(&insn) {
+            self.flush_fuel();
+        }
+        self.code.push(insn);
+    }
+
+    fn fuel(&mut self, n: u32) {
+        self.fuel_pending += n;
+    }
+
+    fn flush_fuel(&mut self) {
+        if self.fuel_pending > 0 {
+            self.code.push(Insn::Fuel(self.fuel_pending));
+            self.fuel_pending = 0;
+        }
+    }
+
+    /// Current position as a jump target (flushes fuel: a tick must not
+    /// be skipped or double-counted by a jump landing here).
+    fn here(&mut self) -> u32 {
+        self.flush_fuel();
+        self.code.len() as u32
+    }
+
+    fn placeholder(&mut self, insn: Insn) -> usize {
+        self.emit(insn);
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Insn::Jump(t)
+            | Insn::JumpIfFalse(t)
+            | Insn::AndShortCircuit(t)
+            | Insn::OrShortCircuit(t) => *t = target,
+            other => unreachable!("patching a non-jump instruction {other:?}"),
+        }
+    }
+
+    fn intern_msg(&mut self, msg: String) -> u32 {
+        // Linear dedup: the table only holds a handful of messages.
+        if let Some(i) = self.messages.iter().position(|m| *m == msg) {
+            return i as u32;
+        }
+        self.messages.push(msg);
+        (self.messages.len() - 1) as u32
+    }
+
+    fn throw(&mut self, kind: ThrowKind, msg: String) {
+        let m = self.intern_msg(msg);
+        self.emit(Insn::Throw(kind, m));
+    }
+
+    // ---- scopes and slots ----------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Pops a scope; conditional bindings that die with it get their
+    /// flags cleared so a re-execution of the region (loop iteration)
+    /// starts unbound, exactly like the tree re-pushing a fresh scope.
+    fn pop_scope(&mut self) {
+        let scope = self.scopes.pop().expect("scope stack is never empty");
+        let mut flags: Vec<SlotId> = scope.values().flatten().filter_map(|b| b.flag).collect();
+        flags.sort_unstable();
+        for flag in flags {
+            self.emit(Insn::PushInt(0));
+            self.emit(Insn::StoreSlot(flag));
+        }
+    }
+
+    fn new_slot(&mut self) -> SlotId {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        s
+    }
+
+    /// Binds a scalar declaration. `conditional` marks a bare decl in
+    /// branch position (execution not guaranteed within its scope).
+    /// Returns the value slot and, for fresh conditional bindings, the
+    /// flag slot the declaration must set.
+    fn bind_scalar(&mut self, name: &str, conditional: bool) -> (SlotId, Option<SlotId>) {
+        if conditional {
+            // A same-scope unconditional binding is *overwritten* by the
+            // tree (one map entry per scope): reuse its slot, keeping
+            // the redeclaration conditional for free.
+            if let Some(vec) = self.scopes.last().expect("scope").get(name) {
+                if let Some(last) = vec.last() {
+                    if last.flag.is_none() {
+                        return (last.slot, None);
+                    }
+                }
+            }
+            let slot = self.new_slot();
+            let flag = self.new_slot();
+            self.scopes
+                .last_mut()
+                .expect("scope")
+                .entry(name.to_string())
+                .or_default()
+                .push(Binding {
+                    slot,
+                    flag: Some(flag),
+                });
+            (slot, Some(flag))
+        } else {
+            let slot = self.new_slot();
+            let vec = self
+                .scopes
+                .last_mut()
+                .expect("scope")
+                .entry(name.to_string())
+                .or_default();
+            vec.clear();
+            vec.push(Binding { slot, flag: None });
+            (slot, None)
+        }
+    }
+
+    fn resolve(&mut self, name: &str) -> Resolution {
+        let mut guards: Vec<(SlotId, SlotId)> = Vec::new();
+        let mut fallback = None;
+        'walk: for scope in self.scopes.iter().rev() {
+            if let Some(vec) = scope.get(name) {
+                for b in vec.iter().rev() {
+                    match b.flag {
+                        None => {
+                            fallback = Some(b.slot);
+                            break 'walk;
+                        }
+                        Some(f) => guards.push((f, b.slot)),
+                    }
+                }
+            }
+        }
+        match (guards.is_empty(), fallback) {
+            (true, Some(slot)) => Resolution::Direct(slot),
+            (true, None) => Resolution::Unbound,
+            (false, _) => {
+                let msg = self.intern_msg(name.to_string());
+                self.chains.push(Chain {
+                    guards,
+                    fallback,
+                    msg,
+                });
+                Resolution::Chained((self.chains.len() - 1) as u32)
+            }
+        }
+    }
+
+    fn array_id(&mut self, name: &str) -> ArrayId {
+        if let Some(&id) = self.array_ids.get(name) {
+            return id;
+        }
+        let id = self.array_names.len() as ArrayId;
+        self.array_ids.insert(name.to_string(), id);
+        self.array_names.push(name.to_string());
+        self.arrays.push(None);
+        id
+    }
+
+    // ---- global setup (compile-time evaluation) -------------------------
+
+    fn compile_global(&mut self, stmt: &Stmt) -> Result<(), RuntimeError> {
+        let StmtKind::Decl {
+            ty,
+            name,
+            dims,
+            init,
+        } = &stmt.kind
+        else {
+            return Err(RuntimeError::Unsupported(
+                "non-declaration at global scope".into(),
+            ));
+        };
+        if dims.is_empty() {
+            let value = match init {
+                Some(e) => self.eval_const(e)?,
+                None => match ty {
+                    Type::Double | Type::Float => Value::Double(0.0),
+                    _ => Value::Int(0),
+                },
+            };
+            let (slot, _) = self.bind_scalar(name, false);
+            debug_assert_eq!(slot as usize, self.global_values.len());
+            self.global_values.push(value);
+        } else {
+            let mut len = 1usize;
+            let mut dim_sizes = Vec::new();
+            for d in dims {
+                let v = self.eval_const(d)?.as_i64();
+                if v <= 0 {
+                    return Err(RuntimeError::BadArrayDim(name.clone()));
+                }
+                len *= v as usize;
+                dim_sizes.push(v as usize);
+            }
+            let id = self.array_id(name);
+            let is_float = ty.is_float();
+            let base = self.next_base;
+            self.next_base = advance_base(self.next_base, len);
+            self.arrays[id as usize] = Some(ArrayCell {
+                is_float,
+                data: array_init_data(len, is_float),
+                base,
+                dims: dim_sizes,
+                local: false,
+            });
+        }
+        Ok(())
+    }
+
+    fn eval_const(&self, e: &Expr) -> Result<Value, RuntimeError> {
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::FloatLit(v) => Ok(Value::Double(*v)),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => Ok(match self.eval_const(operand)? {
+                Value::Int(v) => Value::Int(-v),
+                Value::Double(v) => Value::Double(-v),
+            }),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval_const(lhs)?;
+                let r = self.eval_const(rhs)?;
+                apply_bin(*op, l, r)
+            }
+            Expr::Ident(name) => self.scopes[0]
+                .get(name)
+                .and_then(|vec| vec.last())
+                .map(|b| self.global_values[b.slot as usize])
+                .ok_or_else(|| RuntimeError::UndefinedVariable(name.clone())),
+            _ => Err(RuntimeError::Unsupported(
+                "non-constant global initializer".into(),
+            )),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    /// Compiles one statement. `in_branch` marks direct (unbraced)
+    /// branch/body position, where a bare declaration binds its
+    /// enclosing scope conditionally.
+    fn compile_stmt(&mut self, stmt: &Stmt, in_branch: bool) {
+        self.fuel(1);
+        match &stmt.kind {
+            StmtKind::Empty => {}
+            StmtKind::Expr(e) => self.compile_expr_drop(e),
+            StmtKind::Decl {
+                ty,
+                name,
+                dims,
+                init,
+            } => self.compile_decl(ty, name, dims, init.as_ref(), in_branch),
+            StmtKind::Block(stmts) => {
+                self.push_scope();
+                for s in stmts {
+                    self.compile_stmt(s, false);
+                }
+                self.pop_scope();
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.compile_expr(cond);
+                self.emit(Insn::Charge(self.k.add));
+                let jf = self.placeholder(Insn::JumpIfFalse(u32::MAX));
+                self.compile_stmt(then_branch, true);
+                match else_branch {
+                    Some(e) => {
+                        let j = self.placeholder(Insn::Jump(u32::MAX));
+                        let t = self.here();
+                        self.patch(jf, t);
+                        self.compile_stmt(e, true);
+                        let end = self.here();
+                        self.patch(j, end);
+                    }
+                    None => {
+                        let t = self.here();
+                        self.patch(jf, t);
+                    }
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.emit(Insn::Charge(self.k.loop_entry));
+                let top = self.here();
+                self.fuel(1);
+                self.compile_expr(cond);
+                let jf = self.placeholder(Insn::JumpIfFalse(u32::MAX));
+                self.emit(Insn::Charge(self.k.loop_iter));
+                self.compile_stmt(body, true);
+                self.emit(Insn::Jump(top));
+                let end = self.here();
+                self.patch(jf, end);
+            }
+            StmtKind::For(_) => self.compile_for(stmt),
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    self.compile_expr(e);
+                    self.emit(Insn::Pop);
+                }
+                self.emit(Insn::Halt);
+            }
+        }
+    }
+
+    fn compile_for(&mut self, stmt: &Stmt) {
+        let StmtKind::For(f) = &stmt.kind else {
+            unreachable!("compile_for called on a for loop")
+        };
+        let omp = stmt.pragmas.iter().find_map(|p| match p {
+            Pragma::OmpParallelFor { schedule, .. } => Some(*schedule),
+            _ => None,
+        });
+        let vectorized = stmt
+            .pragmas
+            .iter()
+            .any(|p| matches!(p, Pragma::Ivdep | Pragma::VectorAlways))
+            || self.auto_vec.contains(&(stmt as *const Stmt as usize));
+        // Whether a pragma'd loop actually runs parallel still depends
+        // on the dynamic `in_parallel` state — ParEnter decides.
+        let par = omp.is_some() && self.config.cores > 1;
+
+        self.push_scope();
+        self.emit(Insn::Charge(self.k.loop_entry));
+        if let Some(init) = &f.init {
+            self.compile_stmt(init, false);
+        }
+        if vectorized {
+            self.emit(Insn::VecEnter);
+        }
+        if par {
+            self.emit(Insn::ParEnter(omp.flatten()));
+        }
+        let top = self.here();
+        self.fuel(1);
+        let jf = f.cond.as_ref().map(|cond| {
+            self.compile_expr(cond);
+            self.placeholder(Insn::JumpIfFalse(u32::MAX))
+        });
+        if par {
+            self.emit(Insn::IterStart);
+        }
+        self.emit(Insn::Charge(self.k.loop_iter));
+        self.compile_stmt(&f.body, true);
+        if let Some(step) = &f.step {
+            self.compile_expr_drop(step);
+        }
+        if par {
+            self.emit(Insn::IterEnd);
+        }
+        self.emit(Insn::Jump(top));
+        if let Some(jf) = jf {
+            let end = self.here();
+            self.patch(jf, end);
+        }
+        if par {
+            self.emit(Insn::ParExit);
+        }
+        if vectorized {
+            self.emit(Insn::VecLeave);
+        }
+        self.pop_scope();
+    }
+
+    fn compile_decl(
+        &mut self,
+        ty: &Type,
+        name: &str,
+        dims: &[Expr],
+        init: Option<&Expr>,
+        in_branch: bool,
+    ) {
+        if dims.is_empty() {
+            // The initializer is evaluated *before* the name binds, so
+            // it sees any outer binding it shadows — compile it first.
+            let flag = match init {
+                Some(e) => {
+                    self.compile_expr(e);
+                    let (slot, flag) = self.bind_scalar(name, in_branch);
+                    self.emit(Insn::DeclSlot(slot, cast_kind(ty)));
+                    flag
+                }
+                None => {
+                    let (slot, flag) = self.bind_scalar(name, in_branch);
+                    self.emit(Insn::DeclDefault(slot, ty.is_float()));
+                    flag
+                }
+            };
+            if let Some(flag) = flag {
+                self.emit(Insn::PushInt(1));
+                self.emit(Insn::StoreSlot(flag));
+            }
+        } else {
+            let id = self.array_id(name);
+            for d in dims {
+                self.compile_expr(d);
+                self.emit(Insn::DimCheck(id));
+            }
+            self.emit(Insn::AllocArray {
+                id,
+                dims: dims.len() as u32,
+                is_float: ty.is_float(),
+            });
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Compiles an expression whose value is discarded (expression
+    /// statement or for-step): assignments skip the value push instead
+    /// of popping it.
+    fn compile_expr_drop(&mut self, e: &Expr) {
+        if matches!(e, Expr::Assign { .. }) {
+            self.fuel(1);
+            self.compile_assign(e, false);
+        } else {
+            self.compile_expr(e);
+            self.emit(Insn::Pop);
+        }
+    }
+
+    fn compile_expr(&mut self, e: &Expr) {
+        self.fuel(1);
+        match e {
+            Expr::IntLit(v) => self.emit(Insn::PushInt(*v)),
+            Expr::FloatLit(v) => self.emit(Insn::PushFloat(*v)),
+            Expr::StrLit(_) => self.emit(Insn::PushInt(0)),
+            Expr::Ident(name) => match self.resolve(name) {
+                Resolution::Direct(slot) => self.emit(Insn::LoadSlot(slot)),
+                Resolution::Chained(i) => self.emit(Insn::LoadChain(i)),
+                Resolution::Unbound => {
+                    self.throw(ThrowKind::UndefinedVariable, name.clone());
+                }
+            },
+            Expr::Index { .. } => {
+                if let Some(id) = self.compile_locate(e) {
+                    self.emit(Insn::LoadArray(id));
+                }
+            }
+            Expr::Unary { op, operand } => {
+                self.compile_expr(operand);
+                match op {
+                    UnOp::Neg => self.emit(Insn::Neg(self.k.add)),
+                    UnOp::Not => self.emit(Insn::Not(self.k.add)),
+                    UnOp::Deref | UnOp::Addr => {
+                        self.throw(ThrowKind::Unsupported, "pointer operations".into());
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.compile_expr(lhs);
+                    self.emit(Insn::Charge(self.k.add));
+                    let p = self.placeholder(Insn::AndShortCircuit(u32::MAX));
+                    self.compile_expr(rhs);
+                    self.emit(Insn::Truthy);
+                    let end = self.here();
+                    self.patch(p, end);
+                }
+                BinOp::Or => {
+                    self.compile_expr(lhs);
+                    self.emit(Insn::Charge(self.k.add));
+                    let p = self.placeholder(Insn::OrShortCircuit(u32::MAX));
+                    self.compile_expr(rhs);
+                    self.emit(Insn::Truthy);
+                    let end = self.here();
+                    self.patch(p, end);
+                }
+                _ => {
+                    self.compile_expr(lhs);
+                    self.compile_expr(rhs);
+                    self.emit(Insn::Bin(*op, self.bin_cost(*op)));
+                }
+            },
+            Expr::Assign { .. } => self.compile_assign(e, true),
+            Expr::Call { callee, args } => self.compile_call(callee, args),
+            Expr::Cast { ty, expr } => {
+                self.compile_expr(expr);
+                self.emit(Insn::Cast(cast_kind(ty), self.k.add));
+            }
+        }
+    }
+
+    /// Compiles an assignment. The entry fuel for the `Assign` node must
+    /// already be accounted by the caller.
+    fn compile_assign(&mut self, e: &Expr, need_value: bool) {
+        let Expr::Assign { op, lhs, rhs } = e else {
+            unreachable!("compile_assign called on an assignment")
+        };
+        self.compile_expr(rhs);
+        let Some(bin) = op.to_bin_op() else {
+            // Plain assignment: the expression's value is the
+            // *uncoerced* rhs; the store coerces to the target's type.
+            match lhs.as_ref() {
+                Expr::Ident(name) => match self.resolve(name) {
+                    Resolution::Direct(slot) => {
+                        if need_value {
+                            self.emit(Insn::Dup);
+                        }
+                        self.emit(Insn::StoreSlot(slot));
+                    }
+                    Resolution::Chained(i) => {
+                        if need_value {
+                            self.emit(Insn::Dup);
+                        }
+                        self.emit(Insn::StoreChain(i));
+                    }
+                    Resolution::Unbound => {
+                        self.throw(ThrowKind::UndefinedVariable, name.clone());
+                    }
+                },
+                Expr::Index { .. } => {
+                    if let Some(id) = self.compile_locate(lhs) {
+                        self.emit(Insn::StoreArray(id));
+                        if !need_value {
+                            self.emit(Insn::Pop);
+                        }
+                    }
+                }
+                other => {
+                    self.throw(
+                        ThrowKind::Unsupported,
+                        format!("assignment target {other:?}"),
+                    );
+                }
+            }
+            return;
+        };
+        let cost = match bin {
+            BinOp::Mul => self.k.mul,
+            BinOp::Div => self.k.div,
+            _ => self.k.add,
+        };
+        match lhs.as_ref() {
+            Expr::Index { .. } => {
+                // Read-modify-write of ONE located address: subscripts
+                // run once, address arithmetic is charged once.
+                self.fuel(1);
+                if let Some(id) = self.compile_locate(lhs) {
+                    self.emit(Insn::RmwArray(id, bin, cost));
+                    if !need_value {
+                        self.emit(Insn::Pop);
+                    }
+                }
+            }
+            Expr::Ident(name) => {
+                self.fuel(1);
+                match self.resolve(name) {
+                    Resolution::Direct(slot) => {
+                        self.emit(Insn::LoadSlot(slot));
+                        self.emit(Insn::CompoundBin(bin, cost));
+                        if need_value {
+                            self.emit(Insn::Dup);
+                        }
+                        self.emit(Insn::StoreSlot(slot));
+                    }
+                    Resolution::Chained(i) => {
+                        self.emit(Insn::LoadChain(i));
+                        self.emit(Insn::CompoundBin(bin, cost));
+                        if need_value {
+                            self.emit(Insn::Dup);
+                        }
+                        self.emit(Insn::StoreChain(i));
+                    }
+                    Resolution::Unbound => {
+                        self.throw(ThrowKind::UndefinedVariable, name.clone());
+                    }
+                }
+            }
+            other => {
+                // The tree fully evaluates the lhs (side effects and
+                // all), combines, and only errors on the write-back.
+                self.fuel(1);
+                self.compile_expr(other);
+                self.emit(Insn::CompoundBin(bin, cost));
+                self.throw(
+                    ThrowKind::Unsupported,
+                    format!("assignment target {other:?}"),
+                );
+            }
+        }
+    }
+
+    /// Compiles an index chain down to a flat index on the stack:
+    /// existence + rank check first, then per-dimension subscript
+    /// evaluation, bounds check and address arithmetic — the tree's
+    /// `locate`. Returns `None` when the base is not an identifier (a
+    /// `Throw` has been emitted and the access instruction must be
+    /// skipped).
+    fn compile_locate(&mut self, e: &Expr) -> Option<ArrayId> {
+        let mut indices = Vec::new();
+        let mut cur = e;
+        while let Expr::Index { base, index } = cur {
+            indices.push(index.as_ref());
+            cur = base;
+        }
+        indices.reverse();
+        let Expr::Ident(name) = cur else {
+            self.throw(ThrowKind::Unsupported, "indexing a non-identifier".into());
+            return None;
+        };
+        let id = self.array_id(name);
+        // The runtime existence + rank check is elided when it provably
+        // passes: the name is a global whose declared rank matches the
+        // subscript count, and no local declaration can rebind it to a
+        // different shape. The check could never fire, so dropping it
+        // only regroups fuel (which may drift across non-erroring code).
+        let statically_ok = !self.local_array_decls.contains(name)
+            && self.arrays[id as usize]
+                .as_ref()
+                .is_some_and(|cell| cell.dims.len() == indices.len());
+        if !statically_ok {
+            self.emit(Insn::ArrayCheck(id, indices.len() as u32));
+        }
+        for (i, idx) in indices.iter().enumerate() {
+            self.compile_expr(idx);
+            self.emit(Insn::IndexDim {
+                id,
+                dim: i as u32,
+                first: i == 0,
+                cost: self.k.add,
+            });
+        }
+        Some(id)
+    }
+
+    fn compile_call(&mut self, callee: &str, args: &[Expr]) {
+        for a in args {
+            self.compile_expr(a);
+        }
+        let call_cost = self.k.add * 2.0;
+        let builtin = match (callee, args.len()) {
+            ("min", 2) => Some(Builtin::Min),
+            ("max", 2) => Some(Builtin::Max),
+            ("abs" | "fabs", 1) => Some(Builtin::Abs),
+            ("sqrt", 1) => Some(Builtin::Sqrt),
+            ("floor", 1) => Some(Builtin::Floor),
+            ("ceil", 1) => Some(Builtin::Ceil),
+            _ => None,
+        };
+        match builtin {
+            Some(f) => self.emit(Insn::Call(f, call_cost)),
+            None => {
+                // Unknown name or arity: the call overhead is still
+                // charged before the error, like the tree.
+                self.emit(Insn::Charge(call_cost));
+                self.throw(ThrowKind::UndefinedFunction, callee.to_string());
+            }
+        }
+    }
+
+    fn bin_cost(&self, op: BinOp) -> f64 {
+        match op {
+            BinOp::Mul => self.k.mul,
+            BinOp::Div | BinOp::Rem => self.k.div,
+            _ => self.k.add,
+        }
+    }
+}
+
+fn cast_kind(ty: &Type) -> CastKind {
+    match ty {
+        Type::Double | Type::Float => CastKind::ToFloat,
+        Type::Int | Type::Char => CastKind::ToInt,
+        _ => CastKind::Keep,
+    }
+}

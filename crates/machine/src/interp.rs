@@ -43,6 +43,11 @@ pub enum RuntimeError {
     FuelExhausted,
     /// An array was declared with a non-constant dimension.
     BadArrayDim(String),
+    /// The machine configuration itself is unusable (e.g. a cache level
+    /// whose geometry does not yield a power-of-two set count). Machine
+    /// descriptions arrive from user configuration, so this surfaces as
+    /// an error instead of aborting the process.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -58,6 +63,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::FuelExhausted => write!(f, "operation budget exhausted"),
             RuntimeError::BadArrayDim(n) => {
                 write!(f, "array `{n}` has a non-constant dimension")
+            }
+            RuntimeError::InvalidConfig(m) => {
+                write!(f, "invalid machine configuration: {m}")
             }
         }
     }
@@ -76,21 +84,21 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_f64(self) -> f64 {
+    pub(crate) fn as_f64(self) -> f64 {
         match self {
             Value::Int(v) => v as f64,
             Value::Double(v) => v,
         }
     }
 
-    fn as_i64(self) -> i64 {
+    pub(crate) fn as_i64(self) -> i64 {
         match self {
             Value::Int(v) => v,
             Value::Double(v) => v as i64,
         }
     }
 
-    fn truthy(self) -> bool {
+    pub(crate) fn truthy(self) -> bool {
         match self {
             Value::Int(v) => v != 0,
             Value::Double(v) => v != 0.0,
@@ -168,12 +176,14 @@ impl<'p> Interp<'p> {
         program: &'p Program,
         config: &'p MachineConfig,
     ) -> Result<Interp<'p>, RuntimeError> {
+        let cache = CacheHierarchy::new(&config.cache)
+            .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
         let mut interp = Interp {
             program,
             config,
             arrays: HashMap::new(),
             scopes: vec![HashMap::new()],
-            cache: CacheHierarchy::new(&config.cache),
+            cache,
             cycles: 0.0,
             ops: 0,
             flops: 0,
@@ -630,22 +640,58 @@ impl<'p> Interp<'p> {
             }
             Expr::Assign { op, lhs, rhs } => {
                 let rhs_val = self.eval(rhs)?;
-                let new = match op.to_bin_op() {
-                    None => rhs_val,
-                    Some(bin) => {
-                        let old = self.eval(lhs)?;
-                        let cost = match bin {
-                            BinOp::Mul => self.config.cost.mul,
-                            BinOp::Div => self.config.cost.div,
-                            _ => self.config.cost.add,
-                        };
-                        self.charge(cost);
-                        if matches!(old, Value::Double(_)) {
-                            self.flops += 1;
-                        }
-                        apply_bin(bin, old, rhs_val)?
-                    }
+                let Some(bin) = op.to_bin_op() else {
+                    self.write(lhs, rhs_val)?;
+                    return Ok(rhs_val);
                 };
+                let cost = match bin {
+                    BinOp::Mul => self.config.cost.mul,
+                    BinOp::Div => self.config.cost.div,
+                    _ => self.config.cost.add,
+                };
+                if matches!(lhs.as_ref(), Expr::Index { .. }) {
+                    // Compound assignment to an array element is a
+                    // read-modify-write of ONE address: the subscript
+                    // chain is located once and its address reused, so
+                    // side-effecting indices run once and subscript
+                    // arithmetic is charged once.
+                    self.fuel()?;
+                    let (name, flat, _) = self.locate(lhs)?;
+                    let cell = self
+                        .arrays
+                        .get(&name)
+                        .ok_or_else(|| RuntimeError::UndefinedVariable(name.clone()))?;
+                    let addr = cell.base + flat as u64 * 8;
+                    let is_float = cell.is_float;
+                    let raw = cell.data[flat];
+                    let (_, latency) = self.cache.access(addr);
+                    self.cycles += latency as f64;
+                    let old = if is_float {
+                        Value::Double(raw)
+                    } else {
+                        Value::Int(raw as i64)
+                    };
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let new = apply_bin(bin, old, rhs_val)?;
+                    let cell = self.arrays.get_mut(&name).expect("cell looked up above");
+                    cell.data[flat] = if is_float {
+                        new.as_f64()
+                    } else {
+                        new.as_i64() as f64
+                    };
+                    let (_, latency) = self.cache.access(addr);
+                    self.cycles += latency as f64;
+                    return Ok(new);
+                }
+                let old = self.eval(lhs)?;
+                self.charge(cost);
+                if matches!(old, Value::Double(_)) {
+                    self.flops += 1;
+                }
+                let new = apply_bin(bin, old, rhs_val)?;
                 self.write(lhs, new)?;
                 Ok(new)
             }
@@ -784,8 +830,10 @@ impl<'p> Interp<'p> {
 }
 
 /// The auto-vectorizer model: collects innermost loops whose dependence
-/// analysis proves every dependence loop-independent.
-fn collect_auto_vectorizable(program: &Program) -> std::collections::HashSet<usize> {
+/// analysis proves every dependence loop-independent. Shared by the
+/// tree interpreter and the bytecode compiler so both engines discount
+/// exactly the same loops.
+pub(crate) fn collect_auto_vectorizable(program: &Program) -> std::collections::HashSet<usize> {
     use locus_srcir::visit::walk_stmts;
     let mut out = std::collections::HashSet::new();
     for f in program.functions() {
@@ -811,7 +859,7 @@ fn collect_auto_vectorizable(program: &Program) -> std::collections::HashSet<usi
     out
 }
 
-fn coerce(ty: &Type, v: Value) -> Value {
+pub(crate) fn coerce(ty: &Type, v: Value) -> Value {
     match ty {
         Type::Double | Type::Float => Value::Double(v.as_f64()),
         Type::Int | Type::Char => Value::Int(v.as_i64()),
@@ -819,14 +867,19 @@ fn coerce(ty: &Type, v: Value) -> Value {
     }
 }
 
-fn num_binop(a: Value, b: Value, fi: fn(i64, i64) -> i64, ff: fn(f64, f64) -> f64) -> Value {
+pub(crate) fn num_binop(
+    a: Value,
+    b: Value,
+    fi: fn(i64, i64) -> i64,
+    ff: fn(f64, f64) -> f64,
+) -> Value {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => Value::Int(fi(x, y)),
         _ => Value::Double(ff(a.as_f64(), b.as_f64())),
     }
 }
 
-fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
     use Value::{Double, Int};
     let both_int = matches!((l, r), (Int(_), Int(_)));
     Ok(match op {
@@ -869,6 +922,14 @@ fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
             }
             Int(l.as_i64().wrapping_rem(d))
         }
+        // Integer operands compare as integers: converting to f64 first
+        // loses precision for |v| >= 2^53 and misorders such values.
+        BinOp::Lt if both_int => Int(i64::from(l.as_i64() < r.as_i64())),
+        BinOp::Le if both_int => Int(i64::from(l.as_i64() <= r.as_i64())),
+        BinOp::Gt if both_int => Int(i64::from(l.as_i64() > r.as_i64())),
+        BinOp::Ge if both_int => Int(i64::from(l.as_i64() >= r.as_i64())),
+        BinOp::Eq if both_int => Int(i64::from(l.as_i64() == r.as_i64())),
+        BinOp::Ne if both_int => Int(i64::from(l.as_i64() != r.as_i64())),
         BinOp::Lt => Int(i64::from(l.as_f64() < r.as_f64())),
         BinOp::Le => Int(i64::from(l.as_f64() <= r.as_f64())),
         BinOp::Gt => Int(i64::from(l.as_f64() > r.as_f64())),
@@ -1110,6 +1171,72 @@ mod tests {
         assert!(m.flops >= 64);
         assert!(m.time_ms > 0.0);
         assert!(m.cache.accesses >= 128);
+    }
+
+    #[test]
+    fn int_comparisons_above_2_53_are_exact() {
+        // 2^53 + 1 and 2^53 are equal as f64; as i64 they are not. The
+        // old float-routed comparisons got all of these wrong.
+        let m = run(r#"double A[3];
+            void kernel() {
+                A[0] = (double)(9007199254740993 > 9007199254740992);
+                A[1] = (double)(9007199254740993 == 9007199254740992);
+                A[2] = (double)(9007199254740993 != 9007199254740992);
+            }"#);
+        let expect = run("double A[3];\nvoid kernel() { A[0] = 1.0; A[1] = 0.0; A[2] = 1.0; }");
+        assert_eq!(m.checksum, expect.checksum);
+        // Mixed int/double comparisons still promote to f64.
+        let mixed = run("double A[1];\nvoid kernel() { A[0] = (double)(1 < 1.5); }");
+        let mixed_expect = run("double A[1];\nvoid kernel() { A[0] = 1.0; }");
+        assert_eq!(mixed.checksum, mixed_expect.checksum);
+    }
+
+    #[test]
+    fn compound_assign_runs_side_effecting_index_once() {
+        // The old read-modify-write evaluated the subscript chain twice
+        // (once to read, once to write): `i` ended up at 2 and the sum
+        // landed in A[2] while A[1] held the stale value.
+        let m = run(r#"double A[8];
+            void kernel() {
+                int i = 0;
+                A[(i = i + 1)] += 2.0;
+                A[0] = (double)i;
+            }"#);
+        let expect = run(r#"double A[8];
+            void kernel() {
+                A[1] = A[1] + 2.0;
+                A[0] = 1.0;
+            }"#);
+        assert_eq!(m.checksum, expect.checksum);
+    }
+
+    #[test]
+    fn compound_assign_charges_subscripts_once() {
+        let compound = run("double A[8];\nvoid kernel() { A[5] += 1.0; }");
+        let expanded = run("double A[8];\nvoid kernel() { A[5] = A[5] + 1.0; }");
+        assert_eq!(compound.checksum, expanded.checksum, "same semantics");
+        // One located address, one subscript evaluation: strictly fewer
+        // interpreted ops and cycles than the expanded spelling, but
+        // still both cache accesses of a read-modify-write.
+        assert!(
+            compound.ops < expanded.ops,
+            "ops {} vs {}",
+            compound.ops,
+            expanded.ops
+        );
+        assert!(compound.cycles < expanded.cycles);
+        assert_eq!(compound.cache.accesses, expanded.cache.accesses);
+    }
+
+    #[test]
+    fn invalid_cache_geometry_is_an_error_not_a_panic() {
+        let program =
+            locus_srcir::parse_program("double A[4];\nvoid kernel() { A[0] = 1.0; }").unwrap();
+        let mut cfg = MachineConfig::scaled_small();
+        // 48 KB / 64 B / 8 ways = 96 sets: not a power of two.
+        cfg.cache.levels[0].capacity = 48 * 1024;
+        let err = Machine::new(cfg).run(&program, "kernel").unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -40,15 +40,37 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod cache;
+mod compile;
 pub mod cost;
 pub mod interp;
+mod peephole;
+mod vm;
 
+pub use bytecode::Exe;
 pub use cache::{CacheConfig, CacheHierarchy, CacheStats, Level};
 pub use cost::{CostModel, OmpModel};
 pub use interp::{Interp, Measurement, RuntimeError};
 
 use locus_srcir::ast::Program;
+
+/// Which execution engine [`Machine::run`] uses.
+///
+/// Both engines implement the *same* semantics and performance model
+/// and produce bit-identical [`Measurement`]s (asserted by the
+/// differential suite in `tests/vm_equivalence.rs`); they differ only
+/// in wall-clock speed. The tree interpreter remains the reference
+/// oracle; the bytecode VM is the production path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Walk the AST directly ([`Interp`]): simple, slow, the oracle.
+    Tree,
+    /// Compile to flat bytecode once, then execute in a stack VM:
+    /// scalars become frame slots, array names dense ids, loops jumps.
+    #[default]
+    Bytecode,
+}
 
 /// Full machine description: cores, vector units, cache hierarchy and
 /// operation costs.
@@ -73,6 +95,11 @@ pub struct MachineConfig {
     /// vectorize under `#pragma ivdep` / `#pragma vector always` — the
     /// reason the paper's stencil program inserts those pragmas.
     pub auto_vectorize: bool,
+    /// Execution engine (defaults to the bytecode VM). Deliberately
+    /// *excluded* from [`MachineConfig::digest`]: the engines are
+    /// bit-identical, so stored measurements replay across either and
+    /// persistent-store keys stay stable.
+    pub engine: ExecEngine,
 }
 
 impl MachineConfig {
@@ -87,6 +114,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             max_ops: 2_000_000_000,
             auto_vectorize: true,
+            engine: ExecEngine::Bytecode,
         }
     }
 
@@ -103,6 +131,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             max_ops: 400_000_000,
             auto_vectorize: true,
+            engine: ExecEngine::Bytecode,
         }
     }
 
@@ -123,10 +152,19 @@ impl MachineConfig {
         self
     }
 
+    /// Returns a copy running on a different execution engine.
+    pub fn with_engine(mut self, engine: ExecEngine) -> MachineConfig {
+        self.engine = engine;
+        self
+    }
+
     /// A stable 64-bit FNV-1a digest over every field that influences a
     /// measurement: core count, vector width, clock, the full cache
     /// geometry, every cost-model constant (via float bit patterns, so
     /// the digest is exact), the fuel limit and the auto-vectorizer flag.
+    /// The [`ExecEngine`] is deliberately not part of the digest — both
+    /// engines produce bit-identical measurements, so records written
+    /// under one engine stay valid under the other.
     ///
     /// The persistent tuning store keys records by this digest: a stored
     /// measurement is only replayed onto a machine that would reproduce
@@ -203,8 +241,21 @@ impl Machine {
     /// Returns [`RuntimeError`] for undefined names, out-of-bounds
     /// accesses, unsupported constructs, or fuel exhaustion.
     pub fn run(&self, program: &Program, entry: &str) -> Result<Measurement, RuntimeError> {
-        let mut interp = Interp::new(program, &self.config)?;
-        interp.run(entry)
+        match self.config.engine {
+            ExecEngine::Tree => {
+                let mut interp = Interp::new(program, &self.config)?;
+                interp.run(entry)
+            }
+            ExecEngine::Bytecode => {
+                // Validate the cache geometry *before* compiling so
+                // configuration errors take precedence over program
+                // errors, matching `Interp::new`'s order.
+                let cache = cache::CacheHierarchy::new(&self.config.cache)
+                    .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+                let exe = compile::compile(program, &self.config, entry)?;
+                vm::run(&exe, &self.config, cache)
+            }
+        }
     }
 }
 

@@ -1,0 +1,555 @@
+//! Measurement-preserving peephole pass over compiled bytecode.
+//!
+//! Two rewrites, applied to a fixpoint:
+//!
+//! 1. **Fuel commuting** — a [`Insn::Fuel`] bubbles leftward across any
+//!    instruction that can neither raise an error nor transfer control.
+//!    The fuel check's only observable is *which* error a run ends with
+//!    (and fuel exhaustion returns no measurement at all), so moving
+//!    the tick across error-free straight-line code is invisible; it
+//!    exposes adjacent instruction pairs to rule 2.
+//! 2. **Pair fusion** — adjacent pairs combine into the superinstructions
+//!    of [`crate::bytecode`]: `LoadSlot + Bin` → `BinSlotR`,
+//!    `BinSlotInt + JumpIfFalse` → `BinSlotIntBr` (a whole `i < N`), …
+//!    Each superinstruction performs the exact composition of the pair —
+//!    same charges, flops and errors in the same order — so
+//!    measurements stay bit-identical (held to by
+//!    `tests/vm_equivalence.rs`).
+//!
+//! Both rewrites refuse to touch a position that is a jump target: a
+//! jump may never land *inside* a fused pair or skip a commuted tick.
+//! Fusion changes instruction indices, so every pass rebuilds an
+//! old-to-new index map and rewrites all jump targets through it.
+
+use locus_srcir::ast::BinOp;
+
+use crate::bytecode::{AccessTail, Insn};
+
+/// Optimizes a compiled instruction sequence.
+pub(crate) fn optimize(mut code: Vec<Insn>) -> Vec<Insn> {
+    // Each round strictly shrinks the code or swaps fuel leftward (which
+    // itself terminates); the explicit bound is belt and braces.
+    for _ in 0..16 {
+        let targets = jump_targets(&code);
+        // Commute to a fixpoint before fusing: the fuel must fully clear
+        // a pair (e.g. `PushInt, Fuel, Bin`) or the early `Bin +
+        // JumpIfFalse` fusion shadows the richer `PushInt + Bin` one.
+        let mut commuted = false;
+        while commute_fuel(&mut code, &targets) {
+            commuted = true;
+        }
+        let fused = fuse_pairs(&mut code, &targets);
+        if !commuted && !fused {
+            break;
+        }
+    }
+    code
+}
+
+fn jump_targets(code: &[Insn]) -> Vec<bool> {
+    let mut t = vec![false; code.len() + 1];
+    for insn in code {
+        if let Some(target) = jump_target(insn) {
+            t[target as usize] = true;
+        }
+    }
+    t
+}
+
+fn jump_target(insn: &Insn) -> Option<u32> {
+    match insn {
+        Insn::Jump(t)
+        | Insn::JumpIfFalse(t)
+        | Insn::AndShortCircuit(t)
+        | Insn::OrShortCircuit(t)
+        | Insn::BinBr(_, _, t)
+        | Insn::BinIntBr(_, _, _, t)
+        | Insn::BinSlotIntBr { t, .. }
+        | Insn::CompoundSlotIntStoreJump(_, _, _, _, _, t) => Some(*t),
+        _ => None,
+    }
+}
+
+fn set_jump_target(insn: &mut Insn, target: u32) {
+    match insn {
+        Insn::Jump(t)
+        | Insn::JumpIfFalse(t)
+        | Insn::AndShortCircuit(t)
+        | Insn::OrShortCircuit(t)
+        | Insn::BinBr(_, _, t)
+        | Insn::BinIntBr(_, _, _, t)
+        | Insn::BinSlotIntBr { t, .. }
+        | Insn::CompoundSlotIntStoreJump(_, _, _, _, _, t) => *t = target,
+        _ => unreachable!("not a jump"),
+    }
+}
+
+/// Whether a fuel tick may move from after `insn` to before it: the
+/// instruction must not error (else the tick's position picks which
+/// error surfaces first) and must not jump (else the tick could be
+/// skipped or double-counted).
+fn commutes_with_fuel(insn: &Insn) -> bool {
+    match insn {
+        Insn::PushInt(_)
+        | Insn::PushFloat(_)
+        | Insn::Pop
+        | Insn::Dup
+        | Insn::LoadSlot(_)
+        | Insn::StoreSlot(_)
+        | Insn::DeclSlot(..)
+        | Insn::DeclDefault(..)
+        | Insn::Charge(_)
+        | Insn::Charge2(..)
+        | Insn::Neg(_)
+        | Insn::Not(_)
+        | Insn::Truthy
+        | Insn::Cast(..)
+        // Array loads/stores touch the cache and cycles but cannot
+        // error: the preceding `IndexDim`s bounds-checked the flat
+        // offset.
+        | Insn::LoadArray(_)
+        | Insn::StoreArray(_)
+        | Insn::StoreArrayPop(_) => true,
+        Insn::Bin(op, _)
+        | Insn::CompoundBin(op, _)
+        | Insn::BinInt(op, ..)
+        | Insn::BinFloat(op, ..)
+        | Insn::BinSlotR(op, ..)
+        | Insn::BinSlotInt(op, ..)
+        | Insn::CompoundSlot(op, ..)
+        | Insn::CompoundSlotInt(op, ..)
+        | Insn::CompoundSlotStore(op, ..)
+        | Insn::CompoundSlotIntStore(op, ..)
+        | Insn::LoadArrayBin(_, op, _) => !matches!(op, BinOp::Div | BinOp::Rem),
+        _ => false,
+    }
+}
+
+/// Bubbles `Fuel` instructions leftward over commuting instructions.
+/// Swapping positions `i-1, i` is refused when `i` is a jump target (a
+/// jump to `i` must keep executing exactly the instructions it did).
+fn commute_fuel(code: &mut [Insn], targets: &[bool]) -> bool {
+    let mut changed = false;
+    for i in 1..code.len() {
+        if matches!(code[i], Insn::Fuel(_)) && !targets[i] && commutes_with_fuel(&code[i - 1]) {
+            code.swap(i - 1, i);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One greedy left-to-right fusion pass; returns whether anything fused.
+fn fuse_pairs(code: &mut Vec<Insn>, targets: &[bool]) -> bool {
+    let mut out: Vec<Insn> = Vec::with_capacity(code.len());
+    let mut map: Vec<u32> = vec![0; code.len() + 1];
+    let mut changed = false;
+    let mut i = 0;
+    while i < code.len() {
+        map[i] = out.len() as u32;
+        if i + 1 < code.len() && !targets[i + 1] {
+            if let Some(fused) = fuse_pair(&code[i], &code[i + 1]) {
+                // No jump targets the consumed second element, but keep
+                // the map total.
+                map[i + 1] = out.len() as u32;
+                out.push(fused);
+                changed = true;
+                i += 2;
+                continue;
+            }
+        }
+        out.push(code[i]);
+        i += 1;
+    }
+    map[code.len()] = out.len() as u32;
+    if changed {
+        for insn in &mut out {
+            if let Some(t) = jump_target(insn) {
+                set_jump_target(insn, map[t as usize]);
+            }
+        }
+        *code = out;
+    }
+    changed
+}
+
+/// The chain-ending index steps that can carry an [`AccessTail`]:
+/// returns the indexed array and the current tail.
+fn step_tail(insn: &Insn) -> Option<(u32, AccessTail)> {
+    match insn {
+        Insn::IndexDimSlot { id, tail, .. }
+        | Insn::IndexDimBinSlotInt { id, tail, .. }
+        | Insn::Index2Slot { id, tail, .. }
+        | Insn::Index3BinSlotInt { id, tail, .. } => Some((*id, *tail)),
+        _ => None,
+    }
+}
+
+/// Copies a chain-ending step, replacing its tail.
+fn with_tail(insn: &Insn, tail: AccessTail) -> Insn {
+    let mut out = *insn;
+    match &mut out {
+        Insn::IndexDimSlot { tail: t, .. }
+        | Insn::IndexDimBinSlotInt { tail: t, .. }
+        | Insn::Index2Slot { tail: t, .. }
+        | Insn::Index3BinSlotInt { tail: t, .. } => *t = tail,
+        _ => unreachable!("not a chain-ending step"),
+    }
+    out
+}
+
+/// Copies a chain-ending step, adding `n` to its trailing fuel field.
+fn add_step_fuel(insn: &Insn, n: u32) -> Insn {
+    let mut out = *insn;
+    match &mut out {
+        Insn::IndexDimSlot { fuel, .. } | Insn::IndexDimBinSlotInt { fuel, .. } => *fuel += n,
+        Insn::Index2Slot { f1, .. } | Insn::Index3BinSlotInt { f1, .. } => *f1 += n,
+        _ => unreachable!("not a chain-ending step"),
+    }
+    out
+}
+
+/// Whether a fuel tick may move from after a fused access tail to
+/// before it (the step's trailing fuel runs before the tail). Same
+/// criterion as [`commutes_with_fuel`]: the access itself cannot
+/// error, only a `Div`/`Rem` in a `LoadBin` can.
+fn fuel_commutes_with_tail(tail: AccessTail) -> bool {
+    match tail {
+        AccessTail::None | AccessTail::Load | AccessTail::StorePop => true,
+        AccessTail::LoadBin(op, _) => !matches!(op, BinOp::Div | BinOp::Rem),
+    }
+}
+
+fn fuse_pair(a: &Insn, b: &Insn) -> Option<Insn> {
+    // Chain-ending fusions: the access the chain's flat index feeds
+    // joins the last index step as its tail, and a fuel trapped after
+    // the step is absorbed into the step's trailing fuel field (when a
+    // tail is already fused, the tick moves before the access — legal
+    // exactly when fuel commutes with that access).
+    if let Some((id, tail)) = step_tail(a) {
+        if let Insn::Fuel(n) = *b {
+            if fuel_commutes_with_tail(tail) {
+                return Some(add_step_fuel(a, n));
+            }
+            return None;
+        }
+        if matches!(tail, AccessTail::None) {
+            let fused_tail = match *b {
+                Insn::LoadArray(id2) if id2 == id => Some(AccessTail::Load),
+                Insn::LoadArrayBin(id2, op, c) if id2 == id => Some(AccessTail::LoadBin(op, c)),
+                Insn::StoreArrayPop(id2) if id2 == id => Some(AccessTail::StorePop),
+                _ => None,
+            };
+            if let Some(fused_tail) = fused_tail {
+                return Some(with_tail(a, fused_tail));
+            }
+        }
+    }
+    Some(match (*a, *b) {
+        (Insn::Fuel(m), Insn::Fuel(n)) => Insn::Fuel(m + n),
+        (Insn::PushInt(v), Insn::Bin(op, c)) => Insn::BinInt(op, c, v),
+        (Insn::PushFloat(v), Insn::Bin(op, c)) => Insn::BinFloat(op, c, v),
+        (Insn::LoadSlot(s), Insn::Bin(op, c)) => Insn::BinSlotR(op, c, s),
+        (Insn::LoadSlot(s), Insn::BinInt(op, c, v)) => Insn::BinSlotInt(op, c, s, v),
+        (Insn::Bin(op, c), Insn::JumpIfFalse(t)) => Insn::BinBr(op, c, t),
+        (Insn::BinInt(op, c, v), Insn::JumpIfFalse(t)) => Insn::BinIntBr(op, c, v, t),
+        (Insn::BinSlotInt(op, c, s, v), Insn::JumpIfFalse(t)) => Insn::BinSlotIntBr {
+            fuel: 0,
+            op,
+            cost: c,
+            s,
+            rhs: v,
+            t,
+            pfuel: 0,
+            pcost: 0.0,
+        },
+        // A fuel the back edge lands on (so it cannot commute away) is
+        // absorbed as the condition's prefix: the fused insn still ticks
+        // before comparing.
+        (
+            Insn::Fuel(n),
+            Insn::BinSlotIntBr {
+                fuel,
+                op,
+                cost,
+                s,
+                rhs,
+                t,
+                pfuel,
+                pcost,
+            },
+        ) => Insn::BinSlotIntBr {
+            fuel: fuel + n,
+            op,
+            cost,
+            s,
+            rhs,
+            t,
+            pfuel,
+            pcost,
+        },
+        // The loop body's prologue — the fuel and charge the branch
+        // falls through to — runs exactly when the branch is not taken,
+        // so it folds into the branch's fall-through suffix. (An
+        // already-absorbed charge keeps its place: fuel commutes with a
+        // charge, which cannot error.)
+        (
+            Insn::BinSlotIntBr {
+                fuel,
+                op,
+                cost,
+                s,
+                rhs,
+                t,
+                pfuel,
+                pcost,
+            },
+            Insn::Fuel(n),
+        ) => Insn::BinSlotIntBr {
+            fuel,
+            op,
+            cost,
+            s,
+            rhs,
+            t,
+            pfuel: pfuel + n,
+            pcost,
+        },
+        (
+            Insn::BinSlotIntBr {
+                fuel,
+                op,
+                cost,
+                s,
+                rhs,
+                t,
+                pfuel,
+                pcost: 0.0,
+            },
+            Insn::Charge(c),
+        ) => Insn::BinSlotIntBr {
+            fuel,
+            op,
+            cost,
+            s,
+            rhs,
+            t,
+            pfuel,
+            pcost: c,
+        },
+        (Insn::LoadSlot(s), Insn::CompoundBin(op, c)) => Insn::CompoundSlot(op, c, s),
+        (Insn::PushInt(v), Insn::CompoundSlot(op, c, s)) => Insn::CompoundSlotInt(op, c, s, v),
+        (Insn::CompoundSlot(op, c, s), Insn::StoreSlot(d)) => Insn::CompoundSlotStore(op, c, s, d),
+        (Insn::CompoundSlotInt(op, c, s, v), Insn::StoreSlot(d)) => {
+            Insn::CompoundSlotIntStore(op, c, s, v, d)
+        }
+        // A loop's step and its back edge: the jump is unconditional,
+        // so gluing it onto the store changes nothing observable.
+        (Insn::CompoundSlotIntStore(op, c, s, v, d), Insn::Jump(t)) => {
+            Insn::CompoundSlotIntStoreJump(op, c, s, v, d, t)
+        }
+        (
+            Insn::LoadSlot(s),
+            Insn::IndexDim {
+                id,
+                dim,
+                first,
+                cost,
+            },
+        ) => Insn::IndexDimSlot {
+            id,
+            dim,
+            first,
+            cost,
+            s,
+            fuel: 0,
+            tail: AccessTail::None,
+        },
+        (
+            Insn::PushInt(v),
+            Insn::IndexDim {
+                id,
+                dim,
+                first,
+                cost,
+            },
+        ) => Insn::IndexDimInt {
+            id,
+            dim,
+            first,
+            cost,
+            v,
+            fuel: 0,
+        },
+        // A fuel trapped behind the index op (it cannot commute across
+        // something that errors) is absorbed as its suffix: the fused
+        // insn indexes first, then ticks — the original order. (The
+        // chain-ending steps get the same treatment in the generic
+        // block above.)
+        (
+            Insn::IndexDimInt {
+                id,
+                dim,
+                first,
+                cost,
+                v,
+                fuel,
+            },
+            Insn::Fuel(n),
+        ) => Insn::IndexDimInt {
+            id,
+            dim,
+            first,
+            cost,
+            v,
+            fuel: fuel + n,
+        },
+        (Insn::LoadArray(id), Insn::Bin(op, c)) => Insn::LoadArrayBin(id, op, c),
+        (Insn::StoreArray(id), Insn::Pop) => Insn::StoreArrayPop(id),
+        (
+            Insn::BinSlotInt(op, bcost, s, v),
+            Insn::IndexDim {
+                id,
+                dim,
+                first,
+                cost,
+            },
+        ) => Insn::IndexDimBinSlotInt {
+            id,
+            dim,
+            first,
+            cost,
+            op,
+            bcost,
+            s,
+            v,
+            fuel: 0,
+            tail: AccessTail::None,
+        },
+        (
+            Insn::BinInt(op, bcost, v),
+            Insn::IndexDim {
+                id,
+                dim,
+                first,
+                cost,
+            },
+        ) => Insn::IndexDimBinInt {
+            id,
+            dim,
+            first,
+            cost,
+            op,
+            bcost,
+            v,
+            fuel: 0,
+        },
+        (
+            Insn::IndexDimBinInt {
+                id,
+                dim,
+                first,
+                cost,
+                op,
+                bcost,
+                v,
+                fuel,
+            },
+            Insn::Fuel(n),
+        ) => Insn::IndexDimBinInt {
+            id,
+            dim,
+            first,
+            cost,
+            op,
+            bcost,
+            v,
+            fuel: fuel + n,
+        },
+        (Insn::Charge(a), Insn::Charge(b)) => Insn::Charge2(a, b),
+        // Two slot subscripts of one chain fuse when they address
+        // adjacent dimensions of the same array (a chain's interior
+        // subscript always has `first: false`, so a pair never spans
+        // two chains — chains end in an array access instruction). The
+        // first step must have no access tail (it is mid-chain); the
+        // second's tail — possibly already fused — carries over.
+        (
+            Insn::IndexDimSlot {
+                id,
+                dim,
+                first,
+                cost: c0,
+                s: s0,
+                fuel: f0,
+                tail: AccessTail::None,
+            },
+            Insn::IndexDimSlot {
+                id: id2,
+                dim: dim2,
+                first: false,
+                cost: c1,
+                s: s1,
+                fuel: f1,
+                tail,
+            },
+        ) if id2 == id && dim2 == dim + 1 => Insn::Index2Slot {
+            id,
+            dim,
+            first,
+            c0,
+            s0,
+            f0,
+            c1,
+            s1,
+            f1,
+            tail,
+        },
+        // A `slot ⊕ const` first subscript followed by a slot pair —
+        // the whole `A[t % 2][i][j]` chain of a time-toggled stencil.
+        // Same chain-adjacency argument as above.
+        (
+            Insn::IndexDimBinSlotInt {
+                id,
+                dim,
+                first,
+                cost,
+                op,
+                bcost,
+                s,
+                v,
+                fuel,
+                tail: AccessTail::None,
+            },
+            Insn::Index2Slot {
+                id: id2,
+                dim: dim2,
+                first: false,
+                c0,
+                s0,
+                f0,
+                c1,
+                s1,
+                f1,
+                tail,
+            },
+        ) if id2 == id && dim2 == dim + 1 => Insn::Index3BinSlotInt {
+            id,
+            dim,
+            first,
+            op,
+            bcost,
+            s,
+            v,
+            cost,
+            fuel,
+            c0,
+            s0,
+            f0,
+            c1,
+            s1,
+            f1,
+            tail,
+        },
+        _ => return None,
+    })
+}

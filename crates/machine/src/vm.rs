@@ -1,0 +1,1030 @@
+//! Stack VM for the compiled execution engine.
+//!
+//! Executes [`crate::bytecode::Exe`] while charging the exact cost,
+//! cache, OpenMP and vectorizer model of the tree interpreter: every
+//! fuel tick, cycle charge, cache access and flop increment happens in
+//! the same order with the same values, so `Measurement`s are
+//! bit-identical (including the f64 `cycles` accumulator, which is
+//! sensitive to addition order). `tests/vm_equivalence.rs` holds the
+//! two engines to that contract.
+
+use locus_srcir::ast::{BinOp, OmpSchedule};
+
+use crate::bytecode::{
+    advance_base, array_init_data, AccessTail, ArrayCell, Builtin, CastKind, Exe, Insn, ThrowKind,
+};
+use crate::cache::CacheHierarchy;
+use crate::cost::OmpModel;
+use crate::interp::{apply_bin, num_binop, Measurement, RuntimeError, Value};
+use crate::MachineConfig;
+
+/// One `omp parallel for` region in flight. Inactive contexts model
+/// pragma'd loops nested inside an already-parallel region, which the
+/// tree serializes.
+struct ParCtx {
+    active: bool,
+    schedule: Option<OmpSchedule>,
+    iter_start: f64,
+    iter_costs: Vec<f64>,
+}
+
+/// Executes a compiled program. The caller supplies the (already
+/// validated) cache hierarchy so configuration errors surface before
+/// compilation, in the same order as `Interp::new`.
+pub(crate) fn run(
+    exe: &Exe,
+    config: &MachineConfig,
+    cache: CacheHierarchy,
+) -> Result<Measurement, RuntimeError> {
+    let mut slots = vec![Value::Int(0); exe.n_slots];
+    slots[..exe.global_values.len()].copy_from_slice(&exe.global_values);
+    let mut vm = Vm {
+        exe,
+        config,
+        w: config
+            .cost
+            .vector_discount
+            .min(config.vector_width as f64)
+            .max(1.0),
+        slots,
+        arrays: exe.arrays.clone(),
+        next_base: exe.next_base,
+        cache,
+        stack: Vec::with_capacity(32),
+        cycles: 0.0,
+        ops: 0,
+        flops: 0,
+        vector_depth: 0,
+        in_parallel: false,
+        par_stack: Vec::new(),
+    };
+    vm.exec()?;
+    Ok(vm.measurement())
+}
+
+struct Vm<'a> {
+    exe: &'a Exe,
+    config: &'a MachineConfig,
+    /// Precomputed vector discount divisor (pure function of config).
+    w: f64,
+    slots: Vec<Value>,
+    arrays: Vec<Option<ArrayCell>>,
+    next_base: u64,
+    cache: CacheHierarchy,
+    stack: Vec<Value>,
+    cycles: f64,
+    ops: u64,
+    flops: u64,
+    vector_depth: usize,
+    in_parallel: bool,
+    par_stack: Vec<ParCtx>,
+}
+
+impl Vm<'_> {
+    fn exec(&mut self) -> Result<(), RuntimeError> {
+        // `exe` is a plain `&'a Exe` — reading code through the copy
+        // keeps the borrow independent of `&mut self` in the arms.
+        let exe = self.exe;
+        let mut pc = 0usize;
+        loop {
+            let insn = exe.code[pc];
+            pc += 1;
+            match insn {
+                Insn::Fuel(n) => {
+                    self.ops += u64::from(n);
+                    if self.ops > self.config.max_ops {
+                        return Err(RuntimeError::FuelExhausted);
+                    }
+                }
+                Insn::PushInt(v) => self.stack.push(Value::Int(v)),
+                Insn::PushFloat(v) => self.stack.push(Value::Double(v)),
+                Insn::Pop => {
+                    self.pop();
+                }
+                Insn::Dup => {
+                    let v = *self.stack.last().expect("Dup on empty stack");
+                    self.stack.push(v);
+                }
+                Insn::Jump(t) => pc = t as usize,
+                Insn::JumpIfFalse(t) => {
+                    if !self.pop().truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Insn::LoadSlot(s) => self.stack.push(self.slots[s as usize]),
+                Insn::StoreSlot(s) => {
+                    let v = self.pop();
+                    self.write_slot(s as usize, v);
+                }
+                Insn::LoadChain(i) => {
+                    let slot = self.resolve_chain(i)?;
+                    self.stack.push(self.slots[slot]);
+                }
+                Insn::StoreChain(i) => {
+                    let slot = self.resolve_chain(i)?;
+                    let v = self.pop();
+                    self.write_slot(slot, v);
+                }
+                Insn::DeclSlot(s, kind) => {
+                    let v = self.pop();
+                    self.slots[s as usize] = match kind {
+                        CastKind::ToFloat => Value::Double(v.as_f64()),
+                        CastKind::ToInt => Value::Int(v.as_i64()),
+                        CastKind::Keep => v,
+                    };
+                }
+                Insn::DeclDefault(s, is_float) => {
+                    self.slots[s as usize] = if is_float {
+                        Value::Double(0.0)
+                    } else {
+                        Value::Int(0)
+                    };
+                }
+                Insn::Charge(c) => self.charge(c),
+                Insn::Neg(cost) => {
+                    let v = self.pop();
+                    self.charge(cost);
+                    if matches!(v, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    self.stack.push(match v {
+                        Value::Int(x) => Value::Int(-x),
+                        Value::Double(x) => Value::Double(-x),
+                    });
+                }
+                Insn::Not(cost) => {
+                    let v = self.pop();
+                    self.charge(cost);
+                    self.stack.push(Value::Int(i64::from(!v.truthy())));
+                }
+                Insn::Bin(op, cost) => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) || matches!(r, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, l, r)?;
+                    self.stack.push(v);
+                }
+                Insn::CompoundBin(op, cost) => {
+                    let old = self.pop();
+                    let rhs = self.pop();
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, rhs)?;
+                    self.stack.push(v);
+                }
+                Insn::Truthy => {
+                    let v = self.pop();
+                    self.stack.push(Value::Int(i64::from(v.truthy())));
+                }
+                Insn::AndShortCircuit(t) => {
+                    if !self.pop().truthy() {
+                        self.stack.push(Value::Int(0));
+                        pc = t as usize;
+                    }
+                }
+                Insn::OrShortCircuit(t) => {
+                    if self.pop().truthy() {
+                        self.stack.push(Value::Int(1));
+                        pc = t as usize;
+                    }
+                }
+                Insn::Cast(kind, cost) => {
+                    let v = self.pop();
+                    self.charge(cost);
+                    self.stack.push(match kind {
+                        CastKind::ToFloat => Value::Double(v.as_f64()),
+                        CastKind::ToInt => Value::Int(v.as_i64()),
+                        CastKind::Keep => v,
+                    });
+                }
+                Insn::Call(f, cost) => {
+                    self.charge(cost);
+                    let v = match f {
+                        Builtin::Min => {
+                            let b = self.pop();
+                            let a = self.pop();
+                            num_binop(a, b, i64::min, f64::min)
+                        }
+                        Builtin::Max => {
+                            let b = self.pop();
+                            let a = self.pop();
+                            num_binop(a, b, i64::max, f64::max)
+                        }
+                        Builtin::Abs => match self.pop() {
+                            Value::Int(v) => Value::Int(v.abs()),
+                            Value::Double(v) => Value::Double(v.abs()),
+                        },
+                        Builtin::Sqrt => {
+                            let a = self.pop();
+                            self.flops += 1;
+                            self.charge(self.config.cost.div);
+                            Value::Double(a.as_f64().sqrt())
+                        }
+                        Builtin::Floor => Value::Double(self.pop().as_f64().floor()),
+                        Builtin::Ceil => Value::Double(self.pop().as_f64().ceil()),
+                    };
+                    self.stack.push(v);
+                }
+                Insn::ArrayCheck(id, subs) => {
+                    let name = &self.exe.array_names[id as usize];
+                    let Some(cell) = &self.arrays[id as usize] else {
+                        return Err(RuntimeError::UndefinedVariable(name.clone()));
+                    };
+                    let ndims = cell.dims.len();
+                    if subs as usize != ndims {
+                        return Err(RuntimeError::Unsupported(format!(
+                            "array `{name}` used with {subs} subscripts but declared with {ndims}"
+                        )));
+                    }
+                }
+                Insn::IndexDim {
+                    id,
+                    dim,
+                    first,
+                    cost,
+                } => {
+                    let idx = self.pop().as_i64();
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("ArrayCheck precedes IndexDim");
+                    let extent = cell.dims[dim as usize];
+                    if idx < 0 || idx >= extent as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len: cell.data.len(),
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * extent as i64 + idx
+                    };
+                    self.stack.push(Value::Int(flat));
+                    self.charge(cost);
+                }
+                Insn::LoadArray(id) => self.load_array(id),
+                Insn::StoreArray(id) => {
+                    let flat = self.pop().as_i64() as usize;
+                    let value = self.pop();
+                    let cell = self.arrays[id as usize]
+                        .as_mut()
+                        .expect("ArrayCheck precedes StoreArray");
+                    let addr = cell.base + flat as u64 * 8;
+                    cell.data[flat] = if cell.is_float {
+                        value.as_f64()
+                    } else {
+                        value.as_i64() as f64
+                    };
+                    let (_, latency) = self.cache.access(addr);
+                    self.cycles += latency as f64;
+                    self.stack.push(value);
+                }
+                Insn::RmwArray(id, op, cost) => {
+                    let flat = self.pop().as_i64() as usize;
+                    let rhs = self.pop();
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("ArrayCheck precedes RmwArray");
+                    let addr = cell.base + flat as u64 * 8;
+                    let is_float = cell.is_float;
+                    let raw = cell.data[flat];
+                    let (_, latency) = self.cache.access(addr);
+                    self.cycles += latency as f64;
+                    let old = if is_float {
+                        Value::Double(raw)
+                    } else {
+                        Value::Int(raw as i64)
+                    };
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let new = apply_bin(op, old, rhs)?;
+                    let cell = self.arrays[id as usize].as_mut().expect("cell read above");
+                    cell.data[flat] = if is_float {
+                        new.as_f64()
+                    } else {
+                        new.as_i64() as f64
+                    };
+                    let (_, latency) = self.cache.access(addr);
+                    self.cycles += latency as f64;
+                    self.stack.push(new);
+                }
+                Insn::DimCheck(id) => {
+                    let v = *self.stack.last().expect("DimCheck peeks a dimension");
+                    if v.as_i64() <= 0 {
+                        return Err(RuntimeError::BadArrayDim(
+                            self.exe.array_names[id as usize].clone(),
+                        ));
+                    }
+                }
+                Insn::AllocArray { id, dims, is_float } => {
+                    let n = dims as usize;
+                    let at = self.stack.len() - n;
+                    let mut dim_sizes = Vec::with_capacity(n);
+                    let mut len = 1usize;
+                    for v in self.stack.drain(at..) {
+                        let d = v.as_i64() as usize;
+                        dim_sizes.push(d);
+                        len *= d;
+                    }
+                    let base = self.next_base;
+                    self.next_base = advance_base(self.next_base, len);
+                    self.arrays[id as usize] = Some(ArrayCell {
+                        is_float,
+                        data: array_init_data(len, is_float),
+                        base,
+                        dims: dim_sizes,
+                        local: true,
+                    });
+                }
+                Insn::VecEnter => self.vector_depth += 1,
+                Insn::VecLeave => self.vector_depth -= 1,
+                Insn::ParEnter(schedule) => {
+                    let active = !self.in_parallel;
+                    if active {
+                        self.in_parallel = true;
+                    }
+                    self.par_stack.push(ParCtx {
+                        active,
+                        schedule,
+                        iter_start: 0.0,
+                        iter_costs: Vec::new(),
+                    });
+                }
+                Insn::IterStart => {
+                    let cycles = self.cycles;
+                    if let Some(ctx) = self.par_stack.last_mut() {
+                        if ctx.active {
+                            ctx.iter_start = cycles;
+                        }
+                    }
+                }
+                Insn::IterEnd => {
+                    let cycles = self.cycles;
+                    if let Some(ctx) = self.par_stack.last_mut() {
+                        if ctx.active {
+                            let cost = cycles - ctx.iter_start;
+                            ctx.iter_costs.push(cost);
+                        }
+                    }
+                }
+                Insn::ParExit => {
+                    let ctx = self.par_stack.pop().expect("ParEnter precedes ParExit");
+                    self.finish_parallel(ctx);
+                }
+                Insn::Throw(kind, msg) => {
+                    let msg = self.exe.messages[msg as usize].clone();
+                    return Err(match kind {
+                        ThrowKind::UndefinedVariable => RuntimeError::UndefinedVariable(msg),
+                        ThrowKind::UndefinedFunction => RuntimeError::UndefinedFunction(msg),
+                        ThrowKind::Unsupported => RuntimeError::Unsupported(msg),
+                    });
+                }
+                // Fused superinstructions: each arm is the literal
+                // composition of its constituent arms — same charge,
+                // flop and error order (see `crate::peephole`).
+                Insn::BinInt(op, cost, r) => {
+                    let l = self.pop();
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, l, Value::Int(r))?;
+                    self.stack.push(v);
+                }
+                Insn::BinFloat(op, cost, r) => {
+                    let l = self.pop();
+                    self.charge(cost);
+                    self.flops += 1;
+                    let v = apply_bin(op, l, Value::Double(r))?;
+                    self.stack.push(v);
+                }
+                Insn::BinSlotR(op, cost, s) => {
+                    let r = self.slots[s as usize];
+                    let l = self.pop();
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) || matches!(r, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, l, r)?;
+                    self.stack.push(v);
+                }
+                Insn::BinSlotInt(op, cost, s, r) => {
+                    let l = self.slots[s as usize];
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, l, Value::Int(r))?;
+                    self.stack.push(v);
+                }
+                Insn::BinBr(op, cost, t) => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) || matches!(r, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    if !apply_bin(op, l, r)?.truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Insn::BinIntBr(op, cost, r, t) => {
+                    let l = self.pop();
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    if !apply_bin(op, l, Value::Int(r))?.truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Insn::BinSlotIntBr {
+                    fuel,
+                    op,
+                    cost,
+                    s,
+                    rhs,
+                    t,
+                    pfuel,
+                    pcost,
+                } => {
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    let l = self.slots[s as usize];
+                    self.charge(cost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    if !apply_bin(op, l, Value::Int(rhs))?.truthy() {
+                        pc = t as usize;
+                    } else {
+                        // Fall-through prologue absorbed from the loop
+                        // body's leading fuel and charge.
+                        if pfuel > 0 {
+                            self.ops += u64::from(pfuel);
+                            if self.ops > self.config.max_ops {
+                                return Err(RuntimeError::FuelExhausted);
+                            }
+                        }
+                        if pcost != 0.0 {
+                            self.charge(pcost);
+                        }
+                    }
+                }
+                Insn::CompoundSlot(op, cost, s) => {
+                    let old = self.slots[s as usize];
+                    let rhs = self.pop();
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, rhs)?;
+                    self.stack.push(v);
+                }
+                Insn::CompoundSlotInt(op, cost, s, rhs) => {
+                    let old = self.slots[s as usize];
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, Value::Int(rhs))?;
+                    self.stack.push(v);
+                }
+                Insn::CompoundSlotStore(op, cost, s, d) => {
+                    let old = self.slots[s as usize];
+                    let rhs = self.pop();
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, rhs)?;
+                    self.write_slot(d as usize, v);
+                }
+                Insn::CompoundSlotIntStore(op, cost, s, rhs, d) => {
+                    let old = self.slots[s as usize];
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, Value::Int(rhs))?;
+                    self.write_slot(d as usize, v);
+                }
+                Insn::CompoundSlotIntStoreJump(op, cost, s, rhs, d, t) => {
+                    let old = self.slots[s as usize];
+                    self.charge(cost);
+                    if matches!(old, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let v = apply_bin(op, old, Value::Int(rhs))?;
+                    self.write_slot(d as usize, v);
+                    pc = t as usize;
+                }
+                Insn::IndexDimSlot {
+                    id,
+                    dim,
+                    first,
+                    cost,
+                    s,
+                    fuel,
+                    tail,
+                } => {
+                    let idx = self.slots[s as usize].as_i64();
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("validated before IndexDimSlot");
+                    let extent = cell.dims[dim as usize];
+                    if idx < 0 || idx >= extent as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len: cell.data.len(),
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * extent as i64 + idx
+                    };
+                    self.stack.push(Value::Int(flat));
+                    self.charge(cost);
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    self.run_tail(id, tail)?;
+                }
+                Insn::IndexDimInt {
+                    id,
+                    dim,
+                    first,
+                    cost,
+                    v,
+                    fuel,
+                } => {
+                    let idx = v;
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("validated before IndexDimInt");
+                    let extent = cell.dims[dim as usize];
+                    if idx < 0 || idx >= extent as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len: cell.data.len(),
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * extent as i64 + idx
+                    };
+                    self.stack.push(Value::Int(flat));
+                    self.charge(cost);
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                }
+                Insn::LoadArrayBin(id, op, cost) => self.load_array_bin(id, op, cost)?,
+                Insn::IndexDimBinSlotInt {
+                    id,
+                    dim,
+                    first,
+                    cost,
+                    op,
+                    bcost,
+                    s,
+                    v,
+                    fuel,
+                    tail,
+                } => {
+                    let l = self.slots[s as usize];
+                    self.charge(bcost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let idx = apply_bin(op, l, Value::Int(v))?.as_i64();
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("validated before IndexDimBinSlotInt");
+                    let extent = cell.dims[dim as usize];
+                    if idx < 0 || idx >= extent as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len: cell.data.len(),
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * extent as i64 + idx
+                    };
+                    self.stack.push(Value::Int(flat));
+                    self.charge(cost);
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    self.run_tail(id, tail)?;
+                }
+                Insn::IndexDimBinInt {
+                    id,
+                    dim,
+                    first,
+                    cost,
+                    op,
+                    bcost,
+                    v,
+                    fuel,
+                } => {
+                    let l = self.pop();
+                    self.charge(bcost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let idx = apply_bin(op, l, Value::Int(v))?.as_i64();
+                    let cell = self.arrays[id as usize]
+                        .as_ref()
+                        .expect("validated before IndexDimBinInt");
+                    let extent = cell.dims[dim as usize];
+                    if idx < 0 || idx >= extent as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len: cell.data.len(),
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * extent as i64 + idx
+                    };
+                    self.stack.push(Value::Int(flat));
+                    self.charge(cost);
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                }
+                Insn::Charge2(a, b) => {
+                    self.charge(a);
+                    self.charge(b);
+                }
+                Insn::Index2Slot {
+                    id,
+                    dim,
+                    first,
+                    c0,
+                    s0,
+                    f0,
+                    c1,
+                    s1,
+                    f1,
+                    tail,
+                } => {
+                    let (e0, e1, len) = {
+                        let cell = self.arrays[id as usize]
+                            .as_ref()
+                            .expect("validated before Index2Slot");
+                        (
+                            cell.dims[dim as usize],
+                            cell.dims[dim as usize + 1],
+                            cell.data.len(),
+                        )
+                    };
+                    let idx0 = self.slots[s0 as usize].as_i64();
+                    if idx0 < 0 || idx0 >= e0 as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx0,
+                            len,
+                        });
+                    }
+                    let acc = if first {
+                        idx0
+                    } else {
+                        self.pop().as_i64() * e0 as i64 + idx0
+                    };
+                    self.charge(c0);
+                    if f0 > 0 {
+                        self.ops += u64::from(f0);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    let idx1 = self.slots[s1 as usize].as_i64();
+                    if idx1 < 0 || idx1 >= e1 as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx1,
+                            len,
+                        });
+                    }
+                    self.stack.push(Value::Int(acc * e1 as i64 + idx1));
+                    self.charge(c1);
+                    if f1 > 0 {
+                        self.ops += u64::from(f1);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    self.run_tail(id, tail)?;
+                }
+                Insn::Index3BinSlotInt {
+                    id,
+                    dim,
+                    first,
+                    op,
+                    bcost,
+                    s,
+                    v,
+                    cost,
+                    fuel,
+                    c0,
+                    s0,
+                    f0,
+                    c1,
+                    s1,
+                    f1,
+                    tail,
+                } => {
+                    let (e, e0, e1, len) = {
+                        let cell = self.arrays[id as usize]
+                            .as_ref()
+                            .expect("validated before Index3BinSlotInt");
+                        (
+                            cell.dims[dim as usize],
+                            cell.dims[dim as usize + 1],
+                            cell.dims[dim as usize + 2],
+                            cell.data.len(),
+                        )
+                    };
+                    let l = self.slots[s as usize];
+                    self.charge(bcost);
+                    if matches!(l, Value::Double(_)) {
+                        self.flops += 1;
+                    }
+                    let idx = apply_bin(op, l, Value::Int(v))?.as_i64();
+                    if idx < 0 || idx >= e as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx,
+                            len,
+                        });
+                    }
+                    let flat = if first {
+                        idx
+                    } else {
+                        self.pop().as_i64() * e as i64 + idx
+                    };
+                    self.charge(cost);
+                    if fuel > 0 {
+                        self.ops += u64::from(fuel);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    let idx0 = self.slots[s0 as usize].as_i64();
+                    if idx0 < 0 || idx0 >= e0 as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx0,
+                            len,
+                        });
+                    }
+                    let acc = flat * e0 as i64 + idx0;
+                    self.charge(c0);
+                    if f0 > 0 {
+                        self.ops += u64::from(f0);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    let idx1 = self.slots[s1 as usize].as_i64();
+                    if idx1 < 0 || idx1 >= e1 as i64 {
+                        return Err(RuntimeError::OutOfBounds {
+                            array: self.exe.array_names[id as usize].clone(),
+                            index: idx1,
+                            len,
+                        });
+                    }
+                    self.stack.push(Value::Int(acc * e1 as i64 + idx1));
+                    self.charge(c1);
+                    if f1 > 0 {
+                        self.ops += u64::from(f1);
+                        if self.ops > self.config.max_ops {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                    }
+                    self.run_tail(id, tail)?;
+                }
+                Insn::StoreArrayPop(id) => self.store_array_pop(id),
+                Insn::Halt => {
+                    // Early return unwinds through open parallel loops
+                    // innermost-first, applying each makespan exactly as
+                    // the tree's recursive exec_for unwinding does.
+                    while let Some(ctx) = self.par_stack.pop() {
+                        self.finish_parallel(ctx);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("operand stack underflow")
+    }
+
+    /// [`Insn::LoadArray`]: pop the flat index, read the element
+    /// through the cache, push it.
+    #[inline]
+    fn load_array(&mut self, id: u32) {
+        let flat = self.pop().as_i64() as usize;
+        let cell = self.arrays[id as usize]
+            .as_ref()
+            .expect("validated before array load");
+        let addr = cell.base + flat as u64 * 8;
+        let is_float = cell.is_float;
+        let raw = cell.data[flat];
+        let (_, latency) = self.cache.access(addr);
+        self.cycles += latency as f64;
+        self.stack.push(if is_float {
+            Value::Double(raw)
+        } else {
+            Value::Int(raw as i64)
+        });
+    }
+
+    /// [`Insn::LoadArrayBin`]: the loaded element is the rhs of a
+    /// binary op whose lhs is next on the stack.
+    #[inline]
+    fn load_array_bin(&mut self, id: u32, op: BinOp, cost: f64) -> Result<(), RuntimeError> {
+        let flat = self.pop().as_i64() as usize;
+        let cell = self.arrays[id as usize]
+            .as_ref()
+            .expect("validated before array load");
+        let addr = cell.base + flat as u64 * 8;
+        let is_float = cell.is_float;
+        let raw = cell.data[flat];
+        let (_, latency) = self.cache.access(addr);
+        self.cycles += latency as f64;
+        let r = if is_float {
+            Value::Double(raw)
+        } else {
+            Value::Int(raw as i64)
+        };
+        let l = self.pop();
+        self.charge(cost);
+        if matches!(l, Value::Double(_)) || matches!(r, Value::Double(_)) {
+            self.flops += 1;
+        }
+        let v = apply_bin(op, l, r)?;
+        self.stack.push(v);
+        Ok(())
+    }
+
+    /// [`Insn::StoreArrayPop`]: pop the flat index and the value, write
+    /// through the cache, push nothing.
+    #[inline]
+    fn store_array_pop(&mut self, id: u32) {
+        let flat = self.pop().as_i64() as usize;
+        let value = self.pop();
+        let cell = self.arrays[id as usize]
+            .as_mut()
+            .expect("validated before array store");
+        let addr = cell.base + flat as u64 * 8;
+        cell.data[flat] = if cell.is_float {
+            value.as_f64()
+        } else {
+            value.as_i64() as f64
+        };
+        let (_, latency) = self.cache.access(addr);
+        self.cycles += latency as f64;
+    }
+
+    /// Runs the array access fused onto the end of a subscript chain,
+    /// right after the chain's last index step pushed the flat index.
+    #[inline]
+    fn run_tail(&mut self, id: u32, tail: AccessTail) -> Result<(), RuntimeError> {
+        match tail {
+            AccessTail::None => Ok(()),
+            AccessTail::Load => {
+                self.load_array(id);
+                Ok(())
+            }
+            AccessTail::LoadBin(op, cost) => self.load_array_bin(id, op, cost),
+            AccessTail::StorePop => {
+                self.store_array_pop(id);
+                Ok(())
+            }
+        }
+    }
+
+    fn charge(&mut self, cost: f64) {
+        if self.vector_depth > 0 {
+            self.cycles += cost / self.w;
+        } else {
+            self.cycles += cost;
+        }
+    }
+
+    /// Stores preserving the slot's current tag (the tree's
+    /// `write_scalar` keeps the declared type).
+    fn write_slot(&mut self, slot: usize, value: Value) {
+        let cell = &mut self.slots[slot];
+        *cell = match cell {
+            Value::Int(_) => Value::Int(value.as_i64()),
+            Value::Double(_) => Value::Double(value.as_f64()),
+        };
+    }
+
+    /// Walks a dynamic-resolution chain: first live conditional binding
+    /// wins, then the static fallback, then `UndefinedVariable`.
+    fn resolve_chain(&self, i: u32) -> Result<usize, RuntimeError> {
+        let chain = &self.exe.chains[i as usize];
+        for &(flag, slot) in &chain.guards {
+            if self.slots[flag as usize].truthy() {
+                return Ok(slot as usize);
+            }
+        }
+        match chain.fallback {
+            Some(slot) => Ok(slot as usize),
+            None => Err(RuntimeError::UndefinedVariable(
+                self.exe.messages[chain.msg as usize].clone(),
+            )),
+        }
+    }
+
+    /// Replaces the sequentially accumulated body time of a parallel
+    /// loop with the scheduled makespan.
+    fn finish_parallel(&mut self, ctx: ParCtx) {
+        if !ctx.active {
+            return;
+        }
+        let sequential: f64 = ctx.iter_costs.iter().sum();
+        let model = OmpModel {
+            cost: &self.config.cost,
+            cores: self.config.cores,
+        };
+        let makespan = model.makespan(&ctx.iter_costs, ctx.schedule);
+        self.cycles = self.cycles - sequential + makespan;
+        self.in_parallel = false;
+    }
+
+    fn measurement(&self) -> Measurement {
+        Measurement {
+            cycles: self.cycles,
+            time_ms: self.cycles / (self.config.ghz * 1e6),
+            ops: self.ops,
+            flops: self.flops,
+            cache: self.cache.stats().clone(),
+            checksum: self.checksum(),
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        // Identical to the tree interpreter: FNV over quantized array
+        // contents, array *name* order fixed, local arrays skipped.
+        let mut ids: Vec<usize> = (0..self.arrays.len())
+            .filter(|&i| self.arrays[i].is_some())
+            .collect();
+        ids.sort_by(|&a, &b| self.exe.array_names[a].cmp(&self.exe.array_names[b]));
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in ids {
+            let cell = self.arrays[id].as_ref().expect("filtered above");
+            if cell.local {
+                continue;
+            }
+            for b in self.exe.array_names[id].as_bytes() {
+                hash = (hash ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+            }
+            for v in &cell.data {
+                let q = (v * 1024.0).round() as i64 as u64;
+                hash = (hash ^ q).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        hash
+    }
+}

@@ -13,8 +13,15 @@ cargo test -q --offline --test store_persistence
 # Verifier-pruned search named explicitly: racy points are refused before
 # the machine ever simulates them, bit-identically to the sequential run.
 cargo test -q --offline --test verify_pruning
+# Engine differential suite named explicitly: the bytecode VM must return
+# bit-identical measurements to the tree interpreter on the whole corpus.
+cargo test -q --offline --test vm_equivalence
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# Engine bench smoke in check mode: refuses to pass unless every kernel
+# is bit-identical across engines and the VM clears the 5x speedup floor.
+./target/release/bench_interp /tmp/locus_bench_interp.json --check
 
 # locus-lint smoke: the clean example lints clean, the racy one is
 # refused with a nonzero exit.
