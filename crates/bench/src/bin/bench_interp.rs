@@ -6,10 +6,12 @@
 //! [output.json] [--check]` (repeats via `LOCUS_REPEATS`, default 10).
 //!
 //! With `--check` the harness additionally fails (exit 1) unless every
-//! kernel is bit-identical across engines and the geometric-mean speedup
-//! is at least 5x — the CI smoke gate for the compiled engine.
+//! kernel is bit-identical across engines, the geometric-mean speedup is
+//! at least 5x, and the disabled-tracer `run_traced` path costs less
+//! than 1% over plain `run` — the CI smoke gate for the compiled engine
+//! and for the tracing hooks staying free when tracing is off.
 
-use locus_bench::interp::{geomean_speedup, run_interp, to_json};
+use locus_bench::interp::{geomean_speedup, run_interp, to_json, trace_overhead};
 
 fn main() {
     let repeats = std::env::var("LOCUS_REPEATS")
@@ -37,6 +39,15 @@ fn main() {
     let geomean = geomean_speedup(&rows);
     println!("geomean speedup {geomean:.2}x");
 
+    let overhead = trace_overhead(repeats);
+    println!(
+        "trace overhead (disabled tracer) on {}: plain {:.3}s, traced {:.3}s, {:+.2}%",
+        overhead.label,
+        overhead.plain_s,
+        overhead.traced_s,
+        overhead.overhead() * 100.0,
+    );
+
     std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
     eprintln!("wrote {out}");
 
@@ -50,6 +61,16 @@ fn main() {
             eprintln!("FAIL: geomean speedup {geomean:.2}x is below the 5x floor");
             std::process::exit(1);
         }
-        eprintln!("check passed: bit-identical, {geomean:.2}x >= 5x");
+        if overhead.overhead() >= 0.01 {
+            eprintln!(
+                "FAIL: disabled-tracer overhead {:+.2}% is at or above the 1% ceiling",
+                overhead.overhead() * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: bit-identical, {geomean:.2}x >= 5x, trace overhead {:+.2}% < 1%",
+            overhead.overhead() * 100.0
+        );
     }
 }

@@ -151,6 +151,71 @@ pub fn geomean_speedup(rows: &[InterpRow]) -> f64 {
     geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>())
 }
 
+/// The cost of the tracing hooks when tracing is off.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadRow {
+    /// Kernel label.
+    pub label: String,
+    /// Timed repeats per batch.
+    pub repeats: usize,
+    /// Best batch time of the plain `Machine::run` path, seconds.
+    pub plain_s: f64,
+    /// Best batch time of `Machine::run_traced` with a disabled
+    /// [`locus_trace::Tracer`], seconds.
+    pub traced_s: f64,
+}
+
+impl TraceOverheadRow {
+    /// Relative overhead: `traced_s / plain_s - 1` (0.01 == 1%).
+    pub fn overhead(&self) -> f64 {
+        self.traced_s / self.plain_s.max(1e-12) - 1.0
+    }
+}
+
+/// Measures the disabled-tracer overhead of [`Machine::run_traced`]
+/// against the plain `run` path on the DGEMM kernel (bytecode engine —
+/// the path every tuning evaluation takes).
+///
+/// Batches of the two paths are interleaved and the minimum over seven
+/// batches is kept for each, so scheduler drift hits both sides equally.
+/// The tuning driver calls `run_traced` unconditionally, so this ratio is
+/// exactly the tracing tax every untraced session pays.
+pub fn trace_overhead(repeats: usize) -> TraceOverheadRow {
+    let program = dgemm_program(24);
+    let machine = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::Bytecode));
+    let tracer = locus_trace::Tracer::disabled();
+
+    // Warm both paths (bytecode caches compile on first use).
+    machine.run(&program, "kernel").expect("kernel runs");
+    machine
+        .run_traced(&program, "kernel", &tracer)
+        .expect("kernel runs");
+
+    let mut plain_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    for _ in 0..7 {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            machine.run(&program, "kernel").expect("kernel runs");
+        }
+        plain_s = plain_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for _ in 0..repeats {
+            machine
+                .run_traced(&program, "kernel", &tracer)
+                .expect("kernel runs");
+        }
+        traced_s = traced_s.min(start.elapsed().as_secs_f64());
+    }
+    TraceOverheadRow {
+        label: "dgemm-24".to_string(),
+        repeats,
+        plain_s,
+        traced_s,
+    }
+}
+
 /// Renders the rows as a JSON document (hand-rolled; the workspace has
 /// no serde).
 pub fn to_json(rows: &[InterpRow]) -> String {
@@ -202,6 +267,19 @@ mod tests {
         let json = to_json(&[row]);
         assert!(json.contains("\"bit_identical\": true"), "{json}");
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn run_traced_with_disabled_tracer_matches_run() {
+        let program = dgemm_program(16);
+        let machine = Machine::new(MachineConfig::scaled_small());
+        let plain = machine.run(&program, "kernel").unwrap();
+        let traced = machine
+            .run_traced(&program, "kernel", &locus_trace::Tracer::disabled())
+            .unwrap();
+        assert!(bit_identical(&plain, &traced), "run_traced diverged");
+        let row = trace_overhead(1);
+        assert!(row.plain_s > 0.0 && row.traced_s > 0.0);
     }
 
     #[test]

@@ -179,6 +179,32 @@ impl MemoCache {
             .or_insert((objective, Origin::Store));
     }
 
+    /// Reports where the entry answering a lookup for this point (or,
+    /// failing that, this variant digest) came from: `"session"` for
+    /// entries measured this run, `"store"` for entries rehydrated from
+    /// the persistent store. Does not count a hit — this is the tracing
+    /// path, called only after [`MemoCache::lookup_point`] /
+    /// [`MemoCache::lookup_variant`] already answered the proposal.
+    pub fn peek_origin(&self, point: &Point, variant: u64) -> Option<&'static str> {
+        let origin = self
+            .points
+            .lock()
+            .expect("memo lock")
+            .get(&point.canonical_key())
+            .map(|(_, origin)| *origin)
+            .or_else(|| {
+                self.variants
+                    .lock()
+                    .expect("memo lock")
+                    .get(&variant)
+                    .map(|(_, origin)| *origin)
+            })?;
+        Some(match origin {
+            Origin::Session => "session",
+            Origin::Store => "store",
+        })
+    }
+
     /// Counts one within-batch coalesced duplicate as a variant hit.
     pub fn note_coalesced(&self) {
         self.variant_hits.fetch_add(1, Ordering::Relaxed);

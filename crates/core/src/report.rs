@@ -36,6 +36,12 @@ pub struct TuneReport {
     /// point never reaches the simulated machine; it is recorded as
     /// [`locus_search::Objective::Invalid`] so the search moves on.
     pub pruned_illegal: usize,
+    /// Every point the search module proposed, before memoization or
+    /// pruning. The accounting invariant — checked by the parallel
+    /// determinism suite — is `proposed == accounted()`: each proposal
+    /// is answered exactly once, by a memo hit, a store hit, a fresh
+    /// measurement, or a static refusal.
+    pub proposed: usize,
 }
 
 impl TuneReport {
@@ -53,5 +59,12 @@ impl TuneReport {
     /// Proposals answered by measurements a prior session persisted.
     pub fn store_hits(&self) -> usize {
         self.memo.store_hits
+    }
+
+    /// Proposals accounted for by one of the four outcomes: memo hit,
+    /// store hit, fresh measurement, or static refusal. Always equals
+    /// [`TuneReport::proposed`].
+    pub fn accounted(&self) -> usize {
+        self.memo_hits() + self.store_hits() + self.evaluations() + self.pruned_illegal
     }
 }

@@ -14,6 +14,7 @@ use locus_space::{Point, Space};
 use locus_srcir::ast::Program;
 use locus_srcir::hash::{hash_region, RegionHash};
 use locus_srcir::region::{extract_region, find_regions, replace_region};
+use locus_trace::{kv, Tracer};
 
 use locus_store::{EvalRecord, PruneRecord, SessionRecord, StoreKey, TuningStore};
 
@@ -443,7 +444,55 @@ impl LocusSystem {
         threads: usize,
     ) -> Result<(TuneResult, TuneReport), ApplyError> {
         let cache = MemoCache::new();
-        self.tune_parallel_driver(source, locus, search, budget, threads, &cache, None)
+        self.tune_parallel_driver(
+            source,
+            locus,
+            search,
+            budget,
+            threads,
+            &cache,
+            None,
+            &Tracer::disabled(),
+        )
+    }
+
+    /// [`LocusSystem::tune_parallel_with_report`] with a
+    /// [`locus_trace::Tracer`] attached. When the tracer is enabled the
+    /// driver emits, into it:
+    ///
+    /// * `phase` spans bracketing every pipeline stage — prepare,
+    ///   baseline, store rehydration, warm start, and per batch the
+    ///   propose / build-verify / measure / merge stages, then
+    ///   finalize-best and store-append;
+    /// * one `eval` instant event per merged proposal, carrying the
+    ///   point's canonical key, its variant digest, where the objective
+    ///   came from (fresh measurement, session memo, store, coalesced,
+    ///   pruned), the verdict and the measured milliseconds;
+    /// * `verify` events for every statically pruned point (with the
+    ///   verifier's reason), `machine` spans from the worker threads
+    ///   (merged deterministically in evaluation-slot order), `search`
+    ///   events from the module's own decisions, and a final `session`
+    ///   summary with the complete [`TuneReport`] accounting.
+    ///
+    /// Tracing is observation-only: for the same inputs the returned
+    /// [`TuneResult`] is bit-identical whether the tracer is enabled,
+    /// disabled, or absent (asserted by the parallel determinism suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails or the baseline
+    /// cannot be measured.
+    pub fn tune_parallel_with_tracer(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
+        let cache = MemoCache::new();
+        self.tune_parallel_driver(source, locus, search, budget, threads, &cache, None, tracer)
     }
 
     /// The store-backed search workflow: [`LocusSystem::tune_parallel`]
@@ -491,7 +540,51 @@ impl LocusSystem {
         store: &mut TuningStore,
     ) -> Result<(TuneResult, TuneReport), ApplyError> {
         let cache = MemoCache::new();
-        self.tune_parallel_driver(source, locus, search, budget, threads, &cache, Some(store))
+        self.tune_parallel_driver(
+            source,
+            locus,
+            search,
+            budget,
+            threads,
+            &cache,
+            Some(store),
+            &Tracer::disabled(),
+        )
+    }
+
+    /// [`LocusSystem::tune_parallel_with_store`] with a
+    /// [`locus_trace::Tracer`] attached — the store workflow's analogue
+    /// of [`LocusSystem::tune_parallel_with_tracer`], emitting the same
+    /// phase spans and per-evaluation events plus the store rehydration
+    /// and append-back stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails, the baseline
+    /// cannot be measured, or ([`ApplyError::Store`]) the store cannot
+    /// be written.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune_parallel_with_store_and_tracer(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        store: &mut TuningStore,
+        tracer: &Tracer,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
+        let cache = MemoCache::new();
+        self.tune_parallel_driver(
+            source,
+            locus,
+            search,
+            budget,
+            threads,
+            &cache,
+            Some(store),
+            tracer,
+        )
     }
 
     /// The [`StoreKey`] a tuning session of `source` under `prepared`
@@ -534,8 +627,17 @@ impl LocusSystem {
         threads: usize,
         cache: &MemoCache,
     ) -> Result<TuneResult, ApplyError> {
-        self.tune_parallel_driver(source, locus, search, budget, threads, cache, None)
-            .map(|(result, _)| result)
+        self.tune_parallel_driver(
+            source,
+            locus,
+            search,
+            budget,
+            threads,
+            cache,
+            None,
+            &Tracer::disabled(),
+        )
+        .map(|(result, _)| result)
     }
 
     /// The shared parallel driver behind every `tune_parallel*` entry
@@ -552,13 +654,19 @@ impl LocusSystem {
         threads: usize,
         cache: &MemoCache,
         mut store: Option<&mut TuningStore>,
+        tracer: &Tracer,
     ) -> Result<(TuneResult, TuneReport), ApplyError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
-        let prepared = self.prepare(source, locus)?;
-        let baseline = self
-            .measure(source)
-            .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?;
+        let prepared = {
+            let _span = tracer.span("phase", "prepare");
+            self.prepare(source, locus)?
+        };
+        let baseline = {
+            let _span = tracer.span("phase", "baseline");
+            self.measure(source)
+                .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?
+        };
         let expected = baseline.checksum;
         let threads = threads.max(1);
         let mut report = TuneReport::default();
@@ -566,6 +674,7 @@ impl LocusSystem {
         // Store session prologue: coherence check, cache rehydration.
         let store_key = store.as_ref().map(|_| self.store_key(source, &prepared));
         if let (Some(store), Some(key)) = (store.as_deref_mut(), store_key.as_ref()) {
+            let _span = tracer.span("phase", "store-rehydrate");
             let current: HashMap<String, u64> = region_hashes(source)
                 .into_iter()
                 .map(|(id, hash)| (id, hash.0))
@@ -584,24 +693,36 @@ impl LocusSystem {
             }
         }
 
+        search.attach_tracer(tracer);
         search.begin(&prepared.space, budget);
         if let (Some(store), Some(key)) = (store.as_deref(), store_key.as_ref()) {
+            let _span = tracer.span("phase", "warm-start");
             let prior = store.top_k(key, WARM_START_K);
             report.seeded = prior.len();
             if !prior.is_empty() {
                 search.seed_observations(&prepared.space, &prior);
             }
         }
+
+        // Tracing-only state: per-point objectives for the top-variant
+        // epilogue events. Populated only when the tracer is enabled, so
+        // the untraced driver allocates nothing here.
+        let mut traced_best: HashMap<String, (f64, Point)> = HashMap::new();
+        let mut eval_index: u64 = 0;
         let search_name = search.name().to_string();
         let mut fresh_records: Vec<EvalRecord> = Vec::new();
         let mut fresh_prunes: Vec<PruneRecord> = Vec::new();
 
         let mut book = locus_search::Bookkeeper::new(budget);
         'driver: while !book.done() {
-            let batch = search.propose_batch(&prepared.space, PARALLEL_BATCH);
+            let batch = {
+                let _span = tracer.span("phase", "propose");
+                search.propose_batch(&prepared.space, PARALLEL_BATCH)
+            };
             if batch.is_empty() {
                 break;
             }
+            report.proposed += batch.len();
 
             // Resolve every proposal against the cache, then *build*
             // each new variant on this thread: the build runs the
@@ -611,26 +732,48 @@ impl LocusSystem {
             // anything. What reaches the pool is one built program per
             // *new, legal* variant digest.
             let mut batch_variant: Vec<u64> = Vec::with_capacity(batch.len());
+            // One origin label per proposal, read back by the merge
+            // loop's `eval` events. When the tracer is disabled the
+            // labels are never read; pushing `&'static str`s is free.
+            let mut batch_origin: Vec<&'static str> = Vec::with_capacity(batch.len());
             let mut to_measure: Vec<(u64, Point, Program)> = Vec::new();
             let mut measuring = std::collections::HashSet::new();
+            let build_span = tracer.span("phase", "build-verify");
             for point in &batch {
                 let variant =
                     locus_srcir::hash::fnv1a(self.direct_program(&prepared, point).as_bytes());
                 batch_variant.push(variant);
                 if cache.lookup_point(point).is_some() || cache.lookup_variant(variant).is_some() {
+                    batch_origin.push(if tracer.is_enabled() {
+                        cache.peek_origin(point, variant).unwrap_or("session")
+                    } else {
+                        "hit"
+                    });
                     continue;
                 }
                 if !measuring.insert(variant) {
                     cache.note_coalesced();
+                    batch_origin.push("coalesced");
                     continue;
                 }
                 let start = std::time::Instant::now();
                 match self.build_variant(source, &prepared, point) {
-                    Ok(program) => to_measure.push((variant, point.clone(), program)),
+                    Ok(program) => {
+                        batch_origin.push("fresh");
+                        to_measure.push((variant, point.clone(), program));
+                    }
                     Err(VariantOutcome::Illegal(reason)) => {
                         // Pruned: no measurement happened, so no
                         // `note_miss` — the point simply never costs an
                         // evaluation.
+                        batch_origin.push("pruned");
+                        tracer.instant("verify", "prune", || {
+                            vec![
+                                kv("point", point.canonical_key()),
+                                kv("category", locus_verify::refusal_category(&reason)),
+                                kv("reason", reason.clone()),
+                            ]
+                        });
                         cache.insert(point, variant, Objective::Invalid);
                         report.pruned_illegal += 1;
                         if store.is_some() {
@@ -649,6 +792,10 @@ impl LocusSystem {
                             VariantOutcome::Invalid(_) => Objective::Invalid,
                             _ => Objective::Error,
                         };
+                        batch_origin.push(match objective {
+                            Objective::Invalid => "invalid",
+                            _ => "error",
+                        });
                         cache.note_miss();
                         cache.insert(point, variant, objective);
                         if store.is_some() {
@@ -667,6 +814,7 @@ impl LocusSystem {
                     }
                 }
             }
+            drop(build_span);
 
             // Fan the fresh measurements out over the worker pool. Each
             // worker owns a clone of the system (and thus the machine);
@@ -674,12 +822,22 @@ impl LocusSystem {
             // every program handed to them was built (and statically
             // vetted) on the main thread above.
             if !to_measure.is_empty() {
+                let _span = tracer.span("phase", "measure");
                 let work = &to_measure;
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
                 let results: Vec<Mutex<Option<(Objective, MeasureSummary)>>> =
                     work.iter().map(|_| Mutex::new(None)).collect();
                 let results = &results;
+                // One scoped child tracer per work *slot* (not per worker
+                // thread): whichever thread measures slot `i` records into
+                // slot `i`'s buffer, so absorbing the buffers in slot order
+                // below merges worker-side spans deterministically no
+                // matter how the scheduler dealt the work out.
+                let slot_tracers: Vec<Tracer> = (0..work.len())
+                    .map(|i| tracer.scoped(i as u64 + 1))
+                    .collect();
+                let slot_tracers = &slot_tracers;
                 std::thread::scope(|scope| {
                     for _ in 0..threads.min(work.len()) {
                         let sys = self.clone();
@@ -689,27 +847,34 @@ impl LocusSystem {
                                 break;
                             };
                             let start = std::time::Instant::now();
-                            let (objective, mut summary) = match sys.measure(program) {
-                                Ok(m) if sys.verify_results && m.checksum != expected => {
-                                    (Objective::Error, MeasureSummary::default())
-                                }
-                                Ok(m) => (
-                                    Objective::Value(m.time_ms),
-                                    MeasureSummary {
-                                        cycles: m.cycles,
-                                        ops: m.ops,
-                                        flops: m.flops,
-                                        checksum: m.checksum,
-                                        wall_ms: 0.0,
-                                    },
-                                ),
-                                Err(_) => (Objective::Error, MeasureSummary::default()),
-                            };
+                            let (objective, mut summary) =
+                                match sys
+                                    .machine
+                                    .run_traced(program, &sys.entry, &slot_tracers[i])
+                                {
+                                    Ok(m) if sys.verify_results && m.checksum != expected => {
+                                        (Objective::Error, MeasureSummary::default())
+                                    }
+                                    Ok(m) => (
+                                        Objective::Value(m.time_ms),
+                                        MeasureSummary {
+                                            cycles: m.cycles,
+                                            ops: m.ops,
+                                            flops: m.flops,
+                                            checksum: m.checksum,
+                                            wall_ms: 0.0,
+                                        },
+                                    ),
+                                    Err(_) => (Objective::Error, MeasureSummary::default()),
+                                };
                             summary.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                             *results[i].lock().expect("result slot") = Some((objective, summary));
                         });
                     }
                 });
+                for slot in slot_tracers {
+                    tracer.absorb(slot.drain());
+                }
                 for ((variant, point, _), slot) in work.iter().zip(results) {
                     let (objective, summary) = slot
                         .lock()
@@ -735,7 +900,8 @@ impl LocusSystem {
 
             // Deterministic merge: feed results back in proposal order
             // through the same bookkeeping the sequential driver uses.
-            for (point, variant) in batch.iter().zip(&batch_variant) {
+            let _span = tracer.span("phase", "merge");
+            for ((point, variant), origin) in batch.iter().zip(&batch_variant).zip(&batch_origin) {
                 if book.done() {
                     break 'driver;
                 }
@@ -745,25 +911,57 @@ impl LocusSystem {
                     .expect("every batch point resolved");
                 cache.insert_point(point, objective);
                 let (recorded, fresh) = book.record(point, |_| objective);
+                if tracer.is_enabled() {
+                    eval_index += 1;
+                    let (value, verdict) = match recorded {
+                        Objective::Value(v) => (Some(v), "ok"),
+                        Objective::Invalid => (None, "invalid"),
+                        Objective::Error => (None, "error"),
+                    };
+                    let key = point.canonical_key();
+                    if let Some(v) = value {
+                        traced_best
+                            .entry(key.clone())
+                            .or_insert_with(|| (v, point.clone()));
+                    }
+                    tracer.instant("eval", "point", || {
+                        let mut args = vec![
+                            kv("index", eval_index),
+                            kv("point", key),
+                            kv("variant", format!("{variant:016x}")),
+                            kv("origin", *origin),
+                            kv("verdict", verdict),
+                            kv("fresh", fresh),
+                        ];
+                        if let Some(v) = value {
+                            args.push(kv("ms", v));
+                        }
+                        args
+                    });
+                }
                 search.observe(point, recorded, fresh);
             }
         }
         let outcome = book.finish();
 
-        let best = outcome.best.clone().and_then(|(point, _)| {
-            match self.evaluate_point(source, &prepared, &point, Some(expected)) {
-                VariantOutcome::Measured(boxed) => {
-                    let (program, m) = *boxed;
-                    Some((point, program, m))
+        let best = {
+            let _span = tracer.span("phase", "finalize-best");
+            outcome.best.clone().and_then(|(point, _)| {
+                match self.evaluate_point(source, &prepared, &point, Some(expected)) {
+                    VariantOutcome::Measured(boxed) => {
+                        let (program, m) = *boxed;
+                        Some((point, program, m))
+                    }
+                    _ => None,
                 }
-                _ => None,
-            }
-        });
+            })
+        };
 
         // Store session epilogue: persist fresh measurements and a
         // session summary (region profile + winning recipe) the
         // suggester can retrieve later.
         if let (Some(store), Some(key)) = (store, store_key.as_ref()) {
+            let _span = tracer.span("phase", "store-append");
             report.appended = store
                 .append_evals(key, &fresh_records)
                 .map_err(|e| ApplyError::Store(e.to_string()))?;
@@ -791,6 +989,49 @@ impl LocusSystem {
             }
         }
         report.memo = cache.stats();
+
+        // Trace epilogue: the top variants (with their shippable direct
+        // recipes) and a session summary carrying the full report
+        // accounting — the raw material of `locus-report`.
+        if tracer.is_enabled() {
+            let mut ranked: Vec<(&String, &(f64, Point))> = traced_best.iter().collect();
+            ranked.sort_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then_with(|| a.0.cmp(b.0)));
+            for (rank, (key, (ms, point))) in ranked.into_iter().take(3).enumerate() {
+                let recipe = self.direct_program(&prepared, point);
+                tracer.instant("eval", "top-variant", || {
+                    vec![
+                        kv("rank", (rank + 1) as u64),
+                        kv("point", key.as_str()),
+                        kv("ms", *ms),
+                        kv("recipe", recipe),
+                    ]
+                });
+            }
+            let best_ms = best.as_ref().map(|(_, _, m)| m.time_ms);
+            tracer.instant("session", "summary", || {
+                let mut args = vec![
+                    kv("search", search_name.as_str()),
+                    kv("budget", budget as u64),
+                    kv("threads", threads as u64),
+                    kv("space_size", format!("{}", prepared.space.size())),
+                    kv("proposed", report.proposed as u64),
+                    kv("evaluations", report.evaluations() as u64),
+                    kv("memo_hits", report.memo_hits() as u64),
+                    kv("store_hits", report.store_hits() as u64),
+                    kv("pruned_illegal", report.pruned_illegal as u64),
+                    kv("rehydrated", report.rehydrated as u64),
+                    kv("seeded", report.seeded as u64),
+                    kv("appended", report.appended as u64),
+                    kv("baseline_ms", baseline.time_ms),
+                    kv("machine_digest", format!("{:016x}", self.machine.digest())),
+                    kv("space_digest", format!("{:016x}", prepared.space.digest())),
+                ];
+                if let Some(ms) = best_ms {
+                    args.push(kv("best_ms", ms));
+                }
+                args
+            });
+        }
 
         Ok((
             TuneResult {

@@ -257,6 +257,36 @@ impl Machine {
             }
         }
     }
+
+    /// Like [`Machine::run`], but emits `machine`-category spans into
+    /// `tracer` around each internal stage (bytecode compilation and VM
+    /// execution, or tree interpretation). With a disabled tracer this
+    /// is exactly `run` — the span guards compile to no-ops — so the
+    /// traced and untraced paths cannot diverge.
+    pub fn run_traced(
+        &self,
+        program: &Program,
+        entry: &str,
+        tracer: &locus_trace::Tracer,
+    ) -> Result<Measurement, RuntimeError> {
+        match self.config.engine {
+            ExecEngine::Tree => {
+                let _span = tracer.span("machine", "tree-interp");
+                let mut interp = Interp::new(program, &self.config)?;
+                interp.run(entry)
+            }
+            ExecEngine::Bytecode => {
+                let cache = cache::CacheHierarchy::new(&self.config.cache)
+                    .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+                let exe = {
+                    let _span = tracer.span("machine", "compile-bytecode");
+                    compile::compile(program, &self.config, entry)?
+                };
+                let _span = tracer.span("machine", "vm-measure");
+                vm::run(&exe, &self.config, cache)
+            }
+        }
+    }
 }
 
 /// Compile-time contract of the parallel evaluation engine in the core

@@ -14,6 +14,7 @@
 //! batch size, regardless of how many workers evaluate the batch.
 
 use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
 
 use crate::{Objective, SearchModule};
 
@@ -33,6 +34,7 @@ pub struct AnnealTuner {
     init_limit: usize,
     stale: usize,
     stale_limit: usize,
+    tracer: Tracer,
 }
 
 impl AnnealTuner {
@@ -50,6 +52,7 @@ impl AnnealTuner {
             init_limit: 64,
             stale: 0,
             stale_limit: 256,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -80,6 +83,10 @@ impl SearchModule for AnnealTuner {
         self.init_limit = budget.max(16).saturating_mul(4);
         self.stale = 0;
         self.stale_limit = budget.saturating_mul(8).max(256);
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Warm start: the walk begins from the best prior point instead of
@@ -143,6 +150,14 @@ impl SearchModule for AnnealTuner {
                     if accept {
                         self.current = Some((point.clone(), v));
                     }
+                    let temperature = self.temperature;
+                    self.tracer.instant("search", "anneal-step", || {
+                        vec![
+                            kv("temperature", temperature),
+                            kv("value", v),
+                            kv("accepted", accept),
+                        ]
+                    });
                 }
                 self.temperature *= self.cooling;
             }

@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
 
 use crate::{Objective, SearchModule};
 
@@ -44,6 +45,7 @@ pub struct BanditTuner {
     total_uses: f64,
     stale: usize,
     stale_limit: usize,
+    tracer: Tracer,
 }
 
 impl BanditTuner {
@@ -60,6 +62,7 @@ impl BanditTuner {
             total_uses: 1.0,
             stale: 0,
             stale_limit: 256,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -84,6 +87,17 @@ const TECHNIQUES: [Technique; 4] = [
     Technique::HillClimb,
     Technique::UniformRandom,
 ];
+
+impl Technique {
+    fn label(self) -> &'static str {
+        match self {
+            Technique::GreedyMutation => "greedy-mutation",
+            Technique::DifferentialEvolution => "differential-evolution",
+            Technique::HillClimb => "hill-climb",
+            Technique::UniformRandom => "uniform-random",
+        }
+    }
+}
 
 /// Per-technique sliding window of improvement bits.
 #[derive(Debug, Default, Clone)]
@@ -138,6 +152,10 @@ impl SearchModule for BanditTuner {
         self.stale_limit = budget.saturating_mul(8).max(256);
     }
 
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
     /// Warm start: prior observations populate the elite pool and the
     /// best-so-far, and stand in for the random seeding phase — each
     /// prior point replaces one pending random seed, so a well-stocked
@@ -176,6 +194,16 @@ impl SearchModule for BanditTuner {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
             .expect("non-empty technique list");
         let technique = TECHNIQUES[ti];
+        if self.tracer.is_enabled() {
+            let (auc, uses) = (self.credits[ti].auc(), self.credits[ti].uses);
+            self.tracer.instant("search", "bandit-arm", || {
+                vec![
+                    kv("arm", technique.label()),
+                    kv("auc", auc),
+                    kv("uses", uses as u64),
+                ]
+            });
+        }
         let best = self.best.as_ref().map(|(p, _)| p.clone());
         let proposal = propose(technique, space, &self.elites, best.as_ref(), &mut self.rng);
         self.pending.push_back(Some(ti));

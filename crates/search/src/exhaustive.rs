@@ -1,6 +1,7 @@
 //! Exhaustive (and stratified) enumeration of a space.
 
 use locus_space::{Point, Space};
+use locus_trace::{kv, Tracer};
 
 use crate::{Objective, SearchModule};
 
@@ -12,11 +13,12 @@ use crate::{Objective, SearchModule};
 /// Like [`crate::RandomSearch`], the proposal stream is independent of
 /// the observed objectives, so batched (parallel) runs are bit-identical
 /// to sequential ones.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExhaustiveSearch {
     next: u128,
     count: u128,
     step: u128,
+    tracer: Tracer,
 }
 
 impl ExhaustiveSearch {
@@ -44,6 +46,18 @@ impl SearchModule for ExhaustiveSearch {
             self.count = budget as u128;
             self.step = size / budget as u128;
         }
+        let (count, step) = (self.count, self.step);
+        self.tracer.instant("search", "exhaustive-plan", || {
+            vec![
+                kv("space_size", format!("{size}")),
+                kv("count", format!("{count}")),
+                kv("stride", format!("{step}")),
+            ]
+        });
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     fn propose(&mut self, space: &Space) -> Option<Point> {

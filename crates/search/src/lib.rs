@@ -147,6 +147,17 @@ pub trait SearchModule {
         let _ = (space, prior);
     }
 
+    /// Attaches a [`locus_trace::Tracer`] the module emits
+    /// `search`-category decision events into — the bandit's chosen
+    /// arm, the annealer's temperature and acceptance, the portfolio's
+    /// budget shares. Tracing is *observation-only*: a module must
+    /// never let the tracer influence its proposal stream (traced and
+    /// untraced runs stay bit-identical). The default implementation
+    /// ignores the tracer; every built-in module overrides it.
+    fn attach_tracer(&mut self, tracer: &locus_trace::Tracer) {
+        let _ = tracer;
+    }
+
     /// Proposes the next point, or `None` when the module has nothing
     /// left to try (space exhausted, staleness limit hit).
     fn propose(&mut self, space: &Space) -> Option<Point>;

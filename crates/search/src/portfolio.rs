@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 
 use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
 
 use crate::{Objective, SearchModule};
 
@@ -80,6 +81,17 @@ pub struct PortfolioSearch {
     /// Shared best across all members.
     best: Option<(Point, f64)>,
     exhausted: bool,
+    tracer: Tracer,
+}
+
+impl Member {
+    fn label(self) -> &'static str {
+        match self {
+            Member::Bandit => "bandit",
+            Member::Anneal => "anneal",
+            Member::Random => "random",
+        }
+    }
 }
 
 impl PortfolioSearch {
@@ -99,6 +111,7 @@ impl PortfolioSearch {
             pending: VecDeque::new(),
             best: None,
             exhausted: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -134,6 +147,15 @@ impl PortfolioSearch {
             before: self.best.as_ref().map(|(_, v)| *v),
         });
         self.next_serial += 1;
+        let (member, round, credit) = (self.members[mi], self.round, self.credit[mi]);
+        self.tracer.instant("search", "portfolio-session", || {
+            vec![
+                kv("member", member.label()),
+                kv("share", share as u64),
+                kv("round", round),
+                kv("credit", credit),
+            ]
+        });
     }
 
     fn close_session(&mut self) {
@@ -186,6 +208,10 @@ impl SearchModule for PortfolioSearch {
         self.pending.clear();
         self.best = None;
         self.exhausted = false;
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     fn propose(&mut self, space: &Space) -> Option<Point> {

@@ -1,6 +1,7 @@
 //! Uniform random search with de-duplication.
 
 use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
 
 use crate::{Objective, SearchModule};
 
@@ -17,6 +18,7 @@ pub struct RandomSearch {
     rng: SplitMix64,
     stale: usize,
     stale_limit: usize,
+    tracer: Tracer,
 }
 
 impl RandomSearch {
@@ -27,6 +29,7 @@ impl RandomSearch {
             rng: SplitMix64::new(seed),
             stale: 0,
             stale_limit: 64,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -46,6 +49,18 @@ impl SearchModule for RandomSearch {
         self.rng = SplitMix64::new(self.seed);
         self.stale = 0;
         self.stale_limit = budget.saturating_mul(4).max(64);
+        let (seed, stale_limit) = (self.seed, self.stale_limit);
+        self.tracer.instant("search", "random-plan", || {
+            vec![
+                kv("seed", seed),
+                kv("budget", budget as u64),
+                kv("stale_limit", stale_limit as u64),
+            ]
+        });
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     fn propose(&mut self, space: &Space) -> Option<Point> {

@@ -169,6 +169,21 @@ impl TuningStore {
         self.len() == 0
     }
 
+    /// Every [`StoreKey`] holding at least one evaluation or prune
+    /// record, in a deterministic order (sorted by region list, then
+    /// machine and space digests) — the enumeration `locus-report` uses
+    /// to walk a store file without knowing its tuning contexts.
+    pub fn keys(&self) -> Vec<&StoreKey> {
+        let mut keys: Vec<&StoreKey> = self.groups.keys().collect();
+        keys.sort_by(|a, b| {
+            a.regions
+                .cmp(&b.regions)
+                .then(a.machine.cmp(&b.machine))
+                .then(a.space.cmp(&b.space))
+        });
+        keys
+    }
+
     /// Live evaluation records of one key, in insertion order.
     pub fn evals(&self, key: &StoreKey) -> &[EvalRecord] {
         self.groups

@@ -1,0 +1,495 @@
+//! Hand-rolled exporters and parser for trace events (the workspace
+//! has no serde).
+//!
+//! The JSONL format is one flat object per line:
+//!
+//! ```text
+//! {"cat":"phase","name":"prepare","ts_us":12,"dur_us":34,"lane":0,"args":{"regions":1}}
+//! ```
+//!
+//! `dur_us` is omitted for instant events. [`from_jsonl`] inverts
+//! [`to_jsonl`] exactly (asserted by the round-trip tests); the Chrome
+//! `trace_event` exporter is write-only.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Event, Value};
+
+/// Error produced while parsing a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for TraceParseError {}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::U64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Value::I64(v) => {
+            out.push_str(&format!("{v}"));
+        }
+        Value::F64(v) if v.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip float form and always
+            // contains a `.` or exponent, so the parser can tell it from
+            // an integer.
+            out.push_str(&format!("{v:?}"));
+        }
+        Value::F64(v) => {
+            // Non-finite floats are not valid JSON numbers; export them
+            // as strings.
+            let s = if v.is_nan() {
+                "nan"
+            } else if *v > 0.0 {
+                "inf"
+            } else {
+                "-inf"
+            };
+            out.push('"');
+            out.push_str(s);
+            out.push('"');
+        }
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+fn push_args(out: &mut String, args: &[(String, Value)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, key);
+        out.push_str("\":");
+        push_value(out, value);
+    }
+    out.push('}');
+}
+
+/// Renders events as JSONL, one event per line.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str("{\"cat\":\"");
+        escape_into(&mut out, &event.cat);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, &event.name);
+        out.push_str(&format!("\",\"ts_us\":{}", event.ts_us));
+        if let Some(dur) = event.dur_us {
+            out.push_str(&format!(",\"dur_us\":{dur}"));
+        }
+        out.push_str(&format!(",\"lane\":{},\"args\":", event.lane));
+        push_args(&mut out, &event.args);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON array —
+/// `chrome://tracing` and Perfetto load the output directly. Spans
+/// become `"X"` (complete) events, instants become `"i"` events.
+pub fn to_chrome(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_into(&mut out, &event.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, &event.cat);
+        out.push('"');
+        match event.dur_us {
+            Some(dur) => out.push_str(&format!(",\"ph\":\"X\",\"dur\":{dur}")),
+            None => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        out.push_str(&format!(
+            ",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":",
+            event.ts_us, event.lane
+        ));
+        push_args(&mut out, &event.args);
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Parses a JSONL trace back into events, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] on the first malformed line.
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, TraceParseError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = parse_event(line).map_err(|message| TraceParseError {
+            line: idx + 1,
+            message,
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected `{}`, found {:?}",
+                want as char,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-read the full UTF-8 character starting here.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().ok_or("empty char")?;
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected a number".to_string());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid utf-8".to_string())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => {
+                self.expect_word("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_word("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(_) => {
+                let token = self.number_token()?;
+                if token.contains(['.', 'e', 'E']) {
+                    token
+                        .parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|_| format!("malformed float `{token}`"))
+                } else if let Some(stripped) = token.strip_prefix('-') {
+                    stripped
+                        .parse::<u64>()
+                        .map(|v| Value::I64(-(v as i64)))
+                        .map_err(|_| format!("malformed integer `{token}`"))
+                } else {
+                    token
+                        .parse::<u64>()
+                        .map(Value::U64)
+                        .map_err(|_| format!("malformed integer `{token}`"))
+                }
+            }
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+}
+
+fn parse_event(line: &str) -> Result<Event, String> {
+    let mut c = Cursor::new(line);
+    c.eat(b'{')?;
+    let mut cat = None;
+    let mut name = None;
+    let mut ts_us = None;
+    let mut dur_us = None;
+    let mut lane = None;
+    let mut args = Vec::new();
+    loop {
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "cat" => cat = Some(c.string()?),
+            "name" => name = Some(c.string()?),
+            "ts_us" => ts_us = Some(expect_u64(c.value()?, "ts_us")?),
+            "dur_us" => dur_us = Some(expect_u64(c.value()?, "dur_us")?),
+            "lane" => lane = Some(expect_u64(c.value()?, "lane")?),
+            "args" => {
+                c.eat(b'{')?;
+                if c.peek() == Some(b'}') {
+                    c.eat(b'}')?;
+                } else {
+                    loop {
+                        let akey = c.string()?;
+                        c.eat(b':')?;
+                        let avalue = c.value()?;
+                        args.push((akey, avalue));
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                    c.eat(b'}')?;
+                }
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        } else {
+            break;
+        }
+    }
+    c.eat(b'}')?;
+    Ok(Event {
+        cat: cat.ok_or("missing `cat`")?,
+        name: name.ok_or("missing `name`")?,
+        ts_us: ts_us.ok_or("missing `ts_us`")?,
+        dur_us,
+        lane: lane.ok_or("missing `lane`")?,
+        args,
+    })
+}
+
+fn expect_u64(value: Value, field: &str) -> Result<u64, String> {
+    match value {
+        Value::U64(v) => Ok(v),
+        other => Err(format!(
+            "field `{field}` must be an unsigned integer, got {other:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                cat: "phase".to_string(),
+                name: "prepare".to_string(),
+                ts_us: 10,
+                dur_us: Some(25),
+                lane: 0,
+                args: vec![kv("regions", 2u64), kv("ok", true)],
+            },
+            Event {
+                cat: "eval".to_string(),
+                name: "point".to_string(),
+                ts_us: 40,
+                dur_us: None,
+                lane: 3,
+                args: vec![
+                    kv("point", "tileI=8;tileJ=16"),
+                    kv("ms", 1.5),
+                    kv("delta", -2i64),
+                    kv("weird", "a\"b\\c\nd"),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn float_values_round_trip_bit_exactly() {
+        let cases = [0.1, 1.0, 3.5e-9, 1e300, -0.0, 123456.789];
+        for v in cases {
+            let events = vec![Event {
+                cat: "t".into(),
+                name: "t".into(),
+                ts_us: 0,
+                dur_us: None,
+                lane: 0,
+                args: vec![kv("v", v)],
+            }];
+            let parsed = from_jsonl(&to_jsonl(&events)).unwrap();
+            match &parsed[0].args[0].1 {
+                Value::F64(back) => assert_eq!(back.to_bits(), v.to_bits(), "{v}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_strings() {
+        let events = vec![Event {
+            cat: "t".into(),
+            name: "t".into(),
+            ts_us: 0,
+            dur_us: None,
+            lane: 0,
+            args: vec![
+                kv("a", f64::NAN),
+                kv("b", f64::INFINITY),
+                kv("c", f64::NEG_INFINITY),
+            ],
+        }];
+        let parsed = from_jsonl(&to_jsonl(&events)).unwrap();
+        assert_eq!(parsed[0].args[0].1, Value::Str("nan".into()));
+        assert_eq!(parsed[0].args[1].1, Value::Str("inf".into()));
+        assert_eq!(parsed[0].args[2].1, Value::Str("-inf".into()));
+    }
+
+    #[test]
+    fn chrome_export_has_complete_and_instant_phases() {
+        let text = to_chrome(&sample());
+        assert!(text.starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"tid\":3"));
+        assert!(text.contains("\"dur\":25"));
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let err = from_jsonl(
+            "{\"cat\":\"a\",\"name\":\"b\",\"ts_us\":1,\"lane\":0,\"args\":{}}\nnot json\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", to_jsonl(&sample()).trim_end());
+        assert_eq!(from_jsonl(&text).unwrap().len(), 2);
+    }
+}

@@ -68,6 +68,55 @@ impl Verdict {
     }
 }
 
+/// Coarse category of a refusal reason, for observability rollups
+/// (`locus-report` groups pruned points by it): `"race"` for data-race
+/// refusals, `"dependence"` for dependence or legality violations
+/// (including unavailable dependence information, which the engine
+/// conservatively refuses), `"structure"` for unresolvable or malformed
+/// targets and nested parallelism, `"other"` for anything else.
+pub fn refusal_category(reason: &str) -> &'static str {
+    if reason.contains("data race") {
+        "race"
+    } else if reason.contains("dependence") || reason.contains("fusion-preventing") {
+        "dependence"
+    } else if reason.contains("nested parallelism")
+        || reason.contains("no statement at")
+        || reason.contains("is not a loop")
+    {
+        "structure"
+    } else {
+        "other"
+    }
+}
+
 pub use legality::{legal, parallel_for_clauses, TransformStep};
 pub use races::{analyze_parallel_for, Race, RaceFix, RaceReport};
 pub use wellformed::{validate_program, validate_region};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refusal_categories_cover_the_engine_messages() {
+        assert_eq!(refusal_category("data race: flow s->s"), "race");
+        assert_eq!(
+            refusal_category("permutation [1, 0] reverses a dependence"),
+            "dependence"
+        );
+        assert_eq!(
+            refusal_category("dependence information unavailable"),
+            "dependence"
+        );
+        assert_eq!(
+            refusal_category("nested parallelism: loop at `0` contains an `omp parallel for`"),
+            "structure"
+        );
+        assert_eq!(refusal_category("no statement at `3.1`"), "structure");
+        assert_eq!(
+            refusal_category("statement at `0` is not a loop"),
+            "structure"
+        );
+        assert_eq!(refusal_category("unknown module"), "other");
+    }
+}

@@ -16,12 +16,32 @@ cargo test -q --offline --test verify_pruning
 # Engine differential suite named explicitly: the bytecode VM must return
 # bit-identical measurements to the tree interpreter on the whole corpus.
 cargo test -q --offline --test vm_equivalence
+# Deterministic fuzz suite (pinned seeds): parse(print(ast)) is a fixpoint
+# for randomly generated mini-C programs, pragmas and omp clauses included.
+cargo test -q --offline --test srcir_fuzz
+# Legality-vs-dependence differential: no transform may be declared legal
+# that a reported dependence forbids.
+cargo test -q --offline --test legality_vs_deps
+# Tracing layer: golden locus-report output, observation-only invariants,
+# and counter accounting (proposed == memo + store + fresh + pruned).
+cargo test -q --offline --test report_golden
+cargo test -q --offline --test parallel_determinism
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # Engine bench smoke in check mode: refuses to pass unless every kernel
-# is bit-identical across engines and the VM clears the 5x speedup floor.
+# is bit-identical across engines, the VM clears the 5x speedup floor,
+# and the disabled-tracer run_traced path stays under 1% overhead.
 ./target/release/bench_interp /tmp/locus_bench_interp.json --check
+
+# locus-report smoke: the committed fixture traces validate, and a
+# malformed input is refused with a nonzero exit.
+./target/release/locus-report --check tests/fixtures/session_trace.jsonl
+./target/release/locus-report --check tests/fixtures/synthetic_trace.jsonl
+if ./target/release/locus-report --check /dev/null; then
+    echo "locus-report accepted an empty trace — it must refuse it" >&2
+    exit 1
+fi
 
 # locus-lint smoke: the clean example lints clean, the racy one is
 # refused with a nonzero exit.

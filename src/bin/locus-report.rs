@@ -1,0 +1,94 @@
+//! `locus-report` — explains a traced tuning session or a persistent
+//! tuning store.
+//!
+//! Input is auto-detected: a file starting with the `#locus-store v1`
+//! header is opened as a [`locus::store::TuningStore`] and summarized
+//! per tuning context; anything else is parsed as the JSONL trace a
+//! [`locus::trace::Tracer`] exports, and replayed into a narrative —
+//! phase time breakdown, memo/store hit and prune rates, top variants
+//! with their shippable recipes, and the convergence curve.
+//!
+//! Usage: `locus-report [--check] <trace.jsonl | store file>`
+//!
+//! With `--check` the input is only validated (trace completeness or
+//! store readability), printing one status line. Exit status: 0 on
+//! success, 1 when `--check` fails, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use locus::report::{check_trace, render_store, render_trace};
+use locus::store::TuningStore;
+use locus::trace::from_jsonl;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: locus-report [--check] <trace.jsonl | store file>");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: locus-report [--check] <trace.jsonl | store file>");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if text.lines().next() == Some("#locus-store v1") {
+        let store = match TuningStore::open(path) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("{path}: cannot open store: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if check {
+            if store.is_empty() {
+                eprintln!("{path}: store holds no evaluation records");
+                return ExitCode::from(1);
+            }
+            println!(
+                "ok: store with {} record(s) across {} context(s)",
+                store.len(),
+                store.keys().len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        print!("{}", render_store(&store));
+        return ExitCode::SUCCESS;
+    }
+
+    let events = match from_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("{path}: not a store and not a trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if check {
+        return match check_trace(&events) {
+            Ok(()) => {
+                println!("ok: trace with {} event(s)", events.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    print!("{}", render_trace(&events));
+    ExitCode::SUCCESS
+}

@@ -20,6 +20,10 @@
 //!   annealing);
 //! * [`store`] — the persistent tuning-results store (cross-session
 //!   memoization, warm-started search, recipe retrieval);
+//! * [`trace`] — zero-dependency structured tracing of tuning sessions
+//!   (phase spans, per-evaluation events, JSONL and Chrome exporters),
+//!   with [`report`] rendering a trace or store into the `locus-report`
+//!   narrative;
 //! * [`system`] — the orchestrator tying everything together;
 //! * [`baselines`] — Pluto-like / MKL-like comparators;
 //! * [`corpus`] — the evaluation kernels and synthetic loop-nest corpus.
@@ -40,5 +44,8 @@ pub use locus_search as search;
 pub use locus_space as space;
 pub use locus_srcir as srcir;
 pub use locus_store as store;
+pub use locus_trace as trace;
 pub use locus_transform as transform;
 pub use locus_verify as verify;
+
+pub mod report;

@@ -1,0 +1,56 @@
+void fn0(double p0) {
+    for (; x < (s -= a); x += 1) {
+        for (int n = 0; n < (int)781; n += 1) {
+            #pragma @Locus block=blk7
+            #pragma nounroll
+            {
+                #pragma nounroll
+                #pragma vector always
+                ;
+            }
+            m[j[750][b]][c[738][c][43.0]] = x;
+            for (acc = 0; acc < 913; acc += 1) {
+                ;
+                buf = 967 < 700;
+                (int)488;
+            }
+        }
+    }
+    {
+        float c[64];
+        #pragma @Locus block=blk2
+        #pragma @Locus loop=loop5
+        for (; ; y += 1) {
+            while (10.25 + -11) {
+                ;
+                arr = (float)52.75;
+                #pragma ivdep
+                #pragma prefetch arr
+                j(824);
+            }
+            return c[39.5][236];
+            if (*t) {
+                !12;
+            }
+            else {
+                #pragma @Locus block=blk3
+                #pragma @Locus block=blk1
+                buf[5.25][46.75] = y -= sum;
+                j = 81;
+                #pragma ivdep
+                w = k = 433;
+            }
+        }
+    }
+    #pragma @Locus loop=loop1
+    int j[26] = *t;
+}
+double fn1(double* p0, int p1[30]) {
+    for (int t = 0; t < (double)189; t += 1) {
+        for (; buf < 11.25; buf += 1) {
+            i = a(22.0 <= 39.5);
+        }
+        {
+        }
+    }
+}

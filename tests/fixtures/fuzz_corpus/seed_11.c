@@ -1,0 +1,94 @@
+float fn0(float p0) {
+    for (j = 0; ; j += 1) {
+        for (; ; sum += 1) {
+            {
+            }
+            for (int c = 0; c < 54.5; ) {
+                #pragma unroll(8)
+                #pragma @Locus block=blk1
+                m = (float)39;
+            }
+        }
+    }
+}
+void fn1() {
+    #pragma omp parallel for private(y) private(y)
+    #pragma omp parallel for private(acc) private(i)
+    double c[51][38] = 45.5;
+    while (val / n >= (idx <= 18.25)) {
+        for (c = 0; c < 693 - 3.25; c += 1) {
+            return;
+            #pragma unroll(2)
+            #pragma @Locus block=blk3
+            for (; i < (166 < 32.0); i += 1) {
+                ;
+                tmp[541] = "msg2";
+                #pragma prefetch arr
+                #pragma unroll(2)
+                i = 37 * k;
+            }
+            {
+            }
+        }
+    }
+    #pragma @Locus block=blk2
+    #pragma vector always
+    x[(double)y][23.0 && sum] = "msg0" % (int)803;
+    if (795) {
+        #pragma @Locus loop=loop6
+        #pragma ivdep
+        for (int idx = 0; idx < (b != i); idx += 1) {
+            if (934 || c(x, 4.75)) {
+                #pragma @Locus block=blk0
+                s;
+                #pragma omp parallel for schedule(dynamic) private(b)
+                20.5 < 948;
+                #pragma unroll(2)
+                ;
+            }
+            ;
+            #pragma unroll(2)
+            if (531) {
+                b[61.0][b] = &buf;
+                arr(93);
+                #pragma ivdep
+                (float)24.25;
+            }
+        }
+        #pragma omp parallel for schedule(dynamic) private(k)
+        if ((float)(577 != 680)) {
+            if (tmp["msg2"][val]) {
+                #pragma omp parallel for schedule(static) reduction(*:b) private(buf)
+                #pragma omp parallel for schedule(dynamic)
+                buf[14.75][290] = (double)244;
+                val[17.5][12.75][537];
+                ;
+            }
+            else {
+                ;
+            }
+        }
+        else {
+            return !99;
+        }
+        while (m[i[20.75][55.0]]) {
+            {
+                arr[w][48.0] = a[9.0][61.75][5.0];
+                val[920] = arr[180][93];
+            }
+            if ("msg2") {
+                t = (double)1.0;
+            }
+            else {
+                #pragma @Locus block=blk3
+                #pragma @Locus loop=loop7
+                y = 971 / 897;
+                s = n[73];
+                ;
+            }
+        }
+    }
+    {
+        ;
+    }
+}

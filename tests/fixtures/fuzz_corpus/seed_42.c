@@ -1,0 +1,7 @@
+int g0;
+void fn0(double* p0) {
+    return;
+    #pragma prefetch arr
+    #pragma unroll(2)
+    b = b *= k / 31.75;
+}

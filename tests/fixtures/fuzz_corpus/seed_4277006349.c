@@ -1,0 +1,42 @@
+int fn0(double p0[][15], int p1[13]) {
+    #pragma ivdep
+    #pragma @Locus block=blk5
+    for (; w < "msg1"; w += 1) {
+        #pragma @Locus block=blk3
+        #pragma ivdep
+        ;
+        #pragma ivdep
+        {
+        }
+    }
+    for (n = 0; n < (double)1.25; n += 1) {
+        #pragma ivdep
+        float idx[17] = y;
+        int n[4][32] = "msg5";
+        ;
+    }
+    #pragma @Locus loop=loop4
+    #pragma GCC ivdep
+    if (163) {
+        {
+            for (y = 0; y < 33.25; y += 1) {
+                #pragma @Locus block=blk2
+                #pragma prefetch arr
+                ;
+                ;
+                sum = buf -= j;
+            }
+        }
+        for (idx = 0; idx < 2.0; idx += 1) {
+            ;
+            while (s = a = x) {
+                #pragma @Locus block=blk5
+                #pragma prefetch arr
+                c = w();
+            }
+            while ("msg7") {
+                ;
+            }
+        }
+    }
+}

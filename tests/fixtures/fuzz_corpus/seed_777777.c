@@ -1,0 +1,8 @@
+#pragma @Locus loop=loop2
+double g0[117][89];
+void fn0(float p0, int p1, int* p2[10]) {
+    ;
+    ;
+    {
+    }
+}

@@ -288,3 +288,201 @@ fn shared_cache_replays_without_perturbing_outcomes() {
         "the replay must hit the cache"
     );
 }
+
+/// Every proposed point is accounted for exactly once: as a memo hit, a
+/// store hit, a fresh evaluation, or a statically pruned point. A counter
+/// leak here would make the `locus-report` rate table lie.
+#[test]
+fn report_counters_sum_to_proposed_points() {
+    use locus::search::BanditTuner;
+
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+
+    type MakeSearch = Box<dyn Fn() -> Box<dyn SearchModule>>;
+    let make: Vec<(&str, MakeSearch)> = vec![
+        (
+            "exhaustive",
+            Box::new(|| Box::new(ExhaustiveSearch::default())),
+        ),
+        ("random", Box::new(|| Box::new(RandomSearch::new(9)))),
+        ("bandit", Box::new(|| Box::new(BanditTuner::new(9)))),
+    ];
+    for (name, factory) in &make {
+        for threads in [1, 4] {
+            let mut search = factory();
+            let (result, report) = system
+                .tune_parallel_with_report(&source, &locus, search.as_mut(), 48, threads)
+                .unwrap();
+            assert!(result.best.is_some(), "{name}: no best found");
+            assert!(report.proposed > 0, "{name}: nothing proposed");
+            assert_eq!(
+                report.accounted(),
+                report.proposed,
+                "{name} threads={threads}: memo {} + store {} + fresh {} + pruned {} \
+                 != proposed {}",
+                report.memo_hits(),
+                report.store_hits(),
+                report.evaluations(),
+                report.pruned_illegal,
+                report.proposed
+            );
+        }
+    }
+}
+
+/// Tracing is observation-only: a run with an enabled tracer returns a
+/// `TuneResult` bit-identical to the same run without one, and the trace
+/// itself is deterministic across thread counts (workers merge by
+/// evaluation slot, not by scheduling order).
+#[test]
+fn traced_runs_are_bit_identical_to_untraced_runs() {
+    use locus::search::BanditTuner;
+    use locus::trace::Tracer;
+
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 32;
+    let seed = 0x7ace;
+
+    let mut search = BanditTuner::new(seed);
+    let (untraced, untraced_report) = system
+        .tune_parallel_with_report(&source, &locus, &mut search, budget, 4)
+        .unwrap();
+
+    let mut traces = Vec::new();
+    for threads in [1, 4, 8] {
+        let tracer = Tracer::enabled();
+        let mut search = BanditTuner::new(seed);
+        let (traced, traced_report) = system
+            .tune_parallel_with_tracer(&source, &locus, &mut search, budget, threads, &tracer)
+            .unwrap();
+        assert_eq!(
+            fingerprint(&traced),
+            fingerprint(&untraced),
+            "threads={threads}: tracing perturbed the tuning outcome"
+        );
+        assert_eq!(traced_report.evaluations(), untraced_report.evaluations());
+        assert_eq!(traced_report.proposed, untraced_report.proposed);
+        assert_eq!(traced_report.accounted(), traced_report.proposed);
+
+        let events = tracer.events();
+        assert!(
+            locus::report::check_trace(&events).is_ok(),
+            "threads={threads}: incomplete trace"
+        );
+        // Scrub wall-clock fields; everything else must be scheduling
+        // independent.
+        let shape: Vec<(String, String, u64)> = events
+            .iter()
+            .map(|e| (e.cat.clone(), e.name.clone(), e.lane))
+            .collect();
+        traces.push((threads, shape));
+    }
+    let eval_points = |shape: &[(String, String, u64)]| {
+        shape
+            .iter()
+            .filter(|(c, n, _)| c == "eval" && n == "point")
+            .count()
+    };
+    assert!(
+        eval_points(&traces[0].1) > 0,
+        "trace recorded no evaluations"
+    );
+    for (threads, shape) in &traces[1..] {
+        assert_eq!(
+            eval_points(shape),
+            eval_points(&traces[0].1),
+            "threads={threads}: merged evaluation stream diverged"
+        );
+    }
+}
+
+/// Same observation-only guarantee for the store-backed entry point, and
+/// the disabled tracer records nothing.
+#[test]
+fn store_backed_tracing_is_observation_only() {
+    use locus::search::BanditTuner;
+    use locus::store::TuningStore;
+    use locus::trace::Tracer;
+
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 24;
+    let seed = 0xace5;
+
+    let dir = std::env::temp_dir();
+    let tag = format!("{}-trace-store", std::process::id());
+    let path_a = dir.join(format!("locus-{tag}-a.jsonl"));
+    let path_b = dir.join(format!("locus-{tag}-b.jsonl"));
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+
+    let mut store = TuningStore::open(&path_a).unwrap();
+    let mut search = BanditTuner::new(seed);
+    let (plain, _) = system
+        .tune_parallel_with_store(&source, &locus, &mut search, budget, 4, &mut store)
+        .unwrap();
+    drop(store);
+
+    let tracer = Tracer::enabled();
+    let mut store = TuningStore::open(&path_b).unwrap();
+    let mut search = BanditTuner::new(seed);
+    let (traced, _) = system
+        .tune_parallel_with_store_and_tracer(
+            &source,
+            &locus,
+            &mut search,
+            budget,
+            4,
+            &mut store,
+            &tracer,
+        )
+        .unwrap();
+    drop(store);
+
+    assert_eq!(
+        fingerprint(&traced),
+        fingerprint(&plain),
+        "tracing perturbed the store-backed run"
+    );
+    assert!(
+        tracer
+            .events()
+            .iter()
+            .any(|e| e.cat == "phase" && e.name == "store-append"),
+        "store-backed trace must record the append phase"
+    );
+
+    // And the stores stayed identical, modulo the `wall_ms` field, which
+    // records real (non-simulated) wall-clock time and differs between
+    // any two runs, traced or not.
+    let scrub = |text: String| -> String {
+        text.lines()
+            .map(|line| match line.split_once("\"wall_ms\":") {
+                Some((head, tail)) => {
+                    let rest = tail.find([',', '}']).map_or("", |i| &tail[i..]);
+                    format!("{head}\"wall_ms\":0{rest}")
+                }
+                None => line.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = scrub(std::fs::read_to_string(&path_a).unwrap());
+    let b = scrub(std::fs::read_to_string(&path_b).unwrap());
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+    assert_eq!(a, b, "tracing changed what was persisted");
+
+    // A disabled tracer stays empty no matter what ran through it.
+    let disabled = Tracer::disabled();
+    let mut search = BanditTuner::new(seed);
+    system
+        .tune_parallel_with_tracer(&source, &locus, &mut search, budget, 2, &disabled)
+        .unwrap();
+    assert!(disabled.events().is_empty());
+}
