@@ -1,0 +1,72 @@
+//! The cross-machine corpus sweep: every registry entry tuned cold on
+//! every machine profile and compared against a one-evaluation store
+//! transfer from the donor profile. Writes `BENCH_corpus.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_corpus
+//! [--check] [output.json]` (threads via `LOCUS_THREADS`, default 8;
+//! budget via `LOCUS_BUDGET`, default 16). `--check` runs the CI smoke
+//! subset (two entries, two profiles, budget 4) and writes nothing.
+
+use locus_bench::corpus::{run_corpus, run_smoke, to_json, CorpusRow};
+
+fn print_rows(rows: &[CorpusRow]) {
+    for r in rows {
+        println!(
+            "{:<18} {:<10} {:<18} space {:>8}  cold {:>3} evals (best @ {:>3}) {:>6.2}x  \
+             transfer {} {:>6.2}x",
+            r.entry,
+            r.family,
+            r.profile,
+            r.space_size,
+            r.cold_evaluations,
+            r.cold_evals_to_best,
+            r.cold_speedup,
+            if r.is_donor {
+                "  (donor)"
+            } else if r.transfer_from_store {
+                "from store"
+            } else {
+                "  fallback"
+            },
+            r.transfer_speedup,
+        );
+    }
+}
+
+fn main() {
+    let threads = std::env::var("LOCUS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let budget = std::env::var("LOCUS_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--check") {
+        eprintln!("corpus sweep smoke: 2 entries, 2 profiles, budget 4, {threads} threads");
+        let rows = run_smoke(threads);
+        print_rows(&rows);
+        assert!(
+            rows.iter()
+                .filter(|r| !r.is_donor)
+                .all(|r| r.transfer_from_store),
+            "smoke: a transfer fell back to the static suggestion"
+        );
+        eprintln!("ok");
+        return;
+    }
+
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_corpus.json".to_string());
+
+    eprintln!("corpus x profile sweep, budget {budget}, {threads} worker threads");
+    let rows = run_corpus(budget, threads);
+    print_rows(&rows);
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,249 @@
+//! Cross-machine corpus sweep: every registry entry tuned on every
+//! machine profile, cold search vs store transfer (`BENCH_corpus.json`).
+//!
+//! The experiment behind the headline number: tune an entry on a
+//! *donor* machine once, then on every other profile compare
+//!
+//! * a **cold** search (fresh store for that machine digest) — pays
+//!   `evaluations` simulator runs and reaches its best after
+//!   `evals_to_best` of them; against
+//! * a **transferred** recipe ([`locus_core::transfer_recipe`]) — one
+//!   evaluation of the donor's best recipe, retrieved shape-matched
+//!   from the shared store.
+//!
+//! The transfer is worthwhile exactly when its speedup lands near the
+//! cold-search speedup at a fraction of the evaluations; triangular
+//! PolyBench entries, whose restructurings are mostly pruned, show
+//! where transfer degrades gracefully to the baseline.
+
+use locus_core::{transfer_recipe, tune_across_machines, LocusSystem, MachineTuneResult};
+use locus_corpus::{all_programs, CorpusEntry};
+use locus_machine::{all_profiles, Machine, MachineProfile};
+use locus_search::ExhaustiveSearch;
+use locus_store::TuningStore;
+
+/// One (entry, profile) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CorpusRow {
+    /// Registry entry name.
+    pub entry: String,
+    /// Kernel family (`dgemm` / `stencil` / `polybench`).
+    pub family: String,
+    /// Machine profile name.
+    pub profile: String,
+    /// The store key this machine's records file under.
+    pub machine_digest: u64,
+    /// Optimization-space size for this entry's recipe.
+    pub space_size: u128,
+    /// Evaluation budget of the cold search.
+    pub budget: usize,
+    /// Simulator runs the cold search actually performed.
+    pub cold_evaluations: usize,
+    /// Evaluation index at which the cold search last improved
+    /// (evaluations-to-best; 0 when nothing beat the baseline).
+    pub cold_evals_to_best: usize,
+    /// Cold-search speedup over this machine's baseline.
+    pub cold_speedup: f64,
+    /// Whether this profile is the donor the transfer recipes come from.
+    pub is_donor: bool,
+    /// Whether the transferred recipe came from a stored session (vs
+    /// the static fallback). Donor rows report `false` — nothing to
+    /// transfer to yourself.
+    pub transfer_from_store: bool,
+    /// Speedup of the transferred recipe (one evaluation) over this
+    /// machine's baseline. 1.0 on donor rows and failed transfers.
+    pub transfer_speedup: f64,
+}
+
+fn evals_to_best(r: &MachineTuneResult) -> usize {
+    r.result.outcome.history.last().map_or(0, |&(at, _)| at)
+}
+
+fn temp_store(tag: &str) -> TuningStore {
+    let path = std::env::temp_dir().join(format!(
+        "locus-bench-corpus-{tag}-{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    TuningStore::open(&path).expect("open tuning store")
+}
+
+fn drop_store(store: TuningStore) {
+    let path = store.path().to_path_buf();
+    drop(store);
+    std::fs::remove_file(path).ok();
+}
+
+/// Sweeps `entries` over `profiles`: the first profile is the donor.
+/// Returns one row per (entry, profile).
+pub fn run_entries(
+    entries: &[CorpusEntry],
+    profiles: &[MachineProfile],
+    budget: usize,
+    threads: usize,
+) -> Vec<CorpusRow> {
+    assert!(profiles.len() >= 2, "need a donor and at least one target");
+    let mut rows = Vec::new();
+    for entry in entries {
+        let locus = entry.locus_program();
+        let template = LocusSystem::new(Machine::new(profiles[0].config.clone()));
+
+        // Donor store: only the first profile's sessions, so transfers
+        // to the other profiles genuinely cross machines.
+        let mut donor_store = temp_store(&format!("donor-{}", entry.name));
+        // Scratch store for the cold searches; distinct digests keep
+        // the profiles cold with respect to each other.
+        let mut cold_store = temp_store(&format!("cold-{}", entry.name));
+
+        let donor_runs = tune_across_machines(
+            &template,
+            &profiles[..1],
+            &entry.program,
+            &locus,
+            &mut |_| Box::new(ExhaustiveSearch::default()),
+            budget,
+            threads,
+            &mut donor_store,
+        )
+        .unwrap_or_else(|e| panic!("{}: donor tuning failed: {e}", entry.name));
+
+        let cold_runs = tune_across_machines(
+            &template,
+            profiles,
+            &entry.program,
+            &locus,
+            &mut |_| Box::new(ExhaustiveSearch::default()),
+            budget,
+            threads,
+            &mut cold_store,
+        )
+        .unwrap_or_else(|e| panic!("{}: cold tuning failed: {e}", entry.name));
+
+        for (i, (profile, cold)) in profiles.iter().zip(&cold_runs).enumerate() {
+            let is_donor = i == 0;
+            let (transfer_from_store, transfer_speedup) = if is_donor {
+                (false, 1.0)
+            } else {
+                let target = {
+                    let mut s = template.clone();
+                    s.machine = Machine::new(profile.config.clone());
+                    s
+                };
+                let outcome = transfer_recipe(&target, &entry.program, entry.region, &donor_store)
+                    .unwrap_or_else(|e| {
+                        panic!("{}/{}: transfer failed: {e}", entry.name, profile.name)
+                    });
+                (outcome.from_store, outcome.speedup())
+            };
+            rows.push(CorpusRow {
+                entry: entry.name.to_string(),
+                family: entry.family.to_string(),
+                profile: profile.name.to_string(),
+                machine_digest: cold.machine_digest,
+                space_size: cold.result.space_size,
+                budget,
+                cold_evaluations: cold.result.outcome.evaluations,
+                cold_evals_to_best: evals_to_best(cold),
+                cold_speedup: cold.result.speedup(),
+                is_donor,
+                transfer_from_store,
+                transfer_speedup,
+            });
+        }
+        let _ = donor_runs;
+        drop_store(donor_store);
+        drop_store(cold_store);
+    }
+    rows
+}
+
+/// The full sweep: every registry entry over every machine profile.
+pub fn run_corpus(budget: usize, threads: usize) -> Vec<CorpusRow> {
+    run_entries(&all_programs(), &all_profiles(), budget, threads)
+}
+
+/// The CI smoke: two entries (dgemm and one triangular PolyBench
+/// kernel) over two profiles at a tiny budget — exercises the whole
+/// fan-out/transfer path in seconds.
+pub fn run_smoke(threads: usize) -> Vec<CorpusRow> {
+    let entries: Vec<CorpusEntry> = all_programs()
+        .into_iter()
+        .filter(|e| e.name == "dgemm" || e.name == "poly-syrk")
+        .collect();
+    assert_eq!(entries.len(), 2, "smoke entries missing from the registry");
+    let profiles = all_profiles();
+    run_entries(&entries, &profiles[..2], 4, threads)
+}
+
+/// Renders the rows as a JSON document (hand-rolled; the workspace has
+/// no serde).
+pub fn to_json(rows: &[CorpusRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"corpus x machine-profile sweep: cold search vs store transfer\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"entry\": \"{}\",\n",
+                "      \"family\": \"{}\",\n",
+                "      \"profile\": \"{}\",\n",
+                "      \"machine_digest\": {},\n",
+                "      \"space_size\": {},\n",
+                "      \"budget\": {},\n",
+                "      \"cold_evaluations\": {},\n",
+                "      \"cold_evals_to_best\": {},\n",
+                "      \"cold_speedup\": {:.3},\n",
+                "      \"is_donor\": {},\n",
+                "      \"transfer_from_store\": {},\n",
+                "      \"transfer_evaluations\": {},\n",
+                "      \"transfer_speedup\": {:.3}\n",
+                "    }}{}\n",
+            ),
+            r.entry,
+            r.family,
+            r.profile,
+            r.machine_digest,
+            r.space_size,
+            r.budget,
+            r.cold_evaluations,
+            r.cold_evals_to_best,
+            r.cold_speedup,
+            r.is_donor,
+            r.transfer_from_store,
+            if r.is_donor { 0 } else { 1 },
+            r.transfer_speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_transfer_rows() {
+        let rows = run_smoke(2);
+        // 2 entries x 2 profiles.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.is_donor));
+        for r in &rows {
+            assert!(r.cold_evaluations > 0, "{}/{}", r.entry, r.profile);
+            assert!(r.cold_speedup >= 1.0);
+            assert!(r.transfer_speedup >= 1.0);
+            if !r.is_donor {
+                assert!(
+                    r.transfer_from_store,
+                    "{}/{}: transfer fell back to the static suggestion",
+                    r.entry, r.profile
+                );
+            }
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"transfer_evaluations\": 1"), "{json}");
+        assert!(json.ends_with("}\n"));
+    }
+}

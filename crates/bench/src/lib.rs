@@ -10,6 +10,7 @@
 //! | [`store`] | Cold vs warm store-backed tuning sessions (BENCH_store.json) |
 //! | [`verify`] | Verifier-pruned vs unchecked tuning sessions (BENCH_verify.json) |
 //! | [`interp`] | Bytecode VM vs tree interpreter on the corpus kernels (BENCH_interp.json) |
+//! | [`corpus`] | Corpus-registry x machine-profile sweep: cold search vs store transfer (BENCH_corpus.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -21,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod fig12;
 pub mod fig6;
 pub mod interp;

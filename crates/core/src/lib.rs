@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod memo;
 pub mod registry;
 pub mod report;
@@ -31,6 +32,7 @@ pub mod subst;
 pub mod suggest;
 pub mod system;
 
+pub use fleet::{transfer_recipe, tune_across_machines, MachineTuneResult, TransferOutcome};
 pub use memo::{MemoCache, MemoStats};
 pub use registry::{RegionHost, SnippetProvider};
 pub use report::TuneReport;

@@ -11,7 +11,13 @@
 //!   in for the 16-suite extraction corpus of Table I (the LORE corpus
 //!   is not redistributable; the generator reproduces its *structure*:
 //!   controlled depth, perfect/imperfect nests, affine and non-affine
-//!   accesses).
+//!   accesses);
+//! * [`polybench`] — PolyBench-style triangular and imperfect nests
+//!   (Cholesky, LU, TRMM, SYRK, correlation, covariance), a
+//!   data-dependent-bound sparse SpMV and a guarded stencil;
+//! * [`registry`] — the single [`all_programs`] iterator every test
+//!   suite and bench sweeps, pairing each runnable kernel with a Locus
+//!   DSL recipe.
 //!
 //! All kernels are full `locus_srcir` programs with a `kernel()` entry
 //! and `#pragma @Locus` region annotations, sized so a search of
@@ -22,9 +28,13 @@
 pub mod dgemm;
 pub mod generator;
 pub mod kripke;
+pub mod polybench;
+pub mod registry;
 pub mod stencils;
 
 pub use dgemm::dgemm_program;
 pub use generator::{generate_corpus, CorpusNest, SuiteSpec, TABLE1_SUITES};
 pub use kripke::{kripke_hand_optimized, kripke_skeleton, kripke_snippets, KripkeKernel, LAYOUTS};
+pub use polybench::{polybench_program, PolyKernel};
+pub use registry::{all_programs, CorpusEntry, Family};
 pub use stencils::{stencil_program, Stencil};

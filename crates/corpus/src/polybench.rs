@@ -1,0 +1,355 @@
+//! PolyBench-style kernels: triangular and imperfect loop nests,
+//! data-dependent loop bounds and guarded updates.
+//!
+//! The paper's extraction corpus (Table I) and the PolyBench suite both
+//! stress exactly the shapes our original ~10 kernel families avoided:
+//! factorizations whose inner trip counts depend on the outer iterator
+//! (Cholesky, LU), triangular matrix products (TRMM, SYRK), multi-stage
+//! statistics kernels with imperfect nests (correlation, covariance), a
+//! sparse ELL-format SpMV whose inner bound is *data*-dependent
+//! (`j < rowlen[i]`) with an indirect gather, and a masked stencil whose
+//! update sits behind a value guard. Every kernel is a full
+//! `locus_srcir` program with a `kernel()` entry and a `#pragma @Locus`
+//! region; initialization preludes keep the arithmetic well-conditioned
+//! (positive-definite inputs for the factorizations) so no variant ever
+//! produces a NaN/Inf checksum.
+
+use locus_srcir::ast::Program;
+use locus_srcir::parse_program;
+
+/// The PolyBench-style kernel families.
+#[allow(missing_docs)] // variants are the standard kernel names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolyKernel {
+    Cholesky,
+    Lu,
+    Trmm,
+    Syrk,
+    Correlation,
+    Covariance,
+    SpmvEll,
+    GuardedStencil,
+}
+
+impl PolyKernel {
+    /// All eight kernels, factorizations first.
+    pub const ALL: [PolyKernel; 8] = [
+        PolyKernel::Cholesky,
+        PolyKernel::Lu,
+        PolyKernel::Trmm,
+        PolyKernel::Syrk,
+        PolyKernel::Correlation,
+        PolyKernel::Covariance,
+        PolyKernel::SpmvEll,
+        PolyKernel::GuardedStencil,
+    ];
+
+    /// The region identifier used in the generated source.
+    pub fn region_id(self) -> &'static str {
+        match self {
+            PolyKernel::Cholesky => "cholesky",
+            PolyKernel::Lu => "lu",
+            PolyKernel::Trmm => "trmm",
+            PolyKernel::Syrk => "syrk",
+            PolyKernel::Correlation => "correlation",
+            PolyKernel::Covariance => "covariance",
+            PolyKernel::SpmvEll => "spmv",
+            PolyKernel::GuardedStencil => "guarded",
+        }
+    }
+
+    /// Whether the annotated region is a perfect nest (every level holds
+    /// exactly one loop until the body).
+    pub fn perfect(self) -> bool {
+        matches!(
+            self,
+            PolyKernel::Syrk | PolyKernel::SpmvEll | PolyKernel::GuardedStencil
+        )
+    }
+
+    /// Whether the region's iteration space is rectangular (no loop
+    /// bound references an enclosing loop variable or array element).
+    pub fn rectangular(self) -> bool {
+        matches!(self, PolyKernel::GuardedStencil)
+    }
+}
+
+impl std::fmt::Display for PolyKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PolyKernel::Cholesky => "Cholesky",
+            PolyKernel::Lu => "LU",
+            PolyKernel::Trmm => "TRMM",
+            PolyKernel::Syrk => "SYRK",
+            PolyKernel::Correlation => "Correlation",
+            PolyKernel::Covariance => "Covariance",
+            PolyKernel::SpmvEll => "SpMV (ELL)",
+            PolyKernel::GuardedStencil => "Guarded stencil",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Builds one PolyBench-style kernel over an `n × n` problem (the
+/// statistics kernels use `n` observations of `n` variables; SpMV uses
+/// `n` rows).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn polybench_program(kernel: PolyKernel, n: usize) -> Program {
+    assert!(n >= 2, "polybench sizes must be at least 2");
+    let id = kernel.region_id();
+    let nf = n as f64;
+    let src = match kernel {
+        // A = S·Sᵀ + n·I is symmetric positive definite, so every pivot
+        // is >= n and sqrt() always sees a positive argument.
+        PolyKernel::Cholesky => format!(
+            r#"
+double A[{n}][{n}];
+double S[{n}][{n}];
+void kernel() {{
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < {n}; j++)
+            A[i][j] = 0.0;
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < {n}; j++)
+            for (int k = 0; k < {n}; k++)
+                A[i][j] = A[i][j] + 0.01 * S[i][k] * S[j][k];
+    for (int i = 0; i < {n}; i++)
+        A[i][i] = A[i][i] + {nf:.1};
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < i; j++) {{
+            for (int k = 0; k < j; k++)
+                A[i][j] = A[i][j] - A[i][k] * A[j][k];
+            A[i][j] = A[i][j] / A[j][j];
+        }}
+        for (int k = 0; k < i; k++)
+            A[i][i] = A[i][i] - A[i][k] * A[i][k];
+        A[i][i] = sqrt(A[i][i]);
+    }}
+}}
+"#
+        ),
+        // Same positive-definite preconditioning: an SPD matrix has an
+        // LU factorization with strictly positive pivots.
+        PolyKernel::Lu => format!(
+            r#"
+double A[{n}][{n}];
+double S[{n}][{n}];
+void kernel() {{
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < {n}; j++)
+            A[i][j] = 0.0;
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < {n}; j++)
+            for (int k = 0; k < {n}; k++)
+                A[i][j] = A[i][j] + 0.01 * S[i][k] * S[j][k];
+    for (int i = 0; i < {n}; i++)
+        A[i][i] = A[i][i] + {nf:.1};
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < i; j++) {{
+            for (int k = 0; k < j; k++)
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+            A[i][j] = A[i][j] / A[j][j];
+        }}
+        for (int j = i; j < {n}; j++)
+            for (int k = 0; k < i; k++)
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }}
+}}
+"#
+        ),
+        // B := alpha · Aᵀ · B with A lower-triangular: the k loop starts
+        // at i + 1, so the nest is triangular via a *lower* bound.
+        PolyKernel::Trmm => format!(
+            r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+void kernel() {{
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < {n}; j++) {{
+            for (int k = i + 1; k < {n}; k++)
+                B[i][j] = B[i][j] + A[k][i] * B[k][j];
+            B[i][j] = 1.5 * B[i][j];
+        }}
+}}
+"#
+        ),
+        // C := C + A·Aᵀ, lower triangle only: a *perfect* nest whose
+        // middle bound references the outer iterator (`j <= i`).
+        PolyKernel::Syrk => format!(
+            r#"
+double A[{n}][{n}];
+double C[{n}][{n}];
+void kernel() {{
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j <= i; j++)
+            for (int k = 0; k < {n}; k++)
+                C[i][j] = C[i][j] + A[i][k] * A[j][k];
+}}
+"#
+        ),
+        // Means and stddevs as untagged preludes; the tagged region is
+        // the triangular correlation nest. The deterministic array fill
+        // gives every column nonzero variance, so the stddev divisions
+        // are well-defined.
+        PolyKernel::Correlation => format!(
+            r#"
+double data[{n}][{n}];
+double mean[{n}];
+double stddev[{n}];
+double corr[{n}][{n}];
+void kernel() {{
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = 0.0;
+        for (int k = 0; k < {n}; k++)
+            mean[j] = mean[j] + data[k][j];
+        mean[j] = mean[j] / {nf:.1};
+    }}
+    for (int j = 0; j < {n}; j++) {{
+        stddev[j] = 0.0;
+        for (int k = 0; k < {n}; k++)
+            stddev[j] = stddev[j] + (data[k][j] - mean[j]) * (data[k][j] - mean[j]);
+        stddev[j] = sqrt(stddev[j] / {nf:.1});
+        if (stddev[j] <= 0.1)
+            stddev[j] = 1.0;
+    }}
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n} - 1; i++) {{
+        corr[i][i] = 1.0;
+        for (int j = i + 1; j < {n}; j++) {{
+            corr[i][j] = 0.0;
+            for (int k = 0; k < {n}; k++)
+                corr[i][j] = corr[i][j] + (data[k][i] - mean[i]) * (data[k][j] - mean[j]);
+            corr[i][j] = corr[i][j] / ({nf:.1} * stddev[i] * stddev[j]);
+            corr[j][i] = corr[i][j];
+        }}
+    }}
+}}
+"#
+        ),
+        PolyKernel::Covariance => format!(
+            r#"
+double data[{n}][{n}];
+double mean[{n}];
+double cov[{n}][{n}];
+void kernel() {{
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = 0.0;
+        for (int k = 0; k < {n}; k++)
+            mean[j] = mean[j] + data[k][j];
+        mean[j] = mean[j] / {nf:.1};
+    }}
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++)
+        for (int j = i; j < {n}; j++) {{
+            cov[i][j] = 0.0;
+            for (int k = 0; k < {n}; k++)
+                cov[i][j] = cov[i][j] + (data[k][i] - mean[i]) * (data[k][j] - mean[j]);
+            cov[i][j] = cov[i][j] / ({nf:.1} - 1.0);
+            cov[j][i] = cov[i][j];
+        }}
+}}
+"#
+        ),
+        // ELL-format sparse matrix-vector product: the inner trip count
+        // is read from `rowlen[i]` at run time and the gather goes
+        // through `colidx`. The deterministic integer fill keeps every
+        // rowlen in 0..13 and every colidx in 0..13, inside the 16-wide
+        // storage. `n` scales the row count.
+        PolyKernel::SpmvEll => format!(
+            r#"
+double val[{n}][16];
+int colidx[{n}][16];
+int rowlen[{n}];
+double x[16];
+double y[{n}];
+void kernel() {{
+    #pragma @Locus loop={id}
+    for (int i = 0; i < {n}; i++)
+        for (int j = 0; j < rowlen[i]; j++)
+            y[i] = y[i] + val[i][j] * x[colidx[i][j]];
+}}
+"#
+        ),
+        // Rectangular perfect nest, but the update is value-guarded, so
+        // the region body is a conditional rather than an assignment.
+        PolyKernel::GuardedStencil => format!(
+            r#"
+double A[{n}][{n}];
+double B[{n}][{n}];
+void kernel() {{
+    #pragma @Locus loop={id}
+    for (int i = 1; i < {n} - 1; i++)
+        for (int j = 1; j < {n} - 1; j++) {{
+            if (A[i][j] > 12.0)
+                B[i][j] = 0.25 * (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]);
+            else
+                B[i][j] = A[i][j];
+        }}
+}}
+"#
+        ),
+    };
+    parse_program(&src).expect("generated polybench source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_machine::{Machine, MachineConfig};
+    use locus_srcir::region::{extract_region, find_regions};
+
+    #[test]
+    fn all_kernels_build_and_run() {
+        let machine = Machine::new(MachineConfig::scaled_small());
+        for k in PolyKernel::ALL {
+            let p = polybench_program(k, 10);
+            let regions = find_regions(&p);
+            assert_eq!(regions.len(), 1, "{k}");
+            assert_eq!(regions[0].id, k.region_id());
+            let m = machine.run(&p, "kernel").unwrap();
+            assert!(m.flops > 0, "{k}");
+            let again = machine.run(&p, "kernel").unwrap();
+            assert_eq!(
+                m.checksum, again.checksum,
+                "{k}: checksum not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn factorizations_stay_finite_across_sizes() {
+        let machine = Machine::new(MachineConfig::scaled_tiny());
+        for k in [PolyKernel::Cholesky, PolyKernel::Lu] {
+            for n in [2, 5, 12] {
+                let p = polybench_program(k, n);
+                let m = machine.run(&p, "kernel").unwrap();
+                assert!(m.flops > 0, "{k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfectness_classification_matches_analysis() {
+        for k in PolyKernel::ALL {
+            let p = polybench_program(k, 8);
+            let regions = find_regions(&p);
+            let stmt = extract_region(&p, &regions[0]).unwrap().stmt;
+            let info = locus_analysis::loops::loop_nest_info(&stmt);
+            assert_eq!(info.perfect, k.perfect(), "{k}");
+            assert!(info.depth >= 2, "{k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_sizes_are_rejected() {
+        polybench_program(PolyKernel::Cholesky, 1);
+    }
+}

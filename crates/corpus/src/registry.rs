@@ -1,0 +1,271 @@
+//! The corpus registry: every standalone-runnable kernel family, each
+//! paired with a Locus optimization program, behind one iterator.
+//!
+//! Test suites and benches sweep [`all_programs`] instead of
+//! hand-listing kernels, so a kernel added here is automatically picked
+//! up by the VM-equivalence differential, the legality-vs-dependence
+//! differential, corpus conformance, and the cross-machine bench.
+//!
+//! The registry deliberately excludes the Kripke skeletons: their
+//! placeholder statements reference address variables that only exist
+//! after a `BuiltIn.Altdesc` rewrite, so they have no *baseline* run
+//! (the Kripke suites keep their dedicated harnesses in `fig12`).
+
+use locus_srcir::ast::Program;
+
+use crate::dgemm::dgemm_program;
+use crate::polybench::{polybench_program, PolyKernel};
+use crate::stencils::{stencil_program, Stencil};
+
+/// Which part of the corpus an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// The Fig. 3 DGEMM baseline.
+    Dgemm,
+    /// The six Sec. V-B stencils.
+    Stencil,
+    /// The PolyBench-style triangular/imperfect/guarded kernels.
+    PolyBench,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::Dgemm => "dgemm",
+            Family::Stencil => "stencil",
+            Family::PolyBench => "polybench",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One corpus kernel: a runnable `locus_srcir` program, the region the
+/// optimization program targets, and a matching Locus DSL recipe whose
+/// extracted [`locus_space::Space`] is the kernel's search space.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Unique registry name (stable across sessions; used as store and
+    /// report keys).
+    pub name: &'static str,
+    /// Corpus family the entry belongs to.
+    pub family: Family,
+    /// The `#pragma @Locus` region identifier inside the program.
+    pub region: &'static str,
+    /// The full program (a `kernel()` entry plus globals).
+    pub program: Program,
+    /// Locus DSL source: a `CodeReg` block for [`CorpusEntry::region`].
+    pub recipe: String,
+    /// Whether the annotated region's iteration space is rectangular
+    /// (no loop bound references an enclosing loop variable or memory).
+    pub rectangular: bool,
+}
+
+impl CorpusEntry {
+    /// Parses the entry's recipe into a [`locus_lang::LocusProgram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the recipe does not parse — registry recipes are
+    /// static and covered by the conformance suite, so a failure here is
+    /// a registry bug.
+    pub fn locus_program(&self) -> locus_lang::LocusProgram {
+        locus_lang::parse(&self.recipe)
+            .unwrap_or_else(|e| panic!("registry recipe for `{}` parses: {e}", self.name))
+    }
+}
+
+/// A recipe exercising interchange + two-level tiling + OMP, scaled to
+/// registry problem sizes (the Fig. 7 shape without the second level).
+fn dgemm_recipe() -> String {
+    r#"
+CodeReg matmul {
+    *RoseLocus.Interchange(order=[0, 2, 1]);
+    tileI = poweroftwo(2..8);
+    *Pips.Tiling(loop="0", factor=[tileI, tileI, tileI]);
+    *Pragma.OMPFor(loop="outermost");
+}
+"#
+    .to_string()
+}
+
+/// Vectorization pragmas plus inner unrolling — legal on every stencil,
+/// cheap enough for exhaustive sweeps.
+fn stencil_recipe(id: &str) -> String {
+    format!(
+        r#"
+CodeReg {id} {{
+    *Pragma.Ivdep(loop="innermost");
+    *Pragma.Vector(loop="innermost");
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="innermost", factor=uf);
+}}
+"#
+    )
+}
+
+/// Per-kernel recipes for the PolyBench-style families. Triangular
+/// kernels deliberately include tiling/interchange steps that the
+/// legality engine must route through its conservative path (refused,
+/// never mis-measured); every recipe keeps at least the all-optional-off
+/// baseline point valid.
+fn polybench_recipe(kernel: PolyKernel) -> String {
+    let id = kernel.region_id();
+    match kernel {
+        PolyKernel::Cholesky | PolyKernel::Lu => format!(
+            r#"
+CodeReg {id} {{
+    tileT = poweroftwo(2..8);
+    *Pips.Tiling(loop="0", factor=[tileT, tileT]);
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="innermost", factor=uf);
+}}
+"#
+        ),
+        PolyKernel::Trmm => format!(
+            r#"
+CodeReg {id} {{
+    *RoseLocus.Interchange(order=[1, 0]);
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="innermost", factor=uf);
+}}
+"#
+        ),
+        PolyKernel::Syrk => format!(
+            r#"
+CodeReg {id} {{
+    *RoseLocus.Interchange(order=[0, 2, 1]);
+    tileS = poweroftwo(2..8);
+    *Pips.Tiling(loop="0", factor=[tileS, tileS, tileS]);
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="innermost", factor=uf);
+}}
+"#
+        ),
+        PolyKernel::Correlation | PolyKernel::Covariance => format!(
+            r#"
+CodeReg {id} {{
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="innermost", factor=uf);
+    *Pragma.OMPFor(loop="outermost");
+}}
+"#
+        ),
+        PolyKernel::SpmvEll => format!(
+            r#"
+CodeReg {id} {{
+    *Pragma.Ivdep(loop="innermost");
+    uf = poweroftwo(2..4);
+    *RoseLocus.Unroll(loop="outermost", factor=uf);
+}}
+"#
+        ),
+        PolyKernel::GuardedStencil => format!(
+            r#"
+CodeReg {id} {{
+    tileG = poweroftwo(2..8);
+    *Pips.Tiling(loop="0", factor=[tileG, tileG]);
+    *Pragma.OMPFor(loop="outermost");
+    *Pragma.Vector(loop="innermost");
+}}
+"#
+        ),
+    }
+}
+
+/// Every registry entry at its default (test-sized) problem size:
+/// DGEMM, the six stencils, and the eight PolyBench-style kernels.
+pub fn all_programs() -> Vec<CorpusEntry> {
+    let mut out = vec![CorpusEntry {
+        name: "dgemm",
+        family: Family::Dgemm,
+        region: "matmul",
+        program: dgemm_program(12),
+        recipe: dgemm_recipe(),
+        rectangular: true,
+    }];
+    for s in Stencil::ALL {
+        let name: &'static str = match s {
+            Stencil::Jacobi1d => "stencil-jacobi1d",
+            Stencil::Jacobi2d => "stencil-jacobi2d",
+            Stencil::Heat1d => "stencil-heat1d",
+            Stencil::Heat2d => "stencil-heat2d",
+            Stencil::Seidel1d => "stencil-seidel1d",
+            Stencil::Seidel2d => "stencil-seidel2d",
+        };
+        out.push(CorpusEntry {
+            name,
+            family: Family::Stencil,
+            region: s.region_id(),
+            program: stencil_program(s, 10, 3),
+            recipe: stencil_recipe(s.region_id()),
+            rectangular: true,
+        });
+    }
+    for k in PolyKernel::ALL {
+        let name: &'static str = match k {
+            PolyKernel::Cholesky => "poly-cholesky",
+            PolyKernel::Lu => "poly-lu",
+            PolyKernel::Trmm => "poly-trmm",
+            PolyKernel::Syrk => "poly-syrk",
+            PolyKernel::Correlation => "poly-correlation",
+            PolyKernel::Covariance => "poly-covariance",
+            PolyKernel::SpmvEll => "poly-spmv",
+            PolyKernel::GuardedStencil => "poly-guarded",
+        };
+        out.push(CorpusEntry {
+            name,
+            family: Family::PolyBench,
+            region: k.region_id(),
+            program: polybench_program(k, 10),
+            recipe: polybench_recipe(k),
+            rectangular: k.rectangular(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_srcir::region::find_regions;
+
+    #[test]
+    fn registry_names_and_regions_are_unique_and_resolvable() {
+        let entries = all_programs();
+        assert!(entries.len() >= 15);
+        let mut names = std::collections::HashSet::new();
+        for e in &entries {
+            assert!(names.insert(e.name), "duplicate registry name {}", e.name);
+            let regions = find_regions(&e.program);
+            assert!(
+                regions.iter().any(|r| r.id == e.region),
+                "{}: region `{}` not found",
+                e.name,
+                e.region
+            );
+        }
+    }
+
+    #[test]
+    fn every_recipe_parses_and_targets_the_entry_region() {
+        for e in all_programs() {
+            let locus = e.locus_program();
+            let printed = locus_lang::print_program(&locus);
+            assert!(
+                printed.contains(&format!("CodeReg {}", e.region)),
+                "{}: recipe does not declare CodeReg {}",
+                e.name,
+                e.region
+            );
+        }
+    }
+
+    #[test]
+    fn polybench_families_meet_the_growth_floor() {
+        let polys = all_programs()
+            .into_iter()
+            .filter(|e| e.family == Family::PolyBench)
+            .count();
+        assert!(polys >= 6, "need >= 6 new families, have {polys}");
+    }
+}

@@ -141,6 +141,64 @@ impl CacheConfig {
     }
 }
 
+impl CacheConfig {
+    /// An embedded-class two-level hierarchy: 1 KB 2-way L1 (2 cycles),
+    /// 16 KB 4-way L2 (10 cycles), and a comparatively *close* memory
+    /// (80 cycles) — small tiles win, but the cliff beyond L1 is gentle.
+    pub fn embedded_small() -> CacheConfig {
+        CacheConfig {
+            line: 32,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 1024,
+                    ways: 2,
+                    latency: 2,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 16 * 1024,
+                    ways: 4,
+                    latency: 10,
+                },
+            ],
+            memory_latency: 80,
+        }
+    }
+
+    /// A server-class hierarchy with a large last-level cache relative
+    /// to the scaled problem sizes: 4 KB L1, 64 KB L2, 4 MB 16-way L3,
+    /// and distant memory (260 cycles). Working sets that thrash the
+    /// small profiles fit entirely in this LLC, flattening the tiling
+    /// landscape.
+    pub fn server_big_llc() -> CacheConfig {
+        CacheConfig {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    name: "L1",
+                    capacity: 4 * 1024,
+                    ways: 8,
+                    latency: 4,
+                },
+                LevelConfig {
+                    name: "L2",
+                    capacity: 64 * 1024,
+                    ways: 8,
+                    latency: 14,
+                },
+                LevelConfig {
+                    name: "L3",
+                    capacity: 4 * 1024 * 1024,
+                    ways: 16,
+                    latency: 50,
+                },
+            ],
+            memory_latency: 260,
+        }
+    }
+}
+
 impl Default for CacheConfig {
     fn default() -> CacheConfig {
         CacheConfig::scaled_small()

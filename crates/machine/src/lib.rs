@@ -46,12 +46,14 @@ mod compile;
 pub mod cost;
 pub mod interp;
 mod peephole;
+pub mod profiles;
 mod vm;
 
 pub use bytecode::Exe;
 pub use cache::{CacheConfig, CacheHierarchy, CacheStats, Level};
 pub use cost::{CostModel, OmpModel};
 pub use interp::{Interp, Measurement, RuntimeError};
+pub use profiles::{all_profiles, MachineProfile};
 
 use locus_srcir::ast::Program;
 

@@ -1,0 +1,139 @@
+//! The machine profile library: named [`MachineConfig`] presets spanning
+//! the hardware axes the tuner is sensitive to — core count, vector
+//! width, cache geometry and memory distance.
+//!
+//! [`all_profiles`] is the cross-machine analogue of the corpus
+//! registry: suites and benches that want "every machine" iterate it
+//! instead of hand-listing configurations, and `tune_across_machines`
+//! in the core crate fans one tuning request out over it. Each profile
+//! has a distinct [`MachineConfig::digest`], so the persistent tuning
+//! store keeps their results apart automatically.
+
+use crate::{CacheConfig, MachineConfig};
+
+/// A named machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineProfile {
+    /// Stable profile name (used as a report key).
+    pub name: &'static str,
+    /// One-line description of what the profile stresses.
+    pub summary: &'static str,
+    /// The configuration itself.
+    pub config: MachineConfig,
+}
+
+impl MachineConfig {
+    /// An embedded-class part: 2 slow cores, 2-lane SIMD, the tiny
+    /// two-level [`CacheConfig::embedded_small`] hierarchy, and *no*
+    /// auto-vectorizer — explicit `ivdep` / `vector always` pragmas are
+    /// the only way to the SIMD discount, so recipes that rely on the
+    /// compiler stop transferring here.
+    pub fn embedded_small_l1() -> MachineConfig {
+        MachineConfig {
+            cores: 2,
+            vector_width: 2,
+            ghz: 0.8,
+            cache: CacheConfig::embedded_small(),
+            auto_vectorize: false,
+            ..MachineConfig::scaled_small()
+        }
+    }
+
+    /// A server-class part: 16 cores, 8-lane SIMD, and the
+    /// [`CacheConfig::server_big_llc`] hierarchy whose 4 MB LLC swallows
+    /// every scaled working set — tiling matters less, parallelism more.
+    pub fn server_big_llc() -> MachineConfig {
+        MachineConfig {
+            cores: 16,
+            vector_width: 8,
+            ghz: 2.0,
+            cache: CacheConfig::server_big_llc(),
+            ..MachineConfig::scaled_small()
+        }
+    }
+
+    /// A high-core-count throughput part: 32 modest cores at 1.4 GHz on
+    /// the standard scaled hierarchy — fork/barrier overheads amortize
+    /// differently, so the best OMP schedule shifts.
+    pub fn manycore() -> MachineConfig {
+        MachineConfig {
+            cores: 32,
+            ghz: 1.4,
+            ..MachineConfig::scaled_small()
+        }
+    }
+}
+
+/// Every named profile: the scaled Xeon baseline plus the embedded,
+/// big-LLC server and manycore presets.
+pub fn all_profiles() -> Vec<MachineProfile> {
+    vec![
+        MachineProfile {
+            name: "scaled-xeon",
+            summary: "10-core scaled Xeon E5-2660 v3 baseline",
+            config: MachineConfig::scaled_small(),
+        },
+        MachineProfile {
+            name: "embedded-small-l1",
+            summary: "2 slow cores, 1 KB L1, no auto-vectorizer",
+            config: MachineConfig::embedded_small_l1(),
+        },
+        MachineProfile {
+            name: "server-big-llc",
+            summary: "16 cores, 8-lane SIMD, 4 MB last-level cache",
+            config: MachineConfig::server_big_llc(),
+        },
+        MachineProfile {
+            name: "manycore",
+            summary: "32 modest cores, standard scaled hierarchy",
+            config: MachineConfig::manycore(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheHierarchy, Machine};
+
+    #[test]
+    fn profiles_have_distinct_digests_and_valid_geometry() {
+        let profiles = all_profiles();
+        assert!(profiles.len() >= 3);
+        let mut digests = std::collections::HashSet::new();
+        for p in &profiles {
+            assert!(
+                digests.insert(p.config.digest()),
+                "duplicate digest for {}",
+                p.name
+            );
+            CacheHierarchy::new(&p.config.cache)
+                .unwrap_or_else(|e| panic!("{}: bad cache geometry: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn every_profile_runs_a_program() {
+        let src = r#"
+double A[64];
+void kernel() {
+    for (int i = 0; i < 64; i++)
+        A[i] = A[i] * 0.5 + 1.0;
+}
+"#;
+        let program = locus_srcir::parse_program(src).unwrap();
+        for p in all_profiles() {
+            let m = Machine::new(p.config.clone())
+                .run(&program, "kernel")
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(m.cycles > 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn embedded_profile_disables_auto_vectorization() {
+        let p = MachineConfig::embedded_small_l1();
+        assert!(!p.auto_vectorize);
+        assert_eq!(p.cache.levels.len(), 2);
+    }
+}

@@ -12,7 +12,9 @@ use locus_analysis::deps::analyze_region;
 use locus_analysis::loops::canonicalize;
 use locus_srcir::ast::{Expr, OmpClause, Pragma, Stmt, StmtKind};
 use locus_srcir::index::HierIndex;
-use locus_srcir::visit::{child, child_count, substitute_ident, walk_exprs_in_stmt, walk_stmts};
+use locus_srcir::visit::{
+    child, child_count, substitute_ident, walk_exprs, walk_exprs_in_stmt, walk_stmts,
+};
 
 use crate::races::{analyze_parallel_for, RaceFix};
 use crate::Verdict;
@@ -107,6 +109,55 @@ fn resolve_loop<'a>(root: &'a Stmt, target: &HierIndex) -> Result<&'a Stmt, Verd
     }
 }
 
+/// Conservative structural screening shared by the restructuring
+/// verdicts: walks `width` perfectly nested loops from `loop_stmt` and
+/// refuses bands the restructuring transforms cannot rebuild —
+/// non-canonical headers, imperfect nesting, and non-rectangular
+/// iteration spaces whose bounds reference another band variable.
+/// Triangular factorization nests and data-dependent bounds
+/// (`j <= i`, `j < rowlen[i]` with `rowlen` unknown at the header) all
+/// land here, so the search driver *prunes* such points statically
+/// instead of failing variant construction late.
+fn structured_band(loop_stmt: &Stmt, width: usize) -> Result<(), Verdict> {
+    let mut band = Vec::with_capacity(width);
+    let mut cur = loop_stmt;
+    for level in 0..width {
+        let Some(canon) = canonicalize(cur) else {
+            return Err(Verdict::illegal(format!(
+                "loop at band level {level} is not canonical"
+            )));
+        };
+        band.push(canon);
+        if level + 1 < width {
+            let body = cur.as_for().expect("canonical loop").body.body_stmts();
+            if body.len() != 1 || !body[0].is_for() {
+                return Err(Verdict::illegal(format!(
+                    "band is not perfectly nested at level {level}"
+                )));
+            }
+            cur = &body[0];
+        }
+    }
+    for canon in &band {
+        for bound in [&canon.lower, &canon.upper] {
+            let mut offending = false;
+            walk_exprs(bound, &mut |e| {
+                if let Expr::Ident(n) = e {
+                    if band.iter().any(|l| &l.var == n && l.var != canon.var) {
+                        offending = true;
+                    }
+                }
+            });
+            if offending {
+                return Err(Verdict::illegal(
+                    "band is not rectangular: a bound references a band variable",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
     if order.iter().enumerate().all(|(i, &o)| i == o) {
         return Verdict::Legal;
@@ -114,6 +165,9 @@ fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
     let info = analyze_region(root);
     if !info.available {
         return unavailable();
+    }
+    if let Err(v) = structured_band(root, order.len()) {
+        return v;
     }
     // Extend the permutation to the full analyzed nest depth: unlisted
     // deeper loops stay in place.
@@ -137,6 +191,9 @@ fn band_verdict(root: &Stmt, target: &HierIndex, width: usize, refusal: &str) ->
     let info = analyze_region(loop_stmt);
     if !info.available {
         return unavailable();
+    }
+    if let Err(v) = structured_band(loop_stmt, width) {
+        return v;
     }
     let levels: Vec<usize> = (0..width).collect();
     if info.band_permutable(&levels) {
@@ -660,6 +717,123 @@ mod tests {
             .is_legal(),
             "the innermost statement is not a loop"
         );
+    }
+
+    #[test]
+    fn triangular_bands_go_through_the_conservative_path() {
+        // The SYRK / Cholesky update shape: the inner bound references
+        // the outer induction variable, so tiling, unroll-and-jam and
+        // interchange must all be *verdict*-illegal (pruned statically),
+        // never left for the transform to fail on late.
+        let root = region(
+            r#"void f(int n, double C[8][8], double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    C[i][j] = C[i][j] + A[i][j];
+            }"#,
+        );
+        for step in [
+            TransformStep::Tile {
+                target: idx("0"),
+                width: 2,
+            },
+            TransformStep::UnrollAndJam { target: idx("0") },
+            TransformStep::Interchange { order: vec![1, 0] },
+        ] {
+            let verdict = legal(&root, &step);
+            assert!(
+                verdict.reason().unwrap().contains("not rectangular"),
+                "{step:?}: {verdict:?}"
+            );
+        }
+        // The identity permutation stays legal without consulting
+        // anything — a no-op never needs restructuring.
+        assert!(legal(&root, &TransformStep::Interchange { order: vec![0, 1] }).is_legal());
+        // A width-1 band of the outer loop alone is rectangular: its
+        // own bound references no *other* band variable.
+        assert!(legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 1
+            }
+        )
+        .is_legal());
+    }
+
+    #[test]
+    fn shifted_lower_bound_band_is_refused() {
+        // The TRMM shape: `k = i + 1` makes the band non-rectangular
+        // through the *lower* bound.
+        let root = region(
+            r#"void f(int n, double B[8][8], double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int k = i + 1; k < n; k++)
+                    B[i][0] = B[i][0] + A[k][i] * B[k][0];
+            }"#,
+        );
+        let verdict = legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 2,
+            },
+        );
+        assert!(
+            verdict.reason().unwrap().contains("not rectangular"),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn imperfect_nest_band_is_refused_with_a_typed_reason() {
+        // The LU/Cholesky factorization shape: a statement between the
+        // band loops makes the nest imperfect at level 0.
+        let root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++) {
+                A[i][i] = A[i][i] + 1.0;
+                for (int j = 0; j < n; j++)
+                    A[i][j] = A[i][j] * 0.5;
+            }
+            }"#,
+        );
+        let verdict = legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 2,
+            },
+        );
+        assert!(
+            verdict.reason().unwrap().contains("not perfectly nested"),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn rectangular_guarded_nest_still_tiles() {
+        // A guard *inside* the body does not make the band triangular:
+        // the guarded-stencil corpus shape must stay verdict-legal.
+        let root = region(
+            r#"void f(int n, double A[8][8], double B[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++) {
+                    if (A[i][j] > 12.0)
+                        B[i][j] = A[i][j] * 0.5;
+                    else
+                        B[i][j] = A[i][j] + 1.0;
+                }
+            }"#,
+        );
+        assert!(legal(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 2
+            }
+        )
+        .is_legal());
     }
 
     #[test]

@@ -20,8 +20,13 @@ cargo test -q --offline --test vm_equivalence
 # for randomly generated mini-C programs, pragmas and omp clauses included.
 cargo test -q --offline --test srcir_fuzz
 # Legality-vs-dependence differential: no transform may be declared legal
-# that a reported dependence forbids.
+# that a reported dependence forbids — now swept over the whole corpus
+# registry, triangular PolyBench entries included.
 cargo test -q --offline --test legality_vs_deps
+# Corpus registry conformance: every entry round-trips the printer,
+# prepares into a non-empty space, runs on every machine profile, and
+# restructuring a non-rectangular region is refused or checksum-preserving.
+cargo test -q --offline --test corpus_conformance
 # Tracing layer: golden locus-report output, observation-only invariants,
 # and counter accounting (proposed == memo + store + fresh + pruned).
 cargo test -q --offline --test report_golden
@@ -33,6 +38,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # is bit-identical across engines, the VM clears the 5x speedup floor,
 # and the disabled-tracer run_traced path stays under 1% overhead.
 ./target/release/bench_interp /tmp/locus_bench_interp.json --check
+
+# Cross-machine corpus sweep smoke: two entries over two profiles;
+# every non-donor row must transfer its recipe from the store.
+./target/release/bench_corpus --check
 
 # locus-report smoke: the committed fixture traces validate, and a
 # malformed input is refused with a nonzero exit.

@@ -377,6 +377,42 @@ fn hand_written_nests_are_judged_consistently() {
 }
 
 #[test]
+fn corpus_registry_regions_are_judged_consistently() {
+    // Every registry entry's tagged region goes through the same
+    // one-directional sweep — this is where the triangular PolyBench
+    // factorizations, the data-dependent SpMV bounds and the guarded
+    // stencil meet the legality engine. Rectangular entries must keep
+    // contributing legal verdicts; triangular ones are allowed to refuse
+    // everything (the engine may be more conservative than the raw
+    // predicates, never less).
+    use locus::srcir::region::{extract_region, find_regions};
+    let mut legal_total = 0;
+    for entry in locus::corpus::all_programs() {
+        let regions = find_regions(&entry.program);
+        let region = regions
+            .iter()
+            .find(|r| r.id == entry.region)
+            .unwrap_or_else(|| panic!("{}: region `{}` missing", entry.name, entry.region));
+        let root = extract_region(&entry.program, region)
+            .unwrap_or_else(|| panic!("{}: region not extractable", entry.name))
+            .stmt;
+        let count = check_region(&root, entry.name);
+        if entry.rectangular {
+            assert!(
+                count > 0,
+                "{}: rectangular entry produced no legal verdicts",
+                entry.name
+            );
+        }
+        legal_total += count;
+    }
+    assert!(
+        legal_total >= 10,
+        "registry sweep looks vacuous: only {legal_total} legal verdicts"
+    );
+}
+
+#[test]
 fn fusion_verdicts_respect_the_reconstructed_dependences() {
     // Fusion is judged on a privately fused candidate; re-do the engine's
     // construction through the public analysis API and compare verdicts.

@@ -108,6 +108,24 @@ fn corpus_kernels_are_bit_identical() {
     );
 }
 
+/// The whole corpus registry — dgemm, the stencils and every PolyBench
+/// kernel (triangular, imperfect, data-dependent bounds, guarded) —
+/// must be bit-identical across the engines on *every* machine profile:
+/// the profiles change cache geometry, core count and vectorization
+/// policy, and none of that may open a gap between tree and VM.
+#[test]
+fn corpus_registry_is_bit_identical_on_every_profile() {
+    for profile in locus::machine::all_profiles() {
+        for entry in corpus::all_programs() {
+            assert_engines_agree(
+                &format!("{}/{}", entry.name, profile.name),
+                &profile.config,
+                &entry.program,
+            );
+        }
+    }
+}
+
 /// The synthetic Table-I corpus: one generated nest per suite covers
 /// perfect/imperfect nests and affine/non-affine accesses.
 #[test]
@@ -130,8 +148,17 @@ fn transformed_variants_are_bit_identical() {
     for s in [Stencil::Jacobi1d, Stencil::Heat2d, Stencil::Seidel2d] {
         kernels.push((format!("{s:?}"), corpus::stencil_program(s, 10, 3)));
     }
+    // The PolyBench registry entries put triangular and imperfect nests
+    // (and data-dependent bounds) under the same randomized transform
+    // sweep: most restructurings are refused there, and the ones that
+    // apply must still agree bit-for-bit.
+    for entry in corpus::all_programs() {
+        if matches!(entry.family, corpus::Family::PolyBench) {
+            kernels.push((entry.name.to_string(), entry.program.clone()));
+        }
+    }
     let mut rng = SplitMix64::new(0xbead);
-    for trial in 0..40 {
+    for trial in 0..60 {
         let (label, program) = &kernels[rng.below_usize(kernels.len())];
         let mut variant = program.clone();
         let regions = find_regions(&variant);
