@@ -1,0 +1,60 @@
+//! Benchmarks `locusd` as a tuning service: 1, 4, and 16 concurrent
+//! clients firing tune requests over the NDJSON wire protocol, each
+//! level measured against a cold store and again against the warm
+//! store the cold phase populated. Writes throughput and client-side
+//! p50/p95 latency per phase to `BENCH_daemon.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_daemon
+//! [output.json] [--check]`. With `--check` the harness first runs the
+//! service-invariant smoke test (zero error replies, warm phase
+//! re-measures nothing and beats cold wall-clock, a poisoned request is
+//! isolated) and exits non-zero on any violation — this is the CI
+//! entry point.
+
+use locus_bench::daemon::{run_daemon_bench, to_json};
+
+fn main() {
+    let mut out = "BENCH_daemon.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out = arg;
+        }
+    }
+
+    if check {
+        eprintln!("checking service invariants (errors, warm replay, supervision)");
+        locus_bench::daemon::check_daemon();
+        eprintln!("service invariants hold");
+    }
+
+    eprintln!("locusd service benchmark: 1/4/16 clients, cold vs warm store");
+    let rows = run_daemon_bench(&[1, 4, 16], 8);
+    for r in &rows {
+        println!(
+            "{:>4} {:>2} clients  {:>4} requests  {:>2} errors  wall {:>8.3}s  \
+             {:>8.1} req/s  p50 {:>8.2}ms  p95 {:>8.2}ms  {:>5} evaluations",
+            r.phase,
+            r.clients,
+            r.requests,
+            r.errors,
+            r.wall_s,
+            r.throughput_rps,
+            r.p50_ms,
+            r.p95_ms,
+            r.evaluations,
+        );
+    }
+    assert!(rows.iter().all(|r| r.errors == 0), "error replies observed");
+    assert!(
+        rows.iter()
+            .filter(|r| r.phase == "warm")
+            .all(|r| r.evaluations == 0),
+        "a warm phase re-measured"
+    );
+
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+}

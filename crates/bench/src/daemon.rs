@@ -1,0 +1,285 @@
+//! Benchmarks `locusd` as a service: many concurrent clients firing
+//! tune requests at one daemon over the NDJSON wire protocol, measured
+//! end to end (connect → request → structured reply). Each concurrency
+//! level runs twice against the same daemon — a **cold** phase where
+//! every request pays for its measurements, then a **warm** phase where
+//! the shared sharded store replays every objective and the daemon does
+//! pure bookkeeping. Throughput and client-observed p50/p95 latency per
+//! phase are the headline numbers of `BENCH_daemon.json`.
+
+use std::time::Instant;
+
+use locus_daemon::{Client, Daemon, DaemonConfig, Op, Request};
+
+/// Kernels the clients rotate over — small enough spaces that a cold
+/// exhaustive pass at this budget stays in benchmark territory, varied
+/// enough that requests land on different store shards.
+pub const KERNELS: [&str; 4] = ["dgemm", "stencil-jacobi1d", "poly-syrk", "poly-trmm"];
+
+/// Evaluation budget per tune request.
+pub const BUDGET: usize = 6;
+
+/// One measured phase: a fixed client count against a cold or warm
+/// store.
+#[derive(Debug, Clone)]
+pub struct DaemonRow {
+    /// `"cold"` or `"warm"`.
+    pub phase: &'static str,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests sent across all clients.
+    pub requests: usize,
+    /// Requests answered with an error reply (must be 0).
+    pub errors: usize,
+    /// Wall-clock of the whole phase, seconds.
+    pub wall_s: f64,
+    /// `requests / wall_s`.
+    pub throughput_rps: f64,
+    /// Median client-observed request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile client-observed request latency, milliseconds.
+    pub p95_ms: f64,
+    /// Sum of the `evaluations` field over all replies — 0 in a warm
+    /// phase, where the store replays every objective.
+    pub evaluations: u64,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample (q in 0..=100).
+pub fn percentile_ms(latencies: &mut [f64], q: usize) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let rank = (q * latencies.len()).div_ceil(100).max(1) - 1;
+    latencies[rank.min(latencies.len() - 1)]
+}
+
+fn tune_request(id: String, kernel: &str) -> Request {
+    let mut request = Request::new(&id, Op::Tune);
+    request.kernel = kernel.to_string();
+    request.search = "exhaustive".to_string();
+    request.seed = 0;
+    request.budget = BUDGET;
+    request.threads = 1;
+    request
+}
+
+/// Runs one phase: `clients` threads, each opening its own connection
+/// and sending `per_client` tune requests back to back; `pick` maps
+/// `(client, request)` to the kernel that request tunes.
+fn run_phase(
+    addr: &str,
+    phase: &'static str,
+    clients: usize,
+    per_client: usize,
+    pick: &(impl Fn(usize, usize) -> &'static str + Sync),
+) -> (DaemonRow, Vec<f64>) {
+    let started = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut errors = 0usize;
+    let mut evaluations = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0usize;
+                    let mut evaluations = 0u64;
+                    for r in 0..per_client {
+                        let request = tune_request(format!("{phase}-c{c}-r{r}"), pick(c, r));
+                        let sent = Instant::now();
+                        let reply = client.request(&request).expect("reply");
+                        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                        if reply.ok {
+                            evaluations += reply.get_u64("evaluations").unwrap_or(0);
+                        } else {
+                            errors += 1;
+                        }
+                    }
+                    (latencies, errors, evaluations)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (latencies, errs, evals) = handle.join().expect("client thread");
+            all_latencies.extend(latencies);
+            errors += errs;
+            evaluations += evals;
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let requests = clients * per_client;
+    let mut sample = all_latencies.clone();
+    let row = DaemonRow {
+        phase,
+        clients,
+        requests,
+        errors,
+        wall_s,
+        throughput_rps: requests as f64 / wall_s.max(1e-9),
+        p50_ms: percentile_ms(&mut sample, 50),
+        p95_ms: percentile_ms(&mut sample, 95),
+        evaluations,
+    };
+    (row, all_latencies)
+}
+
+/// Runs the full benchmark: for each concurrency level a fresh daemon
+/// with an empty store, one cold phase, then one warm phase against the
+/// now-populated store. Returns the rows in phase order per level.
+pub fn run_daemon_bench(levels: &[usize], per_client: usize) -> Vec<DaemonRow> {
+    let mut rows = Vec::new();
+    for &clients in levels {
+        let dir = std::env::temp_dir().join(format!(
+            "locus-bench-daemon-{}-{clients}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut daemon =
+            Daemon::start(DaemonConfig::new(dir.join("store.d"))).expect("start daemon");
+        let addr = daemon.addr().to_string();
+        let rotate = |c: usize, r: usize| KERNELS[(c + r) % KERNELS.len()];
+        let (cold, _) = run_phase(&addr, "cold", clients, per_client, &rotate);
+        let (warm, _) = run_phase(&addr, "warm", clients, per_client, &rotate);
+        rows.push(cold);
+        rows.push(warm);
+        daemon.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    rows
+}
+
+/// Smoke-checks the service invariants the benchmark relies on; panics
+/// with a diagnostic on any violation. Used by `bench_daemon --check`
+/// in CI.
+pub fn check_daemon() {
+    let dir = std::env::temp_dir().join(format!("locus-bench-daemon-check-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.join("store.d"))).expect("start daemon");
+    let addr = daemon.addr().to_string();
+
+    // Every request tunes a *distinct* kernel: the cold phase then pays
+    // for 8 real tuning sessions, so cold-vs-warm wall-clock is a
+    // session-cost comparison rather than scheduling noise (with the
+    // bench's rotating kernels, most cold requests are already answered
+    // by a sibling's store records).
+    const CHECK_KERNELS: [&str; 8] = [
+        "dgemm",
+        "stencil-jacobi1d",
+        "stencil-heat1d",
+        "stencil-seidel1d",
+        "poly-syrk",
+        "poly-trmm",
+        "poly-lu",
+        "poly-spmv",
+    ];
+    let distinct = |c: usize, r: usize| CHECK_KERNELS[c * 2 + r];
+    let (cold, _) = run_phase(&addr, "cold", 4, 2, &distinct);
+    assert_eq!(cold.errors, 0, "cold phase saw error replies: {cold:?}");
+    assert!(
+        cold.evaluations > 0,
+        "cold phase measured nothing: {cold:?}"
+    );
+    let (warm, _) = run_phase(&addr, "warm", 4, 2, &distinct);
+    assert_eq!(warm.errors, 0, "warm phase saw error replies: {warm:?}");
+    assert_eq!(
+        warm.evaluations, 0,
+        "warm phase re-measured despite the shared store: {warm:?}"
+    );
+    assert!(
+        warm.wall_s < cold.wall_s,
+        "warm replay not faster than cold tuning: warm {} s vs cold {} s",
+        warm.wall_s,
+        cold.wall_s
+    );
+
+    // Supervision: a poisoned request is reported as a structured panic
+    // error and the daemon keeps serving.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client
+        .request(&Request::new("poison", Op::DebugPanic))
+        .expect("reply to poisoned request");
+    assert!(!reply.ok, "debug-panic must fail: {reply:?}");
+    assert_eq!(
+        reply.error_code(),
+        Some(locus_daemon::codes::PANIC),
+        "wrong error code: {reply:?}"
+    );
+    assert!(client.ping("after-poison").expect("ping"), "daemon died");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Serializes the rows as the `BENCH_daemon.json` report.
+pub fn to_json(rows: &[DaemonRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"locusd service throughput and latency, cold vs warm store\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"phase\": \"{}\",\n",
+                "      \"clients\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"errors\": {},\n",
+                "      \"wall_s\": {:.6},\n",
+                "      \"throughput_rps\": {:.3},\n",
+                "      \"p50_ms\": {:.3},\n",
+                "      \"p95_ms\": {:.3},\n",
+                "      \"evaluations\": {}\n",
+                "    }}{}\n",
+            ),
+            r.phase,
+            r.clients,
+            r.requests,
+            r.errors,
+            r.wall_s,
+            r.throughput_rps,
+            r.p50_ms,
+            r.p95_ms,
+            r.evaluations,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut one = vec![5.0];
+        assert_eq!(percentile_ms(&mut one, 50), 5.0);
+        assert_eq!(percentile_ms(&mut one, 95), 5.0);
+        let mut ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile_ms(&mut ten, 50), 5.0);
+        assert_eq!(percentile_ms(&mut ten, 95), 10.0);
+        assert_eq!(percentile_ms(&mut [], 50), 0.0);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let row = DaemonRow {
+            phase: "cold",
+            clients: 4,
+            requests: 8,
+            errors: 0,
+            wall_s: 1.25,
+            throughput_rps: 6.4,
+            p50_ms: 100.0,
+            p95_ms: 400.0,
+            evaluations: 24,
+        };
+        let json = to_json(&[row]);
+        assert!(json.contains("\"phase\": \"cold\""));
+        assert!(json.contains("\"clients\": 4"));
+        assert!(json.contains("\"p95_ms\": 400.000"));
+        assert!(json.contains("\"evaluations\": 24"));
+    }
+}

@@ -176,10 +176,11 @@ impl TraceOverheadRow {
 /// against the plain `run` path on the DGEMM kernel (bytecode engine —
 /// the path every tuning evaluation takes).
 ///
-/// Batches of the two paths are interleaved and the minimum over seven
-/// batches is kept for each, so scheduler drift hits both sides equally.
-/// The tuning driver calls `run_traced` unconditionally, so this ratio is
-/// exactly the tracing tax every untraced session pays.
+/// Batches of the two paths are interleaved with alternating order and
+/// the minimum over 21 batches is kept for each, so scheduler drift and
+/// frequency ramps hit both sides equally. The tuning driver calls
+/// `run_traced` unconditionally, so this ratio is exactly the tracing
+/// tax every untraced session pays.
 pub fn trace_overhead(repeats: usize) -> TraceOverheadRow {
     let program = dgemm_program(24);
     let machine = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::Bytecode));
@@ -191,22 +192,33 @@ pub fn trace_overhead(repeats: usize) -> TraceOverheadRow {
         .run_traced(&program, "kernel", &tracer)
         .expect("kernel runs");
 
-    let mut plain_s = f64::INFINITY;
-    let mut traced_s = f64::INFINITY;
-    for _ in 0..7 {
+    let time_plain = |plain_s: &mut f64| {
         let start = Instant::now();
         for _ in 0..repeats {
             machine.run(&program, "kernel").expect("kernel runs");
         }
-        plain_s = plain_s.min(start.elapsed().as_secs_f64());
-
+        *plain_s = plain_s.min(start.elapsed().as_secs_f64());
+    };
+    let time_traced = |traced_s: &mut f64| {
         let start = Instant::now();
         for _ in 0..repeats {
             machine
                 .run_traced(&program, "kernel", &tracer)
                 .expect("kernel runs");
         }
-        traced_s = traced_s.min(start.elapsed().as_secs_f64());
+        *traced_s = traced_s.min(start.elapsed().as_secs_f64());
+    };
+
+    let mut plain_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    for batch in 0..21 {
+        if batch % 2 == 0 {
+            time_plain(&mut plain_s);
+            time_traced(&mut traced_s);
+        } else {
+            time_traced(&mut traced_s);
+            time_plain(&mut plain_s);
+        }
     }
     TraceOverheadRow {
         label: "dgemm-24".to_string(),

@@ -11,6 +11,7 @@
 //! | [`verify`] | Verifier-pruned vs unchecked tuning sessions (BENCH_verify.json) |
 //! | [`interp`] | Bytecode VM vs tree interpreter on the corpus kernels (BENCH_interp.json) |
 //! | [`corpus`] | Corpus-registry x machine-profile sweep: cold search vs store transfer (BENCH_corpus.json) |
+//! | [`daemon`] | `locusd` service throughput/latency at 1/4/16 concurrent clients, cold vs warm store (BENCH_daemon.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod daemon;
 pub mod fig12;
 pub mod fig6;
 pub mod interp;

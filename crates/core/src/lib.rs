@@ -37,9 +37,10 @@ pub use memo::{MemoCache, MemoStats};
 pub use registry::{RegionHost, SnippetProvider};
 pub use report::TuneReport;
 pub use suggest::{
-    profile_region, suggest_program, suggest_with_store, RegionProfile, MAX_SUGGEST_DISTANCE,
+    profile_region, suggest_program, suggest_with_sharded_store, suggest_with_store, RegionProfile,
+    MAX_SUGGEST_DISTANCE,
 };
 pub use system::{
-    check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, TuneResult, VariantOutcome,
-    PARALLEL_BATCH, WARM_START_K,
+    check_coherence, region_hashes, ApplyError, LocusSystem, Prepared, StoreHandle, TuneResult,
+    VariantOutcome, PARALLEL_BATCH, WARM_START_K,
 };

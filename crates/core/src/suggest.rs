@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 
 use locus_lang::ast::LItem;
 use locus_srcir::ast::Stmt;
-use locus_store::{RegionShape, TuningStore};
+use locus_store::{RegionShape, SessionRecord, ShardedStore, TuningStore};
 
 use locus_transform::queries;
 
@@ -154,16 +154,31 @@ pub fn suggest_with_store(region_id: &str, stmt: &Stmt, store: &TuningStore) -> 
     let profile = profile_region(stmt);
     let retrieved = store
         .nearest_session(&profile.shape(), MAX_SUGGEST_DISTANCE)
-        .and_then(|(session, distance)| {
-            retarget_recipe(&session.recipe, region_id).map(|recipe| {
-                format!(
-                    "# retrieved from tuning store: region `{}` (shape distance {}, \
-                     best {:.6} ms, search `{}`)\n{}",
-                    session.region, distance, session.best_ms, session.search, recipe
-                )
-            })
-        });
+        .and_then(|(session, distance)| format_retrieval(region_id, session, distance));
     retrieved.unwrap_or_else(|| suggest_program(region_id, stmt))
+}
+
+/// [`suggest_with_store`] against the daemon's shared sharded store:
+/// same retrieval, same provenance comment, same fallback — the only
+/// difference is that the nearest-session scan crosses every shard.
+pub fn suggest_with_sharded_store(region_id: &str, stmt: &Stmt, store: &ShardedStore) -> String {
+    let profile = profile_region(stmt);
+    let retrieved = store
+        .nearest_session(&profile.shape(), MAX_SUGGEST_DISTANCE)
+        .and_then(|(session, distance)| format_retrieval(region_id, &session, distance));
+    retrieved.unwrap_or_else(|| suggest_program(region_id, stmt))
+}
+
+/// Formats a retrieved session as a retargeted recipe with a provenance
+/// header; `None` when the stored recipe no longer parses.
+fn format_retrieval(region_id: &str, session: &SessionRecord, distance: u32) -> Option<String> {
+    retarget_recipe(&session.recipe, region_id).map(|recipe| {
+        format!(
+            "# retrieved from tuning store: region `{}` (shape distance {}, \
+             best {:.6} ms, search `{}`)\n{}",
+            session.region, distance, session.best_ms, session.search, recipe
+        )
+    })
 }
 
 /// Re-targets a stored recipe at a new region: parse, rename every

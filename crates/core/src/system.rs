@@ -16,7 +16,7 @@ use locus_srcir::hash::{hash_region, RegionHash};
 use locus_srcir::region::{extract_region, find_regions, replace_region};
 use locus_trace::{kv, Tracer};
 
-use locus_store::{EvalRecord, PruneRecord, SessionRecord, StoreKey, TuningStore};
+use locus_store::{EvalRecord, PruneRecord, SessionRecord, ShardedStore, StoreKey, TuningStore};
 
 use crate::memo::{MemoCache, MemoStats};
 use crate::registry::{is_query, run_query, RegionHost};
@@ -58,6 +58,70 @@ impl fmt::Display for ApplyError {
 }
 
 impl Error for ApplyError {}
+
+/// The store a tuning session runs against: either an exclusively
+/// owned single-file [`TuningStore`], or the shared lock-striped
+/// [`ShardedStore`] many concurrent sessions (the `locusd` daemon's
+/// workers) multiplex onto. The driver is indifferent — rehydration,
+/// warm start and append-back go through this handle — which is what
+/// makes daemon results bit-identical to the library path.
+pub enum StoreHandle<'a> {
+    /// A caller-owned single-file store (the classic library path).
+    Single(&'a mut TuningStore),
+    /// A shared sharded store; locking is internal and per stripe.
+    Sharded(&'a ShardedStore),
+}
+
+impl StoreHandle<'_> {
+    fn invalidate_stale(&mut self, current: &HashMap<String, u64>) -> usize {
+        match self {
+            StoreHandle::Single(s) => s.invalidate_stale(current),
+            StoreHandle::Sharded(s) => s.invalidate_stale(current),
+        }
+    }
+
+    fn for_each_eval(&self, key: &StoreKey, mut f: impl FnMut(&EvalRecord)) {
+        match self {
+            StoreHandle::Single(s) => s.evals(key).iter().for_each(&mut f),
+            StoreHandle::Sharded(s) => s.for_each_eval(key, f),
+        }
+    }
+
+    fn for_each_prune(&self, key: &StoreKey, mut f: impl FnMut(&PruneRecord)) {
+        match self {
+            StoreHandle::Single(s) => s.prunes(key).iter().for_each(&mut f),
+            StoreHandle::Sharded(s) => s.for_each_prune(key, f),
+        }
+    }
+
+    fn top_k(&self, key: &StoreKey, k: usize) -> Vec<(Point, f64)> {
+        match self {
+            StoreHandle::Single(s) => s.top_k(key, k),
+            StoreHandle::Sharded(s) => s.top_k(key, k),
+        }
+    }
+
+    fn append_evals(&mut self, key: &StoreKey, records: &[EvalRecord]) -> std::io::Result<usize> {
+        match self {
+            StoreHandle::Single(s) => s.append_evals(key, records),
+            StoreHandle::Sharded(s) => s.append_evals(key, records),
+        }
+    }
+
+    fn append_prunes(&mut self, key: &StoreKey, records: &[PruneRecord]) -> std::io::Result<usize> {
+        match self {
+            StoreHandle::Single(s) => s.append_prunes(key, records),
+            StoreHandle::Sharded(s) => s.append_prunes(key, records),
+        }
+    }
+
+    fn append_session(&mut self, key: &StoreKey, record: SessionRecord) -> std::io::Result<()> {
+        match self {
+            StoreHandle::Single(s) => s.append_session(key, record),
+            StoreHandle::Sharded(s) => s.append_session(key, record),
+        }
+    }
+}
 
 /// A prepared (query-substituted, optimized) Locus program together with
 /// its extracted optimization space.
@@ -547,8 +611,50 @@ impl LocusSystem {
             budget,
             threads,
             &cache,
-            Some(store),
+            Some(StoreHandle::Single(store)),
             &Tracer::disabled(),
+        )
+    }
+
+    /// [`LocusSystem::tune_parallel_with_store`] against the shared
+    /// lock-striped [`ShardedStore`] of a tuning service: the store is
+    /// taken by `&self`, so any number of concurrent sessions — the
+    /// `locusd` daemon's worker threads — run against one process-wide
+    /// store at once. Each session locks only the stripe holding its
+    /// own `(regions, machine, space)` records, during rehydration,
+    /// warm start and append-back; the batch loop in between holds no
+    /// store lock at all.
+    ///
+    /// For the same inputs over the same store contents, the result is
+    /// bit-identical to the single-store path — the driver behind both
+    /// is the same, only the handle differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] when preparation fails, the baseline
+    /// cannot be measured, or ([`ApplyError::Store`]) a shard cannot be
+    /// written.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune_parallel_with_sharded_store(
+        &self,
+        source: &Program,
+        locus: &LocusProgram,
+        search: &mut dyn SearchModule,
+        budget: usize,
+        threads: usize,
+        store: &ShardedStore,
+        tracer: &Tracer,
+    ) -> Result<(TuneResult, TuneReport), ApplyError> {
+        let cache = MemoCache::new();
+        self.tune_parallel_driver(
+            source,
+            locus,
+            search,
+            budget,
+            threads,
+            &cache,
+            Some(StoreHandle::Sharded(store)),
+            tracer,
         )
     }
 
@@ -582,7 +688,7 @@ impl LocusSystem {
             budget,
             threads,
             &cache,
-            Some(store),
+            Some(StoreHandle::Single(store)),
             tracer,
         )
     }
@@ -653,7 +759,7 @@ impl LocusSystem {
         budget: usize,
         threads: usize,
         cache: &MemoCache,
-        mut store: Option<&mut TuningStore>,
+        mut store: Option<StoreHandle<'_>>,
         tracer: &Tracer,
     ) -> Result<(TuneResult, TuneReport), ApplyError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -673,29 +779,29 @@ impl LocusSystem {
 
         // Store session prologue: coherence check, cache rehydration.
         let store_key = store.as_ref().map(|_| self.store_key(source, &prepared));
-        if let (Some(store), Some(key)) = (store.as_deref_mut(), store_key.as_ref()) {
+        if let (Some(store), Some(key)) = (store.as_mut(), store_key.as_ref()) {
             let _span = tracer.span("phase", "store-rehydrate");
             let current: HashMap<String, u64> = region_hashes(source)
                 .into_iter()
                 .map(|(id, hash)| (id, hash.0))
                 .collect();
             report.invalidated = store.invalidate_stale(&current);
-            for record in store.evals(key) {
+            store.for_each_eval(key, |record| {
                 cache.seed(&record.point_key, record.variant, record.objective);
                 report.rehydrated += 1;
-            }
+            });
             // Prior static refusals replay from disk too: a warm
             // session neither re-analyzes nor re-proposes known-racy
             // points.
-            for prune in store.prunes(key) {
+            store.for_each_prune(key, |prune| {
                 cache.seed(&prune.point_key, prune.variant, Objective::Invalid);
                 report.rehydrated += 1;
-            }
+            });
         }
 
         search.attach_tracer(tracer);
         search.begin(&prepared.space, budget);
-        if let (Some(store), Some(key)) = (store.as_deref(), store_key.as_ref()) {
+        if let (Some(store), Some(key)) = (store.as_ref(), store_key.as_ref()) {
             let _span = tracer.span("phase", "warm-start");
             let prior = store.top_k(key, WARM_START_K);
             report.seeded = prior.len();
@@ -960,7 +1066,7 @@ impl LocusSystem {
         // Store session epilogue: persist fresh measurements and a
         // session summary (region profile + winning recipe) the
         // suggester can retrieve later.
-        if let (Some(store), Some(key)) = (store, store_key.as_ref()) {
+        if let (Some(mut store), Some(key)) = (store, store_key.as_ref()) {
             let _span = tracer.span("phase", "store-append");
             report.appended = store
                 .append_evals(key, &fresh_records)

@@ -1,0 +1,104 @@
+//! `locus-client` — command-line client for a running `locusd`.
+//!
+//! Usage:
+//!
+//! ```text
+//! locus-client ADDR OP [--kernel NAME] [--search MODULE] [--seed N]
+//!              [--budget N] [--threads N] [--machine PROFILE]
+//!              [--deadline-ms N] [--id ID]
+//! ```
+//!
+//! `OP` is one of `ping`, `tune`, `suggest`, `stats`, `compact`,
+//! `shutdown`. The response's payload fields print one per line as
+//! `key: value`; exact doubles print their decimal value with the bit
+//! pattern alongside. Exit status: 0 on an `ok` reply, 1 on an `error`
+//! reply, 2 on usage or connection errors.
+
+use std::process::ExitCode;
+
+use locus_daemon::{Client, Op, Request, WireValue};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: locus-client ADDR OP [--kernel NAME] [--search MODULE] [--seed N] [--budget N] [--threads N] [--machine PROFILE] [--deadline-ms N] [--id ID]");
+        return ExitCode::from(2);
+    }
+    let addr = &args[0];
+    let Some(op) = Op::parse(&args[1]) else {
+        eprintln!("unknown op `{}`", args[1]);
+        return ExitCode::from(2);
+    };
+    let mut request = Request::new("cli", op);
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        let Some(value) = rest.next() else {
+            eprintln!("{flag} needs a value");
+            return ExitCode::from(2);
+        };
+        let numeric = |v: &str| v.parse::<u64>().ok();
+        match flag.as_str() {
+            "--kernel" => request.kernel = value.clone(),
+            "--search" => request.search = value.clone(),
+            "--machine" => request.machine = value.clone(),
+            "--id" => request.id = value.clone(),
+            "--seed" => match numeric(value) {
+                Some(n) => request.seed = n,
+                None => return bad_number(flag, value),
+            },
+            "--budget" => match numeric(value) {
+                Some(n) => request.budget = n as usize,
+                None => return bad_number(flag, value),
+            },
+            "--threads" => match numeric(value) {
+                Some(n) => request.threads = n as usize,
+                None => return bad_number(flag, value),
+            },
+            "--deadline-ms" => match numeric(value) {
+                Some(n) => request.deadline_ms = Some(n),
+                None => return bad_number(flag, value),
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{}: {}",
+        response.id,
+        if response.ok { "ok" } else { "error" }
+    );
+    for (key, value) in &response.fields {
+        match value {
+            WireValue::Str(s) => println!("{key}: {s}"),
+            WireValue::U64(n) => println!("{key}: {n}"),
+            WireValue::F64(x) => println!("{key}: {x:.6} (bits {:016x})", x.to_bits()),
+        }
+    }
+    if response.ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn bad_number(flag: &str, value: &str) -> ExitCode {
+    eprintln!("{flag}: `{value}` is not a number");
+    ExitCode::from(2)
+}

@@ -1,0 +1,98 @@
+//! `locusd` — the Locus tuning service daemon.
+//!
+//! Serves tuning, suggestion, and store-maintenance requests over a
+//! newline-delimited JSON protocol on a TCP socket (see the
+//! `locus_daemon::protocol` docs and the README's "Tuning service"
+//! section for the wire format).
+//!
+//! Usage:
+//!
+//! ```text
+//! locusd --store DIR [--addr 127.0.0.1:7417] [--workers N]
+//!        [--shards N] [--max-budget N] [--max-threads N]
+//!        [--trace FILE]
+//! ```
+//!
+//! The daemon prints `locusd listening on ADDR` once ready and runs
+//! until a client sends the `shutdown` op. Exit status: 0 on clean
+//! shutdown, 2 on usage or startup errors.
+
+use std::process::ExitCode;
+
+use locus_daemon::{Daemon, DaemonConfig};
+
+fn main() -> ExitCode {
+    let mut store_dir: Option<String> = None;
+    let mut addr = "127.0.0.1:7417".to_string();
+    let mut workers: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut max_budget: Option<usize> = None;
+    let mut max_threads: Option<usize> = None;
+    let mut trace: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().ok_or_else(|| {
+                eprintln!("{name} needs a value");
+            })
+        };
+        match arg.as_str() {
+            "--store" => store_dir = take("--store").ok(),
+            "--addr" => match take("--addr").ok() {
+                Some(a) => addr = a,
+                None => return ExitCode::from(2),
+            },
+            "--workers" => workers = take("--workers").ok().and_then(|v| v.parse().ok()),
+            "--shards" => shards = take("--shards").ok().and_then(|v| v.parse().ok()),
+            "--max-budget" => max_budget = take("--max-budget").ok().and_then(|v| v.parse().ok()),
+            "--max-threads" => {
+                max_threads = take("--max-threads").ok().and_then(|v| v.parse().ok())
+            }
+            "--trace" => trace = take("--trace").ok(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: locusd --store DIR [--addr HOST:PORT] [--workers N] [--shards N] \
+                     [--max-budget N] [--max-threads N] [--trace FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(store_dir) = store_dir else {
+        eprintln!("--store DIR is required (the shared tuning-store directory)");
+        return ExitCode::from(2);
+    };
+
+    let mut config = DaemonConfig::new(store_dir);
+    config.addr = addr;
+    if let Some(n) = workers {
+        config.workers = n;
+    }
+    if let Some(n) = shards {
+        config.shards = n;
+    }
+    if let Some(n) = max_budget {
+        config.max_budget = n;
+    }
+    if let Some(n) = max_threads {
+        config.max_threads = n;
+    }
+    config.trace_log = trace.map(Into::into);
+
+    let mut daemon = match Daemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("locusd: cannot start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("locusd listening on {}", daemon.addr());
+    daemon.join();
+    println!("locusd stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,101 @@
+//! A blocking line-protocol client for `locusd`.
+//!
+//! [`Client`] wraps one TCP connection: encode a [`Request`], write the
+//! line, read and parse the [`Response`] line. The daemon answers every
+//! request with exactly one line in per-connection submission order, so
+//! a blocking request/reply pair per call is the whole protocol. For
+//! concurrency, open one client per thread — the daemon's fair
+//! scheduler interleaves connections round-robin.
+
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Op, Request, Response};
+
+/// One connection to a running `locusd`.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/reply over loopback stalls ~40ms per round trip under
+        // Nagle + delayed ACK; the protocol is strictly line-at-a-time,
+        // so there is nothing to coalesce.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw line (no newline) and does not wait for a reply —
+    /// the escape hatch the protocol fuzz tests use to deliver
+    /// malformed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads and parses the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Read failures; [`io::ErrorKind::UnexpectedEof`] when the daemon
+    /// closed the connection; [`io::ErrorKind::InvalidData`] when the
+    /// reply is not a protocol line.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable reply: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from [`Client::send_raw`] / [`Client::recv`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send_raw(&request.encode())?;
+        self.recv()
+    }
+
+    /// Liveness probe: `true` when the daemon answers the ping.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn ping(&mut self, id: &str) -> io::Result<bool> {
+        Ok(self.request(&Request::new(id, Op::Ping))?.ok)
+    }
+
+    /// Asks the daemon to stop.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn shutdown(&mut self, id: &str) -> io::Result<Response> {
+        self.request(&Request::new(id, Op::Shutdown))
+    }
+}

@@ -26,11 +26,29 @@
 //! [`record`]): a `#locus-store v1` header, then one record per line,
 //! append-only. No external dependencies; the codec is hand-rolled and
 //! skips unknown record kinds so the format can evolve.
+//!
+//! Three service-grade mechanisms sit on top of the log:
+//!
+//! * **advisory single-writer locking** ([`lock`]) — [`TuningStore::open`]
+//!   takes a PID-stamped lock file, so a daemon and a stray CLI session
+//!   cannot interleave appends; [`TuningStore::open_read_only`] reads
+//!   concurrently without the lock;
+//! * **log compaction** ([`TuningStore::compact`]) — rewrites the log
+//!   dropping superseded and invalidated records, atomically via a temp
+//!   file and a rename;
+//! * **sharding with lock striping** ([`sharded::ShardedStore`]) — one
+//!   logical store split over per-region-hash shard files behind
+//!   poison-recovering stripe locks, the shared store of the `locusd`
+//!   tuning service.
 
 #![warn(missing_docs)]
 
+pub mod lock;
 pub mod record;
+pub mod sharded;
 pub mod store;
 
+pub use lock::StoreLock;
 pub use record::{EvalRecord, PruneRecord, Record, RegionShape, SessionRecord, HEADER};
-pub use store::{StoreKey, TuningStore};
+pub use sharded::{ShardedStore, DEFAULT_SHARDS};
+pub use store::{CompactStats, StoreKey, TuningStore};

@@ -1,0 +1,165 @@
+//! Advisory single-writer locking for store files.
+//!
+//! The lock is a sibling file (`<store>.lock`) created with
+//! `O_CREAT | O_EXCL` and holding the owner's PID. Creation is atomic,
+//! so exactly one cooperating process wins; everyone else gets
+//! [`std::io::ErrorKind::WouldBlock`] with the holder named in the
+//! message. Readers never take the lock — the log is append-only, so a
+//! reader always sees a valid prefix even while a writer is live.
+//!
+//! The lock is advisory in the classical sense: it arbitrates between
+//! processes that *use this API* (a `locusd` daemon and a stray CLI
+//! session cannot interleave appends and corrupt the log), it does not
+//! stop raw filesystem writes. A lock whose holder is dead — the PID no
+//! longer exists — is stolen rather than honored, so a crashed session
+//! never wedges the store.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// How many steal-and-retry rounds `acquire` attempts before giving up.
+/// Losing this many consecutive races means live contention, which is
+/// exactly what the lock exists to report.
+const MAX_ATTEMPTS: usize = 5;
+
+/// A held advisory writer lock; the lock file is removed on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// The lock file guarding `store_path`.
+pub fn lock_path_of(store_path: &Path) -> PathBuf {
+    let mut name = store_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".lock");
+    store_path.with_file_name(name)
+}
+
+/// Whether a process with this PID is live. On Linux, `/proc/<pid>`
+/// existence is the test; elsewhere liveness cannot be probed without
+/// platform calls, so every holder is conservatively assumed alive.
+fn pid_is_live(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+impl StoreLock {
+    /// Acquires the advisory writer lock for `store_path`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::WouldBlock`] when a live process holds the
+    /// lock; other I/O errors from lock-file creation.
+    pub fn acquire(store_path: &Path) -> io::Result<StoreLock> {
+        let path = lock_path_of(store_path);
+        for _ in 0..MAX_ATTEMPTS {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    // Best-effort PID stamp; an unreadable stamp is
+                    // treated as stale by later openers, which errs
+                    // toward stealing — a wedged store is worse than a
+                    // rare double-steal between crashing processes.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| text.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_is_live(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "store `{}` is locked by live process {pid} (`{}`); \
+                                     open it read-only or wait for the writer to finish",
+                                    store_path.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        // Dead holder or unreadable stamp: steal and
+                        // retry the atomic create.
+                        _ => {
+                            std::fs::remove_file(&path).ok();
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "store `{}`: lost {MAX_ATTEMPTS} consecutive races for `{}`",
+                store_path.display(),
+                path.display()
+            ),
+        ))
+    }
+
+    /// The lock file's own path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "locus-lock-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn second_acquire_is_refused_while_held() {
+        let store = tmp_store("held");
+        let lock = StoreLock::acquire(&store).unwrap();
+        let err = StoreLock::acquire(&store).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("locked by live process"));
+        drop(lock);
+        // Released on drop: the next acquire succeeds.
+        let relock = StoreLock::acquire(&store).unwrap();
+        assert!(relock.path().exists());
+    }
+
+    #[test]
+    fn dead_holder_lock_is_stolen() {
+        let store = tmp_store("stale");
+        let lock_path = lock_path_of(&store);
+        // No live process has this PID (PID_MAX on Linux is far lower).
+        std::fs::write(&lock_path, "999999999").unwrap();
+        let lock = StoreLock::acquire(&store).expect("stale lock stolen");
+        drop(lock);
+        assert!(!lock_path.exists());
+    }
+
+    #[test]
+    fn unreadable_stamp_is_treated_as_stale() {
+        let store = tmp_store("garbage");
+        std::fs::write(lock_path_of(&store), "not-a-pid").unwrap();
+        StoreLock::acquire(&store).expect("garbage lock stolen");
+    }
+}

@@ -1,0 +1,360 @@
+//! A process-wide sharded store: one logical [`TuningStore`] split over
+//! N independently locked shard files, so many concurrent tuning
+//! sessions — the `locusd` daemon's workload — append and rehydrate
+//! without serializing on one lock or one file.
+//!
+//! Sharding is by *region hash*: a [`StoreKey`]'s region list is hashed
+//! (FNV-1a over ids and content hashes) and the key's whole record
+//! group lives in exactly one shard. Requests tuning different kernels
+//! therefore touch different shard files and different stripe locks,
+//! while every record of one tuning context stays together — the
+//! rehydrate / warm-start / append cycle of a session needs only its
+//! own stripe.
+//!
+//! Each stripe is a `Mutex<TuningStore>` and lock acquisition recovers
+//! from poisoning: a panicking request (supervised and caught at the
+//! session boundary by the daemon) can never wedge the store for
+//! sibling requests. That is safe because every store mutation is a
+//! whole-record append — the index never holds half-written state
+//! across an unwind point.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use locus_space::Point;
+
+use crate::record::{EvalRecord, PruneRecord, RegionShape, SessionRecord};
+use crate::store::{CompactStats, StoreKey, TuningStore};
+
+/// Default shard count of a daemon store.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A sharded, lock-striped collection of [`TuningStore`] files living
+/// in one directory (`shard-00.jsonl`, `shard-01.jsonl`, ...). All
+/// methods take `&self`; the per-shard mutexes provide the interior
+/// mutability, so one `ShardedStore` is shared by every worker thread
+/// of a daemon.
+#[derive(Debug)]
+pub struct ShardedStore {
+    dir: PathBuf,
+    shards: Vec<Mutex<TuningStore>>,
+}
+
+/// FNV-1a over the region component of a key. Machine and space digests
+/// are deliberately excluded: all records of one *kernel* land in one
+/// shard regardless of machine, keeping cross-machine transfer scans
+/// local too.
+fn region_hash(key: &StoreKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (id, hash) in &key.regions {
+        eat(id.as_bytes());
+        eat(&hash.to_le_bytes());
+    }
+    h
+}
+
+impl ShardedStore {
+    /// Opens (creating as needed) a sharded store of `shards` stripes
+    /// under directory `dir`. Every shard file is opened with the
+    /// advisory writer lock, so two daemons — or a daemon and a stray
+    /// CLI session — cannot share one sharded store directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or opening any shard,
+    /// including [`io::ErrorKind::WouldBlock`] when another live
+    /// process holds a shard's writer lock.
+    pub fn open(dir: impl AsRef<Path>, shards: usize) -> io::Result<ShardedStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let shards = shards.max(1);
+        let stores = (0..shards)
+            .map(|i| TuningStore::open(dir.join(format!("shard-{i:02}.jsonl"))).map(Mutex::new))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ShardedStore {
+            dir,
+            shards: stores,
+        })
+    }
+
+    /// The directory holding the shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which stripe a key's records live in.
+    pub fn shard_of(&self, key: &StoreKey) -> usize {
+        (region_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Locks stripe `i`, recovering from poisoning (see module docs).
+    fn stripe(&self, i: usize) -> MutexGuard<'_, TuningStore> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `f` with the shard holding `key` locked. This is the
+    /// primitive everything else delegates to; use it directly for
+    /// multi-step read-modify sequences that must be atomic per key.
+    pub fn with_shard<R>(&self, key: &StoreKey, f: impl FnOnce(&mut TuningStore) -> R) -> R {
+        f(&mut self.stripe(self.shard_of(key)))
+    }
+
+    /// Visits every live evaluation record of `key`, under the shard
+    /// lock.
+    pub fn for_each_eval(&self, key: &StoreKey, mut f: impl FnMut(&EvalRecord)) {
+        self.with_shard(key, |store| {
+            for record in store.evals(key) {
+                f(record);
+            }
+        });
+    }
+
+    /// Visits every live prune record of `key`, under the shard lock.
+    pub fn for_each_prune(&self, key: &StoreKey, mut f: impl FnMut(&PruneRecord)) {
+        self.with_shard(key, |store| {
+            for record in store.prunes(key) {
+                f(record);
+            }
+        });
+    }
+
+    /// [`TuningStore::top_k`] of the shard holding `key`.
+    pub fn top_k(&self, key: &StoreKey, k: usize) -> Vec<(Point, f64)> {
+        self.with_shard(key, |store| store.top_k(key, k))
+    }
+
+    /// Appends evaluation records to the shard holding `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_evals(&self, key: &StoreKey, records: &[EvalRecord]) -> io::Result<usize> {
+        self.with_shard(key, |store| store.append_evals(key, records))
+    }
+
+    /// Appends prune records to the shard holding `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_prunes(&self, key: &StoreKey, records: &[PruneRecord]) -> io::Result<usize> {
+        self.with_shard(key, |store| store.append_prunes(key, records))
+    }
+
+    /// Appends one session summary to the shard holding `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the underlying append.
+    pub fn append_session(&self, key: &StoreKey, record: SessionRecord) -> io::Result<()> {
+        self.with_shard(key, |store| store.append_session(key, record))
+    }
+
+    /// Runs the coherence check on every shard; returns the total
+    /// number of evaluation records dropped. Shards are visited one at
+    /// a time — no global lock is ever held.
+    pub fn invalidate_stale(&self, current: &HashMap<String, u64>) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.stripe(i).invalidate_stale(current))
+            .sum()
+    }
+
+    /// The structurally nearest stored session across all shards
+    /// (cloned out from under the shard lock). Ties resolve exactly as
+    /// in [`TuningStore::nearest_session`], with the lower shard index
+    /// winning remaining cross-shard ties, so retrieval is
+    /// deterministic for a given store state.
+    pub fn nearest_session(
+        &self,
+        shape: &RegionShape,
+        max_distance: u32,
+    ) -> Option<(SessionRecord, u32)> {
+        let mut best: Option<(SessionRecord, u32)> = None;
+        for i in 0..self.shards.len() {
+            let store = self.stripe(i);
+            if let Some((session, distance)) = store.nearest_session(shape, max_distance) {
+                let better = match &best {
+                    None => true,
+                    Some((cur, cur_d)) => {
+                        distance < *cur_d || (distance == *cur_d && session.best_ms < cur.best_ms)
+                    }
+                };
+                if better {
+                    best = Some((session.clone(), distance));
+                }
+            }
+        }
+        best
+    }
+
+    /// Total live evaluation records across every shard.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.stripe(i).len()).sum()
+    }
+
+    /// Whether no shard holds an evaluation record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compacts every shard log ([`TuningStore::compact`]); returns the
+    /// aggregated stats.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error any shard's rewrite produces; earlier shards
+    /// stay compacted.
+    pub fn compact_all(&self) -> io::Result<CompactStats> {
+        let mut total = CompactStats::default();
+        for i in 0..self.shards.len() {
+            let stats = self.stripe(i).compact()?;
+            total.bytes_before += stats.bytes_before;
+            total.bytes_after += stats.bytes_after;
+            total.evals += stats.evals;
+            total.prunes += stats.prunes;
+            total.sessions += stats.sessions;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_search::Objective;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "locus-sharded-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn eval(point: &str, ms: f64) -> EvalRecord {
+        EvalRecord {
+            point_key: point.to_string(),
+            variant: 0x42,
+            objective: Objective::Value(ms),
+            cycles: ms * 1000.0,
+            ops: 10,
+            flops: 5,
+            checksum: 0x99,
+            search: "test".into(),
+            wall_ms: 0.1,
+        }
+    }
+
+    fn keys_for(names: &[&str]) -> Vec<StoreKey> {
+        names
+            .iter()
+            .map(|n| StoreKey::new(vec![(n.to_string(), 0xaa)], 0x1, 0x5))
+            .collect()
+    }
+
+    #[test]
+    fn records_stay_in_their_shard_across_reopen() {
+        let dir = tmp_dir("reopen");
+        std::fs::remove_dir_all(&dir).ok();
+        let keys = keys_for(&["dgemm", "stencil", "cholesky", "lu"]);
+        {
+            let store = ShardedStore::open(&dir, 4).unwrap();
+            for (i, key) in keys.iter().enumerate() {
+                store
+                    .append_evals(key, &[eval(&format!("x=i{i};"), i as f64 + 1.0)])
+                    .unwrap();
+            }
+            assert_eq!(store.len(), keys.len());
+        }
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        assert_eq!(store.len(), keys.len());
+        for key in &keys {
+            let mut seen = 0;
+            store.for_each_eval(key, |_| seen += 1);
+            assert_eq!(seen, 1, "each key rehydrates from its own shard");
+            assert_eq!(store.top_k(key, 4).len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_key_local() {
+        let dir = tmp_dir("routing");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardedStore::open(&dir, 8).unwrap();
+        // Same regions, different machine/space digests: one shard —
+        // cross-machine records of a kernel stay together.
+        let a = StoreKey::new(vec![("k".into(), 0x1)], 0x10, 0x20);
+        let b = StoreKey::new(vec![("k".into(), 0x1)], 0x30, 0x40);
+        assert_eq!(store.shard_of(&a), store.shard_of(&b));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_panicking_user_cannot_poison_a_stripe() {
+        let dir = tmp_dir("poison");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardedStore::open(&dir, 2).unwrap();
+        let key = StoreKey::new(vec![("k".into(), 0x1)], 0x1, 0x1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.with_shard(&key, |_| panic!("poisoned request"));
+        }));
+        assert!(panicked.is_err());
+        // The stripe lock recovered; the store keeps serving.
+        store.append_evals(&key, &[eval("x=i1;", 1.0)]).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalidate_and_compact_span_all_shards() {
+        let dir = tmp_dir("compact");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        let keys = keys_for(&["a", "b", "c", "d", "e", "f"]);
+        for key in &keys {
+            store.append_evals(key, &[eval("x=i1;", 1.0)]).unwrap();
+        }
+        // Invalidate half the keys, then compact: dropped records leave
+        // the disk logs too.
+        let current: HashMap<String, u64> = [("a", 0xbbu64), ("b", 0xbb), ("c", 0xbb)]
+            .iter()
+            .map(|(n, h)| (n.to_string(), *h))
+            .collect();
+        assert_eq!(store.invalidate_stale(&current), 3);
+        let stats = store.compact_all().unwrap();
+        assert_eq!(stats.evals, 3);
+        assert!(stats.bytes_after < stats.bytes_before);
+        drop(store);
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        assert_eq!(store.len(), 3, "invalidated records gone after reopen");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_of_a_shard_directory_is_refused() {
+        let dir = tmp_dir("locked");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardedStore::open(&dir, 2).unwrap();
+        let err = ShardedStore::open(&dir, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(store);
+        ShardedStore::open(&dir, 2).expect("reopens after release");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

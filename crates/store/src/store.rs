@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use crate::lock::StoreLock;
+
 use locus_space::Point;
 
 use crate::record::{
@@ -66,23 +68,85 @@ pub struct TuningStore {
     groups: HashMap<StoreKey, Group>,
     sessions: Vec<(StoreKey, SessionRecord)>,
     skipped_lines: usize,
+    /// Advisory writer lock; `None` for read-only opens. Released on
+    /// drop.
+    lock: Option<StoreLock>,
+    read_only: bool,
+}
+
+/// What [`TuningStore::compact`] did to the on-disk log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// File size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// File size after compaction, in bytes.
+    pub bytes_after: u64,
+    /// Live evaluation records rewritten.
+    pub evals: usize,
+    /// Live prune records rewritten.
+    pub prunes: usize,
+    /// Session records rewritten.
+    pub sessions: usize,
 }
 
 impl TuningStore {
-    /// Opens (or creates) a store file. A fresh file gets the versioned
-    /// header; an existing file's header is validated.
+    /// Opens (or creates) a store file for writing, taking the advisory
+    /// single-writer lock (`<path>.lock`). A fresh file gets the
+    /// versioned header; an existing file's header is validated.
+    ///
+    /// The lock is *advisory*: it only arbitrates between cooperating
+    /// openers (a daemon and a stray CLI session cannot interleave
+    /// appends and corrupt the log), and a lock whose holder process is
+    /// dead is stolen rather than honored. Readers that never append
+    /// use [`TuningStore::open_read_only`] and take no lock.
     ///
     /// # Errors
     ///
-    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the file
-    /// exists but carries a different format version.
+    /// I/O errors, [`io::ErrorKind::WouldBlock`] when another live
+    /// process holds the writer lock, or
+    /// [`io::ErrorKind::InvalidData`] when the file exists but carries
+    /// a different format version.
     pub fn open(path: impl AsRef<Path>) -> io::Result<TuningStore> {
-        let path = path.as_ref().to_path_buf();
+        let lock = StoreLock::acquire(path.as_ref())?;
+        let mut store = Self::open_unlocked(path.as_ref())?;
+        store.lock = Some(lock);
+        store.read_only = false;
+        Ok(store)
+    }
+
+    /// Opens a store file for reading only: no writer lock is taken
+    /// (concurrent with a live writer), and every append method fails
+    /// with [`io::ErrorKind::PermissionDenied`]. A missing file is an
+    /// error rather than being created.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a foreign
+    /// format version.
+    pub fn open_read_only(path: impl AsRef<Path>) -> io::Result<TuningStore> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let mut store = TuningStore {
+            path: path.to_path_buf(),
+            groups: HashMap::new(),
+            sessions: Vec::new(),
+            skipped_lines: 0,
+            lock: None,
+            read_only: true,
+        };
+        store.load_text(&text)?;
+        Ok(store)
+    }
+
+    fn open_unlocked(path: &Path) -> io::Result<TuningStore> {
+        let path = path.to_path_buf();
         let mut store = TuningStore {
             path: path.clone(),
             groups: HashMap::new(),
             sessions: Vec::new(),
             skipped_lines: 0,
+            lock: None,
+            read_only: false,
         };
         match std::fs::read_to_string(&path) {
             Ok(text) => store.load(&text)?,
@@ -95,13 +159,18 @@ impl TuningStore {
     }
 
     fn load(&mut self, text: &str) -> io::Result<()> {
+        if matches!(text.lines().next(), None | Some("")) {
+            // An empty file is adopted as a fresh v1 store.
+            std::fs::write(&self.path, format!("{HEADER}\n"))?;
+            return Ok(());
+        }
+        self.load_text(text)
+    }
+
+    fn load_text(&mut self, text: &str) -> io::Result<()> {
         let mut lines = text.lines();
         match lines.next() {
-            None | Some("") => {
-                // An empty file is adopted as a fresh v1 store.
-                std::fs::write(&self.path, format!("{HEADER}\n"))?;
-                return Ok(());
-            }
+            None | Some("") => return Ok(()),
             Some(header) if header == HEADER => {}
             Some(header) => {
                 return Err(io::Error::new(
@@ -212,6 +281,7 @@ impl TuningStore {
     ///
     /// I/O errors of the underlying append.
     pub fn append_evals(&mut self, key: &StoreKey, records: &[EvalRecord]) -> io::Result<usize> {
+        self.require_writable()?;
         let mut lines = String::new();
         let mut appended = 0;
         for record in records {
@@ -234,6 +304,7 @@ impl TuningStore {
     ///
     /// I/O errors of the underlying append.
     pub fn append_prunes(&mut self, key: &StoreKey, records: &[PruneRecord]) -> io::Result<usize> {
+        self.require_writable()?;
         let mut lines = String::new();
         let mut appended = 0;
         for record in records {
@@ -255,6 +326,7 @@ impl TuningStore {
     ///
     /// I/O errors of the underlying append.
     pub fn append_session(&mut self, key: &StoreKey, record: SessionRecord) -> io::Result<()> {
+        self.require_writable()?;
         let mut line = encode_session(key, &record);
         line.push('\n');
         self.append_raw(&line)?;
@@ -263,11 +335,80 @@ impl TuningStore {
     }
 
     fn append_raw(&self, text: &str) -> io::Result<()> {
+        self.require_writable()?;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
         file.write_all(text.as_bytes())
+    }
+
+    fn require_writable(&self) -> io::Result<()> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!(
+                    "store `{}` was opened read-only; reopen with TuningStore::open to write",
+                    self.path.display()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rewrites the on-disk log from the live in-memory index, dropping
+    /// every superseded line: duplicate point keys (only the first of a
+    /// group is live), records of groups the coherence check
+    /// invalidated ([`TuningStore::invalidate_stale`]), and malformed
+    /// or unknown-kind lines. Atomic: the new log is written to a
+    /// sibling temp file and renamed over the original, so a crashed
+    /// compaction leaves the old log intact.
+    ///
+    /// Rewriting is deterministic — groups in [`TuningStore::keys`]
+    /// order, each group's evals then prunes in insertion order, then
+    /// every session in insertion order — and reopening the compacted
+    /// file reproduces the exact same index state.
+    ///
+    /// Unknown *future* record kinds are dropped with everything else
+    /// this version cannot index; compact a store with a binary at
+    /// least as new as the one that wrote it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::PermissionDenied`] on a read-only store, or I/O
+    /// errors of the rewrite.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        self.require_writable()?;
+        let bytes_before = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        let mut text = String::from(HEADER);
+        text.push('\n');
+        let mut stats = CompactStats {
+            bytes_before,
+            ..CompactStats::default()
+        };
+        for key in self.keys() {
+            for record in self.evals(key) {
+                text.push_str(&encode_eval(key, record));
+                text.push('\n');
+                stats.evals += 1;
+            }
+            for record in self.prunes(key) {
+                text.push_str(&encode_prune(key, record));
+                text.push('\n');
+                stats.prunes += 1;
+            }
+        }
+        for (key, record) in &self.sessions {
+            text.push_str(&encode_session(key, record));
+            text.push('\n');
+            stats.sessions += 1;
+        }
+        let tmp = self.path.with_extension("compact-tmp");
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.skipped_lines = 0;
+        stats.bytes_after = text.len() as u64;
+        Ok(stats)
     }
 
     /// Drops every group and session whose key mentions a region id
@@ -416,6 +557,7 @@ mod tests {
         assert_eq!(store.prunes(&k).len(), 2);
         assert_eq!(store.prunes(&k)[0].reason, "data race: write C[i][j]");
         assert!(store.evals(&k).is_empty(), "prunes are not evaluations");
+        drop(store); // release the writer lock before reopening
 
         // An edited region invalidates its prunes along with its evals.
         let mut store = TuningStore::open(&path).unwrap();
@@ -467,6 +609,77 @@ mod tests {
         let store = TuningStore::open(&path).unwrap();
         assert_eq!(store.skipped_lines(), 2);
         assert!(store.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_superseded_lines_and_preserves_index_state() {
+        let path = tmp_path("compact");
+        let k = StoreKey::new(vec![("r".into(), 0x1)], 0x1, 0x1);
+        {
+            let mut store = TuningStore::open(&path).unwrap();
+            store
+                .append_evals(&k, &[eval("x=i1;", 1.0), eval("x=i2;", 2.0)])
+                .unwrap();
+        }
+        // Simulate a historical interleaved writer: a duplicate of a
+        // live line, garbage, and an unknown future kind.
+        let live_line = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .nth(1)
+            .unwrap()
+            .to_string();
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str(&live_line);
+        raw.push_str("\nnot json\n{\"kind\":\"hologram\",\"regions\":\"\",\"machine\":\"0\",\"space\":\"0\"}\n");
+        std::fs::write(&path, raw).unwrap();
+
+        let mut store = TuningStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2, "duplicate line is superseded");
+        assert_eq!(store.skipped_lines(), 2);
+        let keys_before: Vec<StoreKey> = store.keys().into_iter().cloned().collect();
+        let evals_before = store.evals(&k).to_vec();
+
+        let stats = store.compact().unwrap();
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "compaction shrinks the log: {stats:?}"
+        );
+        assert_eq!(stats.evals, 2);
+        drop(store);
+
+        let store = TuningStore::open(&path).unwrap();
+        assert_eq!(store.skipped_lines(), 0, "no dead lines survive");
+        let keys_after: Vec<StoreKey> = store.keys().into_iter().cloned().collect();
+        assert_eq!(keys_after, keys_before);
+        assert_eq!(store.evals(&k), evals_before.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_only_opens_refuse_appends_and_take_no_lock() {
+        let path = tmp_path("readonly");
+        let k = StoreKey::new(vec![("r".into(), 0x1)], 0x1, 0x1);
+        let mut writer = TuningStore::open(&path).unwrap();
+        writer.append_evals(&k, &[eval("x=i1;", 1.0)]).unwrap();
+
+        // A reader coexists with the live writer...
+        let mut reader = TuningStore::open_read_only(&path).unwrap();
+        assert_eq!(reader.len(), 1);
+        // ...but cannot write, and cannot compact.
+        let err = reader.append_evals(&k, &[eval("x=i2;", 2.0)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(
+            reader.compact().unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+
+        // A second *writer* is refused while the first is live.
+        let err = TuningStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(writer);
+        TuningStore::open(&path).expect("lock released on drop");
         std::fs::remove_file(&path).ok();
     }
 

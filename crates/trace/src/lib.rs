@@ -154,6 +154,25 @@ pub fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
     (key.to_string(), value.into())
 }
 
+/// Stamps every event with a `(key, value)` argument, inserted at the
+/// front of the argument list so it renders first. Existing arguments
+/// under the same key are replaced, not duplicated — re-tagging is
+/// idempotent. The `locusd` daemon uses this to tag each request's
+/// drained events with the request id before appending them to the
+/// shared trace log, so `locus-report --request <id>` can replay any
+/// single request.
+pub fn tag_events(events: Vec<Event>, key: &str, value: impl Into<Value>) -> Vec<Event> {
+    let value = value.into();
+    events
+        .into_iter()
+        .map(|mut event| {
+            event.args.retain(|(k, _)| k != key);
+            event.args.insert(0, (key.to_string(), value.clone()));
+            event
+        })
+        .collect()
+}
+
 /// One recorded trace event: a completed span (`dur_us` is `Some`) or
 /// an instant marker (`dur_us` is `None`).
 #[derive(Debug, Clone, PartialEq)]
@@ -425,5 +444,26 @@ mod tests {
         assert_eq!(Value::from(-3i64), Value::I64(-3));
         assert_eq!(Value::from(1.5), Value::F64(1.5));
         assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn tag_events_stamps_front_and_replaces_idempotently() {
+        let t = Tracer::enabled();
+        t.instant("a", "one", || vec![kv("n", 1usize)]);
+        t.instant("a", "two", Vec::new);
+        let tagged = tag_events(t.drain(), "req", "r-7");
+        assert_eq!(tagged.len(), 2);
+        for event in &tagged {
+            assert_eq!(event.args[0], ("req".into(), Value::Str("r-7".into())));
+        }
+        // The original arguments survive behind the tag.
+        assert_eq!(tagged[0].arg("n"), Some(&Value::U64(1)));
+        // Re-tagging replaces rather than duplicates.
+        let retagged = tag_events(tagged, "req", "r-8");
+        assert_eq!(retagged[0].arg("req"), Some(&Value::Str("r-8".into())));
+        assert_eq!(
+            retagged[0].args.iter().filter(|(k, _)| k == "req").count(),
+            1
+        );
     }
 }

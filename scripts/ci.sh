@@ -31,6 +31,11 @@ cargo test -q --offline --test corpus_conformance
 # and counter accounting (proposed == memo + store + fresh + pruned).
 cargo test -q --offline --test report_golden
 cargo test -q --offline --test parallel_determinism
+# Tuning service: N concurrent daemon clients bit-identical to direct
+# library calls, a poisoned request isolated by the supervisor, and the
+# wire protocol surviving seeded fuzz without ever dropping a reply.
+cargo test -q --offline --test daemon_service
+cargo test -q --offline --test daemon_protocol
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
@@ -42,6 +47,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # Cross-machine corpus sweep smoke: two entries over two profiles;
 # every non-donor row must transfer its recipe from the store.
 ./target/release/bench_corpus --check
+
+# Daemon bench smoke in check mode: zero error replies, the warm phase
+# re-measures nothing and beats the cold wall-clock, and a poisoned
+# request is refused as a structured panic while the daemon lives on.
+./target/release/bench_daemon /tmp/locus_bench_daemon.json --check
 
 # locus-report smoke: the committed fixture traces validate, and a
 # malformed input is refused with a nonzero exit.

@@ -8,33 +8,48 @@
 //! phase time breakdown, memo/store hit and prune rates, top variants
 //! with their shippable recipes, and the convergence curve.
 //!
-//! Usage: `locus-report [--check] <trace.jsonl | store file>`
+//! Usage: `locus-report [--check] [--request <id>] <trace.jsonl | store file>`
 //!
 //! With `--check` the input is only validated (trace completeness or
-//! store readability), printing one status line. Exit status: 0 on
-//! success, 1 when `--check` fails, 2 on usage or I/O errors.
+//! store readability), printing one status line. With `--request <id>`
+//! the trace is first narrowed to the events the `locusd` daemon
+//! stamped with that request id, so one request can be replayed out of
+//! an interleaved service log. Stores are opened read-only, so a report
+//! never contends with a live writer. Exit status: 0 on success, 1 when
+//! `--check` fails, 2 on usage or I/O errors.
 
 use std::process::ExitCode;
 
-use locus::report::{check_trace, render_store, render_trace};
+use locus::report::{check_trace, filter_request, render_store, render_trace};
 use locus::store::TuningStore;
 use locus::trace::from_jsonl;
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut request: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--request" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--request needs an id argument");
+                    return ExitCode::from(2);
+                };
+                request = Some(id);
+            }
             "--help" | "-h" => {
-                println!("usage: locus-report [--check] <trace.jsonl | store file>");
+                println!(
+                    "usage: locus-report [--check] [--request <id>] <trace.jsonl | store file>"
+                );
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg),
         }
     }
     let [path] = paths.as_slice() else {
-        eprintln!("usage: locus-report [--check] <trace.jsonl | store file>");
+        eprintln!("usage: locus-report [--check] [--request <id>] <trace.jsonl | store file>");
         return ExitCode::from(2);
     };
 
@@ -47,7 +62,11 @@ fn main() -> ExitCode {
     };
 
     if text.lines().next() == Some("#locus-store v1") {
-        let store = match TuningStore::open(path) {
+        if request.is_some() {
+            eprintln!("{path}: --request applies to trace logs, not stores");
+            return ExitCode::from(2);
+        }
+        let store = match TuningStore::open_read_only(path) {
             Ok(store) => store,
             Err(e) => {
                 eprintln!("{path}: cannot open store: {e}");
@@ -70,13 +89,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let events = match from_jsonl(&text) {
+    let mut events = match from_jsonl(&text) {
         Ok(events) => events,
         Err(e) => {
             eprintln!("{path}: not a store and not a trace: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &request {
+        events = filter_request(&events, id);
+        if events.is_empty() {
+            eprintln!("{path}: no events tagged with request `{id}`");
+            return ExitCode::from(1);
+        }
+    }
     if check {
         return match check_trace(&events) {
             Ok(()) => {

@@ -26,7 +26,10 @@
 //!   narrative;
 //! * [`system`] — the orchestrator tying everything together;
 //! * [`baselines`] — Pluto-like / MKL-like comparators;
-//! * [`corpus`] — the evaluation kernels and synthetic loop-nest corpus.
+//! * [`corpus`] — the evaluation kernels and synthetic loop-nest corpus;
+//! * [`daemon`] — `locusd`, the tuning-as-a-service daemon: concurrent
+//!   clients over a line protocol, one shared sharded store, fair
+//!   scheduling, and per-request fault isolation.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use locus_analysis as analysis;
 pub use locus_baselines as baselines;
 pub use locus_core as system;
 pub use locus_corpus as corpus;
+pub use locus_daemon as daemon;
 pub use locus_lang as lang;
 pub use locus_machine as machine;
 pub use locus_search as search;

@@ -51,6 +51,19 @@ pub fn check_trace(events: &[Event]) -> Result<(), String> {
     }
 }
 
+/// Keeps only the events stamped with request id `id` (a `req` string
+/// argument, as written by the `locusd` daemon via
+/// `locus_trace::tag_events`). A daemon trace log interleaves many
+/// requests; filtering first turns it back into a single-session trace
+/// that [`check_trace`] and [`render_trace`] can replay.
+pub fn filter_request(events: &[Event], id: &str) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| matches!(e.arg("req"), Some(Value::Str(s)) if s == id))
+        .cloned()
+        .collect()
+}
+
 /// Renders the full narrative report of one traced tuning session.
 pub fn render_trace(events: &[Event]) -> String {
     let mut out = String::new();

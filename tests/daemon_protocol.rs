@@ -1,0 +1,224 @@
+//! Wire-protocol robustness for `locusd`.
+//!
+//! The contract (see `locus::daemon::protocol`): every malformed,
+//! truncated, or oversized request line gets a structured error reply —
+//! the daemon never panics, never drops the connection, and keeps
+//! serving well-formed requests afterwards. A SplitMix64-driven fuzzer
+//! (same idiom as `tests/srcir_fuzz.rs`, seeds pinned so failures
+//! reproduce byte-for-byte) hammers one live daemon with mutated and
+//! random request lines, interleaved with pings that must keep
+//! answering.
+
+use locus::daemon::{codes, Client, Daemon, DaemonConfig, Op, Request, Response, MAX_LINE};
+
+// ---- deterministic PRNG (no external crates) --------------------------
+
+/// SplitMix64 — tiny, statistically solid, and trivially seedable.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// One printable-ASCII fuzz character; never a newline, so every fuzz
+/// payload stays exactly one protocol line (one line, one reply).
+fn fuzz_char(rng: &mut SplitMix64) -> char {
+    char::from(0x20 + (rng.below(0x5f) as u8))
+}
+
+/// A structurally valid tune request line to mutate.
+fn valid_line(rng: &mut SplitMix64) -> String {
+    let mut request = Request::new(&format!("fz-{}", rng.below(1000)), Op::Tune);
+    request.kernel = "dgemm".to_string();
+    request.seed = rng.next();
+    request.budget = 1 + rng.below(8) as usize;
+    request.encode()
+}
+
+/// Applies one seeded mutation: truncate, byte flips, or junk splice.
+fn mutate(rng: &mut SplitMix64, line: &str) -> String {
+    let mut chars: Vec<char> = line.chars().collect();
+    match rng.below(3) {
+        // Truncate mid-line (also models a connection cut before the
+        // newline: the daemon parses the prefix and refuses it).
+        0 => {
+            let keep = rng.below(chars.len() as u64) as usize;
+            chars.truncate(keep);
+        }
+        // Flip 1..8 characters to arbitrary printable bytes — broken
+        // quotes, braces, colons, binary-ish soup.
+        1 => {
+            for _ in 0..1 + rng.below(8) {
+                let at = rng.below(chars.len() as u64) as usize;
+                chars[at] = fuzz_char(rng);
+            }
+        }
+        // Splice random junk into the middle.
+        _ => {
+            let at = rng.below(chars.len() as u64) as usize;
+            let junk: String = (0..rng.below(24)).map(|_| fuzz_char(rng)).collect();
+            chars.splice(at..at, junk.chars());
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Pure random printable soup.
+fn random_line(rng: &mut SplitMix64) -> String {
+    (0..1 + rng.below(120)).map(|_| fuzz_char(rng)).collect()
+}
+
+#[test]
+fn fuzzed_lines_always_get_replies_and_never_kill_the_daemon() {
+    let dir = std::env::temp_dir().join(format!("locus-proto-fuzz-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.join("store.d"))).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    let mut rng = SplitMix64(0x10c5_daed_0001);
+    let mut error_replies = 0usize;
+    for round in 0..300 {
+        let line = match round % 3 {
+            0 => {
+                let valid = valid_line(&mut rng);
+                mutate(&mut rng, &valid)
+            }
+            1 => random_line(&mut rng),
+            _ => {
+                // Structured-but-wrong: valid JSON, hostile fields.
+                let n = rng.next();
+                format!(r#"{{"id":"s-{round}","op":"tune","kernel":"dgemm","seed":"x{n}"}}"#)
+            }
+        };
+        if line.trim().is_empty() {
+            // Blank lines are skipped by the daemon, no reply due.
+            continue;
+        }
+        client.send_raw(&line).unwrap();
+        let reply = client
+            .recv()
+            .unwrap_or_else(|e| panic!("round {round}: no reply to {line:?}: {e}"));
+        // A mutated line can, rarely, still parse as a valid request;
+        // anything else must come back as a structured error.
+        if !reply.ok {
+            error_replies += 1;
+            let code = reply.error_code().unwrap();
+            assert!(
+                [
+                    codes::PARSE,
+                    codes::OVERSIZED,
+                    codes::UNKNOWN_OP,
+                    codes::UNKNOWN_KERNEL,
+                    codes::UNKNOWN_MACHINE,
+                    codes::UNKNOWN_SEARCH,
+                    codes::INTERNAL,
+                ]
+                .contains(&code),
+                "round {round}: unexpected code {code} for {line:?}"
+            );
+        }
+        // The daemon is still alive and well-formed requests still work.
+        if round % 25 == 0 {
+            assert!(client.ping(&format!("ping-{round}")).unwrap());
+        }
+    }
+    assert!(
+        error_replies > 200,
+        "fuzzer produced too few malformed lines ({error_replies}) to mean anything"
+    );
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_lines_are_refused_with_a_structured_error() {
+    let dir = std::env::temp_dir().join(format!("locus-proto-big-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.join("store.d"))).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Exactly at the limit: parse error (it is junk), not oversized.
+    let at_limit = "x".repeat(MAX_LINE);
+    client.send_raw(&at_limit).unwrap();
+    assert_eq!(client.recv().unwrap().error_code(), Some(codes::PARSE));
+
+    // One past the limit and far past it: both refused as oversized,
+    // content discarded, connection intact.
+    for size in [MAX_LINE + 1, 4 * MAX_LINE] {
+        let big = "y".repeat(size);
+        client.send_raw(&big).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.error_code(), Some(codes::OVERSIZED), "size {size}");
+    }
+    assert!(client.ping("still-alive").unwrap());
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_request_at_connection_close_is_parsed_and_refused() {
+    let dir = std::env::temp_dir().join(format!("locus-proto-trunc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.join("store.d"))).unwrap();
+
+    // Write a request prefix with no trailing newline, then half-close
+    // the write side. The daemon parses the truncated line at EOF and
+    // still answers with a structured error before closing.
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    write_half.write_all(br#"{"id":"cut","op":"tu"#).unwrap();
+    write_half.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    let response = Response::parse(reply.trim_end()).unwrap();
+    assert!(!response.ok);
+    assert_eq!(response.error_code(), Some(codes::PARSE));
+    assert_eq!(response.id, "cut");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn structured_field_errors_echo_the_request_id() {
+    let dir = std::env::temp_dir().join(format!("locus-proto-id-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.join("store.d"))).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    for (line, code) in [
+        (r#"{"id":"a","op":"frobnicate"}"#, codes::UNKNOWN_OP),
+        (
+            r#"{"id":"b","op":"tune","kernel":"no-such"}"#,
+            codes::UNKNOWN_KERNEL,
+        ),
+        (
+            r#"{"id":"c","op":"tune","kernel":"dgemm","machine":"no-such"}"#,
+            codes::UNKNOWN_MACHINE,
+        ),
+        (
+            r#"{"id":"d","op":"tune","kernel":"dgemm","search":"no-such"}"#,
+            codes::UNKNOWN_SEARCH,
+        ),
+        (r#"{"id":"e","op":"tune","budget":"NaN"}"#, codes::PARSE),
+    ] {
+        client.send_raw(line).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.error_code(), Some(code), "{line}");
+        assert!(!reply.id.is_empty(), "{line} lost its id");
+    }
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -193,3 +193,155 @@ fn edited_region_invalidates_only_its_own_entries() {
     assert_eq!(axpy_warm.invalidated, axpy_cold.appended);
     std::fs::remove_file(&path).ok();
 }
+
+/// Compaction round-trip through real tuning sessions: a store that
+/// accumulated superseded records (an edited region's invalidated
+/// entries) compacts to a smaller file whose index state is identical —
+/// and a warm session over the compacted store still re-measures
+/// nothing.
+#[test]
+fn compaction_round_trips_a_real_session_store() {
+    let original = two_region_source("1.5");
+    let edited = two_region_source("2.5");
+    let system = tiny_system();
+    let path = tmp_path("compact");
+    std::fs::remove_file(&path).ok();
+
+    // Populate both regions, then invalidate `axpy`'s records by
+    // tuning the edited source: the log now carries dead weight, and
+    // the live handle's index has already dropped the stale group.
+    // Compacting through that handle rewrites only live state.
+    let (stats, keys_before, len_before) = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&original, &mm_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&original, &axpy_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&edited, &axpy_program(), &mut search, 16, 2, &mut store)
+            .unwrap();
+        let stats = store.compact().unwrap();
+        let keys: Vec<_> = store.keys().into_iter().cloned().collect();
+        let len = store.len();
+        (stats, keys, len)
+    };
+    assert!(
+        stats.bytes_after < stats.bytes_before,
+        "compaction must shrink a store with invalidated records: {stats:?}"
+    );
+
+    // Reopened post-compaction store: identical index state.
+    let mut store = TuningStore::open(&path).unwrap();
+    let keys_after: Vec<_> = store.keys().into_iter().cloned().collect();
+    assert_eq!(keys_after, keys_before);
+    assert_eq!(store.len(), len_before);
+
+    // And it still warms a session end to end.
+    let mut search = ExhaustiveSearch::default();
+    let (_, report) = system
+        .tune_parallel_with_store(&edited, &mm_program(), &mut search, 16, 2, &mut store)
+        .unwrap();
+    assert_eq!(report.evaluations(), 0, "compacted store still replays");
+    drop(store);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The advisory writer lock: a second concurrent writer open is refused
+/// with `WouldBlock`, a read-only open coexists with the writer, and
+/// the lock releases on drop.
+#[test]
+fn concurrent_store_opens_are_arbitrated_by_the_writer_lock() {
+    let path = tmp_path("lock");
+    std::fs::remove_file(&path).ok();
+
+    let writer = TuningStore::open(&path).unwrap();
+    let refused = TuningStore::open(&path).unwrap_err();
+    assert_eq!(refused.kind(), std::io::ErrorKind::WouldBlock);
+    assert!(
+        refused.to_string().contains("locked by live process"),
+        "{refused}"
+    );
+
+    // Readers never take the lock.
+    let reader = TuningStore::open_read_only(&path).unwrap();
+    assert!(reader.is_empty());
+    drop(reader);
+
+    drop(writer);
+    let relocked = TuningStore::open(&path).unwrap();
+    drop(relocked);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The daemon's sharded store and the single-file store answer the same
+/// tuning session identically: a cold sharded session lands on the
+/// bit-identical best point, and its own warm replay re-measures
+/// nothing.
+#[test]
+fn sharded_store_sessions_match_single_file_sessions() {
+    use locus::store::ShardedStore;
+    use locus::trace::Tracer;
+
+    let source = two_region_source("1.5");
+    let locus = mm_program();
+    let system = tiny_system();
+    let path = tmp_path("sharded-single");
+    let dir = std::env::temp_dir().join(format!(
+        "locus-store-persistence-{}-sharded.d",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (single, _) = {
+        let mut store = TuningStore::open(&path).unwrap();
+        let mut search = ExhaustiveSearch::default();
+        system
+            .tune_parallel_with_store(&source, &locus, &mut search, 16, 2, &mut store)
+            .unwrap()
+    };
+
+    let sharded_store = ShardedStore::open(&dir, 4).unwrap();
+    let mut search = ExhaustiveSearch::default();
+    let (sharded, cold_report) = system
+        .tune_parallel_with_sharded_store(
+            &source,
+            &locus,
+            &mut search,
+            16,
+            2,
+            &sharded_store,
+            &Tracer::disabled(),
+        )
+        .unwrap();
+    assert!(cold_report.evaluations() > 0);
+
+    let (sp, _, sm) = single.best.as_ref().expect("single best");
+    let (hp, _, hm) = sharded.best.as_ref().expect("sharded best");
+    assert_eq!(sp.canonical_key(), hp.canonical_key());
+    assert_eq!(sm.time_ms.to_bits(), hm.time_ms.to_bits());
+
+    // Warm replay against the sharded store re-measures nothing.
+    let mut search = ExhaustiveSearch::default();
+    let (_, warm_report) = system
+        .tune_parallel_with_sharded_store(
+            &source,
+            &locus,
+            &mut search,
+            16,
+            2,
+            &sharded_store,
+            &Tracer::disabled(),
+        )
+        .unwrap();
+    assert_eq!(warm_report.evaluations(), 0);
+    assert_eq!(warm_report.rehydrated, cold_report.appended);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
