@@ -92,6 +92,47 @@ impl AffineExpr {
     pub fn vars(&self) -> impl Iterator<Item = &str> {
         self.coeffs.keys().map(String::as_str)
     }
+
+    /// Rebuilds a source expression denoting this affine form.
+    ///
+    /// Positive terms come first so the result never starts with a
+    /// negation; `extract_affine(&a.to_expr()) == Some(a)` for every
+    /// affine `a`.
+    pub fn to_expr(&self) -> Expr {
+        let mut acc: Option<Expr> = None;
+        let term = |name: &str, coeff: i64| -> Expr {
+            let c = coeff.abs();
+            if c == 1 {
+                Expr::ident(name)
+            } else {
+                Expr::bin(BinOp::Mul, Expr::int(c), Expr::ident(name))
+            }
+        };
+        let apply = |acc: &mut Option<Expr>, e: Expr, negative: bool| {
+            *acc = Some(match acc.take() {
+                None if negative => Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(e),
+                },
+                None => e,
+                Some(prev) if negative => Expr::bin(BinOp::Sub, prev, e),
+                Some(prev) => Expr::bin(BinOp::Add, prev, e),
+            });
+        };
+        for (name, &c) in self.coeffs.iter().filter(|(_, c)| **c > 0) {
+            apply(&mut acc, term(name, c), false);
+        }
+        if self.constant > 0 {
+            apply(&mut acc, Expr::int(self.constant), false);
+        }
+        for (name, &c) in self.coeffs.iter().filter(|(_, c)| **c < 0) {
+            apply(&mut acc, term(name, c), true);
+        }
+        if self.constant < 0 {
+            apply(&mut acc, Expr::int(-self.constant), true);
+        }
+        acc.unwrap_or_else(|| Expr::int(0))
+    }
 }
 
 /// Tries to bring an expression into affine form.
@@ -190,6 +231,16 @@ mod tests {
         let a = affine("-(i - 2)").unwrap();
         assert_eq!(a.coeff("i"), -1);
         assert_eq!(a.constant, 2);
+    }
+
+    #[test]
+    fn to_expr_round_trips_through_extraction() {
+        for src in ["2*i + j - 1", "i - j", "-i + 3", "7", "0", "n - i - 1"] {
+            let a = affine(src).unwrap();
+            let rebuilt = extract_affine(&a.to_expr()).unwrap();
+            assert_eq!(rebuilt, a, "{src}");
+        }
+        assert_eq!(AffineExpr::zero().to_expr(), Expr::int(0));
     }
 
     #[test]

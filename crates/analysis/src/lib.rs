@@ -7,9 +7,14 @@
 //!   `IsPerfectLoopNest`, `LoopNestDepth`, `ListInnerLoops`,
 //!   `ListOuterLoops`;
 //! * [`affine`] — affine-form extraction from subscript expressions;
-//! * [`deps`] — data-dependence analysis (ZIV / strong-SIV / GCD tests,
-//!   direction vectors) with an explicit *unknown* outcome that models the
-//!   `IsDepAvailable` query of Fig. 13.
+//! * [`polyhedron`] — integer Fourier–Motzkin feasibility over affine
+//!   constraint systems (the Omega-style real/dark-shadow test), the
+//!   exact engine for triangular and shifted iteration domains;
+//! * [`deps`] — data-dependence analysis: exact polyhedral decisions
+//!   wherever bounds and subscripts are affine, with the classic
+//!   ZIV / strong-SIV / GCD tests as the conservative fallback, and an
+//!   explicit *unknown* outcome that models the `IsDepAvailable` query
+//!   of Fig. 13. Every dependence carries a [`deps::Provenance`] tag.
 //!
 //! Transformations in `locus-transform` consult these analyses for their
 //! legality checks; by design (Sec. II of the paper), the *system* never
@@ -21,7 +26,9 @@
 pub mod affine;
 pub mod deps;
 pub mod loops;
+pub mod polyhedron;
 
 pub use affine::AffineExpr;
-pub use deps::{DepKind, Dependence, DependenceInfo, Direction};
+pub use deps::{DepKind, Dependence, DependenceInfo, Direction, Provenance};
 pub use loops::{CanonLoop, LoopNestInfo};
+pub use polyhedron::{Feasibility, PolySystem};

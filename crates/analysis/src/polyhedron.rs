@@ -1,0 +1,617 @@
+//! Polyhedral-lite integer feasibility over affine constraint systems.
+//!
+//! A [`PolySystem`] is a conjunction of affine inequalities
+//! `sum(coeff_i * x_i) + constant >= 0` over integer variables. The
+//! engine decides whether an *integer* point exists using integer
+//! Fourier–Motzkin elimination in the style of the Omega test:
+//!
+//! * the **real shadow** (plain FM elimination with gcd tightening) is an
+//!   over-approximation — if it is empty, the system has no integer
+//!   point ([`Feasibility::Empty`], an exact verdict);
+//! * the **dark shadow** (each combined constraint tightened by
+//!   `(a-1)(b-1)`) is an under-approximation — if it is feasible, an
+//!   integer point exists ([`Feasibility::NonEmpty`], also exact);
+//! * when an elimination step only ever pairs bounds with a unit
+//!   coefficient the two shadows coincide, so a feasible real shadow is
+//!   already exact. All loop-bound and subscript systems built from
+//!   typical nests (coefficients ±1) land in this case.
+//!
+//! The remaining gap — real shadow feasible, dark shadow empty — is
+//! reported as [`Feasibility::Unknown`] and callers fall back to their
+//! conservative paths. Arithmetic is checked; any overflow or constraint
+//! blow-up also degrades to `Unknown`, never to a wrong answer.
+//!
+//! This is the exact engine behind the dependence analysis in
+//! [`crate::deps`]: dependence existence and direction-vector questions
+//! over triangular and shifted iteration domains (`k = i+1 .. N`) become
+//! integer feasibility questions here.
+
+use crate::affine::{extract_affine, AffineExpr};
+use crate::loops::CanonLoop;
+
+/// The answer to an integer feasibility question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feasibility {
+    /// Provably no integer point satisfies the system.
+    Empty,
+    /// Provably at least one integer point satisfies the system.
+    NonEmpty,
+    /// The engine could not decide (shadow gap, overflow, or blow-up).
+    Unknown,
+}
+
+/// One constraint `sum(coeffs[i] * x_i) + constant >= 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Con {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Con {
+    fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+/// Cap on the working constraint set during elimination; beyond this the
+/// engine gives up with [`Feasibility::Unknown`] rather than blowing up.
+const MAX_CONSTRAINTS: usize = 512;
+
+/// A system of affine inequalities over a fixed set of integer variables.
+#[derive(Debug, Clone, Default)]
+pub struct PolySystem {
+    nvars: usize,
+    cons: Vec<Con>,
+}
+
+impl PolySystem {
+    /// An empty system (trivially feasible) over `nvars` variables.
+    pub fn new(nvars: usize) -> PolySystem {
+        PolySystem {
+            nvars,
+            cons: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of constraints currently in the system (for mark/rollback).
+    pub fn len(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// `true` when no constraints have been added.
+    pub fn is_empty(&self) -> bool {
+        self.cons.is_empty()
+    }
+
+    /// Drops constraints back to a previous [`PolySystem::len`] mark.
+    pub fn truncate(&mut self, mark: usize) {
+        self.cons.truncate(mark);
+    }
+
+    /// `true` when some constraint has a non-zero coefficient on `var`.
+    pub fn var_occurs(&self, var: usize) -> bool {
+        self.cons.iter().any(|c| c.coeffs[var] != 0)
+    }
+
+    /// Adds `sum(coeffs[i] * x_i) + constant >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs.len() != nvars`.
+    pub fn ge0(&mut self, coeffs: Vec<i64>, constant: i64) {
+        assert_eq!(coeffs.len(), self.nvars, "coefficient arity mismatch");
+        self.cons.push(Con { coeffs, constant });
+    }
+
+    /// Adds `sum(coeffs[i] * x_i) + constant == 0` (as two inequalities).
+    pub fn eq0(&mut self, coeffs: Vec<i64>, constant: i64) {
+        let neg: Vec<i64> = coeffs.iter().map(|&c| -c).collect();
+        self.ge0(coeffs, constant);
+        self.ge0(neg, -constant);
+    }
+
+    /// Decides whether an integer point satisfies every constraint.
+    pub fn feasibility(&self) -> Feasibility {
+        let all: Vec<usize> = (0..self.nvars).collect();
+        match run(&self.cons, &all, Shadow::Real) {
+            RunResult::Infeasible => Feasibility::Empty,
+            RunResult::Overflow => Feasibility::Unknown,
+            RunResult::Feasible { exact: true, .. } => Feasibility::NonEmpty,
+            RunResult::Feasible { exact: false, .. } => match run(&self.cons, &all, Shadow::Dark) {
+                RunResult::Feasible { .. } => Feasibility::NonEmpty,
+                RunResult::Infeasible | RunResult::Overflow => Feasibility::Unknown,
+            },
+        }
+    }
+
+    /// Projects out the listed variables with real-shadow elimination and
+    /// returns the remaining constraints as `(coeffs, constant)` rows.
+    ///
+    /// The result over-approximates the true integer projection (every
+    /// point of the projection satisfies the returned rows), which is the
+    /// safe direction for bound hulls. Returns `None` on overflow,
+    /// blow-up, or a provably empty system.
+    pub fn project(&self, eliminate: &[usize]) -> Option<Vec<(Vec<i64>, i64)>> {
+        match run(&self.cons, eliminate, Shadow::Real) {
+            RunResult::Feasible { cons, .. } => Some(
+                cons.into_iter()
+                    .filter(|c| !c.is_constant())
+                    .map(|c| (c.coeffs, c.constant))
+                    .collect(),
+            ),
+            RunResult::Infeasible | RunResult::Overflow => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shadow {
+    Real,
+    Dark,
+}
+
+enum RunResult {
+    Infeasible,
+    Feasible { exact: bool, cons: Vec<Con> },
+    Overflow,
+}
+
+enum Norm {
+    /// Constraint is `false` (no solutions at all).
+    False,
+    /// Constraint is trivially `true` and can be dropped.
+    Trivial,
+    Keep(Con),
+}
+
+/// Divides the constraint by the gcd of its coefficients, flooring the
+/// constant — a tightening that preserves exactly the integer solutions
+/// (and is what disproves systems like `2x = 2y + 1`).
+fn normalize(mut con: Con) -> Norm {
+    let g = con
+        .coeffs
+        .iter()
+        .copied()
+        .filter(|&c| c != 0)
+        .fold(0i64, gcd);
+    if g == 0 {
+        return if con.constant < 0 {
+            Norm::False
+        } else {
+            Norm::Trivial
+        };
+    }
+    if g > 1 {
+        for c in con.coeffs.iter_mut() {
+            *c /= g;
+        }
+        con.constant = con.constant.div_euclid(g);
+    }
+    Norm::Keep(con)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Eliminates the listed variables from the constraint set.
+fn run(cons: &[Con], eliminate: &[usize], shadow: Shadow) -> RunResult {
+    let mut work: Vec<Con> = Vec::with_capacity(cons.len());
+    for con in cons {
+        match normalize(con.clone()) {
+            Norm::False => return RunResult::Infeasible,
+            Norm::Trivial => {}
+            Norm::Keep(c) => work.push(c),
+        }
+    }
+    dedup(&mut work);
+
+    let mut exact = true;
+    let mut remaining: Vec<usize> = eliminate.to_vec();
+    loop {
+        // Pick the eliminable variable with the cheapest lower x upper
+        // pairing (the classic Fourier heuristic); variables that no
+        // longer occur are projected out for free.
+        let mut best: Option<(usize, usize)> = None;
+        remaining.retain(|&v| {
+            let lowers = work.iter().filter(|c| c.coeffs[v] > 0).count();
+            let uppers = work.iter().filter(|c| c.coeffs[v] < 0).count();
+            if lowers == 0 && uppers == 0 {
+                return false;
+            }
+            let cost = lowers * uppers;
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((v, cost));
+            }
+            true
+        });
+        let Some((var, _)) = best else {
+            return RunResult::Feasible { exact, cons: work };
+        };
+        remaining.retain(|&v| v != var);
+
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut rest = Vec::new();
+        for c in work {
+            match c.coeffs[var].cmp(&0) {
+                std::cmp::Ordering::Greater => lowers.push(c),
+                std::cmp::Ordering::Less => uppers.push(c),
+                std::cmp::Ordering::Equal => rest.push(c),
+            }
+        }
+        if lowers.is_empty() || uppers.is_empty() {
+            // One-sided: an integer value far enough along always exists,
+            // so dropping the constraints is an exact projection.
+            work = rest;
+            continue;
+        }
+        for lo in &lowers {
+            let a = lo.coeffs[var];
+            for up in &uppers {
+                let b = -up.coeffs[var];
+                if a != 1 && b != 1 {
+                    exact = false;
+                }
+                let Some(combined) = combine(lo, up, a, b, var, shadow) else {
+                    return RunResult::Overflow;
+                };
+                match normalize(combined) {
+                    Norm::False => return RunResult::Infeasible,
+                    Norm::Trivial => {}
+                    Norm::Keep(c) => rest.push(c),
+                }
+            }
+        }
+        dedup(&mut rest);
+        if rest.len() > MAX_CONSTRAINTS {
+            return RunResult::Overflow;
+        }
+        work = rest;
+    }
+}
+
+/// Combines a lower bound (`a > 0` on `var`) with an upper bound
+/// (`b > 0`, stored negated) into the shadow constraint with `var`
+/// cancelled: `b*lo + a*up >= 0` (real) or `>= (a-1)(b-1)` (dark).
+fn combine(lo: &Con, up: &Con, a: i64, b: i64, var: usize, shadow: Shadow) -> Option<Con> {
+    let mut coeffs = Vec::with_capacity(lo.coeffs.len());
+    for (cl, cu) in lo.coeffs.iter().zip(&up.coeffs) {
+        coeffs.push(b.checked_mul(*cl)?.checked_add(a.checked_mul(*cu)?)?);
+    }
+    debug_assert_eq!(coeffs[var], 0);
+    let mut constant = b
+        .checked_mul(lo.constant)?
+        .checked_add(a.checked_mul(up.constant)?)?;
+    if shadow == Shadow::Dark {
+        constant = constant.checked_sub((a - 1).checked_mul(b - 1)?)?;
+    }
+    Some(Con { coeffs, constant })
+}
+
+/// Removes duplicate constraints, keeping only the tightest constant per
+/// coefficient vector (for `sum >= -constant`, the smallest constant).
+fn dedup(cons: &mut Vec<Con>) {
+    use std::collections::BTreeMap;
+    let mut best: BTreeMap<Vec<i64>, i64> = BTreeMap::new();
+    for c in cons.drain(..) {
+        best.entry(c.coeffs)
+            .and_modify(|k| *k = (*k).min(c.constant))
+            .or_insert(c.constant);
+    }
+    cons.extend(
+        best.into_iter()
+            .map(|(coeffs, constant)| Con { coeffs, constant }),
+    );
+}
+
+/// Rectangular bound hull of one band level: the conjunction
+/// `max(lowers) <= v < min(uppers_excl)` over-approximates the set of
+/// values the level's variable takes anywhere in the band.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HullBounds {
+    /// Inclusive lower bounds (affine over non-band variables).
+    pub lowers: Vec<AffineExpr>,
+    /// Exclusive upper bounds (affine over non-band variables).
+    pub uppers_excl: Vec<AffineExpr>,
+}
+
+/// Maximum band depth the hull/dependence engine enumerates.
+pub const MAX_EXACT_DEPTH: usize = 4;
+
+/// Computes a rectangular hull for a (possibly triangular) loop band:
+/// for each level, bounds free of every band variable that contain the
+/// whole iteration domain. This is what lets tiling lay rectangular tile
+/// loops over a triangular band — `max`/`min` guards on the point loops
+/// then clip each tile back to the true domain.
+///
+/// Returns `None` when the band is too deep, uses non-unit steps,
+/// non-affine bounds, duplicate variables, or when the projection cannot
+/// produce at least one lower and one upper bound per level.
+pub fn band_hull(band: &[CanonLoop]) -> Option<Vec<HullBounds>> {
+    if band.is_empty() || band.len() > MAX_EXACT_DEPTH {
+        return None;
+    }
+    if band.iter().any(|l| l.step != 1) {
+        return None;
+    }
+    let vars: Vec<&str> = band.iter().map(|l| l.var.as_str()).collect();
+    if (1..vars.len()).any(|i| vars[..i].contains(&vars[i])) {
+        return None;
+    }
+
+    let mut bounds = Vec::with_capacity(band.len());
+    let mut params: Vec<String> = Vec::new();
+    for l in band {
+        let lo = extract_affine(&l.lower)?;
+        let up = extract_affine(&l.exclusive_upper())?;
+        for v in lo.vars().chain(up.vars()) {
+            if !vars.contains(&v) && !params.iter().any(|p| p == v) {
+                params.push(v.to_string());
+            }
+        }
+        bounds.push((lo, up));
+    }
+
+    let d = band.len();
+    let nvars = d + params.len();
+    let col = |name: &str| -> usize {
+        vars.iter()
+            .position(|v| *v == name)
+            .unwrap_or_else(|| d + params.iter().position(|p| p == name).expect("collected"))
+    };
+    let mut sys = PolySystem::new(nvars);
+    for (l, (lo, up)) in bounds.iter().enumerate() {
+        // v - lo >= 0
+        let mut row = vec![0i64; nvars];
+        row[l] += 1;
+        for (name, c) in &lo.coeffs {
+            row[col(name)] -= c;
+        }
+        sys.ge0(row, -lo.constant);
+        // up - 1 - v >= 0
+        let mut row = vec![0i64; nvars];
+        row[l] -= 1;
+        for (name, c) in &up.coeffs {
+            row[col(name)] += c;
+        }
+        sys.ge0(row, up.constant - 1);
+    }
+
+    let mut out = Vec::with_capacity(d);
+    for l in 0..d {
+        let eliminate: Vec<usize> = (0..d).filter(|&v| v != l).collect();
+        let rows = sys.project(&eliminate)?;
+        let mut lowers: Vec<AffineExpr> = Vec::new();
+        let mut uppers: Vec<AffineExpr> = Vec::new();
+        for (coeffs, constant) in rows {
+            let a = coeffs[l];
+            if a == 0 {
+                continue;
+            }
+            // The rest of the row, as an affine expression over params.
+            let mut rest = AffineExpr::constant(constant);
+            for (i, p) in params.iter().enumerate() {
+                let c = coeffs[d + i];
+                if c != 0 {
+                    let mut t = AffineExpr::var(p.clone());
+                    t.scale(c);
+                    rest.add(&t);
+                }
+            }
+            if a > 0 {
+                // a*v + rest >= 0  =>  v >= ceil(-rest / a)
+                if a == 1 {
+                    rest.scale(-1);
+                    push_unique(&mut lowers, rest);
+                } else if rest.is_constant() {
+                    push_unique(
+                        &mut lowers,
+                        AffineExpr::constant(
+                            (-rest.constant).div_euclid(a)
+                                + i64::from((-rest.constant).rem_euclid(a) != 0),
+                        ),
+                    );
+                }
+                // Non-unit coefficients with symbolic rest are skipped:
+                // dropping a bound only widens the hull, which is safe.
+            } else {
+                let b = -a;
+                // rest - b*v >= 0  =>  v <= floor(rest / b), exclusive +1
+                if b == 1 {
+                    rest.constant += 1;
+                    push_unique(&mut uppers, rest);
+                } else if rest.is_constant() {
+                    push_unique(
+                        &mut uppers,
+                        AffineExpr::constant(rest.constant.div_euclid(b) + 1),
+                    );
+                }
+            }
+        }
+        if lowers.is_empty() || uppers.is_empty() {
+            return None;
+        }
+        out.push(HullBounds {
+            lowers,
+            uppers_excl: uppers,
+        });
+    }
+    Some(out)
+}
+
+fn push_unique(list: &mut Vec<AffineExpr>, item: AffineExpr) {
+    if !list.contains(&item) {
+        list.push(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(n: i64, dims: usize) -> PolySystem {
+        let mut sys = PolySystem::new(dims);
+        for v in 0..dims {
+            let mut lo = vec![0; dims];
+            lo[v] = 1;
+            sys.ge0(lo, 0); // v >= 0
+            let mut up = vec![0; dims];
+            up[v] = -1;
+            sys.ge0(up, n - 1); // v <= n - 1
+        }
+        sys
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        assert_eq!(PolySystem::new(3).feasibility(), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn box_is_nonempty_and_exact() {
+        assert_eq!(boxed(10, 2).feasibility(), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_empty() {
+        let mut sys = PolySystem::new(1);
+        sys.ge0(vec![1], 0); // x >= 0
+        sys.ge0(vec![-1], -1); // x <= -1
+        assert_eq!(sys.feasibility(), Feasibility::Empty);
+    }
+
+    #[test]
+    fn gcd_tightening_disproves_parity_clash() {
+        // 2x = 2y + 1 over a box: no integer solution.
+        let mut sys = boxed(10, 2);
+        sys.eq0(vec![2, -2], -1);
+        assert_eq!(sys.feasibility(), Feasibility::Empty);
+    }
+
+    #[test]
+    fn triangular_domain_with_shifted_lower_bound() {
+        // 0 <= i < 10, i + 1 <= k < 10 — nonempty (i=0, k=1).
+        let mut sys = boxed(10, 2);
+        sys.ge0(vec![-1, 1], -1); // k - i - 1 >= 0
+        assert_eq!(sys.feasibility(), Feasibility::NonEmpty);
+        // Shrink the box to one point: i = 9 forces k >= 10 — empty.
+        sys.ge0(vec![1, 0], -9); // i >= 9
+        assert_eq!(sys.feasibility(), Feasibility::Empty);
+    }
+
+    #[test]
+    fn equality_constraints_pin_points() {
+        let mut sys = boxed(10, 2);
+        sys.eq0(vec![1, -1], -3); // x - y = 3
+        assert_eq!(sys.feasibility(), Feasibility::NonEmpty);
+        sys.eq0(vec![1, 0], 0); // x = 0  => y = -3, outside the box
+        assert_eq!(sys.feasibility(), Feasibility::Empty);
+    }
+
+    #[test]
+    fn dark_shadow_proves_wide_stride_nonempty() {
+        // y <= 2x <= y + 2, 0 <= y <= 10: dark shadow certifies a point.
+        let mut sys = PolySystem::new(2);
+        sys.ge0(vec![2, -1], 0); // 2x - y >= 0
+        sys.ge0(vec![-2, 1], 2); // y + 2 - 2x >= 0
+        sys.ge0(vec![0, 1], 0);
+        sys.ge0(vec![0, -1], 10);
+        assert_eq!(sys.feasibility(), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn shadow_gap_reports_unknown() {
+        // y = 1 and y <= 3x <= y + 1: truly empty, but the real shadow is
+        // feasible and the dark shadow is not — the engine must admit it
+        // cannot decide rather than guess.
+        let mut sys = PolySystem::new(2);
+        sys.ge0(vec![3, -1], 0); // 3x - y >= 0
+        sys.ge0(vec![-3, 1], 1); // y + 1 - 3x >= 0
+        sys.eq0(vec![0, 1], -1); // y = 1
+        assert_eq!(sys.feasibility(), Feasibility::Unknown);
+    }
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let mut sys = boxed(4, 1);
+        let mark = sys.len();
+        sys.ge0(vec![1], -100); // x >= 100
+        assert_eq!(sys.feasibility(), Feasibility::Empty);
+        sys.truncate(mark);
+        assert_eq!(sys.feasibility(), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn project_keeps_transitive_bounds() {
+        // 0 <= i < 10, 0 <= j <= i: projecting out i must retain
+        // j <= 9 alongside j >= 0.
+        let mut sys = PolySystem::new(2);
+        sys.ge0(vec![1, 0], 0); // i >= 0
+        sys.ge0(vec![-1, 0], 9); // i <= 9
+        sys.ge0(vec![0, 1], 0); // j >= 0
+        sys.ge0(vec![1, -1], 0); // i - j >= 0
+        let rows = sys.project(&[0]).unwrap();
+        assert!(rows.contains(&(vec![0, 1], 0)), "{rows:?}");
+        assert!(rows.contains(&(vec![0, -1], 9)), "{rows:?}");
+    }
+
+    fn canon(var: &str, lower: &str, upper_excl: &str) -> CanonLoop {
+        CanonLoop {
+            var: var.to_string(),
+            lower: locus_srcir::parse_expr(lower).unwrap(),
+            upper: locus_srcir::parse_expr(upper_excl).unwrap(),
+            inclusive: false,
+            step: 1,
+            declares_var: true,
+        }
+    }
+
+    #[test]
+    fn hull_of_rectangular_band_is_its_own_bounds() {
+        let band = [canon("i", "0", "n"), canon("j", "0", "n")];
+        let hull = band_hull(&band).unwrap();
+        assert_eq!(hull[0].lowers, vec![AffineExpr::constant(0)]);
+        assert_eq!(hull[0].uppers_excl, vec![AffineExpr::var("n")]);
+        assert_eq!(hull[1].lowers, vec![AffineExpr::constant(0)]);
+        assert_eq!(hull[1].uppers_excl, vec![AffineExpr::var("n")]);
+    }
+
+    #[test]
+    fn hull_of_triangular_band_projects_through_the_outer_bound() {
+        // i in [0, n), j in [0, i]: the hull of j is [0, n).
+        let band = [canon("i", "0", "n"), canon("j", "0", "i + 1")];
+        let hull = band_hull(&band).unwrap();
+        assert_eq!(hull[1].lowers, vec![AffineExpr::constant(0)]);
+        assert_eq!(hull[1].uppers_excl, vec![AffineExpr::var("n")]);
+    }
+
+    #[test]
+    fn hull_of_shifted_band_covers_the_shift() {
+        // i in [0, n), k in [i+1, n): hull of k is [1, n).
+        let band = [canon("i", "0", "n"), canon("k", "i + 1", "n")];
+        let hull = band_hull(&band).unwrap();
+        assert_eq!(hull[1].lowers, vec![AffineExpr::constant(1)]);
+        assert_eq!(hull[1].uppers_excl, vec![AffineExpr::var("n")]);
+    }
+
+    #[test]
+    fn hull_refuses_nonaffine_and_non_unit_steps() {
+        let band = [canon("i", "0", "f(n)")];
+        assert!(band_hull(&band).is_none());
+        let mut stepped = canon("i", "0", "n");
+        stepped.step = 2;
+        assert!(band_hull(&[stepped]).is_none());
+    }
+}

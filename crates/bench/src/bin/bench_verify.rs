@@ -1,20 +1,66 @@
 //! Benchmarks verifier-pruned search: the Fig. 6 DGEMM tuning session
 //! run with the static safety verifier active and with legality checks
-//! disabled, and writes the evaluations avoided and the wall-clock
-//! ratio to `BENCH_verify.json`.
+//! disabled, plus the exact-vs-conservative verdict-precision sweep over
+//! the corpus registry. Writes the evaluations avoided, the wall-clock
+//! ratio, and the precision counters to `BENCH_verify.json`.
 //!
 //! Usage: `cargo run --release -p locus-bench --bin bench_verify
-//! [output.json]` (threads via `LOCUS_THREADS`, default 8).
+//! [--check] [output.json]` (threads via `LOCUS_THREADS`, default 8).
+//! `--check` runs only the precision sweep and fails (exit 1) unless at
+//! least one triangular registry entry admits a restructuring the
+//! conservative engine refused; it writes nothing.
 
-use locus_bench::verify::{run_verify, to_json};
+use locus_bench::verify::{run_precision, run_verify, to_json_with_precision, PrecisionRow};
+
+fn print_precision(rows: &[PrecisionRow]) {
+    for r in rows {
+        println!(
+            "{:<18} {:<12} steps {:>3}  exact {:>3}  conservative {:>3}  legal {:>3}  \
+             newly-legal {:>2}",
+            r.entry,
+            if r.rectangular {
+                "rectangular"
+            } else {
+                "triangular"
+            },
+            r.steps,
+            r.exact_verdicts,
+            r.conservative_verdicts,
+            r.legal_steps,
+            r.newly_legal,
+        );
+    }
+}
 
 fn main() {
     let threads = std::env::var("LOCUS_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--check") {
+        eprintln!("verdict-precision smoke: registry sweep, exact vs conservative");
+        let precision = run_precision();
+        print_precision(&precision);
+        let triangular_newly_legal: usize = precision
+            .iter()
+            .filter(|r| !r.rectangular)
+            .map(|r| r.newly_legal)
+            .sum();
+        assert!(
+            triangular_newly_legal >= 1,
+            "smoke: no triangular registry entry admits a restructuring the \
+             conservative engine refused"
+        );
+        eprintln!("ok ({triangular_newly_legal} newly-legal triangular restructurings)");
+        return;
+    }
+
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_verify.json".to_string());
 
     eprintln!("verifier-pruned vs unchecked tuning, {threads} worker threads");
@@ -34,7 +80,10 @@ fn main() {
             r.unchecked_ships_racy(),
         );
     }
+    let precision = run_precision();
+    print_precision(&precision);
 
-    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    std::fs::write(&out, to_json_with_precision(&rows, &precision))
+        .expect("write benchmark report");
     eprintln!("wrote {out}");
 }

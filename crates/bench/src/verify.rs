@@ -13,9 +13,16 @@
 
 use std::time::Instant;
 
+use locus_analysis::deps::{analyze_region_conservative, DependenceInfo};
+use locus_analysis::loops::perfect_nest_loops;
 use locus_core::{LocusSystem, TuneReport, TuneResult};
 use locus_corpus::dgemm_program;
 use locus_search::ExhaustiveSearch;
+use locus_srcir::ast::Stmt;
+use locus_srcir::region::{extract_region, find_regions};
+use locus_srcir::visit::{child, child_count, walk_exprs};
+use locus_srcir::HierIndex;
+use locus_verify::{explain, legal, TransformStep};
 
 use crate::bench_machine_tiny;
 
@@ -165,6 +172,203 @@ pub fn run_verify(threads: usize) -> Vec<VerifyRow> {
     ]
 }
 
+// ---- verdict-precision sweep -------------------------------------------
+
+/// Exact-vs-conservative verdict accounting for one registry entry: how
+/// many candidate transformation steps the legality engine judged on
+/// exact polyhedral evidence, and how many of its legal verdicts the
+/// pre-polyhedral engine (conservative direction enumeration plus the
+/// rectangular-bands-only structural gate) would have refused.
+#[derive(Debug, Clone)]
+pub struct PrecisionRow {
+    /// Registry entry name.
+    pub entry: String,
+    /// Whether the entry's tagged region is rectangular.
+    pub rectangular: bool,
+    /// Candidate steps judged in the sweep.
+    pub steps: usize,
+    /// Steps whose verdict rests on exact polyhedral dependence info.
+    pub exact_verdicts: usize,
+    /// Steps judged on conservative (fallback) dependence info.
+    pub conservative_verdicts: usize,
+    /// Steps the engine declares legal.
+    pub legal_steps: usize,
+    /// Legal steps the conservative engine would have refused — the
+    /// restructurings the polyhedral engine newly admits.
+    pub newly_legal: usize,
+}
+
+/// Permutations swept at each region root, as `order[new] = old`.
+const PERMS: &[&[usize]] = &[
+    &[1, 0],
+    &[0, 2, 1],
+    &[1, 0, 2],
+    &[1, 2, 0],
+    &[2, 0, 1],
+    &[2, 1, 0],
+];
+
+/// All hierarchical indices of `for` loops in the region, root first.
+fn loop_targets(root: &Stmt) -> Vec<HierIndex> {
+    fn rec(stmt: &Stmt, index: HierIndex, out: &mut Vec<HierIndex>) {
+        if stmt.is_for() {
+            out.push(index.clone());
+        }
+        for i in 0..child_count(stmt) {
+            if let Some(c) = child(stmt, i) {
+                rec(c, index.push(i), out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(root, HierIndex::root(), &mut out);
+    out
+}
+
+/// Whether the leading `width` loops of the perfect nest at `region`
+/// form a rectangular band (no bound references another band variable).
+fn band_rectangular(region: &Stmt, width: usize) -> bool {
+    let nest = perfect_nest_loops(region);
+    if nest.len() < width {
+        return false;
+    }
+    let band = &nest[..width];
+    band.iter().all(|l| {
+        [&l.lower, &l.upper].iter().all(|bound| {
+            let mut clean = true;
+            walk_exprs(bound, &mut |e| {
+                if let locus_srcir::ast::Expr::Ident(n) = e {
+                    if band.iter().any(|b| &b.var == n && b.var != l.var) {
+                        clean = false;
+                    }
+                }
+            });
+            clean
+        })
+    })
+}
+
+/// The step's dependence-level predicate under `info` — `None` when the
+/// step has no direction-vector predicate (parallelization and fusion
+/// go through race classification instead).
+fn dep_predicate(info: &DependenceInfo, step: &TransformStep) -> Option<bool> {
+    if !info.available {
+        return Some(false);
+    }
+    match step {
+        TransformStep::Interchange { order } => {
+            let full: Vec<usize> = order
+                .iter()
+                .copied()
+                .chain(order.len()..info.loop_vars.len())
+                .collect();
+            Some(info.interchange_legal(&full))
+        }
+        TransformStep::Tile { width, .. } => {
+            let band: Vec<usize> = (0..*width).collect();
+            Some(info.band_permutable(&band))
+        }
+        TransformStep::UnrollAndJam { .. } => Some(info.band_permutable(&[0, 1])),
+        TransformStep::Vectorize { .. } => Some(info.vectorizable()),
+        TransformStep::Distribute { .. } => Some(info.distribution_legal()),
+        TransformStep::ParallelFor { .. } | TransformStep::Fuse { .. } => None,
+    }
+}
+
+/// What the pre-polyhedral engine would say: the conservative dependence
+/// predicate gated by the rectangular-bands-only structural rule.
+fn old_engine_legal(region: &Stmt, step: &TransformStep, cons: &DependenceInfo) -> bool {
+    let Some(pred) = dep_predicate(cons, step) else {
+        return true; // not compared; never counts as newly legal
+    };
+    let structural = match step {
+        TransformStep::Interchange { order } => band_rectangular(region, order.len()),
+        TransformStep::Tile { width, .. } => band_rectangular(region, *width),
+        TransformStep::UnrollAndJam { .. } => band_rectangular(region, 2),
+        _ => true,
+    };
+    pred && structural
+}
+
+/// Sweeps one region: every candidate step judged by the live engine,
+/// with provenance counts and the newly-legal diff against the
+/// conservative engine.
+fn precision_sweep(entry: &str, rectangular: bool, root: &Stmt) -> PrecisionRow {
+    let mut row = PrecisionRow {
+        entry: entry.to_string(),
+        rectangular,
+        steps: 0,
+        exact_verdicts: 0,
+        conservative_verdicts: 0,
+        legal_steps: 0,
+        newly_legal: 0,
+    };
+    let mut steps: Vec<TransformStep> = PERMS
+        .iter()
+        .map(|p| TransformStep::Interchange { order: p.to_vec() })
+        .collect();
+    for target in loop_targets(root) {
+        for width in 1..=3usize {
+            steps.push(TransformStep::Tile {
+                target: target.clone(),
+                width,
+            });
+        }
+        steps.push(TransformStep::UnrollAndJam {
+            target: target.clone(),
+        });
+        steps.push(TransformStep::Vectorize {
+            target: target.clone(),
+        });
+        steps.push(TransformStep::Distribute { target });
+    }
+    for step in &steps {
+        row.steps += 1;
+        let ex = explain(root, step);
+        if ex.provenance == "exact" {
+            row.exact_verdicts += 1;
+        } else {
+            row.conservative_verdicts += 1;
+        }
+        if !legal(root, step).is_legal() {
+            continue;
+        }
+        row.legal_steps += 1;
+        let region = match step {
+            TransformStep::Interchange { .. } | TransformStep::Fuse { .. } => Some(root),
+            TransformStep::Tile { target, .. }
+            | TransformStep::UnrollAndJam { target }
+            | TransformStep::Distribute { target }
+            | TransformStep::ParallelFor { target }
+            | TransformStep::Vectorize { target } => target.resolve(root).filter(|s| s.is_for()),
+        };
+        let Some(region) = region else { continue };
+        let cons = analyze_region_conservative(region);
+        if !old_engine_legal(region, step, &cons) {
+            row.newly_legal += 1;
+        }
+    }
+    row
+}
+
+/// Runs the verdict-precision sweep over every corpus registry entry.
+pub fn run_precision() -> Vec<PrecisionRow> {
+    locus_corpus::all_programs()
+        .iter()
+        .map(|e| {
+            let regions = find_regions(&e.program);
+            let region = regions
+                .iter()
+                .find(|r| r.id == e.region)
+                .unwrap_or_else(|| panic!("{}: region `{}` missing", e.name, e.region));
+            let root = extract_region(&e.program, region)
+                .unwrap_or_else(|| panic!("{}: region not extractable", e.name))
+                .stmt;
+            precision_sweep(e.name, e.rectangular, &root)
+        })
+        .collect()
+}
+
 fn json_opt(key: &Option<String>) -> String {
     match key {
         Some(k) => format!("\"{k}\""),
@@ -172,9 +376,44 @@ fn json_opt(key: &Option<String>) -> String {
     }
 }
 
+/// Renders the precision rows as a JSON array fragment.
+fn precision_json(rows: &[PrecisionRow]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"entry\": \"{}\",\n",
+                "      \"rectangular\": {},\n",
+                "      \"steps\": {},\n",
+                "      \"exact_verdicts\": {},\n",
+                "      \"conservative_verdicts\": {},\n",
+                "      \"legal_steps\": {},\n",
+                "      \"newly_legal\": {}\n",
+                "    }}{}\n",
+            ),
+            r.entry,
+            r.rectangular,
+            r.steps,
+            r.exact_verdicts,
+            r.conservative_verdicts,
+            r.legal_steps,
+            r.newly_legal,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out
+}
+
 /// Renders the rows as a JSON document (hand-rolled; the workspace has
 /// no serde).
 pub fn to_json(rows: &[VerifyRow]) -> String {
+    to_json_with_precision(rows, &[])
+}
+
+/// Like [`to_json`], with the verdict-precision sweep appended as a
+/// `precision` array.
+pub fn to_json_with_precision(rows: &[VerifyRow], precision: &[PrecisionRow]) -> String {
     let mut out = String::from(
         "{\n  \"benchmark\": \"verifier-pruned vs unchecked tuning session (fig6 dgemm)\",\n  \"rows\": [\n",
     );
@@ -215,7 +454,13 @@ pub fn to_json(rows: &[VerifyRow]) -> String {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    if precision.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n  \"precision\": [\n");
+        out.push_str(&precision_json(precision));
+        out.push_str("  ]\n}\n");
+    }
     out
 }
 
@@ -245,6 +490,46 @@ mod tests {
         let json = to_json(&[row]);
         assert!(json.contains("\"evaluations_avoided\": 8"), "{json}");
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn precision_sweep_finds_newly_legal_triangular_restructurings() {
+        let rows = run_precision();
+        assert!(rows.len() >= 15, "registry shrank to {}", rows.len());
+        // The polyhedral engine must admit at least one restructuring of
+        // a triangular entry the conservative engine refused — SYRK's
+        // `j <= i` band (tiling/interchange were structurally rejected
+        // as "not rectangular") is the canonical case.
+        let triangular_newly_legal: usize = rows
+            .iter()
+            .filter(|r| !r.rectangular)
+            .map(|r| r.newly_legal)
+            .sum();
+        assert!(
+            triangular_newly_legal >= 1,
+            "no triangular entry gained a legal restructuring: {rows:?}"
+        );
+        let syrk = rows.iter().find(|r| r.entry == "poly-syrk").expect("syrk");
+        assert!(syrk.newly_legal >= 1, "syrk gained nothing: {syrk:?}");
+        // TRMM's k loop sits *below* the shared (i, j) nest; the old
+        // engine happened to admit its restructurings, so the gain there
+        // is exactness, not new legality: the inner-loop existential lets
+        // every verdict come from the polyhedral engine.
+        let trmm = rows.iter().find(|r| r.entry == "poly-trmm").expect("trmm");
+        assert!(
+            trmm.exact_verdicts >= 1,
+            "trmm never decided exactly: {trmm:?}"
+        );
+        // Every row judges a non-empty step list, and verdict provenance
+        // partitions it.
+        for r in &rows {
+            assert!(r.steps > 0, "{r:?}");
+            assert_eq!(r.exact_verdicts + r.conservative_verdicts, r.steps, "{r:?}");
+            assert!(r.newly_legal <= r.legal_steps, "{r:?}");
+        }
+        let json = to_json_with_precision(&[], &rows);
+        assert!(json.contains("\"precision\": ["), "{json}");
+        assert!(json.contains("\"entry\": \"poly-syrk\""), "{json}");
     }
 
     #[test]

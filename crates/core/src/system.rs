@@ -873,10 +873,12 @@ impl LocusSystem {
                         // `note_miss` — the point simply never costs an
                         // evaluation.
                         batch_origin.push("pruned");
+                        let provenance = locus_verify::refusal_provenance(&reason);
                         tracer.instant("verify", "prune", || {
                             vec![
                                 kv("point", point.canonical_key()),
                                 kv("category", locus_verify::refusal_category(&reason)),
+                                kv("provenance", provenance),
                                 kv("reason", reason.clone()),
                             ]
                         });
@@ -887,6 +889,7 @@ impl LocusSystem {
                                 point_key: point.canonical_key(),
                                 variant,
                                 reason,
+                                provenance: provenance.to_string(),
                                 search: search_name.clone(),
                             });
                         }

@@ -125,6 +125,8 @@ CodeReg {id} {{
             r#"
 CodeReg {id} {{
     *RoseLocus.Interchange(order=[1, 0]);
+    tileT = poweroftwo(2..8);
+    *Pips.Tiling(loop="0", factor=[tileT, tileT]);
     uf = poweroftwo(2..4);
     *RoseLocus.Unroll(loop="innermost", factor=uf);
 }}

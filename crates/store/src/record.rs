@@ -93,6 +93,10 @@ pub struct PruneRecord {
     pub variant: u64,
     /// Why the verifier refused (race report or legality verdict).
     pub reason: String,
+    /// `"exact"` when the refusal was decided by the polyhedral
+    /// dependence engine, `"conservative"` otherwise. Lines written
+    /// before this field existed decode as `"conservative"`.
+    pub provenance: String,
     /// Name of the search module that proposed the point.
     pub search: String,
 }
@@ -227,6 +231,7 @@ pub fn encode_prune(key: &crate::StoreKey, r: &PruneRecord) -> String {
     push_str_field(&mut out, "point", &r.point_key);
     push_str_field(&mut out, "variant", &format!("{:016x}", r.variant));
     push_str_field(&mut out, "reason", &r.reason);
+    push_str_field(&mut out, "provenance", &r.provenance);
     push_str_field(&mut out, "search", &r.search);
     finish(out)
 }
@@ -397,6 +402,7 @@ pub fn decode(line: &str) -> Option<Record> {
                 point_key: get("point")?,
                 variant: hex64(&get("variant")?)?,
                 reason: get("reason")?,
+                provenance: get("provenance").unwrap_or_else(|| "conservative".into()),
                 search: get("search")?,
             },
         }),
@@ -483,6 +489,7 @@ mod tests {
             variant: 0x1234_5678_9abc_def0,
             reason: "data race: write C[i][j] / write C[i][j] carried at level 0 (direction *)"
                 .into(),
+            provenance: "exact".into(),
             search: "exhaustive".into(),
         };
         let line = encode_prune(&key(), &r);
@@ -492,6 +499,25 @@ mod tests {
         };
         assert_eq!(k, key());
         assert_eq!(record, r);
+    }
+
+    #[test]
+    fn prune_lines_without_provenance_decode_as_conservative() {
+        let r = PruneRecord {
+            point_key: "or:omp=c1;".into(),
+            variant: 0x1,
+            reason: "dependence".into(),
+            provenance: "exact".into(),
+            search: "exhaustive".into(),
+        };
+        let line = encode_prune(&key(), &r)
+            .replace(",\"provenance\":\"exact\"", "")
+            .replace("\"provenance\":\"exact\",", "");
+        assert!(!line.contains("provenance"), "{line}");
+        let Some(Record::Prune { record, .. }) = decode(&line) else {
+            panic!("decodes: {line}");
+        };
+        assert_eq!(record.provenance, "conservative");
     }
 
     #[test]

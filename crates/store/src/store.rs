@@ -541,6 +541,7 @@ mod tests {
             point_key: point.to_string(),
             variant: 0x7,
             reason: "data race: write C[i][j]".into(),
+            provenance: "conservative".into(),
             search: "exhaustive".into(),
         };
         {

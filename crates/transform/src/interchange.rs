@@ -20,8 +20,9 @@ use crate::{TransformError, TransformResult};
 /// # Errors
 ///
 /// * [`TransformError::Error`] when `order` is not a permutation, the
-///   nest is not perfect/canonical deep enough, or a loop bound depends
-///   on another loop being permuted.
+///   nest is not perfect/canonical deep enough, or a loop bound
+///   references a loop the permutation would move inside it (triangular
+///   bands permute fine as long as every referenced loop stays outer).
 /// * [`TransformError::Illegal`] when the legality check refuses.
 pub fn interchange(root: &mut Stmt, order: &[usize], check_legality: bool) -> TransformResult {
     let depth = order.len();
@@ -63,24 +64,36 @@ pub fn interchange(root: &mut Stmt, order: &[usize], check_legality: bool) -> Tr
         }
     }
 
-    // Bounds must not reference other band variables (rectangular band).
+    // Constructibility on (possibly triangular) bands: a bound of loop
+    // `l` that references loop `m`'s variable is only well-defined after
+    // the permutation if `m` stays *outside* `l` — the header move never
+    // rewrites bounds. Rectangular bands trivially pass.
     {
         let mut cur: &Stmt = root;
         for level in 0..depth {
             let canon = canonicalize(cur).expect("checked above");
+            let pos_l = order.iter().position(|&o| o == level).expect("permutation");
             for bound in [&canon.lower, &canon.upper] {
-                let mut bad = false;
+                let mut refs: Vec<usize> = Vec::new();
                 locus_srcir::visit::walk_exprs(bound, &mut |e| {
                     if let locus_srcir::ast::Expr::Ident(n) = e {
-                        if vars.iter().any(|v| v == n && v != &canon.var) {
-                            bad = true;
+                        if let Some(m) = vars.iter().position(|v| v == n && v != &canon.var) {
+                            if !refs.contains(&m) {
+                                refs.push(m);
+                            }
                         }
                     }
                 });
-                if bad {
-                    return Err(TransformError::error(
-                        "band is not rectangular: a bound references another band variable",
-                    ));
+                for m in refs {
+                    let pos_m = order.iter().position(|&o| o == m).expect("permutation");
+                    if pos_m > pos_l {
+                        return Err(TransformError::error(format!(
+                            "band is not rectangular under permutation {order:?}: the \
+                             bound of `{}` references `{}`, which the permutation moves \
+                             inside it",
+                            canon.var, vars[m]
+                        )));
+                    }
                 }
             }
             if level + 1 < depth {
@@ -302,6 +315,29 @@ mod tests {
             interchange(&mut root, &[1, 0], true),
             Err(TransformError::Error(_))
         ));
+    }
+
+    #[test]
+    fn permutes_triangular_band_when_referenced_loops_stay_outer() {
+        // The SYRK recipe shape: `j <= i` references `i`, and the
+        // permutation [0, 2, 1] keeps `i` outermost, so the headers move
+        // without rewriting any bound.
+        let mut root = region(
+            r#"void f(int n, double C[8][8], double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    for (int k = 0; k < n; k++)
+                        C[i][j] = C[i][j] + A[i][k] * A[j][k];
+            }"#,
+        );
+        interchange(&mut root, &[0, 2, 1], true).unwrap();
+        let vars: Vec<String> = perfect_nest_loops(&root)
+            .into_iter()
+            .map(|l| l.var)
+            .collect();
+        assert_eq!(vars, vec!["i", "k", "j"]);
+        let printed = locus_srcir::print_stmt(&root);
+        assert!(printed.contains("j <= i"), "{printed}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Rectangular loop tiling — `RoseLocus.Tiling` / `Pips.Tiling`.
+//! Loop tiling — `RoseLocus.Tiling` / `Pips.Tiling`.
 //!
 //! Tiles the band of perfectly nested loops rooted at the target: each of
 //! the `factors.len()` loops is strip-mined and the strip (tile) loops
@@ -6,12 +6,20 @@
 //! `tile-loops... point-loops...` structure. Non-divisible bounds are
 //! handled with `min()` guards, so the transformation is exact for any
 //! trip count.
+//!
+//! Non-rectangular (triangular, shifted) bands are tiled over their
+//! rectangular *bound hull* (see `locus_analysis::polyhedron::band_hull`):
+//! the tile loops sweep the hull, band-variable-free by construction, and
+//! the point loops clip each tile back to the true domain with `max()` /
+//! `min()` guards — every original iteration runs exactly once, in tile
+//! order.
 
 use locus_srcir::ast::{AssignOp, Expr, ForLoop, Stmt, StmtKind};
-use locus_srcir::builder::min_expr;
+use locus_srcir::builder::{max_expr, min_expr};
 use locus_srcir::index::HierIndex;
 
 use locus_analysis::loops::{canonicalize, CanonLoop};
+use locus_analysis::polyhedron::{band_hull, HullBounds};
 
 use crate::selector::fresh_name;
 use crate::{TransformError, TransformResult};
@@ -42,13 +50,25 @@ pub fn tile(
         )));
     }
 
-    // Validate and gather the band before mutating anything.
-    {
+    // Validate and gather the band before mutating anything. A band
+    // whose bounds reference other band variables is tiled over its
+    // rectangular hull; when no hull is derivable the band stays
+    // untileable exactly as before.
+    let hull: Option<Vec<HullBounds>> = {
         let loop_stmt = target
             .resolve(root)
             .ok_or_else(|| TransformError::error(format!("no statement at `{target}`")))?;
         let band = collect_band(loop_stmt, factors.len())?;
-        check_rectangular(&band)?;
+        let hull = if check_rectangular(&band).is_ok() {
+            None
+        } else {
+            Some(band_hull(&band).ok_or_else(|| {
+                TransformError::error(
+                    "band is not rectangular: a bound references a band variable \
+                     and no affine tile hull is derivable",
+                )
+            })?)
+        };
         if check_legality {
             crate::require_legal(locus_verify::legal(
                 root,
@@ -58,7 +78,8 @@ pub fn tile(
                 },
             ))?;
         }
-    }
+        hull
+    };
 
     let fresh_names: Vec<String> = {
         let loop_stmt = target.resolve(root).expect("validated above");
@@ -80,20 +101,28 @@ pub fn tile(
         (*cur.as_for().expect("band loop").body).clone()
     };
 
-    // Point loops, innermost last.
+    // Point loops, innermost last. On the hull path a point loop whose
+    // original lower bound references another band variable starts at
+    // `max(lower, tile_var)` — the tile may begin before the triangular
+    // domain does.
     let mut rebuilt = innermost_body;
     for (i, canon) in band.iter().enumerate().rev() {
         let tile_var = &fresh_names[i];
         let size = factors[i] * canon.step;
+        let start = if hull.is_some() && refs_band_var(&canon.lower, &band, &canon.var) {
+            max_expr(canon.lower.clone(), Expr::ident(tile_var))
+        } else {
+            Expr::ident(tile_var)
+        };
         let init = if canon.declares_var {
             Stmt::new(StmtKind::Decl {
                 ty: locus_srcir::ast::Type::Int,
                 name: canon.var.clone(),
                 dims: Vec::new(),
-                init: Some(Expr::ident(tile_var)),
+                init: Some(start),
             })
         } else {
-            Stmt::expr(Expr::assign(Expr::ident(&canon.var), Expr::ident(tile_var)))
+            Stmt::expr(Expr::assign(Expr::ident(&canon.var), start))
         };
         let cond = Expr::bin(
             locus_srcir::ast::BinOp::Lt,
@@ -125,17 +154,34 @@ pub fn tile(
         }));
     }
 
-    // Tile loops, outermost first.
+    // Tile loops, outermost first. Levels whose bounds reference another
+    // band variable sweep their hull bounds instead — those are free of
+    // band variables, so the tile band is always rectangular.
     for (i, canon) in band.iter().enumerate().rev() {
         let tile_var = &fresh_names[i];
         let size = factors[i] * canon.step;
-        let tile = locus_srcir::builder::for_loop(
-            tile_var,
-            canon.lower.clone(),
-            canon.exclusive_upper(),
-            size,
-            vec![rebuilt],
-        );
+        let (lo, hi) = match &hull {
+            Some(h)
+                if refs_band_var(&canon.lower, &band, &canon.var)
+                    || refs_band_var(&canon.upper, &band, &canon.var) =>
+            {
+                let lo = h[i]
+                    .lowers
+                    .iter()
+                    .map(|a| a.to_expr())
+                    .reduce(max_expr)
+                    .expect("hull has a lower bound");
+                let hi = h[i]
+                    .uppers_excl
+                    .iter()
+                    .map(|a| a.to_expr())
+                    .reduce(min_expr)
+                    .expect("hull has an upper bound");
+                (lo, hi)
+            }
+            _ => (canon.lower.clone(), canon.exclusive_upper()),
+        };
+        let tile = locus_srcir::builder::for_loop(tile_var, lo, hi, size, vec![rebuilt]);
         rebuilt = tile;
     }
 
@@ -164,6 +210,20 @@ pub(crate) fn collect_band(stmt: &Stmt, depth: usize) -> TransformResult<Vec<Can
         }
     }
     Ok(out)
+}
+
+/// `true` when `bound` references the variable of some band loop other
+/// than `own`.
+fn refs_band_var(bound: &Expr, band: &[CanonLoop], own: &str) -> bool {
+    let mut bad = false;
+    locus_srcir::visit::walk_exprs(bound, &mut |e| {
+        if let Expr::Ident(n) = e {
+            if n != own && band.iter().any(|l| &l.var == n) {
+                bad = true;
+            }
+        }
+    });
+    bad
 }
 
 /// Ensures no band loop bound references another band loop's variable.
@@ -262,7 +322,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_triangular_band() {
+    fn tiles_triangular_band_over_its_hull() {
         let mut root = region(
             r#"void f(int n, double A[8][8]) {
             for (int i = 0; i < n; i++)
@@ -270,8 +330,68 @@ mod tests {
                     A[i][j] = 1.0;
             }"#,
         );
+        tile(&mut root, &HierIndex::root(), &[4, 4], true).unwrap();
+        assert_eq!(all_loops(&root).len(), 4);
+        let printed = locus_srcir::print_stmt(&root);
+        // The point loop for `j` starts at `max(i, j_t)`; the tile loop
+        // for `j_t` sweeps the hull `0 <= j_t < n`, free of `i`.
+        assert!(printed.contains("max(i, j_t)"), "{printed}");
+        assert!(
+            printed.contains("for (int j_t = 0; j_t < n; j_t += 4)"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn triangular_tiling_visits_exactly_the_original_points() {
+        // Enumerate the (i, j) points both nests visit for a fixed n by
+        // walking the loop structure symbolically in Rust.
+        let mut root = region(
+            r#"void f(int n, double A[16][16]) {
+            for (int i = 0; i < 12; i++)
+                for (int j = 0; j <= i; j++)
+                    A[i][j] = 1.0;
+            }"#,
+        );
+        tile(&mut root, &HierIndex::root(), &[5, 3], true).unwrap();
+        let printed = locus_srcir::print_stmt(&root);
+        let mut tiled: Vec<(i64, i64)> = Vec::new();
+        for i_t in (0..12).step_by(5) {
+            for j_t in (0..12).step_by(3) {
+                for i in i_t..(i_t + 5).min(12) {
+                    let j_hi = (i + 1).min(j_t + 3);
+                    for j in j_t.max(0)..j_hi {
+                        tiled.push((i, j));
+                    }
+                }
+            }
+        }
+        let mut orig: Vec<(i64, i64)> = Vec::new();
+        for i in 0..12 {
+            for j in 0..=i {
+                orig.push((i, j));
+            }
+        }
+        tiled.sort_unstable();
+        orig.sort_unstable();
+        assert_eq!(tiled, orig, "{printed}");
+        // And the printed structure matches the model walked above.
+        assert!(printed.contains("j < min(i + 1, j_t + 3)"), "{printed}");
+    }
+
+    #[test]
+    fn rejects_triangular_band_without_a_hull() {
+        // A non-unit step keeps the hull underivable, so the refusal is
+        // the legacy structural error.
+        let mut root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 0; i < n; i++)
+                for (int j = i; j < n; j += 2)
+                    A[i][j] = 1.0;
+            }"#,
+        );
         assert!(matches!(
-            tile(&mut root, &HierIndex::root(), &[4, 4], true),
+            tile(&mut root, &HierIndex::root(), &[4, 4], false),
             Err(TransformError::Error(_))
         ));
     }

@@ -13,8 +13,11 @@
 //! an analysis-local clone, mapping "is the tile loop parallelizable?"
 //! back to the level-0 question the detector already answers.
 
+use locus_analysis::affine::extract_affine;
 use locus_analysis::loops::{all_loops, canonicalize, CanonLoop};
+use locus_analysis::polyhedron::{Feasibility, PolySystem};
 use locus_srcir::ast::{BinOp, Expr, Stmt, StmtKind, Type};
+use locus_srcir::builder::max_expr;
 use locus_srcir::visit::walk_exprs_in_stmt;
 
 /// Coalesces every recognizable tile/point pair in the nest rooted at
@@ -64,7 +67,7 @@ fn coalesce_one(region: &mut Stmt, target_var: &mut String) -> Step {
         let Some(t_canon) = canonicalize(t_stmt) else {
             continue;
         };
-        let Some((depth, new_upper)) = find_point_partner(t_stmt, &t_canon) else {
+        let Some((depth, lower_clamp, new_upper)) = find_point_partner(t_stmt, &t_canon) else {
             continue;
         };
 
@@ -77,18 +80,21 @@ fn coalesce_one(region: &mut Stmt, target_var: &mut String) -> Step {
         let p_stmt = p_idx.resolve_mut(region).expect("partner was just found");
         let p_canon = canonicalize(p_stmt).expect("partner is canonical");
         let header = p_stmt.as_for_mut().expect("partner is a loop");
+        // A `max(L, t)` point lower (hull-tiled triangular band) keeps
+        // its clamp: the coalesced loop starts where the domain does.
+        let new_lower = match lower_clamp {
+            Some(clamp) => max_expr(clamp, t_canon.lower.clone()),
+            None => t_canon.lower.clone(),
+        };
         header.init = Some(Box::new(if p_canon.declares_var {
             Stmt::new(StmtKind::Decl {
                 ty: Type::Int,
                 name: p_canon.var.clone(),
                 dims: Vec::new(),
-                init: Some(t_canon.lower.clone()),
+                init: Some(new_lower),
             })
         } else {
-            Stmt::expr(Expr::assign(
-                Expr::ident(&p_canon.var),
-                t_canon.lower.clone(),
-            ))
+            Stmt::expr(Expr::assign(Expr::ident(&p_canon.var), new_lower))
         }));
         header.cond = Some(Expr::bin(BinOp::Lt, Expr::ident(&p_canon.var), new_upper));
 
@@ -117,15 +123,16 @@ fn coalesce_one(region: &mut Stmt, target_var: &mut String) -> Step {
 }
 
 /// Follows the perfect spine under a candidate tile loop looking for its
-/// point loop: `for (v = t; v < min(X, t + c); v += s)` with `c` equal
-/// to the tile step and `s` dividing `c`. Returns how many child-0
-/// descents reach it and the exclusive upper bound of the coalesced
-/// loop.
+/// point loop: `for (v = t; v < min(X, t + c); v += s)` — or the
+/// hull-tiled triangular form `for (v = max(L, t); ...)` — with `c`
+/// equal to the tile step and `s` dividing `c`. Returns how many child-0
+/// descents reach it, the lower clamp `L` when present, and the
+/// exclusive upper bound of the coalesced loop.
 ///
 /// Only single-statement loop bodies are traversed: a statement between
 /// the tile loop and the point loop would execute once per *tile*, and
 /// eliminating the tile loop would mis-model its accesses.
-fn find_point_partner(t_stmt: &Stmt, t_canon: &CanonLoop) -> Option<(usize, Expr)> {
+fn find_point_partner(t_stmt: &Stmt, t_canon: &CanonLoop) -> Option<(usize, Option<Expr>, Expr)> {
     let mut cur = t_stmt;
     let mut depth = 0;
     loop {
@@ -138,16 +145,38 @@ fn find_point_partner(t_stmt: &Stmt, t_canon: &CanonLoop) -> Option<(usize, Expr
         let Some(canon) = canonicalize(cur) else {
             continue;
         };
-        if canon.inclusive
-            || canon.lower != Expr::ident(&t_canon.var)
-            || t_canon.step % canon.step != 0
-        {
+        let Some(lower_clamp) = point_lower(&canon.lower, t_canon) else {
+            continue;
+        };
+        if canon.inclusive || t_canon.step % canon.step != 0 {
             continue;
         }
         if let Some(upper) = coalesced_upper(&canon.upper, t_canon) {
-            return Some((depth, upper));
+            return Some((depth, lower_clamp, upper));
         }
     }
+}
+
+/// Matches a point-loop lower bound against the tile variable: a bare
+/// `t` yields no clamp; `max(L, t)` / `max(t, L)` yields the clamp `L`.
+/// Anything else is not a strip-mine partner (`None` outer).
+#[allow(clippy::option_option)]
+fn point_lower(lower: &Expr, t_canon: &CanonLoop) -> Option<Option<Expr>> {
+    let is_t = |e: &Expr| matches!(e, Expr::Ident(n) if n == &t_canon.var);
+    if is_t(lower) {
+        return Some(None);
+    }
+    if let Expr::Call { callee, args } = lower {
+        if callee == "max" && args.len() == 2 {
+            if is_t(&args[1]) {
+                return Some(Some(args[0].clone()));
+            }
+            if is_t(&args[0]) {
+                return Some(Some(args[1].clone()));
+            }
+        }
+    }
+    None
 }
 
 /// Matches the point-loop guard against the tile loop: `min(X, t + c)`
@@ -176,19 +205,56 @@ fn coalesced_upper(upper: &Expr, t_canon: &CanonLoop) -> Option<Expr> {
 /// The exclusive upper bound an *unguarded* point loop reaches: each
 /// tile runs its full width, so when the trip count does not divide the
 /// tile step the nest overruns the tile loop's bound and dependences
-/// confined to those overrun iterations must stay modeled. Requires
-/// constant tile-loop bounds — with symbolic bounds the overrun extent
-/// is unknown and the pair is conservatively left uncoalesced (the race
-/// analysis then refuses the tile loop).
+/// confined to those overrun iterations must stay modeled. With constant
+/// tile-loop bounds the rounded-up bound is computed directly; with
+/// symbolic affine bounds the polyhedral engine is asked to *prove* that
+/// no tile overruns (e.g. `i_t < 8 * m` with width 8) — only then does
+/// the guard-free loop coalesce to the tile loop's own bound. Otherwise
+/// the pair is conservatively left uncoalesced (the race analysis then
+/// refuses the tile loop).
 fn unguarded_upper(t_canon: &CanonLoop) -> Option<Expr> {
-    let lo = t_canon.lower.as_const_int()?;
-    let hi = t_canon.upper.as_const_int()? + i64::from(t_canon.inclusive);
-    let tiles = if hi <= lo {
-        0
-    } else {
-        (hi - lo + t_canon.step - 1) / t_canon.step
+    if let (Some(lo), Some(up)) = (t_canon.lower.as_const_int(), t_canon.upper.as_const_int()) {
+        let hi = up + i64::from(t_canon.inclusive);
+        let tiles = if hi <= lo {
+            0
+        } else {
+            (hi - lo + t_canon.step - 1) / t_canon.step
+        };
+        return Some(Expr::int(lo + tiles * t_canon.step));
+    }
+    // Symbolic: an overrunning tile is a `q >= 0` with
+    // `lo + c*q < U` (the tile starts) and `lo + c*q + c > U` (its last
+    // point passes the bound). Provably none -> the unguarded point loop
+    // never passes `U`.
+    let lo = extract_affine(&t_canon.lower)?;
+    let up = extract_affine(&t_canon.exclusive_upper())?;
+    let c = t_canon.step;
+    let params: Vec<&str> = {
+        let mut p: Vec<&str> = lo.vars().chain(up.vars()).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
     };
-    Some(Expr::int(lo + tiles * t_canon.step))
+    let nvars = 1 + params.len();
+    let col = |name: &str| 1 + params.iter().position(|p| *p == name).expect("collected");
+    let mut sys = PolySystem::new(nvars);
+    let mut q_row = vec![0i64; nvars];
+    q_row[0] = 1;
+    sys.ge0(q_row, 0);
+    // U - lo - c*q - 1 >= 0
+    let mut row = vec![0i64; nvars];
+    row[0] = -c;
+    for (name, k) in &up.coeffs {
+        row[col(name)] += k;
+    }
+    for (name, k) in &lo.coeffs {
+        row[col(name)] -= k;
+    }
+    sys.ge0(row.clone(), up.constant - lo.constant - 1);
+    // lo + c*q + c - U - 1 >= 0  (negate the difference above, add c)
+    let neg: Vec<i64> = row.iter().map(|v| -v).collect();
+    sys.ge0(neg, lo.constant - up.constant + c - 1);
+    (sys.feasibility() == Feasibility::Empty).then(|| t_canon.exclusive_upper())
 }
 
 /// `true` when `e` is exactly `tile_var + tile_step`.
@@ -298,6 +364,46 @@ mod tests {
             }"#,
         );
         assert!(coalesce_strip_mines(&root).is_none());
+    }
+
+    #[test]
+    fn divisible_symbolic_bound_coalesces_without_a_guard() {
+        // `8 * m` is provably a multiple of the tile width, so no tile
+        // overruns and the guard-free point loop coalesces to the tile
+        // loop's own (symbolic) bound.
+        let root = region(
+            r#"void f(int m, double A[64], double B[64]) {
+            for (int i_t = 0; i_t < 8 * m; i_t += 8)
+                for (int i = i_t; i < i_t + 8; i++)
+                    A[i] = B[i];
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("overrun disproven");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.var, "i");
+        assert!(locus_srcir::printer::print_expr(&canon.upper).contains('m'));
+        assert_eq!(all_loops(&coalesced).len(), 1);
+    }
+
+    #[test]
+    fn max_clamped_triangular_point_loop_coalesces() {
+        // The hull-tiled shifted-bound shape: the point loop starts at
+        // `max(i + 1, k_t)` and the tile loop sweeps the hull `1..n`.
+        let root = region(
+            r#"void f(int n, int i, double A[64]) {
+            for (int k_t = 1; k_t < n; k_t += 4)
+                for (int k = max(i + 1, k_t); k < min(n, k_t + 4); k++)
+                    A[k] = 1.0;
+            }"#,
+        );
+        let coalesced = coalesce_strip_mines(&root).expect("clamped pair recognized");
+        let canon = canonicalize(&coalesced).unwrap();
+        assert_eq!(canon.var, "k");
+        assert_eq!(canon.upper, Expr::ident("n"));
+        // The coalesced lower keeps the domain clamp.
+        let lower = locus_srcir::printer::print_expr(&canon.lower);
+        assert!(lower.contains("max(i + 1, 1)"), "{lower}");
+        assert_eq!(all_loops(&coalesced).len(), 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! program: fusion legality, for instance, is judged on a privately
 //! reconstructed fused candidate.
 
-use locus_analysis::deps::analyze_region;
-use locus_analysis::loops::canonicalize;
+use locus_analysis::deps::{analyze_region, Dependence, DependenceInfo};
+use locus_analysis::loops::{canonicalize, perfect_nest_loops, CanonLoop};
+use locus_analysis::polyhedron::band_hull;
 use locus_srcir::ast::{Expr, OmpClause, Pragma, Stmt, StmtKind};
 use locus_srcir::index::HierIndex;
 use locus_srcir::visit::{
@@ -81,12 +82,14 @@ pub fn legal(root: &Stmt, step: &TransformStep) -> Verdict {
             target,
             *width,
             "band is not fully permutable; tiling would reverse a dependence",
+            BandShape::HullOk,
         ),
         TransformStep::UnrollAndJam { target } => band_verdict(
             root,
             target,
             2,
             "outer and inner loops are not permutable; jamming would reverse a dependence",
+            BandShape::RectangularOnly,
         ),
         TransformStep::Fuse { first } => fuse_verdict(root, first),
         TransformStep::Distribute { target } => distribute_verdict(root, target),
@@ -99,6 +102,113 @@ fn unavailable() -> Verdict {
     Verdict::illegal("dependence information unavailable")
 }
 
+/// A legality verdict unpacked for humans: what was decided, on which
+/// engine's authority, which dependence forced a refusal, and the
+/// iteration-domain constraints that were considered. Backs
+/// `locus-lint --explain`.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The verdict [`legal`] returns for the same `(root, step)`.
+    pub verdict: Verdict,
+    /// `"exact"` when the region's dependence set was decided entirely by
+    /// the polyhedral engine, `"conservative"` otherwise.
+    pub provenance: &'static str,
+    /// The offending dependence (rendered with its direction vector and
+    /// per-dependence provenance), when the refusal is dependence-based.
+    pub offending: Option<String>,
+    /// The iteration-domain constraints, one per nest level, e.g.
+    /// `0 <= j < i + 1`.
+    pub domain: Vec<String>,
+}
+
+/// Judges `step` like [`legal`] and additionally reports the dependence
+/// evidence behind the verdict.
+pub fn explain(root: &Stmt, step: &TransformStep) -> Explanation {
+    let verdict = legal(root, step);
+    let region = match step {
+        TransformStep::Interchange { .. } | TransformStep::Fuse { .. } => Some(root),
+        TransformStep::Tile { target, .. }
+        | TransformStep::UnrollAndJam { target }
+        | TransformStep::Distribute { target }
+        | TransformStep::ParallelFor { target }
+        | TransformStep::Vectorize { target } => target.resolve(root).filter(|s| s.is_for()),
+    };
+    let Some(region) = region else {
+        return Explanation {
+            verdict,
+            provenance: "conservative",
+            offending: None,
+            domain: Vec::new(),
+        };
+    };
+    let info = analyze_region(region);
+    let provenance = if info.available && info.exact {
+        "exact"
+    } else {
+        "conservative"
+    };
+    let domain = perfect_nest_loops(region)
+        .iter()
+        .map(|l| {
+            let mut s = format!(
+                "{} <= {} < {}",
+                locus_srcir::printer::print_expr(&l.lower),
+                l.var,
+                locus_srcir::printer::print_expr(&l.exclusive_upper()),
+            );
+            if l.step != 1 {
+                s.push_str(&format!(" step {}", l.step));
+            }
+            s
+        })
+        .collect();
+    let offending = offending_dep(&info, step).map(|d| d.to_string());
+    Explanation {
+        verdict,
+        provenance,
+        offending,
+        domain,
+    }
+}
+
+/// The first dependence that forces a refusal of `step`, found by
+/// re-judging the step's legality predicate one dependence at a time.
+fn offending_dep<'a>(info: &'a DependenceInfo, step: &TransformStep) -> Option<&'a Dependence> {
+    if !info.available {
+        return None;
+    }
+    let one = |d: &Dependence| DependenceInfo {
+        available: true,
+        loop_vars: info.loop_vars.clone(),
+        deps: vec![d.clone()],
+        stmt_count: info.stmt_count,
+        exact: info.exact,
+    };
+    match step {
+        TransformStep::Interchange { order } => {
+            let full: Vec<usize> = order
+                .iter()
+                .copied()
+                .chain(order.len()..info.loop_vars.len())
+                .collect();
+            info.deps.iter().find(|d| !one(d).interchange_legal(&full))
+        }
+        TransformStep::Tile { width, .. } => {
+            let levels: Vec<usize> = (0..*width).collect();
+            info.deps.iter().find(|d| !one(d).band_permutable(&levels))
+        }
+        TransformStep::UnrollAndJam { .. } => {
+            info.deps.iter().find(|d| !one(d).band_permutable(&[0, 1]))
+        }
+        TransformStep::Distribute { .. } => info.deps.iter().find(|d| d.src_stmt > d.dst_stmt),
+        TransformStep::Vectorize { .. } => info.deps.iter().find(|d| !d.is_loop_independent()),
+        TransformStep::ParallelFor { .. } => {
+            info.deps.iter().find(|d| d.carrier_level() == Some(0))
+        }
+        TransformStep::Fuse { .. } => None,
+    }
+}
+
 fn resolve_loop<'a>(root: &'a Stmt, target: &HierIndex) -> Result<&'a Stmt, Verdict> {
     match target.resolve(root) {
         Some(stmt) if stmt.is_for() => Ok(stmt),
@@ -109,16 +219,13 @@ fn resolve_loop<'a>(root: &'a Stmt, target: &HierIndex) -> Result<&'a Stmt, Verd
     }
 }
 
-/// Conservative structural screening shared by the restructuring
-/// verdicts: walks `width` perfectly nested loops from `loop_stmt` and
-/// refuses bands the restructuring transforms cannot rebuild —
-/// non-canonical headers, imperfect nesting, and non-rectangular
-/// iteration spaces whose bounds reference another band variable.
-/// Triangular factorization nests and data-dependent bounds
-/// (`j <= i`, `j < rowlen[i]` with `rowlen` unknown at the header) all
-/// land here, so the search driver *prunes* such points statically
-/// instead of failing variant construction late.
-fn structured_band(loop_stmt: &Stmt, width: usize) -> Result<(), Verdict> {
+/// Structural screening shared by the restructuring verdicts: walks
+/// `width` perfectly nested loops from `loop_stmt`, refusing
+/// non-canonical headers and imperfect nesting, and returns the band.
+/// Shape questions beyond that — rectangularity, hull derivability,
+/// permutation constructibility — are judged per-transform, because the
+/// exact engine now proves many non-rectangular bands restructurable.
+fn structured_band(loop_stmt: &Stmt, width: usize) -> Result<Vec<CanonLoop>, Verdict> {
     let mut band = Vec::with_capacity(width);
     let mut cur = loop_stmt;
     for level in 0..width {
@@ -138,24 +245,42 @@ fn structured_band(loop_stmt: &Stmt, width: usize) -> Result<(), Verdict> {
             cur = &body[0];
         }
     }
-    for canon in &band {
-        for bound in [&canon.lower, &canon.upper] {
-            let mut offending = false;
-            walk_exprs(bound, &mut |e| {
-                if let Expr::Ident(n) = e {
-                    if band.iter().any(|l| &l.var == n && l.var != canon.var) {
-                        offending = true;
+    Ok(band)
+}
+
+/// For each band level, the *other* band levels whose induction variable
+/// appears in this level's bounds. All-empty means a rectangular band.
+fn band_bound_refs(band: &[CanonLoop]) -> Vec<Vec<usize>> {
+    band.iter()
+        .map(|canon| {
+            let mut refs = Vec::new();
+            for bound in [&canon.lower, &canon.upper] {
+                walk_exprs(bound, &mut |e| {
+                    if let Expr::Ident(n) = e {
+                        if let Some(m) = band.iter().position(|l| &l.var == n && l.var != canon.var)
+                        {
+                            if !refs.contains(&m) {
+                                refs.push(m);
+                            }
+                        }
                     }
-                }
-            });
-            if offending {
-                return Err(Verdict::illegal(
-                    "band is not rectangular: a bound references a band variable",
-                ));
+                });
             }
-        }
+            refs
+        })
+        .collect()
+}
+
+/// Marks a dependence-based refusal with its provenance: when the
+/// region's dependence set is exact, the refusal is a proof, not a
+/// conservative guess, and the reason says so.
+fn dep_illegal(info: &DependenceInfo, msg: impl Into<String>) -> Verdict {
+    let msg = msg.into();
+    if info.exact {
+        Verdict::Illegal(format!("{msg} [exact]"))
+    } else {
+        Verdict::Illegal(msg)
     }
-    Ok(())
 }
 
 fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
@@ -166,8 +291,26 @@ fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
     if !info.available {
         return unavailable();
     }
-    if let Err(v) = structured_band(root, order.len()) {
-        return v;
+    let band = match structured_band(root, order.len()) {
+        Ok(b) => b,
+        Err(v) => return v,
+    };
+    // Constructibility on (possibly triangular) bands: a bound of loop
+    // `l` referencing loop `m` is still well-defined after permutation
+    // only if `m` remains *outside* `l` in the new order.
+    let refs = band_bound_refs(&band);
+    for (l, refs_l) in refs.iter().enumerate() {
+        let pos_l = order.iter().position(|&o| o == l).expect("permutation");
+        for &m in refs_l {
+            let pos_m = order.iter().position(|&o| o == m).expect("permutation");
+            if pos_m > pos_l {
+                return Verdict::illegal(format!(
+                    "band is not rectangular under permutation {order:?}: the bound of \
+                     `{}` references `{}`, which the permutation moves inside it",
+                    band[l].var, band[m].var
+                ));
+            }
+        }
     }
     // Extend the permutation to the full analyzed nest depth: unlisted
     // deeper loops stay in place.
@@ -179,11 +322,32 @@ fn interchange_verdict(root: &Stmt, order: &[usize]) -> Verdict {
     if info.interchange_legal(&full) {
         Verdict::Legal
     } else {
-        Verdict::illegal(format!("permutation {order:?} reverses a dependence"))
+        dep_illegal(
+            &info,
+            format!("permutation {order:?} reverses a dependence"),
+        )
     }
 }
 
-fn band_verdict(root: &Stmt, target: &HierIndex, width: usize, refusal: &str) -> Verdict {
+/// Which band shapes a restructuring transform can rebuild.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BandShape {
+    /// Rectangular, or any non-rectangular band with a derivable affine
+    /// bound hull (tiling lays rectangular tile loops over the hull and
+    /// clips the point loops with `max`/`min` guards).
+    HullOk,
+    /// Strictly rectangular (unroll-and-jam duplicates the inner loop
+    /// body across outer iterations, which has no hull construction).
+    RectangularOnly,
+}
+
+fn band_verdict(
+    root: &Stmt,
+    target: &HierIndex,
+    width: usize,
+    refusal: &str,
+    shape: BandShape,
+) -> Verdict {
     let loop_stmt = match resolve_loop(root, target) {
         Ok(s) => s,
         Err(v) => return v,
@@ -192,14 +356,31 @@ fn band_verdict(root: &Stmt, target: &HierIndex, width: usize, refusal: &str) ->
     if !info.available {
         return unavailable();
     }
-    if let Err(v) = structured_band(loop_stmt, width) {
-        return v;
+    let band = match structured_band(loop_stmt, width) {
+        Ok(b) => b,
+        Err(v) => return v,
+    };
+    if band_bound_refs(&band).iter().any(|r| !r.is_empty()) {
+        match shape {
+            BandShape::RectangularOnly => {
+                return Verdict::illegal(
+                    "band is not rectangular: a bound references a band variable",
+                );
+            }
+            BandShape::HullOk => {
+                if band_hull(&band).is_none() {
+                    return Verdict::illegal(
+                        "band is not rectangular and no affine tile hull is derivable",
+                    );
+                }
+            }
+        }
     }
     let levels: Vec<usize> = (0..width).collect();
     if info.band_permutable(&levels) {
         Verdict::Legal
     } else {
-        Verdict::illegal(refusal)
+        dep_illegal(&info, refusal)
     }
 }
 
@@ -215,7 +396,7 @@ fn distribute_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
     if info.distribution_legal() {
         Verdict::Legal
     } else {
-        Verdict::illegal("a backward dependence prevents distribution")
+        dep_illegal(&info, "a backward dependence prevents distribution")
     }
 }
 
@@ -231,7 +412,7 @@ fn vectorize_verdict(root: &Stmt, target: &HierIndex) -> Verdict {
     if info.vectorizable() {
         Verdict::Legal
     } else {
-        Verdict::illegal("a loop-carried dependence prevents vectorization")
+        dep_illegal(&info, "a loop-carried dependence prevents vectorization")
     }
 }
 
@@ -280,7 +461,10 @@ fn fuse_verdict(root: &Stmt, first: &HierIndex) -> Verdict {
         .iter()
         .any(|d| d.src_stmt >= boundary && d.dst_stmt < boundary);
     if preventing {
-        Verdict::illegal("fusion-preventing dependence between the loop bodies")
+        dep_illegal(
+            &info,
+            "fusion-preventing dependence between the loop bodies",
+        )
     } else {
         Verdict::Legal
     }
@@ -341,9 +525,10 @@ pub fn parallel_for_clauses(root: &Stmt, target: &HierIndex) -> Result<Vec<OmpCl
         return Err(unavailable());
     }
     let mut clauses: Vec<OmpClause> = Vec::new();
+    let marker = if report.exact { " [exact]" } else { "" };
     for race in &report.races {
         let clause = match &race.fix {
-            RaceFix::Refuse => return Err(Verdict::illegal(format!("data race: {race}"))),
+            RaceFix::Refuse => return Err(Verdict::illegal(format!("data race: {race}{marker}"))),
             RaceFix::Reduction { var, op } => OmpClause::Reduction {
                 op: *op,
                 var: var.clone(),
@@ -720,11 +905,13 @@ mod tests {
     }
 
     #[test]
-    fn triangular_bands_go_through_the_conservative_path() {
+    fn triangular_band_tiling_is_proven_legal() {
         // The SYRK / Cholesky update shape: the inner bound references
-        // the outer induction variable, so tiling, unroll-and-jam and
-        // interchange must all be *verdict*-illegal (pruned statically),
-        // never left for the transform to fail on late.
+        // the outer induction variable. The polyhedral engine proves the
+        // band fully permutable, and a rectangular tile hull exists, so
+        // tiling is now *legal* — only unroll-and-jam (which has no hull
+        // construction) and a permutation that would move `i` inside the
+        // `j <= i` bound keep their structural refusals.
         let root = region(
             r#"void f(int n, double C[8][8], double A[8][8]) {
             for (int i = 0; i < n; i++)
@@ -732,11 +919,15 @@ mod tests {
                     C[i][j] = C[i][j] + A[i][j];
             }"#,
         );
-        for step in [
-            TransformStep::Tile {
+        assert!(legal(
+            &root,
+            &TransformStep::Tile {
                 target: idx("0"),
-                width: 2,
-            },
+                width: 2
+            }
+        )
+        .is_legal());
+        for step in [
             TransformStep::UnrollAndJam { target: idx("0") },
             TransformStep::Interchange { order: vec![1, 0] },
         ] {
@@ -762,9 +953,12 @@ mod tests {
     }
 
     #[test]
-    fn shifted_lower_bound_band_is_refused() {
+    fn shifted_lower_bound_band_is_proven_tileable() {
         // The TRMM shape: `k = i + 1` makes the band non-rectangular
-        // through the *lower* bound.
+        // through the *lower* bound. The exact engine decides the cross
+        // dependence `B[k][0]` vs `B[i][0]` as (<,<) — the conservative
+        // engine could only say (*,*) — so the band is fully permutable
+        // and tiling becomes legal.
         let root = region(
             r#"void f(int n, double B[8][8], double A[8][8]) {
             for (int i = 0; i < n; i++)
@@ -779,10 +973,65 @@ mod tests {
                 width: 2,
             },
         );
-        assert!(
-            verdict.reason().unwrap().contains("not rectangular"),
-            "{verdict:?}"
+        assert!(verdict.is_legal(), "{verdict:?}");
+    }
+
+    #[test]
+    fn exact_refusals_carry_the_provenance_marker() {
+        // Constant bounds and affine subscripts: the whole region is
+        // decided exactly, so a dependence-based refusal says so.
+        let root = region(
+            r#"void f(double A[8][8]) {
+            for (int i = 1; i < 8; i++)
+                for (int j = 0; j < 7; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
         );
+        let verdict = legal(&root, &TransformStep::Interchange { order: vec![1, 0] });
+        let reason = verdict.reason().unwrap();
+        assert!(reason.contains("reverses a dependence"), "{reason}");
+        assert!(reason.ends_with(" [exact]"), "{reason}");
+        // Symbolic bounds force the conservative tag even though the
+        // refusal itself is the same.
+        let root = region(
+            r#"void f(int n, double A[8][8]) {
+            for (int i = 1; i < n; i++)
+                for (int j = 0; j < n - 1; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        let verdict = legal(&root, &TransformStep::Interchange { order: vec![1, 0] });
+        assert!(!verdict.reason().unwrap().contains("[exact]"));
+    }
+
+    #[test]
+    fn explain_names_the_offending_dependence_and_domain() {
+        let root = region(
+            r#"void f(double A[8][8]) {
+            for (int i = 1; i < 8; i++)
+                for (int j = 0; j < 7; j++)
+                    A[i][j] = A[i - 1][j + 1];
+            }"#,
+        );
+        let ex = explain(&root, &TransformStep::Interchange { order: vec![1, 0] });
+        assert!(!ex.verdict.is_legal());
+        assert_eq!(ex.provenance, "exact");
+        let off = ex.offending.expect("a dependence forced the refusal");
+        assert!(off.contains("A"), "{off}");
+        assert!(off.contains("(<,>)"), "{off}");
+        assert_eq!(ex.domain, vec!["1 <= i < 8", "0 <= j < 7"]);
+
+        // A legal step explains itself with no offending dependence
+        // (strip-mining one loop never reorders across iterations).
+        let ex = explain(
+            &root,
+            &TransformStep::Tile {
+                target: idx("0"),
+                width: 1,
+            },
+        );
+        assert!(ex.verdict.is_legal(), "{:?}", ex.verdict);
+        assert!(ex.offending.is_none());
     }
 
     #[test]

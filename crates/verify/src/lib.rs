@@ -89,7 +89,20 @@ pub fn refusal_category(reason: &str) -> &'static str {
     }
 }
 
-pub use legality::{legal, parallel_for_clauses, TransformStep};
+/// Provenance of a refusal reason: `"exact"` when the legality engine
+/// marked the refusal as polyhedrally proven (the reason carries an
+/// ` [exact]` suffix), `"conservative"` otherwise — including every
+/// structural refusal, which no dependence engine decides.
+pub fn refusal_provenance(reason: &str) -> &'static str {
+    if reason.ends_with(" [exact]") {
+        "exact"
+    } else {
+        "conservative"
+    }
+}
+
+pub use legality::{explain, legal, parallel_for_clauses, Explanation, TransformStep};
+pub use locus_analysis::deps::Provenance;
 pub use races::{analyze_parallel_for, Race, RaceFix, RaceReport};
 pub use wellformed::{validate_program, validate_region};
 
@@ -118,5 +131,26 @@ mod tests {
             "structure"
         );
         assert_eq!(refusal_category("unknown module"), "other");
+    }
+
+    #[test]
+    fn refusal_provenance_reads_the_exact_marker() {
+        assert_eq!(
+            refusal_provenance("permutation [1, 0] reverses a dependence [exact]"),
+            "exact"
+        );
+        assert_eq!(
+            refusal_provenance("permutation [1, 0] reverses a dependence"),
+            "conservative"
+        );
+        assert_eq!(
+            refusal_provenance("dependence information unavailable"),
+            "conservative"
+        );
+        // The marker also keeps the coarse category of the base reason.
+        assert_eq!(
+            refusal_category("a backward dependence prevents distribution [exact]"),
+            "dependence"
+        );
     }
 }

@@ -97,6 +97,11 @@ pub struct RaceReport {
     /// (non-affine subscripts, opaque pointer writes); parallelization is
     /// then refused conservatively.
     pub available: bool,
+    /// `true` when every dependence behind this report was decided by
+    /// the exact polyhedral engine; `false` when at least one verdict
+    /// fell back to the conservative direction enumeration (or the
+    /// analysis was unavailable altogether).
+    pub exact: bool,
     /// All dependences carried by the candidate loop.
     pub races: Vec<Race>,
 }
@@ -121,8 +126,9 @@ impl RaceReport {
         if !self.available {
             return Verdict::illegal("dependence information unavailable");
         }
+        let marker = if self.exact { " [exact]" } else { "" };
         match self.races.iter().find(|r| r.fix == RaceFix::Refuse) {
-            Some(r) => Verdict::illegal(format!("data race: {r}")),
+            Some(r) => Verdict::illegal(format!("data race: {r}{marker}")),
             None => Verdict::Legal,
         }
     }
@@ -138,6 +144,7 @@ pub fn analyze_parallel_for(loop_stmt: &Stmt) -> RaceReport {
     if !loop_stmt.is_for() {
         return RaceReport {
             available: false,
+            exact: false,
             races: Vec::new(),
         };
     }
@@ -149,6 +156,7 @@ pub fn analyze_parallel_for(loop_stmt: &Stmt) -> RaceReport {
     if !info.available {
         return RaceReport {
             available: false,
+            exact: false,
             races: Vec::new(),
         };
     }
@@ -167,6 +175,7 @@ pub fn analyze_parallel_for(loop_stmt: &Stmt) -> RaceReport {
         .collect();
     RaceReport {
         available: true,
+        exact: info.exact,
         races,
     }
 }

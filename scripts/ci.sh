@@ -21,8 +21,14 @@ cargo test -q --offline --test vm_equivalence
 cargo test -q --offline --test srcir_fuzz
 # Legality-vs-dependence differential: no transform may be declared legal
 # that a reported dependence forbids — now swept over the whole corpus
-# registry, triangular PolyBench entries included.
+# registry, triangular PolyBench entries included — plus the one-sided
+# precision invariant (exact refusals ⊆ conservative refusals) and
+# checksum-identical execution of every newly-legal variant.
 cargo test -q --offline --test legality_vs_deps
+# Fourier–Motzkin property suite (pinned seeds): the engine's 3-valued
+# feasibility verdict against brute-force enumeration over boxed and
+# triangular integer domains, and decidedness on unimodular systems.
+cargo test -q --offline --test polyhedron_props
 # Corpus registry conformance: every entry round-trips the printer,
 # prepares into a non-empty space, runs on every machine profile, and
 # restructuring a non-rectangular region is refused or checksum-preserving.
@@ -47,6 +53,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # Cross-machine corpus sweep smoke: two entries over two profiles;
 # every non-donor row must transfer its recipe from the store.
 ./target/release/bench_corpus --check
+
+# Verdict-precision smoke: at least one triangular registry entry must
+# admit a legal restructuring the conservative engine refused.
+./target/release/bench_verify --check
 
 # Daemon bench smoke in check mode: zero error replies, the warm phase
 # re-measures nothing and beats the cold wall-clock, and a poisoned

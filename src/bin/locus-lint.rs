@@ -7,7 +7,14 @@
 //! parallelism), and `#pragma ivdep` assertions checked against the
 //! dependence analysis.
 //!
-//! Usage: `locus-lint <file.c>...`
+//! Usage: `locus-lint [--explain] <file.c>...`
+//!
+//! With `--explain`, every `omp parallel for` / `ivdep` verdict is
+//! followed by `note:` lines showing the dependence evidence: the
+//! offending dependence with its direction vector, the iteration-domain
+//! constraints, and whether the verdict came from the exact polyhedral
+//! engine or the conservative fallback. Notes are not diagnostics — the
+//! exit status is the same with and without the flag.
 //!
 //! Exit status: 0 when every file is clean, 1 when any diagnostic was
 //! emitted, 2 on usage or I/O errors.
@@ -17,12 +24,24 @@ use std::process::ExitCode;
 use locus::analysis::deps::analyze_region;
 use locus::srcir::ast::{OmpClause, Pragma, Program, Stmt};
 use locus::srcir::parse_program;
-use locus::verify::{analyze_parallel_for, validate_program, RaceFix};
+use locus::srcir::HierIndex;
+use locus::verify::{analyze_parallel_for, explain, validate_program, RaceFix, TransformStep};
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut explain_mode = false;
+    let files: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--explain" {
+                explain_mode = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if files.is_empty() {
-        eprintln!("usage: locus-lint <file.c>...");
+        eprintln!("usage: locus-lint [--explain] <file.c>...");
         return ExitCode::from(2);
     }
 
@@ -42,7 +61,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        diagnostics += lint_file(path, &program);
+        diagnostics += lint_file(path, &program, explain_mode);
     }
 
     if diagnostics > 0 {
@@ -59,7 +78,7 @@ fn main() -> ExitCode {
 }
 
 /// Lints one parsed file, printing diagnostics; returns how many.
-fn lint_file(path: &str, program: &Program) -> usize {
+fn lint_file(path: &str, program: &Program, explain_mode: bool) -> usize {
     let mut count = 0;
     for issue in validate_program(program) {
         println!("{path}: error: {issue}");
@@ -67,15 +86,47 @@ fn lint_file(path: &str, program: &Program) -> usize {
     }
     for function in program.functions() {
         for stmt in &function.body {
-            lint_stmt(path, &function.name, stmt, false, &mut count);
+            lint_stmt(path, &function.name, stmt, false, explain_mode, &mut count);
         }
     }
     count
 }
 
+/// Prints the `--explain` notes for one pragma-annotated loop: the
+/// verdict provenance, the offending dependence (direction vector and
+/// per-dependence provenance), and the iteration-domain constraints.
+fn print_explanation(path: &str, fname: &str, stmt: &Stmt, step: &TransformStep) {
+    let ex = explain(stmt, step);
+    let verdict = if ex.verdict.is_legal() {
+        "legal".to_string()
+    } else {
+        format!("illegal ({})", ex.verdict.reason().unwrap_or("?"))
+    };
+    println!(
+        "{path}: note: {fname}: verdict {verdict}; provenance {}",
+        ex.provenance
+    );
+    if let Some(dep) = &ex.offending {
+        println!("{path}: note: {fname}: offending dependence: {dep}");
+    }
+    if !ex.domain.is_empty() {
+        println!(
+            "{path}: note: {fname}: iteration domain: {}",
+            ex.domain.join("; ")
+        );
+    }
+}
+
 /// Recursively lints a statement tree. `in_parallel` is true inside the
 /// body of an enclosing `omp parallel for` loop.
-fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mut usize) {
+fn lint_stmt(
+    path: &str,
+    fname: &str,
+    stmt: &Stmt,
+    in_parallel: bool,
+    explain_mode: bool,
+    count: &mut usize,
+) {
     let omp_clauses = stmt.pragmas.iter().find_map(|p| match p {
         Pragma::OmpParallelFor { clauses, .. } => Some(clauses),
         _ => None,
@@ -116,6 +167,16 @@ fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mu
                 *count += 1;
             }
         }
+        if explain_mode {
+            print_explanation(
+                path,
+                fname,
+                stmt,
+                &TransformStep::ParallelFor {
+                    target: HierIndex::root(),
+                },
+            );
+        }
     }
 
     if stmt.pragmas.iter().any(|p| matches!(p, Pragma::Ivdep)) && stmt.is_for() {
@@ -127,10 +188,27 @@ fn lint_stmt(path: &str, fname: &str, stmt: &Stmt, in_parallel: bool, count: &mu
             );
             *count += 1;
         }
+        if explain_mode {
+            print_explanation(
+                path,
+                fname,
+                stmt,
+                &TransformStep::Vectorize {
+                    target: HierIndex::root(),
+                },
+            );
+        }
     }
 
     for child in children(stmt) {
-        lint_stmt(path, fname, child, in_parallel || is_parallel, count);
+        lint_stmt(
+            path,
+            fname,
+            child,
+            in_parallel || is_parallel,
+            explain_mode,
+            count,
+        );
     }
 }
 

@@ -227,6 +227,24 @@ fn render_prunes(out: &mut String, events: &[Event]) {
     for (category, (n, example)) in by_category {
         let _ = writeln!(out, "{category:<12} {n:<4} e.g. {example}");
     }
+    // Verdict provenance (exact polyhedral engine vs conservative
+    // fallback) — only traces written after the engine landed carry the
+    // key, and older traces render unchanged.
+    let mut exact = 0usize;
+    let mut conservative = 0usize;
+    for e in &prunes {
+        match e.arg("provenance").and_then(Value::as_str) {
+            Some("exact") => exact += 1,
+            Some(_) => conservative += 1,
+            None => {}
+        }
+    }
+    if exact + conservative > 0 {
+        let _ = writeln!(
+            out,
+            "provenance   {exact} exact / {conservative} conservative"
+        );
+    }
     out.push('\n');
 }
 

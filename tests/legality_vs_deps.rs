@@ -15,7 +15,7 @@
 //! subscripts) plus every loop of the committed fuzz corpus under
 //! `tests/fixtures/fuzz_corpus/`.
 
-use locus::analysis::deps::analyze_region;
+use locus::analysis::deps::{analyze_region, analyze_region_conservative};
 use locus::srcir::ast::{OmpClause, Stmt};
 use locus::srcir::visit::{child, child_count};
 use locus::srcir::{parse_program, HierIndex};
@@ -480,6 +480,221 @@ fn known_dependences_are_reported_and_refused() {
     )
     .is_legal());
     assert!(parallel_for_clauses(&root, &HierIndex::root()).is_err());
+}
+
+/// Collects every region this suite sweeps: the hand-written nests plus
+/// each registry entry's tagged region.
+fn all_swept_regions() -> Vec<(String, Stmt)> {
+    use locus::srcir::region::{extract_region, find_regions};
+    let mut out: Vec<(String, Stmt)> = hand_written_nests()
+        .into_iter()
+        .map(|(label, root)| (label.to_string(), root))
+        .collect();
+    for entry in locus::corpus::all_programs() {
+        let regions = find_regions(&entry.program);
+        let region = regions
+            .iter()
+            .find(|r| r.id == entry.region)
+            .unwrap_or_else(|| panic!("{}: region `{}` missing", entry.name, entry.region));
+        let root = extract_region(&entry.program, region)
+            .unwrap_or_else(|| panic!("{}: region not extractable", entry.name))
+            .stmt;
+        out.push((entry.name.to_string(), root));
+    }
+    out
+}
+
+#[test]
+fn exact_refusals_are_a_subset_of_conservative_refusals() {
+    // The polyhedral engine may only *admit* more than the conservative
+    // subscript tests, never less: any direction-vector predicate that
+    // holds under the conservative dependence set must hold under the
+    // exact one. A violation means the exact engine invented a
+    // dependence — the one failure mode that would make its "legal"
+    // verdicts unsound to trust over the old ones.
+    let mut compared = 0usize;
+    for (label, root) in all_swept_regions() {
+        let exact = analyze_region(&root);
+        let cons = analyze_region_conservative(&root);
+        assert_eq!(
+            exact.available, cons.available,
+            "{label}: engines disagree on availability"
+        );
+        if !exact.available {
+            continue;
+        }
+        let depth = exact.loop_vars.len();
+        for &perm in PERMS {
+            let full: Vec<usize> = perm.iter().copied().chain(perm.len()..depth).collect();
+            if cons.interchange_legal(&full) {
+                assert!(
+                    exact.interchange_legal(&full),
+                    "{label}: conservative admits interchange {perm:?}, exact refuses"
+                );
+            }
+            compared += 1;
+        }
+        for width in 1..=depth.min(3) {
+            let band: Vec<usize> = (0..width).collect();
+            if cons.band_permutable(&band) {
+                assert!(
+                    exact.band_permutable(&band),
+                    "{label}: conservative admits band {band:?}, exact refuses"
+                );
+            }
+            compared += 1;
+        }
+        if cons.vectorizable() {
+            assert!(
+                exact.vectorizable(),
+                "{label}: conservative admits vectorization, exact refuses"
+            );
+        }
+        if cons.distribution_legal() {
+            assert!(
+                exact.distribution_legal(),
+                "{label}: conservative admits distribution, exact refuses"
+            );
+        }
+        compared += 2;
+    }
+    assert!(compared > 100, "sweep looks vacuous: {compared} predicates");
+}
+
+#[test]
+fn newly_legal_variants_execute_checksum_identically() {
+    // Every restructuring the polyhedral engine newly admits — legal
+    // under `verify::legal`, refused by the conservative predicate or by
+    // the old rectangular-band structural gate — is applied for real and
+    // executed on both engines. The variant's checksum must be
+    // bit-identical to the untransformed oracle's: a "newly legal" point
+    // that changes the result would be the exact engine miscompiling.
+    use locus::machine::{ExecEngine, Machine, MachineConfig};
+    use locus::srcir::ast::Expr;
+    use locus::srcir::region::{extract_region, find_regions, replace_region};
+    use locus::srcir::visit::walk_exprs;
+    use locus::transform;
+
+    /// The old structural gate: every bound in the width-`width`
+    /// perfectly nested band must not reference another band variable.
+    fn rectangular_band(loop_stmt: &Stmt, width: usize) -> bool {
+        use locus::analysis::loops::canonicalize;
+        let mut band = Vec::new();
+        let mut cur = loop_stmt;
+        for level in 0..width {
+            let Some(canon) = canonicalize(cur) else {
+                return false;
+            };
+            band.push(canon);
+            if level + 1 < width {
+                let body = cur.as_for().expect("canonical loop").body.body_stmts();
+                if body.len() != 1 || !body[0].is_for() {
+                    return false;
+                }
+                cur = &body[0];
+            }
+        }
+        band.iter().all(|canon| {
+            [&canon.lower, &canon.upper].iter().all(|bound| {
+                let mut ok = true;
+                walk_exprs(bound, &mut |e| {
+                    if let Expr::Ident(n) = e {
+                        if band.iter().any(|l| &l.var == n && l.var != canon.var) {
+                            ok = false;
+                        }
+                    }
+                });
+                ok
+            })
+        })
+    }
+
+    let config = MachineConfig::scaled_small();
+    let mut executed = 0usize;
+    for entry in locus::corpus::all_programs() {
+        let regions = find_regions(&entry.program);
+        let Some(region) = regions.iter().find(|r| r.id == entry.region) else {
+            continue;
+        };
+        let root = extract_region(&entry.program, region).expect("region").stmt;
+        let cons = analyze_region_conservative(&root);
+        let depth = analyze_region(&root).loop_vars.len();
+
+        // Candidate steps and whether the old engine (conservative deps
+        // + rectangular band gate) would have admitted them.
+        let mut candidates: Vec<(TransformStep, bool)> = Vec::new();
+        for &perm in PERMS {
+            if perm.len() > depth {
+                continue;
+            }
+            let full: Vec<usize> = perm.iter().copied().chain(perm.len()..depth).collect();
+            let old = cons.available
+                && cons.interchange_legal(&full)
+                && rectangular_band(&root, perm.len());
+            candidates.push((
+                TransformStep::Interchange {
+                    order: perm.to_vec(),
+                },
+                old,
+            ));
+        }
+        for width in 2..=depth.min(3) {
+            let band: Vec<usize> = (0..width).collect();
+            let old =
+                cons.available && cons.band_permutable(&band) && rectangular_band(&root, width);
+            candidates.push((
+                TransformStep::Tile {
+                    target: HierIndex::root(),
+                    width,
+                },
+                old,
+            ));
+        }
+
+        for (step, old_legal) in candidates {
+            if old_legal || !legal(&root, &step).is_legal() {
+                continue; // not *newly* legal
+            }
+            let mut stmt = root.clone();
+            let applied = match &step {
+                TransformStep::Interchange { order } => {
+                    transform::interchange::interchange(&mut stmt, order, true).is_ok()
+                }
+                TransformStep::Tile { width, .. } => {
+                    transform::tiling::tile(&mut stmt, &HierIndex::root(), &vec![4; *width], true)
+                        .is_ok()
+                }
+                _ => false,
+            };
+            if !applied {
+                continue;
+            }
+            let mut variant = entry.program.clone();
+            replace_region(&mut variant, region, stmt);
+            let oracle = Machine::new(config.clone().with_engine(ExecEngine::Tree))
+                .run(&entry.program, "kernel")
+                .unwrap_or_else(|e| panic!("{}: oracle failed: {e:?}", entry.name));
+            for engine in [ExecEngine::Tree, ExecEngine::Bytecode] {
+                let m = Machine::new(config.clone().with_engine(engine))
+                    .run(&variant, "kernel")
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{}: newly-legal {step:?} failed on {engine:?}: {e:?}",
+                            entry.name
+                        )
+                    });
+                assert_eq!(
+                    m.checksum, oracle.checksum,
+                    "{}: newly-legal {step:?} changed the checksum on {engine:?}",
+                    entry.name
+                );
+            }
+            executed += 1;
+        }
+    }
+    // SYRK's triangular band alone must contribute (interchange and/or
+    // hull tiling); if nothing executed the precision story is vacuous.
+    assert!(executed >= 1, "no newly-legal variant was executed");
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! Property tests for the integer Fourier–Motzkin engine.
+//!
+//! A SplitMix64-driven generator builds random small affine systems —
+//! every variable boxed into `0 <= x_i < B` so brute-force enumeration
+//! of the box is complete ground truth — and checks the engine's
+//! three-valued verdict against it:
+//!
+//! * `Empty` must mean no integer point satisfies the system;
+//! * `NonEmpty` must mean at least one does;
+//! * `Unknown` is always allowed (the dark-shadow gap).
+//!
+//! Shapes mirror what the dependence engine actually builds: plain boxes
+//! with random extra inequalities/equalities, triangular chains
+//! (`x_{i+1} <= x_i`, `x_{i+1} >= x_i + 1`), and paired-copy systems
+//! with subscript-style equalities. Seeds are pinned so failures
+//! reproduce byte-for-byte.
+
+use locus::analysis::{Feasibility, PolySystem};
+
+/// SplitMix64 — tiny, statistically solid, and trivially seedable.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Uniform value in `lo..=hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// One randomly generated system plus the box that makes enumeration
+/// complete: every constraint row, and the exclusive per-variable bound.
+struct Case {
+    nvars: usize,
+    box_hi: i64,
+    /// `(coeffs, constant, is_equality)` for the extra rows.
+    rows: Vec<(Vec<i64>, i64, bool)>,
+}
+
+impl Case {
+    fn build(&self) -> PolySystem {
+        let mut sys = PolySystem::new(self.nvars);
+        for v in 0..self.nvars {
+            let mut r = vec![0i64; self.nvars];
+            r[v] = 1;
+            sys.ge0(r, 0); // x_v >= 0
+            let mut r = vec![0i64; self.nvars];
+            r[v] = -1;
+            sys.ge0(r, self.box_hi - 1); // x_v <= box_hi - 1
+        }
+        for (coeffs, k, eq) in &self.rows {
+            if *eq {
+                sys.eq0(coeffs.clone(), *k);
+            } else {
+                sys.ge0(coeffs.clone(), *k);
+            }
+        }
+        sys
+    }
+
+    /// Ground truth by complete enumeration of the box.
+    fn has_integer_point(&self) -> bool {
+        let mut point = vec![0i64; self.nvars];
+        self.enumerate(0, &mut point)
+    }
+
+    fn enumerate(&self, var: usize, point: &mut Vec<i64>) -> bool {
+        if var == self.nvars {
+            return self.rows.iter().all(|(coeffs, k, eq)| {
+                let v: i64 = coeffs
+                    .iter()
+                    .zip(point.iter())
+                    .map(|(c, x)| c * x)
+                    .sum::<i64>()
+                    + k;
+                if *eq {
+                    v == 0
+                } else {
+                    v >= 0
+                }
+            });
+        }
+        (0..self.box_hi).any(|x| {
+            point[var] = x;
+            self.enumerate(var + 1, point)
+        })
+    }
+}
+
+/// Checks one case; panics with the reproducing description on mismatch.
+fn check(case: &Case, seed_info: &str) {
+    let truth = case.has_integer_point();
+    match case.build().feasibility() {
+        Feasibility::Empty => assert!(
+            !truth,
+            "{seed_info}: engine says Empty but {:?} has a point (box {}, rows {:?})",
+            case.nvars, case.box_hi, case.rows
+        ),
+        Feasibility::NonEmpty => assert!(
+            truth,
+            "{seed_info}: engine says NonEmpty but box {} rows {:?} has no point",
+            case.box_hi, case.rows
+        ),
+        Feasibility::Unknown => {}
+    }
+}
+
+#[test]
+fn random_boxed_systems_agree_with_enumeration() {
+    let mut rng = SplitMix64(0x1ce_b00da);
+    let mut nonempty = 0usize;
+    let mut empty = 0usize;
+    for trial in 0..600 {
+        let nvars = rng.range(1, 3) as usize;
+        let box_hi = rng.range(1, 6);
+        let nrows = rng.range(0, 4) as usize;
+        let rows = (0..nrows)
+            .map(|_| {
+                let coeffs: Vec<i64> = (0..nvars).map(|_| rng.range(-2, 2)).collect();
+                (coeffs, rng.range(-4, 4), rng.chance(25))
+            })
+            .collect();
+        let case = Case {
+            nvars,
+            box_hi,
+            rows,
+        };
+        if case.has_integer_point() {
+            nonempty += 1;
+        } else {
+            empty += 1;
+        }
+        check(&case, &format!("boxed trial {trial}"));
+    }
+    // The generator must actually exercise both outcomes.
+    assert!(nonempty > 50, "degenerate generator: {nonempty} nonempty");
+    assert!(empty > 50, "degenerate generator: {empty} empty");
+}
+
+#[test]
+fn random_triangular_systems_agree_with_enumeration() {
+    let mut rng = SplitMix64(0x7e1a_0b5e);
+    for trial in 0..600 {
+        let nvars = rng.range(2, 3) as usize;
+        let box_hi = rng.range(2, 6);
+        let mut rows: Vec<(Vec<i64>, i64, bool)> = Vec::new();
+        // Triangular chain: each deeper variable sits strictly below or
+        // strictly above its parent, the SYRK/TRMM bound shapes.
+        for v in 1..nvars {
+            let mut coeffs = vec![0i64; nvars];
+            if rng.chance(50) {
+                // x_v <= x_{v-1} + c  ⇔  x_{v-1} - x_v + c >= 0
+                coeffs[v - 1] = 1;
+                coeffs[v] = -1;
+            } else {
+                // x_v >= x_{v-1} + c  ⇔  x_v - x_{v-1} - c >= 0
+                coeffs[v] = 1;
+                coeffs[v - 1] = -1;
+            }
+            rows.push((coeffs, rng.range(-2, 1), false));
+        }
+        for _ in 0..rng.range(0, 2) {
+            let coeffs: Vec<i64> = (0..nvars).map(|_| rng.range(-2, 2)).collect();
+            rows.push((coeffs, rng.range(-4, 4), rng.chance(30)));
+        }
+        let case = Case {
+            nvars,
+            box_hi,
+            rows,
+        };
+        check(&case, &format!("triangular trial {trial}"));
+    }
+}
+
+#[test]
+fn random_dependence_shaped_systems_agree_with_enumeration() {
+    // Two copies of a depth-d iteration vector with subscript-style
+    // equalities between them and a direction constraint on the first
+    // level — the exact shape `test_pair_exact` builds.
+    let mut rng = SplitMix64(0xdeadc0de);
+    for trial in 0..400 {
+        let d = rng.range(1, 2) as usize;
+        let nvars = 2 * d;
+        let box_hi = rng.range(2, 6);
+        let mut rows: Vec<(Vec<i64>, i64, bool)> = Vec::new();
+        // Subscript equality: a*x_l + c = a'*y_l' + c'.
+        for _ in 0..rng.range(1, 2) {
+            let mut coeffs = vec![0i64; nvars];
+            coeffs[rng.below(d as u64) as usize] = rng.range(-2, 2);
+            coeffs[d + rng.below(d as u64) as usize] -= rng.range(-2, 2);
+            rows.push((coeffs, rng.range(-3, 3), true));
+        }
+        // Direction constraint on level 0: y_0 - x_0 - 1 >= 0 (Lt) or
+        // x_0 = y_0 (Eq).
+        let mut coeffs = vec![0i64; nvars];
+        if rng.chance(50) {
+            coeffs[d] = 1;
+            coeffs[0] = -1;
+            rows.push((coeffs, -1, false));
+        } else {
+            coeffs[0] = 1;
+            coeffs[d] = -1;
+            rows.push((coeffs, 0, true));
+        }
+        let case = Case {
+            nvars,
+            box_hi,
+            rows,
+        };
+        check(&case, &format!("dependence trial {trial}"));
+    }
+}
+
+#[test]
+fn unit_coefficient_systems_are_always_decided() {
+    // With every coefficient in {-1, 0, 1} the dark shadow equals the
+    // real shadow, so the engine must never answer Unknown — the reason
+    // the dependence systems (unit direction rows, unit bound rows) are
+    // decidable in practice.
+    let mut rng = SplitMix64(0x5eed_cafe);
+    for trial in 0..400 {
+        let nvars = rng.range(1, 3) as usize;
+        let box_hi = rng.range(1, 6);
+        let nrows = rng.range(0, 4) as usize;
+        let rows: Vec<(Vec<i64>, i64, bool)> = (0..nrows)
+            .map(|_| {
+                let coeffs: Vec<i64> = (0..nvars).map(|_| rng.range(-1, 1)).collect();
+                (coeffs, rng.range(-4, 4), rng.chance(25))
+            })
+            .collect();
+        let case = Case {
+            nvars,
+            box_hi,
+            rows,
+        };
+        let verdict = case.build().feasibility();
+        assert!(
+            verdict != Feasibility::Unknown,
+            "unit trial {trial}: Unknown on a totally unimodular system: box {}, rows {:?}",
+            case.box_hi,
+            case.rows
+        );
+        check(&case, &format!("unit trial {trial}"));
+    }
+}

@@ -58,6 +58,7 @@ fn synthetic_golden_covers_the_optional_sections() {
     assert!(golden.contains("race"));
     assert!(golden.contains("dependence"));
     assert!(golden.contains("rehydrated 1, warm-start seeds 1, appended 2"));
+    assert!(golden.contains("provenance   2 exact / 1 conservative"));
 }
 
 #[test]
