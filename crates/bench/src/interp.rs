@@ -1,9 +1,12 @@
 //! Benchmarks the execution engines against each other: every kernel is
-//! run on the tree interpreter and on the bytecode VM (each timed over
-//! several repeats of the full `Machine::run` path, compilation
-//! included), after first asserting the two engines return bit-identical
-//! measurements. The per-kernel speedups and their geometric mean are
-//! the headline numbers of `BENCH_interp.json`.
+//! run on the tree interpreter, the stack-bytecode VM and the register
+//! VM (each timed over several repeats of the full `Machine::run` path,
+//! compilation included), plus the register VM's *batched* path
+//! (compile once via [`CompiledVariant`], then measure repeatedly) —
+//! after first asserting that every path returns bit-identical
+//! measurements. The per-kernel speedups over the tree oracle and
+//! their geometric means are the headline numbers of
+//! `BENCH_interp.json`.
 //!
 //! The kernels are the corpus the tuner actually evaluates — DGEMM,
 //! stencils, Kripke — plus a tiled, OMP-annotated DGEMM variant so the
@@ -12,13 +15,14 @@
 use std::time::Instant;
 
 use locus_corpus::{dgemm_program, kripke_hand_optimized, KripkeKernel, Stencil};
-use locus_machine::{ExecEngine, Machine, MachineConfig, Measurement};
+use locus_machine::{CompiledVariant, ExecEngine, Machine, MachineConfig, Measurement};
 use locus_srcir::ast::Program;
 use locus_transform as transform;
 
 use crate::geomean;
 
-/// One engine-vs-engine comparison on a single kernel.
+/// One engine comparison on a single kernel: all speedups are over the
+/// tree interpreter.
 #[derive(Debug, Clone)]
 pub struct InterpRow {
     /// Kernel label.
@@ -29,11 +33,22 @@ pub struct InterpRow {
     pub ops: u64,
     /// Wall-clock of `repeats` tree-interpreter runs, seconds.
     pub tree_s: f64,
-    /// Wall-clock of `repeats` bytecode-VM runs, seconds.
-    pub vm_s: f64,
-    /// `tree_s / vm_s`.
-    pub speedup: f64,
-    /// Whether the two engines returned bit-identical measurements.
+    /// Wall-clock of `repeats` stack-VM runs, seconds.
+    pub stack_s: f64,
+    /// Wall-clock of `repeats` register-VM runs (compile every call,
+    /// like `Machine::run`), seconds.
+    pub reg_s: f64,
+    /// Wall-clock of `repeats` register-VM runs through a shared
+    /// [`CompiledVariant`] (compile once, measure many), seconds.
+    pub batched_s: f64,
+    /// `tree_s / stack_s`.
+    pub stack_speedup: f64,
+    /// `tree_s / reg_s`.
+    pub reg_speedup: f64,
+    /// `tree_s / batched_s`.
+    pub batched_speedup: f64,
+    /// Whether all engines *and* the batched path returned bit-identical
+    /// measurements.
     pub identical: bool,
 }
 
@@ -113,27 +128,63 @@ fn time_engine(
     best
 }
 
-/// Runs one kernel on both engines: asserts identity first, then times
-/// `repeats` full runs of each.
+/// Times `repeats` measurements through one compiled variant (the
+/// batched path tuning sweeps take: lowering happens once, on the
+/// first call, and is amortized across the batch).
+fn time_batched(config: &MachineConfig, program: &Program, repeats: usize) -> f64 {
+    let variant = CompiledVariant::new(program.clone(), "kernel");
+    variant.run(config).expect("kernel runs");
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            variant.run(config).expect("kernel runs");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs one kernel on every engine: asserts identity first (tree vs
+/// stack vs register vs batched register), then times `repeats` full
+/// runs of each path.
 pub fn run_kernel(label: &str, program: &Program, repeats: usize) -> InterpRow {
     let config = MachineConfig::scaled_small();
     let tree_m = Machine::new(config.clone().with_engine(ExecEngine::Tree))
         .run(program, "kernel")
         .expect("tree run");
-    let vm_m = Machine::new(config.clone().with_engine(ExecEngine::Bytecode))
+    let stack_m = Machine::new(config.clone().with_engine(ExecEngine::Bytecode))
         .run(program, "kernel")
-        .expect("vm run");
-    let identical = bit_identical(&tree_m, &vm_m);
+        .expect("stack vm run");
+    let reg_m = Machine::new(config.clone().with_engine(ExecEngine::RegisterVm))
+        .run(program, "kernel")
+        .expect("register vm run");
+    let batched_m = CompiledVariant::new(program.clone(), "kernel")
+        .run(&config.clone().with_engine(ExecEngine::RegisterVm))
+        .expect("batched run");
+    let identical = bit_identical(&tree_m, &stack_m)
+        && bit_identical(&tree_m, &reg_m)
+        && bit_identical(&tree_m, &batched_m);
 
     let tree_s = time_engine(&config, ExecEngine::Tree, program, repeats);
-    let vm_s = time_engine(&config, ExecEngine::Bytecode, program, repeats);
+    let stack_s = time_engine(&config, ExecEngine::Bytecode, program, repeats);
+    let reg_s = time_engine(&config, ExecEngine::RegisterVm, program, repeats);
+    let batched_s = time_batched(
+        &config.clone().with_engine(ExecEngine::RegisterVm),
+        program,
+        repeats,
+    );
     InterpRow {
         label: label.to_string(),
         repeats,
         ops: tree_m.ops,
         tree_s,
-        vm_s,
-        speedup: tree_s / vm_s.max(1e-12),
+        stack_s,
+        reg_s,
+        batched_s,
+        stack_speedup: tree_s / stack_s.max(1e-12),
+        reg_speedup: tree_s / reg_s.max(1e-12),
+        batched_speedup: tree_s / batched_s.max(1e-12),
         identical,
     }
 }
@@ -146,9 +197,19 @@ pub fn run_interp(repeats: usize) -> Vec<InterpRow> {
         .collect()
 }
 
-/// Geometric-mean speedup across the rows.
-pub fn geomean_speedup(rows: &[InterpRow]) -> f64 {
-    geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>())
+/// Geometric-mean stack-VM speedup across the rows.
+pub fn geomean_stack(rows: &[InterpRow]) -> f64 {
+    geomean(&rows.iter().map(|r| r.stack_speedup).collect::<Vec<_>>())
+}
+
+/// Geometric-mean register-VM speedup (compile every call).
+pub fn geomean_reg(rows: &[InterpRow]) -> f64 {
+    geomean(&rows.iter().map(|r| r.reg_speedup).collect::<Vec<_>>())
+}
+
+/// Geometric-mean batched register-VM speedup (compile once).
+pub fn geomean_batched(rows: &[InterpRow]) -> f64 {
+    geomean(&rows.iter().map(|r| r.batched_speedup).collect::<Vec<_>>())
 }
 
 /// The cost of the tracing hooks when tracing is off.
@@ -173,7 +234,7 @@ impl TraceOverheadRow {
 }
 
 /// Measures the disabled-tracer overhead of [`Machine::run_traced`]
-/// against the plain `run` path on the DGEMM kernel (bytecode engine —
+/// against the plain `run` path on the DGEMM kernel (register engine —
 /// the path every tuning evaluation takes).
 ///
 /// Batches of the two paths are interleaved with alternating order and
@@ -183,10 +244,10 @@ impl TraceOverheadRow {
 /// tax every untraced session pays.
 pub fn trace_overhead(repeats: usize) -> TraceOverheadRow {
     let program = dgemm_program(24);
-    let machine = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::Bytecode));
+    let machine = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::RegisterVm));
     let tracer = locus_trace::Tracer::disabled();
 
-    // Warm both paths (bytecode caches compile on first use).
+    // Warm both paths.
     machine.run(&program, "kernel").expect("kernel runs");
     machine
         .run_traced(&program, "kernel", &tracer)
@@ -232,11 +293,18 @@ pub fn trace_overhead(repeats: usize) -> TraceOverheadRow {
 /// no serde).
 pub fn to_json(rows: &[InterpRow]) -> String {
     let mut out = String::from(
-        "{\n  \"benchmark\": \"bytecode VM vs tree interpreter (full Machine::run, compile included)\",\n",
+        "{\n  \"benchmark\": \"execution engines vs tree interpreter (full Machine::run, compile included; batched = CompiledVariant, compile once)\",\n",
     );
     out.push_str(&format!(
-        "  \"geomean_speedup\": {:.2},\n  \"rows\": [\n",
-        geomean_speedup(rows)
+        concat!(
+            "  \"geomean_stack_speedup\": {:.2},\n",
+            "  \"geomean_register_speedup\": {:.2},\n",
+            "  \"geomean_batched_speedup\": {:.2},\n",
+            "  \"rows\": [\n",
+        ),
+        geomean_stack(rows),
+        geomean_reg(rows),
+        geomean_batched(rows)
     ));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -246,8 +314,12 @@ pub fn to_json(rows: &[InterpRow]) -> String {
                 "      \"repeats\": {},\n",
                 "      \"ops\": {},\n",
                 "      \"tree_s\": {:.6},\n",
-                "      \"vm_s\": {:.6},\n",
-                "      \"speedup\": {:.2},\n",
+                "      \"stack_s\": {:.6},\n",
+                "      \"reg_s\": {:.6},\n",
+                "      \"batched_s\": {:.6},\n",
+                "      \"stack_speedup\": {:.2},\n",
+                "      \"register_speedup\": {:.2},\n",
+                "      \"batched_speedup\": {:.2},\n",
                 "      \"bit_identical\": {}\n",
                 "    }}{}\n",
             ),
@@ -255,8 +327,12 @@ pub fn to_json(rows: &[InterpRow]) -> String {
             r.repeats,
             r.ops,
             r.tree_s,
-            r.vm_s,
-            r.speedup,
+            r.stack_s,
+            r.reg_s,
+            r.batched_s,
+            r.stack_speedup,
+            r.reg_speedup,
+            r.batched_speedup,
             r.identical,
             if i + 1 == rows.len() { "" } else { "," },
         ));

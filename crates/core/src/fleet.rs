@@ -12,8 +12,10 @@
 //! experiment, and `bench_corpus` reports cold-search-vs-transferred
 //! evaluations-to-best across the whole corpus registry.
 
+use std::sync::Arc;
+
 use locus_lang::LocusProgram;
-use locus_machine::{Machine, MachineProfile, Measurement};
+use locus_machine::{CompiledVariant, Machine, MachineProfile, Measurement};
 use locus_search::SearchModule;
 use locus_srcir::ast::Program;
 use locus_srcir::region::{extract_region, find_regions};
@@ -66,9 +68,15 @@ pub fn tune_across_machines(
     store: &mut TuningStore,
 ) -> Result<Vec<MachineTuneResult>, ApplyError> {
     let mut out = Vec::with_capacity(profiles.len());
+    // Batched evaluation of the shared baseline: the untransformed
+    // source is measured once per profile, and the profile library
+    // varies only runtime knobs (clock, cache geometry, fuel), so one
+    // [`CompiledVariant`] lowers it once for the whole fan-out.
+    let baseline = Arc::new(CompiledVariant::new(source.clone(), &template.entry));
     for profile in profiles {
         let mut system = template.clone();
         system.machine = Machine::new(profile.config.clone());
+        system.set_baseline_variant(Arc::clone(&baseline));
         let mut search = make_search(profile);
         let (result, report) = system.tune_parallel_with_store(
             source,

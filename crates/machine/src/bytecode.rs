@@ -70,6 +70,28 @@ pub(crate) fn advance_base(next_base: u64, len: usize) -> u64 {
     next_base + ((len as u64 * 8).div_ceil(4096) + 1) * 4096
 }
 
+/// Upper bound on the total element count of one array allocation
+/// (2^28 doubles = 2 GiB of simulated payload). Dimension products
+/// beyond it — including ones that would overflow `usize` entirely —
+/// raise [`crate::RuntimeError::ArrayTooLarge`] instead of wrapping
+/// into a small (and silently wrong) allocation.
+pub const MAX_ARRAY_ELEMS: usize = 1 << 28;
+
+/// Overflow-checked total element count of an allocation. All engines
+/// validate the dimension *product* here, after the per-dimension
+/// positivity checks have passed, so the error point is identical
+/// across the tree interpreter and both VMs.
+pub(crate) fn checked_alloc_len(name: &str, dims: &[usize]) -> Result<usize, crate::RuntimeError> {
+    let mut len = 1usize;
+    for &d in dims {
+        len = len
+            .checked_mul(d)
+            .filter(|&l| l <= MAX_ARRAY_ELEMS)
+            .ok_or_else(|| crate::RuntimeError::ArrayTooLarge(name.to_string()))?;
+    }
+    Ok(len)
+}
+
 /// The kind of coercion a cast or typed declaration performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum CastKind {

@@ -202,6 +202,7 @@ impl<'p> Compiler<'p> {
             | Insn::ArrayCheck(..)
             | Insn::IndexDim { .. }
             | Insn::DimCheck(_)
+            | Insn::AllocArray { .. }
             | Insn::LoadChain(_)
             | Insn::StoreChain(_) => true,
             Insn::Bin(op, _) | Insn::CompoundBin(op, _) | Insn::RmwArray(_, op, _) => {
@@ -400,16 +401,15 @@ impl<'p> Compiler<'p> {
             debug_assert_eq!(slot as usize, self.global_values.len());
             self.global_values.push(value);
         } else {
-            let mut len = 1usize;
             let mut dim_sizes = Vec::new();
             for d in dims {
                 let v = self.eval_const(d)?.as_i64();
                 if v <= 0 {
                     return Err(RuntimeError::BadArrayDim(name.clone()));
                 }
-                len *= v as usize;
                 dim_sizes.push(v as usize);
             }
+            let len = crate::bytecode::checked_alloc_len(name, &dim_sizes)?;
             let id = self.array_id(name);
             let is_float = ty.is_float();
             let base = self.next_base;

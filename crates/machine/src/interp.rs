@@ -43,6 +43,10 @@ pub enum RuntimeError {
     FuelExhausted,
     /// An array was declared with a non-constant dimension.
     BadArrayDim(String),
+    /// An array allocation's total element count overflowed the
+    /// simulator's limit (`len *= dim` would wrap, or the product
+    /// exceeds [`crate::bytecode::MAX_ARRAY_ELEMS`]).
+    ArrayTooLarge(String),
     /// The machine configuration itself is unusable (e.g. a cache level
     /// whose geometry does not yield a power-of-two set count). Machine
     /// descriptions arrive from user configuration, so this surfaces as
@@ -63,6 +67,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::FuelExhausted => write!(f, "operation budget exhausted"),
             RuntimeError::BadArrayDim(n) => {
                 write!(f, "array `{n}` has a non-constant dimension")
+            }
+            RuntimeError::ArrayTooLarge(n) => {
+                write!(f, "array `{n}` allocation exceeds the simulator size limit")
             }
             RuntimeError::InvalidConfig(m) => {
                 write!(f, "invalid machine configuration: {m}")
@@ -225,16 +232,15 @@ impl<'p> Interp<'p> {
             };
             self.scopes[0].insert(name.clone(), value);
         } else {
-            let mut len = 1usize;
             let mut dim_sizes = Vec::new();
             for d in dims {
                 let v = self.eval_const(d)?.as_i64();
                 if v <= 0 {
                     return Err(RuntimeError::BadArrayDim(name.clone()));
                 }
-                len *= v as usize;
                 dim_sizes.push(v as usize);
             }
+            let len = crate::bytecode::checked_alloc_len(name, &dim_sizes)?;
             self.alloc_array(name, ty.is_float(), &dim_sizes, len, false);
         }
         Ok(())
@@ -414,15 +420,14 @@ impl<'p> Interp<'p> {
                         .insert(name.clone(), value);
                 } else {
                     let mut dim_sizes = Vec::new();
-                    let mut len = 1usize;
                     for d in dims {
                         let v = self.eval(d)?.as_i64();
                         if v <= 0 {
                             return Err(RuntimeError::BadArrayDim(name.clone()));
                         }
                         dim_sizes.push(v as usize);
-                        len *= v as usize;
                     }
+                    let len = crate::bytecode::checked_alloc_len(name, &dim_sizes)?;
                     self.alloc_array(name, ty.is_float(), &dim_sizes, len, true);
                 }
                 Ok(Flow::Normal)
@@ -867,6 +872,7 @@ pub(crate) fn coerce(ty: &Type, v: Value) -> Value {
     }
 }
 
+#[inline]
 pub(crate) fn num_binop(
     a: Value,
     b: Value,
@@ -879,6 +885,7 @@ pub(crate) fn num_binop(
     }
 }
 
+#[inline]
 pub(crate) fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
     use Value::{Double, Int};
     let both_int = matches!((l, r), (Int(_), Int(_)));

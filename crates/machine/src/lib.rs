@@ -41,13 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod bytecode;
+mod bytecode2;
 pub mod cache;
 mod compile;
 pub mod cost;
 pub mod interp;
 mod peephole;
 pub mod profiles;
+mod regalloc;
 mod vm;
+mod vm2;
 
 pub use bytecode::Exe;
 pub use cache::{CacheConfig, CacheHierarchy, CacheStats, Level};
@@ -59,19 +62,27 @@ use locus_srcir::ast::Program;
 
 /// Which execution engine [`Machine::run`] uses.
 ///
-/// Both engines implement the *same* semantics and performance model
+/// All engines implement the *same* semantics and performance model
 /// and produce bit-identical [`Measurement`]s (asserted by the
 /// differential suite in `tests/vm_equivalence.rs`); they differ only
 /// in wall-clock speed. The tree interpreter remains the reference
-/// oracle; the bytecode VM is the production path.
+/// oracle, the stack VM a second oracle; the register VM is the
+/// production path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
     /// Walk the AST directly ([`Interp`]): simple, slow, the oracle.
     Tree,
     /// Compile to flat bytecode once, then execute in a stack VM:
     /// scalars become frame slots, array names dense ids, loops jumps.
-    #[default]
     Bytecode,
+    /// Compile to register-based three-address code and run it in a
+    /// direct-threaded VM: operands are pre-decoded virtual registers,
+    /// per-iteration cost constants (vector discounts, charge folding)
+    /// are hoisted to compile time, and hot compare-branch /
+    /// subscript-chain / step-jump sequences are fused into single
+    /// dispatches.
+    #[default]
+    RegisterVm,
 }
 
 /// Full machine description: cores, vector units, cache hierarchy and
@@ -97,10 +108,10 @@ pub struct MachineConfig {
     /// vectorize under `#pragma ivdep` / `#pragma vector always` — the
     /// reason the paper's stencil program inserts those pragmas.
     pub auto_vectorize: bool,
-    /// Execution engine (defaults to the bytecode VM). Deliberately
+    /// Execution engine (defaults to the register VM). Deliberately
     /// *excluded* from [`MachineConfig::digest`]: the engines are
-    /// bit-identical, so stored measurements replay across either and
-    /// persistent-store keys stay stable.
+    /// bit-identical, so stored measurements replay across any of them
+    /// and persistent-store keys stay stable.
     pub engine: ExecEngine,
 }
 
@@ -116,7 +127,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             max_ops: 2_000_000_000,
             auto_vectorize: true,
-            engine: ExecEngine::Bytecode,
+            engine: ExecEngine::RegisterVm,
         }
     }
 
@@ -133,7 +144,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             max_ops: 400_000_000,
             auto_vectorize: true,
-            engine: ExecEngine::Bytecode,
+            engine: ExecEngine::RegisterVm,
         }
     }
 
@@ -164,9 +175,9 @@ impl MachineConfig {
     /// measurement: core count, vector width, clock, the full cache
     /// geometry, every cost-model constant (via float bit patterns, so
     /// the digest is exact), the fuel limit and the auto-vectorizer flag.
-    /// The [`ExecEngine`] is deliberately not part of the digest — both
+    /// The [`ExecEngine`] is deliberately not part of the digest — the
     /// engines produce bit-identical measurements, so records written
-    /// under one engine stay valid under the other.
+    /// under one engine stay valid under any other.
     ///
     /// The persistent tuning store keys records by this digest: a stored
     /// measurement is only replayed onto a machine that would reproduce
@@ -257,7 +268,33 @@ impl Machine {
                 let exe = compile::compile(program, &self.config, entry)?;
                 vm::run(&exe, &self.config, cache)
             }
+            ExecEngine::RegisterVm => {
+                let cache = cache::CacheHierarchy::new(&self.config.cache)
+                    .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+                let exe = regalloc::compile2(program, &self.config, entry)?;
+                vm2::run(&exe, &self.config, cache)
+            }
         }
+    }
+
+    /// Compiles `entry` once and evaluates it under every configuration
+    /// in `configs`, reusing the compiled code across all points that
+    /// share compile-time parameters (cost constants, vector geometry,
+    /// auto-vectorizer setting, parallel lowering). Tuning drivers that
+    /// sweep one variant across data sizes or machine profiles pay
+    /// lowering once instead of once per point.
+    ///
+    /// Each element is exactly what `Machine::new(cfg).run(program,
+    /// entry)` would return for that configuration — bit-identical
+    /// measurement or the same error — so batched and per-variant
+    /// evaluation are interchangeable.
+    pub fn run_batched(
+        program: &Program,
+        entry: &str,
+        configs: &[MachineConfig],
+    ) -> Vec<Result<Measurement, RuntimeError>> {
+        let variant = CompiledVariant::new(program.clone(), entry);
+        configs.iter().map(|cfg| variant.run(cfg)).collect()
     }
 
     /// Like [`Machine::run`], but emits `machine`-category spans into
@@ -287,7 +324,181 @@ impl Machine {
                 let _span = tracer.span("machine", "vm-measure");
                 vm::run(&exe, &self.config, cache)
             }
+            ExecEngine::RegisterVm => {
+                let cache = cache::CacheHierarchy::new(&self.config.cache)
+                    .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+                let exe = {
+                    let _span = tracer.span("machine", "compile-regvm");
+                    regalloc::compile2(program, &self.config, entry)?
+                };
+                let _span = tracer.span("machine", "vm-measure");
+                vm2::run(&exe, &self.config, cache)
+            }
         }
+    }
+}
+
+/// Lowered code for one (variant, engine, compile-parameter) point,
+/// memoized inside a [`CompiledVariant`].
+#[derive(Clone)]
+enum CompiledExe {
+    Stack(std::sync::Arc<Exe>),
+    Reg(std::sync::Arc<bytecode2::Exe2>),
+}
+
+/// A program variant held ready for *batched evaluation*: compile once,
+/// then measure under many machine configurations.
+///
+/// [`Machine::run`] re-lowers the program on every call, which is the
+/// right trade for one-off measurements but wasteful for tuning sweeps
+/// that evaluate the same variant across data sizes, core counts or
+/// whole machine profiles. A `CompiledVariant` memoizes the lowered
+/// code keyed by the compile-time slice of the configuration
+/// (`compile_key`: cost constants, vector geometry, auto-vectorizer
+/// flag, parallel lowering); runtime-only knobs (fuel limit, cache
+/// geometry, clock, core *count* beyond the >1 lowering decision) hit
+/// the memo. [`CompiledVariant::run`] returns exactly what
+/// [`Machine::run`] would — bit-identical measurements, same errors in
+/// the same precedence order — so callers may swap freely between the
+/// two paths (`bench_interp --check` asserts this across the corpus).
+///
+/// The memo is behind a mutex, so one variant can be shared across
+/// evaluation worker threads (`&self` access).
+pub struct CompiledVariant {
+    program: Program,
+    entry: String,
+    memo: std::sync::Mutex<Vec<(u64, ExecEngine, CompiledExe)>>,
+}
+
+/// FNV-1a digest of the configuration fields that influence *lowering*
+/// (as opposed to execution): the five charge constants baked into
+/// emitted code, the vector discount and width (pre-divided into
+/// charges by the register compiler), the auto-vectorizer flag, and
+/// whether parallel regions lower to parallel code at all
+/// (`cores > 1`). Two configurations with equal keys compile to
+/// identical code for every program.
+fn compile_key(config: &MachineConfig) -> u64 {
+    let c = &config.cost;
+    let desc = format!(
+        "{:016x};{:016x};{:016x};{:016x};{:016x};{:016x};vw:{};av:{};par:{};",
+        c.add.to_bits(),
+        c.mul.to_bits(),
+        c.div.to_bits(),
+        c.loop_iter.to_bits(),
+        c.loop_entry.to_bits(),
+        c.vector_discount.to_bits(),
+        config.vector_width,
+        config.auto_vectorize,
+        config.cores > 1,
+    );
+    locus_srcir::hash::fnv1a(desc.as_bytes())
+}
+
+impl CompiledVariant {
+    /// Wraps a program + entry point for batched evaluation. Lowering
+    /// is lazy: nothing is compiled until the first [`run`].
+    ///
+    /// [`run`]: CompiledVariant::run
+    pub fn new(program: Program, entry: &str) -> CompiledVariant {
+        CompiledVariant {
+            program,
+            entry: entry.to_string(),
+            memo: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The entry point this variant measures.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Measures the variant under `config`, compiling at most once per
+    /// distinct `compile_key` × engine. Exactly equivalent to
+    /// `Machine::new(config.clone()).run(self.program(), self.entry())`.
+    pub fn run(&self, config: &MachineConfig) -> Result<Measurement, RuntimeError> {
+        self.run_traced(config, &locus_trace::Tracer::disabled())
+    }
+
+    /// Like [`CompiledVariant::run`], but emits `machine`-category spans
+    /// into `tracer` around each internal stage, mirroring
+    /// [`Machine::run_traced`]. A memo hit emits no compile span — the
+    /// spans reflect the work actually done.
+    pub fn run_traced(
+        &self,
+        config: &MachineConfig,
+        tracer: &locus_trace::Tracer,
+    ) -> Result<Measurement, RuntimeError> {
+        // The tree engine has no compile stage to amortize.
+        if config.engine == ExecEngine::Tree {
+            let _span = tracer.span("machine", "tree-interp");
+            let mut interp = Interp::new(&self.program, config)?;
+            return interp.run(&self.entry);
+        }
+        // Validate the cache geometry *before* touching the memo so
+        // error precedence matches `Machine::run` (configuration
+        // errors beat program errors even on a memo hit).
+        let cache = cache::CacheHierarchy::new(&config.cache)
+            .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+        let key = compile_key(config);
+        let exe = {
+            let memo = self.memo.lock().expect("compile memo poisoned");
+            memo.iter()
+                .find(|(k, eng, _)| *k == key && *eng == config.engine)
+                .map(|(_, _, exe)| exe.clone())
+        };
+        let exe = match exe {
+            Some(exe) => exe,
+            None => {
+                // Compile outside the lock; failures are not cached
+                // (they are cheap to reproduce and keep the memo to
+                // successful entries only).
+                let compiled = match config.engine {
+                    ExecEngine::Bytecode => {
+                        let _span = tracer.span("machine", "compile-bytecode");
+                        CompiledExe::Stack(std::sync::Arc::new(compile::compile(
+                            &self.program,
+                            config,
+                            &self.entry,
+                        )?))
+                    }
+                    ExecEngine::RegisterVm => {
+                        let _span = tracer.span("machine", "compile-regvm");
+                        CompiledExe::Reg(std::sync::Arc::new(regalloc::compile2(
+                            &self.program,
+                            config,
+                            &self.entry,
+                        )?))
+                    }
+                    ExecEngine::Tree => unreachable!("handled above"),
+                };
+                let mut memo = self.memo.lock().expect("compile memo poisoned");
+                if !memo
+                    .iter()
+                    .any(|(k, eng, _)| *k == key && *eng == config.engine)
+                {
+                    memo.push((key, config.engine, compiled.clone()));
+                }
+                compiled
+            }
+        };
+        let _span = tracer.span("machine", "vm-measure");
+        match &exe {
+            CompiledExe::Stack(exe) => vm::run(exe, config, cache),
+            CompiledExe::Reg(exe) => vm2::run(exe, config, cache),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledVariant")
+            .field("entry", &self.entry)
+            .finish_non_exhaustive()
     }
 }
 
@@ -303,6 +514,10 @@ const _: () = {
     assert_send_sync_clone::<MachineConfig>();
     assert_send_sync_clone::<crate::cache::CacheHierarchy>();
     assert_send_sync_clone::<Measurement>();
+    // Batched evaluation shares one compiled variant across worker
+    // threads by reference; the memo mutex carries the sync.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledVariant>();
 };
 
 #[cfg(test)]

@@ -328,12 +328,13 @@ impl Vm<'_> {
                     let n = dims as usize;
                     let at = self.stack.len() - n;
                     let mut dim_sizes = Vec::with_capacity(n);
-                    let mut len = 1usize;
                     for v in self.stack.drain(at..) {
-                        let d = v.as_i64() as usize;
-                        dim_sizes.push(d);
-                        len *= d;
+                        dim_sizes.push(v.as_i64() as usize);
                     }
+                    let len = crate::bytecode::checked_alloc_len(
+                        &self.exe.array_names[id as usize],
+                        &dim_sizes,
+                    )?;
                     let base = self.next_base;
                     self.next_base = advance_base(self.next_base, len);
                     self.arrays[id as usize] = Some(ArrayCell {

@@ -162,6 +162,9 @@ impl SearchModule for BanditTuner {
     /// store sends the tuner straight into its adaptive techniques.
     fn seed_observations(&mut self, _space: &Space, prior: &[(Point, f64)]) {
         for (point, value) in prior {
+            if !value.is_finite() {
+                continue;
+            }
             if self.best.as_ref().is_none_or(|(_, b)| value < b) {
                 self.best = Some((point.clone(), *value));
             }
@@ -181,6 +184,11 @@ impl SearchModule for BanditTuner {
         }
         // UCB-style technique selection; in-flight proposals count
         // toward an arm's use so a batch spreads across techniques.
+        // `ln().max(0.0)` keeps the bonus finite when `total_uses`
+        // dips below 1 (a zero-use state would otherwise take the
+        // square root of a negative number), and `total_cmp` makes the
+        // selection total even if a score degenerates — a NaN must
+        // never panic the tuner mid-search.
         let (ti, _) = self
             .credits
             .iter()
@@ -188,10 +196,11 @@ impl SearchModule for BanditTuner {
             .map(|(i, c)| {
                 let in_flight = self.pending.iter().filter(|t| **t == Some(i)).count();
                 let bonus = EXPLORATION
-                    * ((self.total_uses.ln() / ((c.uses + in_flight) as f64 + 1.0)).sqrt());
+                    * ((self.total_uses.ln().max(0.0) / ((c.uses + in_flight) as f64 + 1.0))
+                        .sqrt());
                 (i, c.auc() + bonus)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty technique list");
         let technique = TECHNIQUES[ti];
         if self.tracer.is_enabled() {
@@ -211,6 +220,15 @@ impl SearchModule for BanditTuner {
     }
 
     fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
+        // A non-finite measurement (a NaN or infinite cost from a
+        // degenerate simulation) must not become the best-so-far or an
+        // elite — every comparison against it is vacuously false and
+        // would poison the pool. Demote it to `Invalid`: the arm is
+        // still charged a use, it just earns no credit.
+        let objective = match objective {
+            Objective::Value(v) if !v.is_finite() => Objective::Invalid,
+            o => o,
+        };
         let tag = self.pending.pop_front().flatten();
         let before = self.best.as_ref().map(|(_, v)| *v);
         if fresh {
@@ -420,6 +438,37 @@ mod tests {
             book.finish()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nan_objectives_and_zero_use_state_do_not_poison_selection() {
+        let space = quadratic_space();
+        let mut m = BanditTuner::new(13);
+        m.begin(&space, 100);
+        // Exhaust seeding with NaN observations: none may become the
+        // best-so-far or an elite.
+        let seeds = m.propose_batch(&space, m.seeds_remaining);
+        for p in &seeds {
+            m.observe(p, Objective::Value(f64::NAN), true);
+        }
+        assert!(m.best.is_none());
+        assert!(m.elites.is_empty());
+        // Degenerate zero-use state: `ln(total_uses)` goes negative, so
+        // without the finite-guard every bonus would be NaN and the
+        // old `partial_cmp(..).expect` selection panicked here.
+        m.total_uses = 0.5;
+        let p = m
+            .propose(&space)
+            .expect("selection must survive NaN scores");
+        m.observe(&p, Objective::Value(f64::NAN), true);
+        assert!(m.best.is_none());
+        // NaN priors are ignored the same way.
+        m.seed_observations(&space, &[(space.point_at(1), f64::NAN)]);
+        assert!(m.best.is_none());
+        // A finite observation afterwards works normally.
+        let q = m.propose(&space).expect("proposal");
+        m.observe(&q, Objective::Value(1.0), true);
+        assert_eq!(m.best.as_ref().map(|(_, v)| *v), Some(1.0));
     }
 
     #[test]

@@ -46,7 +46,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # Engine bench smoke in check mode: refuses to pass unless every kernel
-# is bit-identical across engines, the VM clears the 5x speedup floor,
+# is bit-identical across tree, stack VM, register VM *and* the batched
+# register path, the register VM clears its speedup floors (7x geomean
+# batched, 6x sequential), the stack VM holds its historical 5x floor,
 # and the disabled-tracer run_traced path stays under 1% overhead.
 ./target/release/bench_interp /tmp/locus_bench_interp.json --check
 

@@ -1,9 +1,11 @@
-//! Differential suite for the two execution engines: the tree
-//! interpreter (the reference oracle) and the bytecode VM (the
-//! production path) must return *bit-identical* [`Measurement`]s —
-//! cycles compared by f64 bit pattern, not approximately — and
-//! identical [`RuntimeError`]s, across the corpus, transformed
-//! variants, and every error path.
+//! Differential suite for the three execution engines: the tree
+//! interpreter (the reference oracle), the stack-bytecode VM (a second
+//! oracle) and the register VM (the production path) must return
+//! *bit-identical* [`Measurement`]s — cycles compared by f64 bit
+//! pattern, not approximately — and identical [`RuntimeError`]s,
+//! across the corpus, transformed variants, and every error path.
+//! Batched evaluation ([`CompiledVariant`]) must match per-variant
+//! [`Machine::run`] point for point.
 //!
 //! Like `transform_semantics.rs`, the randomized sweeps are hand-rolled
 //! over the in-tree [`SplitMix64`] generator (offline-only build, no
@@ -12,7 +14,9 @@
 //! number.
 
 use locus::corpus::{self, KripkeKernel, Stencil};
-use locus::machine::{ExecEngine, Machine, MachineConfig, Measurement, RuntimeError};
+use locus::machine::{
+    CompiledVariant, ExecEngine, Machine, MachineConfig, Measurement, RuntimeError,
+};
 use locus::space::SplitMix64;
 use locus::srcir::ast::{OmpSchedule, OmpScheduleKind, Program};
 use locus::srcir::index::HierIndex;
@@ -20,20 +24,27 @@ use locus::srcir::region::{extract_region, find_regions, replace_region};
 use locus::transform;
 use locus::transform::selector::LoopSel;
 
-/// Runs `program` on both engines under `config` and asserts the results
-/// are bit-identical: either the same [`Measurement`] field for field
-/// (floats by bit pattern) or the same [`RuntimeError`].
+/// The compiled engines, each checked against the tree oracle.
+const COMPILED_ENGINES: [ExecEngine; 2] = [ExecEngine::Bytecode, ExecEngine::RegisterVm];
+
+/// Runs `program` on all three engines under `config` and asserts the
+/// results are bit-identical: either the same [`Measurement`] field for
+/// field (floats by bit pattern) or the same [`RuntimeError`].
 fn assert_engines_agree(label: &str, config: &MachineConfig, program: &Program) {
     let tree = Machine::new(config.clone().with_engine(ExecEngine::Tree)).run(program, "kernel");
-    let vm = Machine::new(config.clone().with_engine(ExecEngine::Bytecode)).run(program, "kernel");
-    match (tree, vm) {
-        (Ok(t), Ok(v)) => assert_measurements_identical(label, program, &t, &v),
-        (tree, vm) => assert_eq!(
-            tree,
-            vm,
-            "{label}: engines disagree on outcome\n{}",
-            locus::srcir::print_program(program)
-        ),
+    for engine in COMPILED_ENGINES {
+        let vm = Machine::new(config.clone().with_engine(engine)).run(program, "kernel");
+        match (&tree, &vm) {
+            (Ok(t), Ok(v)) => {
+                assert_measurements_identical(&format!("{label}/{engine:?}"), program, t, v)
+            }
+            (tree, vm) => assert_eq!(
+                tree,
+                vm,
+                "{label}: tree and {engine:?} disagree on outcome\n{}",
+                locus::srcir::print_program(program)
+            ),
+        }
     }
 }
 
@@ -453,6 +464,28 @@ fn runtime_errors_are_identical() {
             }"#,
         ),
         (
+            // Element count exceeds the allocation cap (2^28) without
+            // overflowing the multiply.
+            "alloc-too-large",
+            r#"double A[4];
+            void kernel() {
+                int n = 70000;
+                double T[n][n][n];
+                A[0] = 1.0;
+            }"#,
+        ),
+        (
+            // Element count overflows usize: the size multiply itself
+            // must be checked, not just the final bound.
+            "alloc-size-overflow",
+            r#"double A[4];
+            void kernel() {
+                int n = 2000000000;
+                double T[n][n][n];
+                A[0] = 1.0;
+            }"#,
+        ),
+        (
             "error-inside-omp-loop",
             r#"double A[8];
             void kernel() {
@@ -466,10 +499,14 @@ fn runtime_errors_are_identical() {
         let program = parse(src);
         let tree =
             Machine::new(config.clone().with_engine(ExecEngine::Tree)).run(&program, "kernel");
-        let vm =
-            Machine::new(config.clone().with_engine(ExecEngine::Bytecode)).run(&program, "kernel");
         assert!(tree.is_err(), "{label}: tree unexpectedly succeeded");
-        assert_eq!(tree, vm, "{label}: engines disagree on the error");
+        for engine in COMPILED_ENGINES {
+            let vm = Machine::new(config.clone().with_engine(engine)).run(&program, "kernel");
+            assert_eq!(
+                tree, vm,
+                "{label}: tree and {engine:?} disagree on the error"
+            );
+        }
     }
 
     // Fuel exhaustion: same budget, same tick sequence, same error.
@@ -483,19 +520,23 @@ fn runtime_errors_are_identical() {
         }"#,
     );
     let tree = Machine::new(tiny.clone().with_engine(ExecEngine::Tree)).run(&runaway, "kernel");
-    let vm = Machine::new(tiny.with_engine(ExecEngine::Bytecode)).run(&runaway, "kernel");
     assert_eq!(tree, Err(RuntimeError::FuelExhausted));
-    assert_eq!(tree, vm, "fuel exhaustion differs across engines");
+    for engine in COMPILED_ENGINES {
+        let vm = Machine::new(tiny.clone().with_engine(engine)).run(&runaway, "kernel");
+        assert_eq!(tree, vm, "fuel exhaustion differs on {engine:?}");
+    }
 
     // A missing entry point and a bad entry signature are pre-execution
     // errors; they must match too.
     let no_entry = parse("double A[4];\nvoid other() { A[0] = 1.0; }");
     let tree = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::Tree))
         .run(&no_entry, "kernel");
-    let vm = Machine::new(MachineConfig::scaled_small().with_engine(ExecEngine::Bytecode))
-        .run(&no_entry, "kernel");
     assert!(tree.is_err());
-    assert_eq!(tree, vm, "missing entry differs across engines");
+    for engine in COMPILED_ENGINES {
+        let vm = Machine::new(MachineConfig::scaled_small().with_engine(engine))
+            .run(&no_entry, "kernel");
+        assert_eq!(tree, vm, "missing entry differs on {engine:?}");
+    }
 }
 
 /// The one construct where static slot resolution is insufficient: a
@@ -599,10 +640,71 @@ fn invalid_cache_geometry_matches() {
     config.cache.levels[0].capacity = 3000; // not a power-of-two set count
     let program = parse("double A[4];\nvoid kernel() { A[0] = undefined_name; }");
     let tree = Machine::new(config.clone().with_engine(ExecEngine::Tree)).run(&program, "kernel");
-    let vm = Machine::new(config.with_engine(ExecEngine::Bytecode)).run(&program, "kernel");
     assert!(
         matches!(tree, Err(RuntimeError::InvalidConfig(_))),
         "expected InvalidConfig, got {tree:?}"
     );
-    assert_eq!(tree, vm, "invalid-config error differs across engines");
+    for engine in COMPILED_ENGINES {
+        let vm = Machine::new(config.clone().with_engine(engine)).run(&program, "kernel");
+        assert_eq!(tree, vm, "invalid-config error differs on {engine:?}");
+    }
+}
+
+/// Batched evaluation must be indistinguishable from per-variant
+/// evaluation: for every corpus-registry program, one
+/// [`CompiledVariant`] swept across every machine profile (compiling
+/// once per distinct compile key) returns exactly what a fresh
+/// [`Machine::run`] returns at each point — measurements bit for bit,
+/// errors included. This is the contract that lets tuning drivers
+/// route memo misses through the batched path.
+#[test]
+fn batched_evaluation_matches_sequential() {
+    let profiles = locus::machine::all_profiles();
+    for entry in corpus::all_programs() {
+        let variant = CompiledVariant::new(entry.program.clone(), "kernel");
+        for profile in &profiles {
+            for engine in [
+                ExecEngine::Tree,
+                ExecEngine::Bytecode,
+                ExecEngine::RegisterVm,
+            ] {
+                let config = profile.config.clone().with_engine(engine);
+                let batched = variant.run(&config);
+                let sequential = Machine::new(config).run(&entry.program, "kernel");
+                match (&batched, &sequential) {
+                    (Ok(b), Ok(s)) => assert_measurements_identical(
+                        &format!("batched {}/{}/{engine:?}", entry.name, profile.name),
+                        &entry.program,
+                        s,
+                        b,
+                    ),
+                    _ => assert_eq!(
+                        batched, sequential,
+                        "batched vs sequential outcome differs for {}/{}/{engine:?}",
+                        entry.name, profile.name
+                    ),
+                }
+            }
+        }
+    }
+
+    // `Machine::run_batched` is the one-call wrapper over the same
+    // machinery; error points (fuel exhaustion on a tiny budget) must
+    // round-trip identically too.
+    let mut tiny = MachineConfig::scaled_small();
+    tiny.max_ops = 1_000;
+    let configs = [
+        MachineConfig::scaled_small(),
+        tiny,
+        MachineConfig::scaled_tiny(),
+    ];
+    let program = corpus::dgemm_program(12);
+    let batched = Machine::run_batched(&program, "kernel", &configs);
+    for (cfg, got) in configs.iter().zip(&batched) {
+        let want = Machine::new(cfg.clone()).run(&program, "kernel");
+        match (got, &want) {
+            (Ok(b), Ok(s)) => assert_measurements_identical("run_batched", &program, s, b),
+            _ => assert_eq!(got, &want, "run_batched outcome differs"),
+        }
+    }
 }
