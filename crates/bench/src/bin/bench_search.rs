@@ -1,0 +1,74 @@
+//! The search-module shoot-out: every module of `locus-search` tunes
+//! every corpus-registry entry under one shared memo cache, scored by
+//! evaluations-to-best-known. Writes `BENCH_search.json`.
+//!
+//! Usage: `cargo run --release -p locus-bench --bin bench_search
+//! [--check] [output.json]` (threads via `LOCUS_THREADS`, default 8;
+//! budget via `LOCUS_BUDGET`, default 48). `--check` runs the full
+//! sweep, asserts the acceptance bar (a new module beats bandit and
+//! anneal on at least one family; the extended portfolio regresses
+//! nowhere), and writes nothing.
+
+use locus_bench::search::{aggregate, check, run_search, to_json, SearchRow};
+
+fn print_rows(rows: &[SearchRow]) {
+    for r in rows {
+        println!(
+            "{:<18} {:<10} {:<14} space {:>8}  {:>3} evals  best {:>9.3} ms  \
+             to-best {:>3}{}",
+            r.entry,
+            r.family,
+            r.module,
+            r.space_size,
+            r.evaluations,
+            r.best_value,
+            r.evals_to_best_known,
+            if r.reached_best { "" } else { "  (never)" },
+        );
+    }
+    println!();
+    for a in aggregate(rows) {
+        println!(
+            "{:<10} {:<14} mean evals-to-best {:>7.2}  reached {}/{}",
+            a.family, a.module, a.mean_evals_to_best, a.reached, a.entries,
+        );
+    }
+}
+
+fn main() {
+    let threads = std::env::var("LOCUS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let budget = std::env::var("LOCUS_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    eprintln!("search shoot-out: full registry, budget {budget}, {threads} worker threads");
+    let rows = run_search(budget, threads);
+    print_rows(&rows);
+
+    if args.iter().any(|a| a == "--check") {
+        let violations = check(&rows);
+        assert!(
+            violations.is_empty(),
+            "search shoot-out acceptance bar failed:\n  {}",
+            violations.join("\n  ")
+        );
+        eprintln!("ok");
+        return;
+    }
+
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_search.json".to_string());
+    for v in check(&rows) {
+        eprintln!("warning: {v}");
+    }
+    std::fs::write(&out, to_json(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out}");
+}

@@ -12,6 +12,7 @@
 //! | [`interp`] | Bytecode VM vs tree interpreter on the corpus kernels (BENCH_interp.json) |
 //! | [`corpus`] | Corpus-registry x machine-profile sweep: cold search vs store transfer (BENCH_corpus.json) |
 //! | [`daemon`] | `locusd` service throughput/latency at 1/4/16 concurrent clients, cold vs warm store (BENCH_daemon.json) |
+//! | [`search`] | Search-module shoot-out: evaluations-to-best-known per corpus family (BENCH_search.json) |
 //! | [`report`] | Plain-text table rendering shared by the harness binaries |
 //! | [`timer`] | Minimal timing harness for the `benches/` entry points |
 //!
@@ -30,6 +31,7 @@ pub mod fig6;
 pub mod interp;
 pub mod parallel;
 pub mod report;
+pub mod search;
 pub mod store;
 pub mod table1;
 pub mod timer;

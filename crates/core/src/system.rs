@@ -25,7 +25,12 @@ use crate::report::TuneReport;
 /// Number of proposals drawn per batch by the parallel engine. Fixed —
 /// independent of the worker count — so a run's proposal stream, and
 /// with it the tuning result, is identical for 1, 2 or 8 threads.
-pub const PARALLEL_BATCH: usize = 16;
+///
+/// Defined as [`locus_search::OBSERVATION_BLOCK`]: the block-buffering
+/// modules (MCTS, the trace sampler) integrate observations at exactly
+/// this granularity, which makes their proposal streams bit-identical
+/// between the sequential and the batch-parallel drivers.
+pub const PARALLEL_BATCH: usize = locus_search::OBSERVATION_BLOCK;
 
 /// How many prior points a store-backed session feeds to
 /// [`SearchModule::seed_observations`] when warm-starting.
@@ -283,6 +288,25 @@ impl LocusSystem {
         })
     }
 
+    /// A [`locus_search::LegalityOracle`] over this system: `true` iff
+    /// the point decodes and passes verification (`verify::legal`).
+    /// Both tuning drivers attach the same oracle on every path, so
+    /// pruning-aware modules behave identically under each; the oracle
+    /// is an optimization hook only — a module must also cope with
+    /// `Objective::Invalid` feedback for points that slip through.
+    fn legality_oracle(
+        &self,
+        source: &Program,
+        prepared: &Prepared,
+    ) -> locus_search::LegalityOracle {
+        let sys = self.clone();
+        let source = source.clone();
+        let prepared = prepared.clone();
+        std::sync::Arc::new(move |point: &Point| {
+            sys.build_variant(&source, &prepared, point).is_ok()
+        })
+    }
+
     /// Builds the variant a point denotes: runs the optimization program
     /// on every matching region of (a clone of) the source.
     pub fn build_variant(
@@ -439,6 +463,7 @@ impl LocusSystem {
             .map_err(|e| ApplyError::Locus(format!("baseline run failed: {e}")))?;
         let expected = baseline.checksum;
 
+        search.attach_pruner(&self.legality_oracle(source, &prepared));
         let mut evaluate = |point: &Point| -> Objective {
             match self.evaluate_point(source, &prepared, point, Some(expected)) {
                 VariantOutcome::Measured(boxed) => Objective::Value(boxed.1.time_ms),
@@ -833,6 +858,7 @@ impl LocusSystem {
         }
 
         search.attach_tracer(tracer);
+        search.attach_pruner(&self.legality_oracle(source, &prepared));
         search.begin(&prepared.space, budget);
         if let (Some(store), Some(key)) = (store.as_ref(), store_key.as_ref()) {
             let _span = tracer.span("phase", "warm-start");

@@ -42,7 +42,8 @@ use locus_corpus::registry::{all_programs, CorpusEntry};
 use locus_machine::profiles::all_profiles;
 use locus_machine::{Machine, MachineConfig};
 use locus_search::{
-    AnnealTuner, BanditTuner, ExhaustiveSearch, PortfolioSearch, RandomSearch, SearchModule,
+    AnnealTuner, BanditTuner, ExhaustiveSearch, MctsTuner, PortfolioSearch, RandomSearch,
+    SearchModule, TraceSampler,
 };
 use locus_srcir::region::{extract_region, find_regions};
 use locus_store::{ShardedStore, DEFAULT_SHARDS};
@@ -465,6 +466,8 @@ fn make_search(name: &str, seed: u64) -> Option<Box<dyn SearchModule>> {
         "random" => Box::new(RandomSearch::new(seed)),
         "bandit" => Box::new(BanditTuner::new(seed)),
         "anneal" => Box::new(AnnealTuner::new(seed)),
+        "mcts" => Box::new(MctsTuner::new(seed)),
+        "sampler" => Box::new(TraceSampler::new(seed)),
         "portfolio" => Box::new(PortfolioSearch::new(seed)),
         _ => return None,
     })

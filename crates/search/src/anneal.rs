@@ -34,6 +34,9 @@ pub struct AnnealTuner {
     init_limit: usize,
     stale: usize,
     stale_limit: usize,
+    /// Keys the walk must not propose again: warm-start priors (already
+    /// measured) and points refused as `Invalid`.
+    avoid: std::collections::HashSet<String>,
     tracer: Tracer,
 }
 
@@ -52,6 +55,7 @@ impl AnnealTuner {
             init_limit: 64,
             stale: 0,
             stale_limit: 256,
+            avoid: std::collections::HashSet::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -83,6 +87,7 @@ impl SearchModule for AnnealTuner {
         self.init_limit = budget.max(16).saturating_mul(4);
         self.stale = 0;
         self.stale_limit = budget.saturating_mul(8).max(256);
+        self.avoid.clear();
     }
 
     fn attach_tracer(&mut self, tracer: &Tracer) {
@@ -99,35 +104,59 @@ impl SearchModule for AnnealTuner {
         };
         self.current = Some((point.clone(), *value));
         self.temperature = self.t0 * value.abs().max(1e-9);
-    }
-
-    fn propose(&mut self, space: &Space) -> Option<Point> {
-        match &self.current {
-            // Initial phase: sample the prior until a valid point lands.
-            None => {
-                if self.init_attempts >= self.init_limit {
-                    return None;
-                }
-                self.init_attempts += 1;
-                Some(space.random_point(&mut self.rng))
-            }
-            Some((cur_point, cur_value)) => {
-                if self.stale >= self.stale_limit {
-                    return None;
-                }
-                // Restart probability decays as the search matures.
-                let restart_p =
-                    0.25 * self.temperature / (self.t0 * cur_value.abs().max(1e-9) + 1e-12);
-                if self.rng.chance(restart_p.clamp(0.02, 0.5)) {
-                    Some(space.random_point(&mut self.rng))
-                } else {
-                    Some(space.mutate(cur_point, 1, &mut self.rng))
-                }
-            }
+        // The walk resumes *from* the prior, it must not re-measure it.
+        for (point, _) in prior {
+            self.avoid.insert(point.canonical_key());
         }
     }
 
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        // Resample (boundedly) rather than re-propose a warm-start
+        // prior or a point already refused as invalid.
+        for _ in 0..16 {
+            let candidate = match &self.current {
+                // Initial phase: sample the prior until a valid point
+                // lands.
+                None => {
+                    if self.init_attempts >= self.init_limit {
+                        return None;
+                    }
+                    self.init_attempts += 1;
+                    space.random_point(&mut self.rng)
+                }
+                Some((cur_point, cur_value)) => {
+                    if self.stale >= self.stale_limit {
+                        return None;
+                    }
+                    // Restart probability decays as the search matures.
+                    let restart_p =
+                        0.25 * self.temperature / (self.t0 * cur_value.abs().max(1e-9) + 1e-12);
+                    if self.rng.chance(restart_p.clamp(0.02, 0.5)) {
+                        space.random_point(&mut self.rng)
+                    } else {
+                        space.mutate(cur_point, 1, &mut self.rng)
+                    }
+                }
+            };
+            if !self.avoid.contains(&candidate.canonical_key()) {
+                return Some(candidate);
+            }
+        }
+        // Everything nearby is refused or already known: fall back to a
+        // fresh prior sample rather than a known-bad point.
+        Some(space.random_point(&mut self.rng))
+    }
+
     fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
+        // A non-finite measurement must never become the walking point:
+        // a NaN `current` poisons every subsequent acceptance test.
+        let objective = match objective {
+            Objective::Value(v) if !v.is_finite() => Objective::Error,
+            o => o,
+        };
+        if matches!(objective, Objective::Invalid) {
+            self.avoid.insert(point.canonical_key());
+        }
         match &self.current {
             None => {
                 if let Objective::Value(v) = objective {

@@ -41,6 +41,9 @@ pub struct BanditTuner {
     /// Technique index of every proposal not yet observed; `None` tags
     /// the seeding phase.
     pending: VecDeque<Option<usize>>,
+    /// Keys the tuner must not propose again: warm-start priors (already
+    /// measured by the store) and points refused as `Invalid`.
+    avoid: std::collections::HashSet<String>,
     seeds_remaining: usize,
     total_uses: f64,
     stale: usize,
@@ -58,6 +61,7 @@ impl BanditTuner {
             elites: Vec::new(),
             best: None,
             pending: VecDeque::new(),
+            avoid: std::collections::HashSet::new(),
             seeds_remaining: 0,
             total_uses: 1.0,
             stale: 0,
@@ -145,6 +149,7 @@ impl SearchModule for BanditTuner {
         self.elites.clear();
         self.best = None;
         self.pending.clear();
+        self.avoid.clear();
         // Seed with random points (a tenth of the budget, at least 2).
         self.seeds_remaining = (budget / 10).clamp(2, 32);
         self.total_uses = 1.0;
@@ -169,6 +174,11 @@ impl SearchModule for BanditTuner {
                 self.best = Some((point.clone(), *value));
             }
             insert_elite(&mut self.elites, point.clone(), *value);
+        }
+        // Priors are already measured: keep them as mutation parents,
+        // never as proposals.
+        for (point, _) in prior {
+            self.avoid.insert(point.canonical_key());
         }
         self.seeds_remaining = self.seeds_remaining.saturating_sub(prior.len());
     }
@@ -214,7 +224,15 @@ impl SearchModule for BanditTuner {
             });
         }
         let best = self.best.as_ref().map(|(p, _)| p.clone());
-        let proposal = propose(technique, space, &self.elites, best.as_ref(), &mut self.rng);
+        // Resample (boundedly) rather than re-propose a warm-start
+        // prior or a point already refused as invalid.
+        let mut proposal = propose(technique, space, &self.elites, best.as_ref(), &mut self.rng);
+        for _ in 0..16 {
+            if !self.avoid.contains(&proposal.canonical_key()) {
+                break;
+            }
+            proposal = propose(technique, space, &self.elites, best.as_ref(), &mut self.rng);
+        }
         self.pending.push_back(Some(ti));
         Some(proposal)
     }
@@ -229,6 +247,9 @@ impl SearchModule for BanditTuner {
             Objective::Value(v) if !v.is_finite() => Objective::Invalid,
             o => o,
         };
+        if matches!(objective, Objective::Invalid) {
+            self.avoid.insert(point.canonical_key());
+        }
         let tag = self.pending.pop_front().flatten();
         let before = self.best.as_ref().map(|(_, v)| *v);
         if fresh {

@@ -48,14 +48,18 @@
 pub mod anneal;
 pub mod bandit;
 pub mod exhaustive;
+pub mod mcts;
 pub mod portfolio;
 pub mod random;
+pub mod sampler;
 
 pub use anneal::AnnealTuner;
 pub use bandit::BanditTuner;
 pub use exhaustive::ExhaustiveSearch;
-pub use portfolio::PortfolioSearch;
+pub use mcts::MctsTuner;
+pub use portfolio::{Member, PortfolioSearch};
 pub use random::RandomSearch;
+pub use sampler::TraceSampler;
 
 /// The deterministic in-tree PRNG all modules draw from, re-exported so
 /// downstream crates (and tests) need not depend on `locus-space`
@@ -63,6 +67,30 @@ pub use random::RandomSearch;
 pub use locus_space::rng;
 
 use locus_space::{Point, Space};
+
+/// The observation block size adaptive modules synchronize their state
+/// updates on: [`MctsTuner`] and [`TraceSampler`] buffer incoming
+/// [`SearchModule::observe`] calls and integrate them into their
+/// sampling state only once a full block has arrived.
+///
+/// The parallel driver proposes in batches of exactly this size (its
+/// `PARALLEL_BATCH` is defined as this constant), so a module that
+/// updates on block boundaries sees the *same* integrated state before
+/// every proposal whether it is driven one-point-at-a-time (the
+/// sequential default [`SearchModule::search`]) or a whole batch ahead
+/// of its observations — which is what makes those modules bit-identical
+/// under both drivers at any worker count.
+pub const OBSERVATION_BLOCK: usize = 16;
+
+/// A legality oracle a driver can attach to a module via
+/// [`SearchModule::attach_pruner`]: returns `true` when the point
+/// builds into a legal variant (in the core driver this runs the
+/// optimization program, and with it `verify::legal` and the dependent
+/// range checks). Modules that structure the space — the MCTS tree, the
+/// trace sampler — consult it at expansion/sampling time so illegal
+/// prefixes are pruned before they are ever proposed, let alone
+/// simulated.
+pub type LegalityOracle = std::sync::Arc<dyn Fn(&Point) -> bool + Send + Sync>;
 
 /// The outcome of evaluating one point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,6 +184,18 @@ pub trait SearchModule {
     /// ignores the tracer; every built-in module overrides it.
     fn attach_tracer(&mut self, tracer: &locus_trace::Tracer) {
         let _ = tracer;
+    }
+
+    /// Attaches a [`LegalityOracle`] the module may consult *before*
+    /// proposing a candidate, pruning points a driver's static verifier
+    /// would refuse anyway. Purely an optimization hook: a module must
+    /// behave correctly without one (illegal proposals then come back
+    /// as [`Objective::Invalid`]), and drivers attach the same oracle
+    /// on every path so sequential/parallel determinism is preserved.
+    /// The default implementation ignores it; the tree/trace modules
+    /// ([`MctsTuner`], [`TraceSampler`]) override it.
+    fn attach_pruner(&mut self, oracle: &LegalityOracle) {
+        let _ = oracle;
     }
 
     /// Proposes the next point, or `None` when the module has nothing
@@ -259,6 +299,13 @@ impl Bookkeeper {
                 self.outcome.invalid += 1;
             }
             Objective::Error => {
+                self.outcome.evaluations += 1;
+            }
+            // A non-finite measurement (a NaN/infinite objective from a
+            // broken cost model or evaluator) counts like an errored
+            // evaluation: it spends budget but can never become the
+            // best, so `SearchOutcome::best` stays finite.
+            Objective::Value(v) if !v.is_finite() => {
                 self.outcome.evaluations += 1;
             }
             Objective::Value(v) => {

@@ -1,0 +1,750 @@
+//! Monte Carlo Tree Search over the decision sites of a [`Space`].
+//!
+//! The Locus paper frames an optimization program as a *sequence* of
+//! decisions — which OR branch, which tile size, which schedule — and
+//! the flat modules (random/bandit/anneal) throw that structure away.
+//! Following Koo et al.'s customized MCTS for composable loop
+//! transformations, [`MctsTuner`] keeps it: tree level `d` is the
+//! `d`-th [`locus_space::DecisionSite`] of the space (declaration
+//! order, so OR blocks and the tiles they gate sit on one root-to-leaf
+//! path), an *arm* of a node is one value choice at that site, and a
+//! root-to-leaf walk is a complete point.
+//!
+//! Mechanics:
+//!
+//! * **UCT selection** over mean rewards, where a finite objective `v`
+//!   maps to the normalized reward `(hi - v) / (hi - lo)` against the
+//!   observed range — lower objectives, higher rewards.
+//! * **Lazy arm opening** (progressive widening): a node opens at most
+//!   one untried arm per effective visit, so million-way sites (big
+//!   tile products, permutations) never materialize their domain.
+//! * **Rollout completion**: descending past the frontier completes the
+//!   remaining sites uniformly at random; the tree deepens only along
+//!   revisited paths.
+//! * **Batch expansion**: proposals in flight add *virtual visits*
+//!   (`pending`) to their arms, so one [`SearchModule::propose_batch`]
+//!   round expands several distinct leaves instead of hammering the
+//!   current UCT favourite.
+//! * **Legality pruning at expansion**: with a [`LegalityOracle`]
+//!   attached (the core driver wires `verify::legal` through one),
+//!   refused candidates die in the tree — a terminal arm outright, an
+//!   inner arm after repeated strikes with no legal descendant — so
+//!   illegal prefixes are never proposed, let alone simulated.
+//!
+//! Observations are buffered and folded into the tree only when a full
+//! [`OBSERVATION_BLOCK`] has arrived (see the constant's docs): the
+//! proposal stream depends only on fully-integrated blocks, which makes
+//! sequential and batch-parallel drives bit-identical. The module also
+//! never re-proposes a point it already proposed (or was seeded with),
+//! so duplicate feedback loops cannot occur; when it cannot find a new
+//! candidate it declares itself done, and stays done.
+
+use std::collections::{HashSet, VecDeque};
+
+use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
+
+use crate::{LegalityOracle, Objective, SearchModule, OBSERVATION_BLOCK};
+
+/// Candidate-generation attempts per `propose` call before the module
+/// declares the space dry. Collisions with already-proposed points and
+/// oracle refusals both consume attempts.
+const MAX_PROPOSE_TRIES: usize = 128;
+
+/// Illegal strikes after which an inner (non-terminal) arm with no
+/// legal descendant yet is considered a dead prefix.
+const PRUNE_STRIKES: u32 = 3;
+
+/// One value choice at a node's decision site.
+#[derive(Debug, Clone)]
+struct Arm {
+    /// Decision index at this site ([`locus_space::ParamKind::value_at`]).
+    value: u128,
+    /// Child node, created once the arm is revisited after integration.
+    child: Option<usize>,
+    /// Integrated visits and summed normalized rewards.
+    visits: f64,
+    reward: f64,
+    /// In-flight proposals through this arm (virtual visits).
+    pending: usize,
+    /// Legal (finite-valued) outcomes seen through this arm.
+    valid: u32,
+    /// Refused outcomes (oracle or observed `Invalid`) at this arm.
+    invalid: u32,
+    /// Terminal arms only: the complete trace was already proposed.
+    taken: bool,
+    /// No proposal may descend through this arm any more.
+    dead: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Decision-site index (tree depth).
+    site: usize,
+    arms: Vec<Arm>,
+}
+
+/// What one descent produced.
+enum Descent {
+    /// A complete candidate: the arm path through existing nodes plus
+    /// the full decision trace (path choices + rollout completion).
+    Candidate(Vec<(usize, usize)>, Vec<u128>),
+    /// A node saturated mid-walk; its entry arm was marked dead — retry.
+    Retry,
+    /// The root itself is saturated: the reachable space is exhausted.
+    RootClosed,
+}
+
+/// Monte Carlo Tree Search over decision sites (see the module docs).
+#[derive(Clone)]
+pub struct MctsTuner {
+    seed: u64,
+    exploration: f64,
+    sync_block: usize,
+    // Per-run state, reset by `begin`.
+    rng: SplitMix64,
+    /// `(site arity)` per decision site, cached from the space.
+    arities: Vec<u128>,
+    nodes: Vec<Node>,
+    /// Canonical keys of every point proposed or seeded — own dedup.
+    proposed: HashSet<String>,
+    /// Arm path per in-flight proposal, in proposal order.
+    pending: VecDeque<Vec<(usize, usize)>>,
+    /// Observed-but-unintegrated `(path, objective)` pairs.
+    buffer: Vec<(Vec<(usize, usize)>, Objective)>,
+    /// Observed finite-objective range for reward normalization.
+    lo: f64,
+    hi: f64,
+    generation: u64,
+    finished: bool,
+    oracle: Option<LegalityOracle>,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for MctsTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MctsTuner")
+            .field("seed", &self.seed)
+            .field("exploration", &self.exploration)
+            .field("nodes", &self.nodes.len())
+            .field("proposed", &self.proposed.len())
+            .field("generation", &self.generation)
+            .field("finished", &self.finished)
+            .field("oracle", &self.oracle.is_some())
+            .finish()
+    }
+}
+
+impl MctsTuner {
+    /// Creates a tuner with the default exploration constant.
+    pub fn new(seed: u64) -> MctsTuner {
+        MctsTuner {
+            seed,
+            exploration: 0.7,
+            sync_block: OBSERVATION_BLOCK,
+            rng: SplitMix64::new(seed),
+            arities: Vec::new(),
+            nodes: Vec::new(),
+            proposed: HashSet::new(),
+            pending: VecDeque::new(),
+            buffer: Vec::new(),
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            generation: 0,
+            finished: false,
+            oracle: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Overrides the UCT exploration constant (rewards are normalized
+    /// to `[0, 1]`, so useful values sit around `0.3..2.0`).
+    pub fn with_exploration(mut self, c: f64) -> MctsTuner {
+        self.exploration = c.max(0.0);
+        self
+    }
+
+    /// Overrides the observation block size (default
+    /// [`OBSERVATION_BLOCK`]). `1` integrates eagerly — the portfolio
+    /// uses that for its short member sessions, where cross-driver
+    /// bit-identity is owned by the portfolio itself.
+    pub fn with_sync_block(mut self, n: usize) -> MctsTuner {
+        self.sync_block = n.max(1);
+        self
+    }
+
+    fn reward(&self, v: f64) -> f64 {
+        if self.hi > self.lo {
+            ((self.hi - v) / (self.hi - self.lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    /// Opens one untried arm at `node`, returning its index.
+    fn open_arm(&mut self, node: usize) -> Option<usize> {
+        let site = self.nodes[node].site;
+        let arity = self.arities[site];
+        let opened = self.nodes[node].arms.len() as u128;
+        if opened >= arity {
+            return None;
+        }
+        let value = if arity <= 1024 {
+            // Small sites: pick uniformly among the untried values.
+            let taken: HashSet<u128> = self.nodes[node].arms.iter().map(|a| a.value).collect();
+            let untried: Vec<u128> = (0..arity).filter(|v| !taken.contains(v)).collect();
+            untried[self.rng.below_usize(untried.len())]
+        } else {
+            // Huge sites (permutations, big products): sample indices,
+            // skipping collisions with already-opened arms.
+            let cap = arity.min(u64::MAX as u128) as u64;
+            let mut v = u128::from(self.rng.below(cap));
+            for _ in 0..8 {
+                if !self.nodes[node].arms.iter().any(|a| a.value == v) {
+                    break;
+                }
+                v = u128::from(self.rng.below(cap));
+            }
+            v
+        };
+        self.nodes[node].arms.push(Arm {
+            value,
+            child: None,
+            visits: 0.0,
+            reward: 0.0,
+            pending: 0,
+            valid: 0,
+            invalid: 0,
+            taken: false,
+            dead: false,
+        });
+        Some(self.nodes[node].arms.len() - 1)
+    }
+
+    /// UCT choice at `node`: open a new arm while the widening schedule
+    /// allows, otherwise pick the best selectable opened arm. `None`
+    /// when the node is saturated.
+    fn choose_arm(&mut self, node: usize) -> Option<usize> {
+        let terminal = self.nodes[node].site + 1 == self.arities.len();
+        let selectable: Vec<usize> = self.nodes[node]
+            .arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !(a.dead || terminal && a.taken))
+            .map(|(i, _)| i)
+            .collect();
+        let n_eff: f64 = self.nodes[node]
+            .arms
+            .iter()
+            .map(|a| a.visits + a.pending as f64)
+            .sum();
+        // Progressive widening: one new arm per effective visit keeps
+        // the frontier growing without flooding huge sites; a node with
+        // no selectable arm left may always widen past the schedule.
+        let opened = self.nodes[node].arms.len();
+        if selectable.is_empty() || opened as f64 <= n_eff {
+            if let Some(ai) = self.open_arm(node) {
+                return Some(ai);
+            }
+        }
+        if selectable.is_empty() {
+            return None;
+        }
+        let ln_n = n_eff.max(1.0).ln().max(0.0);
+        let mut best = selectable[0];
+        let mut best_score = f64::NEG_INFINITY;
+        for i in selectable {
+            let a = &self.nodes[node].arms[i];
+            let n = a.visits + a.pending as f64;
+            let q = if a.visits > 0.0 {
+                a.reward / a.visits
+            } else {
+                0.5
+            };
+            let score = q + self.exploration * (ln_n / (n + 1.0)).sqrt();
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// One walk from the root: select/expand down the tree, then
+    /// complete the remaining sites by uniform rollout.
+    fn descend(&mut self) -> Descent {
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut trace: Vec<u128> = Vec::with_capacity(self.arities.len());
+        let mut node = 0usize;
+        loop {
+            let Some(ai) = self.choose_arm(node) else {
+                // Saturated node: kill the arm that leads here (or give
+                // up entirely at the root) and let the caller retry.
+                return match path.last() {
+                    Some(&(pn, pa)) => {
+                        self.nodes[pn].arms[pa].dead = true;
+                        Descent::Retry
+                    }
+                    None => Descent::RootClosed,
+                };
+            };
+            trace.push(self.nodes[node].arms[ai].value);
+            path.push((node, ai));
+            let depth = self.nodes[node].site;
+            if depth + 1 == self.arities.len() {
+                return Descent::Candidate(path, trace);
+            }
+            let arm = &self.nodes[node].arms[ai];
+            if let Some(child) = arm.child {
+                node = child;
+                continue;
+            }
+            if arm.visits > 0.0 {
+                // Revisited frontier arm: deepen the tree here.
+                let child = self.nodes.len();
+                self.nodes.push(Node {
+                    site: depth + 1,
+                    arms: Vec::new(),
+                });
+                self.nodes[node].arms[ai].child = Some(child);
+                node = child;
+                continue;
+            }
+            // Fresh expansion: uniform rollout over the remaining sites.
+            for site in depth + 1..self.arities.len() {
+                let cap = self.arities[site].min(u64::MAX as u128).max(1) as u64;
+                trace.push(u128::from(self.rng.below(cap)));
+            }
+            return Descent::Candidate(path, trace);
+        }
+    }
+
+    /// Marks a refused candidate in the tree: terminal arms die
+    /// outright; inner arms accumulate strikes and die once no legal
+    /// descendant has ever been seen through them.
+    fn strike(&mut self, path: &[(usize, usize)], full_depth: bool) {
+        let Some(&(ni, ai)) = path.last() else {
+            return;
+        };
+        let arm = &mut self.nodes[ni].arms[ai];
+        arm.invalid += 1;
+        if full_depth || (arm.valid == 0 && arm.invalid >= PRUNE_STRIKES) {
+            arm.dead = true;
+        }
+    }
+
+    /// Folds one observed block into the tree. Uses no randomness, so
+    /// integration timing cannot perturb the proposal stream.
+    fn integrate(&mut self) {
+        let block = std::mem::take(&mut self.buffer);
+        for (_, obj) in &block {
+            if let Objective::Value(v) = obj {
+                if v.is_finite() {
+                    self.lo = self.lo.min(*v);
+                    self.hi = self.hi.max(*v);
+                }
+            }
+        }
+        for (path, obj) in &block {
+            let (reward, valid) = match obj {
+                Objective::Value(v) if v.is_finite() => (self.reward(*v), true),
+                _ => (0.0, false),
+            };
+            for &(ni, ai) in path {
+                let arm = &mut self.nodes[ni].arms[ai];
+                arm.visits += 1.0;
+                arm.reward += reward;
+                arm.pending = arm.pending.saturating_sub(1);
+                if valid {
+                    arm.valid += 1;
+                }
+            }
+            if matches!(obj, Objective::Invalid) {
+                self.strike(path, path.len() == self.arities.len());
+            }
+        }
+        self.generation += 1;
+        let (generation, nodes, lo, hi) = (self.generation, self.nodes.len(), self.lo, self.hi);
+        self.tracer.instant("search", "mcts-integrate", || {
+            let mut args = vec![
+                kv("generation", generation),
+                kv("block", block.len() as u64),
+                kv("nodes", nodes as u64),
+            ];
+            if hi >= lo {
+                args.push(kv("lo_ms", lo));
+                args.push(kv("hi_ms", hi));
+            }
+            args
+        });
+    }
+
+    /// Walks (creating nodes and arms as needed) the full-depth path of
+    /// a seeded trace, so warm-start elites shape early selection.
+    fn force_path(&mut self, trace: &[u128]) -> Vec<(usize, usize)> {
+        let mut path = Vec::with_capacity(trace.len());
+        let mut node = 0usize;
+        for (depth, &value) in trace.iter().enumerate() {
+            let ai = match self.nodes[node].arms.iter().position(|a| a.value == value) {
+                Some(ai) => ai,
+                None => {
+                    self.nodes[node].arms.push(Arm {
+                        value,
+                        child: None,
+                        visits: 0.0,
+                        reward: 0.0,
+                        pending: 0,
+                        valid: 0,
+                        invalid: 0,
+                        taken: false,
+                        dead: false,
+                    });
+                    self.nodes[node].arms.len() - 1
+                }
+            };
+            path.push((node, ai));
+            if depth + 1 == trace.len() {
+                self.nodes[node].arms[ai].taken = true;
+                break;
+            }
+            node = match self.nodes[node].arms[ai].child {
+                Some(c) => c,
+                None => {
+                    let c = self.nodes.len();
+                    self.nodes.push(Node {
+                        site: depth + 1,
+                        arms: Vec::new(),
+                    });
+                    self.nodes[node].arms[ai].child = Some(c);
+                    c
+                }
+            };
+        }
+        path
+    }
+}
+
+impl Default for MctsTuner {
+    fn default() -> MctsTuner {
+        MctsTuner::new(0x3c75)
+    }
+}
+
+impl SearchModule for MctsTuner {
+    fn name(&self) -> &str {
+        "mcts (decision-site tree search)"
+    }
+
+    fn begin(&mut self, space: &Space, _budget: usize) {
+        self.rng = SplitMix64::new(self.seed);
+        self.arities = space
+            .decision_sites()
+            .into_iter()
+            .map(|s| s.arity)
+            .collect();
+        self.nodes = vec![Node {
+            site: 0,
+            arms: Vec::new(),
+        }];
+        self.proposed.clear();
+        self.pending.clear();
+        self.buffer.clear();
+        self.lo = f64::INFINITY;
+        self.hi = f64::NEG_INFINITY;
+        self.generation = 0;
+        self.finished = false;
+        let sites = self.arities.len();
+        self.tracer.instant("search", "mcts-begin", || {
+            vec![
+                kv("sites", sites as u64),
+                kv("size", format!("{}", space.size())),
+            ]
+        });
+    }
+
+    fn seed_observations(&mut self, space: &Space, prior: &[(Point, f64)]) {
+        let mut seeded: Vec<(Vec<(usize, usize)>, f64)> = Vec::new();
+        for (point, value) in prior {
+            if !value.is_finite() {
+                continue;
+            }
+            let Some(trace) = space.trace_of(point) else {
+                continue;
+            };
+            // Never re-propose an elite the store already measured —
+            // both under its stored key and under the snapped key its
+            // trace decodes to.
+            self.proposed.insert(point.canonical_key());
+            if let Some(snapped) = space.point_from_trace(&trace) {
+                self.proposed.insert(snapped.canonical_key());
+            }
+            self.lo = self.lo.min(*value);
+            self.hi = self.hi.max(*value);
+            if !trace.is_empty() {
+                seeded.push((self.force_path(&trace), *value));
+            }
+        }
+        for (path, value) in &seeded {
+            let reward = self.reward(*value);
+            for &(ni, ai) in path {
+                let arm = &mut self.nodes[ni].arms[ai];
+                arm.visits += 1.0;
+                arm.reward += reward;
+                arm.valid += 1;
+            }
+        }
+        let count = seeded.len() as u64;
+        self.tracer
+            .instant("search", "mcts-seed", || vec![kv("elites", count)]);
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    fn attach_pruner(&mut self, oracle: &LegalityOracle) {
+        self.oracle = Some(std::sync::Arc::clone(oracle));
+    }
+
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.finished {
+            return None;
+        }
+        if self.arities.is_empty() {
+            // A space without parameters has a single trivial point.
+            let point = Point::new();
+            if self.proposed.insert(point.canonical_key()) {
+                self.pending.push_back(Vec::new());
+                return Some(point);
+            }
+            self.finished = true;
+            return None;
+        }
+        for _ in 0..MAX_PROPOSE_TRIES {
+            let (path, trace) = match self.descend() {
+                Descent::Candidate(path, trace) => (path, trace),
+                Descent::Retry => continue,
+                Descent::RootClosed => {
+                    self.finished = true;
+                    return None;
+                }
+            };
+            let point = space
+                .point_from_trace(&trace)
+                .expect("descent stays inside the space");
+            let key = point.canonical_key();
+            let full_depth = path.len() == self.arities.len();
+            if self.proposed.contains(&key) {
+                if full_depth {
+                    // Full-depth re-selection of an already-proposed
+                    // leaf: close the arm so selection moves on.
+                    let (ni, ai) = *path.last().expect("non-empty path");
+                    self.nodes[ni].arms[ai].taken = true;
+                }
+                continue;
+            }
+            if let Some(oracle) = &self.oracle {
+                if !oracle(&point) {
+                    self.proposed.insert(key);
+                    self.strike(&path, full_depth);
+                    let depth = path.len() as u64;
+                    self.tracer.instant("search", "mcts-prune", || {
+                        vec![kv("depth", depth), kv("point", point.canonical_key())]
+                    });
+                    continue;
+                }
+            }
+            self.proposed.insert(key);
+            if full_depth {
+                let (ni, ai) = *path.last().expect("non-empty path");
+                self.nodes[ni].arms[ai].taken = true;
+            }
+            for &(ni, ai) in &path {
+                self.nodes[ni].arms[ai].pending += 1;
+            }
+            let (depth, generation) = (path.len() as u64, self.generation);
+            self.pending.push_back(path);
+            self.tracer.instant("search", "mcts-propose", || {
+                vec![
+                    kv("depth", depth),
+                    kv("generation", generation),
+                    kv("point", point.canonical_key()),
+                ]
+            });
+            return Some(point);
+        }
+        self.finished = true;
+        None
+    }
+
+    fn observe(&mut self, _point: &Point, objective: Objective, _fresh: bool) {
+        let Some(path) = self.pending.pop_front() else {
+            return;
+        };
+        self.buffer.push((path, objective));
+        if self.buffer.len() >= self.sync_block {
+            self.integrate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use locus_space::{ParamDef, ParamKind};
+
+    #[test]
+    fn converges_on_the_quadratic_space() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = MctsTuner::new(3).search(&space, 160, &mut f);
+        let (_, best) = out.best.unwrap();
+        assert!(best < 1.0, "mcts best {best}");
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = MctsTuner::new(7).search(&space, 60, &mut f1);
+        let b = MctsTuner::new(7).search(&space, 60, &mut f2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn never_reproposes_a_point() {
+        let space = quadratic_space();
+        let mut m = MctsTuner::new(11);
+        m.begin(&space, 200);
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0;
+        while let Some(p) = m.propose(&space) {
+            assert!(seen.insert(p.canonical_key()), "duplicate proposal");
+            m.observe(&p, quadratic_objective(&p), true);
+            count += 1;
+            if count >= 300 {
+                break;
+            }
+        }
+        assert!(count > 60, "proposed only {count} points");
+    }
+
+    #[test]
+    fn exhausts_tiny_spaces_and_stays_finished() {
+        let space: Space = vec![ParamDef::new("x", ParamKind::Bool)]
+            .into_iter()
+            .collect();
+        let mut m = MctsTuner::new(5);
+        m.begin(&space, 50);
+        let mut points = Vec::new();
+        while let Some(p) = m.propose(&space) {
+            m.observe(&p, Objective::Value(1.0), true);
+            points.push(p);
+        }
+        assert_eq!(points.len(), 2, "only two points exist");
+        assert!(m.propose(&space).is_none(), "finished is sticky");
+    }
+
+    #[test]
+    fn empty_spaces_yield_one_trivial_point() {
+        let space = Space::new();
+        let mut m = MctsTuner::new(1);
+        m.begin(&space, 10);
+        assert_eq!(m.propose(&space), Some(Point::new()));
+        m.observe(&Point::new(), Objective::Value(1.0), true);
+        assert_eq!(m.propose(&space), None);
+    }
+
+    #[test]
+    fn oracle_refusals_are_never_proposed() {
+        let space = quadratic_space();
+        let mut m = MctsTuner::new(13);
+        // Refuse every point whose tile exceeds 32.
+        let oracle: crate::LegalityOracle = std::sync::Arc::new(
+            |p: &Point| matches!(p.get("tile"), Some(locus_space::ParamValue::Int(v)) if *v <= 32),
+        );
+        m.attach_pruner(&oracle);
+        m.begin(&space, 120);
+        let mut proposals = 0;
+        while let Some(p) = m.propose(&space) {
+            let tile = p.get("tile").and_then(|v| v.as_int()).unwrap();
+            assert!(tile <= 32, "illegal point proposed: tile {tile}");
+            m.observe(&p, quadratic_objective(&p), true);
+            proposals += 1;
+            if proposals >= 200 {
+                break;
+            }
+        }
+        assert!(proposals > 20, "legal region barely explored: {proposals}");
+    }
+
+    #[test]
+    fn invalid_feedback_kills_the_subtree() {
+        // Space whose second site is illegal for alternative 1: after a
+        // few strikes MCTS must stop proposing beneath it.
+        let space = quadratic_space();
+        let mut m = MctsTuner::new(17).with_sync_block(1);
+        m.begin(&space, 400);
+        let mut bad_after_grace = 0;
+        for i in 0..200 {
+            let Some(p) = m.propose(&space) else { break };
+            let bad = matches!(p.get("alg"), Some(locus_space::ParamValue::Choice(0)));
+            let obj = if bad {
+                Objective::Invalid
+            } else {
+                quadratic_objective(&p)
+            };
+            if bad && i > 120 {
+                bad_after_grace += 1;
+            }
+            m.observe(&p, obj, true);
+        }
+        // The `alg = a` half of the space (288 points) must be mostly
+        // abandoned well before it is enumerated.
+        assert!(
+            bad_after_grace < 20,
+            "still proposing into the dead subtree: {bad_after_grace}"
+        );
+    }
+
+    #[test]
+    fn seeding_warm_starts_without_reproposing_elites() {
+        let space = quadratic_space();
+        let elite = {
+            let mut p = Point::new();
+            p.set("tile", locus_space::ParamValue::Int(32));
+            p.set("alg", locus_space::ParamValue::Choice(1));
+            p.set("n", locus_space::ParamValue::Int(10));
+            p
+        };
+        let mut m = MctsTuner::new(23);
+        m.begin(&space, 80);
+        m.seed_observations(&space, &[(elite.clone(), 0.0), (space.point_at(7), 9.0)]);
+        let elite_key = elite.canonical_key();
+        for _ in 0..80 {
+            let Some(p) = m.propose(&space) else { break };
+            assert_ne!(p.canonical_key(), elite_key, "re-proposed the elite");
+            m.observe(&p, quadratic_objective(&p), true);
+        }
+    }
+
+    #[test]
+    fn non_finite_feedback_does_not_panic_or_poison() {
+        let space = quadratic_space();
+        let mut i = 0usize;
+        let mut f = |p: &Point| {
+            i += 1;
+            match i % 4 {
+                0 => Objective::Value(f64::NAN),
+                1 => Objective::Value(f64::INFINITY),
+                2 => Objective::Error,
+                _ => quadratic_objective(p),
+            }
+        };
+        let out = MctsTuner::new(29).search(&space, 60, &mut f);
+        let (_, best) = out.best.expect("finite evaluations exist");
+        assert!(best.is_finite());
+    }
+}

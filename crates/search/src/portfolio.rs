@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use locus_space::{Point, Space, SplitMix64};
 use locus_trace::{kv, Tracer};
 
-use crate::{Objective, SearchModule};
+use crate::{LegalityOracle, MctsTuner, Objective, SearchModule, TraceSampler};
 
 /// Identifier of a member module in a [`PortfolioSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,19 @@ pub enum Member {
     Anneal,
     /// Uniform random sampling.
     Random,
+    /// Decision-site tree search ([`MctsTuner`]).
+    Mcts,
+    /// Probabilistic trace sampling ([`TraceSampler`]).
+    Sampler,
+}
+
+/// A stateful member module living inside one session. The flat
+/// members (bandit/anneal/random) are re-derived from the session RNG
+/// each round; these two carry real per-session machinery.
+#[derive(Debug, Clone)]
+enum MemberInner {
+    Mcts(Box<MctsTuner>),
+    Sampler(Box<TraceSampler>),
 }
 
 /// One member's in-progress slice of a round.
@@ -44,6 +57,8 @@ struct Session {
     mi: usize,
     serial: u64,
     rng: SplitMix64,
+    /// Stateful member instance (tree/sampler members only).
+    inner: Option<MemberInner>,
     /// Member-local walking point (annealing keeps its own walk; the
     /// others track the shared best).
     current: Option<Point>,
@@ -52,6 +67,10 @@ struct Session {
     spent: usize,
     proposals: usize,
     share: usize,
+    /// Observations attributed to this session, and how many of them
+    /// came back `Invalid` (verifier-pruned or decoder-refused).
+    observed: usize,
+    invalid: usize,
     /// Shared best value when the session started, for credit.
     before: Option<f64>,
 }
@@ -61,7 +80,7 @@ struct Session {
 /// (Member modules are re-instantiated per round with derived seeds; a
 /// fully generic portfolio over `dyn SearchModule` would need members to
 /// expose resumable state, which the built-ins do via their seeds.)
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PortfolioSearch {
     seed: u64,
     members: Vec<Member>,
@@ -81,7 +100,21 @@ pub struct PortfolioSearch {
     /// Shared best across all members.
     best: Option<(Point, f64)>,
     exhausted: bool,
+    oracle: Option<LegalityOracle>,
     tracer: Tracer,
+}
+
+impl std::fmt::Debug for PortfolioSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioSearch")
+            .field("seed", &self.seed)
+            .field("members", &self.members)
+            .field("credit", &self.credit)
+            .field("round", &self.round)
+            .field("exhausted", &self.exhausted)
+            .field("oracle", &self.oracle.is_some())
+            .finish()
+    }
 }
 
 impl Member {
@@ -90,16 +123,25 @@ impl Member {
             Member::Bandit => "bandit",
             Member::Anneal => "anneal",
             Member::Random => "random",
+            Member::Mcts => "mcts",
+            Member::Sampler => "sampler",
         }
     }
 }
 
 impl PortfolioSearch {
-    /// A portfolio of the bandit, the annealer, and uniform random.
+    /// A portfolio of all five built-in modules: the bandit, the
+    /// annealer, uniform random, MCTS, and the trace sampler.
     pub fn new(seed: u64) -> PortfolioSearch {
         PortfolioSearch {
             seed,
-            members: vec![Member::Bandit, Member::Anneal, Member::Random],
+            members: vec![
+                Member::Bandit,
+                Member::Anneal,
+                Member::Random,
+                Member::Mcts,
+                Member::Sampler,
+            ],
             round_share: 6,
             credit: Vec::new(),
             round: 0,
@@ -111,8 +153,15 @@ impl PortfolioSearch {
             pending: VecDeque::new(),
             best: None,
             exhausted: false,
+            oracle: None,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Per-member credits, in member-list order (for tests and the
+    /// tuning daemon's introspection endpoints).
+    pub fn credits(&self) -> &[f64] {
+        &self.credit
     }
 
     /// Overrides the member list.
@@ -127,23 +176,53 @@ impl PortfolioSearch {
         self
     }
 
-    fn open_session(&mut self) {
+    fn open_session(&mut self, space: &Space) {
         let mi = self.next_member;
         let share = ((self.credit[mi] / self.round_total)
             * (self.round_share * self.members.len()) as f64)
             .round()
             .max(1.0) as usize;
         let seed = self.seed ^ self.round.wrapping_mul(0x9e37_79b9) ^ mi as u64;
+        let inner = match self.members[mi] {
+            Member::Mcts => {
+                let mut m = Box::new(MctsTuner::new(seed ^ 0x517c_c1b7).with_sync_block(1));
+                m.attach_tracer(&self.tracer);
+                if let Some(oracle) = &self.oracle {
+                    m.attach_pruner(oracle);
+                }
+                m.begin(space, share * 4);
+                if let Some((p, v)) = &self.best {
+                    m.seed_observations(space, &[(p.clone(), *v)]);
+                }
+                Some(MemberInner::Mcts(m))
+            }
+            Member::Sampler => {
+                let mut m = Box::new(TraceSampler::new(seed ^ 0x517c_c1b7).with_sync_block(1));
+                m.attach_tracer(&self.tracer);
+                if let Some(oracle) = &self.oracle {
+                    m.attach_pruner(oracle);
+                }
+                m.begin(space, share * 4);
+                if let Some((p, v)) = &self.best {
+                    m.seed_observations(space, &[(p.clone(), *v)]);
+                }
+                Some(MemberInner::Sampler(m))
+            }
+            _ => None,
+        };
         self.session = Some(Session {
             member: self.members[mi],
             mi,
             serial: self.next_serial,
             rng: SplitMix64::new(seed),
+            inner,
             current: self.best.as_ref().map(|(p, _)| p.clone()),
             temperature: 0.2,
             spent: 0,
             proposals: 0,
             share,
+            observed: 0,
+            invalid: 0,
             before: self.best.as_ref().map(|(_, v)| *v),
         });
         self.next_serial += 1;
@@ -169,7 +248,24 @@ impl PortfolioSearch {
             _ => false,
         };
         let mi = session.mi;
-        self.credit[mi] = (self.credit[mi] * 0.7) + if improved { 1.0 } else { 0.1 };
+        if session.observed > 0 && session.invalid == session.observed {
+            // Every observed outcome this session was refused: the
+            // member is stuck proposing into a pruned region. Halve
+            // its credit with no participation floor, so the rest of
+            // the portfolio absorbs its share next round.
+            self.credit[mi] = (self.credit[mi] * 0.5).max(0.01);
+            let (member, round, credit) = (session.member, self.round, self.credit[mi]);
+            self.tracer.instant("search", "portfolio-demote", || {
+                vec![
+                    kv("member", member.label()),
+                    kv("round", round),
+                    kv("credit", credit),
+                    kv("refused", session.invalid as u64),
+                ]
+            });
+        } else {
+            self.credit[mi] = (self.credit[mi] * 0.7) + if improved { 1.0 } else { 0.1 };
+        }
         self.next_member += 1;
         if self.next_member >= self.members.len() {
             // Round boundary: a round that spent nothing (and has no
@@ -214,6 +310,10 @@ impl SearchModule for PortfolioSearch {
         self.tracer = tracer.clone();
     }
 
+    fn attach_pruner(&mut self, oracle: &LegalityOracle) {
+        self.oracle = Some(std::sync::Arc::clone(oracle));
+    }
+
     fn propose(&mut self, space: &Space) -> Option<Point> {
         if self.members.is_empty() || self.exhausted {
             return None;
@@ -227,31 +327,52 @@ impl SearchModule for PortfolioSearch {
                     if self.exhausted {
                         return None;
                     }
+                    continue;
                 }
-                Some(_) => break,
-                None => self.open_session(),
+                Some(_) => {}
+                None => {
+                    self.open_session(space);
+                }
+            }
+            let best = self.best.as_ref().map(|(p, _)| p.clone());
+            let session = self.session.as_mut().expect("active session");
+            session.proposals += 1;
+            let proposal = match &mut session.inner {
+                Some(MemberInner::Mcts(m)) => m.propose(space),
+                Some(MemberInner::Sampler(m)) => m.propose(space),
+                None => {
+                    let rng = &mut session.rng;
+                    Some(match session.member {
+                        Member::Bandit => match &best {
+                            Some(b) if rng.chance(0.75) => {
+                                let strength = 1 + rng.below_usize(3);
+                                space.mutate(b, strength, rng)
+                            }
+                            _ => space.random_point(rng),
+                        },
+                        Member::Anneal => match session.current.clone() {
+                            Some(point) if !rng.chance(0.15) => space.mutate(&point, 1, rng),
+                            _ => space.random_point(rng),
+                        },
+                        _ => space.random_point(rng),
+                    })
+                }
+            };
+            match proposal {
+                Some(point) => {
+                    self.pending.push_back((session.serial, session.mi));
+                    return Some(point);
+                }
+                None => {
+                    // The stateful member dried up (exhausted its
+                    // reachable region): retire the session early.
+                    self.close_session();
+                    if self.exhausted {
+                        return None;
+                    }
+                }
             }
         }
-        let best = self.best.as_ref().map(|(p, _)| p.clone());
-        let session = self.session.as_mut().expect("active session");
-        session.proposals += 1;
-        let rng = &mut session.rng;
-        let proposal = match session.member {
-            Member::Random => space.random_point(rng),
-            Member::Bandit => match &best {
-                Some(b) if rng.chance(0.75) => {
-                    let strength = 1 + rng.below_usize(3);
-                    space.mutate(b, strength, rng)
-                }
-                _ => space.random_point(rng),
-            },
-            Member::Anneal => match session.current.clone() {
-                Some(point) if !rng.chance(0.15) => space.mutate(&point, 1, rng),
-                _ => space.random_point(rng),
-            },
-        };
-        self.pending.push_back((session.serial, session.mi));
-        Some(proposal)
     }
 
     fn observe(&mut self, point: &Point, objective: Objective, fresh: bool) {
@@ -260,7 +381,7 @@ impl SearchModule for PortfolioSearch {
         };
         let before = self.best.as_ref().map(|(_, v)| *v);
         if let Objective::Value(v) = objective {
-            if before.is_none_or(|b| v < b) {
+            if v.is_finite() && before.is_none_or(|b| v < b) {
                 self.best = Some((point.clone(), v));
             }
         }
@@ -273,8 +394,19 @@ impl SearchModule for PortfolioSearch {
         if session.serial != serial {
             return; // proposal from an already-retired session
         }
+        session.observed += 1;
+        if matches!(objective, Objective::Invalid) {
+            session.invalid += 1;
+        }
         if fresh && !matches!(objective, Objective::Invalid) {
             session.spent += 1;
+        }
+        if let Some(inner) = &mut session.inner {
+            match inner {
+                MemberInner::Mcts(m) => m.observe(point, objective, fresh),
+                MemberInner::Sampler(m) => m.observe(point, objective, fresh),
+            }
+            return; // stateful members keep their own walking state
         }
         // Member-local acceptance (annealing keeps a walking point).
         match (session.member, objective) {

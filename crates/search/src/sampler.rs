@@ -1,0 +1,473 @@
+//! Probabilistic-trace sampling over decision sites.
+//!
+//! Where [`crate::MctsTuner`] builds an explicit tree over the decision
+//! sites of a [`Space`], [`TraceSampler`] treats a point as a *trace* —
+//! one decision index per site — and learns an independent categorical
+//! distribution per site, in the style of TVM MetaSchedule's trace
+//! sampling and classic cross-entropy search:
+//!
+//! 1. sample a trace site-by-site from the current distributions
+//!    (uniform before any evidence),
+//! 2. observe objectives, keep the best `ELITE_K` traces seen so far,
+//! 3. at every [`OBSERVATION_BLOCK`] boundary refit each site's
+//!    distribution to the rank-weighted decisions of the elites.
+//!
+//! An exploration floor that *grows* with the number of refits mixes
+//! uniform noise back in, so the sampler cannot collapse onto its
+//! elites and stall: it starts fully exploiting warm-start evidence
+//! (generation 0 after [`SearchModule::seed_observations`] samples the
+//! elite trace exactly) and drifts toward broader sampling as the
+//! fitted distributions concentrate.
+//!
+//! Like the MCTS module, observations integrate only at full block
+//! boundaries (sequential and batch-parallel drives are bit-identical),
+//! proposals are deduplicated against everything already proposed or
+//! seeded, oracle-refused candidates are recorded and retried with
+//! escalating exploration, and a dried-up sampler stays finished.
+
+use std::collections::{BTreeMap, HashSet};
+
+use locus_space::{Point, Space, SplitMix64};
+use locus_trace::{kv, Tracer};
+
+use crate::{LegalityOracle, Objective, SearchModule, OBSERVATION_BLOCK};
+
+/// Elite traces kept for refitting.
+const ELITE_K: usize = 8;
+
+/// Sampling attempts per `propose` call before declaring the space dry.
+const MAX_PROPOSE_TRIES: usize = 64;
+
+/// Generative trace sampler with per-site categorical distributions
+/// (see the module docs).
+#[derive(Clone)]
+pub struct TraceSampler {
+    seed: u64,
+    sync_block: usize,
+    // Per-run state, reset by `begin`.
+    rng: SplitMix64,
+    arities: Vec<u128>,
+    /// Per-site fitted distribution; an empty map means uniform.
+    dists: Vec<BTreeMap<u128, f64>>,
+    /// Best `(value, trace)` pairs seen, sorted ascending by value.
+    elites: Vec<(f64, Vec<u128>)>,
+    /// Canonical keys of every point proposed or seeded — own dedup.
+    proposed: HashSet<String>,
+    /// Traces of in-flight proposals, in proposal order.
+    pending: std::collections::VecDeque<Vec<u128>>,
+    /// Observed-but-unintegrated `(trace, objective)` pairs.
+    buffer: Vec<(Vec<u128>, Objective)>,
+    /// Completed refits; drives the exploration schedule.
+    generation: u64,
+    finished: bool,
+    oracle: Option<LegalityOracle>,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for TraceSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSampler")
+            .field("seed", &self.seed)
+            .field("sites", &self.arities.len())
+            .field("elites", &self.elites.len())
+            .field("proposed", &self.proposed.len())
+            .field("generation", &self.generation)
+            .field("finished", &self.finished)
+            .field("oracle", &self.oracle.is_some())
+            .finish()
+    }
+}
+
+impl TraceSampler {
+    /// Creates a sampler.
+    pub fn new(seed: u64) -> TraceSampler {
+        TraceSampler {
+            seed,
+            sync_block: OBSERVATION_BLOCK,
+            rng: SplitMix64::new(seed),
+            arities: Vec::new(),
+            dists: Vec::new(),
+            elites: Vec::new(),
+            proposed: HashSet::new(),
+            pending: std::collections::VecDeque::new(),
+            buffer: Vec::new(),
+            generation: 0,
+            finished: false,
+            oracle: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Overrides the observation block size (default
+    /// [`OBSERVATION_BLOCK`]); see [`crate::MctsTuner::with_sync_block`].
+    pub fn with_sync_block(mut self, n: usize) -> TraceSampler {
+        self.sync_block = n.max(1);
+        self
+    }
+
+    /// Exploration rate at the current generation: no noise right after
+    /// seeding (a degenerate single-elite prior reproduces its trace
+    /// exactly), growing 5 points per refit up to one half.
+    fn explore_rate(&self) -> f64 {
+        (0.05 * self.generation as f64).min(0.5)
+    }
+
+    /// Samples one decision at `site`, mixing the fitted categorical
+    /// with uniform noise at rate `explore`.
+    fn sample_site(&mut self, site: usize, explore: f64) -> u128 {
+        let cap = self.arities[site].min(u64::MAX as u128).max(1) as u64;
+        if self.dists[site].is_empty() || self.rng.chance(explore) {
+            return u128::from(self.rng.below(cap));
+        }
+        let mut roll = self.rng.next_f64();
+        let mut last = 0u128;
+        for (&value, &weight) in &self.dists[site] {
+            last = value;
+            roll -= weight;
+            if roll <= 0.0 {
+                return value;
+            }
+        }
+        last
+    }
+
+    /// Samples one full trace from the current distributions (public so
+    /// property tests can probe the generative model directly, without
+    /// the propose-path dedup).
+    pub fn sample_trace(&mut self) -> Vec<u128> {
+        let explore = self.explore_rate();
+        (0..self.arities.len())
+            .map(|site| self.sample_site(site, explore))
+            .collect()
+    }
+
+    /// The fitted per-site distributions; an empty map means uniform.
+    pub fn site_distributions(&self) -> &[BTreeMap<u128, f64>] {
+        &self.dists
+    }
+
+    /// Inserts one elite candidate, keeping the list sorted, deduped by
+    /// trace, and truncated to [`ELITE_K`].
+    fn push_elite(&mut self, value: f64, trace: Vec<u128>) {
+        if !value.is_finite() || self.elites.iter().any(|(_, t)| *t == trace) {
+            return;
+        }
+        let at = self
+            .elites
+            .partition_point(|(v, t)| (*v, t.as_slice()) < (value, trace.as_slice()));
+        self.elites.insert(at, (value, trace));
+        self.elites.truncate(ELITE_K);
+    }
+
+    /// Refits every site distribution to the rank-weighted elites.
+    fn refit(&mut self) {
+        if self.elites.is_empty() {
+            return;
+        }
+        for (site, dist) in self.dists.iter_mut().enumerate() {
+            dist.clear();
+            let mut total = 0.0;
+            for (rank, (_, trace)) in self.elites.iter().enumerate() {
+                let w = 1.0 / (rank as f64 + 1.0);
+                *dist.entry(trace[site]).or_insert(0.0) += w;
+                total += w;
+            }
+            for weight in dist.values_mut() {
+                *weight /= total;
+            }
+        }
+    }
+
+    /// Folds one observed block into the elites and refits. Uses no
+    /// randomness, so integration timing cannot perturb proposals.
+    fn integrate(&mut self) {
+        let block = std::mem::take(&mut self.buffer);
+        let count = block.len() as u64;
+        for (trace, obj) in block {
+            if let Objective::Value(v) = obj {
+                if v.is_finite() {
+                    self.push_elite(v, trace);
+                }
+            }
+        }
+        self.refit();
+        self.generation += 1;
+        let (generation, elites) = (self.generation, self.elites.len() as u64);
+        self.tracer.instant("search", "sampler-fit", || {
+            vec![
+                kv("generation", generation),
+                kv("block", count),
+                kv("elites", elites),
+            ]
+        });
+    }
+}
+
+impl Default for TraceSampler {
+    fn default() -> TraceSampler {
+        TraceSampler::new(0x7a5e)
+    }
+}
+
+impl SearchModule for TraceSampler {
+    fn name(&self) -> &str {
+        "sampler (probabilistic trace sampling)"
+    }
+
+    fn begin(&mut self, space: &Space, _budget: usize) {
+        self.rng = SplitMix64::new(self.seed);
+        self.arities = space
+            .decision_sites()
+            .into_iter()
+            .map(|s| s.arity)
+            .collect();
+        self.dists = vec![BTreeMap::new(); self.arities.len()];
+        self.elites.clear();
+        self.proposed.clear();
+        self.pending.clear();
+        self.buffer.clear();
+        self.generation = 0;
+        self.finished = false;
+        let sites = self.arities.len();
+        self.tracer.instant("search", "sampler-begin", || {
+            vec![
+                kv("sites", sites as u64),
+                kv("size", format!("{}", space.size())),
+            ]
+        });
+    }
+
+    fn seed_observations(&mut self, space: &Space, prior: &[(Point, f64)]) {
+        for (point, value) in prior {
+            let Some(trace) = space.trace_of(point) else {
+                continue;
+            };
+            self.proposed.insert(point.canonical_key());
+            if let Some(snapped) = space.point_from_trace(&trace) {
+                self.proposed.insert(snapped.canonical_key());
+            }
+            if value.is_finite() {
+                self.push_elite(*value, trace);
+            }
+        }
+        // Fit to the warm-start evidence but stay at generation 0: the
+        // first samples exploit the store's elites with no noise.
+        self.refit();
+        let elites = self.elites.len() as u64;
+        self.tracer
+            .instant("search", "sampler-seed", || vec![kv("elites", elites)]);
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    fn attach_pruner(&mut self, oracle: &LegalityOracle) {
+        self.oracle = Some(std::sync::Arc::clone(oracle));
+    }
+
+    fn propose(&mut self, space: &Space) -> Option<Point> {
+        if self.finished {
+            return None;
+        }
+        if self.arities.is_empty() {
+            let point = Point::new();
+            if self.proposed.insert(point.canonical_key()) {
+                self.pending.push_back(Vec::new());
+                return Some(point);
+            }
+            self.finished = true;
+            return None;
+        }
+        let base = self.explore_rate();
+        for attempt in 0..MAX_PROPOSE_TRIES {
+            // Escalate toward uniform sampling as collisions mount, so
+            // concentrated distributions cannot dry the sampler out.
+            let explore = (base + attempt as f64 * 0.2).min(1.0);
+            let trace: Vec<u128> = (0..self.arities.len())
+                .map(|site| self.sample_site(site, explore))
+                .collect();
+            let point = space
+                .point_from_trace(&trace)
+                .expect("sampled trace stays inside the space");
+            let key = point.canonical_key();
+            if self.proposed.contains(&key) {
+                continue;
+            }
+            if let Some(oracle) = &self.oracle {
+                if !oracle(&point) {
+                    self.proposed.insert(key);
+                    self.tracer.instant("search", "sampler-prune", || {
+                        vec![kv("point", point.canonical_key())]
+                    });
+                    continue;
+                }
+            }
+            self.proposed.insert(key);
+            let generation = self.generation;
+            self.pending.push_back(trace);
+            self.tracer.instant("search", "sampler-propose", || {
+                vec![
+                    kv("generation", generation),
+                    kv("attempt", attempt as u64),
+                    kv("point", point.canonical_key()),
+                ]
+            });
+            return Some(point);
+        }
+        self.finished = true;
+        None
+    }
+
+    fn observe(&mut self, _point: &Point, objective: Objective, _fresh: bool) {
+        let Some(trace) = self.pending.pop_front() else {
+            return;
+        };
+        self.buffer.push((trace, objective));
+        if self.buffer.len() >= self.sync_block {
+            self.integrate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use locus_space::{ParamDef, ParamKind, ParamValue};
+
+    #[test]
+    fn converges_on_the_quadratic_space() {
+        let space = quadratic_space();
+        let mut f = quadratic_objective;
+        let out = TraceSampler::new(3).search(&space, 160, &mut f);
+        let (_, best) = out.best.unwrap();
+        assert!(best < 1.0, "sampler best {best}");
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let space = quadratic_space();
+        let mut f1 = quadratic_objective;
+        let mut f2 = quadratic_objective;
+        let a = TraceSampler::new(7).search(&space, 60, &mut f1);
+        let b = TraceSampler::new(7).search(&space, 60, &mut f2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn never_reproposes_and_exhausts_tiny_spaces() {
+        let space: Space = vec![
+            ParamDef::new("x", ParamKind::Bool),
+            ParamDef::new(
+                "y",
+                ParamKind::Enum(vec!["p".into(), "q".into(), "r".into()]),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let mut m = TraceSampler::new(11);
+        m.begin(&space, 50);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = m.propose(&space) {
+            assert!(seen.insert(p.canonical_key()), "duplicate proposal");
+            m.observe(&p, Objective::Value(seen.len() as f64), true);
+        }
+        assert_eq!(seen.len(), 6, "the whole 2x3 space must be enumerated");
+        assert!(m.propose(&space).is_none(), "finished is sticky");
+    }
+
+    #[test]
+    fn fitted_distributions_are_normalized() {
+        let space = quadratic_space();
+        let mut m = TraceSampler::new(13).with_sync_block(4);
+        m.begin(&space, 100);
+        for i in 0..40 {
+            let Some(p) = m.propose(&space) else { break };
+            let obj = if i % 5 == 0 {
+                Objective::Invalid
+            } else {
+                quadratic_objective(&p)
+            };
+            m.observe(&p, obj, true);
+        }
+        for dist in m.site_distributions() {
+            if dist.is_empty() {
+                continue;
+            }
+            let total: f64 = dist.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "unnormalized: {total}");
+            assert!(dist.values().all(|w| *w > 0.0));
+        }
+    }
+
+    #[test]
+    fn single_elite_seed_reproduces_the_elite_trace() {
+        let space = quadratic_space();
+        let elite = {
+            let mut p = Point::new();
+            p.set("tile", ParamValue::Int(32));
+            p.set("alg", ParamValue::Choice(1));
+            p.set("n", ParamValue::Int(10));
+            p
+        };
+        let mut m = TraceSampler::new(17);
+        m.begin(&space, 60);
+        m.seed_observations(&space, &[(elite.clone(), 1.0)]);
+        let elite_trace = space.trace_of(&elite).unwrap();
+        // Generation 0 after seeding: zero exploration, and every site
+        // distribution is degenerate — sampling must reproduce the
+        // elite's trace exactly, every time.
+        for _ in 0..20 {
+            assert_eq!(m.sample_trace(), elite_trace);
+        }
+        // The propose path, by contrast, must never re-emit the seeded
+        // elite itself.
+        let elite_key = elite.canonical_key();
+        for _ in 0..30 {
+            let Some(p) = m.propose(&space) else { break };
+            assert_ne!(p.canonical_key(), elite_key, "re-proposed the elite");
+            m.observe(&p, quadratic_objective(&p), true);
+        }
+    }
+
+    #[test]
+    fn oracle_refusals_are_never_proposed() {
+        let space = quadratic_space();
+        let mut m = TraceSampler::new(19);
+        let oracle: crate::LegalityOracle = std::sync::Arc::new(
+            |p: &Point| matches!(p.get("tile"), Some(ParamValue::Int(v)) if *v <= 32),
+        );
+        m.attach_pruner(&oracle);
+        m.begin(&space, 120);
+        let mut proposals = 0;
+        while let Some(p) = m.propose(&space) {
+            let tile = p.get("tile").and_then(|v| v.as_int()).unwrap();
+            assert!(tile <= 32, "illegal point proposed: tile {tile}");
+            m.observe(&p, quadratic_objective(&p), true);
+            proposals += 1;
+            if proposals >= 150 {
+                break;
+            }
+        }
+        assert!(proposals > 20, "legal region barely explored: {proposals}");
+    }
+
+    #[test]
+    fn non_finite_feedback_does_not_panic_or_poison() {
+        let space = quadratic_space();
+        let mut i = 0usize;
+        let mut f = |p: &Point| {
+            i += 1;
+            match i % 4 {
+                0 => Objective::Value(f64::NAN),
+                1 => Objective::Value(f64::NEG_INFINITY),
+                2 => Objective::Error,
+                _ => quadratic_objective(p),
+            }
+        };
+        let out = TraceSampler::new(23).search(&space, 60, &mut f);
+        let (_, best) = out.best.expect("finite evaluations exist");
+        assert!(best.is_finite());
+    }
+}

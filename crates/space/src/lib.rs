@@ -28,4 +28,4 @@ pub mod space;
 pub use param::{ParamDef, ParamKind, ParamValue};
 pub use point::Point;
 pub use rng::SplitMix64;
-pub use space::Space;
+pub use space::{DecisionSite, Space};

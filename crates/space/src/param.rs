@@ -150,6 +150,49 @@ impl ParamKind {
         }
     }
 
+    /// The enumeration index of `value` within this domain — the
+    /// inverse of [`ParamKind::value_at`]. Exact for on-grid values;
+    /// off-grid numeric values (the continuous draws
+    /// [`ParamKind::random`] produces for the log kinds) snap to the
+    /// nearest grid index, and out-of-range integers clamp to the
+    /// domain bounds. Returns `None` when the value's shape does not
+    /// match the domain (e.g. a `Perm` for an `Integer`, or a
+    /// permutation of the wrong length).
+    pub fn index_of(&self, value: &ParamValue) -> Option<u128> {
+        match (self, value) {
+            (ParamKind::Enum(labels), ParamValue::Choice(c)) => {
+                (*c < labels.len().max(1)).then_some(*c as u128)
+            }
+            (ParamKind::Bool, ParamValue::Choice(c)) => (*c < 2).then_some(*c as u128),
+            (ParamKind::Integer { min, max }, ParamValue::Int(v))
+            | (ParamKind::LogInteger { min, max }, ParamValue::Int(v)) => {
+                if max < min {
+                    return Some(0);
+                }
+                Some(((*v).clamp(*min, *max) - min) as u128)
+            }
+            (ParamKind::PowerOfTwo { min, max }, ParamValue::Int(v)) => {
+                let values = pow2_values(*min, *max);
+                let pos = values
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, x)| (*x - *v).unsigned_abs())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                Some(pos as u128)
+            }
+            (ParamKind::Float { min, max, steps }, ParamValue::Float(v)) => {
+                Some(grid_index(*min, *max, *steps, *v))
+            }
+            (ParamKind::LogFloat { min, max, steps }, ParamValue::Float(v)) => {
+                let (lmin, lmax) = (min.max(1e-12).ln(), max.max(1e-12).ln());
+                Some(grid_index(lmin, lmax, *steps, v.max(1e-12).ln()))
+            }
+            (ParamKind::Permutation(n), ParamValue::Perm(p)) if p.len() == *n => perm_rank(p),
+            _ => None,
+        }
+    }
+
     /// Samples a uniform random value (log-uniform for the log kinds).
     pub fn random(&self, rng: &mut SplitMix64) -> ParamValue {
         match self {
@@ -229,6 +272,37 @@ fn grid(min: f64, max: f64, steps: u32, index: u32) -> f64 {
         return min;
     }
     min + (max - min) * f64::from(index) / f64::from(steps - 1)
+}
+
+/// Nearest grid index of `v` on the [`grid`] of the same bounds — the
+/// snapping inverse used by [`ParamKind::index_of`].
+fn grid_index(min: f64, max: f64, steps: u32, v: f64) -> u128 {
+    if steps <= 1 || max <= min || !v.is_finite() {
+        return 0;
+    }
+    let raw = ((v - min) / (max - min) * f64::from(steps - 1)).round();
+    (raw.clamp(0.0, f64::from(steps - 1))) as u128
+}
+
+/// Lexicographic rank of a permutation of `0..n` — the inverse of
+/// [`nth_permutation`]. `None` when `p` is not a permutation.
+fn perm_rank(p: &[usize]) -> Option<u128> {
+    let n = p.len();
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut rank: u128 = 0;
+    let mut fact: u128 = (1..n as u128).product::<u128>().max(1); // (n-1)!
+    for (k, &x) in p.iter().enumerate() {
+        let pos = items.iter().position(|&i| i == x)?;
+        rank += pos as u128 * fact;
+        items.remove(pos);
+        let remaining = n - 1 - k;
+        if remaining > 1 {
+            fact /= remaining as u128;
+        } else {
+            fact = 1;
+        }
+    }
+    Some(rank)
 }
 
 /// The `index`-th permutation of `0..n` in lexicographic order
@@ -371,6 +445,59 @@ mod tests {
             };
             assert!((1..=1000).contains(&v));
         }
+    }
+
+    #[test]
+    fn index_of_inverts_value_at_on_every_kind() {
+        let kinds = [
+            ParamKind::Enum(vec!["a".into(), "b".into(), "c".into()]),
+            ParamKind::Bool,
+            ParamKind::Integer { min: -3, max: 9 },
+            ParamKind::PowerOfTwo { min: 2, max: 512 },
+            ParamKind::LogInteger { min: 1, max: 40 },
+            ParamKind::Float {
+                min: 0.5,
+                max: 4.5,
+                steps: 9,
+            },
+            ParamKind::LogFloat {
+                min: 0.1,
+                max: 10.0,
+                steps: 7,
+            },
+            ParamKind::Permutation(5),
+        ];
+        for k in &kinds {
+            for i in 0..k.cardinality() {
+                assert_eq!(k.index_of(&k.value_at(i)), Some(i), "kind {k:?} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_snaps_off_grid_and_rejects_mismatched_shapes() {
+        // Off-grid pow2 value snaps to the nearest power.
+        let k = ParamKind::PowerOfTwo { min: 2, max: 32 };
+        assert_eq!(k.index_of(&ParamValue::Int(9)), Some(2)); // 8
+                                                              // Out-of-range integers clamp.
+        let k = ParamKind::Integer { min: 1, max: 8 };
+        assert_eq!(k.index_of(&ParamValue::Int(99)), Some(7));
+        // Continuous log-float draws snap onto the grid.
+        let k = ParamKind::LogFloat {
+            min: 0.1,
+            max: 10.0,
+            steps: 7,
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            let idx = k.index_of(&k.random(&mut r)).unwrap();
+            assert!(idx < k.cardinality());
+        }
+        // Shape mismatches are refused, including non-permutations.
+        assert_eq!(k.index_of(&ParamValue::Int(3)), None);
+        let k = ParamKind::Permutation(3);
+        assert_eq!(k.index_of(&ParamValue::Perm(vec![0, 0, 2])), None);
+        assert_eq!(k.index_of(&ParamValue::Perm(vec![0, 1])), None);
     }
 
     #[test]

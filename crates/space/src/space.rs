@@ -10,6 +10,19 @@ pub struct Space {
     params: Vec<ParamDef>,
 }
 
+/// One decision site of a space: a parameter viewed as a node of the
+/// decision tree (see [`Space::decision_sites`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionSite {
+    /// Position in declaration order — the depth at which a sequential
+    /// sampler decides this site.
+    pub index: usize,
+    /// The parameter id.
+    pub id: String,
+    /// Number of alternatives at this site (the parameter cardinality).
+    pub arity: u128,
+}
+
 impl Space {
     /// An empty space (a single trivial variant).
     pub fn new() -> Space {
@@ -137,6 +150,58 @@ impl Space {
             point.set(p.id.clone(), p.kind.value_at(digit));
         }
         point
+    }
+
+    /// The decision sites of this space, in declaration order.
+    ///
+    /// A *decision site* is one parameter viewed as a node of the
+    /// decision tree a sequential sampler walks: OR blocks, optional
+    /// statements and value constructs each contribute one site whose
+    /// arity is the parameter's cardinality. Dependent parameters (a
+    /// `poweroftwo(2..tileI)` bounded by an earlier tile) keep their
+    /// statically inferred outer arity here; the per-point revalidation
+    /// at build time reports out-of-range combinations invalid, so
+    /// tree/trace searches learn the true conditional structure from
+    /// observed refusals.
+    pub fn decision_sites(&self) -> Vec<DecisionSite> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(index, p)| DecisionSite {
+                index,
+                id: p.id.clone(),
+                arity: p.kind.cardinality(),
+            })
+            .collect()
+    }
+
+    /// Encodes a point as a *trace*: one decision index per site, in
+    /// declaration order ([`ParamKind::index_of`](crate::ParamKind::index_of) per parameter, so
+    /// off-grid numeric values snap to the nearest grid index).
+    /// `None` when the point misses a parameter or a value's shape does
+    /// not match its domain.
+    pub fn trace_of(&self, point: &Point) -> Option<Vec<u128>> {
+        self.params
+            .iter()
+            .map(|p| p.kind.index_of(point.get(&p.id)?))
+            .collect()
+    }
+
+    /// Decodes a trace of per-site decision indices back into a point —
+    /// the inverse of [`Space::trace_of`] for on-grid points. `None`
+    /// when the trace length or any index is out of range.
+    pub fn point_from_trace(&self, trace: &[u128]) -> Option<Point> {
+        if trace.len() != self.params.len() {
+            return None;
+        }
+        let mut point = Point::new();
+        for (p, &idx) in self.params.iter().zip(trace) {
+            if idx >= p.kind.cardinality() {
+                return None;
+            }
+            point.set(p.id.clone(), p.kind.value_at(idx));
+        }
+        Some(point)
     }
 
     /// Samples a uniform random point.
@@ -356,6 +421,56 @@ mod tests {
         let full = space.complete(&partial, &mut r);
         assert_eq!(full.len(), 3);
         assert_eq!(full.get("tileI"), Some(&ParamValue::Int(4)));
+    }
+
+    #[test]
+    fn decision_sites_follow_declaration_order() {
+        let sites = fig5_space().decision_sites();
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].id, "tileI");
+        assert_eq!(sites[0].index, 0);
+        assert_eq!(sites[0].arity, 5);
+        assert_eq!(sites[2].id, "or:tiletype");
+        assert_eq!(sites[2].arity, 2);
+    }
+
+    #[test]
+    fn traces_round_trip_through_points() {
+        let space = fig5_space();
+        for i in 0..space.size() {
+            let p = space.point_at(i);
+            let trace = space.trace_of(&p).expect("on-grid point encodes");
+            let q = space.point_from_trace(&trace).expect("trace decodes");
+            assert_eq!(p, q, "index {i}");
+        }
+        // Random points (possibly off-grid for log kinds) still encode,
+        // and the decoded point re-encodes to the same trace.
+        let mut r = rng();
+        let mut space = fig5_space();
+        space.add(ParamDef::new(
+            "n",
+            ParamKind::LogInteger { min: 1, max: 64 },
+        ));
+        for _ in 0..50 {
+            let p = space.random_point(&mut r);
+            let trace = space.trace_of(&p).expect("random point encodes");
+            let q = space.point_from_trace(&trace).expect("trace decodes");
+            assert_eq!(space.trace_of(&q).unwrap(), trace);
+        }
+    }
+
+    #[test]
+    fn malformed_traces_and_points_are_refused() {
+        let space = fig5_space();
+        assert_eq!(space.point_from_trace(&[0, 0]), None, "short trace");
+        assert_eq!(space.point_from_trace(&[0, 0, 99]), None, "index range");
+        let partial: Point = vec![("tileI".to_string(), ParamValue::Int(4))]
+            .into_iter()
+            .collect();
+        assert_eq!(space.trace_of(&partial), None, "missing params");
+        assert_eq!(space.trace_of(&Point::new()), None);
+        assert_eq!(Space::new().trace_of(&Point::new()), Some(Vec::new()));
+        assert_eq!(Space::new().point_from_trace(&[]), Some(Point::new()));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The paper's Sec. VII future work, implemented: combining multiple
 //! search modules in the same run. The portfolio races the bandit
-//! (OpenTuner-like), the annealer (Hyperopt-like) and uniform random
-//! over one shared memo table, shifting budget toward whichever module
+//! (OpenTuner-like), the annealer (Hyperopt-like), uniform random,
+//! Monte-Carlo tree search and the probabilistic trace sampler over
+//! one shared memo table, shifting budget toward whichever module
 //! keeps improving the shared best.
 //!
 //! Run with: `cargo run --release --example portfolio_search`
 
 use locus::machine::{Machine, MachineConfig};
-use locus::search::{AnnealTuner, BanditTuner, PortfolioSearch, RandomSearch, SearchModule};
+use locus::search::{
+    AnnealTuner, BanditTuner, MctsTuner, PortfolioSearch, RandomSearch, SearchModule, TraceSampler,
+};
 use locus::system::LocusSystem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,9 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.outcome.duplicates
         );
     };
-    run("portfolio (all three)", &mut PortfolioSearch::new(7));
+    run("portfolio (all five)", &mut PortfolioSearch::new(7));
     run("bandit alone", &mut BanditTuner::new(7));
     run("annealing alone", &mut AnnealTuner::new(7));
     run("random alone", &mut RandomSearch::new(7));
+    run("mcts alone", &mut MctsTuner::new(7));
+    run("trace sampler alone", &mut TraceSampler::new(7));
     Ok(())
 }

@@ -37,6 +37,12 @@ cargo test -q --offline --test corpus_conformance
 # and counter accounting (proposed == memo + store + fresh + pruned).
 cargo test -q --offline --test report_golden
 cargo test -q --offline --test parallel_determinism
+# Search-module conformance: every module passes the shared trait suite
+# (per-seed determinism, batch ≡ repeated propose, seeded priors and
+# refused points never re-proposed, NaN robustness, tiny-space
+# termination) plus the trace-sampler model properties and pinned fit.
+cargo test -q --offline --test search_conformance
+cargo test -q --offline --test trace_sampler_props
 # Tuning service: N concurrent daemon clients bit-identical to direct
 # library calls, a poisoned request isolated by the supervisor, and the
 # wire protocol surviving seeded fuzz without ever dropping a reply.
@@ -59,6 +65,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # Verdict-precision smoke: at least one triangular registry entry must
 # admit a legal restructuring the conservative engine refused.
 ./target/release/bench_verify --check
+
+# Search shoot-out in check mode: MCTS or the trace sampler must beat
+# both the bandit and the annealer on evaluations-to-best-known for at
+# least one corpus family, and the extended portfolio must not regress
+# against its pre-extension composition on any family.
+./target/release/bench_search --check
 
 # Daemon bench smoke in check mode: zero error replies, the warm phase
 # re-measures nothing and beats the cold wall-clock, and a poisoned

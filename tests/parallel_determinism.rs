@@ -121,6 +121,14 @@ fn thread_count_is_invariant_for_adaptive_modules() {
         "portfolio",
         Box::new(|| Box::new(locus::search::PortfolioSearch::new(7))),
     ));
+    make.push((
+        "mcts",
+        Box::new(|| Box::new(locus::search::MctsTuner::new(7))),
+    ));
+    make.push((
+        "sampler",
+        Box::new(|| Box::new(locus::search::TraceSampler::new(7))),
+    ));
 
     for (name, factory) in &mut make {
         let mut reference: Option<Fingerprint> = None;
@@ -145,30 +153,27 @@ fn thread_count_is_invariant_for_adaptive_modules() {
 /// search seed reproduce the same trajectory — proposal history, best
 /// point and objective, bit for bit — and the warm replay of an
 /// unchanged source re-measures nothing.
-#[test]
-fn warm_start_from_one_store_file_is_deterministic() {
-    use locus::search::BanditTuner;
+fn warm_start_roundtrip(module: &str, make: &dyn Fn() -> Box<dyn SearchModule>) {
     use locus::store::TuningStore;
 
     let source = dgemm_program(8);
     let locus = fig7_small();
     let system = tiny_system(1);
     let budget = 32;
-    let seed = 0x5eed;
 
     let dir = std::env::temp_dir();
-    let tag = format!("{}-warm-determinism", std::process::id());
+    let tag = format!("{}-warm-determinism-{module}", std::process::id());
     let cold_path = dir.join(format!("locus-{tag}-cold.jsonl"));
     std::fs::remove_file(&cold_path).ok();
 
     // Cold session builds the store.
     {
         let mut store = TuningStore::open(&cold_path).unwrap();
-        let mut search = BanditTuner::new(seed);
+        let mut search = make();
         let (_, report) = system
-            .tune_parallel_with_store(&source, &locus, &mut search, budget, 4, &mut store)
+            .tune_parallel_with_store(&source, &locus, search.as_mut(), budget, 4, &mut store)
             .unwrap();
-        assert!(report.evaluations() > 0);
+        assert!(report.evaluations() > 0, "{module}: cold run evaluated");
     }
 
     // Two warm sessions, each against its own copy of the same file (a
@@ -179,9 +184,16 @@ fn warm_start_from_one_store_file_is_deterministic() {
         let path = dir.join(format!("locus-{tag}-warm{i}.jsonl"));
         std::fs::copy(&cold_path, &path).unwrap();
         let mut store = TuningStore::open(&path).unwrap();
-        let mut search = BanditTuner::new(seed);
+        let mut search = make();
         let (result, report) = system
-            .tune_parallel_with_store(&source, &locus, &mut search, budget, threads, &mut store)
+            .tune_parallel_with_store(
+                &source,
+                &locus,
+                search.as_mut(),
+                budget,
+                threads,
+                &mut store,
+            )
             .unwrap();
         std::fs::remove_file(&path).ok();
         runs.push((fingerprint(&result), result.outcome.history.clone(), report));
@@ -190,21 +202,89 @@ fn warm_start_from_one_store_file_is_deterministic() {
 
     let (fp_a, history_a, report_a) = &runs[0];
     let (fp_b, history_b, report_b) = &runs[1];
-    assert_eq!(fp_a, fp_b, "same store + same seed must agree on the best");
+    assert_eq!(
+        fp_a, fp_b,
+        "{module}: same store + same seed must agree on the best"
+    );
     let bits = |h: &[(usize, f64)]| -> Vec<(usize, u64)> {
         h.iter().map(|(i, v)| (*i, v.to_bits())).collect()
     };
     assert_eq!(
         bits(history_a),
         bits(history_b),
-        "improvement trajectory must be bit-identical"
+        "{module}: improvement trajectory must be bit-identical"
     );
     assert_eq!(report_a.seeded, report_b.seeded);
     assert!(
         report_a.seeded > 0,
-        "warm sessions were seeded from the store"
+        "{module}: warm sessions were seeded from the store"
     );
     assert_eq!(report_a.rehydrated, report_b.rehydrated);
+}
+
+#[test]
+fn warm_start_from_one_store_file_is_deterministic() {
+    warm_start_roundtrip("bandit", &|| {
+        Box::new(locus::search::BanditTuner::new(0x5eed))
+    });
+}
+
+/// The block-buffering modules warm-start deterministically too: store
+/// elites force tree paths (MCTS) / fit distributions (sampler) the
+/// same way at every thread count.
+#[test]
+fn warm_start_is_deterministic_for_block_modules() {
+    warm_start_roundtrip("mcts", &|| Box::new(locus::search::MctsTuner::new(0x5eed)));
+    warm_start_roundtrip("sampler", &|| {
+        Box::new(locus::search::TraceSampler::new(0x5eed))
+    });
+}
+
+/// The MCTS and trace-sampler modules integrate observations in blocks
+/// of [`locus::search::OBSERVATION_BLOCK`] — exactly the parallel
+/// driver's batch size — so their proposal streams are bit-identical
+/// between the sequential `tune` driver and `tune_parallel` at every
+/// thread count, not merely invariant across thread counts.
+#[test]
+fn block_modules_match_sequential_tune_exactly() {
+    let source = dgemm_program(8);
+    let locus = fig7_small();
+    let system = tiny_system(1);
+    let budget = 32;
+
+    type MakeSearch = Box<dyn Fn() -> Box<dyn SearchModule>>;
+    let make: Vec<(&str, MakeSearch)> = vec![
+        (
+            "mcts",
+            Box::new(|| Box::new(locus::search::MctsTuner::new(0xb10c))),
+        ),
+        (
+            "sampler",
+            Box::new(|| Box::new(locus::search::TraceSampler::new(0xb10c))),
+        ),
+    ];
+    for (name, factory) in &make {
+        let mut search = factory();
+        let sequential = system
+            .tune(&source, &locus, search.as_mut(), budget)
+            .unwrap();
+        let want = fingerprint(&sequential);
+        assert!(
+            sequential.best.is_some(),
+            "{name}: sequential run found a variant"
+        );
+        for threads in [1, 2, 8] {
+            let mut search = factory();
+            let parallel = system
+                .tune_parallel(&source, &locus, search.as_mut(), budget, threads)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&parallel),
+                want,
+                "{name} threads={threads}: parallel driver diverged from sequential"
+            );
+        }
+    }
 }
 
 /// The shared memo cache actually dedups: exhaustive search over a

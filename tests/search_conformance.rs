@@ -1,0 +1,245 @@
+//! Trait-level conformance suite for every [`SearchModule`]: seeded
+//! determinism, batch/sequential proposal equivalence, warm-start
+//! hygiene, hostile-objective robustness, and termination on exhausted
+//! spaces. Each test runs over all seven built-in modules, so a new
+//! module added to the crate inherits the whole contract by adding one
+//! line to [`all_modules`].
+
+use locus::search::{
+    AnnealTuner, BanditTuner, ExhaustiveSearch, MctsTuner, Objective, PortfolioSearch,
+    RandomSearch, SearchModule, TraceSampler,
+};
+use locus::space::{ParamDef, ParamKind, ParamValue, Point, Space};
+
+type Factory = Box<dyn Fn(u64) -> Box<dyn SearchModule>>;
+
+/// Every built-in module, by constructor. The seed is ignored by the
+/// exhaustive sweep; everything else must honour it.
+fn all_modules() -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "exhaustive",
+            Box::new(|_| Box::new(ExhaustiveSearch::default())),
+        ),
+        ("random", Box::new(|s| Box::new(RandomSearch::new(s)))),
+        ("bandit", Box::new(|s| Box::new(BanditTuner::new(s)))),
+        ("anneal", Box::new(|s| Box::new(AnnealTuner::new(s)))),
+        ("portfolio", Box::new(|s| Box::new(PortfolioSearch::new(s)))),
+        ("mcts", Box::new(|s| Box::new(MctsTuner::new(s)))),
+        ("sampler", Box::new(|s| Box::new(TraceSampler::new(s)))),
+    ]
+}
+
+/// A mixed-kind space: 8 x 2 x 32 = 512 points, optimum at
+/// (tile = 16, alg = "fast", n = 10).
+fn bench_space() -> Space {
+    vec![
+        ParamDef::new("tile", ParamKind::PowerOfTwo { min: 2, max: 256 }),
+        ParamDef::new("alg", ParamKind::Enum(vec!["slow".into(), "fast".into()])),
+        ParamDef::new("n", ParamKind::Integer { min: 1, max: 32 }),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn bench_objective(p: &Point) -> Objective {
+    let tile = match p.get("tile") {
+        Some(ParamValue::Int(v)) => *v as f64,
+        _ => return Objective::Error,
+    };
+    let alg = match p.get("alg") {
+        Some(ParamValue::Choice(c)) => *c as f64,
+        _ => return Objective::Error,
+    };
+    let n = match p.get("n") {
+        Some(ParamValue::Int(v)) => *v as f64,
+        _ => return Objective::Error,
+    };
+    Objective::Value((tile.log2() - 4.0).powi(2) + (1.0 - alg) * 3.0 + (n - 10.0).powi(2) * 0.05)
+}
+
+/// Same seed, same budget, same objective: the outcome — best point,
+/// best value, evaluation counts, improvement history — is identical.
+#[test]
+fn every_module_is_deterministic_per_seed() {
+    let space = bench_space();
+    for (name, make) in all_modules() {
+        let mut f1 = bench_objective;
+        let mut f2 = bench_objective;
+        let a = make(41).search(&space, 50, &mut f1);
+        let b = make(41).search(&space, 50, &mut f2);
+        assert_eq!(a, b, "{name}: two identically-seeded runs diverged");
+    }
+}
+
+/// `propose_batch(k)` is defined as `k` sequential `propose` calls: a
+/// driver alternating batches with in-order observation must see the
+/// exact proposal stream of the one-at-a-time driver.
+#[test]
+fn propose_batch_equals_repeated_propose() {
+    let space = bench_space();
+    for (name, make) in all_modules() {
+        let mut batched = make(17);
+        let mut sequential = make(17);
+        batched.begin(&space, 60);
+        sequential.begin(&space, 60);
+        for round in 0..10 {
+            let batch = batched.propose_batch(&space, 6);
+            let mut singles = Vec::new();
+            for _ in 0..6 {
+                match sequential.propose(&space) {
+                    Some(p) => singles.push(p),
+                    None => break,
+                }
+            }
+            let keys =
+                |ps: &[Point]| -> Vec<String> { ps.iter().map(Point::canonical_key).collect() };
+            assert_eq!(
+                keys(&batch),
+                keys(&singles),
+                "{name}: round {round} batch diverged from repeated propose"
+            );
+            for p in &batch {
+                let obj = bench_objective(p);
+                batched.observe(p, obj, true);
+                sequential.observe(p, obj, true);
+            }
+            if batch.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Warm-starting must prime, not replay: after `seed_observations`, the
+/// first proposal is never one of the seeded points, and the two
+/// stateful trace modules never re-propose a seeded point at all.
+#[test]
+fn seeded_priors_are_not_reproposed() {
+    let space = bench_space();
+    // Mid-space elites: away from index 0 (exhaustive starts there) and
+    // distinctive enough to check re-proposals against.
+    let prior: Vec<(Point, f64)> = vec![
+        (space.point_at(137), 2.5),
+        (space.point_at(301), 3.75),
+        (space.point_at(444), 9.0),
+    ];
+    let prior_keys: Vec<String> = prior.iter().map(|(p, _)| p.canonical_key()).collect();
+    for (name, make) in all_modules() {
+        let mut m = make(23);
+        m.begin(&space, 60);
+        m.seed_observations(&space, &prior);
+        let first = m.propose(&space).expect("seeded module still proposes");
+        assert!(
+            !prior_keys.contains(&first.canonical_key()),
+            "{name}: first proposal replays a seeded prior"
+        );
+        if name == "mcts" || name == "sampler" {
+            let mut p = first;
+            for _ in 0..120 {
+                assert!(
+                    !prior_keys.contains(&p.canonical_key()),
+                    "{name}: re-proposed a seeded prior"
+                );
+                m.observe(&p, bench_objective(&p), true);
+                match m.propose(&space) {
+                    Some(next) => p = next,
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+/// A previously-refused illegal point is never proposed again by the
+/// dedup-tracking modules, and only boundedly often by the stateless
+/// ones — an observation loop feeding `Invalid` back must always
+/// terminate the search rather than spin on the refused region.
+#[test]
+fn refused_points_do_not_dominate_the_stream() {
+    let space = bench_space();
+    for (name, make) in all_modules() {
+        let mut m = make(31);
+        m.begin(&space, 80);
+        let mut refusals: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut rounds = 0;
+        while let Some(p) = m.propose(&space) {
+            rounds += 1;
+            if rounds > 2000 {
+                panic!("{name}: refused-point loop did not terminate");
+            }
+            // Refuse the whole `alg = slow` half of the space.
+            let refused = matches!(p.get("alg"), Some(ParamValue::Choice(0)));
+            if refused {
+                *refusals.entry(p.canonical_key()).or_insert(0) += 1;
+                m.observe(&p, Objective::Invalid, true);
+            } else {
+                m.observe(&p, bench_objective(&p), true);
+            }
+            if rounds >= 400 {
+                break;
+            }
+        }
+        let max_repeat = refusals.values().copied().max().unwrap_or(0);
+        let bound = if name == "mcts" || name == "sampler" {
+            1
+        } else {
+            12
+        };
+        assert!(
+            max_repeat <= bound,
+            "{name}: one refused point was proposed {max_repeat} times"
+        );
+    }
+}
+
+/// NaN, infinities, `Error` and `Invalid` feedback — in any mixture —
+/// never panic a module, and never surface as the best value.
+#[test]
+fn hostile_objectives_never_panic_or_win() {
+    let space = bench_space();
+    for (name, make) in all_modules() {
+        let mut i = 0usize;
+        let mut f = |p: &Point| {
+            i += 1;
+            match i % 6 {
+                0 => Objective::Value(f64::NAN),
+                1 => Objective::Value(f64::INFINITY),
+                2 => Objective::Value(f64::NEG_INFINITY),
+                3 => Objective::Error,
+                4 => Objective::Invalid,
+                _ => bench_objective(p),
+            }
+        };
+        let out = make(53).search(&space, 60, &mut f);
+        if let Some((_, best)) = out.best {
+            assert!(best.is_finite(), "{name}: non-finite best {best}");
+        }
+        assert!(out.evaluations <= 60, "{name}: overspent the budget");
+    }
+}
+
+/// A two-point space is exhausted, not spun on: every module's
+/// sequential driver returns with at most two evaluations.
+#[test]
+fn tiny_spaces_terminate_for_every_module() {
+    let space: Space = vec![ParamDef::new("x", ParamKind::Bool)]
+        .into_iter()
+        .collect();
+    for (name, make) in all_modules() {
+        let mut f = |p: &Point| match p.get("x") {
+            Some(ParamValue::Choice(1)) => Objective::Value(1.0),
+            _ => Objective::Value(2.0),
+        };
+        let out = make(3).search(&space, 100, &mut f);
+        assert_eq!(
+            out.evaluations, 2,
+            "{name}: expected the two distinct points, got {}",
+            out.evaluations
+        );
+        let (best, v) = out.best.expect("best exists");
+        assert_eq!(v, 1.0, "{name}: wrong optimum");
+        assert_eq!(best.get("x"), Some(&ParamValue::Choice(1)));
+    }
+}

@@ -12,7 +12,7 @@
 
 use locus::corpus::dgemm_program;
 use locus::machine::{Machine, MachineConfig};
-use locus::search::ExhaustiveSearch;
+use locus::search::{ExhaustiveSearch, SearchModule};
 use locus::store::TuningStore;
 use locus::system::LocusSystem;
 
@@ -132,6 +132,81 @@ fn prunes_replay_from_the_store_without_reanalysis() {
     assert_eq!(cold_point.canonical_key(), warm_point.canonical_key());
     assert_eq!(cold_m.time_ms.to_bits(), warm_m.time_ms.to_bits());
     std::fs::remove_file(&path).ok();
+}
+
+/// The pruning-aware modules consult the legality oracle *at proposal
+/// time*: with MCTS or the trace sampler driving, the racy `k`-loop
+/// choice never surfaces as a proposal at all — `pruned_illegal` stays
+/// zero because nothing illegal ever reaches the driver, and the racy
+/// subtree is never simulated.
+#[test]
+fn oracle_aware_modules_prune_before_proposing() {
+    let source = dgemm_program(8);
+    let locus = racy_choice_program();
+    let system = tiny_system();
+
+    type MakeSearch = Box<dyn Fn() -> Box<dyn SearchModule>>;
+    let make: Vec<(&str, MakeSearch)> = vec![
+        (
+            "mcts",
+            Box::new(|| Box::new(locus::search::MctsTuner::new(3))),
+        ),
+        (
+            "sampler",
+            Box::new(|| Box::new(locus::search::TraceSampler::new(3))),
+        ),
+    ];
+    for (name, factory) in &make {
+        let mut search = factory();
+        let (result, report) = system
+            .tune_parallel_with_report(&source, &locus, search.as_mut(), 8, 2)
+            .unwrap();
+        assert_eq!(
+            report.pruned_illegal, 0,
+            "{name}: an illegal point slipped past the proposal-time oracle"
+        );
+        assert_eq!(
+            report.evaluations(),
+            1,
+            "{name}: only the legal choice runs"
+        );
+        let (best, _, _) = result.best.as_ref().expect("legal choice wins");
+        assert_eq!(
+            best.canonical_key(),
+            "target=c0;",
+            "{name}: outer loop chosen"
+        );
+    }
+}
+
+/// Regression: a portfolio member whose whole round comes back refused
+/// is demoted below participation — before the fix, the flat `0.1`
+/// participation floor kept a 100%-pruned member's credit at 0.8, so it
+/// kept winning budget it could only waste.
+#[test]
+fn portfolio_demotes_members_whose_rounds_are_fully_pruned() {
+    use locus::search::{Objective, PortfolioSearch};
+    use locus::space::{ParamDef, ParamKind, Point};
+
+    let space: locus::space::Space = vec![
+        ParamDef::new("tile", ParamKind::PowerOfTwo { min: 2, max: 64 }),
+        ParamDef::new("sched", ParamKind::Enum(vec!["a".into(), "b".into()])),
+    ]
+    .into_iter()
+    .collect();
+
+    let mut portfolio = PortfolioSearch::new(5);
+    let mut f = |_: &Point| Objective::Invalid;
+    let out = portfolio.search(&space, 40, &mut f);
+    assert_eq!(out.evaluations, 0, "nothing legal to evaluate");
+    assert!(out.best.is_none());
+    for (i, credit) in portfolio.credits().iter().enumerate() {
+        assert!(
+            *credit < 0.7,
+            "member {i}: credit {credit} kept the participation floor \
+             despite a 100%-refused round"
+        );
+    }
 }
 
 #[test]
